@@ -1,0 +1,446 @@
+// Package repro's root benchmark suite: one benchmark per experiment of
+// EXPERIMENTS.md (E1–E17), each regenerating the measurement behind one
+// figure or theorem of the paper. Finer-grained parameter sweeps live
+// next to their packages (internal/*/..._test.go); these root benches
+// are the one-stop `go test -bench=.` entry point.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/automata"
+	"repro/internal/cq"
+	"repro/internal/datalog"
+	"repro/internal/dom"
+	"repro/internal/elog"
+	"repro/internal/htmlparse"
+	"repro/internal/mdatalog"
+	"repro/internal/pib"
+	"repro/internal/visual"
+	"repro/internal/web"
+	"repro/internal/xpath"
+)
+
+// BenchmarkE01_Figure1_TreeEncoding: unranked tree <-> binary
+// firstchild/nextsibling encoding round trip (Figure 1).
+func BenchmarkE01_Figure1_TreeEncoding(b *testing.B) {
+	tr := dom.RandomTree(rand.New(rand.NewSource(1)), 20000, []string{"a", "b", "c"}, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nodes, edges := tr.EncodeBinary()
+		back := dom.DecodeBinary(nodes, edges)
+		if back.Size() != tr.Size() {
+			b.Fatal("round trip lost nodes")
+		}
+	}
+}
+
+// BenchmarkE02_Theorem24_LinearEvaluation: monadic datalog over trees in
+// O(|P|·|dom|) — one representative point of the sweep in
+// internal/mdatalog.
+func BenchmarkE02_Theorem24_LinearEvaluation(b *testing.B) {
+	p := mdatalog.ItalicProgram()
+	for _, size := range []int{2000, 8000, 32000} {
+		tr := dom.RandomTree(rand.New(rand.NewSource(2)), size, []string{"a", "i", "b"}, 6)
+		b.Run(fmt.Sprintf("dom-%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mdatalog.Eval(p, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE03_Prop23_GenericVsTree: the generic semi-naive engine vs
+// the tree-specialized engine on the same monadic program.
+func BenchmarkE03_Prop23_GenericVsTree(b *testing.B) {
+	p := mdatalog.ItalicProgram()
+	tr := dom.RandomTree(rand.New(rand.NewSource(3)), 2000, []string{"a", "i"}, 5)
+	b.Run("tree-engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mdatalog.Eval(p, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("generic-engine", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mdatalog.EvalGeneric(p, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE04_Theorem27_TMNF: the normal-form translation is linear
+// time.
+func BenchmarkE04_Theorem27_TMNF(b *testing.B) {
+	for _, n := range []int{20, 80, 320} {
+		p := mdatalog.RandomProgram(rand.New(rand.NewSource(4)), 6, n, []string{"a", "b", "c"})
+		b.Run(fmt.Sprintf("rules-%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := mdatalog.ToTMNF(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE05_Theorem25_MSOCompilation: automaton-defined MSO query
+// compiled to monadic datalog vs evaluated directly.
+func BenchmarkE05_Theorem25_MSOCompilation(b *testing.B) {
+	tr := dom.RandomTree(rand.New(rand.NewSource(5)), 4000, []string{"a", "b", "c"}, 5)
+	a := automata.HasAncestorLabel("a").CompleteAlphabetFor(tr)
+	prog := a.CompileToDatalog("selected")
+	b.Run("compiled-datalog", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mdatalog.Query(prog, tr, "selected"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("direct-automaton", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.Select(tr)
+		}
+	})
+}
+
+// BenchmarkE06_Example21_Italic: the paper's first program on a real
+// HTML parse tree.
+func BenchmarkE06_Example21_Italic(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<html><body>")
+	for i := 0; i < 500; i++ {
+		sb.WriteString("<p>plain <i>it<b>alic</b></i> more</p>")
+	}
+	sb.WriteString("</body></html>")
+	tr := htmlparse.Parse(sb.String())
+	p := mdatalog.ItalicProgram()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mdatalog.Query(p, tr, "italic")
+		if err != nil || len(res) == 0 {
+			b.Fatalf("italic failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkE07_VisualWrapper: full visual construction session plus
+// evaluation (Figures 3/4).
+func BenchmarkE07_VisualWrapper(b *testing.B) {
+	sim := web.New()
+	site := web.NewBookSite(7, 20)
+	site.Register(sim, "books.example.com")
+	doc, err := sim.Fetch("books.example.com/bestsellers.html")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := visual.NewSession(doc, "books.example.com/bestsellers.html")
+		if err := s.AddDocumentPattern("page"); err != nil {
+			b.Fatal(err)
+		}
+		r, _ := s.FindText(site.Books[0].Title)
+		if _, err := s.AddPattern("title", "page", r); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.GeneralizePath("title", 2); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.RequireAttribute("title", "class", "title", "exact"); err != nil {
+			b.Fatal(err)
+		}
+		counts, err := s.Test()
+		if err != nil || counts["title"] != 20 {
+			b.Fatalf("titles = %d, err %v", counts["title"], err)
+		}
+	}
+}
+
+// ebayFigure5 is the wrapper of Figure 5 (see internal/elog for the
+// syntax notes).
+const ebayFigure5 = `
+tableseq(S, X) <- document("www.ebay.com/", S),
+    subsq(S, (.body, []), (.table, []), (.table, []), X),
+    before(S, X, (.table, [(elementtext, item, substr)]), 0, 0, _, _),
+    after(S, X, .hr, 0, 0, _, _)
+record(S, X) <- tableseq(_, S), subelem(S, .table, X)
+itemdes(S, X) <- record(_, S), subelem(S, (?.td.?.a, []), X)
+price(S, X) <- record(_, S), subelem(S, (?.td, [(elementtext, \var[Y].*, regvar)]), X), isCurrency(Y)
+bids(S, X) <- record(_, S), subelem(S, ?.td, X), before(S, X, ?.td, 0, 30, Y, _), price(_, Y)
+currency(S, X) <- price(_, S), subtext(S, \var[Y], X), isCurrency(Y)
+`
+
+// BenchmarkE08_Figure5_EbayWrapper: the complete Figure 5 program on a
+// generated listing.
+func BenchmarkE08_Figure5_EbayWrapper(b *testing.B) {
+	sim := web.New()
+	site := web.NewAuctionSite(8, 100)
+	site.PageSize = 100
+	site.Register(sim, "www.ebay.com")
+	prog := elog.MustParse(ebayFigure5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base, err := elog.NewEvaluator(sim).Run(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(base.Instances("record")) != 100 {
+			b.Fatalf("records = %d", len(base.Instances("record")))
+		}
+	}
+}
+
+// BenchmarkE09_CoreXPathLinear: Core XPath combined complexity (one
+// representative point; sweeps in internal/xpath).
+func BenchmarkE09_CoreXPathLinear(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<html><body>")
+	for i := 0; i < 300; i++ {
+		sb.WriteString("<div><span>x</span><div><span>y</span></div></div>")
+	}
+	sb.WriteString("</body></html>")
+	tr := htmlparse.Parse(sb.String())
+	q := xpath.MustParse("//div[span and not(b)]//span")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := xpath.EvalCore(q, tr, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10_Theorem41_NaiveVsPolynomial: the exponential naive
+// evaluator vs the linear one on the pathological //div chains.
+func BenchmarkE10_Theorem41_NaiveVsPolynomial(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<html><body>")
+	depth := 12
+	for i := 0; i < depth; i++ {
+		sb.WriteString("<div><span>x</span>")
+	}
+	for i := 0; i < depth; i++ {
+		sb.WriteString("</div>")
+	}
+	sb.WriteString("</body></html>")
+	tr := htmlparse.Parse(sb.String())
+	q := xpath.MustParse("//div//div//div//div")
+	b.Run("naive-exponential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := xpath.EvalNaive(q, tr, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("linear", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := xpath.EvalCore(q, tr, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE11_CQDichotomy: tractable vs NP-hard axis sets (Section 4,
+// [18]); sweeps in internal/cq.
+func BenchmarkE11_CQDichotomy(b *testing.B) {
+	tr := dom.RandomTree(rand.New(rand.NewSource(11)), 250, []string{"a"}, 2)
+	hard := &cq.Query{NumVars: 7, Free: -1}
+	for i := 0; i < 6; i++ {
+		ax := cq.Child
+		if i%2 == 1 {
+			ax = cq.ChildPlus
+		}
+		hard.Edges = append(hard.Edges, cq.EdgeAtom{Axis: ax, X: cq.Var(i), Y: cq.Var(i + 1)})
+		hard.Labels = append(hard.Labels, cq.LabelAtom{X: cq.Var(i), Label: "a"})
+	}
+	hard.Labels = append(hard.Labels, cq.LabelAtom{X: 6, Label: "zz"}) // unsatisfiable: full search
+	easy := &cq.Query{NumVars: 7, Free: 0}
+	for i := 0; i < 6; i++ {
+		ax := cq.Child
+		if i%2 == 1 {
+			ax = cq.NextSiblingStar
+		}
+		easy.Edges = append(easy.Edges, cq.EdgeAtom{Axis: ax, X: cq.Var(i), Y: cq.Var(i + 1)})
+	}
+	b.Run("nphard-side", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cq.EvalGeneric(hard, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("poly-side", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := cq.EvalAcyclic(easy, tr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE12_Theorem46_XPathToTMNF: translate Core XPath to TMNF and
+// evaluate.
+func BenchmarkE12_Theorem46_XPathToTMNF(b *testing.B) {
+	q := xpath.MustParse("//div[span and not(b)]//span")
+	tr := htmlparse.Parse(strings.Repeat("<div><span>x</span></div>", 200))
+	prog, qpred, err := xpath.TranslateCore(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("translate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := xpath.TranslateCore(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("evaluate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mdatalog.Query(prog, tr, qpred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE13_Figure7_Pipeline: end-to-end transformation-server round
+// (two wrappers, integrator, delivery).
+func BenchmarkE13_Figure7_Pipeline(b *testing.B) {
+	app, err := apps.NewPressClipping(13)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Engine.Tick()
+	}
+	if app.Out.Len() == 0 {
+		b.Fatal("no deliveries")
+	}
+}
+
+// BenchmarkE14_NowPlaying: a full 14-source integration step.
+func BenchmarkE14_NowPlaying(b *testing.B) {
+	app, err := apps.NewNowPlaying(14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Step()
+	}
+	if app.Portal.Len() == 0 {
+		b.Fatal("no portal updates")
+	}
+}
+
+// BenchmarkE15_FlightMonitoring: poll + change-detection round.
+func BenchmarkE15_FlightMonitoring(b *testing.B) {
+	app, err := apps.NewFlightInfo(15, []apps.Subscription{{Number: "OS103"}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Step(i%3 == 0)
+	}
+}
+
+// BenchmarkE16_PressToNITF: wrapping + NITF transformation.
+func BenchmarkE16_PressToNITF(b *testing.B) {
+	app, err := apps.NewPressClipping(16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Step(false, 0)
+	}
+}
+
+// BenchmarkE17_PowerTrading: spot-price integration round.
+func BenchmarkE17_PowerTrading(b *testing.B) {
+	app, err := apps.NewPowerTrading(17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		app.Step()
+	}
+}
+
+// BenchmarkWrapperToXML measures the full extract+transform path used by
+// every application, on a large page.
+func BenchmarkWrapperToXML(b *testing.B) {
+	sim := web.New()
+	web.NewBookSite(18, 500).Register(sim, "books.example.com")
+	prog := elog.MustParse(`
+page(S, X) <- document("books.example.com/bestsellers.html", S), subelem(S, .body, X)
+book(S, X) <- page(_, S), subelem(S, (?.tr, [(class, book, exact)]), X)
+title(S, X) <- book(_, S), subelem(S, (?.td, [(class, title, exact)]), X)
+price(S, X) <- book(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+`)
+	design := &pib.Design{Auxiliary: map[string]bool{"document": true, "page": true}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base, err := elog.NewEvaluator(sim).Run(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := design.Transform(base); len(out.Children) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+// Differential guard: the root suite also re-checks one instance of the
+// central equivalences so that `go test .` exercises the cross-engine
+// contracts without descending into the internal packages.
+func TestRootCrossEngineSanity(t *testing.T) {
+	tr := htmlparse.Parse(`<body><table><tr><td>a</td></tr><tr><td><i>b</i></td></tr></table></body>`)
+	// XPath three ways.
+	q := xpath.MustParse("//tr[td[i]]")
+	lin, err := xpath.EvalCore(q, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := xpath.EvalNaive(q, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive = tr.SortDocOrder(naive)
+	prog, qpred, err := xpath.TranslateCore(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaTMNF, err := mdatalog.Query(prog, tr, qpred)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lin) != 1 || len(naive) != 1 || len(viaTMNF) != 1 || lin[0] != naive[0] || lin[0] != viaTMNF[0] {
+		t.Fatalf("engines disagree: core=%v naive=%v tmnf=%v", lin, naive, viaTMNF)
+	}
+	// Monadic datalog two ways.
+	p := datalog.MustParse(`q(X) :- label_td(X).`)
+	fast, err := mdatalog.Eval(p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := mdatalog.EvalGeneric(p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fast["q"]) != 2 || len(slow["q"]) != 2 {
+		t.Fatalf("datalog engines disagree: %v vs %v", fast["q"], slow["q"])
+	}
+}

@@ -1,0 +1,84 @@
+// Command elogc runs an Elog wrapper program against HTML documents and
+// prints the extracted XML — the Extractor + XML Transformer pair of
+// Figure 2 as a command-line tool.
+//
+// Usage:
+//
+//	elogc -program wrapper.elog [-aux pat1,pat2] [-root name] doc.html [url=doc2.html ...]
+//
+// Each document argument is either a file path (served at the URL equal
+// to the path) or url=path, binding the file to that URL for the
+// program's document atoms. With no document arguments, pages are read
+// from the simulated web's auction site (a demo mode).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/elog"
+	"repro/internal/htmlparse"
+	"repro/internal/web"
+	"repro/internal/xmlenc"
+)
+
+func main() {
+	programPath := flag.String("program", "", "path to the Elog program (required)")
+	aux := flag.String("aux", "document", "comma-separated auxiliary patterns")
+	root := flag.String("root", "lixto", "output document element name")
+	flag.Parse()
+	if *programPath == "" {
+		fmt.Fprintln(os.Stderr, "elogc: -program is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(*programPath)
+	if err != nil {
+		fatal(err)
+	}
+	w, err := core.CompileWrapper(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	w.Design.RootName = *root
+	for _, p := range strings.Split(*aux, ",") {
+		if p != "" {
+			w.SetAuxiliary(strings.TrimSpace(p))
+		}
+	}
+
+	var fetcher elog.Fetcher
+	if flag.NArg() == 0 {
+		sim := web.New()
+		web.NewAuctionSite(1, 20).Register(sim, "www.ebay.com")
+		fetcher = sim
+		fmt.Fprintln(os.Stderr, "elogc: no documents given; using the simulated auction site")
+	} else {
+		m := elog.MapFetcher{}
+		for _, arg := range flag.Args() {
+			url, path := arg, arg
+			if i := strings.IndexByte(arg, '='); i >= 0 {
+				url, path = arg[:i], arg[i+1:]
+			}
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			m[url] = htmlparse.Parse(string(data))
+		}
+		fetcher = m
+	}
+	xml, err := w.Wrap(fetcher)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(xmlenc.MarshalIndent(xml))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "elogc:", err)
+	os.Exit(1)
+}

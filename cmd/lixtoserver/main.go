@@ -1,0 +1,100 @@
+// Command lixtoserver runs a Lixto Transformation Server instance
+// (Section 5) hosting the application pipelines of Section 6 over the
+// simulated web, and serves the latest output of each on HTTP:
+//
+//	lixtoserver [-addr :8080] [-interval 2s] [-steps N]
+//
+//	GET /nowplaying   the Now Playing portal feed (Section 6.1)
+//	GET /flights      the latest flight alerts (6.2)
+//	GET /press        the NITF news feed (6.3)
+//	GET /power        the power-trading report (6.7)
+//
+// With -steps N the server runs N synchronous ticks, prints a summary
+// and exits (useful without a long-running terminal).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/transform"
+	"repro/internal/xmlenc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	interval := flag.Duration("interval", 2*time.Second, "tick interval")
+	steps := flag.Int("steps", 0, "run N ticks and exit (0 = serve forever)")
+	flag.Parse()
+
+	np, err := apps.NewNowPlaying(2004)
+	if err != nil {
+		fatal(err)
+	}
+	fl, err := apps.NewFlightInfo(2004, []apps.Subscription{{Number: "OS105"}, {Number: "OS110"}})
+	if err != nil {
+		fatal(err)
+	}
+	pc, err := apps.NewPressClipping(2004)
+	if err != nil {
+		fatal(err)
+	}
+	pw, err := apps.NewPowerTrading(2004)
+	if err != nil {
+		fatal(err)
+	}
+	tick := func() {
+		np.Step()
+		fl.Step(true)
+		pc.Step(false, 0)
+		pw.Step()
+	}
+
+	if *steps > 0 {
+		for i := 0; i < *steps; i++ {
+			tick()
+		}
+		fmt.Printf("ran %d ticks\n", *steps)
+		fmt.Printf("  nowplaying: %d portal updates\n", np.Portal.Len())
+		fmt.Printf("  flights:    %d SMS deliveries\n", fl.SMS.Len())
+		fmt.Printf("  press:      %d publications\n", pc.Out.Len())
+		fmt.Printf("  power:      %d reports\n", pw.Out.Len())
+		return
+	}
+
+	serveLatest := func(c *transform.Collector) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			docs := c.Docs()
+			if len(docs) == 0 {
+				http.Error(w, "no data yet", http.StatusServiceUnavailable)
+				return
+			}
+			w.Header().Set("Content-Type", "application/xml")
+			fmt.Fprint(w, xmlenc.MarshalIndent(docs[len(docs)-1]))
+		}
+	}
+	http.HandleFunc("/nowplaying", serveLatest(np.Portal))
+	http.HandleFunc("/flights", serveLatest(fl.SMS))
+	http.HandleFunc("/press", serveLatest(pc.Out))
+	http.HandleFunc("/power", serveLatest(pw.Out))
+
+	go func() {
+		for {
+			tick()
+			time.Sleep(*interval)
+		}
+	}()
+	fmt.Printf("lixtoserver: serving on %s (tick every %s)\n", *addr, *interval)
+	if err := http.ListenAndServe(*addr, nil); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lixtoserver:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command xpathq evaluates XPath queries on HTML documents using the
+// engines of Section 4: the linear-time Core XPath evaluator
+// (Theorem "Core XPath is in linear time"), the polynomial context-value
+// evaluator for the extended fragment (Theorem 4.1), and — for
+// comparison — the exponential naive evaluator that reproduces pre-2002
+// engine behaviour.
+//
+// Usage:
+//
+//	xpathq [-engine core|full|naive|tmnf] [-show] 'query' [doc.html]
+//
+// With no document, the query runs against a demo page. -engine tmnf
+// translates the query to monadic datalog (Theorem 4.6) and evaluates it
+// with the TMNF engine; -show prints the translated program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dom"
+	"repro/internal/htmlparse"
+	"repro/internal/mdatalog"
+	"repro/internal/xpath"
+)
+
+const demo = `<html><body><h1>Demo</h1><table><tr><td><a href="#">x</a></td><td>y</td></tr><tr><td>z</td></tr></table><hr></body></html>`
+
+func main() {
+	engine := flag.String("engine", "core", "evaluator: core | full | naive | tmnf")
+	show := flag.Bool("show", false, "print the translated datalog program (tmnf engine)")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: xpathq [-engine core|full|naive|tmnf] 'query' [doc.html]")
+		os.Exit(2)
+	}
+	query := flag.Arg(0)
+	src := demo
+	if flag.NArg() >= 2 {
+		data, err := os.ReadFile(flag.Arg(1))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(data)
+	}
+	doc := htmlparse.Parse(src)
+	p, err := xpath.Parse(query)
+	if err != nil {
+		fatal(err)
+	}
+	var nodes []dom.NodeID
+	switch *engine {
+	case "core":
+		nodes, err = xpath.EvalCore(p, doc, nil)
+	case "full":
+		nodes, err = xpath.EvalFull(p, doc, nil)
+	case "naive":
+		nodes, err = xpath.EvalNaive(p, doc, nil)
+		nodes = doc.SortDocOrder(nodes)
+	case "tmnf":
+		prog, qpred, terr := xpath.TranslateCore(p)
+		if terr != nil {
+			fatal(terr)
+		}
+		if *show {
+			fmt.Fprintln(os.Stderr, prog)
+		}
+		nodes, err = mdatalog.Query(prog, doc, qpred)
+		nodes = doc.SortDocOrder(nodes)
+	default:
+		fatal(fmt.Errorf("unknown engine %q", *engine))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%d nodes\n", len(nodes))
+	for _, n := range nodes {
+		text := doc.ElementText(n)
+		if len(text) > 60 {
+			text = text[:57] + "..."
+		}
+		fmt.Printf("  %-10s %q\n", doc.Label(n), text)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xpathq:", err)
+	os.Exit(1)
+}

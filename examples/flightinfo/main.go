@@ -1,0 +1,38 @@
+// Command flightinfo runs the flight schedule information service of
+// Section 6.2: the user subscribes to flights, the pipeline polls the
+// airport site, and an "SMS" is delivered only when a subscribed
+// flight's status changes between consecutive requests.
+//
+//	go run ./examples/flightinfo
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+)
+
+func main() {
+	subs := []apps.Subscription{
+		{Number: "OS105"},
+		{From: "Vienna", To: "London"},
+	}
+	app, err := apps.NewFlightInfo(2004, subs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("subscriptions: OS105; Vienna -> London")
+	fmt.Println()
+	smsSeen := 0
+	for step := 0; step < 20; step++ {
+		app.Step(step > 0) // the airport state changes between polls
+		if app.SMS.Len() > smsSeen {
+			smsSeen = app.SMS.Len()
+			fmt.Printf("step %2d  SMS: %s\n", step, app.LastMessage())
+		} else {
+			fmt.Printf("step %2d  (no change, no SMS)\n", step)
+		}
+	}
+	fmt.Printf("\n%d polls, %d SMS deliveries — messages only on change\n", 20, app.SMS.Len())
+}

@@ -1,0 +1,52 @@
+// Command nowplaying runs the "Now Playing" mobile-entertainment service
+// of Section 6.1: wrappers over 14 simulated sites (radio stations,
+// music charts, a lyrics server), integrated by the Transformation
+// Server into a PDA portal feed; the simulation advances a few steps and
+// prints each portal update.
+//
+//	go run ./examples/nowplaying
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/xmlenc"
+)
+
+func main() {
+	app, err := apps.NewNowPlaying(2004)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Now Playing: %d wrapped sources (radio / charts / lyrics)\n\n", app.SourceCount())
+	for step := 1; step <= 3; step++ {
+		app.Step()
+		docs := app.Portal.Docs()
+		if len(docs) == 0 {
+			log.Fatalf("no portal output (errors: %v)", app.Engine.Errors)
+		}
+		portal := docs[len(docs)-1]
+		fmt.Printf("=== portal update %d ===\n", step)
+		for _, st := range portal.Find("station") {
+			name, _ := st.Attr("name")
+			song := st.FirstChild("song").Text
+			artist := st.FirstChild("artist").Text
+			fmt.Printf("  %-14s %s — %s", name, song, artist)
+			for _, r := range st.ChildrenNamed("ranking") {
+				chart, _ := r.Attr("chart")
+				fmt.Printf("  [#%s in %s]", r.Text, chart)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	// The full XML of the last update, as a mobile syndication layer
+	// would consume it.
+	last := app.Portal.Docs()[app.Portal.Len()-1]
+	fmt.Println("last update as XML (first station):")
+	if sts := last.Find("station"); len(sts) > 0 {
+		fmt.Println(xmlenc.MarshalIndent(sts[0]))
+	}
+}

@@ -1,0 +1,40 @@
+// Command pressclipping runs the financial-news application of
+// Section 6.3: press articles are wrapped, converted to NITF (News
+// Industry Text Format), aggregated with the latest stock quotes, and
+// republished as a feed.
+//
+//	go run ./examples/pressclipping
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/apps"
+	"repro/internal/xmlenc"
+)
+
+func main() {
+	app, err := apps.NewPressClipping(2004)
+	if err != nil {
+		log.Fatal(err)
+	}
+	app.Engine.Tick()
+	if app.Out.Len() == 0 {
+		log.Fatalf("no publication (errors: %v)", app.Engine.Errors)
+	}
+	feed := app.Out.Docs()[0]
+	nitfs := feed.Find("nitf")
+	fmt.Printf("published %d NITF documents\n\n", len(nitfs))
+	for i, n := range nitfs {
+		if i >= 2 {
+			fmt.Printf("... (%d more)\n", len(nitfs)-2)
+			break
+		}
+		fmt.Println(xmlenc.MarshalIndent(n))
+	}
+	// Breaking news: publish and re-tick.
+	app.Step(true, 7)
+	feed2 := app.Out.Docs()[app.Out.Len()-1]
+	fmt.Printf("after publishing one more article: %d NITF documents\n", len(feed2.Find("nitf")))
+}

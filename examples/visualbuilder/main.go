@@ -1,0 +1,79 @@
+// Command visualbuilder demonstrates the visual wrapper-specification
+// process of Section 3.2 (Figure 3): a wrapper for a bestseller site is
+// built from text selections ("mouse clicks") only — the user never
+// writes a line of Elog; the program is generated, refined, tested, and
+// finally applied to a held-out page.
+//
+//	go run ./examples/visualbuilder
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/elog"
+	"repro/internal/visual"
+	"repro/internal/web"
+)
+
+func main() {
+	sim := web.New()
+	site := web.NewBookSite(2004, 8)
+	site.Register(sim, "books.example.com")
+	doc, err := sim.Fetch("books.example.com/bestsellers.html")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := visual.NewSession(doc, "books.example.com/bestsellers.html")
+	if err := s.AddDocumentPattern("page"); err != nil {
+		log.Fatal(err)
+	}
+
+	// The user highlights the first book's title on screen.
+	region, ok := s.FindText(site.Books[0].Title)
+	if !ok {
+		log.Fatal("example title not on page")
+	}
+	rule, err := s.AddPattern("title", "page", region)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rule generated from the click:")
+	fmt.Println("  " + rule.String())
+
+	// Too specific (matches only the example row): generalize the path.
+	if err := s.GeneralizePath("title", 2); err != nil {
+		log.Fatal(err)
+	}
+	// Now too general (matches every cell): restrict by the class
+	// attribute.
+	if err := s.RequireAttribute("title", "class", "title", "exact"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after generalize + attribute refinement:")
+	fmt.Println("  " + rule.String())
+
+	counts, err := s.Test()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntest on the example page: %d title instances (%d books)\n", counts["title"], len(site.Books))
+	fmt.Printf("user interactions so far: %d\n\n", s.Interactions)
+
+	// Apply the generated program to a page never seen during design.
+	heldOut := web.New()
+	web.NewBookSite(4071, 20).Register(heldOut, "books.example.com")
+	base, err := elog.NewEvaluator(heldOut).Run(s.Program())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("held-out page: %d titles extracted\n", len(base.Instances("title")))
+	for i, in := range base.Instances("title") {
+		if i >= 3 {
+			fmt.Println("  ...")
+			break
+		}
+		fmt.Printf("  %s\n", in.TextContent())
+	}
+}

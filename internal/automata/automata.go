@@ -1,0 +1,440 @@
+// Package automata implements bottom-up tree automata over the binary
+// firstchild/nextsibling encoding of unranked trees (Figure 1b), the
+// boolean closure operations, subset-construction determinization, and —
+// the ingredient of Theorem 2.5 — the compilation of automaton-defined
+// unary queries into monadic datalog over τ_ur.
+//
+// Unary MSO queries over trees are, by the classical Thatcher–Wright /
+// Doner correspondence the paper cites ([37, 10]), exactly the queries
+// definable by tree automata with a marked alphabet: a query automaton
+// runs over Σ × {0,1} and selects node x iff marking exactly x (and no
+// other node) yields an accepted tree. Deterministic query automata are
+// evaluated here in two linear passes (bottom-up states, top-down
+// contexts), and CompileToDatalog emits an equivalent monadic datalog
+// program of size O(|A|) — the effective content of Theorem 2.5 for the
+// automata-presented form of MSO.
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/dom"
+)
+
+// Absent is the pseudo-state fed to a transition when the corresponding
+// binary-encoding child (first child or next sibling) does not exist.
+const Absent = -1
+
+// Wildcard is the pseudo-label matching any label outside the automaton's
+// alphabet. Automata are total: every (l, r, label, marked) combination
+// must resolve to a state, with Wildcard as the fallback label.
+const Wildcard = "*"
+
+// TransKey identifies one transition of a deterministic automaton:
+// the states of the node's first child (L) and next sibling (R) in the
+// binary encoding (Absent when missing), the node's label (Wildcard for
+// out-of-alphabet), and whether the node carries the query mark.
+type TransKey struct {
+	L, R   int
+	Label  string
+	Marked bool
+}
+
+// DTA is a deterministic, complete bottom-up tree automaton over the
+// binary encoding, with a marked alphabet for unary queries. An
+// automaton used only as a tree acceptor simply ignores marking (its
+// transition function treats Marked=true like Marked=false).
+type DTA struct {
+	// NumStates is the number of states, numbered 0..NumStates-1.
+	NumStates int
+	// Alphabet lists the labels the automaton distinguishes; all other
+	// labels behave like Wildcard.
+	Alphabet []string
+	// Trans is the transition table. Lookup falls back to the Wildcard
+	// label and then to the Sink state, so tables may be partial.
+	Trans map[TransKey]int
+	// Sink is the state used when no transition matches. It should be a
+	// rejecting trap state in well-formed automata.
+	Sink int
+	// Accept marks the accepting states (acceptance is tested on the
+	// state of the root node).
+	Accept []bool
+}
+
+// NewDTA returns an automaton with n states, the given alphabet, an
+// empty transition table and state 0 as sink.
+func NewDTA(n int, alphabet ...string) *DTA {
+	return &DTA{NumStates: n, Alphabet: alphabet, Trans: map[TransKey]int{}, Accept: make([]bool, n)}
+}
+
+// SetTrans adds a transition.
+func (a *DTA) SetTrans(l, r int, label string, marked bool, to int) {
+	a.Trans[TransKey{l, r, label, marked}] = to
+}
+
+// Step resolves the transition for the given configuration, falling back
+// to the wildcard label and then the sink.
+func (a *DTA) Step(l, r int, label string, marked bool) int {
+	if !a.inAlphabet(label) {
+		label = Wildcard
+	}
+	if to, ok := a.Trans[TransKey{l, r, label, marked}]; ok {
+		return to
+	}
+	if to, ok := a.Trans[TransKey{l, r, Wildcard, marked}]; ok {
+		return to
+	}
+	return a.Sink
+}
+
+func (a *DTA) inAlphabet(label string) bool {
+	for _, x := range a.Alphabet {
+		if x == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Run computes the bottom-up run of the automaton on the (unmarked) tree
+// and returns the state of every node. The run is computed in a single
+// reverse-document-order pass: node ids are assigned in document order by
+// every builder in this repository, so children and next siblings have
+// larger ids than the position where their state is needed... they have
+// larger ids, hence a reverse iteration sees them first.
+func (a *DTA) Run(t *dom.Tree) []int {
+	states := make([]int, t.Size())
+	order := t.InDocumentOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		l, r := Absent, Absent
+		if c := t.FirstChild(n); c != dom.Nil {
+			l = states[c]
+		}
+		if s := t.NextSibling(n); s != dom.Nil {
+			r = states[s]
+		}
+		states[n] = a.Step(l, r, t.Label(n), false)
+	}
+	return states
+}
+
+// Accepts reports whether the automaton accepts the (unmarked) tree.
+func (a *DTA) Accepts(t *dom.Tree) bool {
+	if t.Size() == 0 {
+		return false
+	}
+	states := a.Run(t)
+	return a.Accept[states[t.Root()]]
+}
+
+// Select evaluates the unary query defined by the automaton: it returns
+// all nodes x such that running the automaton on the tree with exactly x
+// marked yields acceptance. The two-pass algorithm (bottom-up states,
+// top-down context sets) runs in time O(|A| · |dom|).
+func (a *DTA) Select(t *dom.Tree) []dom.NodeID {
+	if t.Size() == 0 {
+		return nil
+	}
+	states := a.Run(t)
+	// ctx[n][q] == true iff: assuming the binary-encoding subtree rooted
+	// at n evaluates to state q (all nodes outside that subtree keeping
+	// their unmarked states), the root state is accepting.
+	ctx := make([][]bool, t.Size())
+	for i := range ctx {
+		ctx[i] = make([]bool, a.NumStates)
+	}
+	root := t.Root()
+	for q := 0; q < a.NumStates; q++ {
+		ctx[root][q] = a.Accept[q]
+	}
+	// Top-down in document order: parents and previous siblings first.
+	for _, n := range t.InDocumentOrder() {
+		l, r := Absent, Absent
+		if c := t.FirstChild(n); c != dom.Nil {
+			l = states[c]
+		}
+		if s := t.NextSibling(n); s != dom.Nil {
+			r = states[s]
+		}
+		label := t.Label(n)
+		if c := t.FirstChild(n); c != dom.Nil {
+			for q := 0; q < a.NumStates; q++ {
+				if ctx[n][a.Step(q, r, label, false)] {
+					ctx[c][q] = true
+				}
+			}
+		}
+		if s := t.NextSibling(n); s != dom.Nil {
+			for q := 0; q < a.NumStates; q++ {
+				if ctx[n][a.Step(l, q, label, false)] {
+					ctx[s][q] = true
+				}
+			}
+		}
+	}
+	var out []dom.NodeID
+	for i := 0; i < t.Size(); i++ {
+		n := dom.NodeID(i)
+		l, r := Absent, Absent
+		if c := t.FirstChild(n); c != dom.Nil {
+			l = states[c]
+		}
+		if s := t.NextSibling(n); s != dom.Nil {
+			r = states[s]
+		}
+		if ctx[n][a.Step(l, r, t.Label(n), true)] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// SelectNaive evaluates the query by the definition: for each node,
+// re-run the automaton with that node marked. O(|A| · |dom|²); used as a
+// test oracle for Select and for the compiled datalog program.
+func (a *DTA) SelectNaive(t *dom.Tree) []dom.NodeID {
+	var out []dom.NodeID
+	order := t.InDocumentOrder()
+	for i := 0; i < t.Size(); i++ {
+		mark := dom.NodeID(i)
+		states := make([]int, t.Size())
+		for j := len(order) - 1; j >= 0; j-- {
+			n := order[j]
+			l, r := Absent, Absent
+			if c := t.FirstChild(n); c != dom.Nil {
+				l = states[c]
+			}
+			if s := t.NextSibling(n); s != dom.Nil {
+				r = states[s]
+			}
+			states[n] = a.Step(l, r, t.Label(n), n == mark)
+		}
+		if a.Accept[states[t.Root()]] {
+			out = append(out, mark)
+		}
+	}
+	return out
+}
+
+// stateName renders a state id for predicate names, mapping Absent to
+// "bot".
+func stateName(q int) string {
+	if q == Absent {
+		return "bot"
+	}
+	return fmt.Sprintf("%d", q)
+}
+
+// CompileToDatalog translates the unary query defined by the automaton
+// into an equivalent monadic datalog program over τ_ur with query
+// predicate queryPred (the Proposition 2.2 / Theorem 2.5 direction
+// "MSO ⊆ monadic datalog", for automata-presented MSO queries).
+//
+// The program has size O(|A|) — independent of any tree — and uses the
+// predicate families
+//
+//	fcstate_q(x): the binary-encoding left child of x (= first child)
+//	              has run state q, or q = bot and x is a leaf,
+//	nsstate_q(x): likewise for the right child (= next sibling),
+//	state_q(x):   the run state of x is q,
+//	ctx_q(x):     if x's subtree evaluated to q the tree would accept.
+//
+// Evaluating the compiled program with mdatalog.Eval therefore realizes
+// MSO query evaluation in time O(|A| · |dom|).
+func (a *DTA) CompileToDatalog(queryPred string) *datalog.Program {
+	var rules []datalog.Rule
+	x := datalog.Var("X")
+	x0 := datalog.Var("X0")
+	unary := func(pred string, v datalog.Term) datalog.Atom {
+		return datalog.Atom{Pred: pred, Args: []datalog.Term{v}}
+	}
+	binary := func(pred string, u, v datalog.Term) datalog.Atom {
+		return datalog.Atom{Pred: pred, Args: []datalog.Term{u, v}}
+	}
+	rule := func(head datalog.Atom, body ...datalog.Atom) {
+		rules = append(rules, datalog.Rule{Head: head, Body: body})
+	}
+
+	// fcstate_bot(x) <- leaf(x).   nsstate_bot(x) <- lastsibling(x) | root(x).
+	rule(unary("fcstate_bot", x), unary("leaf", x))
+	rule(unary("nsstate_bot", x), unary("lastsibling", x))
+	rule(unary("nsstate_bot", x), unary("root", x))
+	for q := 0; q < a.NumStates; q++ {
+		// fcstate_q(x) <- state_q(x0), firstchild(x, x0) — expressed with
+		// the atom in the (x, x0) orientation; the TMNF rewriter handles
+		// both directions.
+		rule(unary("fcstate_"+stateName(q), x), unary("state_"+stateName(q), x0), binary("firstchild", x, x0))
+		rule(unary("nsstate_"+stateName(q), x), unary("state_"+stateName(q), x0), binary("nextsibling", x, x0))
+	}
+
+	// Enumerate the (finite) relevant configurations: l, r in
+	// {Absent, 0..n-1}, label in the alphabet. Rules for the wildcard
+	// label would need "label not in alphabet", which positive monadic
+	// datalog cannot express directly, so CompileToDatalog requires the
+	// alphabet to cover every label of the trees it runs on — use
+	// CompleteAlphabetFor to extend it; the wildcard transitions then
+	// never fire and are omitted.
+	labels := append([]string{}, a.Alphabet...)
+	states := []int{Absent}
+	for q := 0; q < a.NumStates; q++ {
+		states = append(states, q)
+	}
+	for _, l := range states {
+		for _, r := range states {
+			for _, lbl := range labels {
+				for _, marked := range []bool{false, true} {
+					q := a.Step(l, r, lbl, marked)
+					// state rule (unmarked only: the base run).
+					var body []datalog.Atom
+					body = append(body, unary("fcstate_"+stateName(l), x))
+					body = append(body, unary("nsstate_"+stateName(r), x))
+					body = append(body, unary("label_"+lbl, x))
+					if !marked {
+						rule(unary("state_"+stateName(q), x), body...)
+					} else {
+						// Selection rule: selected(x) <- ctx_q(x), body.
+						selBody := append([]datalog.Atom{unary("ctx_"+stateName(q), x)}, body...)
+						rule(unary(queryPred, x), selBody...)
+					}
+					if !marked {
+						// Context propagation mirrors the top-down pass
+						// of Select: the hypothesis state of the child
+						// being propagated to is NOT constrained by the
+						// actual run — only the other side and the label
+						// are. ctx_l(firstchild of x) holds if
+						// ctx_{δ(l, r_actual, a)}(x); dually for the next
+						// sibling.
+						if l != Absent {
+							hf := fmt.Sprintf("hf_%s_%s_%s_%s", stateName(l), stateName(r), lbl, stateName(q))
+							rule(unary(hf, x),
+								unary("ctx_"+stateName(q), x),
+								unary("nsstate_"+stateName(r), x),
+								unary("label_"+lbl, x))
+							rule(unary("ctx_"+stateName(l), x), unary(hf, x0), binary("firstchild", x0, x))
+						}
+						if r != Absent {
+							hn := fmt.Sprintf("hn_%s_%s_%s_%s", stateName(l), stateName(r), lbl, stateName(q))
+							rule(unary(hn, x),
+								unary("ctx_"+stateName(q), x),
+								unary("fcstate_"+stateName(l), x),
+								unary("label_"+lbl, x))
+							rule(unary("ctx_"+stateName(r), x), unary(hn, x0), binary("nextsibling", x0, x))
+						}
+					}
+				}
+			}
+		}
+	}
+	// Root context: ctx_q(x) <- root(x) for accepting q.
+	for q := 0; q < a.NumStates; q++ {
+		if a.Accept[q] {
+			rule(unary("ctx_"+stateName(q), x), unary("root", x))
+		}
+	}
+	return pruneUndefined(&datalog.Program{Rules: rules}, queryPred)
+}
+
+// pruneUndefined removes rules whose bodies mention intensional
+// predicates with no defining rule (e.g. states unreachable in unmarked
+// runs); such atoms are unsatisfiable, so removal preserves semantics.
+// Iterates to fixpoint because pruning can orphan further predicates. It
+// always keeps at least one defining context for queryPred by emitting,
+// if everything was pruned, the empty program containing a single
+// vacuous rule — mdatalog then yields an empty selection.
+func pruneUndefined(p *datalog.Program, queryPred string) *datalog.Program {
+	rules := p.Rules
+	for {
+		defined := map[string]bool{}
+		for _, r := range rules {
+			defined[r.Head.Pred] = true
+		}
+		var kept []datalog.Rule
+		for _, r := range rules {
+			ok := true
+			for _, a := range r.Body {
+				if len(a.Args) == 1 && !defined[a.Pred] && !mdatalogIsExtensional(a.Pred) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				kept = append(kept, r)
+			}
+		}
+		if len(kept) == len(rules) {
+			break
+		}
+		rules = kept
+	}
+	hasQuery := false
+	for _, r := range rules {
+		if r.Head.Pred == queryPred {
+			hasQuery = true
+		}
+	}
+	if !hasQuery {
+		// Keep the program well-formed: an unsatisfiable definition.
+		rules = append(rules, datalog.Rule{
+			Head: datalog.Atom{Pred: queryPred, Args: []datalog.Term{datalog.Var("X")}},
+			Body: []datalog.Atom{
+				{Pred: "root", Args: []datalog.Term{datalog.Var("X")}},
+				{Pred: "__never", Args: []datalog.Term{datalog.Var("X")}},
+			},
+		})
+		rules = append(rules, datalog.Rule{
+			Head: datalog.Atom{Pred: "__never", Args: []datalog.Term{datalog.Var("X")}},
+			Body: []datalog.Atom{
+				{Pred: "__never", Args: []datalog.Term{datalog.Var("X")}},
+			},
+		})
+	}
+	return &datalog.Program{Rules: rules}
+}
+
+func mdatalogIsExtensional(pred string) bool {
+	switch pred {
+	case "root", "leaf", "lastsibling", "firstsibling", "textnode":
+		return true
+	}
+	return strings.HasPrefix(pred, "label_")
+}
+
+// CompleteAlphabetFor returns a copy of the automaton whose alphabet
+// covers every label occurring in t (new labels behave like the wildcard
+// did). CompileToDatalog requires a complete alphabet; see its comment.
+func (a *DTA) CompleteAlphabetFor(t *dom.Tree) *DTA {
+	seen := map[string]bool{}
+	for _, l := range a.Alphabet {
+		seen[l] = true
+	}
+	cp := &DTA{NumStates: a.NumStates, Alphabet: append([]string{}, a.Alphabet...), Trans: a.Trans, Sink: a.Sink, Accept: a.Accept}
+	var extra []string
+	t.Walk(func(n dom.NodeID) {
+		l := t.Label(n)
+		if !seen[l] {
+			seen[l] = true
+			extra = append(extra, l)
+		}
+	})
+	sort.Strings(extra)
+	cp.Alphabet = append(cp.Alphabet, extra...)
+	return cp
+}
+
+// String summarizes the automaton.
+func (a *DTA) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "DTA: %d states, alphabet {%s}, %d transitions, accept {",
+		a.NumStates, strings.Join(a.Alphabet, ","), len(a.Trans))
+	for q, acc := range a.Accept {
+		if acc {
+			fmt.Fprintf(&b, " %d", q)
+		}
+	}
+	b.WriteString(" }")
+	return b.String()
+}

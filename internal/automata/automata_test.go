@@ -1,0 +1,291 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dom"
+	"repro/internal/mdatalog"
+)
+
+func nodesEqual(a, b []dom.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// oracleAncestorOrSelf computes the HasAncestorLabel query directly.
+func oracleAncestorOrSelf(t *dom.Tree, label string) []dom.NodeID {
+	var out []dom.NodeID
+	for i := 0; i < t.Size(); i++ {
+		n := dom.NodeID(i)
+		for m := n; m != dom.Nil; m = t.Parent(m) {
+			if t.Label(m) == label {
+				out = append(out, n)
+				break
+			}
+		}
+	}
+	return out
+}
+
+func TestHasAncestorLabel(t *testing.T) {
+	tr := dom.MustParseTerm("r(a(b,c(d)),e,a(f))")
+	a := HasAncestorLabel("a")
+	got := a.Select(tr)
+	want := oracleAncestorOrSelf(tr, "a")
+	if !nodesEqual(got, want) {
+		t.Errorf("got %v want %v (tree %s)", got, want, tr)
+	}
+}
+
+func TestLabelIs(t *testing.T) {
+	tr := dom.MustParseTerm("r(a,b(a),c)")
+	got := LabelIs("a").Select(tr)
+	var want []dom.NodeID
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Label(n) == "a" {
+			want = append(want, n)
+		}
+	})
+	mdatalog.SortNodes(want)
+	if !nodesEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestEvenBLeaves(t *testing.T) {
+	// Two b-leaves: every node selected.
+	tr := dom.MustParseTerm("r(b,a(b))")
+	got := EvenBLeaves().Select(tr)
+	if len(got) != tr.Size() {
+		t.Errorf("even case: selected %d of %d", len(got), tr.Size())
+	}
+	// Three b-leaves: nothing selected.
+	tr2 := dom.MustParseTerm("r(b,a(b),b)")
+	if got2 := EvenBLeaves().Select(tr2); len(got2) != 0 {
+		t.Errorf("odd case: selected %v", got2)
+	}
+}
+
+func TestFirstChildOfLabel(t *testing.T) {
+	tr := dom.MustParseTerm("a(x(q),a(y,z),x)")
+	got := FirstChildOfLabel("a").Select(tr)
+	var want []dom.NodeID
+	tr.Walk(func(n dom.NodeID) {
+		p := tr.Parent(n)
+		if p != dom.Nil && tr.Label(p) == "a" && tr.IsFirstSibling(n) {
+			want = append(want, n)
+		}
+	})
+	mdatalog.SortNodes(want)
+	if !nodesEqual(got, want) {
+		t.Errorf("got %v want %v (tree %s)", got, want, tr)
+	}
+}
+
+// TestSelectMatchesNaive is the core two-pass-correctness property: the
+// linear Select must agree with the per-node re-run definition.
+func TestSelectMatchesNaive(t *testing.T) {
+	autos := map[string]*DTA{
+		"ancestor-a": HasAncestorLabel("a"),
+		"label-a":    LabelIs("a"),
+		"even-b":     EvenBLeaves(),
+		"fc-of-a":    FirstChildOfLabel("a"),
+	}
+	f := func(seed int64) bool {
+		tr := dom.RandomTree(rand.New(rand.NewSource(seed)), 1+int(seed%47+47)%47, []string{"a", "b", "c"}, 4)
+		for name, a := range autos {
+			if !nodesEqual(a.Select(tr), a.SelectNaive(tr)) {
+				t.Logf("%s disagrees on %s", name, tr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestE5CompileToDatalog: the compiled monadic datalog program must
+// select the same nodes as the automaton — Theorem 2.5's effective
+// direction, cross-validated on random trees.
+func TestE5CompileToDatalog(t *testing.T) {
+	autos := map[string]*DTA{
+		"ancestor-a": HasAncestorLabel("a"),
+		"label-a":    LabelIs("a"),
+		"even-b":     EvenBLeaves(),
+		"fc-of-a":    FirstChildOfLabel("a"),
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := dom.RandomTree(rng, 1+rng.Intn(35), []string{"a", "b", "c"}, 4)
+		for name, a := range autos {
+			ac := a.CompleteAlphabetFor(tr)
+			prog := ac.CompileToDatalog("selected")
+			got, err := mdatalog.Query(prog, tr, "selected")
+			if err != nil {
+				t.Logf("%s: eval error: %v", name, err)
+				return false
+			}
+			want := a.Select(tr)
+			if !nodesEqual(got, want) {
+				t.Logf("%s: datalog=%v automaton=%v tree=%s", name, got, want, tr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComplement(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := dom.RandomTree(rng, 1+rng.Intn(30), []string{"a", "b"}, 3)
+		a := HasAncestorLabel("a")
+		c := a.Complement()
+		sel := map[dom.NodeID]bool{}
+		for _, n := range a.Select(tr) {
+			sel[n] = true
+		}
+		csel := c.Select(tr)
+		if len(csel)+len(sel) != tr.Size() {
+			return false
+		}
+		for _, n := range csel {
+			if sel[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntersectUnion(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := dom.RandomTree(rng, 1+rng.Intn(30), []string{"a", "b"}, 3)
+		pa := HasAncestorLabel("a")
+		pb := LabelIs("b")
+		both := Intersect(pa, pb)
+		either := Union(pa, pb)
+		inA := map[dom.NodeID]bool{}
+		for _, n := range pa.Select(tr) {
+			inA[n] = true
+		}
+		inB := map[dom.NodeID]bool{}
+		for _, n := range pb.Select(tr) {
+			inB[n] = true
+		}
+		for i := 0; i < tr.Size(); i++ {
+			n := dom.NodeID(i)
+			wantBoth := inA[n] && inB[n]
+			wantEither := inA[n] || inB[n]
+			gotBoth := contains(both.Select(tr), n)
+			gotEither := contains(either.Select(tr), n)
+			if wantBoth != gotBoth || wantEither != gotEither {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func contains(ns []dom.NodeID, x dom.NodeID) bool {
+	for _, n := range ns {
+		if n == x {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDeterminize(t *testing.T) {
+	// NTA guessing: accept trees containing at least one node labeled
+	// "a" (nondeterministically pick a witness... expressed bottom-up:
+	// state 1 = an a was seen).
+	n := NewNTA(2, "a")
+	for _, l := range []int{Absent, 0, 1} {
+		for _, r := range []int{Absent, 0, 1} {
+			seen := l == 1 || r == 1
+			for _, marked := range []bool{false, true} {
+				for _, lbl := range []string{"a", Wildcard} {
+					if lbl == "a" || seen {
+						n.AddTrans(l, r, lbl, marked, 1)
+					}
+					// Nondeterministic alternative: ignore the a.
+					n.AddTrans(l, r, lbl, marked, 0)
+				}
+			}
+		}
+	}
+	n.Accept[1] = true
+	d := n.Determinize()
+	for _, tc := range []struct {
+		term string
+		want bool
+	}{
+		{"r(b,c)", false},
+		{"r(a)", true},
+		{"a", true},
+		{"r(b(c(a)),d)", true},
+		{"b", false},
+	} {
+		tr := dom.MustParseTerm(tc.term)
+		if got := d.Accepts(tr); got != tc.want {
+			t.Errorf("Accepts(%s) = %v, want %v", tc.term, got, tc.want)
+		}
+	}
+}
+
+func TestCompleteAlphabetFor(t *testing.T) {
+	a := LabelIs("a")
+	tr := dom.MustParseTerm("r(a,zzz(q))")
+	c := a.CompleteAlphabetFor(tr)
+	if len(c.Alphabet) < 4 {
+		t.Errorf("alphabet = %v", c.Alphabet)
+	}
+	if !nodesEqual(c.Select(tr), a.Select(tr)) {
+		t.Error("completion changed semantics")
+	}
+}
+
+func BenchmarkE5_AutomatonCompile(b *testing.B) {
+	tr := dom.RandomTree(rand.New(rand.NewSource(1)), 2000, []string{"a", "b", "c"}, 5)
+	a := HasAncestorLabel("a").CompleteAlphabetFor(tr)
+	prog := a.CompileToDatalog("selected")
+	b.Run("compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.CompileToDatalog("selected")
+		}
+	})
+	b.Run("eval-datalog", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mdatalog.Query(prog, tr, "selected"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("eval-automaton", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			a.Select(tr)
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package automata
+
+// This file provides ready-made query automata for common MSO queries on
+// trees. They serve three purposes: unit-test subjects, building blocks
+// for the boolean operations, and the workloads of experiment E5
+// (automaton → monadic datalog compilation).
+
+// HasAncestorLabel returns a query automaton selecting every node that
+// has a proper-or-self ancestor labeled a (the semantics the Italic
+// program of Example 2.1 aims at, here including the labeled node
+// itself).
+//
+// States: 0 = subtree contains no mark; 1 = the mark is in this subtree
+// and an a-labeled node lies on (or above, within the subtree) the path
+// so far... concretely: 1 = mark seen, still waiting for an a-ancestor;
+// 2 = mark seen and an a-node dominating it was found. Accept: 2.
+func HasAncestorLabel(a string) *DTA {
+	d := NewDTA(3, a)
+	// Transition rules, reading l = state of first child (subtree below),
+	// r = state of next sibling (rest of the forest to the right).
+	// combine(l, r): where is the mark?
+	states := []int{Absent, 0, 1, 2}
+	for _, l := range states {
+		for _, r := range states {
+			for _, marked := range []bool{false, true} {
+				for _, lbl := range []string{a, Wildcard} {
+					// Mark status of the subtree rooted at this node in
+					// the unranked tree = this node + first-child forest;
+					// the next-sibling part passes through unchanged
+					// unless it already carries the answer.
+					var markHere int
+					switch {
+					case marked:
+						markHere = 1
+					case l == Absent:
+						markHere = 0
+					default:
+						markHere = l
+					}
+					// The a-label promotes a pending mark below or at
+					// this node.
+					if lbl == a && markHere == 1 {
+						markHere = 2
+					}
+					out := markHere
+					// Merge with the sibling forest to the right; the
+					// mark is unique, so at most one side is non-zero.
+					if r != Absent && r > out {
+						out = r
+					}
+					d.SetTrans(l, r, lbl, marked, out)
+				}
+			}
+		}
+	}
+	d.Accept[2] = true
+	d.Sink = 0
+	return d
+}
+
+// LabelIs returns a query automaton selecting exactly the nodes labeled
+// a — the MSO query label_a(x).
+func LabelIs(a string) *DTA {
+	// States: 0 = no mark in subtree; 1 = mark present and its node was
+	// labeled a; 2 = mark present, label was not a.
+	d := NewDTA(3, a)
+	states := []int{Absent, 0, 1, 2}
+	merge := func(x, y int) int {
+		if x > 0 {
+			return x
+		}
+		if y > 0 {
+			return y
+		}
+		return 0
+	}
+	for _, l := range states {
+		for _, r := range states {
+			lv, rv := 0, 0
+			if l != Absent {
+				lv = l
+			}
+			if r != Absent {
+				rv = r
+			}
+			for _, marked := range []bool{false, true} {
+				for _, lbl := range []string{a, Wildcard} {
+					self := 0
+					if marked {
+						if lbl == a {
+							self = 1
+						} else {
+							self = 2
+						}
+					}
+					d.SetTrans(l, r, lbl, marked, merge(merge(self, lv), rv))
+				}
+			}
+		}
+	}
+	d.Accept[1] = true
+	return d
+}
+
+// EvenBLeaves returns a query automaton selecting the marked node iff
+// the whole tree has an even number of leaves labeled b. Parity counting
+// is the classical example of an MSO query that is not expressible in
+// first-order logic, which makes this automaton a good witness that the
+// pipeline reaches genuinely-MSO expressiveness (Section 2.1's
+// "expressiveness yardstick").
+func EvenBLeaves() *DTA {
+	// States track (parity of b-leaves in subtree-forest, mark seen):
+	// 0=(even,no) 1=(odd,no) 2=(even,yes) 3=(odd,yes).
+	d := NewDTA(4, "b")
+	get := func(q int) (parity int, mark bool) {
+		if q == Absent {
+			return 0, false
+		}
+		return q & 1, q >= 2
+	}
+	mk := func(parity int, mark bool) int {
+		q := parity
+		if mark {
+			q += 2
+		}
+		return q
+	}
+	states := []int{Absent, 0, 1, 2, 3}
+	for _, l := range states {
+		for _, r := range states {
+			lp, lm := get(l)
+			rp, rm := get(r)
+			for _, marked := range []bool{false, true} {
+				for _, lbl := range []string{"b", Wildcard} {
+					p := lp ^ rp
+					if lbl == "b" && l == Absent { // a b-labeled leaf
+						p ^= 1
+					}
+					d.SetTrans(l, r, lbl, marked, mk(p, lm || rm || marked))
+				}
+			}
+		}
+	}
+	// Accept iff mark seen and total parity even.
+	d.Accept[2] = true
+	return d
+}
+
+// FirstChildOfLabel selects nodes that are the first child of a node
+// labeled a.
+func FirstChildOfLabel(a string) *DTA {
+	// States: 0 = no mark; 1 = mark on the root of this binary subtree
+	// (i.e. the mark is exactly this node, pending parent inspection);
+	// 2 = mark seen, resolved positively; 3 = mark seen, resolved
+	// negatively. A parent resolves a pending state-1 first child.
+	d := NewDTA(4, a)
+	states := []int{Absent, 0, 1, 2, 3}
+	val := func(q int) int {
+		if q == Absent {
+			return 0
+		}
+		return q
+	}
+	for _, l := range states {
+		for _, r := range states {
+			for _, marked := range []bool{false, true} {
+				for _, lbl := range []string{a, Wildcard} {
+					lv, rv := val(l), val(r)
+					// A pending mark (state 1) is resolved exactly when
+					// its binary subtree is consumed: via the firstchild
+					// edge it IS a first child (check this node's label);
+					// via the nextsibling edge it is a later sibling —
+					// resolve negatively.
+					if lv == 1 {
+						if lbl == a {
+							lv = 2
+						} else {
+							lv = 3
+						}
+					}
+					if rv == 1 {
+						rv = 3
+					}
+					out := 0
+					switch {
+					case marked:
+						out = 1
+					case lv >= 2:
+						out = lv
+					case rv >= 2:
+						out = rv
+					}
+					d.SetTrans(l, r, lbl, marked, out)
+				}
+			}
+		}
+	}
+	// At the root, a still-pending mark (state 1) means the marked node
+	// had no parent or was not a first child along the chain... A
+	// pending state at the root can only mean the root itself was marked
+	// (no parent) — reject.
+	d.Accept[2] = true
+	return d
+}

@@ -1,0 +1,233 @@
+package automata
+
+import (
+	"sort"
+)
+
+// NTA is a nondeterministic bottom-up tree automaton over the binary
+// encoding. Transitions map a configuration to a set of possible states.
+// NTAs arise naturally when translating formulas (disjunction,
+// existential set quantification); Determinize converts them to DTAs by
+// the subset construction so that the boolean operations and the datalog
+// compilation (which need determinism) apply.
+type NTA struct {
+	NumStates int
+	Alphabet  []string
+	// Trans maps configurations to candidate target states.
+	Trans map[TransKey][]int
+	// Accept marks accepting states.
+	Accept []bool
+}
+
+// NewNTA returns an empty nondeterministic automaton.
+func NewNTA(n int, alphabet ...string) *NTA {
+	return &NTA{NumStates: n, Alphabet: alphabet, Trans: map[TransKey][]int{}, Accept: make([]bool, n)}
+}
+
+// AddTrans adds target to the transition set of the configuration.
+func (a *NTA) AddTrans(l, r int, label string, marked bool, target int) {
+	k := TransKey{l, r, label, marked}
+	a.Trans[k] = append(a.Trans[k], target)
+}
+
+// Determinize performs the subset construction, producing an equivalent
+// deterministic automaton. States of the result are sets of NTA states;
+// the empty set becomes the (rejecting) sink. Worst-case exponential, as
+// it must be.
+func (a *NTA) Determinize() *DTA {
+	type setKey string
+	encode := func(set []int) setKey {
+		sort.Ints(set)
+		b := make([]byte, 0, len(set)*2)
+		for _, q := range set {
+			b = append(b, byte(q), ',')
+		}
+		return setKey(b)
+	}
+	// Subset states discovered so far; index 0 is the empty set (sink).
+	var sets [][]int
+	index := map[setKey]int{}
+	intern := func(set []int) int {
+		k := encode(set)
+		if i, ok := index[k]; ok {
+			return i
+		}
+		i := len(sets)
+		index[k] = i
+		sets = append(sets, append([]int{}, set...))
+		return i
+	}
+	sink := intern(nil)
+
+	labels := append([]string{}, a.Alphabet...)
+	labels = append(labels, Wildcard)
+
+	// step computes the subset reached from subset-states L and R
+	// (Absent maps to "absent").
+	step := func(L, R []int, lAbsent, rAbsent bool, label string, marked bool) []int {
+		out := map[int]bool{}
+		ls := L
+		if lAbsent {
+			ls = []int{Absent}
+		}
+		rs := R
+		if rAbsent {
+			rs = []int{Absent}
+		}
+		for _, l := range ls {
+			for _, r := range rs {
+				for _, q := range a.Trans[TransKey{l, r, label, marked}] {
+					out[q] = true
+				}
+			}
+		}
+		set := make([]int, 0, len(out))
+		for q := range out {
+			set = append(set, q)
+		}
+		sort.Ints(set)
+		return set
+	}
+
+	d := NewDTA(0, a.Alphabet...)
+	d.Sink = sink
+	d.Trans = map[TransKey]int{}
+	// Worklist over discovered subset states (plus Absent) combined
+	// pairwise.
+	for changed := true; changed; {
+		changed = false
+		// Snapshot count; new sets found during the sweep trigger another
+		// sweep.
+		cnt := len(sets)
+		// Enumerate (l, r) over {Absent} ∪ discovered sets.
+		for li := -1; li < cnt; li++ {
+			for ri := -1; ri < cnt; ri++ {
+				for _, lbl := range labels {
+					for _, marked := range []bool{false, true} {
+						var L, R []int
+						lAbsent := li == -1
+						rAbsent := ri == -1
+						if !lAbsent {
+							L = sets[li]
+						}
+						if !rAbsent {
+							R = sets[ri]
+						}
+						target := step(L, R, lAbsent, rAbsent, lbl, marked)
+						ti := intern(target)
+						lKey, rKey := li, ri
+						if lAbsent {
+							lKey = Absent
+						}
+						if rAbsent {
+							rKey = Absent
+						}
+						k := TransKey{lKey, rKey, lbl, marked}
+						if prev, ok := d.Trans[k]; !ok || prev != ti {
+							d.Trans[k] = ti
+							if ti >= cnt {
+								changed = true
+							}
+						}
+					}
+				}
+			}
+		}
+		if len(sets) > cnt {
+			changed = true
+		}
+	}
+	d.NumStates = len(sets)
+	d.Accept = make([]bool, len(sets))
+	for i, set := range sets {
+		for _, q := range set {
+			if a.Accept[q] {
+				d.Accept[i] = true
+			}
+		}
+	}
+	return d
+}
+
+// Complement returns an automaton accepting exactly the trees the
+// (deterministic, complete) input rejects. Unary queries are dualized
+// too: the complement selects exactly the nodes the original did not.
+func (a *DTA) Complement() *DTA {
+	c := &DTA{NumStates: a.NumStates, Alphabet: a.Alphabet, Trans: a.Trans, Sink: a.Sink, Accept: make([]bool, a.NumStates)}
+	for i := range c.Accept {
+		c.Accept[i] = !a.Accept[i]
+	}
+	return c
+}
+
+// Product combines two deterministic automata over the same alphabet
+// into one running both in parallel; accept combines component
+// acceptance (e.g. AND for intersection, OR for union).
+func Product(a, b *DTA, accept func(bool, bool) bool) *DTA {
+	alpha := unionAlphabet(a.Alphabet, b.Alphabet)
+	n := a.NumStates * b.NumStates
+	p := NewDTA(n, alpha...)
+	pair := func(qa, qb int) int { return qa*b.NumStates + qb }
+	p.Sink = pair(a.Sink, b.Sink)
+	states := func(m int) []int {
+		out := []int{Absent}
+		for q := 0; q < m; q++ {
+			out = append(out, q)
+		}
+		return out
+	}
+	labels := append([]string{}, alpha...)
+	labels = append(labels, Wildcard)
+	split := func(q int) (int, int) {
+		return q / b.NumStates, q % b.NumStates
+	}
+	for _, l := range states(n) {
+		for _, r := range states(n) {
+			la, lb, ra, rb := Absent, Absent, Absent, Absent
+			if l != Absent {
+				la, lb = split(l)
+			}
+			if r != Absent {
+				ra, rb = split(r)
+			}
+			for _, lbl := range labels {
+				for _, marked := range []bool{false, true} {
+					qa := a.Step(la, ra, lbl, marked)
+					qb := b.Step(lb, rb, lbl, marked)
+					p.SetTrans(l, r, lbl, marked, pair(qa, qb))
+				}
+			}
+		}
+	}
+	p.Accept = make([]bool, n)
+	for qa := 0; qa < a.NumStates; qa++ {
+		for qb := 0; qb < b.NumStates; qb++ {
+			p.Accept[pair(qa, qb)] = accept(a.Accept[qa], b.Accept[qb])
+		}
+	}
+	return p
+}
+
+// Intersect returns the automaton for the conjunction of two queries.
+func Intersect(a, b *DTA) *DTA { return Product(a, b, func(x, y bool) bool { return x && y }) }
+
+// Union returns the automaton for the disjunction of two queries.
+func Union(a, b *DTA) *DTA { return Product(a, b, func(x, y bool) bool { return x || y }) }
+
+func unionAlphabet(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}

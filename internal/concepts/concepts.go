@@ -1,0 +1,253 @@
+// Package concepts implements the concept conditions of Elog
+// (Section 3.3): semantic concepts like isCountry(X) and isCurrency(X)
+// that refer to an ontological database, and syntactic concepts like
+// isDate(X) defined by regular expressions. As in Lixto, a set of
+// concepts is built in "to enrich the system, while more can be
+// interactively added" — Register adds user-defined concepts.
+//
+// The package also provides the comparison conditions (e.g. <(X, Y) on
+// dates and numbers) that Elog rules may use on concept-typed values.
+package concepts
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Base is a registry of named concepts. The zero value is unusable; use
+// NewBase (which pre-loads the built-ins) or NewEmptyBase.
+type Base struct {
+	mu    sync.RWMutex
+	preds map[string]func(string) bool
+}
+
+// NewEmptyBase returns a registry with no concepts.
+func NewEmptyBase() *Base {
+	return &Base{preds: map[string]func(string) bool{}}
+}
+
+// NewBase returns a registry with the built-in concepts: isCurrency,
+// isCountry, isCity, isDate, isNumber, isEmail, isURL, isTime.
+func NewBase() *Base {
+	b := NewEmptyBase()
+	b.Register("isCurrency", IsCurrency)
+	b.Register("isCountry", IsCountry)
+	b.Register("isCity", IsCity)
+	b.Register("isDate", IsDate)
+	b.Register("isNumber", IsNumber)
+	b.Register("isEmail", regexpConcept(`^[\w.+-]+@[\w-]+(\.[\w-]+)+$`))
+	b.Register("isURL", regexpConcept(`^(https?://|/|\./)\S+$`))
+	b.Register("isTime", regexpConcept(`^([01]?\d|2[0-3]):[0-5]\d(:[0-5]\d)?$`))
+	return b
+}
+
+// Register adds (or replaces) a semantic concept backed by an arbitrary
+// predicate.
+func (b *Base) Register(name string, pred func(string) bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.preds[name] = pred
+}
+
+// RegisterSyntactic adds a concept defined by a regular expression, the
+// way syntactic concepts are created interactively in Lixto.
+func (b *Base) RegisterSyntactic(name, pattern string) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("concepts: bad pattern for %s: %w", name, err)
+	}
+	b.Register(name, func(s string) bool { return re.MatchString(strings.TrimSpace(s)) })
+	return nil
+}
+
+// RegisterOntology adds a semantic concept defined by a finite set of
+// values (case-insensitive), resembling the ontological database lookup.
+func (b *Base) RegisterOntology(name string, values ...string) {
+	set := make(map[string]bool, len(values))
+	for _, v := range values {
+		set[strings.ToLower(v)] = true
+	}
+	b.Register(name, func(s string) bool { return set[strings.ToLower(strings.TrimSpace(s))] })
+}
+
+// Holds evaluates concept name on value; unknown concepts are false.
+func (b *Base) Holds(name, value string) bool {
+	b.mu.RLock()
+	p := b.preds[name]
+	b.mu.RUnlock()
+	return p != nil && p(value)
+}
+
+// Has reports whether a concept is registered.
+func (b *Base) Has(name string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.preds[name] != nil
+}
+
+func regexpConcept(pattern string) func(string) bool {
+	re := regexp.MustCompile(pattern)
+	return func(s string) bool { return re.MatchString(strings.TrimSpace(s)) }
+}
+
+// currencies matches the paper's examples: "strings like $, DM, Euro,
+// etc.".
+var currencies = map[string]bool{
+	"$": true, "us$": true, "usd": true, "dollar": true, "dollars": true,
+	"€": true, "euro": true, "euros": true, "eur": true,
+	"dm": true, "ats": true, "öS": true, "chf": true, "sfr": true,
+	"£": true, "gbp": true, "pound": true, "pounds": true,
+	"¥": true, "jpy": true, "yen": true,
+	"sek": true, "nok": true, "dkk": true, "czk": true, "huf": true, "pln": true,
+}
+
+// IsCurrency reports whether s denotes a currency symbol or name.
+func IsCurrency(s string) bool {
+	return currencies[strings.ToLower(strings.TrimSpace(s))]
+}
+
+// countries is a compact excerpt of the ontology; enough for the
+// applications of Section 6.
+var countries = map[string]bool{
+	"austria": true, "germany": true, "italy": true, "france": true,
+	"switzerland": true, "spain": true, "portugal": true, "greece": true,
+	"hungary": true, "czech republic": true, "slovakia": true, "slovenia": true,
+	"poland": true, "netherlands": true, "belgium": true, "luxembourg": true,
+	"denmark": true, "sweden": true, "norway": true, "finland": true,
+	"united kingdom": true, "uk": true, "ireland": true, "usa": true,
+	"united states": true, "canada": true, "japan": true, "china": true,
+	"australia": true, "brazil": true, "india": true, "russia": true,
+}
+
+// IsCountry reports whether s names a country.
+func IsCountry(s string) bool {
+	return countries[strings.ToLower(strings.TrimSpace(s))]
+}
+
+var cities = map[string]bool{
+	"vienna": true, "wien": true, "graz": true, "linz": true, "salzburg": true,
+	"innsbruck": true, "berlin": true, "munich": true, "münchen": true,
+	"frankfurt": true, "hamburg": true, "paris": true, "london": true,
+	"rome": true, "milan": true, "madrid": true, "zurich": true, "zürich": true,
+	"geneva": true, "amsterdam": true, "brussels": true, "prague": true,
+	"budapest": true, "warsaw": true, "new york": true, "tokyo": true,
+	"rende": true, "cosenza": true,
+}
+
+// IsCity reports whether s names a city known to the ontology.
+func IsCity(s string) bool {
+	return cities[strings.ToLower(strings.TrimSpace(s))]
+}
+
+// dateLayouts are the textual date formats isDate accepts.
+var dateLayouts = []string{
+	"2006-01-02", "02.01.2006", "01/02/2006", "2.1.2006",
+	"Jan 2, 2006", "January 2, 2006", "2 Jan 2006", "2 January 2006",
+}
+
+// IsDate reports whether s parses as a calendar date.
+func IsDate(s string) bool {
+	_, ok := ParseDate(s)
+	return ok
+}
+
+// ParseDate parses a date in any accepted layout.
+func ParseDate(s string) (time.Time, bool) {
+	s = strings.TrimSpace(s)
+	for _, l := range dateLayouts {
+		if t, err := time.Parse(l, s); err == nil {
+			return t, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// IsNumber reports whether s is a decimal number (allowing thousands
+// separators and a currency-style decimal comma).
+func IsNumber(s string) bool {
+	_, ok := ParseNumber(s)
+	return ok
+}
+
+// ParseNumber parses "1,234.56", "1234", "12.5", "1.234,56".
+func ParseNumber(s string) (float64, bool) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, false
+	}
+	// Heuristic: if both separators occur, the last one is the decimal
+	// point.
+	lastDot, lastComma := strings.LastIndexByte(s, '.'), strings.LastIndexByte(s, ',')
+	switch {
+	case lastDot >= 0 && lastComma >= 0:
+		if lastComma > lastDot {
+			s = strings.ReplaceAll(s, ".", "")
+			s = strings.Replace(s, ",", ".", 1)
+		} else {
+			s = strings.ReplaceAll(s, ",", "")
+		}
+	case lastComma >= 0:
+		// A single comma with exactly 3 trailing digits is a thousands
+		// separator; otherwise decimal.
+		if len(s)-lastComma-1 == 3 && strings.Count(s, ",") >= 1 && !strings.Contains(s, ".") && strings.Count(s, ",") == 1 && lastComma != 0 && len(s) > 4 {
+			s = strings.ReplaceAll(s, ",", "")
+		} else {
+			s = strings.ReplaceAll(s, ",", ".")
+		}
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	return f, err == nil
+}
+
+// Compare implements the comparison conditions of Elog on values typed
+// by concepts: dates compare chronologically, numbers numerically,
+// everything else lexicographically. op is one of < <= > >= = !=.
+func Compare(op, a, b string) (bool, error) {
+	var cmp int
+	if da, ok := ParseDate(a); ok {
+		if db, ok := ParseDate(b); ok {
+			switch {
+			case da.Before(db):
+				cmp = -1
+			case da.After(db):
+				cmp = 1
+			}
+			return applyCmp(op, cmp)
+		}
+	}
+	if na, ok := ParseNumber(a); ok {
+		if nb, ok := ParseNumber(b); ok {
+			switch {
+			case na < nb:
+				cmp = -1
+			case na > nb:
+				cmp = 1
+			}
+			return applyCmp(op, cmp)
+		}
+	}
+	cmp = strings.Compare(a, b)
+	return applyCmp(op, cmp)
+}
+
+func applyCmp(op string, cmp int) (bool, error) {
+	switch op {
+	case "<":
+		return cmp < 0, nil
+	case "<=":
+		return cmp <= 0, nil
+	case ">":
+		return cmp > 0, nil
+	case ">=":
+		return cmp >= 0, nil
+	case "=", "==":
+		return cmp == 0, nil
+	case "!=":
+		return cmp != 0, nil
+	}
+	return false, fmt.Errorf("concepts: unknown comparison operator %q", op)
+}

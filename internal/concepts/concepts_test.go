@@ -1,0 +1,110 @@
+package concepts
+
+import "testing"
+
+func TestBuiltins(t *testing.T) {
+	b := NewBase()
+	for _, tc := range []struct {
+		concept, val string
+		want         bool
+	}{
+		{"isCurrency", "$", true},
+		{"isCurrency", "Euro", true},
+		{"isCurrency", "DM", true},
+		{"isCurrency", "bananas", false},
+		{"isCountry", "Austria", true},
+		{"isCountry", "austria", true},
+		{"isCountry", "Atlantis", false},
+		{"isCity", "Vienna", true},
+		{"isCity", "Nowhere", false},
+		{"isDate", "2004-06-14", true},
+		{"isDate", "14.06.2004", true},
+		{"isDate", "Jun 14, 2004", true},
+		{"isDate", "not a date", false},
+		{"isNumber", "1,234.56", true},
+		{"isNumber", "1.234,56", true},
+		{"isNumber", "12", true},
+		{"isNumber", "x12", false},
+		{"isEmail", "office@lixto.com", true},
+		{"isEmail", "not-an-email", false},
+		{"isURL", "http://www.ebay.com/", true},
+		{"isTime", "23:59", true},
+		{"isTime", "25:00", false},
+		{"unknownConcept", "x", false},
+	} {
+		if got := b.Holds(tc.concept, tc.val); got != tc.want {
+			t.Errorf("%s(%q) = %v, want %v", tc.concept, tc.val, got, tc.want)
+		}
+	}
+}
+
+func TestRegisterSyntactic(t *testing.T) {
+	b := NewEmptyBase()
+	if err := b.RegisterSyntactic("isFlightNo", `^[A-Z]{2}\d{3,4}$`); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Holds("isFlightNo", "OS101") || b.Holds("isFlightNo", "xyz") {
+		t.Error("syntactic concept wrong")
+	}
+	if err := b.RegisterSyntactic("bad", `([`); err == nil {
+		t.Error("bad regexp accepted")
+	}
+}
+
+func TestRegisterOntology(t *testing.T) {
+	b := NewEmptyBase()
+	b.RegisterOntology("isGrape", "Riesling", "Veltliner", "Zweigelt")
+	if !b.Holds("isGrape", "riesling") || b.Holds("isGrape", "Merlot") {
+		t.Error("ontology concept wrong")
+	}
+	if !b.Has("isGrape") || b.Has("isWine") {
+		t.Error("Has wrong")
+	}
+}
+
+func TestParseNumber(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"1,234.56", 1234.56, true},
+		{"1.234,56", 1234.56, true},
+		{"1234", 1234, true},
+		{"12,5", 12.5, true},
+		{"1,234", 1234, true},
+		{"", 0, false},
+		{"abc", 0, false},
+	} {
+		got, ok := ParseNumber(tc.in)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("ParseNumber(%q) = %v, %v; want %v, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	for _, tc := range []struct {
+		op, a, b string
+		want     bool
+	}{
+		{"<", "2004-06-14", "2004-06-16", true},
+		{">", "14.06.2004", "2004-06-16", false},
+		{"<", "9", "10", true}, // numeric, not lexicographic
+		{"<", "apple", "banana", true},
+		{"=", "12.0", "12", true},
+		{"!=", "a", "b", true},
+		{">=", "10", "10", true},
+	} {
+		got, err := Compare(tc.op, tc.a, tc.b)
+		if err != nil {
+			t.Fatalf("Compare(%q,%q,%q): %v", tc.op, tc.a, tc.b, err)
+		}
+		if got != tc.want {
+			t.Errorf("Compare(%q,%q,%q) = %v, want %v", tc.op, tc.a, tc.b, got, tc.want)
+		}
+	}
+	if _, err := Compare("~", "a", "b"); err == nil {
+		t.Error("unknown operator accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package core is the public facade of the Lixto reproduction: it ties
+// together the wrapper language (internal/elog), the pattern instance
+// base and XML mapping (internal/pib), the visual builder
+// (internal/visual), and the query engines (internal/xpath,
+// internal/mdatalog) behind a small API:
+//
+//	w, _ := core.CompileWrapper(elogSource)
+//	xml, _ := w.Wrap(fetcher)              // crawl + extract + XML
+//	doc := core.ParseHTML(html)
+//	nodes, _ := core.XPath(doc, "//table//td[not(a)]")
+//	res, _ := core.MonadicDatalog(doc, program, "query")
+//
+// Downstream users who need the full control surface import the internal
+// packages directly; core covers the common paths.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/concepts"
+	"repro/internal/datalog"
+	"repro/internal/dom"
+	"repro/internal/elog"
+	"repro/internal/htmlparse"
+	"repro/internal/mdatalog"
+	"repro/internal/pib"
+	"repro/internal/xmlenc"
+	"repro/internal/xpath"
+)
+
+// Wrapper is a compiled Elog wrapper together with its XML design.
+type Wrapper struct {
+	Program *elog.Program
+	Design  *pib.Design
+	// Concepts can be extended with application-specific semantic or
+	// syntactic concepts before wrapping.
+	Concepts *concepts.Base
+	// MaxDocuments bounds crawling (0 = default).
+	MaxDocuments int
+}
+
+// CompileWrapper parses an Elog program and returns a wrapper with the
+// default XML design (document instances auxiliary, patterns emitted
+// under their own names).
+func CompileWrapper(src string) (*Wrapper, error) {
+	p, err := elog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &Wrapper{
+		Program:  p,
+		Design:   &pib.Design{Auxiliary: map[string]bool{"document": true}},
+		Concepts: concepts.NewBase(),
+	}, nil
+}
+
+// MustCompileWrapper panics on error; for examples and tests.
+func MustCompileWrapper(src string) *Wrapper {
+	w, err := CompileWrapper(src)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// SetAuxiliary marks patterns as auxiliary (not propagated to XML).
+func (w *Wrapper) SetAuxiliary(patterns ...string) *Wrapper {
+	if w.Design.Auxiliary == nil {
+		w.Design.Auxiliary = map[string]bool{}
+	}
+	for _, p := range patterns {
+		w.Design.Auxiliary[p] = true
+	}
+	return w
+}
+
+// Rename maps a pattern to a different XML element name.
+func (w *Wrapper) Rename(pattern, element string) *Wrapper {
+	if w.Design.Rename == nil {
+		w.Design.Rename = map[string]string{}
+	}
+	w.Design.Rename[pattern] = element
+	return w
+}
+
+// Extract runs the wrapper against the fetcher and returns the pattern
+// instance base.
+func (w *Wrapper) Extract(f elog.Fetcher) (*pib.Base, error) {
+	ev := elog.NewEvaluator(f)
+	if w.Concepts != nil {
+		ev.Concepts = w.Concepts
+	}
+	if w.MaxDocuments > 0 {
+		ev.MaxDocuments = w.MaxDocuments
+	}
+	return ev.Run(w.Program)
+}
+
+// Wrap extracts and transforms to XML in one call.
+func (w *Wrapper) Wrap(f elog.Fetcher) (*xmlenc.Node, error) {
+	base, err := w.Extract(f)
+	if err != nil {
+		return nil, err
+	}
+	return w.Design.Transform(base), nil
+}
+
+// WrapHTML wraps a single in-memory HTML document: every document URL
+// mentioned by the program is served this same document. Useful for
+// one-page wrappers and tests.
+func (w *Wrapper) WrapHTML(html string) (*xmlenc.Node, error) {
+	t := htmlparse.Parse(html)
+	m := elog.MapFetcher{}
+	for _, r := range w.Program.Rules {
+		if r.DocURL != "" {
+			m[r.DocURL] = t
+		}
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("core: program has no document entry points")
+	}
+	return w.Wrap(m)
+}
+
+// ParseHTML parses HTML into a document tree.
+func ParseHTML(html string) *dom.Tree { return htmlparse.Parse(html) }
+
+// XPath evaluates an XPath query (Core plus the positional/value
+// extensions) on a document, from the (virtual) root.
+func XPath(doc *dom.Tree, query string) ([]dom.NodeID, error) {
+	p, err := xpath.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	if p.IsCore() {
+		return xpath.EvalCore(p, doc, nil)
+	}
+	return xpath.EvalFull(p, doc, nil)
+}
+
+// MonadicDatalog evaluates a monadic datalog program (in the textual
+// syntax of internal/datalog, over the τ_ur signature) on a document and
+// returns the nodes selected by the query predicate, using the
+// O(|P|·|dom|) engine of Theorem 2.4.
+func MonadicDatalog(doc *dom.Tree, program, queryPred string) ([]dom.NodeID, error) {
+	p, err := datalog.Parse(program)
+	if err != nil {
+		return nil, err
+	}
+	return mdatalog.Query(p, doc, queryPred)
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/web"
+	"repro/internal/xmlenc"
+)
+
+const listWrapper = `
+page(S, X) <- document("site/list.html", S), subelem(S, .body, X)
+entry(S, X) <- page(_, S), subelem(S, ?.li, X)
+`
+
+func TestWrapHTML(t *testing.T) {
+	w := MustCompileWrapper(listWrapper).SetAuxiliary("page")
+	xml, err := w.WrapHTML(`<body><ul><li>alpha</li><li>beta</li></ul></body>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := xmlenc.MarshalIndent(xml)
+	if strings.Count(s, "<entry>") != 2 || !strings.Contains(s, "alpha") {
+		t.Errorf("xml:\n%s", s)
+	}
+}
+
+func TestRename(t *testing.T) {
+	w := MustCompileWrapper(listWrapper).SetAuxiliary("page").Rename("entry", "item")
+	xml, err := w.WrapHTML(`<body><ul><li>x</li></ul></body>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := xmlenc.Marshal(xml)
+	if !strings.Contains(s, "<item>x</item>") {
+		t.Errorf("xml: %s", s)
+	}
+}
+
+func TestWrapAgainstSimulatedWeb(t *testing.T) {
+	sim := web.New()
+	web.NewBookSite(3, 4).Register(sim, "books.example.com")
+	w := MustCompileWrapper(`
+page(S, X) <- document("books.example.com/bestsellers.html", S), subelem(S, .body, X)
+book(S, X) <- page(_, S), subelem(S, (?.tr, [(class, book, exact)]), X)
+title(S, X) <- book(_, S), subelem(S, (?.td, [(class, title, exact)]), X)
+`).SetAuxiliary("page")
+	xml, err := w.Wrap(sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(xmlenc.Marshal(xml), "<title>"); got != 4 {
+		t.Errorf("titles = %d\n%s", got, xmlenc.MarshalIndent(xml))
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := CompileWrapper("nonsense"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	w := MustCompileWrapper(`p(S, X) <- p(_, S), subelem(S, .a, X)
+q(S, X) <- p(_, S), subelem(S, .b, X)`)
+	// No document entry point: WrapHTML must fail cleanly.
+	if _, err := w.WrapHTML("<body></body>"); err == nil {
+		t.Fatal("expected no-entry-point error")
+	}
+}
+
+func TestXPathFacade(t *testing.T) {
+	doc := ParseHTML(`<body><table><tr><td>a</td><td><a href="#">l</a></td></tr></table></body>`)
+	core, err := XPath(doc, "//td[not(a)]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(core) != 1 {
+		t.Errorf("core query: %v", core)
+	}
+	ext, err := XPath(doc, "//td[1]")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ext) != 1 {
+		t.Errorf("extended query: %v", ext)
+	}
+	if _, err := XPath(doc, "///"); err == nil {
+		t.Error("bad query accepted")
+	}
+}
+
+func TestMonadicDatalogFacade(t *testing.T) {
+	doc := ParseHTML(`<body><p>x</p><i><b>y</b></i></body>`)
+	got, err := MonadicDatalog(doc, `
+italic(X) :- label_i(X).
+italic(X) :- italic(X0), firstchild(X0, X).
+italic(X) :- italic(X0), nextsibling(X0, X).
+`, "italic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Error("no italic nodes")
+	}
+	if _, err := MonadicDatalog(doc, "bad(", "q"); err == nil {
+		t.Error("bad program accepted")
+	}
+}

@@ -1,0 +1,261 @@
+package cq
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+)
+
+// EvalAcyclic evaluates an acyclic conjunctive query in time
+// O(|Q| · |dom|) by Yannakakis-style semijoin reduction over a join tree
+// rooted at the free variable: each axis semijoin is computed by a
+// single linear sweep over the tree (the acyclic-queries-in-linear-time
+// result recalled in Section 4 from [14]).
+//
+// Returns an error if the query is cyclic (use EvalGeneric there).
+// Boolean queries return [0] when satisfiable, like EvalGeneric.
+func EvalAcyclic(q *Query, t *dom.Tree) ([]dom.NodeID, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if !q.IsAcyclic() {
+		return nil, fmt.Errorf("cq: query is cyclic: %s", q)
+	}
+	if t.Size() == 0 {
+		return nil, nil
+	}
+	t.Reindex()
+	n := t.Size()
+
+	// Initial candidate sets from label atoms.
+	cand := make([][]bool, q.NumVars)
+	for v := range cand {
+		cand[v] = make([]bool, n)
+		for i := range cand[v] {
+			cand[v][i] = true
+		}
+	}
+	for _, l := range q.Labels {
+		for i := 0; i < n; i++ {
+			if t.Label(dom.NodeID(i)) != l.Label {
+				cand[l.X][i] = false
+			}
+		}
+	}
+
+	adj := make([][]int, q.NumVars)
+	for i, e := range q.Edges {
+		adj[e.X] = append(adj[e.X], i)
+		adj[e.Y] = append(adj[e.Y], i)
+	}
+
+	// Process each connected component, rooting the component containing
+	// the free variable at it.
+	visited := make([]bool, q.NumVars)
+	edgeDone := make([]bool, len(q.Edges))
+
+	// semijoinUp reduces the candidate set of v by its subtree below in
+	// the join tree (post-order).
+	var semijoinUp func(v Var)
+	semijoinUp = func(v Var) {
+		visited[v] = true
+		for _, ei := range adj[v] {
+			if edgeDone[ei] {
+				continue
+			}
+			edgeDone[ei] = true
+			e := q.Edges[ei]
+			w := e.Y
+			if w == v {
+				w = e.X
+			}
+			if visited[w] {
+				// Can only happen in cyclic queries, excluded above.
+				continue
+			}
+			semijoinUp(w)
+			var reduced []bool
+			if e.X == v {
+				// Axis(v, w): keep v-candidates with some axis-image in
+				// cand[w].
+				reduced = preimageSet(t, e.Axis, cand[w])
+			} else {
+				reduced = imageSet(t, e.Axis, cand[w])
+			}
+			for i := 0; i < n; i++ {
+				cand[v][i] = cand[v][i] && reduced[i]
+			}
+		}
+	}
+
+	root := q.Free
+	if root < 0 {
+		root = 0
+	}
+	semijoinUp(root)
+	rootEmpty := true
+	for i := 0; i < n; i++ {
+		if cand[root][i] {
+			rootEmpty = false
+			break
+		}
+	}
+	// Remaining components must each be independently satisfiable.
+	othersOK := true
+	for v := 0; v < q.NumVars; v++ {
+		if visited[v] {
+			continue
+		}
+		semijoinUp(Var(v))
+		any := false
+		for i := 0; i < n; i++ {
+			if cand[v][i] {
+				any = true
+				break
+			}
+		}
+		if !any {
+			othersOK = false
+		}
+	}
+	if q.Free < 0 {
+		if !rootEmpty && othersOK {
+			return []dom.NodeID{0}, nil
+		}
+		return nil, nil
+	}
+	if rootEmpty || !othersOK {
+		return nil, nil
+	}
+	var out []dom.NodeID
+	for i := 0; i < n; i++ {
+		if cand[root][i] {
+			out = append(out, dom.NodeID(i))
+		}
+	}
+	return t.SortDocOrder(out), nil
+}
+
+// imageSet returns the characteristic vector of {y : ∃x∈S Axis(x, y)},
+// computed in O(|dom|).
+func imageSet(t *dom.Tree, a Axis, s []bool) []bool {
+	n := t.Size()
+	out := make([]bool, n)
+	switch a {
+	case Child:
+		for i := 0; i < n; i++ {
+			if p := t.Parent(dom.NodeID(i)); p != dom.Nil && s[p] {
+				out[i] = true
+			}
+		}
+	case ChildPlus, ChildStar:
+		// out[y] = some proper ancestor in S; doc order guarantees
+		// parents precede children only when ids are in doc order, so
+		// use InDocumentOrder for safety.
+		for _, y := range t.InDocumentOrder() {
+			p := t.Parent(y)
+			if p != dom.Nil && (s[p] || out[p]) {
+				out[y] = true
+			}
+		}
+		if a == ChildStar {
+			orInto(out, s)
+		}
+	case NextSibling:
+		for i := 0; i < n; i++ {
+			if p := t.PrevSibling(dom.NodeID(i)); p != dom.Nil && s[p] {
+				out[i] = true
+			}
+		}
+	case NextSiblingPlus, NextSiblingStar:
+		for _, y := range t.InDocumentOrder() {
+			p := t.PrevSibling(y)
+			if p != dom.Nil && (s[p] || out[p]) {
+				out[y] = true
+			}
+		}
+		if a == NextSiblingStar {
+			orInto(out, s)
+		}
+	case Following:
+		// out[y] ⇔ ∃x∈S: pre[x] < pre[y] ∧ post[x] < post[y]. Sweep in
+		// document order keeping the minimum post among S-nodes seen.
+		minPost := int(^uint(0) >> 1)
+		for _, y := range t.InDocumentOrder() {
+			if minPost < t.Post(y) {
+				out[y] = true
+			}
+			if s[y] && t.Post(y) < minPost {
+				minPost = t.Post(y)
+			}
+		}
+	}
+	return out
+}
+
+// preimageSet returns the characteristic vector of {x : ∃y∈S Axis(x, y)}
+// in O(|dom|).
+func preimageSet(t *dom.Tree, a Axis, s []bool) []bool {
+	n := t.Size()
+	out := make([]bool, n)
+	order := t.InDocumentOrder()
+	switch a {
+	case Child:
+		for i := 0; i < n; i++ {
+			if s[i] {
+				if p := t.Parent(dom.NodeID(i)); p != dom.Nil {
+					out[p] = true
+				}
+			}
+		}
+	case ChildPlus, ChildStar:
+		// out[x] = some proper descendant in S: reverse doc order.
+		for i := len(order) - 1; i >= 0; i-- {
+			y := order[i]
+			if p := t.Parent(y); p != dom.Nil && (s[y] || out[y]) {
+				out[p] = true
+			}
+		}
+		if a == ChildStar {
+			orInto(out, s)
+		}
+	case NextSibling:
+		for i := 0; i < n; i++ {
+			if s[i] {
+				if p := t.PrevSibling(dom.NodeID(i)); p != dom.Nil {
+					out[p] = true
+				}
+			}
+		}
+	case NextSiblingPlus, NextSiblingStar:
+		for i := len(order) - 1; i >= 0; i-- {
+			y := order[i]
+			if p := t.PrevSibling(y); p != dom.Nil && (s[y] || out[y]) {
+				out[p] = true
+			}
+		}
+		if a == NextSiblingStar {
+			orInto(out, s)
+		}
+	case Following:
+		// out[x] ⇔ ∃y∈S: pre[y] > pre[x] ∧ post[y] > post[x]. Sweep in
+		// reverse document order keeping the maximum post among S-nodes.
+		maxPost := -1
+		for i := len(order) - 1; i >= 0; i-- {
+			x := order[i]
+			if maxPost > t.Post(x) {
+				out[x] = true
+			}
+			if s[x] && t.Post(x) > maxPost {
+				maxPost = t.Post(x)
+			}
+		}
+	}
+	return out
+}
+
+func orInto(dst, src []bool) {
+	for i := range dst {
+		dst[i] = dst[i] || src[i]
+	}
+}

@@ -1,0 +1,222 @@
+// Package cq implements conjunctive queries over trees with the XPath
+// axis relations of Section 4 of the paper:
+//
+//	Child, Child+, Child*, Nextsibling, Nextsibling+, Nextsibling*,
+//	Following
+//
+// It provides
+//
+//   - a generic backtracking evaluator for arbitrary (possibly cyclic)
+//     conjunctive queries — exponential in query size in the worst case,
+//     as it must be on the NP-hard side of the dichotomy of [18],
+//   - a Yannakakis-style semijoin evaluator for acyclic queries running
+//     in time O(|Q| · |dom|) (the acyclic case that [14] shows to be in
+//     linear time; by Corollary 4.5 every CQ over trees is equivalent to
+//     an acyclic positive query, though not polynomially so),
+//   - the tractability classifier of the [18] dichotomy: a class of CQs
+//     over an axis set F is polynomial iff F is contained in one of
+//     {Child+, Child*}, {Child, Nextsibling, Nextsibling+,
+//     Nextsibling*}, or {Following}.
+//
+// Experiment E11 uses the two evaluators to exhibit the dichotomy
+// empirically.
+package cq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+)
+
+// Axis enumerates the binary tree relations ("axes") of Section 4.
+type Axis int
+
+const (
+	// Child is Child(x, y): y is a child of x.
+	Child Axis = iota
+	// ChildPlus is Child+(x, y): y is a proper descendant of x.
+	ChildPlus
+	// ChildStar is Child*(x, y): y is x or a descendant of x.
+	ChildStar
+	// NextSibling is Nextsibling(x, y): y immediately follows x among
+	// the children of their common parent.
+	NextSibling
+	// NextSiblingPlus is Nextsibling+(x, y).
+	NextSiblingPlus
+	// NextSiblingStar is Nextsibling*(x, y).
+	NextSiblingStar
+	// Following is the XPath following axis (see dom.Following).
+	Following
+)
+
+var axisNames = map[Axis]string{
+	Child: "Child", ChildPlus: "Child+", ChildStar: "Child*",
+	NextSibling: "Nextsibling", NextSiblingPlus: "Nextsibling+",
+	NextSiblingStar: "Nextsibling*", Following: "Following",
+}
+
+func (a Axis) String() string { return axisNames[a] }
+
+// Holds evaluates the axis relation on a pair of nodes in O(1) (after
+// the tree's first Reindex).
+func (a Axis) Holds(t *dom.Tree, x, y dom.NodeID) bool {
+	switch a {
+	case Child:
+		return t.IsChild(x, y)
+	case ChildPlus:
+		return t.IsAncestor(x, y)
+	case ChildStar:
+		return t.IsAncestorOrSelf(x, y)
+	case NextSibling:
+		return t.NextSibling(x) == y
+	case NextSiblingPlus:
+		return t.FollowingSibling(x, y)
+	case NextSiblingStar:
+		return x == y || t.FollowingSibling(x, y)
+	case Following:
+		return t.Following(x, y)
+	}
+	return false
+}
+
+// Var identifies a query variable (0-based).
+type Var int
+
+// EdgeAtom is a binary atom Axis(X, Y).
+type EdgeAtom struct {
+	Axis Axis
+	X, Y Var
+}
+
+// LabelAtom is a unary atom label_Label(X).
+type LabelAtom struct {
+	X     Var
+	Label string
+}
+
+// Query is a conjunctive query over tree axes and unary label relations.
+// Free is the free variable for unary queries, or -1 for boolean
+// queries.
+type Query struct {
+	NumVars int
+	Edges   []EdgeAtom
+	Labels  []LabelAtom
+	Free    Var
+}
+
+// Size returns the number of atoms, the |Q| of combined complexity.
+func (q *Query) Size() int { return len(q.Edges) + len(q.Labels) }
+
+func (q *Query) String() string {
+	var parts []string
+	for _, l := range q.Labels {
+		parts = append(parts, fmt.Sprintf("label_%s(x%d)", l.Label, l.X))
+	}
+	for _, e := range q.Edges {
+		parts = append(parts, fmt.Sprintf("%s(x%d,x%d)", e.Axis, e.X, e.Y))
+	}
+	head := "Q()"
+	if q.Free >= 0 {
+		head = fmt.Sprintf("Q(x%d)", q.Free)
+	}
+	return head + " <- " + strings.Join(parts, ", ")
+}
+
+// Axes returns the set of axes used by the query.
+func (q *Query) Axes() map[Axis]bool {
+	s := map[Axis]bool{}
+	for _, e := range q.Edges {
+		s[e.Axis] = true
+	}
+	return s
+}
+
+// maximalPolySets are the subset-maximal polynomial axis sets of the
+// [18] dichotomy, as listed in Section 4.
+var maximalPolySets = [][]Axis{
+	{ChildPlus, ChildStar},
+	{Child, NextSibling, NextSiblingPlus, NextSiblingStar},
+	{Following},
+}
+
+// IsTractableAxisSet reports whether the query's axis set falls within
+// one of the three maximal polynomial classes. Queries outside all three
+// (e.g. using both Child and Child+) belong to the NP-complete side of
+// the dichotomy.
+func (q *Query) IsTractableAxisSet() bool {
+	used := q.Axes()
+	for _, set := range maximalPolySets {
+		ok := true
+		for a := range used {
+			member := false
+			for _, b := range set {
+				if a == b {
+					member = true
+					break
+				}
+			}
+			if !member {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// IsAcyclic reports whether the query's atom multigraph over variables
+// is acyclic and connected components are trees (multi-edges count as
+// cycles). Acyclic queries evaluate in linear time via EvalAcyclic.
+func (q *Query) IsAcyclic() bool {
+	parent := make([]int, q.NumVars)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range q.Edges {
+		a, b := find(int(e.X)), find(int(e.Y))
+		if a == b {
+			return false
+		}
+		parent[a] = b
+	}
+	return true
+}
+
+// Validate checks variable ranges.
+func (q *Query) Validate() error {
+	check := func(v Var) error {
+		if v < 0 || int(v) >= q.NumVars {
+			return fmt.Errorf("cq: variable x%d out of range (NumVars=%d)", v, q.NumVars)
+		}
+		return nil
+	}
+	for _, e := range q.Edges {
+		if err := check(e.X); err != nil {
+			return err
+		}
+		if err := check(e.Y); err != nil {
+			return err
+		}
+	}
+	for _, l := range q.Labels {
+		if err := check(l.X); err != nil {
+			return err
+		}
+	}
+	if q.Free >= 0 {
+		return check(q.Free)
+	}
+	return nil
+}

@@ -1,0 +1,370 @@
+package cq
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dom"
+)
+
+func nodesEqual(a, b []dom.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// oracle evaluates a query by complete enumeration over all variable
+// assignments — the definition, O(n^k).
+func oracle(q *Query, t *dom.Tree) []dom.NodeID {
+	n := t.Size()
+	assign := make([]dom.NodeID, q.NumVars)
+	var witnesses []dom.NodeID
+	seen := map[dom.NodeID]bool{}
+	satisfied := false
+	var rec func(v int)
+	rec = func(v int) {
+		if v == q.NumVars {
+			for _, l := range q.Labels {
+				if t.Label(assign[l.X]) != l.Label {
+					return
+				}
+			}
+			for _, e := range q.Edges {
+				if !e.Axis.Holds(t, assign[e.X], assign[e.Y]) {
+					return
+				}
+			}
+			satisfied = true
+			if q.Free >= 0 && !seen[assign[q.Free]] {
+				seen[assign[q.Free]] = true
+				witnesses = append(witnesses, assign[q.Free])
+			}
+			return
+		}
+		for i := 0; i < n; i++ {
+			assign[v] = dom.NodeID(i)
+			rec(v + 1)
+		}
+	}
+	rec(0)
+	if q.Free < 0 {
+		if satisfied {
+			return []dom.NodeID{0}
+		}
+		return nil
+	}
+	t.SortDocOrder(witnesses)
+	return witnesses
+}
+
+func TestAxisHoldsAgainstImages(t *testing.T) {
+	tr := dom.MustParseTerm("a(b(c,d),e(f(g)),h)")
+	tr.Reindex()
+	for a := Child; a <= Following; a++ {
+		for x := 0; x < tr.Size(); x++ {
+			img := map[dom.NodeID]bool{}
+			for _, y := range axisImage(tr, a, dom.NodeID(x)) {
+				img[y] = true
+			}
+			for y := 0; y < tr.Size(); y++ {
+				if got := a.Holds(tr, dom.NodeID(x), dom.NodeID(y)); got != img[dom.NodeID(y)] {
+					t.Fatalf("%s(%d,%d): Holds=%v image=%v", a, x, y, got, img[dom.NodeID(y)])
+				}
+			}
+			pre := map[dom.NodeID]bool{}
+			for _, y := range axisPreimage(tr, a, dom.NodeID(x)) {
+				pre[y] = true
+			}
+			for y := 0; y < tr.Size(); y++ {
+				if got := a.Holds(tr, dom.NodeID(y), dom.NodeID(x)); got != pre[dom.NodeID(y)] {
+					t.Fatalf("%s preimage(%d): node %d: Holds=%v preimage=%v", a, x, y, got, pre[dom.NodeID(y)])
+				}
+			}
+		}
+	}
+}
+
+// randomQuery generates a random acyclic query (tree over vars).
+func randomAcyclicQuery(rng *rand.Rand, maxVars int, axes []Axis, labels []string) *Query {
+	nv := 1 + rng.Intn(maxVars)
+	q := &Query{NumVars: nv, Free: Var(rng.Intn(nv))}
+	if rng.Intn(5) == 0 {
+		q.Free = -1
+	}
+	for v := 1; v < nv; v++ {
+		other := Var(rng.Intn(v))
+		ax := axes[rng.Intn(len(axes))]
+		if rng.Intn(2) == 0 {
+			q.Edges = append(q.Edges, EdgeAtom{Axis: ax, X: other, Y: Var(v)})
+		} else {
+			q.Edges = append(q.Edges, EdgeAtom{Axis: ax, X: Var(v), Y: other})
+		}
+	}
+	for i := 0; i < rng.Intn(3); i++ {
+		q.Labels = append(q.Labels, LabelAtom{X: Var(rng.Intn(nv)), Label: labels[rng.Intn(len(labels))]})
+	}
+	return q
+}
+
+var allAxes = []Axis{Child, ChildPlus, ChildStar, NextSibling, NextSiblingPlus, NextSiblingStar, Following}
+
+// TestGenericMatchesOracle validates the backtracking evaluator against
+// brute-force enumeration on small instances.
+func TestGenericMatchesOracle(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := dom.RandomTree(rng, 1+rng.Intn(9), []string{"a", "b"}, 3)
+		q := randomAcyclicQuery(rng, 3, allAxes, []string{"a", "b"})
+		got, err := EvalGeneric(q, tr)
+		if err != nil {
+			return false
+		}
+		want := oracle(q, tr)
+		if !nodesEqual(got, want) {
+			t.Logf("query %s tree %s: got %v want %v", q, tr, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAcyclicMatchesGeneric is the central differential property:
+// the linear-time semijoin evaluator agrees with backtracking on random
+// acyclic queries and trees.
+func TestAcyclicMatchesGeneric(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := dom.RandomTree(rng, 1+rng.Intn(50), []string{"a", "b", "c"}, 4)
+		q := randomAcyclicQuery(rng, 5, allAxes, []string{"a", "b", "c"})
+		fast, err := EvalAcyclic(q, tr)
+		if err != nil {
+			t.Logf("acyclic refused %s: %v", q, err)
+			return false
+		}
+		slow, err := EvalGeneric(q, tr)
+		if err != nil {
+			return false
+		}
+		if !nodesEqual(fast, slow) {
+			t.Logf("query %s tree %s: acyclic %v generic %v", q, tr, fast, slow)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAcyclicRejectsCycles(t *testing.T) {
+	q := &Query{NumVars: 2, Free: 0, Edges: []EdgeAtom{
+		{Axis: Child, X: 0, Y: 1},
+		{Axis: ChildPlus, X: 0, Y: 1},
+	}}
+	if _, err := EvalAcyclic(q, dom.MustParseTerm("a(b)")); err == nil {
+		t.Fatal("cyclic query accepted")
+	}
+}
+
+func TestDichotomyClassifier(t *testing.T) {
+	mk := func(axes ...Axis) *Query {
+		q := &Query{NumVars: len(axes) + 1, Free: 0}
+		for i, a := range axes {
+			q.Edges = append(q.Edges, EdgeAtom{Axis: a, X: Var(i), Y: Var(i + 1)})
+		}
+		return q
+	}
+	tractable := []*Query{
+		mk(ChildPlus, ChildStar),
+		mk(Child, NextSibling, NextSiblingPlus, NextSiblingStar),
+		mk(Following, Following),
+		mk(ChildStar),
+		mk(),
+	}
+	hard := []*Query{
+		mk(Child, ChildPlus), // the canonical NP-hard pair [28]
+		mk(Child, ChildStar),
+		mk(ChildPlus, NextSibling),
+		mk(Following, Child),
+		mk(Following, NextSiblingStar),
+	}
+	for _, q := range tractable {
+		if !q.IsTractableAxisSet() {
+			t.Errorf("%s should be tractable", q)
+		}
+	}
+	for _, q := range hard {
+		if q.IsTractableAxisSet() {
+			t.Errorf("%s should be NP-hard", q)
+		}
+	}
+}
+
+func TestBooleanQueries(t *testing.T) {
+	tr := dom.MustParseTerm("a(b(c),d)")
+	// ∃x,y: label_b(x) ∧ Child(x,y) ∧ label_c(y) — true.
+	q := &Query{NumVars: 2, Free: -1,
+		Edges:  []EdgeAtom{{Axis: Child, X: 0, Y: 1}},
+		Labels: []LabelAtom{{X: 0, Label: "b"}, {X: 1, Label: "c"}}}
+	for name, eval := range map[string]func(*Query, *dom.Tree) ([]dom.NodeID, error){
+		"generic": EvalGeneric, "acyclic": EvalAcyclic,
+	} {
+		got, err := eval(q, tr)
+		if err != nil || len(got) != 1 {
+			t.Errorf("%s: got %v, %v", name, got, err)
+		}
+	}
+	q.Labels[1].Label = "d" // b has no d child
+	for name, eval := range map[string]func(*Query, *dom.Tree) ([]dom.NodeID, error){
+		"generic": EvalGeneric, "acyclic": EvalAcyclic,
+	} {
+		got, err := eval(q, tr)
+		if err != nil || len(got) != 0 {
+			t.Errorf("%s negative: got %v, %v", name, got, err)
+		}
+	}
+}
+
+func TestContradictoryLabels(t *testing.T) {
+	q := &Query{NumVars: 1, Free: 0, Labels: []LabelAtom{{X: 0, Label: "a"}, {X: 0, Label: "b"}}}
+	got, err := EvalGeneric(q, dom.MustParseTerm("a(b)"))
+	if err != nil || got != nil {
+		t.Errorf("got %v, %v", got, err)
+	}
+}
+
+func TestValidateRejectsBadVars(t *testing.T) {
+	q := &Query{NumVars: 1, Free: 0, Edges: []EdgeAtom{{Axis: Child, X: 0, Y: 5}}}
+	if _, err := EvalGeneric(q, dom.MustParseTerm("a")); err == nil {
+		t.Fatal("out-of-range variable accepted")
+	}
+}
+
+// hardQuery builds the NP-hard-side query family used in experiment E11:
+// a chain alternating Child and ChildPlus with same-label constraints;
+// on a suitably ambiguous tree the backtracker must explore many partial
+// matches.
+func hardQuery(k int) *Query {
+	q := &Query{NumVars: k + 1, Free: -1}
+	for i := 0; i < k; i++ {
+		ax := Child
+		if i%2 == 1 {
+			ax = ChildPlus
+		}
+		q.Edges = append(q.Edges, EdgeAtom{Axis: ax, X: Var(i), Y: Var(i + 1)})
+		q.Labels = append(q.Labels, LabelAtom{X: Var(i), Label: "a"})
+	}
+	q.Labels = append(q.Labels, LabelAtom{X: Var(k), Label: "b"})
+	return q
+}
+
+// tractableQuery builds a same-length query within a single tractable
+// axis class ({child, nextsibling*}), acyclic, evaluated by EvalAcyclic.
+func tractableQuery(k int) *Query {
+	q := &Query{NumVars: k + 1, Free: 0}
+	for i := 0; i < k; i++ {
+		ax := Child
+		if i%2 == 1 {
+			ax = NextSiblingStar
+		}
+		q.Edges = append(q.Edges, EdgeAtom{Axis: ax, X: Var(i), Y: Var(i + 1)})
+		q.Labels = append(q.Labels, LabelAtom{X: Var(i), Label: "a"})
+	}
+	return q
+}
+
+func BenchmarkE11_CQDichotomy(b *testing.B) {
+	// The tree: a deep "all-a" comb so that Child/ChildPlus chains have
+	// exponentially many embeddings.
+	tr := dom.RandomTree(rand.New(rand.NewSource(2)), 300, []string{"a"}, 2)
+	// Relabel some leaves to b so hard queries are (barely) satisfiable.
+	for _, q := range []int{0} {
+		_ = q
+	}
+	for _, k := range []int{2, 4, 6, 8} {
+		hq := hardQuery(k)
+		b.Run("nphard-side-k"+itoa(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EvalGeneric(hq, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		tq := tractableQuery(k)
+		b.Run("poly-side-k"+itoa(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EvalAcyclic(tq, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestDisconnectedBooleanQuery(t *testing.T) {
+	// Q() <- label_a(x0), label_b(x1): two independent components; true
+	// iff both labels occur somewhere.
+	q := &Query{NumVars: 2, Free: -1, Labels: []LabelAtom{{X: 0, Label: "a"}, {X: 1, Label: "b"}}}
+	both := dom.MustParseTerm("r(a,b)")
+	onlyA := dom.MustParseTerm("r(a,a)")
+	for name, eval := range map[string]func(*Query, *dom.Tree) ([]dom.NodeID, error){
+		"generic": EvalGeneric, "acyclic": EvalAcyclic,
+	} {
+		got, err := eval(q, both)
+		if err != nil || len(got) != 1 {
+			t.Errorf("%s on both: %v %v", name, got, err)
+		}
+		got, err = eval(q, onlyA)
+		if err != nil || len(got) != 0 {
+			t.Errorf("%s on onlyA: %v %v", name, got, err)
+		}
+	}
+}
+
+func TestDisconnectedUnaryQuery(t *testing.T) {
+	// Q(x0) <- label_a(x0), label_b(x1): witnesses for x0 exist only if
+	// some b exists elsewhere.
+	q := &Query{NumVars: 2, Free: 0, Labels: []LabelAtom{{X: 0, Label: "a"}, {X: 1, Label: "b"}}}
+	tr := dom.MustParseTerm("r(a,b,a)")
+	for name, eval := range map[string]func(*Query, *dom.Tree) ([]dom.NodeID, error){
+		"generic": EvalGeneric, "acyclic": EvalAcyclic,
+	} {
+		got, err := eval(q, tr)
+		if err != nil || len(got) != 2 {
+			t.Errorf("%s: %v %v", name, got, err)
+		}
+	}
+	tr2 := dom.MustParseTerm("r(a,a)")
+	for name, eval := range map[string]func(*Query, *dom.Tree) ([]dom.NodeID, error){
+		"generic": EvalGeneric, "acyclic": EvalAcyclic,
+	} {
+		got, err := eval(q, tr2)
+		if err != nil || len(got) != 0 {
+			t.Errorf("%s without b: %v %v", name, got, err)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package cq
+
+import (
+	"repro/internal/dom"
+)
+
+// EvalGeneric evaluates an arbitrary conjunctive query by backtracking
+// search with adjacency-driven candidate generation. For unary queries it
+// returns the set of witnesses for the free variable; for boolean
+// queries it returns a single pseudo-result [0] if the query is
+// satisfiable on t and nil otherwise.
+//
+// Worst-case time is O(|dom|^k) for k variables — necessarily so for the
+// NP-hard query classes of the dichotomy (experiment E11 measures this
+// growth); on tree-shaped queries the candidate propagation typically
+// prunes well.
+func EvalGeneric(q *Query, t *dom.Tree) ([]dom.NodeID, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if t.Size() == 0 {
+		return nil, nil
+	}
+	t.Reindex()
+	// Per-variable static candidate filters from label atoms.
+	labelOf := make([]string, q.NumVars)
+	labelSet := make([]bool, q.NumVars)
+	for _, l := range q.Labels {
+		if labelSet[l.X] && labelOf[l.X] != l.Label {
+			// Two different labels on one variable: unsatisfiable.
+			return nil, nil
+		}
+		labelOf[l.X] = l.Label
+		labelSet[l.X] = true
+	}
+	// adjacency: edges incident to each variable.
+	adj := make([][]int, q.NumVars)
+	for i, e := range q.Edges {
+		adj[e.X] = append(adj[e.X], i)
+		adj[e.Y] = append(adj[e.Y], i)
+	}
+	// Variable order: free variable last is good for collecting
+	// witnesses cheaply — but starting from it lets us prune per witness;
+	// we order by: free first, then BFS over the constraint graph,
+	// isolated variables last.
+	order := make([]Var, 0, q.NumVars)
+	seen := make([]bool, q.NumVars)
+	var queue []Var
+	push := func(v Var) {
+		if !seen[v] {
+			seen[v] = true
+			queue = append(queue, v)
+		}
+	}
+	if q.Free >= 0 {
+		push(q.Free)
+	}
+	for v := 0; v < q.NumVars; v++ {
+		push(Var(v))
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			order = append(order, u)
+			for _, ei := range adj[u] {
+				push(q.Edges[ei].X)
+				push(q.Edges[ei].Y)
+			}
+		}
+	}
+
+	assign := make([]dom.NodeID, q.NumVars)
+	for i := range assign {
+		assign[i] = dom.Nil
+	}
+	var witnesses []dom.NodeID
+	witnessSet := map[dom.NodeID]bool{}
+
+	matches := func(v Var, n dom.NodeID) bool {
+		if labelSet[v] && t.Label(n) != labelOf[v] {
+			return false
+		}
+		for _, ei := range adj[v] {
+			e := q.Edges[ei]
+			if e.X == v && e.Y == v {
+				if !e.Axis.Holds(t, n, n) {
+					return false
+				}
+				continue
+			}
+			if e.X == v && assign[e.Y] != dom.Nil {
+				if !e.Axis.Holds(t, n, assign[e.Y]) {
+					return false
+				}
+			}
+			if e.Y == v && assign[e.X] != dom.Nil {
+				if !e.Axis.Holds(t, assign[e.X], n) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+
+	// rec returns true when the caller should stop the whole search:
+	// for boolean queries, as soon as one full assignment is found; for
+	// unary queries, never (all witnesses are wanted), but subtrees of
+	// the search below a recorded witness are cut by witnessed().
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(order) {
+			if q.Free < 0 {
+				return true
+			}
+			w := assign[q.Free]
+			if !witnessSet[w] {
+				witnessSet[w] = true
+				witnesses = append(witnesses, w)
+			}
+			return false
+		}
+		v := order[k]
+		for _, n := range candidates(q, t, adj, assign, v) {
+			// Skip free-variable values that are already witnesses: the
+			// free variable is first in the order, so the whole subtree
+			// below would only re-derive the same witness.
+			if v == q.Free && witnessSet[n] {
+				continue
+			}
+			if !matches(v, n) {
+				continue
+			}
+			assign[v] = n
+			stop := rec(k + 1)
+			assign[v] = dom.Nil
+			if stop {
+				return true
+			}
+		}
+		return false
+	}
+	sat := rec(0)
+	if q.Free < 0 {
+		if sat {
+			return []dom.NodeID{0}, nil
+		}
+		return nil, nil
+	}
+	t.SortDocOrder(witnesses)
+	return witnesses, nil
+}
+
+// candidates produces the nodes to try for variable v given the current
+// partial assignment: the axis image/preimage of the first bound
+// neighbor, or all nodes.
+func candidates(q *Query, t *dom.Tree, adj [][]int, assign []dom.NodeID, v Var) []dom.NodeID {
+	for _, ei := range adj[v] {
+		e := q.Edges[ei]
+		if e.X == v && e.Y != v && assign[e.Y] != dom.Nil {
+			return axisPreimage(t, e.Axis, assign[e.Y])
+		}
+		if e.Y == v && e.X != v && assign[e.X] != dom.Nil {
+			return axisImage(t, e.Axis, assign[e.X])
+		}
+	}
+	all := make([]dom.NodeID, t.Size())
+	for i := range all {
+		all[i] = dom.NodeID(i)
+	}
+	return all
+}
+
+// axisImage returns {y : Axis(x, y)}.
+func axisImage(t *dom.Tree, a Axis, x dom.NodeID) []dom.NodeID {
+	switch a {
+	case Child:
+		return t.Children(x)
+	case ChildPlus:
+		return t.Descendants(x)
+	case ChildStar:
+		return append([]dom.NodeID{x}, t.Descendants(x)...)
+	case NextSibling:
+		if s := t.NextSibling(x); s != dom.Nil {
+			return []dom.NodeID{s}
+		}
+		return nil
+	case NextSiblingPlus:
+		var out []dom.NodeID
+		for s := t.NextSibling(x); s != dom.Nil; s = t.NextSibling(s) {
+			out = append(out, s)
+		}
+		return out
+	case NextSiblingStar:
+		out := []dom.NodeID{x}
+		for s := t.NextSibling(x); s != dom.Nil; s = t.NextSibling(s) {
+			out = append(out, s)
+		}
+		return out
+	case Following:
+		var out []dom.NodeID
+		for i := 0; i < t.Size(); i++ {
+			if t.Following(x, dom.NodeID(i)) {
+				out = append(out, dom.NodeID(i))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// axisPreimage returns {x : Axis(x, y)}.
+func axisPreimage(t *dom.Tree, a Axis, y dom.NodeID) []dom.NodeID {
+	switch a {
+	case Child:
+		if p := t.Parent(y); p != dom.Nil {
+			return []dom.NodeID{p}
+		}
+		return nil
+	case ChildPlus:
+		var out []dom.NodeID
+		for p := t.Parent(y); p != dom.Nil; p = t.Parent(p) {
+			out = append(out, p)
+		}
+		return out
+	case ChildStar:
+		out := []dom.NodeID{y}
+		for p := t.Parent(y); p != dom.Nil; p = t.Parent(p) {
+			out = append(out, p)
+		}
+		return out
+	case NextSibling:
+		if s := t.PrevSibling(y); s != dom.Nil {
+			return []dom.NodeID{s}
+		}
+		return nil
+	case NextSiblingPlus:
+		var out []dom.NodeID
+		for s := t.PrevSibling(y); s != dom.Nil; s = t.PrevSibling(s) {
+			out = append(out, s)
+		}
+		return out
+	case NextSiblingStar:
+		out := []dom.NodeID{y}
+		for s := t.PrevSibling(y); s != dom.Nil; s = t.PrevSibling(s) {
+			out = append(out, s)
+		}
+		return out
+	case Following:
+		var out []dom.NodeID
+		for i := 0; i < t.Size(); i++ {
+			if t.Following(dom.NodeID(i), y) {
+				out = append(out, dom.NodeID(i))
+			}
+		}
+		return out
+	}
+	return nil
+}

@@ -1,0 +1,207 @@
+// Package datalog implements classical function-free datalog with
+// stratified negation: syntax, parser, stratification, and semi-naive
+// bottom-up evaluation over arbitrary finite structures.
+//
+// In the paper this is the general setting of Proposition 2.3: monadic
+// datalog over arbitrary finite structures is NP-complete (combined
+// complexity), and full datalog is EXPTIME-complete. The engine here is
+// the baseline against which internal/mdatalog demonstrates Theorem 2.4's
+// O(|P|·|dom|) bound for monadic datalog over trees (experiment E3). It
+// is also used as a differential-testing oracle: a tree can be loaded as
+// an EDB (see TreeDB in internal/mdatalog) and any monadic program run on
+// both engines must select the same nodes.
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Term is a variable or a constant. Variables begin with an upper-case
+// letter or '_'; everything else is a constant.
+type Term struct {
+	// Name is the variable name or constant value.
+	Name string
+	// IsVar reports whether the term is a variable.
+	IsVar bool
+}
+
+// Var returns a variable term.
+func Var(name string) Term { return Term{Name: name, IsVar: true} }
+
+// Const returns a constant term.
+func Const(value string) Term { return Term{Name: value, IsVar: false} }
+
+func (t Term) String() string {
+	if t.IsVar {
+		return t.Name
+	}
+	if needsQuoting(t.Name) {
+		return fmt.Sprintf("%q", t.Name)
+	}
+	return t.Name
+}
+
+func needsQuoting(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z':
+		case c >= 'A' && c <= 'Z':
+			if i == 0 {
+				return true // would parse as a variable
+			}
+		case c >= '0' && c <= '9':
+		case c == '_' || c == '-' || c == '.' || c == '#':
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Atom is a predicate applied to terms, possibly negated when used in a
+// rule body.
+type Atom struct {
+	Pred    string
+	Args    []Term
+	Negated bool
+}
+
+func (a Atom) String() string {
+	var b strings.Builder
+	if a.Negated {
+		b.WriteString("not ")
+	}
+	b.WriteString(a.Pred)
+	if len(a.Args) > 0 {
+		b.WriteByte('(')
+		for i, t := range a.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(t.String())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Rule is a datalog rule Head :- Body. A rule with an empty body is a
+// fact (all head arguments must then be constants).
+type Rule struct {
+	Head Atom
+	Body []Atom
+}
+
+func (r Rule) String() string {
+	if len(r.Body) == 0 {
+		return r.Head.String() + "."
+	}
+	parts := make([]string, len(r.Body))
+	for i, a := range r.Body {
+		parts[i] = a.String()
+	}
+	return r.Head.String() + " :- " + strings.Join(parts, ", ") + "."
+}
+
+// IsFact reports whether the rule has an empty body.
+func (r Rule) IsFact() bool { return len(r.Body) == 0 }
+
+// Program is a list of rules.
+type Program struct {
+	Rules []Rule
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// IDBPredicates returns the set of intensional predicates (those that
+// occur in some rule head), sorted.
+func (p *Program) IDBPredicates() []string {
+	set := map[string]bool{}
+	for _, r := range p.Rules {
+		set[r.Head.Pred] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// IsMonadic reports whether every intensional predicate of the program is
+// unary — the defining property of monadic datalog (Section 2.3).
+func (p *Program) IsMonadic() bool {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	check := func(a Atom) bool { return !idb[a.Pred] || len(a.Args) == 1 }
+	for _, r := range p.Rules {
+		if !check(r.Head) {
+			return false
+		}
+		for _, a := range r.Body {
+			if !check(a) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Size returns the size |P| of the program measured in atoms, the measure
+// used in the combined-complexity statements of the paper.
+func (p *Program) Size() int {
+	n := 0
+	for _, r := range p.Rules {
+		n += 1 + len(r.Body)
+	}
+	return n
+}
+
+// Validate checks range restriction (every head variable and every
+// variable in a negated atom occurs in some positive body atom) and
+// returns a descriptive error for the first violation.
+func (p *Program) Validate() error {
+	for _, r := range p.Rules {
+		pos := map[string]bool{}
+		for _, a := range r.Body {
+			if a.Negated {
+				continue
+			}
+			for _, t := range a.Args {
+				if t.IsVar {
+					pos[t.Name] = true
+				}
+			}
+		}
+		for _, t := range r.Head.Args {
+			if t.IsVar && !pos[t.Name] {
+				return fmt.Errorf("datalog: rule %s: head variable %s not range-restricted", r, t.Name)
+			}
+		}
+		for _, a := range r.Body {
+			if !a.Negated {
+				continue
+			}
+			for _, t := range a.Args {
+				if t.IsVar && !pos[t.Name] {
+					return fmt.Errorf("datalog: rule %s: variable %s occurs only in negated atom", r, t.Name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,344 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `
+% transitive closure
+reachable(X, Y) :- edge(X, Y).
+reachable(X, Z) :- reachable(X, Y), edge(Y, Z).
+isolated(X) :- node(X), not touched(X).
+touched(X) :- edge(X, Y_1).
+touched(Y) :- edge(X, Y).
+start(a).
+labeled(n1, "some label").
+`
+	p := MustParse(src)
+	if len(p.Rules) != 7 {
+		t.Fatalf("got %d rules", len(p.Rules))
+	}
+	// Reparse the printed form.
+	p2, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, p.String())
+	}
+	if p.String() != p2.String() {
+		t.Errorf("print-parse-print differs:\n%s\n%s", p, p2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"p(X)",                    // missing '.'
+		"p(X) :- q(X,",            // unterminated args
+		"p(X) :- .",               // empty body
+		"p(X).",                   // variable in fact
+		"p(X) :- q(Y).",           // head var not range-restricted
+		"p(X) :- q(X), not r(Y).", // negated var unrestricted
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	p := MustParse(`
+reachable(X, Y) :- edge(X, Y).
+reachable(X, Z) :- reachable(X, Y), edge(Y, Z).
+`)
+	db := NewDB()
+	db.Add("edge", "a", "b")
+	db.Add("edge", "b", "c")
+	db.Add("edge", "c", "d")
+	out, err := Eval(p, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Relation("reachable")
+	if r.Len() != 6 {
+		t.Fatalf("reachable has %d tuples: %v", r.Len(), r.SortedTuples())
+	}
+	if !out.Has("reachable", "a", "d") {
+		t.Error("a->d missing")
+	}
+	if out.Has("reachable", "d", "a") {
+		t.Error("d->a should not hold")
+	}
+}
+
+func TestStratifiedNegation(t *testing.T) {
+	p := MustParse(`
+touched(X) :- edge(X, Y).
+touched(Y) :- edge(X, Y).
+isolated(X) :- node(X), not touched(X).
+`)
+	db := NewDB()
+	db.Add("node", "a")
+	db.Add("node", "b")
+	db.Add("node", "c")
+	db.Add("edge", "a", "b")
+	got, err := Query(p, db, "isolated")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "c" {
+		t.Fatalf("isolated = %v", got)
+	}
+}
+
+func TestUnstratifiableRejected(t *testing.T) {
+	p := MustParse(`
+win(X) :- move(X, Y), not win(Y).
+`)
+	db := NewDB()
+	db.Add("move", "a", "b")
+	if _, err := Eval(p, db); err == nil {
+		t.Fatal("unstratifiable program accepted")
+	}
+}
+
+func TestStratifyOrder(t *testing.T) {
+	p := MustParse(`
+a(X) :- base(X).
+b(X) :- base(X), not a(X).
+c(X) :- base(X), not b(X).
+`)
+	strata, err := Stratify(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strata) != 3 {
+		t.Fatalf("got %d strata", len(strata))
+	}
+	if strata[0][0].Head.Pred != "a" || strata[1][0].Head.Pred != "b" || strata[2][0].Head.Pred != "c" {
+		t.Errorf("strata order wrong: %v", strata)
+	}
+}
+
+func TestFactsAndConstants(t *testing.T) {
+	p := MustParse(`
+parent(tom, bob).
+parent(bob, ann).
+grandparent(X, Z) :- parent(X, Y), parent(Y, Z).
+tomgrandchild(X) :- grandparent(tom, X).
+`)
+	got, err := Query(p, NewDB(), "tomgrandchild")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "ann" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRepeatedVariableInAtom(t *testing.T) {
+	p := MustParse(`selfloop(X) :- edge(X, X).`)
+	db := NewDB()
+	db.Add("edge", "a", "a")
+	db.Add("edge", "a", "b")
+	got, err := Query(p, db, "selfloop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "a" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestConstantInBodyAtom(t *testing.T) {
+	p := MustParse(`fromA(Y) :- edge(a, Y).`)
+	db := NewDB()
+	db.Add("edge", "a", "b")
+	db.Add("edge", "c", "d")
+	got, err := Query(p, db, "fromA")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "b" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIsMonadicAndSize(t *testing.T) {
+	p := MustParse(`
+italic(X) :- label_i(X).
+italic(X) :- italic(X0), firstchild(X0, X).
+`)
+	if !p.IsMonadic() {
+		t.Error("should be monadic (binary EDB relations are allowed)")
+	}
+	if p.Size() != 5 {
+		t.Errorf("Size = %d", p.Size())
+	}
+	p2 := MustParse(`r(X, Y) :- e(X, Y).`)
+	if p2.IsMonadic() {
+		t.Error("binary IDB is not monadic")
+	}
+}
+
+func TestThreeColorability(t *testing.T) {
+	// The classical NP-hard guessing pattern expressible in datalog with
+	// unstratified negation is out of scope; instead verify a
+	// deterministic coloring check: a graph 2-coloring given as EDB is
+	// validated by a monadic program.
+	p := MustParse(`
+badedge(X) :- edge(X, Y), red(X), red(Y).
+badedge(X) :- edge(X, Y), blue(X), blue(Y).
+`)
+	db := NewDB()
+	db.Add("edge", "a", "b")
+	db.Add("edge", "b", "c")
+	db.Add("red", "a")
+	db.Add("blue", "b")
+	db.Add("red", "c")
+	got, err := Query(p, db, "badedge")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("valid coloring flagged: %v", got)
+	}
+	db.Add("red", "b") // now a-b is monochromatic, and so is b-c (b is red too)
+	got, _ = Query(p, db, "badedge")
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSemiNaiveEqualsNaiveProperty(t *testing.T) {
+	// Differential property: on random graphs, the engine's transitive
+	// closure must equal a direct Floyd-Warshall style computation.
+	p := MustParse(`
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- tc(X, Y), edge(Y, Z).
+`)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		var reach [10][10]bool
+		db := NewDB()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Intn(4) == 0 {
+					db.Add("edge", name(i), name(j))
+					reach[i][j] = true
+				}
+			}
+		}
+		for k := 0; k < n; k++ {
+			for i := 0; i < n; i++ {
+				for j := 0; j < n; j++ {
+					if reach[i][k] && reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		out, err := Eval(p, db)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if reach[i][j] != out.Has("tc", name(i), name(j)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func name(i int) string { return fmt.Sprintf("v%d", i) }
+
+func TestMonotonicityProperty(t *testing.T) {
+	// Positive datalog is monotone: adding EDB facts never removes
+	// derived facts.
+	p := MustParse(`
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- tc(X, Y), edge(Y, Z).
+`)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		db := NewDB()
+		n := 6
+		for i := 0; i < 8; i++ {
+			db.Add("edge", name(rng.Intn(n)), name(rng.Intn(n)))
+		}
+		out1, _ := Eval(p, db)
+		db2 := db.Clone()
+		db2.Add("edge", name(rng.Intn(n)), name(rng.Intn(n)))
+		out2, _ := Eval(p, db2)
+		for _, tup := range out1.Relation("tc").Tuples() {
+			if !out2.Relation("tc").Contains(tup) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	p := &Program{Rules: []Rule{{
+		Head: Atom{Pred: "p", Args: []Term{Var("X")}},
+		Body: []Atom{{Pred: "q", Args: []Term{Var("Y")}}},
+	}}}
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "range-restricted") {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestDBBasics(t *testing.T) {
+	db := NewDB()
+	db.Add("p", "a")
+	db.Add("p", "a") // duplicate
+	db.Add("p", "b")
+	if db.Facts() != 2 {
+		t.Errorf("Facts = %d", db.Facts())
+	}
+	if got := db.Unary("p"); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Unary = %v", got)
+	}
+	if db.Predicates()[0] != "p" {
+		t.Errorf("Predicates = %v", db.Predicates())
+	}
+	c := db.Clone()
+	c.Add("p", "c")
+	if db.Facts() != 2 || c.Facts() != 3 {
+		t.Error("clone not independent")
+	}
+}
+
+func BenchmarkTransitiveClosureChain(b *testing.B) {
+	p := MustParse(`
+tc(X, Y) :- edge(X, Y).
+tc(X, Z) :- tc(X, Y), edge(Y, Z).
+`)
+	db := NewDB()
+	for i := 0; i < 200; i++ {
+		db.Add("edge", name(i), name(i+1))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := Eval(p, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out.Relation("tc").Len() != 200*201/2 {
+			b.Fatal("wrong size")
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is one row of a relation. Components are strings; node ids,
+// numbers etc. are encoded textually.
+type Tuple []string
+
+func (t Tuple) key() string { return strings.Join(t, "\x00") }
+
+// Relation is a set of tuples of a fixed arity.
+type Relation struct {
+	Arity  int
+	tuples map[string]Tuple
+	// index[i][v] lists tuples whose i-th component is v; built lazily.
+	index []map[string][]Tuple
+}
+
+// NewRelation returns an empty relation of the given arity.
+func NewRelation(arity int) *Relation {
+	return &Relation{Arity: arity, tuples: map[string]Tuple{}}
+}
+
+// Add inserts a tuple, reporting whether it was new.
+func (r *Relation) Add(t Tuple) bool {
+	if len(t) != r.Arity {
+		panic(fmt.Sprintf("datalog: arity mismatch: %v into arity-%d relation", t, r.Arity))
+	}
+	k := t.key()
+	if _, ok := r.tuples[k]; ok {
+		return false
+	}
+	cp := make(Tuple, len(t))
+	copy(cp, t)
+	r.tuples[k] = cp
+	if r.index != nil {
+		for i, m := range r.index {
+			if m != nil {
+				m[cp[i]] = append(m[cp[i]], cp)
+			}
+		}
+	}
+	return true
+}
+
+// Contains reports membership of a tuple.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.tuples[t.key()]
+	return ok
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns all tuples in unspecified order.
+func (r *Relation) Tuples() []Tuple {
+	out := make([]Tuple, 0, len(r.tuples))
+	for _, t := range r.tuples {
+		out = append(out, t)
+	}
+	return out
+}
+
+// SortedTuples returns all tuples sorted lexicographically, for
+// deterministic output.
+func (r *Relation) SortedTuples() []Tuple {
+	out := r.Tuples()
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// lookup returns the tuples whose component pos equals v, using (and
+// lazily building) a hash index.
+func (r *Relation) lookup(pos int, v string) []Tuple {
+	if r.index == nil {
+		r.index = make([]map[string][]Tuple, r.Arity)
+	}
+	if r.index[pos] == nil {
+		m := make(map[string][]Tuple)
+		for _, t := range r.tuples {
+			m[t[pos]] = append(m[t[pos]], t)
+		}
+		r.index[pos] = m
+	}
+	return r.index[pos][v]
+}
+
+// DB is a finite structure: a mapping from predicate names to relations.
+// It serves both as the extensional database for evaluation and as the
+// container for computed intensional relations.
+type DB struct {
+	rels map[string]*Relation
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{rels: map[string]*Relation{}} }
+
+// Add inserts the fact pred(args...) into the database, creating the
+// relation on first use.
+func (db *DB) Add(pred string, args ...string) {
+	r, ok := db.rels[pred]
+	if !ok {
+		r = NewRelation(len(args))
+		db.rels[pred] = r
+	}
+	r.Add(Tuple(args))
+}
+
+// Relation returns the relation for pred, or nil if absent.
+func (db *DB) Relation(pred string) *Relation { return db.rels[pred] }
+
+// Has reports whether the fact pred(args...) holds.
+func (db *DB) Has(pred string, args ...string) bool {
+	r := db.rels[pred]
+	return r != nil && r.Contains(Tuple(args))
+}
+
+// Predicates returns the sorted predicate names present.
+func (db *DB) Predicates() []string {
+	out := make([]string, 0, len(db.rels))
+	for k := range db.rels {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Facts returns the total number of facts stored.
+func (db *DB) Facts() int {
+	n := 0
+	for _, r := range db.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy of the database.
+func (db *DB) Clone() *DB {
+	c := NewDB()
+	for name, r := range db.rels {
+		nr := NewRelation(r.Arity)
+		for _, t := range r.tuples {
+			nr.Add(t)
+		}
+		c.rels[name] = nr
+	}
+	return c
+}
+
+// Unary returns the set of values v with pred(v), sorted; convenient for
+// reading out monadic query predicates.
+func (db *DB) Unary(pred string) []string {
+	r := db.rels[pred]
+	if r == nil {
+		return nil
+	}
+	if r.Arity != 1 {
+		panic("datalog: Unary on non-unary relation " + pred)
+	}
+	out := make([]string, 0, r.Len())
+	for _, t := range r.tuples {
+		out = append(out, t[0])
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,276 @@
+package datalog
+
+import (
+	"fmt"
+)
+
+// Stratify partitions the program's intensional predicates into strata
+// such that negative dependencies only point to strictly lower strata.
+// It returns the rules grouped by stratum in evaluation order, or an
+// error if the program is not stratifiable (a negative cycle exists).
+func Stratify(p *Program) ([][]Rule, error) {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	// stratum numbers, computed by the classical iterative algorithm.
+	stratum := map[string]int{}
+	for pred := range idb {
+		stratum[pred] = 0
+	}
+	n := len(idb)
+	for iter := 0; ; iter++ {
+		if iter > n+1 {
+			return nil, fmt.Errorf("datalog: program is not stratifiable (cycle through negation)")
+		}
+		changed := false
+		for _, r := range p.Rules {
+			h := stratum[r.Head.Pred]
+			for _, a := range r.Body {
+				if !idb[a.Pred] {
+					continue
+				}
+				b := stratum[a.Pred]
+				var need int
+				if a.Negated {
+					need = b + 1
+				} else {
+					need = b
+				}
+				if h < need {
+					stratum[r.Head.Pred] = need
+					h = need
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	max := 0
+	for _, s := range stratum {
+		if s > max {
+			max = s
+		}
+	}
+	out := make([][]Rule, max+1)
+	for _, r := range p.Rules {
+		s := stratum[r.Head.Pred]
+		out[s] = append(out[s], r)
+	}
+	return out, nil
+}
+
+// Eval computes the stratified model of program p over the extensional
+// database edb and returns a new database containing both the original
+// facts and all derived intensional facts. The input database is not
+// modified.
+//
+// Evaluation is semi-naive within each stratum. Worst-case complexity is
+// exponential in program arity (full datalog is EXPTIME-complete,
+// cf. [9] in the paper); for monadic programs it is polynomial but not
+// linear — experiment E3 contrasts this with internal/mdatalog.
+func Eval(p *Program, edb *DB) (*DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	db := edb.Clone()
+	for _, rules := range strata {
+		if err := evalStratum(rules, db); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// evalStratum runs semi-naive evaluation of a negation-free-on-IDB (for
+// this stratum) rule set to fixpoint, adding facts to db.
+func evalStratum(rules []Rule, db *DB) error {
+	idb := map[string]bool{}
+	for _, r := range rules {
+		idb[r.Head.Pred] = true
+		if db.rels[r.Head.Pred] == nil {
+			db.rels[r.Head.Pred] = NewRelation(len(r.Head.Args))
+		}
+	}
+	// delta contains the facts derived in the previous round, per
+	// predicate.
+	delta := map[string]*Relation{}
+	// Round 0: naive evaluation of every rule against the current db.
+	for _, r := range rules {
+		derive(r, db, nil, -1, func(t Tuple) {
+			if db.rels[r.Head.Pred].Add(t) {
+				addDelta(delta, r.Head.Pred, t, len(t))
+			}
+		})
+	}
+	for len(delta) > 0 {
+		next := map[string]*Relation{}
+		for _, r := range rules {
+			// Semi-naive: for each body position holding an IDB
+			// predicate of this stratum, join with the delta at that
+			// position and the full relations elsewhere.
+			for i, a := range r.Body {
+				if a.Negated || !idb[a.Pred] {
+					continue
+				}
+				d := delta[a.Pred]
+				if d == nil || d.Len() == 0 {
+					continue
+				}
+				derive(r, db, d, i, func(t Tuple) {
+					if db.rels[r.Head.Pred].Add(t) {
+						addDelta(next, r.Head.Pred, t, len(t))
+					}
+				})
+			}
+		}
+		delta = next
+	}
+	return nil
+}
+
+func addDelta(m map[string]*Relation, pred string, t Tuple, arity int) {
+	r, ok := m[pred]
+	if !ok {
+		r = NewRelation(arity)
+		m[pred] = r
+	}
+	r.Add(t)
+}
+
+// derive enumerates all satisfying assignments of rule r's body over db,
+// where body atom deltaPos (if >= 0) ranges over deltaRel instead of the
+// full relation, and calls emit with each resulting head tuple.
+func derive(r Rule, db *DB, deltaRel *Relation, deltaPos int, emit func(Tuple)) {
+	// Order body atoms: the delta atom first (it is typically the most
+	// selective), then remaining positives left to right, negatives last.
+	var order []int
+	if deltaPos >= 0 {
+		order = append(order, deltaPos)
+	}
+	for i, a := range r.Body {
+		if i != deltaPos && !a.Negated {
+			order = append(order, i)
+		}
+	}
+	for i, a := range r.Body {
+		if i != deltaPos && a.Negated {
+			order = append(order, i)
+		}
+	}
+
+	binding := map[string]string{}
+	var rec func(k int)
+	rec = func(k int) {
+		if k == len(order) {
+			head := make(Tuple, len(r.Head.Args))
+			for i, t := range r.Head.Args {
+				if t.IsVar {
+					head[i] = binding[t.Name]
+				} else {
+					head[i] = t.Name
+				}
+			}
+			emit(head)
+			return
+		}
+		idx := order[k]
+		a := r.Body[idx]
+		if a.Negated {
+			// All variables bound by now (range restriction).
+			args := make(Tuple, len(a.Args))
+			for i, t := range a.Args {
+				if t.IsVar {
+					args[i] = binding[t.Name]
+				} else {
+					args[i] = t.Name
+				}
+			}
+			rel := db.rels[a.Pred]
+			if rel != nil && rel.Contains(args) {
+				return
+			}
+			rec(k + 1)
+			return
+		}
+		var rel *Relation
+		if idx == deltaPos {
+			rel = deltaRel
+		} else {
+			rel = db.rels[a.Pred]
+		}
+		if rel == nil || rel.Len() == 0 {
+			return
+		}
+		// Choose candidates: if some argument is bound, use an index.
+		var candidates []Tuple
+		usedIndex := false
+		for i, t := range a.Args {
+			var v string
+			if t.IsVar {
+				b, ok := binding[t.Name]
+				if !ok {
+					continue
+				}
+				v = b
+			} else {
+				v = t.Name
+			}
+			candidates = rel.lookup(i, v)
+			usedIndex = true
+			break
+		}
+		if !usedIndex {
+			candidates = rel.Tuples()
+		}
+	cand:
+		for _, tup := range candidates {
+			var bound []string
+			for i, t := range a.Args {
+				if !t.IsVar {
+					if tup[i] != t.Name {
+						for _, name := range bound {
+							delete(binding, name)
+						}
+						continue cand
+					}
+					continue
+				}
+				if v, ok := binding[t.Name]; ok {
+					if v != tup[i] {
+						// Undo partial bindings from this tuple.
+						for _, name := range bound {
+							delete(binding, name)
+						}
+						continue cand
+					}
+				} else {
+					binding[t.Name] = tup[i]
+					bound = append(bound, t.Name)
+				}
+			}
+			rec(k + 1)
+			for _, name := range bound {
+				delete(binding, name)
+			}
+		}
+	}
+	rec(0)
+}
+
+// Query evaluates program p over edb and returns the unary query result
+// for the designated query predicate, sorted. It is the "unary query"
+// reading of a monadic datalog program (Section 2.3).
+func Query(p *Program, edb *DB, queryPred string) ([]string, error) {
+	db, err := Eval(p, edb)
+	if err != nil {
+		return nil, err
+	}
+	return db.Unary(queryPred), nil
+}

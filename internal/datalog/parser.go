@@ -1,0 +1,218 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a datalog program in the conventional syntax:
+//
+//	italic(X) :- label_i(X).
+//	italic(X) :- italic(X0), firstchild(X0, X).
+//	reachable(X, Y) :- edge(X, Y).
+//	reachable(X, Z) :- reachable(X, Y), edge(Y, Z).
+//	unhappy(X) :- node(X), not reachable(X, X).
+//	fact(a, "some constant").
+//
+// '%' starts a comment to end of line. Variables start with an upper-case
+// letter or '_'; identifiers starting with a lower-case letter, numbers,
+// and double-quoted strings are constants. "not" or "!" negates a body
+// atom. ":-" and "<-" are both accepted as the rule arrow.
+func Parse(src string) (*Program, error) {
+	p := &parser{src: src}
+	prog := &Program{}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			break
+		}
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse is Parse that panics on error; for tests and examples.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
+	return fmt.Errorf("datalog: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '%' {
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		if !unicode.IsSpace(rune(c)) {
+			return
+		}
+		p.pos++
+	}
+}
+
+func (p *parser) rule() (Rule, error) {
+	head, err := p.atom(false)
+	if err != nil {
+		return Rule{}, err
+	}
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '.' {
+		p.pos++
+		for _, t := range head.Args {
+			if t.IsVar {
+				return Rule{}, p.errf("fact %s contains variable %s", head, t.Name)
+			}
+		}
+		return Rule{Head: head}, nil
+	}
+	if !p.eat(":-") && !p.eat("<-") {
+		return Rule{}, p.errf("expected '.' or ':-' after %s", head)
+	}
+	var body []Atom
+	for {
+		p.skipSpace()
+		a, err := p.atom(true)
+		if err != nil {
+			return Rule{}, err
+		}
+		body = append(body, a)
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		if p.pos < len(p.src) && p.src[p.pos] == '.' {
+			p.pos++
+			return Rule{Head: head, Body: body}, nil
+		}
+		return Rule{}, p.errf("expected ',' or '.' in rule body")
+	}
+}
+
+func (p *parser) eat(s string) bool {
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], s) {
+		p.pos += len(s)
+		return true
+	}
+	return false
+}
+
+func (p *parser) atom(allowNeg bool) (Atom, error) {
+	p.skipSpace()
+	neg := false
+	if allowNeg {
+		if p.eat("not ") || p.eat("!") {
+			neg = true
+			p.skipSpace()
+		}
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Atom{}, err
+	}
+	a := Atom{Pred: name, Negated: neg}
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		for {
+			t, err := p.term()
+			if err != nil {
+				return Atom{}, err
+			}
+			a.Args = append(a.Args, t)
+			p.skipSpace()
+			if p.pos >= len(p.src) {
+				return Atom{}, p.errf("unterminated argument list of %s", name)
+			}
+			switch p.src[p.pos] {
+			case ',':
+				p.pos++
+			case ')':
+				p.pos++
+				return a, nil
+			default:
+				return Atom{}, p.errf("expected ',' or ')' in arguments of %s", name)
+			}
+		}
+	}
+	return a, nil
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-' || c == '.' && p.pos+1 < len(p.src) && isIdentByte(p.src[p.pos+1]) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errf("expected identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func isIdentByte(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+func (p *parser) term() (Term, error) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return Term{}, p.errf("expected term")
+	}
+	c := p.src[p.pos]
+	if c == '"' {
+		val, err := strconv.QuotedPrefix(p.src[p.pos:])
+		if err != nil {
+			return Term{}, p.errf("bad string: %v", err)
+		}
+		unq, _ := strconv.Unquote(val)
+		p.pos += len(val)
+		return Const(unq), nil
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Term{}, err
+	}
+	if name[0] >= 'A' && name[0] <= 'Z' || name[0] == '_' {
+		return Var(name), nil
+	}
+	return Const(name), nil
+}

@@ -1,0 +1,592 @@
+// Package dom implements the unranked ordered labeled trees of the Lixto
+// paper (Section 2.2): the structure
+//
+//	t_ur = <dom, root, leaf, (label_a) a∈Σ, firstchild, nextsibling, lastsibling>
+//
+// together with the document-order relation ≺ and the auxiliary relations
+// (parent, child, descendant, following) needed by the query engines built
+// on top of it.
+//
+// A Tree stores its nodes in flat parallel slices indexed by NodeID.  When
+// a tree is built top-down, left-to-right (as the HTML parser and all
+// generators in this repository do), NodeIDs coincide with document order;
+// for trees assembled in any other order, Reindex computes pre/post
+// numbers so that all axis checks remain O(1).
+//
+// Trees carry two node kinds: element nodes (with a label from the
+// alphabet Σ and optional attributes) and text nodes (leaves holding
+// character data).  The paper models strings and attributes as encoded
+// subtrees over a character alphabet; we keep them as node payloads, which
+// is equivalent for every algorithm in this repository and is what the
+// actual Lixto system did.
+package dom
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node within a single Tree. The zero Tree has no
+// nodes; valid ids are 0..Tree.Size()-1.
+type NodeID int32
+
+// Nil is the sentinel "no node" value returned by navigation functions
+// when the requested node does not exist (e.g. FirstChild of a leaf).
+const Nil NodeID = -1
+
+// Kind distinguishes element nodes from text nodes.
+type Kind uint8
+
+const (
+	// Element is an interior (or leaf) node labeled with a tag symbol.
+	Element Kind = iota
+	// Text is a leaf node holding character data. Its Label is "#text".
+	Text
+	// Comment is a leaf node holding an HTML/XML comment. Its Label is
+	// "#comment". Comments participate in the tree but are skipped by
+	// ElementText and by default node tests.
+	Comment
+)
+
+// TextLabel is the pseudo-label of text nodes.
+const TextLabel = "#text"
+
+// CommentLabel is the pseudo-label of comment nodes.
+const CommentLabel = "#comment"
+
+// Attr is a single name/value attribute of an element node.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Tree is an unranked ordered labeled tree. The zero value is an empty
+// tree to which a root must be added with AddRoot before use.
+type Tree struct {
+	kind        []Kind
+	label       []string
+	text        []string // text/comment payload; "" for elements
+	attrs       [][]Attr
+	parent      []NodeID
+	firstChild  []NodeID
+	lastChild   []NodeID
+	nextSibling []NodeID
+	prevSibling []NodeID
+
+	// pre/post order numbers and subtree sizes; valid while indexed.
+	pre     []int32
+	post    []int32
+	size    []int32
+	indexed bool
+}
+
+// New returns an empty tree with capacity hint n.
+func New(n int) *Tree {
+	t := &Tree{}
+	t.grow(n)
+	return t
+}
+
+func (t *Tree) grow(n int) {
+	if cap(t.kind) >= n {
+		return
+	}
+	// Let append handle growth; this only pre-allocates.
+	k := make([]Kind, len(t.kind), n)
+	copy(k, t.kind)
+	t.kind = k
+}
+
+// Size returns the number of nodes in the tree, |dom|.
+func (t *Tree) Size() int { return len(t.kind) }
+
+// Root returns the root node, or Nil if the tree is empty. The paper's
+// unary relation root(x) holds exactly for this node.
+func (t *Tree) Root() NodeID {
+	if len(t.kind) == 0 {
+		return Nil
+	}
+	return 0
+}
+
+// AddRoot creates the root element node. It must be the first node added.
+func (t *Tree) AddRoot(label string) NodeID {
+	if len(t.kind) != 0 {
+		panic("dom: AddRoot on non-empty tree")
+	}
+	return t.addNode(Element, label, "", Nil)
+}
+
+// AppendChild adds a new element node labeled label as the rightmost
+// child of parent and returns its id.
+func (t *Tree) AppendChild(parent NodeID, label string) NodeID {
+	return t.addNode(Element, label, "", parent)
+}
+
+// AppendText adds a new text node holding data as the rightmost child of
+// parent and returns its id.
+func (t *Tree) AppendText(parent NodeID, data string) NodeID {
+	return t.addNode(Text, TextLabel, data, parent)
+}
+
+// AppendComment adds a new comment node as the rightmost child of parent.
+func (t *Tree) AppendComment(parent NodeID, data string) NodeID {
+	return t.addNode(Comment, CommentLabel, data, parent)
+}
+
+func (t *Tree) addNode(k Kind, label, text string, parent NodeID) NodeID {
+	id := NodeID(len(t.kind))
+	t.kind = append(t.kind, k)
+	t.label = append(t.label, label)
+	t.text = append(t.text, text)
+	t.attrs = append(t.attrs, nil)
+	t.parent = append(t.parent, parent)
+	t.firstChild = append(t.firstChild, Nil)
+	t.lastChild = append(t.lastChild, Nil)
+	t.nextSibling = append(t.nextSibling, Nil)
+	t.prevSibling = append(t.prevSibling, Nil)
+	t.indexed = false
+	if parent != Nil {
+		last := t.lastChild[parent]
+		if last == Nil {
+			t.firstChild[parent] = id
+		} else {
+			t.nextSibling[last] = id
+			t.prevSibling[id] = last
+		}
+		t.lastChild[parent] = id
+	}
+	return id
+}
+
+// SetAttr sets attribute name to value on element node n, replacing any
+// existing attribute of the same name.
+func (t *Tree) SetAttr(n NodeID, name, value string) {
+	for i := range t.attrs[n] {
+		if t.attrs[n][i].Name == name {
+			t.attrs[n][i].Value = value
+			return
+		}
+	}
+	t.attrs[n] = append(t.attrs[n], Attr{Name: name, Value: value})
+}
+
+// Attr returns the value of attribute name on node n and whether it is set.
+func (t *Tree) Attr(n NodeID, name string) (string, bool) {
+	for _, a := range t.attrs[n] {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Attrs returns the attribute list of node n (shared slice; do not mutate).
+func (t *Tree) Attrs(n NodeID) []Attr { return t.attrs[n] }
+
+// Kind returns the node kind of n.
+func (t *Tree) Kind(n NodeID) Kind { return t.kind[n] }
+
+// Label returns the label of node n: the tag symbol for elements,
+// "#text" for text nodes and "#comment" for comments. This realizes the
+// paper's unary relations label_a(x).
+func (t *Tree) Label(n NodeID) string { return t.label[n] }
+
+// HasLabel reports label_a(n), i.e. whether node n carries label a.
+func (t *Tree) HasLabel(n NodeID, a string) bool { return t.label[n] == a }
+
+// Text returns the character data of a text or comment node ("" for
+// element nodes).
+func (t *Tree) Text(n NodeID) string { return t.text[n] }
+
+// SetText replaces the character data of a text or comment node.
+func (t *Tree) SetText(n NodeID, data string) { t.text[n] = data }
+
+// Parent returns the parent of n, or Nil for the root.
+func (t *Tree) Parent(n NodeID) NodeID { return t.parent[n] }
+
+// FirstChild returns the leftmost child of n, or Nil. This is the binary
+// relation firstchild(n, ·) of τ_ur: each node has at most one first
+// child and is the first child of at most one node (the bidirectional
+// functional dependency Theorem 2.4 relies on).
+func (t *Tree) FirstChild(n NodeID) NodeID { return t.firstChild[n] }
+
+// LastChild returns the rightmost child of n, or Nil.
+func (t *Tree) LastChild(n NodeID) NodeID { return t.lastChild[n] }
+
+// NextSibling returns the sibling immediately to the right of n, or Nil.
+// This is the binary relation nextsibling(n, ·) of τ_ur.
+func (t *Tree) NextSibling(n NodeID) NodeID { return t.nextSibling[n] }
+
+// PrevSibling returns the sibling immediately to the left of n, or Nil
+// (the inverse relation nextsibling(·, n)).
+func (t *Tree) PrevSibling(n NodeID) NodeID { return t.prevSibling[n] }
+
+// IsLeaf reports the unary relation leaf(n): n has no children.
+func (t *Tree) IsLeaf(n NodeID) bool { return t.firstChild[n] == Nil }
+
+// IsLastSibling reports the unary relation lastsibling(n): n is the
+// rightmost child of its parent. As in the paper, the root is not a last
+// sibling (it has no parent).
+func (t *Tree) IsLastSibling(n NodeID) bool {
+	return t.parent[n] != Nil && t.nextSibling[n] == Nil
+}
+
+// IsFirstSibling reports that n is the leftmost child of its parent
+// (the unary predicate Firstsibling of Section 4, used to express
+// Firstchild(x,y) ⇔ Child(x,y) ∧ Firstsibling(y)).
+func (t *Tree) IsFirstSibling(n NodeID) bool {
+	return t.parent[n] != Nil && t.prevSibling[n] == Nil
+}
+
+// IsRoot reports the unary relation root(n).
+func (t *Tree) IsRoot(n NodeID) bool { return t.parent[n] == Nil }
+
+// Children returns the child ids of n in sibling (document) order.
+func (t *Tree) Children(n NodeID) []NodeID {
+	var out []NodeID
+	for c := t.firstChild[n]; c != Nil; c = t.nextSibling[c] {
+		out = append(out, c)
+	}
+	return out
+}
+
+// ChildCount returns the number of children of n.
+func (t *Tree) ChildCount(n NodeID) int {
+	k := 0
+	for c := t.firstChild[n]; c != Nil; c = t.nextSibling[c] {
+		k++
+	}
+	return k
+}
+
+// ChildIndex returns the position of n among its siblings, counting from
+// 1 (XPath convention), or 0 for the root.
+func (t *Tree) ChildIndex(n NodeID) int {
+	if t.parent[n] == Nil {
+		return 0
+	}
+	i := 1
+	for s := t.prevSibling[n]; s != Nil; s = t.prevSibling[s] {
+		i++
+	}
+	return i
+}
+
+// Reindex recomputes pre- and post-order numbers. It is called lazily by
+// the order-dependent predicates; explicit calls are only useful for
+// benchmarking.
+func (t *Tree) Reindex() {
+	n := len(t.kind)
+	if cap(t.pre) < n {
+		t.pre = make([]int32, n)
+		t.post = make([]int32, n)
+		t.size = make([]int32, n)
+	} else {
+		t.pre = t.pre[:n]
+		t.post = t.post[:n]
+		t.size = t.size[:n]
+	}
+	if n == 0 {
+		t.indexed = true
+		return
+	}
+	var pre, post int32
+	// Iterative DFS to avoid recursion depth limits on deep trees.
+	type frame struct {
+		node  NodeID
+		child NodeID // next child to visit, or Nil when done
+	}
+	stack := make([]frame, 0, 64)
+	t.pre[0] = 0
+	pre = 1
+	stack = append(stack, frame{0, t.firstChild[0]})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.child == Nil {
+			t.post[f.node] = post
+			post++
+			// At pop time the preorder counter has advanced past exactly
+			// the nodes of this subtree.
+			t.size[f.node] = pre - t.pre[f.node]
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		c := f.child
+		f.child = t.nextSibling[c]
+		t.pre[c] = pre
+		pre++
+		stack = append(stack, frame{c, t.firstChild[c]})
+	}
+	t.indexed = true
+}
+
+func (t *Tree) ensureIndex() {
+	if !t.indexed {
+		t.Reindex()
+	}
+}
+
+// Pre returns the preorder (document-order) number of n.
+func (t *Tree) Pre(n NodeID) int {
+	t.ensureIndex()
+	return int(t.pre[n])
+}
+
+// Post returns the postorder number of n.
+func (t *Tree) Post(n NodeID) int {
+	t.ensureIndex()
+	return int(t.post[n])
+}
+
+// SubtreeSize returns the number of nodes in the subtree rooted at n
+// (including n itself).
+func (t *Tree) SubtreeSize(n NodeID) int {
+	t.ensureIndex()
+	return int(t.size[n])
+}
+
+// DocBefore reports x ≺ y: the opening tag of x is reached strictly
+// before that of y when reading the document left to right (Section 2.2).
+func (t *Tree) DocBefore(x, y NodeID) bool {
+	t.ensureIndex()
+	return t.pre[x] < t.pre[y]
+}
+
+// IsAncestor reports Child+(x, y): x is a proper ancestor of y.
+func (t *Tree) IsAncestor(x, y NodeID) bool {
+	t.ensureIndex()
+	return t.pre[x] < t.pre[y] && t.post[y] < t.post[x]
+}
+
+// IsAncestorOrSelf reports Child*(x, y).
+func (t *Tree) IsAncestorOrSelf(x, y NodeID) bool {
+	return x == y || t.IsAncestor(x, y)
+}
+
+// IsChild reports Child(x, y): y is a child of x. (Note the direction:
+// the paper writes Child(x,y) for "y is a child of x".)
+func (t *Tree) IsChild(x, y NodeID) bool { return t.parent[y] == x }
+
+// Following reports the Following axis of Section 4:
+//
+//	Following(x, y) := ∃z1,z2 Child*(z1,x) ∧ Nextsibling+(z1,z2) ∧ Child*(z2,y)
+//
+// i.e. y starts after the subtree of x ends.
+func (t *Tree) Following(x, y NodeID) bool {
+	t.ensureIndex()
+	return t.pre[y] > t.pre[x] && t.post[y] > t.post[x]
+}
+
+// FollowingSibling reports Nextsibling+(x, y).
+func (t *Tree) FollowingSibling(x, y NodeID) bool {
+	if t.parent[x] == Nil || t.parent[x] != t.parent[y] {
+		return false
+	}
+	t.ensureIndex()
+	return t.pre[y] > t.pre[x]
+}
+
+// InDocumentOrder returns all node ids sorted by document order.
+func (t *Tree) InDocumentOrder() []NodeID {
+	t.ensureIndex()
+	out := make([]NodeID, t.Size())
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	sort.Slice(out, func(i, j int) bool { return t.pre[out[i]] < t.pre[out[j]] })
+	return out
+}
+
+// SortDocOrder sorts nodes in place by document order and removes
+// duplicates, returning the (possibly shortened) slice. Query engines use
+// it to return result node sets in the order mandated by the XML
+// standards the paper cites.
+func (t *Tree) SortDocOrder(nodes []NodeID) []NodeID {
+	t.ensureIndex()
+	sort.Slice(nodes, func(i, j int) bool { return t.pre[nodes[i]] < t.pre[nodes[j]] })
+	out := nodes[:0]
+	for i, n := range nodes {
+		if i == 0 || nodes[i-1] != n {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Descendants returns all proper descendants of n in document order.
+func (t *Tree) Descendants(n NodeID) []NodeID {
+	var out []NodeID
+	t.WalkSubtree(n, func(m NodeID) {
+		if m != n {
+			out = append(out, m)
+		}
+	})
+	return out
+}
+
+// WalkSubtree visits n and every descendant of n in document order.
+func (t *Tree) WalkSubtree(n NodeID, visit func(NodeID)) {
+	stack := []NodeID{n}
+	for len(stack) > 0 {
+		m := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		visit(m)
+		// Push children in reverse so the leftmost is visited first.
+		cs := t.Children(m)
+		for i := len(cs) - 1; i >= 0; i-- {
+			stack = append(stack, cs[i])
+		}
+	}
+}
+
+// Walk visits every node of the tree in document order.
+func (t *Tree) Walk(visit func(NodeID)) {
+	if t.Size() == 0 {
+		return
+	}
+	t.WalkSubtree(t.Root(), visit)
+}
+
+// ElementText returns the concatenation of all text-node data in the
+// subtree rooted at n, in document order. This is the "elementtext"
+// notion used by Elog attribute conditions (Figure 5).
+func (t *Tree) ElementText(n NodeID) string {
+	var b strings.Builder
+	t.WalkSubtree(n, func(m NodeID) {
+		if t.kind[m] == Text {
+			b.WriteString(t.text[m])
+		}
+	})
+	return b.String()
+}
+
+// Depth returns the number of edges from the root to n.
+func (t *Tree) Depth(n NodeID) int {
+	d := 0
+	for p := t.parent[n]; p != Nil; p = t.parent[p] {
+		d++
+	}
+	return d
+}
+
+// Height returns the height of the tree (a single node has height 0).
+func (t *Tree) Height() int {
+	max := 0
+	for n := 0; n < t.Size(); n++ {
+		if d := t.Depth(NodeID(n)); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// PathLabels returns the labels on the path from x (exclusive) down to y
+// (inclusive), or nil and false if y is not a proper descendant of x.
+// This is the word a1…an such that subelem_{a1…an}(x, y) holds
+// (Section 3.2).
+func (t *Tree) PathLabels(x, y NodeID) ([]string, bool) {
+	if !t.IsAncestor(x, y) {
+		return nil, false
+	}
+	var rev []string
+	for n := y; n != x; n = t.parent[n] {
+		rev = append(rev, t.label[n])
+	}
+	out := make([]string, len(rev))
+	for i := range rev {
+		out[i] = rev[len(rev)-1-i]
+	}
+	return out, true
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	c := &Tree{
+		kind:        append([]Kind(nil), t.kind...),
+		label:       append([]string(nil), t.label...),
+		text:        append([]string(nil), t.text...),
+		parent:      append([]NodeID(nil), t.parent...),
+		firstChild:  append([]NodeID(nil), t.firstChild...),
+		lastChild:   append([]NodeID(nil), t.lastChild...),
+		nextSibling: append([]NodeID(nil), t.nextSibling...),
+		prevSibling: append([]NodeID(nil), t.prevSibling...),
+	}
+	c.attrs = make([][]Attr, len(t.attrs))
+	for i, as := range t.attrs {
+		if as != nil {
+			c.attrs[i] = append([]Attr(nil), as...)
+		}
+	}
+	return c
+}
+
+// Equal reports whether two trees are isomorphic including labels, text,
+// attributes, and sibling order.
+func Equal(a, b *Tree) bool {
+	if a.Size() != b.Size() {
+		return false
+	}
+	if a.Size() == 0 {
+		return true
+	}
+	var eq func(x, y NodeID) bool
+	eq = func(x, y NodeID) bool {
+		if a.kind[x] != b.kind[y] || a.label[x] != b.label[y] || a.text[x] != b.text[y] {
+			return false
+		}
+		if len(a.attrs[x]) != len(b.attrs[y]) {
+			return false
+		}
+		for _, at := range a.attrs[x] {
+			v, ok := b.Attr(y, at.Name)
+			if !ok || v != at.Value {
+				return false
+			}
+		}
+		cx, cy := a.firstChild[x], b.firstChild[y]
+		for cx != Nil && cy != Nil {
+			if !eq(cx, cy) {
+				return false
+			}
+			cx, cy = a.nextSibling[cx], b.nextSibling[cy]
+		}
+		return cx == Nil && cy == Nil
+	}
+	return eq(a.Root(), b.Root())
+}
+
+// String renders the tree in the nested-term notation accepted by
+// ParseTerm, e.g. "a(b,c(d))". Text nodes render as quoted strings.
+func (t *Tree) String() string {
+	if t.Size() == 0 {
+		return "<empty>"
+	}
+	var b strings.Builder
+	var rec func(n NodeID)
+	rec = func(n NodeID) {
+		switch t.kind[n] {
+		case Text:
+			fmt.Fprintf(&b, "%q", t.text[n])
+			return
+		case Comment:
+			fmt.Fprintf(&b, "comment(%q)", t.text[n])
+			return
+		}
+		b.WriteString(t.label[n])
+		if t.firstChild[n] == Nil {
+			return
+		}
+		b.WriteByte('(')
+		for c := t.firstChild[n]; c != Nil; c = t.nextSibling[c] {
+			if c != t.firstChild[n] {
+				b.WriteByte(',')
+			}
+			rec(c)
+		}
+		b.WriteByte(')')
+	}
+	rec(t.Root())
+	return b.String()
+}

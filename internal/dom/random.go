@@ -1,0 +1,92 @@
+package dom
+
+import "math/rand"
+
+// RandomTree generates a pseudo-random unranked tree with exactly n
+// nodes, labels drawn uniformly from alphabet, and shapes controlled by
+// maxFanout. It is used by the property-based tests and by the workload
+// generators of the complexity experiments (E2, E9, E11).
+//
+// The generator appends children in document order, so NodeIDs coincide
+// with preorder numbers, matching the invariant of the HTML parser.
+func RandomTree(rng *rand.Rand, n int, alphabet []string, maxFanout int) *Tree {
+	if n <= 0 {
+		n = 1
+	}
+	if maxFanout < 1 {
+		maxFanout = 1
+	}
+	if len(alphabet) == 0 {
+		alphabet = []string{"a"}
+	}
+	t := New(n)
+	root := t.AddRoot(alphabet[rng.Intn(len(alphabet))])
+	// Frontier of nodes that may still receive children.
+	frontier := []NodeID{root}
+	for t.Size() < n {
+		// Pick a random frontier node, biased towards recent nodes to get
+		// a mix of deep and bushy shapes.
+		var idx int
+		if rng.Intn(2) == 0 {
+			idx = len(frontier) - 1
+		} else {
+			idx = rng.Intn(len(frontier))
+		}
+		p := frontier[idx]
+		c := t.AppendChild(p, alphabet[rng.Intn(len(alphabet))])
+		frontier = append(frontier, c)
+		if t.ChildCount(p) >= maxFanout {
+			frontier[idx] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+		}
+	}
+	return t
+}
+
+// Chain returns a degenerate tree of n nodes where every node has exactly
+// one child, all labeled label. Deep chains are the worst case for
+// recursive algorithms and appear in the complexity benchmarks.
+func Chain(n int, label string) *Tree {
+	if n <= 0 {
+		n = 1
+	}
+	t := New(n)
+	cur := t.AddRoot(label)
+	for i := 1; i < n; i++ {
+		cur = t.AppendChild(cur, label)
+	}
+	return t
+}
+
+// Star returns a tree with a root and n-1 children, all labeled label:
+// the maximally bushy shape.
+func Star(n int, label string) *Tree {
+	if n <= 0 {
+		n = 1
+	}
+	t := New(n)
+	root := t.AddRoot(label)
+	for i := 1; i < n; i++ {
+		t.AppendChild(root, label)
+	}
+	return t
+}
+
+// FullBinary returns a complete binary tree of the given depth (depth 0
+// is a single node), all nodes labeled label.
+func FullBinary(depth int, label string) *Tree {
+	t := New(1 << (depth + 1))
+	root := t.AddRoot(label)
+	var fill func(n NodeID, d int)
+	fill = func(n NodeID, d int) {
+		if d == 0 {
+			return
+		}
+		l := t.AppendChild(n, label)
+		fill(l, d-1)
+		r := t.AppendChild(n, label)
+		fill(r, d-1)
+	}
+	fill(root, depth)
+	return t
+}

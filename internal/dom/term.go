@@ -1,0 +1,152 @@
+package dom
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ParseTerm builds a tree from a nested-term notation such as
+//
+//	html(body(table(tr(td("x"),td("y"))),hr))
+//
+// Identifiers become element labels; double-quoted strings (Go syntax)
+// become text nodes; attributes may be attached in square brackets after
+// a label: a[href=x.html](...). The notation exists for tests and
+// examples; real documents come from the HTML parser.
+func ParseTerm(s string) (*Tree, error) {
+	p := &termParser{src: s}
+	t := New(16)
+	p.skipWS()
+	if err := p.parseNode(t, Nil); err != nil {
+		return nil, err
+	}
+	p.skipWS()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("dom: trailing input at offset %d in %q", p.pos, s)
+	}
+	if t.Size() == 0 {
+		return nil, fmt.Errorf("dom: empty term")
+	}
+	return t, nil
+}
+
+// MustParseTerm is ParseTerm that panics on error, for tests and examples.
+func MustParseTerm(s string) *Tree {
+	t, err := ParseTerm(s)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+type termParser struct {
+	src string
+	pos int
+}
+
+func (p *termParser) skipWS() {
+	for p.pos < len(p.src) && unicode.IsSpace(rune(p.src[p.pos])) {
+		p.pos++
+	}
+}
+
+func (p *termParser) parseNode(t *Tree, parent NodeID) error {
+	p.skipWS()
+	if p.pos >= len(p.src) {
+		return fmt.Errorf("dom: unexpected end of term")
+	}
+	if p.src[p.pos] == '"' {
+		// Text node.
+		rest := p.src[p.pos:]
+		val, err := strconv.QuotedPrefix(rest)
+		if err != nil {
+			return fmt.Errorf("dom: bad string at offset %d: %v", p.pos, err)
+		}
+		unq, err := strconv.Unquote(val)
+		if err != nil {
+			return fmt.Errorf("dom: bad string at offset %d: %v", p.pos, err)
+		}
+		p.pos += len(val)
+		if parent == Nil {
+			return fmt.Errorf("dom: text node cannot be the root")
+		}
+		t.AppendText(parent, unq)
+		return nil
+	}
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '(' || c == ')' || c == ',' || c == '[' || unicode.IsSpace(rune(c)) {
+			break
+		}
+		p.pos++
+	}
+	if p.pos == start {
+		return fmt.Errorf("dom: expected label at offset %d", p.pos)
+	}
+	label := p.src[start:p.pos]
+	var n NodeID
+	if parent == Nil {
+		n = t.AddRoot(label)
+	} else {
+		n = t.AppendChild(parent, label)
+	}
+	p.skipWS()
+	// Optional attribute block [k=v,k2=v2].
+	if p.pos < len(p.src) && p.src[p.pos] == '[' {
+		p.pos++
+		for {
+			p.skipWS()
+			if p.pos < len(p.src) && p.src[p.pos] == ']' {
+				p.pos++
+				break
+			}
+			ks := p.pos
+			for p.pos < len(p.src) && p.src[p.pos] != '=' {
+				p.pos++
+			}
+			if p.pos >= len(p.src) {
+				return fmt.Errorf("dom: unterminated attribute block")
+			}
+			key := strings.TrimSpace(p.src[ks:p.pos])
+			p.pos++ // '='
+			vs := p.pos
+			for p.pos < len(p.src) && p.src[p.pos] != ',' && p.src[p.pos] != ']' {
+				p.pos++
+			}
+			if p.pos >= len(p.src) {
+				return fmt.Errorf("dom: unterminated attribute block")
+			}
+			val := strings.TrimSpace(p.src[vs:p.pos])
+			t.SetAttr(n, key, val)
+			if p.src[p.pos] == ',' {
+				p.pos++
+			}
+		}
+		p.skipWS()
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		p.pos++
+		for {
+			if err := p.parseNode(t, n); err != nil {
+				return err
+			}
+			p.skipWS()
+			if p.pos >= len(p.src) {
+				return fmt.Errorf("dom: unterminated child list of %q", label)
+			}
+			switch p.src[p.pos] {
+			case ',':
+				p.pos++
+			case ')':
+				p.pos++
+				return nil
+			default:
+				return fmt.Errorf("dom: expected ',' or ')' at offset %d", p.pos)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,271 @@
+// Package elog implements the Elog wrapper language of Section 3.3: the
+// internal, datalog-like language into which the Lixto Visual Wrapper
+// compiles visually specified wrappers.
+//
+// A standard Elog rule has the form
+//
+//	New(S, X) ← Par(_, S), Ex(S, X), Φ(S, X)
+//
+// with binary pattern predicates (parent instance, instance), an
+// extraction definition atom Ex (tree extraction via subelem/subsq with
+// element path definitions, string extraction via subtext/subatt with
+// string path definitions), and a possibly empty set of condition atoms
+// Φ: context conditions (before/after with distance tolerances, and
+// their negations), internal conditions (contains/notcontains), concept
+// conditions (isCurrency(X), isDate(X), ...), comparison conditions, and
+// pattern references. Specialization rules (footnote 6) lack the
+// extraction atom and match a subset of the parent pattern's nodes.
+// document(url, S) atoms root wrapping at fetched pages, and the
+// getDocument extraction atom follows extracted URLs, enabling Web
+// crawling and recursive wrapping.
+package elog
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed Elog program.
+type Program struct {
+	Rules []*Rule
+}
+
+// Patterns returns the pattern names defined by the program, in first-
+// definition order.
+func (p *Program) Patterns() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, r := range p.Rules {
+		if !seen[r.Head] {
+			seen[r.Head] = true
+			out = append(out, r.Head)
+		}
+	}
+	return out
+}
+
+func (p *Program) String() string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Rule is one Elog rule.
+type Rule struct {
+	// Head is the defined pattern name; the head atom is Head(S, X).
+	Head string
+	// Parent is the parent pattern name, or "document" for entry rules.
+	Parent string
+	// DocURL is set for document(url, S) parents (entry points).
+	DocURL string
+	// Specialize marks specialization rules: Head(S, X) ← Parent(S, X),
+	// conditions — no extraction atom, the instance is the parent's.
+	Specialize bool
+	// Extract is the extraction definition atom (nil for specialization
+	// rules).
+	Extract *Extract
+	// Conds are the condition atoms, evaluated left to right with
+	// backtracking over the bindings introduced by before/after/
+	// contains.
+	Conds []Cond
+}
+
+func (r *Rule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s(S, X) <- ", r.Head)
+	if r.DocURL != "" {
+		fmt.Fprintf(&b, "document(%q, S)", r.DocURL)
+	} else if r.Specialize {
+		fmt.Fprintf(&b, "%s(S, X)", r.Parent)
+	} else {
+		fmt.Fprintf(&b, "%s(_, S)", r.Parent)
+	}
+	if r.Extract != nil {
+		b.WriteString(", ")
+		b.WriteString(r.Extract.String())
+	}
+	for _, c := range r.Conds {
+		b.WriteString(", ")
+		b.WriteString(c.String())
+	}
+	return b.String()
+}
+
+// ExtractKind enumerates the extraction mechanisms.
+type ExtractKind int
+
+const (
+	// Subelem extracts tree nodes matched by an element path definition.
+	Subelem ExtractKind = iota
+	// Subsq extracts sequences of consecutive children delimited by
+	// start/end element path definitions.
+	Subsq
+	// Subtext extracts strings matched by a string path definition
+	// (regular expression, possibly with \var bindings).
+	Subtext
+	// Subatt extracts an attribute value of the parent instance node.
+	Subatt
+	// GetDocument fetches the document whose URL is the parent
+	// instance's text and yields its root — the crawling primitive.
+	GetDocument
+)
+
+// Extract is an extraction definition atom.
+type Extract struct {
+	Kind ExtractKind
+	// EPD is the element path definition (Subelem).
+	EPD *EPD
+	// From/Start/End are the subsq path definitions.
+	From, Start, End *EPD
+	// SPD is the string path definition (Subtext).
+	SPD *SPD
+	// Attr is the attribute name (Subatt).
+	Attr string
+}
+
+func (e *Extract) String() string {
+	switch e.Kind {
+	case Subelem:
+		return fmt.Sprintf("subelem(S, %s, X)", e.EPD)
+	case Subsq:
+		return fmt.Sprintf("subsq(S, %s, %s, %s, X)", e.From, e.Start, e.End)
+	case Subtext:
+		return fmt.Sprintf("subtext(S, %s, X)", e.SPD)
+	case Subatt:
+		return fmt.Sprintf("subatt(S, %s, X)", e.Attr)
+	case GetDocument:
+		return "getDocument(S, X)"
+	}
+	return "?"
+}
+
+// Cond is a condition atom.
+type Cond interface {
+	fmt.Stringer
+	isCond()
+}
+
+// BeforeCond / AfterCond are the context conditions: an element matching
+// EPD must (or, negated, must not) occur before/after the target
+// instance within the parent instance, with the tree-distance within
+// [DMin, DMax]. Var, when non-empty, is bound to the matched element
+// (for pattern references and further conditions); DistVar, when
+// non-empty, is bound to the observed distance.
+type BeforeCond struct {
+	EPD        *EPD
+	DMin, DMax int
+	Var        string
+	DistVar    string
+	Negated    bool
+	After      bool
+}
+
+func (c BeforeCond) isCond() {}
+func (c BeforeCond) String() string {
+	name := "before"
+	if c.After {
+		name = "after"
+	}
+	if c.Negated {
+		name = "not" + name
+	}
+	v, d := c.Var, c.DistVar
+	if v == "" {
+		v = "_"
+	}
+	if d == "" {
+		d = "_"
+	}
+	return fmt.Sprintf("%s(S, X, %s, %d, %d, %s, %s)", name, c.EPD, c.DMin, c.DMax, v, d)
+}
+
+// ContainsCond is the internal condition: the target instance must (not)
+// contain a subtree matching EPD. Var binds the matched node.
+type ContainsCond struct {
+	EPD     *EPD
+	Var     string
+	Negated bool
+}
+
+func (c ContainsCond) isCond() {}
+func (c ContainsCond) String() string {
+	name := "contains"
+	if c.Negated {
+		name = "notcontains"
+	}
+	v := c.Var
+	if v == "" {
+		v = "_"
+	}
+	return fmt.Sprintf("%s(X, %s, %s)", name, c.EPD, v)
+}
+
+// ConceptCond applies a semantic or syntactic concept to a bound
+// variable's text, e.g. isCurrency(Y).
+type ConceptCond struct {
+	Concept string
+	Var     string
+	Negated bool
+}
+
+func (c ConceptCond) isCond() {}
+func (c ConceptCond) String() string {
+	if c.Negated {
+		return fmt.Sprintf("not %s(%s)", c.Concept, c.Var)
+	}
+	return fmt.Sprintf("%s(%s)", c.Concept, c.Var)
+}
+
+// CompareCond compares two operands (bound variables or literals) with
+// the concept-aware ordering (dates chronologically, numbers
+// numerically).
+type CompareCond struct {
+	Op   string
+	L, R Operand
+}
+
+func (c CompareCond) isCond() {}
+func (c CompareCond) String() string {
+	return fmt.Sprintf("%s(%s, %s)", c.Op, c.L, c.R)
+}
+
+// Operand is a variable reference or a literal string.
+type Operand struct {
+	Var     string
+	Literal string
+}
+
+func (o Operand) String() string {
+	if o.Var != "" {
+		return o.Var
+	}
+	return fmt.Sprintf("%q", o.Literal)
+}
+
+// FirstCond is the internal condition the paper describes as checking
+// "whether a node is the first among those matching a path"
+// (Section 3.3): of all candidates the rule's extraction produced within
+// one parent instance, only the one earliest in document order survives.
+type FirstCond struct{}
+
+func (c FirstCond) isCond()        {}
+func (c FirstCond) String() string { return "firstsubtree(S, X)" }
+
+// PatternRefCond requires the bound variable to be an instance of
+// another pattern: e.g. price(_, Y).
+type PatternRefCond struct {
+	Pattern string
+	Var     string
+	Negated bool
+}
+
+func (c PatternRefCond) isCond() {}
+func (c PatternRefCond) String() string {
+	if c.Negated {
+		return fmt.Sprintf("not %s(_, %s)", c.Pattern, c.Var)
+	}
+	return fmt.Sprintf("%s(_, %s)", c.Pattern, c.Var)
+}

@@ -1,0 +1,638 @@
+package elog
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/concepts"
+	"repro/internal/dom"
+	"repro/internal/pib"
+)
+
+// errCrawlLimit marks the crawl guard tripping; unlike a dangling link,
+// it aborts evaluation.
+var errCrawlLimit = errors.New("elog: crawl limit")
+
+// Fetcher resolves URLs to parsed HTML documents. The simulated web of
+// internal/web provides one; tests use in-memory maps.
+type Fetcher interface {
+	Fetch(url string) (*dom.Tree, error)
+}
+
+// FetcherFunc adapts a function to the Fetcher interface.
+type FetcherFunc func(url string) (*dom.Tree, error)
+
+// Fetch implements Fetcher.
+func (f FetcherFunc) Fetch(url string) (*dom.Tree, error) { return f(url) }
+
+// MapFetcher serves documents from an in-memory map.
+type MapFetcher map[string]*dom.Tree
+
+// Fetch implements Fetcher.
+func (m MapFetcher) Fetch(url string) (*dom.Tree, error) {
+	if t, ok := m[url]; ok {
+		return t, nil
+	}
+	return nil, fmt.Errorf("elog: no document at %q", url)
+}
+
+// Evaluator runs Elog programs. The zero value is not usable; use
+// NewEvaluator.
+type Evaluator struct {
+	// Fetcher resolves document(url, S) atoms and getDocument crawling.
+	Fetcher Fetcher
+	// Concepts provides the concept conditions; defaults to the
+	// built-in base.
+	Concepts *concepts.Base
+	// MaxDocuments bounds crawling (default 64).
+	MaxDocuments int
+	// MaxInstances bounds the pattern instance base (default 100000),
+	// guarding against runaway recursive wrapping.
+	MaxInstances int
+}
+
+// NewEvaluator returns an evaluator with the built-in concept base.
+func NewEvaluator(f Fetcher) *Evaluator {
+	return &Evaluator{Fetcher: f, Concepts: concepts.NewBase(), MaxDocuments: 64, MaxInstances: 100000}
+}
+
+// Run evaluates the program: document(url, S) entry rules fetch their
+// pages through the Fetcher, patterns are computed to fixpoint
+// (supporting recursive wrapping and crawling), and the resulting
+// pattern instance base is returned.
+//
+// A single Elog program "can be used for continuous wrapping of changing
+// pages or to wrap several HTML pages of similar structure"
+// (Section 3.1) — Run is stateless; call it again to re-wrap.
+func (ev *Evaluator) Run(p *Program) (*pib.Base, error) {
+	base := pib.NewBase()
+	docs := map[string]*pib.Instance{} // by URL
+	fetchDoc := func(url string) (*pib.Instance, error) {
+		if in, ok := docs[url]; ok {
+			return in, nil
+		}
+		if len(docs) >= ev.max(ev.MaxDocuments, 64) {
+			return nil, fmt.Errorf("%w of %d documents exceeded", errCrawlLimit, ev.max(ev.MaxDocuments, 64))
+		}
+		t, err := ev.Fetcher.Fetch(url)
+		if err != nil {
+			return nil, err
+		}
+		t.Reindex()
+		in := &pib.Instance{Pattern: "document", Kind: pib.DocumentInstance,
+			Doc: t, URL: url, Nodes: []dom.NodeID{t.Root()}}
+		in, _ = base.Add(in)
+		docs[url] = in
+		return in, nil
+	}
+
+	// Elog supports stratified negation (Section 3.3): rules with
+	// negated pattern references must see the referenced pattern fully
+	// computed. Group the rules into strata, then run each stratum's
+	// rules to fixpoint (rules within a stratum may feed each other —
+	// pattern references, recursive wrapping).
+	strata, err := Stratify(p)
+	if err != nil {
+		return base, err
+	}
+	for _, rules := range strata {
+		for {
+			changed := false
+			for _, r := range rules {
+				var parents []*pib.Instance
+				if r.DocURL != "" {
+					in, err := fetchDoc(r.DocURL)
+					if err != nil {
+						return base, fmt.Errorf("elog: rule for %s: %w", r.Head, err)
+					}
+					parents = []*pib.Instance{in}
+				} else {
+					parents = base.Instances(r.Parent)
+				}
+				for _, s := range parents {
+					added, err := ev.applyRule(base, r, s, fetchDoc)
+					if err != nil {
+						return base, err
+					}
+					if added {
+						changed = true
+					}
+					if base.Count() > ev.max(ev.MaxInstances, 100000) {
+						return base, fmt.Errorf("elog: instance limit exceeded (recursive wrapper runaway?)")
+					}
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+	return base, nil
+}
+
+// Stratify partitions the program's rules into strata such that negated
+// pattern references only point to strictly lower strata; positive
+// dependencies (parents, positive references) stay within or below. It
+// returns an error for programs with negation cycles, which have no
+// stratified semantics.
+func Stratify(p *Program) ([][]*Rule, error) {
+	stratum := map[string]int{}
+	for _, r := range p.Rules {
+		stratum[r.Head] = 0
+	}
+	n := len(stratum)
+	for iter := 0; ; iter++ {
+		if iter > n+1 {
+			return nil, fmt.Errorf("elog: program is not stratifiable (cycle through a negated pattern reference)")
+		}
+		changed := false
+		bump := func(head string, min int) {
+			if stratum[head] < min {
+				stratum[head] = min
+				changed = true
+			}
+		}
+		for _, r := range p.Rules {
+			if r.DocURL == "" {
+				bump(r.Head, stratum[r.Parent])
+			}
+			for _, c := range r.Conds {
+				if ref, ok := c.(PatternRefCond); ok {
+					need := stratum[ref.Pattern]
+					if ref.Negated {
+						need++
+					}
+					bump(r.Head, need)
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	max := 0
+	for _, s := range stratum {
+		if s > max {
+			max = s
+		}
+	}
+	out := make([][]*Rule, max+1)
+	for _, r := range p.Rules {
+		out[stratum[r.Head]] = append(out[stratum[r.Head]], r)
+	}
+	return out, nil
+}
+
+func (ev *Evaluator) max(v, def int) int {
+	if v <= 0 {
+		return def
+	}
+	return v
+}
+
+// binding maps Elog variables to values: "S", "X" plus regvar and
+// condition-bound variables. Values are candidate instances (nodes or
+// strings) or plain strings.
+type binding struct {
+	// node-valued variables.
+	nodes map[string]dom.NodeID
+	// string-valued variables.
+	strs map[string]string
+}
+
+func (b *binding) clone() *binding {
+	nb := &binding{nodes: map[string]dom.NodeID{}, strs: map[string]string{}}
+	for k, v := range b.nodes {
+		nb.nodes[k] = v
+	}
+	for k, v := range b.strs {
+		nb.strs[k] = v
+	}
+	return nb
+}
+
+// candidate is a prospective instance produced by the extraction atom.
+type candidate struct {
+	kind  pib.Kind
+	nodes []dom.NodeID
+	text  string
+	doc   *dom.Tree
+	url   string
+	binds map[string]string
+}
+
+// applyRule evaluates one rule for one parent instance; it returns
+// whether any new instance was added.
+func (ev *Evaluator) applyRule(base *pib.Base, r *Rule, s *pib.Instance, fetch func(string) (*pib.Instance, error)) (bool, error) {
+	cands, err := ev.extract(r, s, fetch)
+	if err != nil {
+		return false, err
+	}
+	var accepted []candidate
+	for _, c := range cands {
+		b := &binding{nodes: map[string]dom.NodeID{}, strs: map[string]string{}}
+		if len(c.nodes) > 0 {
+			b.nodes["X"] = c.nodes[0]
+		}
+		if len(s.Nodes) > 0 {
+			b.nodes["S"] = s.Nodes[0]
+		}
+		for k, v := range c.binds {
+			b.strs[k] = v
+		}
+		ok, err := ev.conditions(base, r, s, c, b, 0)
+		if err != nil {
+			return false, err
+		}
+		if ok {
+			accepted = append(accepted, c)
+		}
+	}
+	if r.Extract != nil && r.Extract.Kind == Subsq {
+		accepted = maximalOnly(accepted)
+	}
+	for _, c := range r.Conds {
+		if _, ok := c.(FirstCond); ok {
+			accepted = firstOnly(accepted)
+			break
+		}
+	}
+	changed := false
+	for _, c := range accepted {
+		inst := &pib.Instance{
+			Pattern: r.Head, Kind: c.kind, Doc: c.doc, URL: c.url,
+			Nodes: c.nodes, Text: c.text, Parent: s,
+		}
+		if _, added := base.Add(inst); added {
+			changed = true
+		}
+	}
+	return changed, nil
+}
+
+// firstOnly keeps the candidate earliest in document order — the
+// firstsubtree internal condition.
+func firstOnly(cands []candidate) []candidate {
+	best := -1
+	bestPre := 1 << 30
+	for i, c := range cands {
+		if len(c.nodes) == 0 {
+			continue
+		}
+		if p := c.doc.Pre(c.nodes[0]); p < bestPre {
+			best, bestPre = i, p
+		}
+	}
+	if best < 0 {
+		if len(cands) > 0 {
+			return cands[:1]
+		}
+		return nil
+	}
+	return cands[best : best+1]
+}
+
+// maximalOnly keeps, among accepted subsq candidates, only those whose
+// node range is not strictly contained in another accepted candidate's
+// range ("the largest sequence").
+func maximalOnly(cands []candidate) []candidate {
+	var out []candidate
+	for i, c := range cands {
+		contained := false
+		for j, d := range cands {
+			if i == j || len(c.nodes) == 0 || len(d.nodes) == 0 {
+				continue
+			}
+			if d.nodes[0] <= c.nodes[0] && c.nodes[len(c.nodes)-1] <= d.nodes[len(d.nodes)-1] &&
+				len(d.nodes) > len(c.nodes) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// extract produces the candidate instances of a rule for parent s.
+func (ev *Evaluator) extract(r *Rule, s *pib.Instance, fetch func(string) (*pib.Instance, error)) ([]candidate, error) {
+	if r.Specialize {
+		// The candidate is the parent instance itself.
+		return []candidate{{kind: s.Kind, nodes: s.Nodes, text: s.Text, doc: s.Doc, url: s.URL}}, nil
+	}
+	e := r.Extract
+	switch e.Kind {
+	case Subelem:
+		if len(s.Nodes) == 0 {
+			return nil, nil
+		}
+		var out []candidate
+		for _, m := range e.EPD.Match(s.Doc, s.Nodes, s.Kind == pib.SequenceInstance) {
+			out = append(out, candidate{kind: pib.NodeInstance, nodes: []dom.NodeID{m.node}, doc: s.Doc, url: s.URL, binds: m.binds})
+		}
+		return out, nil
+	case Subsq:
+		if len(s.Nodes) == 0 {
+			return nil, nil
+		}
+		var out []candidate
+		for _, fm := range e.From.Match(s.Doc, s.Nodes, s.Kind == pib.SequenceInstance) {
+			seqs := candidateSequences(s.Doc, fm.node, e.Start, e.End)
+			for _, seq := range seqs {
+				out = append(out, candidate{kind: pib.SequenceInstance, nodes: seq, doc: s.Doc, url: s.URL, binds: fm.binds})
+			}
+		}
+		return out, nil
+	case Subtext:
+		text := s.TextContent()
+		var out []candidate
+		for _, m := range e.SPD.Match(text) {
+			out = append(out, candidate{kind: pib.StringInstance, text: m.text, doc: s.Doc, url: s.URL, binds: m.binds})
+		}
+		return out, nil
+	case Subatt:
+		if len(s.Nodes) == 0 {
+			return nil, nil
+		}
+		var out []candidate
+		for _, n := range s.Nodes {
+			if v, ok := s.Doc.Attr(n, e.Attr); ok {
+				out = append(out, candidate{kind: pib.StringInstance, text: v, doc: s.Doc, url: s.URL})
+			}
+		}
+		return out, nil
+	case GetDocument:
+		url := strings.TrimSpace(s.TextContent())
+		if url == "" {
+			return nil, nil
+		}
+		in, err := fetch(resolveURL(s.URL, url))
+		if err != nil {
+			if errors.Is(err, errCrawlLimit) {
+				return nil, err
+			}
+			// A dangling link is not a wrapper failure; crawling skips it.
+			return nil, nil
+		}
+		return []candidate{{kind: pib.NodeInstance, nodes: in.Nodes, doc: in.Doc, url: in.URL}}, nil
+	}
+	return nil, fmt.Errorf("elog: unknown extraction kind")
+}
+
+// resolveURL resolves a possibly relative URL against the base document
+// URL (string prefix resolution; the simulated web uses path-style
+// URLs).
+func resolveURL(base, ref string) string {
+	if strings.Contains(ref, "://") || base == "" {
+		return ref
+	}
+	if strings.HasPrefix(ref, "/") {
+		// Keep scheme+host of base.
+		if i := strings.Index(base, "://"); i >= 0 {
+			if j := strings.IndexByte(base[i+3:], '/'); j >= 0 {
+				return base[:i+3+j] + ref
+			}
+			return base + ref
+		}
+		return ref
+	}
+	// Relative: replace last path component.
+	if i := strings.LastIndexByte(base, '/'); i >= 0 {
+		return base[:i+1] + ref
+	}
+	return ref
+}
+
+// candidateSequences enumerates the runs of consecutive children of
+// parent that start at a child self-matching start and end at a child
+// self-matching end. All candidate ranges are produced; the rule's
+// conditions select among them, and applyRule keeps only the largest
+// surviving ones (Figure 5: "the (largest) sequence ... such that the
+// first node immediately follows the list header and the final node is
+// immediately followed by an hr").
+func candidateSequences(t *dom.Tree, parent dom.NodeID, start, end *EPD) [][]dom.NodeID {
+	children := t.Children(parent)
+	var starts, ends []int
+	for i, c := range children {
+		if start.SelfMatch(t, c) {
+			starts = append(starts, i)
+		}
+		if end.SelfMatch(t, c) {
+			ends = append(ends, i)
+		}
+	}
+	var out [][]dom.NodeID
+	for _, i := range starts {
+		for _, j := range ends {
+			if j < i {
+				continue
+			}
+			out = append(out, append([]dom.NodeID(nil), children[i:j+1]...))
+		}
+	}
+	return out
+}
+
+// conditions evaluates r.Conds[i:] under binding b with backtracking
+// over the choices introduced by before/after/contains.
+func (ev *Evaluator) conditions(base *pib.Base, r *Rule, s *pib.Instance, c candidate, b *binding, i int) (bool, error) {
+	if i == len(r.Conds) {
+		return true, nil
+	}
+	cond := r.Conds[i]
+	switch cc := cond.(type) {
+	case BeforeCond:
+		// In a specialization rule head(S, X) <- parent(S, X), the rule
+		// variable S denotes the parent instance's own parent — context
+		// conditions scope there, not at the instance being specialized.
+		scope := s
+		if r.Specialize && s.Parent != nil {
+			scope = s.Parent
+		}
+		matches := ev.contextMatches(scope, c, cc)
+		if cc.Negated {
+			if len(matches) > 0 {
+				return false, nil
+			}
+			return ev.conditions(base, r, s, c, b, i+1)
+		}
+		for _, m := range matches {
+			nb := b.clone()
+			if cc.Var != "" {
+				nb.nodes[cc.Var] = m.node
+				nb.strs[cc.Var] = strings.TrimSpace(c.doc.ElementText(m.node))
+			}
+			if cc.DistVar != "" {
+				nb.strs[cc.DistVar] = fmt.Sprintf("%d", m.dist)
+			}
+			for k, v := range m.binds {
+				nb.strs[k] = v
+			}
+			ok, err := ev.conditions(base, r, s, c, nb, i+1)
+			if err != nil || ok {
+				return ok, err
+			}
+		}
+		return false, nil
+	case ContainsCond:
+		if len(c.nodes) == 0 {
+			if cc.Negated {
+				return ev.conditions(base, r, s, c, b, i+1)
+			}
+			return false, nil
+		}
+		ms := cc.EPD.MatchDeep(c.doc, c.nodes, c.kind == pib.SequenceInstance)
+		if cc.Negated {
+			if len(ms) > 0 {
+				return false, nil
+			}
+			return ev.conditions(base, r, s, c, b, i+1)
+		}
+		for _, m := range ms {
+			nb := b.clone()
+			if cc.Var != "" {
+				nb.nodes[cc.Var] = m.node
+				nb.strs[cc.Var] = strings.TrimSpace(c.doc.ElementText(m.node))
+			}
+			for k, v := range m.binds {
+				nb.strs[k] = v
+			}
+			ok, err := ev.conditions(base, r, s, c, nb, i+1)
+			if err != nil || ok {
+				return ok, err
+			}
+		}
+		return false, nil
+	case ConceptCond:
+		val, ok := ev.varText(b, c, cc.Var)
+		if !ok {
+			return false, fmt.Errorf("elog: rule for %s: concept %s on unbound variable %s", r.Head, cc.Concept, cc.Var)
+		}
+		holds := ev.Concepts.Holds(cc.Concept, val)
+		if holds == cc.Negated {
+			return false, nil
+		}
+		return ev.conditions(base, r, s, c, b, i+1)
+	case CompareCond:
+		l, ok1 := ev.operandText(b, c, cc.L)
+		rv, ok2 := ev.operandText(b, c, cc.R)
+		if !ok1 || !ok2 {
+			return false, fmt.Errorf("elog: rule for %s: comparison on unbound variable", r.Head)
+		}
+		holds, err := concepts.Compare(cc.Op, l, rv)
+		if err != nil {
+			return false, err
+		}
+		if !holds {
+			return false, nil
+		}
+		return ev.conditions(base, r, s, c, b, i+1)
+	case FirstCond:
+		// Handled as a post-filter in applyRule; as an in-place
+		// condition it is vacuously true.
+		return ev.conditions(base, r, s, c, b, i+1)
+	case PatternRefCond:
+		n, ok := b.nodes[cc.Var]
+		if !ok {
+			return false, fmt.Errorf("elog: rule for %s: pattern reference %s(_, %s) on unbound variable", r.Head, cc.Pattern, cc.Var)
+		}
+		found := false
+		for _, in := range base.Instances(cc.Pattern) {
+			if in.Doc == c.doc && len(in.Nodes) == 1 && in.Nodes[0] == n {
+				found = true
+				break
+			}
+		}
+		if found == cc.Negated {
+			return false, nil
+		}
+		return ev.conditions(base, r, s, c, b, i+1)
+	}
+	return false, fmt.Errorf("elog: unknown condition %T", cond)
+}
+
+// varText resolves a variable to text: string binding first, then the
+// element text of a node binding, then the candidate itself for "X".
+func (ev *Evaluator) varText(b *binding, c candidate, v string) (string, bool) {
+	if s, ok := b.strs[v]; ok && s != "" {
+		return s, true
+	}
+	if n, ok := b.nodes[v]; ok {
+		return strings.TrimSpace(c.doc.ElementText(n)), true
+	}
+	if v == "X" {
+		if c.kind == pib.StringInstance {
+			return c.text, true
+		}
+		var sb strings.Builder
+		for _, n := range c.nodes {
+			sb.WriteString(c.doc.ElementText(n))
+		}
+		return strings.TrimSpace(sb.String()), true
+	}
+	if s, ok := b.strs[v]; ok {
+		return s, true
+	}
+	return "", false
+}
+
+func (ev *Evaluator) operandText(b *binding, c candidate, o Operand) (string, bool) {
+	if o.Var != "" {
+		return ev.varText(b, c, o.Var)
+	}
+	return o.Literal, true
+}
+
+// ctxMatch is a before/after candidate: the matched node and its tree
+// distance from the target instance.
+type ctxMatch struct {
+	node  dom.NodeID
+	dist  int
+	binds map[string]string
+}
+
+// contextMatches finds the elements matching the condition's EPD within
+// the parent instance that lie before (or after) the target with the
+// distance within tolerance. Distance is measured in document-order
+// positions between the end of the earlier subtree and the start of the
+// later one — 0 means immediately adjacent, as in Figure 5's
+// before(..., 0, 0, ...) "immediately precedes" usage.
+func (ev *Evaluator) contextMatches(s *pib.Instance, c candidate, cc BeforeCond) []ctxMatch {
+	if len(s.Nodes) == 0 || len(c.nodes) == 0 {
+		return nil
+	}
+	t := s.Doc
+	t.Reindex()
+	xStart := t.Pre(c.nodes[0])
+	lastNode := c.nodes[len(c.nodes)-1]
+	xEnd := t.Pre(lastNode) + t.SubtreeSize(lastNode) // one past the end
+	var out []ctxMatch
+	for _, m := range cc.EPD.MatchDeep(t, s.Nodes, s.Kind == pib.SequenceInstance) {
+		yStart := t.Pre(m.node)
+		yEnd := yStart + t.SubtreeSize(m.node)
+		var dist int
+		if cc.After {
+			// m must start after the target ends.
+			if yStart < xEnd {
+				continue
+			}
+			dist = yStart - xEnd
+		} else {
+			// m's subtree must end before the target starts.
+			if yEnd > xStart {
+				continue
+			}
+			dist = xStart - yEnd
+		}
+		if dist < cc.DMin || dist > cc.DMax {
+			continue
+		}
+		out = append(out, ctxMatch{node: m.node, dist: dist, binds: m.binds})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].dist < out[j].dist })
+	return out
+}

@@ -1,0 +1,393 @@
+package elog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads an Elog program in the concrete syntax of Figure 5:
+//
+//	tableseq(S, X) <- document("www.ebay.com/", S),
+//	    subsq(S, (.body, []), (.table, []), (.table, []), X),
+//	    before(S, X, (.table, [(elementtext, item, substr)]), 0, 0, _, _),
+//	    after(S, X, .hr, 0, 0, _, _)
+//	record(S, X) <- tableseq(_, S), subelem(S, .table, X)
+//	...
+//
+// Rules are terminated by a newline at nesting depth zero (so a rule may
+// wrap across lines as long as open parentheses carry it), or by an
+// optional '.'. '%' starts a comment. The arrow may be '<-', '←' or
+// ':-'.
+func Parse(src string) (*Program, error) {
+	prog := &Program{}
+	for i, raw := range splitRules(src) {
+		r, err := parseRule(raw)
+		if err != nil {
+			return nil, fmt.Errorf("rule %d: %w", i+1, err)
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if len(prog.Rules) == 0 {
+		return nil, fmt.Errorf("elog: empty program")
+	}
+	if err := prog.check(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// check verifies that every referenced parent pattern is defined.
+func (p *Program) check() error {
+	defined := map[string]bool{"document": true}
+	for _, r := range p.Rules {
+		defined[r.Head] = true
+	}
+	for _, r := range p.Rules {
+		if r.DocURL == "" && !defined[r.Parent] {
+			return fmt.Errorf("elog: rule for %s references undefined parent pattern %s", r.Head, r.Parent)
+		}
+		for _, c := range r.Conds {
+			if ref, ok := c.(PatternRefCond); ok && !defined[ref.Pattern] {
+				return fmt.Errorf("elog: rule for %s references undefined pattern %s", r.Head, ref.Pattern)
+			}
+		}
+	}
+	return nil
+}
+
+// splitRules splits the source into rule strings: a rule ends at a
+// newline (or '.') at parenthesis depth zero, once it contains an arrow.
+func splitRules(src string) []string {
+	src = strings.ReplaceAll(src, "←", "<-")
+	var rules []string
+	var cur strings.Builder
+	depth := 0
+	hasArrow := false
+	flush := func() {
+		s := strings.TrimSpace(cur.String())
+		s = strings.TrimSuffix(s, ".")
+		if s != "" {
+			rules = append(rules, s)
+		}
+		cur.Reset()
+		hasArrow = false
+	}
+	lines := strings.Split(src, "\n")
+	for _, line := range lines {
+		if i := strings.IndexByte(line, '%'); i >= 0 {
+			line = line[:i]
+		}
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" {
+			continue
+		}
+		cur.WriteString(line)
+		cur.WriteByte(' ')
+		for _, c := range line {
+			switch c {
+			case '(', '[':
+				depth++
+			case ')', ']':
+				depth--
+			}
+		}
+		if strings.Contains(cur.String(), "<-") || strings.Contains(cur.String(), ":-") {
+			hasArrow = true
+		}
+		if depth == 0 && hasArrow && !strings.HasSuffix(strings.TrimSpace(cur.String()), ",") {
+			flush()
+		}
+	}
+	flush()
+	return rules
+}
+
+// atom is a raw parsed atom: a predicate name and its raw argument
+// strings (top-level comma split).
+type atom struct {
+	name string
+	args []string
+}
+
+func parseRule(src string) (*Rule, error) {
+	src = strings.ReplaceAll(src, ":-", "<-")
+	parts := strings.SplitN(src, "<-", 2)
+	if len(parts) != 2 {
+		return nil, fmt.Errorf("elog: missing arrow in %q", src)
+	}
+	head, err := parseAtom(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	if len(head.args) != 2 {
+		return nil, fmt.Errorf("elog: head %s must be binary (S, X)", head.name)
+	}
+	bodyAtoms, err := parseBody(parts[1])
+	if err != nil {
+		return nil, err
+	}
+	if len(bodyAtoms) == 0 {
+		return nil, fmt.Errorf("elog: empty body")
+	}
+	r := &Rule{Head: head.name}
+	// First atom: parent.
+	par := bodyAtoms[0]
+	switch {
+	case par.name == "document":
+		if len(par.args) != 2 {
+			return nil, fmt.Errorf("elog: document atom needs (url, S)")
+		}
+		r.Parent = "document"
+		r.DocURL = unquote(par.args[0])
+	default:
+		if len(par.args) != 2 {
+			return nil, fmt.Errorf("elog: parent atom %s must be binary", par.name)
+		}
+		r.Parent = par.name
+		if strings.TrimSpace(par.args[0]) != "_" {
+			// Specialization rule: parent(S, X).
+			r.Specialize = true
+		}
+	}
+	// Remaining atoms: at most one extraction, then conditions.
+	for _, a := range bodyAtoms[1:] {
+		if ext, ok, err := parseExtraction(a); err != nil {
+			return nil, err
+		} else if ok {
+			if r.Extract != nil {
+				return nil, fmt.Errorf("elog: rule for %s has two extraction atoms", r.Head)
+			}
+			r.Extract = ext
+			continue
+		}
+		c, err := parseCondition(a)
+		if err != nil {
+			return nil, err
+		}
+		r.Conds = append(r.Conds, c)
+	}
+	if r.Extract == nil && !r.Specialize {
+		return nil, fmt.Errorf("elog: standard rule for %s lacks an extraction atom (make it a specialization rule with %s(S, X))", r.Head, r.Parent)
+	}
+	return r, nil
+}
+
+// parseBody splits the rule body into atoms at top-level commas, then
+// parses each.
+func parseBody(src string) ([]atom, error) {
+	var atoms []atom
+	for _, raw := range splitTop(src, ',') {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		a, err := parseAtom(raw)
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, a)
+	}
+	return atoms, nil
+}
+
+func parseAtom(src string) (atom, error) {
+	s := strings.TrimSpace(src)
+	neg := false
+	if rest, ok := strings.CutPrefix(s, "not "); ok {
+		neg = true
+		s = strings.TrimSpace(rest)
+	}
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return atom{}, fmt.Errorf("elog: malformed atom %q", src)
+	}
+	name := strings.TrimSpace(s[:open])
+	if name == "" {
+		return atom{}, fmt.Errorf("elog: atom without predicate name: %q", src)
+	}
+	inner := s[open+1 : len(s)-1]
+	var args []string
+	for _, a := range splitTop(inner, ',') {
+		args = append(args, strings.TrimSpace(a))
+	}
+	if neg {
+		name = "not" + name
+	}
+	return atom{name: name, args: args}, nil
+}
+
+func unquote(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		if u, err := strconv.Unquote(s); err == nil {
+			return u
+		}
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+func isVar(s string) bool {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "_" {
+		return false
+	}
+	c := s[0]
+	if !(c >= 'A' && c <= 'Z') {
+		return false
+	}
+	for i := 1; i < len(s); i++ {
+		if !(s[i] >= 'a' && s[i] <= 'z' || s[i] >= 'A' && s[i] <= 'Z' || s[i] >= '0' && s[i] <= '9' || s[i] == '_') {
+			return false
+		}
+	}
+	return true
+}
+
+func varOrBlank(s string) string {
+	s = strings.TrimSpace(s)
+	if s == "_" {
+		return ""
+	}
+	return s
+}
+
+// parseExtraction recognizes the extraction atoms; ok=false when the
+// atom is not an extraction atom.
+func parseExtraction(a atom) (*Extract, bool, error) {
+	switch a.name {
+	case "subelem":
+		if len(a.args) != 3 {
+			return nil, true, fmt.Errorf("elog: subelem needs (S, epd, X), got %d args", len(a.args))
+		}
+		epd, err := ParseEPD(a.args[1])
+		if err != nil {
+			return nil, true, err
+		}
+		return &Extract{Kind: Subelem, EPD: epd}, true, nil
+	case "subsq":
+		if len(a.args) != 5 {
+			return nil, true, fmt.Errorf("elog: subsq needs (S, from, start, end, X), got %d args", len(a.args))
+		}
+		from, err := ParseEPD(a.args[1])
+		if err != nil {
+			return nil, true, err
+		}
+		start, err := ParseEPD(a.args[2])
+		if err != nil {
+			return nil, true, err
+		}
+		end, err := ParseEPD(a.args[3])
+		if err != nil {
+			return nil, true, err
+		}
+		return &Extract{Kind: Subsq, From: from, Start: start, End: end}, true, nil
+	case "subtext":
+		if len(a.args) != 3 {
+			return nil, true, fmt.Errorf("elog: subtext needs (S, spd, X)")
+		}
+		spd, err := ParseSPD(a.args[1])
+		if err != nil {
+			return nil, true, err
+		}
+		return &Extract{Kind: Subtext, SPD: spd}, true, nil
+	case "subatt":
+		if len(a.args) != 3 {
+			return nil, true, fmt.Errorf("elog: subatt needs (S, attr, X)")
+		}
+		return &Extract{Kind: Subatt, Attr: unquote(a.args[1])}, true, nil
+	case "getDocument", "getdocument":
+		if len(a.args) != 2 {
+			return nil, true, fmt.Errorf("elog: getDocument needs (S, X)")
+		}
+		return &Extract{Kind: GetDocument}, true, nil
+	}
+	return nil, false, nil
+}
+
+// comparison operator predicate names.
+var compareOps = map[string]string{
+	"<": "<", "<=": "<=", ">": ">", ">=": ">=", "=": "=", "!=": "!=",
+	"lt": "<", "le": "<=", "gt": ">", "ge": ">=", "eq": "=", "neq": "!=",
+}
+
+func parseCondition(a atom) (Cond, error) {
+	name := a.name
+	neg := false
+	if rest, ok := strings.CutPrefix(name, "not"); ok && rest != "" && name != "notbefore" && name != "notafter" && name != "notcontains" {
+		// "not isCurrency" style negation was folded into the name by
+		// parseAtom ("notisCurrency"); undo it for concept conditions.
+		name = rest
+		neg = true
+	}
+	switch name {
+	case "before", "after", "notbefore", "notafter":
+		base := strings.TrimPrefix(name, "not")
+		if len(a.args) != 7 {
+			return nil, fmt.Errorf("elog: %s needs (S, X, epd, dmin, dmax, Y, D), got %d args", name, len(a.args))
+		}
+		epd, err := ParseEPD(a.args[2])
+		if err != nil {
+			return nil, err
+		}
+		dmin, err1 := strconv.Atoi(strings.TrimSpace(a.args[3]))
+		dmax, err2 := strconv.Atoi(strings.TrimSpace(a.args[4]))
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("elog: %s distance bounds must be integers", name)
+		}
+		return BeforeCond{
+			EPD: epd, DMin: dmin, DMax: dmax,
+			Var: varOrBlank(a.args[5]), DistVar: varOrBlank(a.args[6]),
+			Negated: strings.HasPrefix(name, "not"),
+			After:   base == "after",
+		}, nil
+	case "contains", "notcontains":
+		if len(a.args) != 3 {
+			return nil, fmt.Errorf("elog: %s needs (X, epd, Y)", name)
+		}
+		epd, err := ParseEPD(a.args[1])
+		if err != nil {
+			return nil, err
+		}
+		return ContainsCond{EPD: epd, Var: varOrBlank(a.args[2]), Negated: name == "notcontains"}, nil
+	}
+	if name == "firstsubtree" {
+		if len(a.args) != 2 {
+			return nil, fmt.Errorf("elog: firstsubtree needs (S, X)")
+		}
+		return FirstCond{}, nil
+	}
+	if op, ok := compareOps[name]; ok {
+		if len(a.args) != 2 {
+			return nil, fmt.Errorf("elog: comparison %s needs two arguments", name)
+		}
+		return CompareCond{Op: op, L: parseOperand(a.args[0]), R: parseOperand(a.args[1])}, nil
+	}
+	// Concept condition: is... with one variable argument.
+	if strings.HasPrefix(name, "is") && len(a.args) == 1 && isVar(a.args[0]) {
+		return ConceptCond{Concept: name, Var: a.args[0], Negated: neg}, nil
+	}
+	// Pattern reference: pattern(_, Y).
+	if len(a.args) == 2 && strings.TrimSpace(a.args[0]) == "_" && isVar(a.args[1]) {
+		return PatternRefCond{Pattern: name, Var: a.args[1], Negated: neg}, nil
+	}
+	return nil, fmt.Errorf("elog: unrecognized condition atom %s/%d", a.name, len(a.args))
+}
+
+func parseOperand(s string) Operand {
+	s = strings.TrimSpace(s)
+	if isVar(s) {
+		return Operand{Var: s}
+	}
+	return Operand{Literal: unquote(s)}
+}

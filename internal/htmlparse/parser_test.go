@@ -1,0 +1,332 @@
+package htmlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dom"
+)
+
+func labels(t *dom.Tree) []string {
+	var out []string
+	t.Walk(func(n dom.NodeID) { out = append(out, t.Label(n)) })
+	return out
+}
+
+func TestParseSimple(t *testing.T) {
+	tr := Parse(`<html><body><p>Hello <b>world</b></p></body></html>`)
+	want := "html(body(p(\"Hello \",b(\"world\"))))"
+	if got := tr.String(); got != want {
+		t.Errorf("got %s want %s", got, want)
+	}
+}
+
+func TestParseSynthesizesHTMLBody(t *testing.T) {
+	tr := Parse(`<p>x</p>`)
+	if tr.Label(tr.Root()) != "html" {
+		t.Fatalf("root = %s", tr.Label(tr.Root()))
+	}
+	body := Body(tr)
+	if tr.Label(body) != "body" {
+		t.Fatalf("no body")
+	}
+	if tr.Label(tr.FirstChild(body)) != "p" {
+		t.Fatalf("p not under body: %s", tr.String())
+	}
+}
+
+func TestParseAttributes(t *testing.T) {
+	tr := Parse(`<a href="x.html" class='nav' disabled data-id=42>go</a>`)
+	var a dom.NodeID = dom.Nil
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Label(n) == "a" {
+			a = n
+		}
+	})
+	if a == dom.Nil {
+		t.Fatal("no <a>")
+	}
+	for _, tc := range []struct{ k, v string }{
+		{"href", "x.html"}, {"class", "nav"}, {"disabled", ""}, {"data-id", "42"},
+	} {
+		if v, ok := tr.Attr(a, tc.k); !ok || v != tc.v {
+			t.Errorf("attr %s = %q, %v; want %q", tc.k, v, ok, tc.v)
+		}
+	}
+}
+
+func TestAutoCloseListItems(t *testing.T) {
+	tr := Parse(`<ul><li>one<li>two<li>three</ul>`)
+	ul := dom.Nil
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Label(n) == "ul" {
+			ul = n
+		}
+	})
+	if got := tr.ChildCount(ul); got != 3 {
+		t.Fatalf("ul has %d children: %s", got, tr.String())
+	}
+}
+
+func TestAutoCloseTableCells(t *testing.T) {
+	tr := Parse(`<table><tr><td>a<td>b<tr><td>c</table>`)
+	var trs, tds int
+	tr.Walk(func(n dom.NodeID) {
+		switch tr.Label(n) {
+		case "tr":
+			trs++
+		case "td":
+			tds++
+		}
+	})
+	if trs != 2 || tds != 3 {
+		t.Fatalf("trs=%d tds=%d: %s", trs, tds, tr.String())
+	}
+}
+
+func TestNestedTablesNotAutoClosed(t *testing.T) {
+	// A <table> inside a <td> must not close the outer row/cell.
+	tr := Parse(`<table><tr><td><table><tr><td>inner</td></tr></table></td><td>after</td></tr></table>`)
+	outer := dom.Nil
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Label(n) == "table" && outer == dom.Nil {
+			outer = n
+		}
+	})
+	// The outer row must have two cells.
+	row := tr.FirstChild(outer)
+	if tr.Label(row) != "tr" || tr.ChildCount(row) != 2 {
+		t.Fatalf("outer structure wrong: %s", tr.String())
+	}
+}
+
+func TestVoidElements(t *testing.T) {
+	tr := Parse(`<body>a<br>b<hr><img src="i.png">c</body>`)
+	body := Body(tr)
+	var seq []string
+	for c := tr.FirstChild(body); c != dom.Nil; c = tr.NextSibling(c) {
+		seq = append(seq, tr.Label(c))
+	}
+	want := []string{"#text", "br", "#text", "hr", "img", "#text"}
+	if strings.Join(seq, ",") != strings.Join(want, ",") {
+		t.Fatalf("got %v want %v", seq, want)
+	}
+}
+
+func TestParagraphAutoClose(t *testing.T) {
+	tr := Parse(`<p>one<p>two`)
+	body := Body(tr)
+	if got := tr.ChildCount(body); got != 2 {
+		t.Fatalf("body children = %d: %s", got, tr.String())
+	}
+}
+
+func TestRawTextScript(t *testing.T) {
+	tr := Parse(`<body><script>if (a < b) { x("<div>") }</script><p>y</p></body>`)
+	script := dom.Nil
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Label(n) == "script" {
+			script = n
+		}
+	})
+	if script == dom.Nil {
+		t.Fatal("no script")
+	}
+	if got := tr.ElementText(script); !strings.Contains(got, `x("<div>")`) {
+		t.Errorf("script text = %q", got)
+	}
+	// The <p> must still be parsed as an element.
+	found := false
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Label(n) == "p" {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("p lost after script")
+	}
+}
+
+func TestEntities(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"a &amp; b", "a & b"},
+		{"&lt;i&gt;", "<i>"},
+		{"&#65;&#x42;", "AB"},
+		{"5 &euro;", "5 €"},
+		{"&bogus; stays", "&bogus; stays"},
+		{"&unterminated", "&unterminated"},
+	} {
+		if got := DecodeEntities(tc.in); got != tc.want {
+			t.Errorf("DecodeEntities(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestStrayEndTagsIgnored(t *testing.T) {
+	tr := Parse(`<div></span>text</div>`)
+	div := dom.Nil
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Label(n) == "div" {
+			div = n
+		}
+	})
+	if got := tr.ElementText(div); got != "text" {
+		t.Errorf("div text = %q (%s)", got, tr.String())
+	}
+}
+
+func TestCommentsPreserved(t *testing.T) {
+	tr := Parse(`<body><!-- marker --><p>x</p></body>`)
+	found := false
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Kind(n) == dom.Comment && strings.Contains(tr.Text(n), "marker") {
+			found = true
+		}
+	})
+	if !found {
+		t.Error("comment lost")
+	}
+}
+
+func TestHeadElements(t *testing.T) {
+	tr := Parse(`<html><head><title>T</title><meta charset="utf-8"></head><body><p>x</p></body></html>`)
+	var head dom.NodeID = dom.Nil
+	for c := tr.FirstChild(tr.Root()); c != dom.Nil; c = tr.NextSibling(c) {
+		if tr.Label(c) == "head" {
+			head = c
+		}
+	}
+	if head == dom.Nil {
+		t.Fatal("no head")
+	}
+	if got := tr.ElementText(head); got != "T" {
+		t.Errorf("title text = %q", got)
+	}
+}
+
+func TestDoctypeIgnored(t *testing.T) {
+	tr := Parse("<!DOCTYPE html>\n<html><body><p>x</p></body></html>")
+	if tr.Label(tr.Root()) != "html" {
+		t.Fatalf("root = %s", tr.Label(tr.Root()))
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	src := `<html><body><table class="list"><tr><td>a &amp; b</td><td><a href="u?x=1&amp;y=2">link</a></td></tr></table><hr></body></html>`
+	t1 := Parse(src)
+	out := Render(t1)
+	t2 := Parse(out)
+	if !dom.Equal(t1, t2) {
+		t.Errorf("round trip changed tree:\n%s\n%s", t1, t2)
+	}
+}
+
+func TestRenderParseIdempotentProperty(t *testing.T) {
+	// Render∘Parse is idempotent: parsing rendered output re-yields an
+	// equal tree, on randomly generated documents.
+	cfg := &quick.Config{MaxCount: 100}
+	f := func(seed int64) bool {
+		src := randomHTML(rand.New(rand.NewSource(seed)))
+		t1 := Parse(src)
+		t2 := Parse(Render(t1))
+		return dom.Equal(t1, t2)
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// randomHTML emits a random well-formed-ish document exercising the
+// repair paths: unclosed li/td, void elements, entities.
+func randomHTML(rng *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	var emit func(depth int)
+	texts := []string{"x", "a &amp; b", "42 &euro;", "hello world"}
+	emit = func(depth int) {
+		if depth > 4 {
+			b.WriteString(texts[rng.Intn(len(texts))])
+			return
+		}
+		switch rng.Intn(6) {
+		case 0:
+			b.WriteString("<div>")
+			for i := 0; i < rng.Intn(3); i++ {
+				emit(depth + 1)
+			}
+			b.WriteString("</div>")
+		case 1:
+			b.WriteString("<ul>")
+			for i := 0; i < 1+rng.Intn(3); i++ {
+				b.WriteString("<li>")
+				emit(depth + 1)
+			}
+			b.WriteString("</ul>")
+		case 2:
+			b.WriteString("<table>")
+			for i := 0; i < 1+rng.Intn(2); i++ {
+				b.WriteString("<tr>")
+				for j := 0; j < 1+rng.Intn(3); j++ {
+					b.WriteString("<td>")
+					emit(depth + 1)
+				}
+			}
+			b.WriteString("</table>")
+		case 3:
+			b.WriteString("<p>")
+			b.WriteString(texts[rng.Intn(len(texts))])
+		case 4:
+			b.WriteString("<br>")
+		default:
+			b.WriteString(texts[rng.Intn(len(texts))])
+		}
+	}
+	for i := 0; i < 1+rng.Intn(5); i++ {
+		emit(0)
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}
+
+func TestParseNeverPanicsProperty(t *testing.T) {
+	// The parser must accept arbitrary garbage without panicking.
+	f := func(s string) bool {
+		tr := Parse(s)
+		return tr.Size() >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	for _, s := range []string{
+		"", "<", "<<>>", "</nope>", "<a", "< b >", "<a href=", "text only",
+		"<!---->", "<!--unterminated", "<!DOCTYPE", "&#xZZ;", "<a/></a>",
+	} {
+		tr := Parse(s)
+		if tr.Size() < 1 {
+			t.Errorf("Parse(%q) produced empty tree", s)
+		}
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	var sb strings.Builder
+	sb.WriteString("<html><body><table>")
+	for i := 0; i < 500; i++ {
+		sb.WriteString("<tr><td><a href=\"item.html\">Item</a></td><td>$12.99</td><td>5 bids</td></tr>")
+	}
+	sb.WriteString("</table></body></html>")
+	src := sb.String()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := Parse(src)
+		if t.Size() < 1000 {
+			b.Fatal("parse too small")
+		}
+	}
+}

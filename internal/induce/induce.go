@@ -1,0 +1,192 @@
+// Package induce is a prototype for the first open problem of Section 7
+// ("Tree wrapper learning"): inducing a wrapper from very few positive
+// examples, as a complement to fully manual visual specification. The
+// paper's goal — "visual specification could allow to guide a supervised
+// learning process to require very few examples only" — is realized
+// here as most-specific-generalization over element path definitions:
+//
+//   - every example node contributes its label path from the parent
+//     context and its attribute set,
+//   - the induced EPD keeps the longest common path suffix, anchored
+//     with the '?' descent wildcard,
+//   - attribute conditions shared by all examples (same name and value)
+//     are kept as exact conditions,
+//
+// which is exactly the generalize-then-restrict loop of the visual
+// builder, automated. Gold's theorem (reference [13]) implies such
+// positive-only learning cannot capture all regular patterns; the
+// prototype therefore targets the record-list wrappers that dominate
+// practice and reports when examples are inconsistent.
+package induce
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/elog"
+)
+
+// Example is one user-marked positive example node. Context, when set,
+// is the parent-pattern instance node the example was selected within
+// (paths are computed relative to it); it defaults to the root.
+type Example struct {
+	Doc     *dom.Tree
+	Node    dom.NodeID
+	Context dom.NodeID
+}
+
+func (ex Example) context() dom.NodeID {
+	if ex.Context > 0 {
+		return ex.Context
+	}
+	return ex.Doc.Root()
+}
+
+// Induce learns an element path definition from positive examples, all
+// taken relative to the document root context. It returns the induced
+// EPD (as Elog source text) and the rule ready to insert into a program
+// with the given head and parent pattern names.
+func Induce(examples []Example, head, parent string) (*elog.Rule, error) {
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("induce: no examples")
+	}
+	// Collect label paths root -> node (exclusive of the root).
+	var paths [][]string
+	for _, ex := range examples {
+		if ex.Doc.Kind(ex.Node) != dom.Element {
+			return nil, fmt.Errorf("induce: example %d is not an element node", ex.Node)
+		}
+		labels, ok := ex.Doc.PathLabels(ex.context(), ex.Node)
+		if !ok {
+			return nil, fmt.Errorf("induce: example node %d is not below its context", ex.Node)
+		}
+		paths = append(paths, labels)
+	}
+	// Longest common suffix of the paths.
+	suffix := commonSuffix(paths)
+	if len(suffix) == 0 {
+		return nil, fmt.Errorf("induce: examples share no common path suffix (labels %v)", lastLabels(paths))
+	}
+	// Attribute conditions shared by every example.
+	conds := commonAttrs(examples)
+
+	var b strings.Builder
+	b.WriteString("?")
+	for _, tag := range suffix {
+		b.WriteString("." + tag)
+	}
+	epdSrc := b.String()
+	if len(conds) > 0 {
+		var cb strings.Builder
+		cb.WriteString("(" + epdSrc + ", [")
+		for i, c := range conds {
+			if i > 0 {
+				cb.WriteString(", ")
+			}
+			fmt.Fprintf(&cb, "(%s, %s, exact)", c[0], c[1])
+		}
+		cb.WriteString("])")
+		epdSrc = cb.String()
+	}
+	epd, err := elog.ParseEPD(epdSrc)
+	if err != nil {
+		return nil, fmt.Errorf("induce: internal: %w", err)
+	}
+	return &elog.Rule{
+		Head:    head,
+		Parent:  parent,
+		Extract: &elog.Extract{Kind: elog.Subelem, EPD: epd},
+	}, nil
+}
+
+// commonSuffix returns the longest common suffix across all paths.
+func commonSuffix(paths [][]string) []string {
+	if len(paths) == 0 {
+		return nil
+	}
+	min := len(paths[0])
+	for _, p := range paths {
+		if len(p) < min {
+			min = len(p)
+		}
+	}
+	k := 0
+	for k < min {
+		tag := paths[0][len(paths[0])-1-k]
+		same := true
+		for _, p := range paths[1:] {
+			if p[len(p)-1-k] != tag {
+				same = false
+				break
+			}
+		}
+		if !same {
+			break
+		}
+		k++
+	}
+	out := make([]string, k)
+	copy(out, paths[0][len(paths[0])-k:])
+	return out
+}
+
+func lastLabels(paths [][]string) []string {
+	var out []string
+	for _, p := range paths {
+		out = append(out, p[len(p)-1])
+	}
+	return out
+}
+
+// commonAttrs returns (name, value) pairs present with identical values
+// on every example node. Values containing syntax characters are
+// dropped (they would not round-trip through the EPD syntax).
+func commonAttrs(examples []Example) [][2]string {
+	first := examples[0]
+	var out [][2]string
+	for _, a := range first.Doc.Attrs(first.Node) {
+		if strings.ContainsAny(a.Value, "(),[]") || a.Value == "" {
+			continue
+		}
+		shared := true
+		for _, ex := range examples[1:] {
+			v, ok := ex.Doc.Attr(ex.Node, a.Name)
+			if !ok || v != a.Value {
+				shared = false
+				break
+			}
+		}
+		if shared {
+			out = append(out, [2]string{a.Name, a.Value})
+		}
+	}
+	return out
+}
+
+// InduceProgram builds a complete one-pattern wrapper: an entry rule for
+// the document plus the induced extraction rule, runnable as-is.
+func InduceProgram(examples []Example, url, pattern string) (*elog.Program, error) {
+	// The entry pattern is the body; examples are interpreted relative
+	// to it.
+	anchored := make([]Example, len(examples))
+	for i, ex := range examples {
+		anchored[i] = ex
+		if anchored[i].Context == 0 {
+			for c := ex.Doc.FirstChild(ex.Doc.Root()); c != dom.Nil; c = ex.Doc.NextSibling(c) {
+				if ex.Doc.Label(c) == "body" {
+					anchored[i].Context = c
+				}
+			}
+		}
+	}
+	rule, err := Induce(anchored, pattern, "page")
+	if err != nil {
+		return nil, err
+	}
+	entry := &elog.Rule{
+		Head: "page", Parent: "document", DocURL: url,
+		Extract: &elog.Extract{Kind: elog.Subelem, EPD: elog.MustParseEPD(".body")},
+	}
+	return &elog.Program{Rules: []*elog.Rule{entry, rule}}, nil
+}

@@ -1,0 +1,129 @@
+package induce
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/elog"
+	"repro/internal/web"
+)
+
+// markTitleCells returns the nodes of the first k title cells on a
+// bestseller page.
+func markTitleCells(t *testing.T, doc *dom.Tree, k int) []Example {
+	t.Helper()
+	var out []Example
+	doc.Walk(func(n dom.NodeID) {
+		if len(out) < k && doc.Label(n) == "td" {
+			if v, ok := doc.Attr(n, "class"); ok && v == "title" {
+				out = append(out, Example{Doc: doc, Node: n})
+			}
+		}
+	})
+	if len(out) != k {
+		t.Fatalf("marked %d cells, want %d", len(out), k)
+	}
+	return out
+}
+
+func TestInduceFromTwoExamples(t *testing.T) {
+	sim := web.New()
+	site := web.NewBookSite(31, 15)
+	site.Register(sim, "books.example.com")
+	doc, err := sim.Fetch("books.example.com/bestsellers.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	examples := markTitleCells(t, doc, 2)
+	prog, err := InduceProgram(examples, "books.example.com/bestsellers.html", "title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := elog.NewEvaluator(sim).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	titles := base.Instances("title")
+	if len(titles) != 15 {
+		t.Fatalf("induced wrapper found %d of 15 titles\nprogram:\n%s", len(titles), prog)
+	}
+	for i, in := range titles {
+		if got := strings.TrimSpace(in.TextContent()); got != site.Books[i].Title {
+			t.Errorf("title[%d] = %q want %q", i, got, site.Books[i].Title)
+		}
+	}
+	// Precision: no author or price cells leaked in.
+	for _, in := range titles {
+		if v, _ := in.Doc.Attr(in.Nodes[0], "class"); v != "title" {
+			t.Errorf("non-title cell extracted (class %q)", v)
+		}
+	}
+}
+
+func TestInduceGeneralizesToHeldOutPage(t *testing.T) {
+	sim := web.New()
+	web.NewBookSite(31, 5).Register(sim, "books.example.com")
+	doc, _ := sim.Fetch("books.example.com/bestsellers.html")
+	prog, err := InduceProgram(markTitleCells(t, doc, 2), "books.example.com/bestsellers.html", "title")
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := web.New()
+	site2 := web.NewBookSite(77, 40)
+	site2.Register(held, "books.example.com")
+	base, err := elog.NewEvaluator(held).Run(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(base.Instances("title")); got != 40 {
+		t.Fatalf("held-out extraction found %d of 40", got)
+	}
+}
+
+func TestInduceErrors(t *testing.T) {
+	if _, err := Induce(nil, "p", "page"); err == nil {
+		t.Error("no examples accepted")
+	}
+	doc := dom.MustParseTerm(`a(b,"text")`)
+	if _, err := Induce([]Example{{Doc: doc, Node: doc.Root()}}, "p", "page"); err == nil {
+		t.Error("root example accepted")
+	}
+	// Text-node example rejected.
+	var txt dom.NodeID
+	doc.Walk(func(n dom.NodeID) {
+		if doc.Kind(n) == dom.Text {
+			txt = n
+		}
+	})
+	if _, err := Induce([]Example{{Doc: doc, Node: txt}}, "p", "page"); err == nil {
+		t.Error("text example accepted")
+	}
+}
+
+func TestInduceInconsistentExamples(t *testing.T) {
+	doc := dom.MustParseTerm("r(a(x),b(y))")
+	var x, y dom.NodeID
+	doc.Walk(func(n dom.NodeID) {
+		switch doc.Label(n) {
+		case "x":
+			x = n
+		case "y":
+			y = n
+		}
+	})
+	if _, err := Induce([]Example{{Doc: doc, Node: x}, {Doc: doc, Node: y}}, "p", "page"); err == nil {
+		t.Error("examples with disjoint labels accepted")
+	}
+}
+
+func TestCommonSuffix(t *testing.T) {
+	got := commonSuffix([][]string{
+		{"body", "table", "tr", "td"},
+		{"body", "div", "table", "tr", "td"},
+		{"table", "tr", "td"},
+	})
+	if strings.Join(got, ".") != "table.tr.td" {
+		t.Errorf("suffix = %v", got)
+	}
+}

@@ -1,0 +1,270 @@
+package mdatalog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/datalog"
+	"repro/internal/dom"
+)
+
+// Result maps each exported predicate to the set of selected nodes, in
+// ascending NodeID order. Each predicate is one information extraction
+// function in the sense of Section 2.1.
+type Result map[string][]dom.NodeID
+
+// Eval evaluates a monadic datalog program over the tree in time
+// O(|P| · |dom|) (Theorem 2.4): the program is first brought into TMNF
+// (Theorem 2.7, linear time), then grounded — constant work per
+// (rule, node) pair, since firstchild and nextsibling are partial
+// functions in both directions — and the ground Horn program is solved
+// by linear-time unit resolution.
+func Eval(p *datalog.Program, t *dom.Tree) (Result, error) {
+	tp, err := ToTMNF(p)
+	if err != nil {
+		return nil, err
+	}
+	return EvalTMNF(tp, t), nil
+}
+
+// MustEval is Eval that panics on error, for tests and examples.
+func MustEval(p *datalog.Program, t *dom.Tree) Result {
+	r, err := Eval(p, t)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// EvalTMNF evaluates a TMNF program directly.
+func EvalTMNF(p *TMNFProgram, t *dom.Tree) Result {
+	g := ground(p, t)
+	g.solve()
+	out := Result{}
+	n := t.Size()
+	for _, pred := range p.Exported {
+		pi, ok := g.predIndex[pred]
+		if !ok {
+			out[pred] = nil
+			continue
+		}
+		var nodes []dom.NodeID
+		base := pi * n
+		for i := 0; i < n; i++ {
+			if g.truth[base+i] {
+				nodes = append(nodes, dom.NodeID(i))
+			}
+		}
+		out[pred] = nodes
+	}
+	return out
+}
+
+// grounder holds the ground Horn program: atoms are (predicate, node)
+// pairs encoded as pred*|dom|+node.
+type grounder struct {
+	n         int
+	predIndex map[string]int
+	truth     []bool
+	// clauses: body atom ids and head atom id; unit facts go straight to
+	// the queue.
+	clauseHead []int32
+	clauseBody [][2]int32 // at most 2 body atoms in TMNF
+	clauseLen  []int8
+	// occ[a] lists clause indices having atom a in their body.
+	occ   [][]int32
+	queue []int32
+}
+
+func ground(p *TMNFProgram, t *dom.Tree) *grounder {
+	g := &grounder{n: t.Size(), predIndex: map[string]int{}}
+	intens := map[string]bool{}
+	for _, r := range p.Rules {
+		intens[r.Head] = true
+	}
+	idx := func(pred string) int {
+		i, ok := g.predIndex[pred]
+		if !ok {
+			i = len(g.predIndex)
+			g.predIndex[pred] = i
+		}
+		return i
+	}
+	// Pre-register heads for deterministic layout.
+	for _, r := range p.Rules {
+		idx(r.Head)
+	}
+	g.truth = make([]bool, len(g.predIndex)*g.n)
+	g.occ = make([][]int32, len(g.truth))
+	atom := func(pred int, node dom.NodeID) int32 { return int32(pred*g.n + int(node)) }
+
+	addFact := func(a int32) {
+		if !g.truth[a] {
+			g.truth[a] = true
+			g.queue = append(g.queue, a)
+		}
+	}
+	addClause := func(head int32, body ...int32) {
+		if len(body) == 0 {
+			addFact(head)
+			return
+		}
+		ci := int32(len(g.clauseHead))
+		g.clauseHead = append(g.clauseHead, head)
+		var b [2]int32
+		copy(b[:], body)
+		g.clauseBody = append(g.clauseBody, b)
+		g.clauseLen = append(g.clauseLen, int8(len(body)))
+		for _, a := range body {
+			g.occ[a] = append(g.occ[a], ci)
+		}
+	}
+
+	// resolveBody turns a body predicate applied at node m into either a
+	// known truth value (extensional) or an atom id (intensional).
+	resolveBody := func(pred string, m dom.NodeID) (int32, bool, bool) {
+		if intens[pred] {
+			return atom(g.predIndex[pred], m), false, false
+		}
+		return 0, true, HoldsUnary(t, pred, m)
+	}
+
+	for _, r := range p.Rules {
+		hp := g.predIndex[r.Head]
+		switch r.Kind {
+		case Copy:
+			for i := 0; i < g.n; i++ {
+				m := dom.NodeID(i)
+				a, ext, val := resolveBody(r.P0, m)
+				h := atom(hp, m)
+				if ext {
+					if val {
+						addFact(h)
+					}
+					continue
+				}
+				addClause(h, a)
+			}
+		case Step:
+			for i := 0; i < g.n; i++ {
+				x0 := dom.NodeID(i)
+				x := applyRel(t, r.Rel, x0)
+				if x == dom.Nil {
+					continue
+				}
+				a, ext, val := resolveBody(r.P0, x0)
+				h := atom(hp, x)
+				if ext {
+					if val {
+						addFact(h)
+					}
+					continue
+				}
+				addClause(h, a)
+			}
+		case And:
+			for i := 0; i < g.n; i++ {
+				m := dom.NodeID(i)
+				h := atom(hp, m)
+				a0, ext0, v0 := resolveBody(r.P0, m)
+				a1, ext1, v1 := resolveBody(r.P1, m)
+				switch {
+				case ext0 && ext1:
+					if v0 && v1 {
+						addFact(h)
+					}
+				case ext0:
+					if v0 {
+						addClause(h, a1)
+					}
+				case ext1:
+					if v1 {
+						addClause(h, a0)
+					}
+				default:
+					addClause(h, a0, a1)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// applyRel computes the unique x with Rel(x0, x), or Nil. That this is a
+// partial function (in all four directions) is exactly the bidirectional
+// functional dependency of τ_ur that Theorem 2.4 exploits.
+func applyRel(t *dom.Tree, rel BinaryRel, x0 dom.NodeID) dom.NodeID {
+	switch rel {
+	case FirstChild:
+		return t.FirstChild(x0)
+	case NextSibling:
+		return t.NextSibling(x0)
+	case FirstChildInv:
+		if t.IsFirstSibling(x0) {
+			return t.Parent(x0)
+		}
+		return dom.Nil
+	case NextSiblingInv:
+		return t.PrevSibling(x0)
+	}
+	return dom.Nil
+}
+
+// solve runs LTUR (linear-time unit resolution, [29]): a counter per
+// clause of unsatisfied body atoms; when it reaches zero the head is
+// derived. Total work is linear in the size of the ground program.
+func (g *grounder) solve() {
+	remaining := make([]int8, len(g.clauseHead))
+	copy(remaining, g.clauseLen)
+	// Account for duplicate atoms in a 2-atom body (p(x) ← q(x), q(x)).
+	for i, b := range g.clauseBody {
+		if g.clauseLen[i] == 2 && b[0] == b[1] {
+			remaining[i] = 1
+			// Remove the duplicate occurrence to avoid double decrement.
+			occ := g.occ[b[0]]
+			for j := len(occ) - 1; j >= 0; j-- {
+				if occ[j] == int32(i) {
+					g.occ[b[0]] = append(occ[:j], occ[j+1:]...)
+					break
+				}
+			}
+		}
+	}
+	for len(g.queue) > 0 {
+		a := g.queue[len(g.queue)-1]
+		g.queue = g.queue[:len(g.queue)-1]
+		for _, ci := range g.occ[a] {
+			remaining[ci]--
+			if remaining[ci] == 0 {
+				h := g.clauseHead[ci]
+				if !g.truth[h] {
+					g.truth[h] = true
+					g.queue = append(g.queue, h)
+				}
+			}
+		}
+	}
+}
+
+// Pred returns the head predicate name of a TMNF rule; it exists so that
+// grounding code can treat rules uniformly.
+func (r TMNFRule) Pred() string { return r.Head }
+
+// Query evaluates the program and returns the node set of a single
+// designated query predicate — the "unary query" of Section 2.3.
+func Query(p *datalog.Program, t *dom.Tree, pred string) ([]dom.NodeID, error) {
+	res, err := Eval(p, t)
+	if err != nil {
+		return nil, err
+	}
+	nodes, ok := res[pred]
+	if !ok {
+		return nil, fmt.Errorf("mdatalog: %s is not an intensional predicate of the program", pred)
+	}
+	return nodes, nil
+}
+
+// SortNodes sorts a node slice ascending; helper shared by tests.
+func SortNodes(ns []dom.NodeID) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+}

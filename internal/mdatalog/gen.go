@@ -1,0 +1,90 @@
+package mdatalog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/datalog"
+)
+
+// RandomProgram generates a pseudo-random monadic datalog program over
+// τ_ur ∪ {child} with nPreds intensional predicates and nRules
+// tree-shaped rules, over the given label alphabet. It is used by the
+// differential property tests (mdatalog vs the generic engine must agree)
+// and by the scaling benchmarks of experiments E2 and E3.
+//
+// Every intensional predicate is guaranteed to have at least one rule, so
+// generated programs always pass CheckMonadic.
+func RandomProgram(rng *rand.Rand, nPreds, nRules int, alphabet []string) *datalog.Program {
+	if nPreds < 1 {
+		nPreds = 1
+	}
+	if nRules < nPreds {
+		nRules = nPreds
+	}
+	preds := make([]string, nPreds)
+	for i := range preds {
+		preds[i] = fmt.Sprintf("p%d", i)
+	}
+	unaryExt := []string{PredRoot, PredLeaf, PredLastSibling, PredFirstSibling}
+	for _, a := range alphabet {
+		unaryExt = append(unaryExt, LabelPred(a))
+	}
+	binExt := []string{PredFirstChild, PredNextSibling, PredChild}
+
+	prog := &datalog.Program{}
+	for i := 0; i < nRules; i++ {
+		// Rule i < nPreds defines pred i from extensional atoms only, so
+		// every predicate is defined and the base case is extensional.
+		head := preds[rng.Intn(nPreds)]
+		baseOnly := false
+		if i < nPreds {
+			head = preds[i]
+			baseOnly = true
+		}
+		nVars := 1 + rng.Intn(3)
+		vars := make([]string, nVars)
+		for v := range vars {
+			vars[v] = fmt.Sprintf("X%d", v)
+		}
+		var body []datalog.Atom
+		// Connect variables into a random tree via binary atoms.
+		for v := 1; v < nVars; v++ {
+			other := vars[rng.Intn(v)]
+			pred := binExt[rng.Intn(len(binExt))]
+			if rng.Intn(2) == 0 {
+				body = append(body, datalog.Atom{Pred: pred, Args: []datalog.Term{datalog.Var(other), datalog.Var(vars[v])}})
+			} else {
+				body = append(body, datalog.Atom{Pred: pred, Args: []datalog.Term{datalog.Var(vars[v]), datalog.Var(other)}})
+			}
+		}
+		// Sprinkle unary atoms; guarantee at least one so that rules are
+		// not unconditionally true for all nodes (keeps results sparse).
+		nUnary := 1 + rng.Intn(3)
+		for u := 0; u < nUnary; u++ {
+			v := vars[rng.Intn(nVars)]
+			var pred string
+			if baseOnly || rng.Intn(3) > 0 {
+				pred = unaryExt[rng.Intn(len(unaryExt))]
+			} else {
+				pred = preds[rng.Intn(nPreds)]
+			}
+			body = append(body, datalog.Atom{Pred: pred, Args: []datalog.Term{datalog.Var(v)}})
+		}
+		prog.Rules = append(prog.Rules, datalog.Rule{
+			Head: datalog.Atom{Pred: head, Args: []datalog.Term{datalog.Var(vars[rng.Intn(nVars)])}},
+			Body: body,
+		})
+	}
+	return prog
+}
+
+// ItalicProgram returns the program of Example 2.1, which selects all
+// nodes rendered in italics (those with an ancestor-or-self labeled "i").
+func ItalicProgram() *datalog.Program {
+	return datalog.MustParse(`
+italic(X) :- label_i(X).
+italic(X) :- italic(X0), firstchild(X0, X).
+italic(X) :- italic(X0), nextsibling(X0, X).
+`)
+}

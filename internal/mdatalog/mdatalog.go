@@ -1,0 +1,271 @@
+// Package mdatalog implements monadic datalog over unranked ordered
+// trees — the theoretical core of the Lixto paper (Sections 2.3–2.5).
+//
+// It provides:
+//
+//   - the τ_ur signature over dom.Tree (root, leaf, lastsibling,
+//     firstsibling, label_a unary; firstchild, nextsibling, child binary),
+//   - validation of monadic programs over that signature,
+//   - the Tree-Marking Normal Form (TMNF) rewriting of Theorem 2.7,
+//     including elimination of the child relation,
+//   - the O(|P|·|dom|) evaluation of Theorem 2.4: TMNF rules are grounded
+//     in constant time per (rule, node) pair — exploiting that every
+//     binary relation of τ_ur is a partial function in both directions —
+//     and the resulting ground Horn program is solved by linear-time unit
+//     resolution (Minoux's LTUR, reference [29] of the paper),
+//   - an export of trees as extensional databases for the generic
+//     datalog engine, used for differential testing and experiment E3.
+//
+// Programs are written in the syntax of internal/datalog, e.g. the
+// Italic program of Example 2.1:
+//
+//	italic(X) :- label_i(X).
+//	italic(X) :- italic(X0), firstchild(X0, X).
+//	italic(X) :- italic(X0), nextsibling(X0, X).
+package mdatalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datalog"
+	"repro/internal/dom"
+)
+
+// Unary extensional predicates of τ_ur (plus firstsibling, which the
+// paper introduces in Section 4 as a convenience and which is definable).
+const (
+	PredRoot         = "root"
+	PredLeaf         = "leaf"
+	PredLastSibling  = "lastsibling"
+	PredFirstSibling = "firstsibling"
+	PredTextNode     = "textnode"
+	PredNode         = "node"
+	// LabelPrefix: label_a(x) holds iff x carries label a.
+	LabelPrefix = "label_"
+)
+
+// Complement predicates. Footnote 5 of the paper observes that the tree
+// signature is redundant, making monadic datalog as expressive as its
+// semipositive generalization (complements of extensional relations in
+// rule bodies); we expose the complements used by the Core XPath → TMNF
+// translation of Theorem 4.6 directly as extensional predicates.
+const (
+	PredElement        = "element"
+	PredNonElement     = "nonelement"
+	PredNonTextNode    = "nontextnode"
+	PredCommentNode    = "commentnode"
+	PredNonCommentNode = "noncommentnode"
+	// NLabelPrefix: nlabel_a(x) holds iff x does not carry label a.
+	NLabelPrefix = "nlabel_"
+)
+
+// Binary extensional predicates. Child is not part of τ_ur proper; it is
+// eliminated by the TMNF rewriting (Theorem 2.7 allows τ_ur ∪ {child}).
+const (
+	PredFirstChild  = "firstchild"
+	PredNextSibling = "nextsibling"
+	PredChild       = "child"
+)
+
+// IsExtensionalUnary reports whether pred names a unary relation of the
+// (extended) tree signature.
+func IsExtensionalUnary(pred string) bool {
+	switch pred {
+	case PredRoot, PredLeaf, PredLastSibling, PredFirstSibling, PredTextNode,
+		PredNode, PredElement, PredNonElement, PredNonTextNode,
+		PredCommentNode, PredNonCommentNode:
+		return true
+	}
+	return strings.HasPrefix(pred, LabelPrefix) || strings.HasPrefix(pred, NLabelPrefix)
+}
+
+// IsExtensionalBinary reports whether pred names a binary relation of the
+// extended tree signature.
+func IsExtensionalBinary(pred string) bool {
+	switch pred {
+	case PredFirstChild, PredNextSibling, PredChild:
+		return true
+	}
+	return false
+}
+
+// HoldsUnary evaluates a unary extensional predicate on node n of t.
+func HoldsUnary(t *dom.Tree, pred string, n dom.NodeID) bool {
+	switch pred {
+	case PredRoot:
+		return t.IsRoot(n)
+	case PredLeaf:
+		return t.IsLeaf(n)
+	case PredLastSibling:
+		return t.IsLastSibling(n)
+	case PredFirstSibling:
+		return t.IsFirstSibling(n)
+	case PredTextNode:
+		return t.Kind(n) == dom.Text
+	case PredNode:
+		return true
+	case PredElement:
+		return t.Kind(n) == dom.Element
+	case PredNonElement:
+		return t.Kind(n) != dom.Element
+	case PredNonTextNode:
+		return t.Kind(n) != dom.Text
+	case PredCommentNode:
+		return t.Kind(n) == dom.Comment
+	case PredNonCommentNode:
+		return t.Kind(n) != dom.Comment
+	}
+	if a, ok := strings.CutPrefix(pred, NLabelPrefix); ok {
+		return t.Label(n) != a
+	}
+	if a, ok := strings.CutPrefix(pred, LabelPrefix); ok {
+		return t.Label(n) == a
+	}
+	return false
+}
+
+// CheckMonadic verifies that p is a monadic datalog program over the
+// extended tree signature: all intensional predicates unary, extensional
+// atoms drawn from the signature with correct arities, and no negation
+// (monadic datalog in the paper is positive; complements of the
+// extensional relations are definable, making it as expressive as its
+// semipositive generalization — footnote 5).
+func CheckMonadic(p *datalog.Program) error {
+	idb := map[string]bool{}
+	for _, r := range p.Rules {
+		idb[r.Head.Pred] = true
+	}
+	for _, r := range p.Rules {
+		if len(r.Head.Args) != 1 {
+			return fmt.Errorf("mdatalog: rule %s: head must be unary", r)
+		}
+		for _, a := range r.Body {
+			if a.Negated {
+				return fmt.Errorf("mdatalog: rule %s: negation is not part of monadic datalog", r)
+			}
+			switch {
+			case idb[a.Pred]:
+				if len(a.Args) != 1 {
+					return fmt.Errorf("mdatalog: rule %s: intensional atom %s must be unary", r, a)
+				}
+			case IsExtensionalUnary(a.Pred):
+				if len(a.Args) != 1 {
+					return fmt.Errorf("mdatalog: rule %s: %s is unary", r, a.Pred)
+				}
+			case IsExtensionalBinary(a.Pred):
+				if len(a.Args) != 2 {
+					return fmt.Errorf("mdatalog: rule %s: %s is binary", r, a.Pred)
+				}
+			default:
+				return fmt.Errorf("mdatalog: rule %s: unknown predicate %s", r, a.Pred)
+			}
+			for _, t := range a.Args {
+				if !t.IsVar {
+					return fmt.Errorf("mdatalog: rule %s: constants are not node terms", r)
+				}
+			}
+		}
+		for _, t := range r.Head.Args {
+			if !t.IsVar {
+				return fmt.Errorf("mdatalog: rule %s: head constant", r)
+			}
+		}
+	}
+	return nil
+}
+
+// LabelPred returns the unary predicate name label_a for a tag symbol,
+// e.g. LabelPred("td") == "label_td". Labels that would not survive the
+// datalog lexer (e.g. "#text") have dedicated predicates (textnode).
+func LabelPred(a string) string { return LabelPrefix + a }
+
+// TreeDB exports t as an extensional database for the generic datalog
+// engine: node ids are rendered as decimal strings; all unary and binary
+// relations of the extended signature are materialized. This realizes
+// "trees as finite structures" (Section 2.2) and is the bridge used by
+// the differential tests and experiment E3.
+func TreeDB(t *dom.Tree) *datalog.DB {
+	db := datalog.NewDB()
+	labels := map[string]bool{}
+	t.Walk(func(n dom.NodeID) { labels[t.Label(n)] = true })
+	for i := 0; i < t.Size(); i++ {
+		n := dom.NodeID(i)
+		id := nodeName(n)
+		db.Add(PredNode, id)
+		if t.IsRoot(n) {
+			db.Add(PredRoot, id)
+		}
+		if t.IsLeaf(n) {
+			db.Add(PredLeaf, id)
+		}
+		if t.IsLastSibling(n) {
+			db.Add(PredLastSibling, id)
+		}
+		if t.IsFirstSibling(n) {
+			db.Add(PredFirstSibling, id)
+		}
+		switch t.Kind(n) {
+		case dom.Text:
+			db.Add(PredTextNode, id)
+			db.Add(PredNonElement, id)
+			db.Add(PredNonCommentNode, id)
+		case dom.Comment:
+			db.Add(PredCommentNode, id)
+			db.Add(PredNonElement, id)
+			db.Add(PredNonTextNode, id)
+		default:
+			db.Add(PredElement, id)
+			db.Add(PredNonTextNode, id)
+			db.Add(PredNonCommentNode, id)
+		}
+		db.Add(LabelPred(t.Label(n)), id)
+		// Complements are materialized for labels occurring in the tree;
+		// programs referring to labels absent from the tree should use
+		// the tree engine (whose complements are computed on the fly).
+		for l := range labels {
+			if l != t.Label(n) {
+				db.Add(NLabelPrefix+l, id)
+			}
+		}
+		if c := t.FirstChild(n); c != dom.Nil {
+			db.Add(PredFirstChild, id, nodeName(c))
+		}
+		if s := t.NextSibling(n); s != dom.Nil {
+			db.Add(PredNextSibling, id, nodeName(s))
+		}
+		for c := t.FirstChild(n); c != dom.Nil; c = t.NextSibling(c) {
+			db.Add(PredChild, id, nodeName(c))
+		}
+	}
+	return db
+}
+
+func nodeName(n dom.NodeID) string { return fmt.Sprintf("%d", n) }
+
+// EvalGeneric runs p on t using the generic semi-naive datalog engine
+// over the materialized TreeDB — the baseline of experiment E3. The
+// result maps each intensional predicate to the selected nodes in
+// document order.
+func EvalGeneric(p *datalog.Program, t *dom.Tree) (map[string][]dom.NodeID, error) {
+	if err := CheckMonadic(p); err != nil {
+		return nil, err
+	}
+	db, err := datalog.Eval(p, TreeDB(t))
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]dom.NodeID{}
+	for _, pred := range p.IDBPredicates() {
+		var nodes []dom.NodeID
+		for _, s := range db.Unary(pred) {
+			var v int
+			fmt.Sscanf(s, "%d", &v)
+			nodes = append(nodes, dom.NodeID(v))
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+		out[pred] = nodes
+	}
+	return out, nil
+}

@@ -1,0 +1,487 @@
+package mdatalog
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/datalog"
+	"repro/internal/dom"
+	"repro/internal/htmlparse"
+)
+
+func nodesEqual(a, b []dom.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestExample21Italic runs the verbatim program of Example 2.1 on an
+// HTML parse tree where the <i> element is a last sibling, in which case
+// the program selects exactly the italic subtree (the i node and its
+// descendants).
+func TestExample21Italic(t *testing.T) {
+	tr := htmlparse.Parse(`<html><body><p>plain <b>bold</b> <i>it <b>both</b></i></p></body></html>`)
+	got, err := Query(ItalicProgram(), tr, "italic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Expected: the i element and all four nodes below it (text "it ",
+	// b, text "both").
+	var want []dom.NodeID
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Label(n) == "i" {
+			want = append(want, n)
+			want = append(want, tr.Descendants(n)...)
+		}
+	})
+	SortNodes(want)
+	if !nodesEqual(got, want) {
+		t.Errorf("italic = %v, want %v (tree %s)", got, want, tr)
+	}
+}
+
+// TestExample21Overshoot documents a fidelity observation: the verbatim
+// three-rule program propagates Italic from the <i> node itself to its
+// following siblings (rule 3 with x0 = the i node), so when an <i>
+// element has following siblings, their subtrees are selected too. This
+// is the program exactly as printed in the paper; the tightened version
+// below avoids the overshoot.
+func TestExample21Overshoot(t *testing.T) {
+	tr := htmlparse.Parse(`<html><body><p><i>it</i><b>after</b></p></body></html>`)
+	got, _ := Query(ItalicProgram(), tr, "italic")
+	var b dom.NodeID = dom.Nil
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Label(n) == "b" {
+			b = n
+		}
+	})
+	found := false
+	for _, n := range got {
+		if n == b {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected the verbatim program to overshoot onto the following sibling — if this fails, the evaluator diverges from datalog semantics")
+	}
+	// The tightened program: descend only after entering the subtree.
+	tight := datalog.MustParse(`
+italic(X) :- label_i(X).
+italic(X) :- inself(X).
+inself(X) :- italic(X0), firstchild(X0, X).
+inself(X) :- inself(X0), firstchild(X0, X).
+inself(X) :- inself(X0), nextsibling(X0, X).
+`)
+	got2, err := Query(tight, tr, "italic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range got2 {
+		if n == b {
+			t.Error("tightened program still overshoots")
+		}
+	}
+	if len(got2) != 2 { // the i element and its text child
+		t.Errorf("tightened italic = %v", got2)
+	}
+}
+
+func TestCheckMonadicErrors(t *testing.T) {
+	for _, src := range []string{
+		`p(X, Y) :- firstchild(X, Y).`,       // binary IDB
+		`p(X) :- q(X).`,                      // unknown predicate q
+		`p(X) :- firstchild(X).`,             // wrong arity
+		`p(X) :- root(X, X).`,                // wrong arity
+		`p(X) :- label_a(X), mystery(X, X).`, // unknown binary
+	} {
+		prog, err := datalog.Parse(src)
+		if err != nil {
+			continue // parse-level rejection is fine too
+		}
+		if err := CheckMonadic(prog); err == nil {
+			t.Errorf("CheckMonadic(%q) accepted", src)
+		}
+	}
+}
+
+func TestToTMNFShapes(t *testing.T) {
+	p := datalog.MustParse(`
+q(X) :- label_a(X).
+q(X) :- q(X0), child(X0, X), label_b(X).
+`)
+	tp, err := ToTMNF(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every rule must be one of the three TMNF forms (trivially true by
+	// construction, but verify predicates referenced are defined or
+	// extensional).
+	defined := map[string]bool{}
+	for _, r := range tp.Rules {
+		defined[r.Head] = true
+	}
+	for _, r := range tp.Rules {
+		for _, pred := range []string{r.P0, r.P1} {
+			if pred == "" {
+				continue
+			}
+			if !defined[pred] && !IsExtensionalUnary(pred) {
+				t.Errorf("rule %s references undefined %s", r, pred)
+			}
+		}
+	}
+	if tp.Size() == 0 {
+		t.Fatal("empty TMNF program")
+	}
+}
+
+func TestToTMNFRejectsCyclicRule(t *testing.T) {
+	p := datalog.MustParse(`p(X) :- firstchild(X, Y), nextsibling(X, Y).`)
+	if _, err := ToTMNF(p); err == nil {
+		t.Fatal("cyclic rule accepted")
+	}
+}
+
+func TestToTMNFRejectsDisconnectedRule(t *testing.T) {
+	// Y,Z component disconnected from head variable X.
+	p := &datalog.Program{Rules: []datalog.Rule{{
+		Head: datalog.Atom{Pred: "p", Args: []datalog.Term{datalog.Var("X")}},
+		Body: []datalog.Atom{
+			{Pred: "label_a", Args: []datalog.Term{datalog.Var("X")}},
+			{Pred: "firstchild", Args: []datalog.Term{datalog.Var("Y"), datalog.Var("Z")}},
+			{Pred: "label_b", Args: []datalog.Term{datalog.Var("Y")}},
+		},
+	}}}
+	if _, err := ToTMNF(p); err == nil {
+		t.Fatal("disconnected rule accepted")
+	}
+}
+
+func TestChildElimination(t *testing.T) {
+	// q selects all td nodes that are children of a tr node — uses
+	// child in both directions.
+	p := datalog.MustParse(`
+tr_(X) :- label_tr(X).
+q(X) :- tr_(X0), child(X0, X), label_td(X).
+hasq(X) :- q(X0), child(X, X0).
+`)
+	tr := htmlparse.Parse(`<table><tr><td>a</td><td>b</td></tr><tr><th>h</th></tr></table>`)
+	res, err := Eval(p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tds, trWithTD []dom.NodeID
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Label(n) == "td" {
+			tds = append(tds, n)
+		}
+	})
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Label(n) == "tr" && len(tr.Children(n)) > 0 && tr.Label(tr.FirstChild(n)) == "td" {
+			trWithTD = append(trWithTD, n)
+		}
+	})
+	if !nodesEqual(res["q"], tds) {
+		t.Errorf("q = %v, want %v", res["q"], tds)
+	}
+	if !nodesEqual(res["hasq"], trWithTD) {
+		t.Errorf("hasq = %v, want %v", res["hasq"], trWithTD)
+	}
+}
+
+// TestDifferentialRandomPrograms is the central correctness property of
+// this package: on random trees and random tree-shaped monadic programs,
+// the O(|P|·|dom|) TMNF engine must select exactly the same nodes as the
+// generic semi-naive datalog engine evaluating the same program over the
+// materialized structure.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	f := func(progSeed, treeSeed int64) bool {
+		rngP := rand.New(rand.NewSource(progSeed))
+		rngT := rand.New(rand.NewSource(treeSeed))
+		alphabet := []string{"a", "b", "c"}
+		p := RandomProgram(rngP, 2+rngP.Intn(3), 3+rngP.Intn(5), alphabet)
+		tr := dom.RandomTree(rngT, 1+rngT.Intn(40), alphabet, 4)
+		fast, err := Eval(p, tr)
+		if err != nil {
+			t.Logf("ToTMNF error: %v\nprogram:\n%s", err, p)
+			return false
+		}
+		slow, err := EvalGeneric(p, tr)
+		if err != nil {
+			t.Logf("generic error: %v", err)
+			return false
+		}
+		for pred := range fast {
+			if !nodesEqual(fast[pred], slow[pred]) {
+				t.Logf("disagreement on %s: fast=%v slow=%v\nprogram:\n%s\ntree: %s", pred, fast[pred], slow[pred], p, tr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTMNFEquivalenceProperty: ToTMNF preserves semantics — evaluate the
+// TMNF program with the generic engine (textual round trip) and compare
+// with direct TMNF evaluation.
+func TestTMNFPreservesSemantics(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		alphabet := []string{"a", "b"}
+		p := RandomProgram(rng, 2, 4, alphabet)
+		tr := dom.RandomTree(rng, 25, alphabet, 3)
+		direct, err := EvalGeneric(p, tr)
+		if err != nil {
+			return false
+		}
+		tp, err := ToTMNF(p)
+		if err != nil {
+			return false
+		}
+		viaTMNF := EvalTMNF(tp, tr)
+		for _, pred := range p.IDBPredicates() {
+			if !nodesEqual(direct[pred], viaTMNF[pred]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTMNFSizeLinear verifies the O(|P|) size bound of Theorem 2.7.
+func TestTMNFSizeLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, nRules := range []int{5, 10, 20, 40, 80} {
+		p := RandomProgram(rng, 4, nRules, []string{"a", "b", "c"})
+		tp, err := ToTMNF(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each source atom expands to at most a small constant number of
+		// TMNF rules; 12 is a generous bound (the worst case is a child
+		// atom: 3 rules of 3 atoms each, plus conjunction chaining).
+		if tp.Size() > 12*p.Size() {
+			t.Errorf("TMNF size %d exceeds 12x program size %d", tp.Size(), p.Size())
+		}
+	}
+}
+
+func TestQueryUnknownPredicate(t *testing.T) {
+	tr := dom.MustParseTerm("a(b)")
+	if _, err := Query(ItalicProgram(), tr, "nope"); err == nil {
+		t.Fatal("expected error for unknown query predicate")
+	}
+}
+
+func TestMarkRootAndLeaves(t *testing.T) {
+	p := datalog.MustParse(`
+mark(X) :- root(X).
+mark(X) :- leaf(X), label_b(X).
+`)
+	tr := dom.MustParseTerm("a(b,c(b),b)")
+	got, err := Query(p, tr, "mark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// root(0), leaf b's: nodes 1, 3(b under c), 4.
+	want := []dom.NodeID{0, 1, 3, 4}
+	if !nodesEqual(got, want) {
+		t.Errorf("got %v want %v (tree %s)", got, want, tr)
+	}
+}
+
+func TestDescendantViaRecursion(t *testing.T) {
+	// The standard MSO-style descendant marking: all descendants of
+	// table nodes.
+	p := datalog.MustParse(`
+undertable(X) :- label_table(X0), child(X0, X).
+undertable(X) :- undertable(X0), child(X0, X).
+`)
+	tr := htmlparse.Parse(`<body><table><tr><td><p>deep</p></td></tr></table><p>out</p></body>`)
+	got, err := Query(p, tr, "undertable")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []dom.NodeID
+	tr.Walk(func(n dom.NodeID) {
+		if tr.Label(n) == "table" {
+			want = append(want, tr.Descendants(n)...)
+		}
+	})
+	SortNodes(want)
+	if !nodesEqual(got, want) {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestTreeDBFacts(t *testing.T) {
+	tr := dom.MustParseTerm("a(b,c)")
+	db := TreeDB(tr)
+	if !db.Has("root", "0") || !db.Has("label_a", "0") {
+		t.Error("root facts missing")
+	}
+	if !db.Has("firstchild", "0", "1") || !db.Has("nextsibling", "1", "2") {
+		t.Error("binary facts missing")
+	}
+	if !db.Has("child", "0", "2") || !db.Has("lastsibling", "2") || !db.Has("firstsibling", "1") {
+		t.Error("derived facts missing")
+	}
+}
+
+func BenchmarkE2_MonadicDatalogTreeSize(b *testing.B) {
+	// Theorem 2.4: runtime linear in |dom| at fixed |P|.
+	p := ItalicProgram()
+	for _, size := range []int{1000, 2000, 4000, 8000, 16000} {
+		tr := dom.RandomTree(rand.New(rand.NewSource(9)), size, []string{"a", "b", "i"}, 6)
+		b.Run(benchName("dom", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Eval(p, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE2_MonadicDatalogProgSize(b *testing.B) {
+	// Theorem 2.4: runtime linear in |P| at fixed |dom|.
+	tr := dom.RandomTree(rand.New(rand.NewSource(9)), 4000, []string{"a", "b", "c"}, 6)
+	for _, nRules := range []int{4, 8, 16, 32, 64} {
+		p := RandomProgram(rand.New(rand.NewSource(1)), 4, nRules, []string{"a", "b", "c"})
+		b.Run(benchName("rules", nRules), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Eval(p, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE3_GenericVsTreeEngine(b *testing.B) {
+	// Proposition 2.3 vs Theorem 2.4: the generic engine is polynomial
+	// but super-linear; the tree engine is linear.
+	p := ItalicProgram()
+	for _, size := range []int{500, 1000, 2000, 4000} {
+		tr := dom.RandomTree(rand.New(rand.NewSource(3)), size, []string{"a", "i"}, 5)
+		b.Run(benchName("tree-engine", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Eval(p, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(benchName("generic-engine", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EvalGeneric(p, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE4_TMNFTranslation(b *testing.B) {
+	// Theorem 2.7: translation time linear in |P|.
+	for _, nRules := range []int{10, 20, 40, 80, 160} {
+		p := RandomProgram(rand.New(rand.NewSource(5)), 6, nRules, []string{"a", "b", "c"})
+		b.Run(benchName("rules", nRules), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ToTMNF(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func benchName(prefix string, n int) string {
+	return prefix + "-" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [12]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestFirstLastSiblingPredicates(t *testing.T) {
+	p := datalog.MustParse(`
+firsts(X) :- firstsibling(X), label_td(X).
+lasts(X) :- lastsibling(X), label_td(X).
+`)
+	tr := dom.MustParseTerm("tr(td,td,td)")
+	res, err := Eval(p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res["firsts"]) != 1 || res["firsts"][0] != 1 {
+		t.Errorf("firsts = %v", res["firsts"])
+	}
+	if len(res["lasts"]) != 1 || res["lasts"][0] != 3 {
+		t.Errorf("lasts = %v", res["lasts"])
+	}
+}
+
+func TestDeepChainEvaluation(t *testing.T) {
+	// Recursion down a 100k chain must be iterative end to end.
+	p := datalog.MustParse(`
+down(X) :- root(X).
+down(X) :- down(X0), firstchild(X0, X).
+`)
+	tr := dom.Chain(100000, "a")
+	got, err := Query(p, tr, "down")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100000 {
+		t.Fatalf("marked %d of 100000", len(got))
+	}
+}
+
+func TestComplementPredicates(t *testing.T) {
+	p := datalog.MustParse(`
+notA(X) :- nlabel_a(X).
+elems(X) :- element(X).
+`)
+	tr := dom.MustParseTerm(`r(a,b,"t")`)
+	res, err := Eval(p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res["notA"]) != 3 { // r, b, text
+		t.Errorf("notA = %v", res["notA"])
+	}
+	if len(res["elems"]) != 3 { // r, a, b
+		t.Errorf("elems = %v", res["elems"])
+	}
+	// Differential check with the generic engine over TreeDB.
+	slow, err := EvalGeneric(p, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nodesEqual(res["notA"], slow["notA"]) || !nodesEqual(res["elems"], slow["elems"]) {
+		t.Errorf("engines disagree: %v vs %v", res, slow)
+	}
+}

@@ -1,0 +1,328 @@
+package mdatalog
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+)
+
+// BinaryRel enumerates the binary relations B allowed in TMNF rules:
+// R or R⁻¹ for R ∈ {firstchild, nextsibling} (Definition 2.6).
+type BinaryRel int
+
+const (
+	// FirstChild is firstchild(x0, x): x is the first child of x0.
+	FirstChild BinaryRel = iota
+	// NextSibling is nextsibling(x0, x): x immediately follows x0.
+	NextSibling
+	// FirstChildInv is firstchild⁻¹(x0, x): x0 is the first child of x.
+	FirstChildInv
+	// NextSiblingInv is nextsibling⁻¹(x0, x): x0 immediately follows x.
+	NextSiblingInv
+)
+
+func (b BinaryRel) String() string {
+	switch b {
+	case FirstChild:
+		return "firstchild"
+	case NextSibling:
+		return "nextsibling"
+	case FirstChildInv:
+		return "firstchild^-1"
+	case NextSiblingInv:
+		return "nextsibling^-1"
+	}
+	return "?"
+}
+
+// Inverse returns the converse relation.
+func (b BinaryRel) Inverse() BinaryRel {
+	switch b {
+	case FirstChild:
+		return FirstChildInv
+	case NextSibling:
+		return NextSiblingInv
+	case FirstChildInv:
+		return FirstChild
+	case NextSiblingInv:
+		return NextSibling
+	}
+	panic("unreachable")
+}
+
+// RuleKind enumerates the three rule shapes of TMNF (Definition 2.6).
+type RuleKind int
+
+const (
+	// Copy is form (1): p(x) ← p0(x).
+	Copy RuleKind = iota
+	// Step is form (2): p(x) ← p0(x0), B(x0, x).
+	Step
+	// And is form (3): p(x) ← p0(x), p1(x).
+	And
+)
+
+// TMNFRule is one rule in Tree-Marking Normal Form. P0 and P1 may name
+// intensional predicates or unary predicates of τ_ur.
+type TMNFRule struct {
+	Kind RuleKind
+	Head string
+	P0   string
+	P1   string    // only for Kind == And
+	Rel  BinaryRel // only for Kind == Step
+}
+
+func (r TMNFRule) String() string {
+	switch r.Kind {
+	case Copy:
+		return fmt.Sprintf("%s(x) <- %s(x).", r.Head, r.P0)
+	case Step:
+		return fmt.Sprintf("%s(x) <- %s(x0), %s(x0,x).", r.Head, r.P0, r.Rel)
+	case And:
+		return fmt.Sprintf("%s(x) <- %s(x), %s(x).", r.Head, r.P0, r.P1)
+	}
+	return "?"
+}
+
+// TMNFProgram is a monadic datalog program in TMNF together with the set
+// of predicates that constitute its information extraction functions
+// (the non-auxiliary predicates, Section 2.1).
+type TMNFProgram struct {
+	Rules []TMNFRule
+	// Exported lists the predicates that were intensional in the source
+	// program; helper predicates introduced by the rewriting are not
+	// listed.
+	Exported []string
+}
+
+// Size returns |P| measured in atoms, as in the complexity statements.
+func (p *TMNFProgram) Size() int {
+	n := 0
+	for _, r := range p.Rules {
+		switch r.Kind {
+		case Copy:
+			n += 2
+		default:
+			n += 3
+		}
+	}
+	return n
+}
+
+func (p *TMNFProgram) String() string {
+	var b []byte
+	for _, r := range p.Rules {
+		b = append(b, r.String()...)
+		b = append(b, '\n')
+	}
+	return string(b)
+}
+
+// nodePred is the intensional predicate holding for every node; the
+// rewriting synthesizes its three defining rules on demand (it is
+// definable over τ_ur, so TMNF-ness is preserved — see footnote 5 and
+// the proof sketch of Theorem 2.7).
+const nodePred = "__node"
+
+// converter carries the fresh-name counter of one ToTMNF run.
+type converter struct {
+	prog      *TMNFProgram
+	fresh     int
+	nodeAdded bool
+}
+
+func (c *converter) newPred() string {
+	c.fresh++
+	return fmt.Sprintf("__h%d", c.fresh)
+}
+
+func (c *converter) emit(r TMNFRule) { c.prog.Rules = append(c.prog.Rules, r) }
+
+func (c *converter) ensureNode() string {
+	if !c.nodeAdded {
+		c.nodeAdded = true
+		c.emit(TMNFRule{Kind: Copy, Head: nodePred, P0: PredRoot})
+		c.emit(TMNFRule{Kind: Step, Head: nodePred, P0: nodePred, Rel: FirstChild})
+		c.emit(TMNFRule{Kind: Step, Head: nodePred, P0: nodePred, Rel: NextSibling})
+	}
+	return nodePred
+}
+
+// ToTMNF rewrites a monadic datalog program over τ_ur ∪ {child} into an
+// equivalent TMNF program over τ_ur (Theorem 2.7). The rewriting runs in
+// time O(|P|) and produces a program of size O(|P|).
+//
+// The construction requires each rule body's binary atoms to form an
+// acyclic connected graph over the rule's variables (a "tree-shaped"
+// rule). Every program produced by this repository's front ends (the
+// visual builder, the Elog core compiler, the XPath translator, the
+// automaton compiler) is tree-shaped; genuinely cyclic rules fall under
+// the conjunctive-query dichotomy of Section 4 and are handled by
+// internal/cq instead.
+func ToTMNF(p *datalog.Program) (*TMNFProgram, error) {
+	if err := CheckMonadic(p); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	c := &converter{prog: &TMNFProgram{Exported: p.IDBPredicates()}}
+	for _, r := range p.Rules {
+		if err := c.convertRule(r); err != nil {
+			return nil, err
+		}
+	}
+	return c.prog, nil
+}
+
+type varEdge struct {
+	pred string // firstchild | nextsibling | child
+	from string // atom's first argument
+	to   string // atom's second argument
+}
+
+func (c *converter) convertRule(r datalog.Rule) error {
+	headVar := r.Head.Args[0].Name
+	unary := map[string][]string{} // var -> unary predicate names
+	var edges []varEdge
+	vars := map[string]bool{headVar: true}
+	for _, a := range r.Body {
+		for _, t := range a.Args {
+			vars[t.Name] = true
+		}
+		switch len(a.Args) {
+		case 1:
+			unary[a.Args[0].Name] = append(unary[a.Args[0].Name], a.Pred)
+		case 2:
+			edges = append(edges, varEdge{pred: a.Pred, from: a.Args[0].Name, to: a.Args[1].Name})
+		}
+	}
+	// Connectivity and acyclicity check: |edges| == |vars|-1 and all
+	// vars reachable from headVar.
+	if len(edges) != len(vars)-1 {
+		return fmt.Errorf("mdatalog: rule %s: body binary atoms must form a tree over the variables (got %d edges, %d variables)", r, len(edges), len(vars))
+	}
+	adj := map[string][]int{}
+	for i, e := range edges {
+		adj[e.from] = append(adj[e.from], i)
+		adj[e.to] = append(adj[e.to], i)
+	}
+	seen := map[string]bool{headVar: true}
+	usedEdge := make([]bool, len(edges))
+	// children[v] lists (edge index, child var) pairs in the var tree
+	// rooted at headVar.
+	children := map[string][][2]interface{}{}
+	stack := []string{headVar}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, ei := range adj[v] {
+			if usedEdge[ei] {
+				continue
+			}
+			e := edges[ei]
+			w := e.to
+			if w == v {
+				w = e.from
+			}
+			if seen[w] {
+				return fmt.Errorf("mdatalog: rule %s: cyclic binary atoms are not tree-shaped", r)
+			}
+			usedEdge[ei] = true
+			seen[w] = true
+			children[v] = append(children[v], [2]interface{}{ei, w})
+			stack = append(stack, w)
+		}
+	}
+	if len(seen) != len(vars) {
+		return fmt.Errorf("mdatalog: rule %s: body is disconnected from the head variable", r)
+	}
+
+	// Post-order construction of Q_v for each variable.
+	var build func(v string) (string, error)
+	build = func(v string) (string, error) {
+		var conjuncts []string
+		conjuncts = append(conjuncts, unary[v]...)
+		for _, pair := range children[v] {
+			ei := pair[0].(int)
+			w := pair[1].(string)
+			qw, err := build(w)
+			if err != nil {
+				return "", err
+			}
+			s, err := c.transfer(edges[ei], v, w, qw)
+			if err != nil {
+				return "", err
+			}
+			conjuncts = append(conjuncts, s)
+		}
+		if len(conjuncts) == 0 {
+			return c.ensureNode(), nil
+		}
+		if len(conjuncts) == 1 {
+			return conjuncts[0], nil
+		}
+		// Chain of type-(3) conjunctions.
+		acc := conjuncts[0]
+		for i := 1; i < len(conjuncts); i++ {
+			h := c.newPred()
+			c.emit(TMNFRule{Kind: And, Head: h, P0: acc, P1: conjuncts[i]})
+			acc = h
+		}
+		return acc, nil
+	}
+	q, err := build(headVar)
+	if err != nil {
+		return err
+	}
+	c.emit(TMNFRule{Kind: Copy, Head: r.Head.Pred, P0: q})
+	return nil
+}
+
+// transfer emits TMNF rules computing the predicate S with
+//
+//	S(v) ⇔ ∃w  B±(v, w) ∧ Q_w(w)
+//
+// where the body atom is edge.pred(edge.from, edge.to), v is the parent
+// variable in the var tree and w its child. It returns the name of S.
+func (c *converter) transfer(e varEdge, v, w, qw string) (string, error) {
+	s := c.newPred()
+	switch {
+	case e.pred == PredFirstChild && e.from == v:
+		// firstchild(v, w): v is determined from w by the inverse.
+		c.emit(TMNFRule{Kind: Step, Head: s, P0: qw, Rel: FirstChildInv})
+	case e.pred == PredFirstChild && e.from == w:
+		// firstchild(w, v): v is the first child of w.
+		c.emit(TMNFRule{Kind: Step, Head: s, P0: qw, Rel: FirstChild})
+	case e.pred == PredNextSibling && e.from == v:
+		c.emit(TMNFRule{Kind: Step, Head: s, P0: qw, Rel: NextSiblingInv})
+	case e.pred == PredNextSibling && e.from == w:
+		c.emit(TMNFRule{Kind: Step, Head: s, P0: qw, Rel: NextSibling})
+	case e.pred == PredChild && e.from == v:
+		// child(v, w): S(v) ⇔ some child of v satisfies Q_w. Mark every
+		// node that has a satisfying sibling at or to its right, then
+		// step from the first child to the parent.
+		m := c.newPred()
+		c.emit(TMNFRule{Kind: Copy, Head: m, P0: qw})
+		c.emit(TMNFRule{Kind: Step, Head: m, P0: m, Rel: NextSiblingInv})
+		c.emit(TMNFRule{Kind: Step, Head: s, P0: m, Rel: FirstChildInv})
+	case e.pred == PredChild && e.from == w:
+		// child(w, v): S(v) ⇔ the parent of v satisfies Q_w. Mark the
+		// first child of each satisfying node, then sweep right.
+		c.emit(TMNFRule{Kind: Step, Head: s, P0: qw, Rel: FirstChild})
+		c.emit(TMNFRule{Kind: Step, Head: s, P0: s, Rel: NextSibling})
+	default:
+		return "", fmt.Errorf("mdatalog: unsupported binary predicate %s", e.pred)
+	}
+	return s, nil
+}
+
+// ParseTMNF converts a textual monadic datalog program directly to TMNF;
+// convenience for tests and tools.
+func ParseTMNF(src string) (*TMNFProgram, error) {
+	p, err := datalog.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return ToTMNF(p)
+}

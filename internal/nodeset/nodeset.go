@@ -1,0 +1,235 @@
+// Package nodeset provides linear-time set-level operations over tree
+// axes: given the characteristic vector of a node set S, each function
+// computes {y : ∃x∈S axis(x,y)} (or the converse) in a single O(|dom|)
+// sweep. These are the primitives behind both the linear-time Core XPath
+// evaluator (Theorems 4.1/4.2: O(|D|·|Q|) combined complexity) and the
+// acyclic conjunctive-query evaluator.
+package nodeset
+
+import "repro/internal/dom"
+
+// Set is the characteristic vector of a node set, indexed by NodeID.
+type Set []bool
+
+// New returns an empty set sized for t.
+func New(t *dom.Tree) Set { return make(Set, t.Size()) }
+
+// Full returns the set of all nodes of t.
+func Full(t *dom.Tree) Set {
+	s := New(t)
+	for i := range s {
+		s[i] = true
+	}
+	return s
+}
+
+// Singleton returns {n}.
+func Singleton(t *dom.Tree, n dom.NodeID) Set {
+	s := New(t)
+	s[n] = true
+	return s
+}
+
+// FromSlice builds a Set from a node slice.
+func FromSlice(t *dom.Tree, nodes []dom.NodeID) Set {
+	s := New(t)
+	for _, n := range nodes {
+		s[n] = true
+	}
+	return s
+}
+
+// Nodes returns the members in document order.
+func (s Set) Nodes(t *dom.Tree) []dom.NodeID {
+	var out []dom.NodeID
+	for i, in := range s {
+		if in {
+			out = append(out, dom.NodeID(i))
+		}
+	}
+	return t.SortDocOrder(out)
+}
+
+// Count returns |s|.
+func (s Set) Count() int {
+	n := 0
+	for _, in := range s {
+		if in {
+			n++
+		}
+	}
+	return n
+}
+
+// Empty reports whether the set has no members.
+func (s Set) Empty() bool {
+	for _, in := range s {
+		if in {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone copies the set.
+func (s Set) Clone() Set { return append(Set(nil), s...) }
+
+// And intersects into s and returns it.
+func (s Set) And(o Set) Set {
+	for i := range s {
+		s[i] = s[i] && o[i]
+	}
+	return s
+}
+
+// Or unions into s and returns it.
+func (s Set) Or(o Set) Set {
+	for i := range s {
+		s[i] = s[i] || o[i]
+	}
+	return s
+}
+
+// Not complements into s and returns it.
+func (s Set) Not() Set {
+	for i := range s {
+		s[i] = !s[i]
+	}
+	return s
+}
+
+// Children returns {y : parent(y) ∈ s}.
+func Children(t *dom.Tree, s Set) Set {
+	out := New(t)
+	for i := range out {
+		if p := t.Parent(dom.NodeID(i)); p != dom.Nil && s[p] {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// Parents returns {x : some child of x ∈ s}.
+func Parents(t *dom.Tree, s Set) Set {
+	out := New(t)
+	for i := range s {
+		if s[i] {
+			if p := t.Parent(dom.NodeID(i)); p != dom.Nil {
+				out[p] = true
+			}
+		}
+	}
+	return out
+}
+
+// Descendants returns {y : some proper ancestor of y ∈ s}.
+func Descendants(t *dom.Tree, s Set) Set {
+	out := New(t)
+	for _, y := range t.InDocumentOrder() {
+		if p := t.Parent(y); p != dom.Nil && (s[p] || out[p]) {
+			out[y] = true
+		}
+	}
+	return out
+}
+
+// DescendantsOrSelf returns Descendants(s) ∪ s.
+func DescendantsOrSelf(t *dom.Tree, s Set) Set { return Descendants(t, s).Or(s) }
+
+// Ancestors returns {x : some proper descendant of x ∈ s}.
+func Ancestors(t *dom.Tree, s Set) Set {
+	out := New(t)
+	order := t.InDocumentOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		y := order[i]
+		if p := t.Parent(y); p != dom.Nil && (s[y] || out[y]) {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// AncestorsOrSelf returns Ancestors(s) ∪ s.
+func AncestorsOrSelf(t *dom.Tree, s Set) Set { return Ancestors(t, s).Or(s) }
+
+// NextSiblings returns {y : prevsibling(y) ∈ s}.
+func NextSiblings(t *dom.Tree, s Set) Set {
+	out := New(t)
+	for i := range out {
+		if p := t.PrevSibling(dom.NodeID(i)); p != dom.Nil && s[p] {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// PrevSiblings returns {x : nextsibling(x) ∈ s}.
+func PrevSiblings(t *dom.Tree, s Set) Set {
+	out := New(t)
+	for i := range s {
+		if s[i] {
+			if p := t.PrevSibling(dom.NodeID(i)); p != dom.Nil {
+				out[p] = true
+			}
+		}
+	}
+	return out
+}
+
+// FollowingSiblings returns {y : some left sibling of y ∈ s}.
+func FollowingSiblings(t *dom.Tree, s Set) Set {
+	out := New(t)
+	for _, y := range t.InDocumentOrder() {
+		if p := t.PrevSibling(y); p != dom.Nil && (s[p] || out[p]) {
+			out[y] = true
+		}
+	}
+	return out
+}
+
+// PrecedingSiblings returns {x : some right sibling of x ∈ s}.
+func PrecedingSiblings(t *dom.Tree, s Set) Set {
+	out := New(t)
+	order := t.InDocumentOrder()
+	for i := len(order) - 1; i >= 0; i-- {
+		y := order[i]
+		if p := t.PrevSibling(y); p != dom.Nil && (s[y] || out[y]) {
+			out[p] = true
+		}
+	}
+	return out
+}
+
+// Following returns {y : ∃x∈s Following(x,y)} — nodes starting after the
+// subtree of some member.
+func Following(t *dom.Tree, s Set) Set {
+	out := New(t)
+	minPost := int(^uint(0) >> 1)
+	for _, y := range t.InDocumentOrder() {
+		if minPost < t.Post(y) {
+			out[y] = true
+		}
+		if s[y] && t.Post(y) < minPost {
+			minPost = t.Post(y)
+		}
+	}
+	return out
+}
+
+// Preceding returns {x : ∃y∈s Following(x,y)} — nodes whose subtree ends
+// before some member starts (the converse sweep).
+func Preceding(t *dom.Tree, s Set) Set {
+	out := New(t)
+	order := t.InDocumentOrder()
+	maxPost := -1
+	for i := len(order) - 1; i >= 0; i-- {
+		x := order[i]
+		if maxPost > t.Post(x) {
+			out[x] = true
+		}
+		if s[x] && t.Post(x) > maxPost {
+			maxPost = t.Post(x)
+		}
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package nodeset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dom"
+)
+
+// oracle computes an axis image by quadratic enumeration.
+func oracle(t *dom.Tree, s Set, holds func(x, y dom.NodeID) bool) Set {
+	out := New(t)
+	for x := 0; x < t.Size(); x++ {
+		if !s[x] {
+			continue
+		}
+		for y := 0; y < t.Size(); y++ {
+			if holds(dom.NodeID(x), dom.NodeID(y)) {
+				out[y] = true
+			}
+		}
+	}
+	return out
+}
+
+func setsEqual(a, b Set) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestAxisOpsAgainstOracle(t *testing.T) {
+	ops := []struct {
+		name  string
+		fn    func(*dom.Tree, Set) Set
+		holds func(tr *dom.Tree) func(x, y dom.NodeID) bool
+	}{
+		{"Children", Children, func(tr *dom.Tree) func(x, y dom.NodeID) bool {
+			return func(x, y dom.NodeID) bool { return tr.IsChild(x, y) }
+		}},
+		{"Parents", Parents, func(tr *dom.Tree) func(x, y dom.NodeID) bool {
+			return func(x, y dom.NodeID) bool { return tr.IsChild(y, x) }
+		}},
+		{"Descendants", Descendants, func(tr *dom.Tree) func(x, y dom.NodeID) bool {
+			return func(x, y dom.NodeID) bool { return tr.IsAncestor(x, y) }
+		}},
+		{"Ancestors", Ancestors, func(tr *dom.Tree) func(x, y dom.NodeID) bool {
+			return func(x, y dom.NodeID) bool { return tr.IsAncestor(y, x) }
+		}},
+		{"NextSiblings", NextSiblings, func(tr *dom.Tree) func(x, y dom.NodeID) bool {
+			return func(x, y dom.NodeID) bool { return tr.NextSibling(x) == y }
+		}},
+		{"PrevSiblings", PrevSiblings, func(tr *dom.Tree) func(x, y dom.NodeID) bool {
+			return func(x, y dom.NodeID) bool { return tr.PrevSibling(x) == y }
+		}},
+		{"FollowingSiblings", FollowingSiblings, func(tr *dom.Tree) func(x, y dom.NodeID) bool {
+			return func(x, y dom.NodeID) bool { return tr.FollowingSibling(x, y) }
+		}},
+		{"PrecedingSiblings", PrecedingSiblings, func(tr *dom.Tree) func(x, y dom.NodeID) bool {
+			return func(x, y dom.NodeID) bool { return tr.FollowingSibling(y, x) }
+		}},
+		{"Following", Following, func(tr *dom.Tree) func(x, y dom.NodeID) bool {
+			return func(x, y dom.NodeID) bool { return tr.Following(x, y) }
+		}},
+		{"Preceding", Preceding, func(tr *dom.Tree) func(x, y dom.NodeID) bool {
+			return func(x, y dom.NodeID) bool { return tr.Following(y, x) }
+		}},
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := dom.RandomTree(rng, 1+rng.Intn(40), []string{"a", "b"}, 4)
+		tr.Reindex()
+		s := New(tr)
+		for i := range s {
+			s[i] = rng.Intn(3) == 0
+		}
+		for _, op := range ops {
+			got := op.fn(tr, s)
+			want := oracle(tr, s, op.holds(tr))
+			if !setsEqual(got, want) {
+				t.Logf("%s wrong on %s", op.name, tr)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSetAlgebra(t *testing.T) {
+	tr := dom.MustParseTerm("a(b,c)")
+	full := Full(tr)
+	if full.Count() != 3 || full.Empty() {
+		t.Error("Full wrong")
+	}
+	s := Singleton(tr, 1)
+	if s.Count() != 1 {
+		t.Error("Singleton wrong")
+	}
+	c := s.Clone().Not()
+	if c.Count() != 2 || c[1] {
+		t.Error("Not wrong")
+	}
+	u := s.Clone().Or(c)
+	if u.Count() != 3 {
+		t.Error("Or wrong")
+	}
+	i := u.And(Singleton(tr, 2))
+	if i.Count() != 1 || !i[2] {
+		t.Error("And wrong")
+	}
+	if got := FromSlice(tr, []dom.NodeID{2, 0}).Nodes(tr); len(got) != 2 || got[0] != 0 {
+		t.Errorf("Nodes = %v", got)
+	}
+}

@@ -1,0 +1,240 @@
+// Package pib implements the pattern instance base (Section 3.1): the
+// hierarchical data structure the Extractor produces, "encoding the
+// extracted instances as hierarchically ordered trees and strings",
+// together with the XML Designer / XML Transformer pair that maps it to
+// XML output.
+//
+// The binary pattern predicates of Elog (Section 3.3) define a
+// multigraph over instances — each instance knows the parent instance
+// "in terms of which it was defined" — and that multigraph is the basis
+// of the XML transformation. Auxiliary patterns are filtered out in the
+// tree-minor fashion of Section 2.1: their children are promoted to the
+// nearest non-auxiliary ancestor, preserving document order.
+package pib
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/xmlenc"
+)
+
+// Kind distinguishes the instance flavours of Lixto extraction.
+type Kind int
+
+const (
+	// NodeInstance is a single tree node (subelem extraction).
+	NodeInstance Kind = iota
+	// SequenceInstance is a run of consecutive sibling nodes (subsq).
+	SequenceInstance
+	// StringInstance is a character string (subtext, subatt).
+	StringInstance
+	// DocumentInstance is the root instance of a wrapped document.
+	DocumentInstance
+)
+
+// Instance is one pattern instance.
+type Instance struct {
+	ID      int
+	Pattern string
+	Kind    Kind
+	// Doc is the document tree the instance lives in (nil only for
+	// detached string instances, which keep a pointer anyway for
+	// provenance).
+	Doc *dom.Tree
+	// URL identifies the document (provenance; also the crawl address).
+	URL string
+	// Nodes are the instance's nodes: one for NodeInstance and
+	// DocumentInstance, one or more consecutive siblings for
+	// SequenceInstance, empty for StringInstance.
+	Nodes []dom.NodeID
+	// Text is the string value of a StringInstance.
+	Text string
+	// Parent is the instance this one was extracted from (nil for
+	// document instances).
+	Parent   *Instance
+	Children []*Instance
+}
+
+// TextContent returns the instance's text: the stored string for string
+// instances, the concatenated element text otherwise.
+func (in *Instance) TextContent() string {
+	if in.Kind == StringInstance {
+		return in.Text
+	}
+	var b strings.Builder
+	for _, n := range in.Nodes {
+		b.WriteString(in.Doc.ElementText(n))
+	}
+	return b.String()
+}
+
+// key returns the identity of an instance for deduplication.
+func (in *Instance) key() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s|%s|", in.Pattern, in.URL)
+	if in.Parent != nil {
+		fmt.Fprintf(&b, "p%d|", in.Parent.ID)
+	}
+	for _, n := range in.Nodes {
+		fmt.Fprintf(&b, "%d,", n)
+	}
+	if in.Kind == StringInstance {
+		fmt.Fprintf(&b, "t:%s", in.Text)
+	}
+	return b.String()
+}
+
+// Base is the pattern instance base.
+type Base struct {
+	// Roots are the document instances, in wrapping order.
+	Roots []*Instance
+	all   map[string]*Instance
+	byPat map[string][]*Instance
+	next  int
+}
+
+// NewBase returns an empty instance base.
+func NewBase() *Base {
+	return &Base{all: map[string]*Instance{}, byPat: map[string][]*Instance{}}
+}
+
+// Add inserts an instance (deduplicating) and returns the canonical
+// instance plus whether it was new. Parent links are fixed at insert;
+// the instance is appended to its parent's children in insertion order.
+func (b *Base) Add(in *Instance) (*Instance, bool) {
+	k := in.key()
+	if prev, ok := b.all[k]; ok {
+		return prev, false
+	}
+	in.ID = b.next
+	b.next++
+	b.all[k] = in
+	b.byPat[in.Pattern] = append(b.byPat[in.Pattern], in)
+	if in.Parent != nil {
+		in.Parent.Children = append(in.Parent.Children, in)
+	} else {
+		b.Roots = append(b.Roots, in)
+	}
+	return in, true
+}
+
+// Instances returns the instances of a pattern, in insertion order.
+func (b *Base) Instances(pattern string) []*Instance { return b.byPat[pattern] }
+
+// Patterns returns the pattern names present, sorted.
+func (b *Base) Patterns() []string {
+	out := make([]string, 0, len(b.byPat))
+	for p := range b.byPat {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Count returns the total number of instances.
+func (b *Base) Count() int { return len(b.all) }
+
+// Design is the XML Designer configuration (Section 3.1): which
+// intensional predicates are auxiliary, and what labels nodes receive.
+// The zero value emits every pattern under its own name — "the pattern
+// name can act as a default node label".
+type Design struct {
+	// Auxiliary patterns do not propagate to the output tree; their
+	// children attach to the nearest non-auxiliary ancestor.
+	Auxiliary map[string]bool
+	// Rename maps pattern names to XML element names.
+	Rename map[string]string
+	// RootName is the document element name (default "lixto").
+	RootName string
+	// KeepText controls whether leaf instances emit their text content
+	// (default true). Patterns listed in SuppressText never emit text.
+	SuppressText map[string]bool
+	// AlwaysText patterns emit their text content even when they have
+	// child instances (useful when a pattern carries both a value and
+	// sub-patterns, like a price with an extracted currency).
+	AlwaysText map[string]bool
+	// EmitURL adds a url attribute on document instances (default on
+	// for multi-document bases).
+	EmitURL bool
+}
+
+// elementName resolves the output element name of a pattern.
+func (d *Design) elementName(pattern string) string {
+	if d.Rename != nil {
+		if n, ok := d.Rename[pattern]; ok {
+			return n
+		}
+	}
+	return pattern
+}
+
+// Transform runs the XML Transformer: it maps the instance base to an
+// XML document following the parent multigraph, omitting auxiliary
+// patterns tree-minor style and preserving document order among
+// siblings.
+func (d *Design) Transform(b *Base) *xmlenc.Node {
+	rootName := d.RootName
+	if rootName == "" {
+		rootName = "lixto"
+	}
+	root := xmlenc.NewElement(rootName)
+	for _, docInst := range b.Roots {
+		var target *xmlenc.Node
+		if d.Auxiliary[docInst.Pattern] {
+			target = root
+		} else {
+			el := xmlenc.NewElement(d.elementName(docInst.Pattern))
+			if d.EmitURL && docInst.URL != "" {
+				el.SetAttr("url", docInst.URL)
+			}
+			root.Append(el)
+			target = el
+		}
+		d.emitChildren(docInst, target)
+	}
+	return root
+}
+
+// emitChildren emits the child instances of in into the XML element out.
+func (d *Design) emitChildren(in *Instance, out *xmlenc.Node) {
+	children := orderedChildren(in)
+	for _, c := range children {
+		if d.Auxiliary[c.Pattern] {
+			// Tree minor: skip the node, promote its children.
+			d.emitChildren(c, out)
+			continue
+		}
+		el := xmlenc.NewElement(d.elementName(c.Pattern))
+		out.Append(el)
+		d.emitChildren(c, el)
+		if (len(el.Children) == 0 || d.AlwaysText[c.Pattern]) && !d.SuppressText[c.Pattern] {
+			el.Text = strings.TrimSpace(c.TextContent())
+		}
+	}
+}
+
+// orderedChildren returns the children sorted by document order of their
+// first node (string instances keep their relative insertion order,
+// anchored at their parent's position).
+func orderedChildren(in *Instance) []*Instance {
+	out := append([]*Instance(nil), in.Children...)
+	pos := func(c *Instance) int {
+		if len(c.Nodes) > 0 && c.Doc != nil {
+			return c.Doc.Pre(c.Nodes[0])
+		}
+		if len(in.Nodes) > 0 && in.Doc != nil {
+			return in.Doc.Pre(in.Nodes[0])
+		}
+		return 0
+	}
+	sort.SliceStable(out, func(i, j int) bool { return pos(out[i]) < pos(out[j]) })
+	return out
+}
+
+// TransformString is Transform followed by indented serialization.
+func (d *Design) TransformString(b *Base) string {
+	return xmlenc.MarshalIndent(d.Transform(b))
+}

@@ -1,0 +1,409 @@
+// Package transform implements the Lixto Transformation Server
+// (Section 5): a container of visually configured information agents
+// forming an information pipe — acquisition (wrapper components),
+// integration, transformation, and delivery stages that hand XML
+// documents from component to component.
+//
+// As in the paper, the actual data flow is realized by handing over XML
+// documents: every stage accepts XML (except wrapper components, which
+// accept HTML from their source sites) and produces XML for its
+// successors. Components that are not on the boundary are only activated
+// by their neighbors; boundary components (wrappers, deliverers)
+// self-activate according to a schedule and trigger processing on behalf
+// of the user.
+//
+// The engine supports two execution modes: Tick() runs one synchronous
+// activation round (deterministic; used by tests and benchmarks), and
+// Run(ctx, interval) drives Ticks from a wall-clock ticker, giving the
+// continuous monitoring behaviour of the deployed system.
+package transform
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/elog"
+	"repro/internal/pib"
+	"repro/internal/xmlenc"
+)
+
+// Component is one stage of an information pipe. Process receives a
+// document from an upstream component (identified by name, so that
+// integrators can tell their inputs apart) and emits zero or more
+// documents to its successors.
+type Component interface {
+	Name() string
+	Process(from string, doc *xmlenc.Node) ([]*xmlenc.Node, error)
+}
+
+// Source is a boundary component that self-activates: Poll is called on
+// every engine tick and produces fresh documents.
+type Source interface {
+	Component
+	Poll() ([]*xmlenc.Node, error)
+}
+
+// Engine is the component container and pipe network.
+type Engine struct {
+	mu    sync.Mutex
+	comps map[string]Component
+	order []string
+	edges map[string][]string
+	// Errors accumulated during ticks (a failing source should not kill
+	// the whole service; the paper's server keeps running).
+	Errors []error
+	// MaxErrors bounds the error log.
+	MaxErrors int
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{comps: map[string]Component{}, edges: map[string][]string{}, MaxErrors: 100}
+}
+
+// Add registers a component.
+func (e *Engine) Add(c Component) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.comps[c.Name()]; dup {
+		return fmt.Errorf("transform: duplicate component %q", c.Name())
+	}
+	e.comps[c.Name()] = c
+	e.order = append(e.order, c.Name())
+	return nil
+}
+
+// Connect wires from's output to to's input. The pipe network must stay
+// acyclic ("very complex unidirectional information flows").
+func (e *Engine) Connect(from, to string) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.comps[from]; !ok {
+		return fmt.Errorf("transform: unknown component %q", from)
+	}
+	if _, ok := e.comps[to]; !ok {
+		return fmt.Errorf("transform: unknown component %q", to)
+	}
+	e.edges[from] = append(e.edges[from], to)
+	if e.reaches(to, from, map[string]bool{}) {
+		e.edges[from] = e.edges[from][:len(e.edges[from])-1]
+		return fmt.Errorf("transform: connecting %s -> %s would create a cycle", from, to)
+	}
+	return nil
+}
+
+func (e *Engine) reaches(from, target string, seen map[string]bool) bool {
+	if from == target {
+		return true
+	}
+	if seen[from] {
+		return false
+	}
+	seen[from] = true
+	for _, n := range e.edges[from] {
+		if e.reaches(n, target, seen) {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick runs one activation round: every Source polls once and its
+// outputs propagate through the network. Deterministic given the
+// sources' state.
+func (e *Engine) Tick() {
+	e.mu.Lock()
+	order := append([]string{}, e.order...)
+	e.mu.Unlock()
+	for _, name := range order {
+		src, ok := e.comps[name].(Source)
+		if !ok {
+			continue
+		}
+		docs, err := src.Poll()
+		if err != nil {
+			e.logErr(fmt.Errorf("source %s: %w", name, err))
+			continue
+		}
+		for _, d := range docs {
+			e.propagate(name, d)
+		}
+	}
+}
+
+func (e *Engine) propagate(from string, doc *xmlenc.Node) {
+	for _, next := range e.edges[from] {
+		out, err := e.comps[next].Process(from, doc)
+		if err != nil {
+			e.logErr(fmt.Errorf("component %s: %w", next, err))
+			continue
+		}
+		for _, d := range out {
+			e.propagate(next, d)
+		}
+	}
+}
+
+func (e *Engine) logErr(err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if len(e.Errors) < e.MaxErrors {
+		e.Errors = append(e.Errors, err)
+	}
+}
+
+// Run ticks the engine at the given interval until the context is
+// cancelled — the continuous-service mode.
+func (e *Engine) Run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			e.Tick()
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Wrapper source.
+
+// WrapperSource acquires content from source locations: on every poll it
+// runs an Elog wrapper against its Fetcher and emits the XML produced by
+// the XML transformer — "this component resembles the Lixto Visual
+// Wrapper".
+type WrapperSource struct {
+	CompName string
+	Fetcher  elog.Fetcher
+	Program  *elog.Program
+	Design   *pib.Design
+	// Every counts ticks between polls (1 = every tick); sources with
+	// slower upgrade intervals (charts vs radio, Section 6.1) poll less
+	// often.
+	Every int
+	tick  int
+}
+
+// Name implements Component.
+func (s *WrapperSource) Name() string { return s.CompName }
+
+// Process implements Component (sources have no inputs).
+func (s *WrapperSource) Process(string, *xmlenc.Node) ([]*xmlenc.Node, error) {
+	return nil, fmt.Errorf("transform: wrapper source %s cannot receive documents", s.CompName)
+}
+
+// Poll wraps the sources and emits one XML document.
+func (s *WrapperSource) Poll() ([]*xmlenc.Node, error) {
+	every := s.Every
+	if every <= 0 {
+		every = 1
+	}
+	s.tick++
+	if (s.tick-1)%every != 0 {
+		return nil, nil
+	}
+	ev := elog.NewEvaluator(s.Fetcher)
+	base, err := ev.Run(s.Program)
+	if err != nil {
+		return nil, err
+	}
+	design := s.Design
+	if design == nil {
+		design = &pib.Design{Auxiliary: map[string]bool{"document": true}}
+	}
+	doc := design.Transform(base)
+	doc.SetAttr("source", s.CompName)
+	return []*xmlenc.Node{doc}, nil
+}
+
+// ---------------------------------------------------------------------
+// Integrator.
+
+// Integrator merges the latest document from each of its inputs into a
+// single document (stage 2 of the pipeline). It emits whenever an input
+// arrives and all expected inputs have delivered at least once.
+type Integrator struct {
+	CompName string
+	// Expect lists the upstream component names to wait for.
+	Expect []string
+	// RootName is the merged document element (default "integrated").
+	RootName string
+	mu       sync.Mutex
+	latest   map[string]*xmlenc.Node
+}
+
+// Name implements Component.
+func (i *Integrator) Name() string { return i.CompName }
+
+// Process implements Component.
+func (i *Integrator) Process(from string, doc *xmlenc.Node) ([]*xmlenc.Node, error) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	if i.latest == nil {
+		i.latest = map[string]*xmlenc.Node{}
+	}
+	i.latest[from] = doc
+	for _, exp := range i.Expect {
+		if i.latest[exp] == nil {
+			return nil, nil // wait for the remaining inputs
+		}
+	}
+	name := i.RootName
+	if name == "" {
+		name = "integrated"
+	}
+	merged := xmlenc.NewElement(name)
+	for _, exp := range i.Expect {
+		merged.Append(i.latest[exp])
+	}
+	return []*xmlenc.Node{merged}, nil
+}
+
+// ---------------------------------------------------------------------
+// Transformer.
+
+// Transformer applies a function to each document (stage 3). The
+// function must not mutate its input (documents are shared across
+// branches); it returns the transformed document, or nil to drop it.
+type Transformer struct {
+	CompName string
+	Fn       func(*xmlenc.Node) (*xmlenc.Node, error)
+}
+
+// Name implements Component.
+func (t *Transformer) Name() string { return t.CompName }
+
+// Process implements Component.
+func (t *Transformer) Process(_ string, doc *xmlenc.Node) ([]*xmlenc.Node, error) {
+	out, err := t.Fn(doc)
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, nil
+	}
+	return []*xmlenc.Node{out}, nil
+}
+
+// ChangeFilter forwards a document only when it differs from the
+// previous one — the change-detection behaviour of the flight-status
+// application ("only if the status changed between consecutive
+// requests", Section 6.2).
+type ChangeFilter struct {
+	CompName string
+	mu       sync.Mutex
+	last     map[string]string
+}
+
+// Name implements Component.
+func (c *ChangeFilter) Name() string { return c.CompName }
+
+// Process implements Component.
+func (c *ChangeFilter) Process(from string, doc *xmlenc.Node) ([]*xmlenc.Node, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.last == nil {
+		c.last = map[string]string{}
+	}
+	s := xmlenc.Marshal(doc)
+	if c.last[from] == s {
+		return nil, nil
+	}
+	c.last[from] = s
+	return []*xmlenc.Node{doc}, nil
+}
+
+// ---------------------------------------------------------------------
+// Deliverers.
+
+// Collector is a deliverer that stores everything it receives; tests,
+// examples and benchmarks read the service's output here. It stands in
+// for the paper's SMS/HTTP/RMI delivery media.
+type Collector struct {
+	CompName string
+	mu       sync.Mutex
+	docs     []*xmlenc.Node
+}
+
+// Name implements Component.
+func (c *Collector) Name() string { return c.CompName }
+
+// Process implements Component.
+func (c *Collector) Process(_ string, doc *xmlenc.Node) ([]*xmlenc.Node, error) {
+	c.mu.Lock()
+	c.docs = append(c.docs, doc)
+	c.mu.Unlock()
+	return nil, nil
+}
+
+// Docs returns the delivered documents so far.
+func (c *Collector) Docs() []*xmlenc.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*xmlenc.Node{}, c.docs...)
+}
+
+// Len returns the number of deliveries.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.docs)
+}
+
+// FileDeliverer appends each document to a file (one document per
+// write), for offline consumption.
+type FileDeliverer struct {
+	CompName string
+	Path     string
+}
+
+// Name implements Component.
+func (f *FileDeliverer) Name() string { return f.CompName }
+
+// Process implements Component.
+func (f *FileDeliverer) Process(_ string, doc *xmlenc.Node) ([]*xmlenc.Node, error) {
+	fh, err := os.OpenFile(f.Path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	defer fh.Close()
+	if _, err := fh.WriteString(xmlenc.MarshalIndent(doc) + "\n"); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// HTTPDeliverer POSTs each document to an endpoint (the paper's
+// HTTP-controlled services).
+type HTTPDeliverer struct {
+	CompName string
+	URL      string
+	Client   *http.Client
+}
+
+// Name implements Component.
+func (h *HTTPDeliverer) Name() string { return h.CompName }
+
+// Process implements Component.
+func (h *HTTPDeliverer) Process(_ string, doc *xmlenc.Node) ([]*xmlenc.Node, error) {
+	client := h.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Post(h.URL, "application/xml", strings.NewReader(xmlenc.Marshal(doc)))
+	if err != nil {
+		return nil, err
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return nil, fmt.Errorf("transform: delivery to %s failed: %s", h.URL, resp.Status)
+	}
+	return nil, nil
+}

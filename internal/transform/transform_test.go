@@ -1,0 +1,318 @@
+package transform
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/elog"
+	"repro/internal/pib"
+	"repro/internal/web"
+	"repro/internal/xmlenc"
+)
+
+// bookPipeline wires the small information pipe of Figure 7: two
+// bookshop wrappers -> integrator -> cheapest-offer transformer ->
+// change filter -> collector.
+func bookPipeline(t *testing.T) (*Engine, *web.BookSite, *web.BookSite, *Collector) {
+	t.Helper()
+	w := web.New()
+	shopA := web.NewBookSite(1, 5)
+	shopA.Register(w, "shop-a.example.com")
+	shopB := web.NewBookSite(2, 5)
+	shopB.Register(w, "shop-b.example.com")
+
+	mkProgram := func(host string) *elog.Program {
+		return elog.MustParse(fmt.Sprintf(`
+page(S, X) <- document("%s/bestsellers.html", S), subelem(S, .body, X)
+book(S, X) <- page(_, S), subelem(S, (?.tr, [(class, book, exact)]), X)
+title(S, X) <- book(_, S), subelem(S, (?.td, [(class, title, exact)]), X)
+price(S, X) <- book(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+`, host))
+	}
+	design := &pib.Design{Auxiliary: map[string]bool{"document": true, "page": true}, RootName: "shop"}
+
+	eng := NewEngine()
+	for _, c := range []Component{
+		&WrapperSource{CompName: "wrapA", Fetcher: w, Program: mkProgram("shop-a.example.com"), Design: design},
+		&WrapperSource{CompName: "wrapB", Fetcher: w, Program: mkProgram("shop-b.example.com"), Design: design},
+		&Integrator{CompName: "merge", Expect: []string{"wrapA", "wrapB"}, RootName: "offers"},
+		&Transformer{CompName: "best", Fn: cheapest},
+		&ChangeFilter{CompName: "changed"},
+	} {
+		if err := eng.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink := &Collector{CompName: "out"}
+	if err := eng.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][2]string{
+		{"wrapA", "merge"}, {"wrapB", "merge"}, {"merge", "best"},
+		{"best", "changed"}, {"changed", "out"},
+	} {
+		if err := eng.Connect(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng, shopA, shopB, sink
+}
+
+// cheapest reduces the merged offers to the globally cheapest book.
+func cheapest(doc *xmlenc.Node) (*xmlenc.Node, error) {
+	out := xmlenc.NewElement("cheapest")
+	bestPrice := 1e18
+	var best *xmlenc.Node
+	for _, book := range doc.Find("book") {
+		p := book.FirstChild("price")
+		tl := book.FirstChild("title")
+		if p == nil || tl == nil {
+			continue
+		}
+		var v float64
+		if _, err := fmt.Sscanf(strings.TrimPrefix(strings.TrimSpace(p.Text), "$ "), "%f", &v); err != nil {
+			continue
+		}
+		if v < bestPrice {
+			bestPrice = v
+			best = book
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("no offers")
+	}
+	out.AppendTextElement("title", best.FirstChild("title").Text)
+	out.AppendTextElement("price", best.FirstChild("price").Text)
+	return out, nil
+}
+
+func TestE13Pipeline(t *testing.T) {
+	eng, shopA, _, sink := bookPipeline(t)
+	eng.Tick()
+	if len(eng.Errors) != 0 {
+		t.Fatalf("errors: %v", eng.Errors)
+	}
+	if sink.Len() != 1 {
+		t.Fatalf("deliveries = %d", sink.Len())
+	}
+	first := sink.Docs()[0]
+	if first.Name != "cheapest" || first.FirstChild("title") == nil {
+		t.Fatalf("bad delivery: %s", xmlenc.Marshal(first))
+	}
+
+	// Nothing changed: the change filter must suppress the second tick.
+	eng.Tick()
+	if sink.Len() != 1 {
+		t.Fatalf("unchanged data delivered again (%d deliveries)", sink.Len())
+	}
+
+	// A price drop must flow through.
+	shopA.SetPrice(1, "$ 0.50")
+	eng.Tick()
+	if sink.Len() != 2 {
+		t.Fatalf("price change not delivered (%d)", sink.Len())
+	}
+	last := sink.Docs()[1]
+	if got := last.FirstChild("price").Text; !strings.Contains(got, "0.50") {
+		t.Errorf("cheapest price = %q", got)
+	}
+}
+
+func TestIntegratorWaitsForAllInputs(t *testing.T) {
+	i := &Integrator{CompName: "m", Expect: []string{"a", "b"}}
+	out, err := i.Process("a", xmlenc.NewElement("x"))
+	if err != nil || out != nil {
+		t.Fatalf("emitted before all inputs: %v %v", out, err)
+	}
+	out, err = i.Process("b", xmlenc.NewElement("y"))
+	if err != nil || len(out) != 1 {
+		t.Fatalf("did not emit after all inputs: %v %v", out, err)
+	}
+	if len(out[0].Children) != 2 {
+		t.Errorf("merged %d children", len(out[0].Children))
+	}
+}
+
+func TestCycleRejected(t *testing.T) {
+	eng := NewEngine()
+	a := &Transformer{CompName: "a", Fn: func(n *xmlenc.Node) (*xmlenc.Node, error) { return n, nil }}
+	b := &Transformer{CompName: "b", Fn: func(n *xmlenc.Node) (*xmlenc.Node, error) { return n, nil }}
+	if err := eng.Add(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Add(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Connect("a", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Connect("b", "a"); err == nil {
+		t.Fatal("cycle accepted")
+	}
+	if err := eng.Connect("a", "zzz"); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+func TestDuplicateComponentRejected(t *testing.T) {
+	eng := NewEngine()
+	c := &Collector{CompName: "x"}
+	if err := eng.Add(c); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Add(&Collector{CompName: "x"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestSourceErrorLoggedNotFatal(t *testing.T) {
+	eng := NewEngine()
+	bad := &WrapperSource{CompName: "bad",
+		Fetcher: elog.MapFetcher{},
+		Program: elog.MustParse(`p(S, X) <- document("missing", S), subelem(S, .body, X)`)}
+	sink := &Collector{CompName: "out"}
+	if err := eng.Add(bad); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Add(sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Connect("bad", "out"); err != nil {
+		t.Fatal(err)
+	}
+	eng.Tick()
+	if len(eng.Errors) == 0 {
+		t.Fatal("error not logged")
+	}
+	if sink.Len() != 0 {
+		t.Fatal("bad source delivered")
+	}
+}
+
+func TestWrapperSourcePollInterval(t *testing.T) {
+	w := web.New()
+	web.NewBookSite(1, 2).Register(w, "s.example.com")
+	src := &WrapperSource{CompName: "s", Fetcher: w, Every: 3,
+		Program: elog.MustParse(`page(S, X) <- document("s.example.com/bestsellers.html", S), subelem(S, .body, X)`)}
+	polls := 0
+	for i := 0; i < 9; i++ {
+		docs, err := src.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		polls += len(docs)
+	}
+	if polls != 3 {
+		t.Fatalf("polled %d times, want 3 (Every=3 over 9 ticks)", polls)
+	}
+}
+
+func TestFileDeliverer(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.xml")
+	f := &FileDeliverer{CompName: "f", Path: path}
+	doc := xmlenc.NewElement("d")
+	doc.AppendTextElement("v", "1")
+	if _, err := f.Process("", doc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Process("", doc); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(string(data), "<d>") != 2 {
+		t.Errorf("file content:\n%s", data)
+	}
+}
+
+func TestHTTPDeliverer(t *testing.T) {
+	var mu sync.Mutex
+	var got []string
+	srv := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		mu.Lock()
+		got = append(got, string(body))
+		mu.Unlock()
+	}))
+	defer srv.Close()
+	h := &HTTPDeliverer{CompName: "h", URL: srv.URL}
+	doc := xmlenc.NewElement("ping")
+	if _, err := h.Process("", doc); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || !strings.Contains(got[0], "<ping/>") {
+		t.Errorf("delivered: %v", got)
+	}
+}
+
+func BenchmarkE13_PipelineThroughput(b *testing.B) {
+	w := web.New()
+	web.NewBookSite(1, 50).Register(w, "shop-a.example.com")
+	web.NewBookSite(2, 50).Register(w, "shop-b.example.com")
+	eng := NewEngine()
+	design := &pib.Design{Auxiliary: map[string]bool{"document": true, "page": true}, RootName: "shop"}
+	mk := func(host string) *elog.Program {
+		return elog.MustParse(fmt.Sprintf(`
+page(S, X) <- document("%s/bestsellers.html", S), subelem(S, .body, X)
+book(S, X) <- page(_, S), subelem(S, (?.tr, [(class, book, exact)]), X)
+title(S, X) <- book(_, S), subelem(S, (?.td, [(class, title, exact)]), X)
+price(S, X) <- book(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+`, host))
+	}
+	_ = eng.Add(&WrapperSource{CompName: "wrapA", Fetcher: w, Program: mk("shop-a.example.com"), Design: design})
+	_ = eng.Add(&WrapperSource{CompName: "wrapB", Fetcher: w, Program: mk("shop-b.example.com"), Design: design})
+	_ = eng.Add(&Integrator{CompName: "merge", Expect: []string{"wrapA", "wrapB"}})
+	sink := &Collector{CompName: "out"}
+	_ = eng.Add(sink)
+	_ = eng.Connect("wrapA", "merge")
+	_ = eng.Connect("wrapB", "merge")
+	_ = eng.Connect("merge", "out")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Tick()
+	}
+	if sink.Len() == 0 {
+		b.Fatal("no deliveries")
+	}
+}
+
+func TestRunWallClock(t *testing.T) {
+	// The continuous mode: ticks driven by a real ticker until the
+	// context is cancelled.
+	eng, _, _, sink := bookPipeline(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		eng.Run(ctx, time.Millisecond)
+		close(done)
+	}()
+	deadline := time.After(2 * time.Second)
+	for sink.Len() == 0 {
+		select {
+		case <-deadline:
+			cancel()
+			t.Fatal("no delivery within 2s of wall-clock running")
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Run did not stop on context cancel")
+	}
+}

@@ -1,0 +1,332 @@
+// Package visual implements the Interactive Pattern Builder of
+// Section 3.2 (Figures 3 and 4): the visual wrapper-specification
+// process in which a user, working on one (or few) example documents,
+// builds an Elog program "using mainly mouse clicks" — without knowing
+// the wrapper language.
+//
+// A GUI is only an input device for document regions; everything the
+// paper describes the *system* doing is an algorithm, and this package
+// implements it:
+//
+//   - a "click" is a Region (a character range of the rendered document
+//     text, or a direct node handle); SelectNode robustly determines
+//     the document-tree node best matching the region,
+//   - for a (parent pattern, selected node) pair the system infers the
+//     path π and emits the rule p(S, X) ← p0(_, S), subelem(S, π, X),
+//   - Highlight shows the current instances of a pattern (the
+//     highlighted regions of Figure 3),
+//   - too-general filters are refined by adding conditions, too-specific
+//     ones by generalizing the path — both tracked as "interactions" so
+//     experiment E7 can report how many clicks a wrapper costs.
+package visual
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dom"
+	"repro/internal/elog"
+	"repro/internal/pib"
+)
+
+// Region is a user selection on the rendered example document: a
+// character interval of the document's visible text (as produced by
+// RenderedText). Mouse selections in a browser map to exactly this.
+type Region struct {
+	Start, End int
+}
+
+// Session is one interactive wrapper-construction session over an
+// example document.
+type Session struct {
+	doc     *dom.Tree
+	url     string
+	rules   []*elog.Rule
+	defined map[string]bool
+	// Interactions counts user gestures (clicks/refinements) — the
+	// productivity metric of experiment E7.
+	Interactions int
+
+	// text rendering with node spans, for region→node matching.
+	text  string
+	spans map[dom.NodeID][2]int
+}
+
+// NewSession starts a session on an example document. url is the address
+// the generated program's document atom will use.
+func NewSession(doc *dom.Tree, url string) *Session {
+	s := &Session{doc: doc, url: url, defined: map[string]bool{"document": true}}
+	s.renderText()
+	return s
+}
+
+// renderText computes the visible text and each node's span within it.
+func (s *Session) renderText() {
+	var b strings.Builder
+	s.spans = map[dom.NodeID][2]int{}
+	var rec func(n dom.NodeID)
+	rec = func(n dom.NodeID) {
+		start := b.Len()
+		if s.doc.Kind(n) == dom.Text {
+			b.WriteString(s.doc.Text(n))
+		}
+		for c := s.doc.FirstChild(n); c != dom.Nil; c = s.doc.NextSibling(c) {
+			rec(c)
+		}
+		s.spans[n] = [2]int{start, b.Len()}
+	}
+	if s.doc.Size() > 0 {
+		rec(s.doc.Root())
+	}
+	s.text = b.String()
+}
+
+// RenderedText returns the document's visible text — what the user sees
+// and selects in.
+func (s *Session) RenderedText() string { return s.text }
+
+// FindText returns the region of the first occurrence of needle in the
+// rendered text; convenient for driving sessions from tests ("the user
+// selects the words ...").
+func (s *Session) FindText(needle string) (Region, bool) {
+	i := strings.Index(s.text, needle)
+	if i < 0 {
+		return Region{}, false
+	}
+	return Region{Start: i, End: i + len(needle)}, true
+}
+
+// SelectNode determines the document-tree node best matching a selected
+// region: the deepest node whose text span covers the region
+// (Section 3.2: "the node in the document tree best matching the
+// selected region can be robustly determined").
+func (s *Session) SelectNode(r Region) (dom.NodeID, error) {
+	if r.Start < 0 || r.End > len(s.text) || r.Start >= r.End {
+		return dom.Nil, fmt.Errorf("visual: empty or out-of-range region %v", r)
+	}
+	best := dom.Nil
+	bestSize := len(s.text) + 1
+	for n := 0; n < s.doc.Size(); n++ {
+		id := dom.NodeID(n)
+		if s.doc.Kind(id) == dom.Text {
+			continue // select elements, not raw text nodes
+		}
+		sp := s.spans[id]
+		if sp[0] <= r.Start && r.End <= sp[1] {
+			if size := sp[1] - sp[0]; size < bestSize {
+				best, bestSize = id, size
+			}
+		}
+	}
+	if best == dom.Nil {
+		return dom.Nil, fmt.Errorf("visual: no node covers region %v", r)
+	}
+	return best, nil
+}
+
+// AddDocumentPattern defines the entry pattern wrapping the whole page:
+// name(S, X) ← document(url, S), subelem(S, .body, X). Most wrappers
+// start here (the "root" pattern of Section 3.2 corresponds to the
+// document itself).
+func (s *Session) AddDocumentPattern(name string) error {
+	if s.defined[name] {
+		return fmt.Errorf("visual: pattern %s already defined", name)
+	}
+	s.Interactions++
+	s.rules = append(s.rules, &elog.Rule{
+		Head: name, Parent: "document", DocURL: s.url,
+		Extract: &elog.Extract{Kind: elog.Subelem, EPD: elog.MustParseEPD(".body")},
+	})
+	s.defined[name] = true
+	return nil
+}
+
+// AddPattern performs the core visual step of Figure 3: the user chooses
+// a destination pattern name and a parent pattern, then selects an
+// example region inside a highlighted parent instance. The system finds
+// the best matching node, computes the label path π from the parent
+// instance to it, and adds the filter
+//
+//	name(S, X) ← parent(_, S), subelem(S, π, X).
+//
+// The generated rule is returned so the caller can inspect (or display)
+// it; it is already part of the session's program.
+func (s *Session) AddPattern(name, parent string, r Region) (*elog.Rule, error) {
+	if !s.defined[parent] {
+		return nil, fmt.Errorf("visual: parent pattern %s not defined", parent)
+	}
+	node, err := s.SelectNode(r)
+	if err != nil {
+		return nil, err
+	}
+	// Find a highlighted parent instance containing the selection.
+	parentInst, err := s.instanceContaining(parent, node)
+	if err != nil {
+		return nil, err
+	}
+	path, ok := s.doc.PathLabels(parentInst, node)
+	if !ok {
+		if parentInst == node {
+			return nil, fmt.Errorf("visual: selection equals the parent instance; refine the parent pattern instead")
+		}
+		return nil, fmt.Errorf("visual: selection lies outside the parent instance")
+	}
+	epd := elog.MustParseEPD("." + strings.Join(path, "."))
+	s.Interactions++ // one selection gesture
+	rule := &elog.Rule{
+		Head: name, Parent: parent,
+		Extract: &elog.Extract{Kind: elog.Subelem, EPD: epd},
+	}
+	s.rules = append(s.rules, rule)
+	s.defined[name] = true
+	return rule, nil
+}
+
+// instanceContaining finds an instance of pattern whose subtree contains
+// node, by evaluating the program built so far (the system highlights
+// those instances; the user clicked within one).
+func (s *Session) instanceContaining(pattern string, node dom.NodeID) (dom.NodeID, error) {
+	base, err := s.evaluate()
+	if err != nil {
+		return dom.Nil, err
+	}
+	for _, in := range base.Instances(pattern) {
+		for _, n := range in.Nodes {
+			if n == node || in.Doc.IsAncestor(n, node) {
+				return n, nil
+			}
+		}
+	}
+	return dom.Nil, fmt.Errorf("visual: the selection is not inside any instance of %s", pattern)
+}
+
+// GeneralizePath replaces the leading steps of the last rule for pattern
+// by the deep wildcard '?', keeping the final keep steps — the
+// "generalizing the path π" refinement of Section 3.2. One interaction.
+func (s *Session) GeneralizePath(pattern string, keep int) error {
+	r := s.lastRule(pattern)
+	if r == nil || r.Extract == nil || r.Extract.EPD == nil {
+		return fmt.Errorf("visual: no path to generalize for %s", pattern)
+	}
+	steps := r.Extract.EPD.Steps
+	if keep <= 0 || keep > len(steps) {
+		return fmt.Errorf("visual: keep must be in 1..%d", len(steps))
+	}
+	var b strings.Builder
+	b.WriteString("?")
+	for _, st := range steps[len(steps)-keep:] {
+		switch st.Kind {
+		case "tag":
+			b.WriteString("." + st.Tag)
+		case "star":
+			b.WriteString(".*")
+		case "content":
+			b.WriteString(".content")
+		case "deep":
+			b.WriteString(".?")
+		}
+	}
+	epd, err := elog.ParseEPD(b.String())
+	if err != nil {
+		return err
+	}
+	epd.Conds = r.Extract.EPD.Conds
+	r.Extract.EPD = epd
+	s.Interactions++
+	return nil
+}
+
+// RequireAttribute refines the last rule for pattern with an attribute
+// condition ("adding restricting conditions", Section 3.2). Mode is
+// exact, substr or regexp; attr may be "elementtext".
+func (s *Session) RequireAttribute(pattern, attr, value, mode string) error {
+	r := s.lastRule(pattern)
+	if r == nil || r.Extract == nil || r.Extract.EPD == nil {
+		return fmt.Errorf("visual: no rule to refine for %s", pattern)
+	}
+	cur := r.Extract.EPD.String()
+	refined, err := elog.ParseEPD(fmt.Sprintf("(%s, [(%s, %s, %s)])", strings.TrimSuffix(strings.TrimPrefix(cur, "("), ")"), attr, value, mode))
+	if err != nil {
+		return err
+	}
+	// Keep previously added conditions too.
+	refined.Conds = append(r.Extract.EPD.Conds, refined.Conds...)
+	r.Extract.EPD = refined
+	s.Interactions++
+	return nil
+}
+
+// AddBeforeCondition adds a context condition to the last rule for
+// pattern: an element matching epd must appear before (or after) the
+// instance within tolerance — the user picks the landmark element by
+// clicking it, the system infers its path.
+func (s *Session) AddBeforeCondition(pattern string, landmark Region, after bool, dmin, dmax int) error {
+	r := s.lastRule(pattern)
+	if r == nil {
+		return fmt.Errorf("visual: pattern %s has no rule", pattern)
+	}
+	node, err := s.SelectNode(landmark)
+	if err != nil {
+		return err
+	}
+	epd := elog.MustParseEPD("." + s.doc.Label(node))
+	s.Interactions++
+	r.Conds = append(r.Conds, elog.BeforeCond{EPD: epd, DMin: dmin, DMax: dmax, After: after})
+	return nil
+}
+
+// lastRule returns the most recently added rule for pattern.
+func (s *Session) lastRule(pattern string) *elog.Rule {
+	for i := len(s.rules) - 1; i >= 0; i-- {
+		if s.rules[i].Head == pattern {
+			return s.rules[i]
+		}
+	}
+	return nil
+}
+
+// Program returns the Elog program built so far (the fully automatic
+// output of the visual process).
+func (s *Session) Program() *elog.Program {
+	return &elog.Program{Rules: s.rules}
+}
+
+// evaluate runs the current program on the example document.
+func (s *Session) evaluate() (*pib.Base, error) {
+	ev := elog.NewEvaluator(elog.MapFetcher{s.url: s.doc})
+	return ev.Run(s.Program())
+}
+
+// Highlight returns the regions of all current instances of pattern —
+// what the GUI would highlight (Figure 3, "the system can then display
+// the document and highlight those regions").
+func (s *Session) Highlight(pattern string) ([]Region, error) {
+	base, err := s.evaluate()
+	if err != nil {
+		return nil, err
+	}
+	var out []Region
+	for _, in := range base.Instances(pattern) {
+		if in.Doc != s.doc || len(in.Nodes) == 0 {
+			continue
+		}
+		sp := s.spans[in.Nodes[0]]
+		last := s.spans[in.Nodes[len(in.Nodes)-1]]
+		out = append(out, Region{Start: sp[0], End: last[1]})
+	}
+	return out, nil
+}
+
+// Test evaluates the current program and reports the instance count per
+// pattern — the "test pattern" button of Figure 4's UI.
+func (s *Session) Test() (map[string]int, error) {
+	base, err := s.evaluate()
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]int{}
+	for _, p := range base.Patterns() {
+		out[p] = len(base.Instances(p))
+	}
+	return out, nil
+}

@@ -1,0 +1,261 @@
+// Package xmlenc provides the XML document model used on the output side
+// of the Lixto stack: the XML Transformer (Section 3.1) serializes
+// pattern instance bases into XML, and the Transformation Server
+// (Section 5) hands XML documents between pipeline components.
+//
+// It is intentionally small: element nodes with attributes, text
+// children, a serializer with escaping and optional indentation, and a
+// parser for the documents the stack itself produces.
+package xmlenc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/htmlparse"
+)
+
+// Node is an XML element.
+type Node struct {
+	Name     string
+	Attrs    []Attr
+	Children []*Node
+	// Text is character data; a node with non-empty Text and no
+	// children is a text-content element, a node with Name == "" is a
+	// bare text node.
+	Text string
+}
+
+// Attr is an attribute.
+type Attr struct{ Name, Value string }
+
+// NewElement returns an element node.
+func NewElement(name string) *Node { return &Node{Name: name} }
+
+// NewText returns a bare text node.
+func NewText(text string) *Node { return &Node{Text: text} }
+
+// SetAttr sets an attribute, replacing an existing one of the same name.
+func (n *Node) SetAttr(name, value string) *Node {
+	for i := range n.Attrs {
+		if n.Attrs[i].Name == name {
+			n.Attrs[i].Value = value
+			return n
+		}
+	}
+	n.Attrs = append(n.Attrs, Attr{name, value})
+	return n
+}
+
+// Attr returns the attribute value and whether it is present.
+func (n *Node) Attr(name string) (string, bool) {
+	for _, a := range n.Attrs {
+		if a.Name == name {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// Append adds children and returns n.
+func (n *Node) Append(children ...*Node) *Node {
+	n.Children = append(n.Children, children...)
+	return n
+}
+
+// AppendElement adds and returns a new child element.
+func (n *Node) AppendElement(name string) *Node {
+	c := NewElement(name)
+	n.Children = append(n.Children, c)
+	return c
+}
+
+// AppendTextElement adds <name>text</name> and returns n.
+func (n *Node) AppendTextElement(name, text string) *Node {
+	n.Children = append(n.Children, &Node{Name: name, Text: text})
+	return n
+}
+
+// FirstChild returns the first child element with the given name, or nil.
+func (n *Node) FirstChild(name string) *Node {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// ChildrenNamed returns all child elements with the given name.
+func (n *Node) ChildrenNamed(name string) []*Node {
+	var out []*Node
+	for _, c := range n.Children {
+		if c.Name == name {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Find returns all descendants (including n) with the given name, in
+// document order.
+func (n *Node) Find(name string) []*Node {
+	var out []*Node
+	var rec func(m *Node)
+	rec = func(m *Node) {
+		if m.Name == name {
+			out = append(out, m)
+		}
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return out
+}
+
+// TextContent returns the concatenated character data of the subtree.
+func (n *Node) TextContent() string {
+	var b strings.Builder
+	var rec func(m *Node)
+	rec = func(m *Node) {
+		b.WriteString(m.Text)
+		for _, c := range m.Children {
+			rec(c)
+		}
+	}
+	rec(n)
+	return b.String()
+}
+
+// Marshal serializes the document without extra whitespace.
+func Marshal(n *Node) string {
+	var b strings.Builder
+	write(&b, n, -1)
+	return b.String()
+}
+
+// MarshalIndent serializes the document with two-space indentation.
+func MarshalIndent(n *Node) string {
+	var b strings.Builder
+	write(&b, n, 0)
+	b.WriteByte('\n')
+	return b.String()
+}
+
+func write(b *strings.Builder, n *Node, depth int) {
+	indent := func(d int) {
+		if d >= 0 {
+			if b.Len() > 0 {
+				b.WriteByte('\n')
+			}
+			for i := 0; i < d; i++ {
+				b.WriteString("  ")
+			}
+		}
+	}
+	if n.Name == "" {
+		indent(depth)
+		b.WriteString(htmlparse.EscapeText(n.Text))
+		return
+	}
+	indent(depth)
+	b.WriteByte('<')
+	b.WriteString(n.Name)
+	for _, a := range n.Attrs {
+		fmt.Fprintf(b, ` %s="%s"`, a.Name, htmlparse.EscapeAttr(a.Value))
+	}
+	if len(n.Children) == 0 && n.Text == "" {
+		b.WriteString("/>")
+		return
+	}
+	b.WriteByte('>')
+	b.WriteString(htmlparse.EscapeText(n.Text))
+	child := depth
+	if depth >= 0 {
+		child = depth + 1
+	}
+	for _, c := range n.Children {
+		write(b, c, child)
+	}
+	if depth >= 0 && len(n.Children) > 0 {
+		indent(depth)
+	}
+	b.WriteString("</")
+	b.WriteString(n.Name)
+	b.WriteByte('>')
+}
+
+// Unmarshal parses an XML document produced by this package (or any
+// simple well-formed XML without CDATA or processing instructions).
+func Unmarshal(src string) (*Node, error) {
+	z := htmlparse.NewTokenizer(src)
+	z.NoRawText = true
+	root := &Node{} // synthetic container
+	stack := []*Node{root}
+	for {
+		tok, ok := z.Next()
+		if !ok {
+			break
+		}
+		top := stack[len(stack)-1]
+		switch tok.Type {
+		case htmlparse.TextToken:
+			if strings.TrimSpace(tok.Data) != "" {
+				top.Children = append(top.Children, NewText(tok.Data))
+			}
+		case htmlparse.StartTagToken:
+			el := NewElement(tok.Data)
+			for _, a := range tok.Attrs {
+				el.SetAttr(a.Name, a.Value)
+			}
+			top.Children = append(top.Children, el)
+			stack = append(stack, el)
+		case htmlparse.SelfClosingToken:
+			el := NewElement(tok.Data)
+			for _, a := range tok.Attrs {
+				el.SetAttr(a.Name, a.Value)
+			}
+			top.Children = append(top.Children, el)
+		case htmlparse.EndTagToken:
+			if len(stack) == 1 {
+				return nil, fmt.Errorf("xmlenc: unmatched </%s>", tok.Data)
+			}
+			if top.Name != tok.Data {
+				return nil, fmt.Errorf("xmlenc: </%s> closes <%s>", tok.Data, top.Name)
+			}
+			stack = stack[:len(stack)-1]
+		case htmlparse.CommentToken, htmlparse.DoctypeToken:
+			// Skipped.
+		}
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("xmlenc: unclosed <%s>", stack[len(stack)-1].Name)
+	}
+	// Collapse single-text-child form into .Text.
+	var norm func(n *Node)
+	norm = func(n *Node) {
+		if len(n.Children) == 1 && n.Children[0].Name == "" {
+			n.Text = n.Children[0].Text
+			n.Children = nil
+			return
+		}
+		for _, c := range n.Children {
+			norm(c)
+		}
+	}
+	var doc *Node
+	for _, c := range root.Children {
+		if c.Name != "" {
+			if doc != nil {
+				return nil, fmt.Errorf("xmlenc: multiple document elements")
+			}
+			doc = c
+		}
+	}
+	if doc == nil {
+		return nil, fmt.Errorf("xmlenc: no document element")
+	}
+	norm(doc)
+	return doc, nil
+}

@@ -1,0 +1,107 @@
+package xmlenc
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Node {
+	root := NewElement("catalog")
+	root.SetAttr("version", "1")
+	b := root.AppendElement("book")
+	b.AppendTextElement("title", "Foundations of <Databases>")
+	b.AppendTextElement("price", "$ 10 & up")
+	root.AppendElement("empty")
+	return root
+}
+
+func TestMarshalEscaping(t *testing.T) {
+	s := Marshal(sample())
+	if !strings.Contains(s, "Foundations of &lt;Databases&gt;") {
+		t.Errorf("text not escaped: %s", s)
+	}
+	if !strings.Contains(s, "$ 10 &amp; up") {
+		t.Errorf("ampersand not escaped: %s", s)
+	}
+	if !strings.Contains(s, "<empty/>") {
+		t.Errorf("empty element not self-closed: %s", s)
+	}
+	if !strings.Contains(s, `version="1"`) {
+		t.Errorf("attribute lost: %s", s)
+	}
+}
+
+func TestUnmarshalRoundTrip(t *testing.T) {
+	s := Marshal(sample())
+	n, err := Unmarshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Marshal(n) != s {
+		t.Errorf("round trip differs:\n%s\n%s", s, Marshal(n))
+	}
+}
+
+func TestUnmarshalIndentedRoundTrip(t *testing.T) {
+	s := MarshalIndent(sample())
+	n, err := Unmarshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.FirstChild("book") == nil || n.FirstChild("book").FirstChild("title") == nil {
+		t.Fatalf("structure lost: %s", Marshal(n))
+	}
+	if got := n.FirstChild("book").FirstChild("title").Text; got != "Foundations of <Databases>" {
+		t.Errorf("title = %q", got)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "just text", "<a><b></a>", "<a>", "</a>", "<a/><b/>",
+	} {
+		if _, err := Unmarshal(s); err == nil {
+			t.Errorf("Unmarshal(%q) succeeded", s)
+		}
+	}
+}
+
+func TestFindAndChildren(t *testing.T) {
+	root := NewElement("r")
+	for i := 0; i < 3; i++ {
+		c := root.AppendElement("item")
+		c.AppendTextElement("v", "x")
+	}
+	root.AppendElement("other")
+	if got := len(root.Find("item")); got != 3 {
+		t.Errorf("Find = %d", got)
+	}
+	if got := len(root.ChildrenNamed("item")); got != 3 {
+		t.Errorf("ChildrenNamed = %d", got)
+	}
+	if root.FirstChild("other") == nil || root.FirstChild("missing") != nil {
+		t.Error("FirstChild wrong")
+	}
+	if got := len(root.Find("v")); got != 3 {
+		t.Errorf("deep Find = %d", got)
+	}
+}
+
+func TestTextContent(t *testing.T) {
+	n, err := Unmarshal("<a>one<b>two</b>three</a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.TextContent(); got != "onetwothree" {
+		t.Errorf("TextContent = %q", got)
+	}
+}
+
+func TestSetAttrReplaces(t *testing.T) {
+	n := NewElement("x")
+	n.SetAttr("k", "1")
+	n.SetAttr("k", "2")
+	if v, _ := n.Attr("k"); v != "2" || len(n.Attrs) != 1 {
+		t.Errorf("attrs = %v", n.Attrs)
+	}
+}

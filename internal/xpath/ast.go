@@ -1,0 +1,331 @@
+// Package xpath implements the XPath fragments studied in Section 4 of
+// the paper:
+//
+//   - Core XPath [15, 16]: location paths over all major axes with node
+//     tests and arbitrary boolean combinations (including negation) of
+//     condition predicates — evaluated in time O(|D| · |Q|) by the
+//     set-algebraic algorithm (Theorem "Core XPath is in linear time"),
+//   - a naive recursive evaluator with node-list (not node-set)
+//     intermediate results, reproducing the exponential behaviour of all
+//     pre-2002 XPath engines (Theorem 4.1's motivation, experiment E10),
+//   - an extended fragment ("pXPath"-style) adding positional predicates
+//     (position(), last(), numeric literals), attribute and string-value
+//     comparisons, count() and contains() — evaluated by a polynomial
+//     context-value-table style algorithm (Theorem 4.1),
+//   - the linear-time translation of Core XPath into monadic datalog /
+//     TMNF (Theorem 4.6), with negation compiled away positively by
+//     structural recursion over the tree.
+package xpath
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Axis enumerates the XPath axes supported (all of Core XPath).
+type Axis int
+
+const (
+	AxisSelf Axis = iota
+	AxisChild
+	AxisParent
+	AxisDescendant
+	AxisDescendantOrSelf
+	AxisAncestor
+	AxisAncestorOrSelf
+	AxisFollowing
+	AxisPreceding
+	AxisFollowingSibling
+	AxisPrecedingSibling
+)
+
+var axisNames = map[Axis]string{
+	AxisSelf: "self", AxisChild: "child", AxisParent: "parent",
+	AxisDescendant: "descendant", AxisDescendantOrSelf: "descendant-or-self",
+	AxisAncestor: "ancestor", AxisAncestorOrSelf: "ancestor-or-self",
+	AxisFollowing: "following", AxisPreceding: "preceding",
+	AxisFollowingSibling: "following-sibling", AxisPrecedingSibling: "preceding-sibling",
+}
+
+func (a Axis) String() string { return axisNames[a] }
+
+// axisByName resolves an axis name from the source syntax.
+var axisByName = func() map[string]Axis {
+	m := map[string]Axis{}
+	for a, n := range axisNames {
+		m[n] = a
+	}
+	return m
+}()
+
+// TestKind distinguishes the node tests.
+type TestKind int
+
+const (
+	// TestName matches elements with a specific tag.
+	TestName TestKind = iota
+	// TestAny is "*": any element node.
+	TestAny
+	// TestText is "text()".
+	TestText
+	// TestNode is "node()": any node.
+	TestNode
+	// TestComment is "comment()".
+	TestComment
+)
+
+// NodeTest is the node test of a step.
+type NodeTest struct {
+	Kind TestKind
+	Name string
+}
+
+func (nt NodeTest) String() string {
+	switch nt.Kind {
+	case TestName:
+		return nt.Name
+	case TestAny:
+		return "*"
+	case TestText:
+		return "text()"
+	case TestNode:
+		return "node()"
+	case TestComment:
+		return "comment()"
+	}
+	return "?"
+}
+
+// Step is one location step: axis::test[pred1][pred2]...
+type Step struct {
+	Axis  Axis
+	Test  NodeTest
+	Preds []Expr
+}
+
+func (s Step) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s::%s", s.Axis, s.Test)
+	for _, p := range s.Preds {
+		fmt.Fprintf(&b, "[%s]", p)
+	}
+	return b.String()
+}
+
+// Path is a location path.
+type Path struct {
+	Absolute bool
+	Steps    []Step
+}
+
+func (p *Path) String() string {
+	var parts []string
+	for _, s := range p.Steps {
+		parts = append(parts, s.String())
+	}
+	out := strings.Join(parts, "/")
+	if p.Absolute {
+		return "/" + out
+	}
+	return out
+}
+
+// Expr is a predicate expression. The Core XPath forms are ExistsPath,
+// And, Or, Not; the remaining forms belong to the extended fragment.
+type Expr interface {
+	fmt.Stringer
+	isExpr()
+}
+
+// ExistsPath tests whether a (relative or absolute) path has at least
+// one result from the context node.
+type ExistsPath struct{ Path *Path }
+
+// And is conjunction.
+type And struct{ L, R Expr }
+
+// Or is disjunction.
+type Or struct{ L, R Expr }
+
+// Not is negation.
+type Not struct{ E Expr }
+
+// Compare compares two value expressions: = != < <= > >=.
+type Compare struct {
+	Op   string
+	L, R ValueExpr
+}
+
+// NumberPred is a bare numeric predicate [k], shorthand for
+// [position() = k].
+type NumberPred struct{ N float64 }
+
+func (ExistsPath) isExpr() {}
+func (And) isExpr()        {}
+func (Or) isExpr()         {}
+func (Not) isExpr()        {}
+func (Compare) isExpr()    {}
+func (NumberPred) isExpr() {}
+
+func (e ExistsPath) String() string { return e.Path.String() }
+func (e And) String() string        { return fmt.Sprintf("(%s and %s)", e.L, e.R) }
+func (e Or) String() string         { return fmt.Sprintf("(%s or %s)", e.L, e.R) }
+func (e Not) String() string        { return fmt.Sprintf("not(%s)", e.E) }
+func (e Compare) String() string {
+	// contains(a,b) is parsed into Compare{contains = 1}; print it back
+	// in its source form.
+	if c, ok := e.L.(ContainsFn); ok && e.Op == "=" {
+		if n, ok := e.R.(Number); ok && n.N == 1 {
+			return c.String()
+		}
+	}
+	return fmt.Sprintf("%s %s %s", e.L, e.Op, e.R)
+}
+func (e NumberPred) String() string { return trimFloat(e.N) }
+
+// ValueExpr is a value-producing expression of the extended fragment.
+type ValueExpr interface {
+	fmt.Stringer
+	isValue()
+}
+
+// Literal is a string literal.
+type Literal struct{ S string }
+
+// Number is a numeric literal.
+type Number struct{ N float64 }
+
+// PositionFn is position().
+type PositionFn struct{}
+
+// LastFn is last().
+type LastFn struct{}
+
+// CountFn is count(path).
+type CountFn struct{ Path *Path }
+
+// AttrRef is @name: the value of an attribute of the context node.
+type AttrRef struct{ Name string }
+
+// StringFn is string(.) / the string-value of the context node, or of a
+// relative path's first result when Path is non-nil.
+type StringFn struct{ Path *Path }
+
+// ContainsFn is contains(a, b) — boolean, usable in Compare via = true?
+// It is exposed as a ValueExpr producing "1"/"0"; the parser wraps bare
+// contains(...) predicates into Compare{Op: "=", R: Number(1)}.
+type ContainsFn struct{ A, B ValueExpr }
+
+func (Literal) isValue()    {}
+func (Number) isValue()     {}
+func (PositionFn) isValue() {}
+func (LastFn) isValue()     {}
+func (CountFn) isValue()    {}
+func (AttrRef) isValue()    {}
+func (StringFn) isValue()   {}
+func (ContainsFn) isValue() {}
+
+func (v Literal) String() string    { return fmt.Sprintf("%q", v.S) }
+func (v Number) String() string     { return trimFloat(v.N) }
+func (v PositionFn) String() string { return "position()" }
+func (v LastFn) String() string     { return "last()" }
+func (v CountFn) String() string    { return fmt.Sprintf("count(%s)", v.Path) }
+func (v AttrRef) String() string    { return "@" + v.Name }
+func (v StringFn) String() string {
+	if v.Path == nil {
+		return "string(.)"
+	}
+	return fmt.Sprintf("string(%s)", v.Path)
+}
+func (v ContainsFn) String() string { return fmt.Sprintf("contains(%s, %s)", v.A, v.B) }
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// IsCore reports whether the path lies in Core XPath: only ExistsPath,
+// And, Or, Not predicates (no positional or value features). Core paths
+// are eligible for the linear evaluator and the TMNF translation.
+func (p *Path) IsCore() bool {
+	for _, s := range p.Steps {
+		for _, pr := range s.Preds {
+			if !exprIsCore(pr) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func exprIsCore(e Expr) bool {
+	switch x := e.(type) {
+	case ExistsPath:
+		return x.Path.IsCore()
+	case And:
+		return exprIsCore(x.L) && exprIsCore(x.R)
+	case Or:
+		return exprIsCore(x.L) && exprIsCore(x.R)
+	case Not:
+		return exprIsCore(x.E)
+	default:
+		return false
+	}
+}
+
+// IsPositive reports whether the path contains no negation — the
+// "Positive Core XPath" fragment of Theorem 4.3 when combined with
+// IsCore.
+func (p *Path) IsPositive() bool {
+	for _, s := range p.Steps {
+		for _, pr := range s.Preds {
+			if !exprIsPositive(pr) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func exprIsPositive(e Expr) bool {
+	switch x := e.(type) {
+	case ExistsPath:
+		return x.Path.IsPositive()
+	case And:
+		return exprIsPositive(x.L) && exprIsPositive(x.R)
+	case Or:
+		return exprIsPositive(x.L) && exprIsPositive(x.R)
+	case Not:
+		return false
+	default:
+		return true
+	}
+}
+
+// Size counts steps and predicate atoms — the |Q| of the combined
+// complexity bounds.
+func (p *Path) Size() int {
+	n := 0
+	for _, s := range p.Steps {
+		n++
+		for _, pr := range s.Preds {
+			n += exprSize(pr)
+		}
+	}
+	return n
+}
+
+func exprSize(e Expr) int {
+	switch x := e.(type) {
+	case ExistsPath:
+		return x.Path.Size()
+	case And:
+		return 1 + exprSize(x.L) + exprSize(x.R)
+	case Or:
+		return 1 + exprSize(x.L) + exprSize(x.R)
+	case Not:
+		return 1 + exprSize(x.E)
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,210 @@
+package xpath
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+	"repro/internal/nodeset"
+)
+
+// EvalCore evaluates a Core XPath path on tree t in time O(|D| · |Q|)
+// using the set-algebraic algorithm of [15, 16]: every location step is
+// one linear-time axis application over node sets, and every condition
+// predicate is translated to the set of nodes satisfying it by one
+// backward pass per path inside the condition.
+//
+// Relative paths are evaluated from the given context set; pass nil to
+// use the root (the common case for absolute queries). Results are in
+// document order.
+func EvalCore(p *Path, t *dom.Tree, context []dom.NodeID) ([]dom.NodeID, error) {
+	if !p.IsCore() {
+		return nil, fmt.Errorf("xpath: %s is not in Core XPath (positional/value predicates present); use EvalFull", p)
+	}
+	if t.Size() == 0 {
+		return nil, nil
+	}
+	t.Reindex()
+	var start nodeset.Set
+	virtual := false
+	switch {
+	case p.Absolute:
+		// Absolute paths start at the virtual document root (the node
+		// above the root element), so that /html selects the html
+		// element and //x includes the root element.
+		start = nodeset.New(t)
+		virtual = true
+	case context == nil:
+		start = nodeset.Singleton(t, t.Root())
+	default:
+		start = nodeset.FromSlice(t, context)
+	}
+	res, virt := evalSteps(t, p.Steps, start, virtual)
+	if virt {
+		// A final context still containing the virtual root (query "/")
+		// materializes as the root element — the closest representable
+		// node.
+		res[t.Root()] = true
+	}
+	return res.Nodes(t), nil
+}
+
+// evalSteps applies the steps of a path to a context set. The virtual
+// flag tracks whether the virtual document root is part of the context;
+// its axis images are child = {root element}, descendant(-or-self) =
+// all nodes, self = itself, and the empty set for all other axes.
+func evalSteps(t *dom.Tree, steps []Step, ctx nodeset.Set, virtual bool) (nodeset.Set, bool) {
+	cur := ctx
+	for _, s := range steps {
+		next := applyAxis(t, s.Axis, cur)
+		if virtual {
+			switch s.Axis {
+			case AxisChild:
+				next[t.Root()] = true
+			case AxisDescendant, AxisDescendantOrSelf:
+				for i := range next {
+					next[i] = true
+				}
+			}
+		}
+		// Does the virtual root survive this step? Only self and
+		// descendant-or-self keep it, under a node() test and no
+		// predicates (no predicate of the fragment holds at the virtual
+		// root except trivially true ones; we conservatively drop it).
+		virtual = virtual &&
+			(s.Axis == AxisSelf || s.Axis == AxisDescendantOrSelf) &&
+			s.Test.Kind == TestNode && len(s.Preds) == 0
+		next.And(testSet(t, s.Test))
+		for _, pred := range s.Preds {
+			next.And(condSet(t, pred))
+		}
+		cur = next
+	}
+	return cur, virtual
+}
+
+// applyAxis maps a context set through an axis in O(|dom|).
+func applyAxis(t *dom.Tree, a Axis, s nodeset.Set) nodeset.Set {
+	switch a {
+	case AxisSelf:
+		return s.Clone()
+	case AxisChild:
+		return nodeset.Children(t, s)
+	case AxisParent:
+		return nodeset.Parents(t, s)
+	case AxisDescendant:
+		return nodeset.Descendants(t, s)
+	case AxisDescendantOrSelf:
+		return nodeset.DescendantsOrSelf(t, s)
+	case AxisAncestor:
+		return nodeset.Ancestors(t, s)
+	case AxisAncestorOrSelf:
+		return nodeset.AncestorsOrSelf(t, s)
+	case AxisFollowing:
+		return nodeset.Following(t, s)
+	case AxisPreceding:
+		return nodeset.Preceding(t, s)
+	case AxisFollowingSibling:
+		return nodeset.FollowingSiblings(t, s)
+	case AxisPrecedingSibling:
+		return nodeset.PrecedingSiblings(t, s)
+	}
+	return nodeset.New(t)
+}
+
+// inverseAxis returns the axis whose relation is the converse; used for
+// the backward condition passes.
+func inverseAxis(a Axis) Axis {
+	switch a {
+	case AxisSelf:
+		return AxisSelf
+	case AxisChild:
+		return AxisParent
+	case AxisParent:
+		return AxisChild
+	case AxisDescendant:
+		return AxisAncestor
+	case AxisAncestor:
+		return AxisDescendant
+	case AxisDescendantOrSelf:
+		return AxisAncestorOrSelf
+	case AxisAncestorOrSelf:
+		return AxisDescendantOrSelf
+	case AxisFollowing:
+		return AxisPreceding
+	case AxisPreceding:
+		return AxisFollowing
+	case AxisFollowingSibling:
+		return AxisPrecedingSibling
+	case AxisPrecedingSibling:
+		return AxisFollowingSibling
+	}
+	return a
+}
+
+// testSet returns the set of nodes passing a node test.
+func testSet(t *dom.Tree, nt NodeTest) nodeset.Set {
+	out := nodeset.New(t)
+	for i := 0; i < t.Size(); i++ {
+		n := dom.NodeID(i)
+		switch nt.Kind {
+		case TestName:
+			out[i] = t.Kind(n) == dom.Element && t.Label(n) == nt.Name
+		case TestAny:
+			out[i] = t.Kind(n) == dom.Element
+		case TestText:
+			out[i] = t.Kind(n) == dom.Text
+		case TestComment:
+			out[i] = t.Kind(n) == dom.Comment
+		case TestNode:
+			out[i] = true
+		}
+	}
+	return out
+}
+
+// condSet computes the set of nodes at which a Core XPath condition
+// holds. Each ExistsPath inside the condition costs O(|path| · |dom|)
+// via a backward pass; boolean operations are pointwise.
+func condSet(t *dom.Tree, e Expr) nodeset.Set {
+	switch x := e.(type) {
+	case And:
+		return condSet(t, x.L).And(condSet(t, x.R))
+	case Or:
+		return condSet(t, x.L).Or(condSet(t, x.R))
+	case Not:
+		return condSet(t, x.E).Not()
+	case ExistsPath:
+		return existsSet(t, x.Path)
+	}
+	// Non-Core predicate reaching the linear evaluator is a programming
+	// error (guarded by IsCore); fail closed with the empty set.
+	return nodeset.New(t)
+}
+
+// existsSet returns the set of context nodes from which the path has at
+// least one result: the backward evaluation S_{i-1} = inv-axis_i(test_i ∧
+// preds_i ∧ S_i), starting from the full set. Absolute paths inside
+// conditions are context-independent and are evaluated forward from the
+// virtual document root.
+func existsSet(t *dom.Tree, p *Path) nodeset.Set {
+	if p.Absolute {
+		res, virt := evalSteps(t, p.Steps, nodeset.New(t), true)
+		out := nodeset.New(t)
+		if virt || !res.Empty() {
+			for i := range out {
+				out[i] = true
+			}
+		}
+		return out
+	}
+	target := nodeset.Full(t)
+	for i := len(p.Steps) - 1; i >= 0; i-- {
+		s := p.Steps[i]
+		target.And(testSet(t, s.Test))
+		for _, pred := range s.Preds {
+			target.And(condSet(t, pred))
+		}
+		target = applyAxis(t, inverseAxis(s.Axis), target)
+	}
+	return target
+}

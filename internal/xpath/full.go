@@ -1,0 +1,329 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/dom"
+)
+
+// EvalFull evaluates the extended ("pXPath"-style) fragment, adding to
+// Core XPath: positional predicates ([3], [position() < last()]),
+// attribute references (@name, existence and comparison), string-value
+// comparisons, count(), and contains(). It follows the XPath 1.0
+// context semantics: within a step, each context node produces its
+// candidate list in axis order; position() and last() refer to that
+// list, and predicates are applied sequentially, re-ranking after each.
+//
+// The algorithm is the polynomial-time context-value-table style
+// evaluation of Theorem 4.1: every (subexpression, context) pair is
+// evaluated at most once per step, giving O(|Q| · |D|²) worst-case time
+// — polynomial, in contrast to the naive evaluator.
+func EvalFull(p *Path, t *dom.Tree, context []dom.NodeID) ([]dom.NodeID, error) {
+	if t.Size() == 0 {
+		return nil, nil
+	}
+	t.Reindex()
+	var ctx []dom.NodeID
+	switch {
+	case p.Absolute:
+		ctx = []dom.NodeID{VirtualRoot}
+	case context == nil:
+		ctx = []dom.NodeID{t.Root()}
+	default:
+		ctx = append(ctx, context...)
+	}
+	out, err := fullSteps(t, p.Steps, ctx)
+	if err != nil {
+		return nil, err
+	}
+	for i, n := range out {
+		if n == VirtualRoot {
+			out[i] = t.Root()
+		}
+	}
+	return t.SortDocOrder(out), nil
+}
+
+func fullSteps(t *dom.Tree, steps []Step, ctx []dom.NodeID) ([]dom.NodeID, error) {
+	cur := ctx
+	for _, s := range steps {
+		var next []dom.NodeID
+		seen := map[dom.NodeID]bool{}
+		for _, c := range cur {
+			cands := make([]dom.NodeID, 0, 8)
+			for _, n := range axisNodes(t, s.Axis, c) {
+				if nodeTestHolds(t, s.Test, n) {
+					cands = append(cands, n)
+				}
+			}
+			for _, pred := range s.Preds {
+				var kept []dom.NodeID
+				size := len(cands)
+				for i, n := range cands {
+					ok, err := fullCond(t, n, i+1, size, pred)
+					if err != nil {
+						return nil, err
+					}
+					if ok {
+						kept = append(kept, n)
+					}
+				}
+				cands = kept
+			}
+			for _, n := range cands {
+				if !seen[n] {
+					seen[n] = true
+					next = append(next, n)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// fullCond evaluates a predicate at context (n, pos, size).
+func fullCond(t *dom.Tree, n dom.NodeID, pos, size int, e Expr) (bool, error) {
+	switch x := e.(type) {
+	case And:
+		l, err := fullCond(t, n, pos, size, x.L)
+		if err != nil || !l {
+			return false, err
+		}
+		return fullCond(t, n, pos, size, x.R)
+	case Or:
+		l, err := fullCond(t, n, pos, size, x.L)
+		if err != nil || l {
+			return l, err
+		}
+		return fullCond(t, n, pos, size, x.R)
+	case Not:
+		v, err := fullCond(t, n, pos, size, x.E)
+		return !v, err
+	case ExistsPath:
+		res, err := evalSubPath(t, n, x.Path)
+		if err != nil {
+			return false, err
+		}
+		return len(res) > 0, nil
+	case NumberPred:
+		return float64(pos) == x.N, nil
+	case Compare:
+		return compareValues(t, n, pos, size, x)
+	case valueWrapper:
+		// A bare value expression as predicate: attribute existence
+		// (@name), or truthiness of the value.
+		return valueTruth(t, n, pos, size, x.v)
+	}
+	return false, fmt.Errorf("xpath: unsupported predicate %s", e)
+}
+
+func evalSubPath(t *dom.Tree, n dom.NodeID, p *Path) ([]dom.NodeID, error) {
+	ctx := []dom.NodeID{n}
+	if p.Absolute {
+		ctx = []dom.NodeID{VirtualRoot}
+	}
+	return fullSteps(t, p.Steps, ctx)
+}
+
+// value is the XPath 1.0 value domain restricted to what the fragment
+// needs: numbers, strings, booleans, node-sets.
+type value struct {
+	kind  byte // 'n' number, 's' string, 'b' bool, 'S' node-set
+	num   float64
+	str   string
+	nodes []dom.NodeID
+	// ok is false for absent attributes.
+	ok bool
+}
+
+func evalValue(t *dom.Tree, n dom.NodeID, pos, size int, v ValueExpr) (value, error) {
+	switch x := v.(type) {
+	case Literal:
+		return value{kind: 's', str: x.S, ok: true}, nil
+	case Number:
+		return value{kind: 'n', num: x.N, ok: true}, nil
+	case PositionFn:
+		return value{kind: 'n', num: float64(pos), ok: true}, nil
+	case LastFn:
+		return value{kind: 'n', num: float64(size), ok: true}, nil
+	case AttrRef:
+		if n == VirtualRoot {
+			return value{kind: 's', ok: false}, nil
+		}
+		s, ok := t.Attr(n, x.Name)
+		return value{kind: 's', str: s, ok: ok}, nil
+	case CountFn:
+		res, err := evalSubPath(t, n, x.Path)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: 'n', num: float64(len(res)), ok: true}, nil
+	case StringFn:
+		if x.Path == nil {
+			return value{kind: 's', str: stringValue(t, n), ok: true}, nil
+		}
+		res, err := evalSubPath(t, n, x.Path)
+		if err != nil {
+			return value{}, err
+		}
+		return value{kind: 'S', nodes: res, ok: true}, nil
+	case ContainsFn:
+		a, err := evalValue(t, n, pos, size, x.A)
+		if err != nil {
+			return value{}, err
+		}
+		b, err := evalValue(t, n, pos, size, x.B)
+		if err != nil {
+			return value{}, err
+		}
+		res := 0.0
+		if strings.Contains(a.toString(t), b.toString(t)) {
+			res = 1.0
+		}
+		return value{kind: 'n', num: res, ok: true}, nil
+	}
+	return value{}, fmt.Errorf("xpath: unsupported value expression %s", v)
+}
+
+// stringValue is the XPath string-value: concatenated text content for
+// elements, the data for text nodes. The virtual document root's string
+// value is that of the whole document.
+func stringValue(t *dom.Tree, n dom.NodeID) string {
+	if n == VirtualRoot {
+		return t.ElementText(t.Root())
+	}
+	if t.Kind(n) == dom.Text || t.Kind(n) == dom.Comment {
+		return t.Text(n)
+	}
+	return t.ElementText(n)
+}
+
+func (v value) toString(t *dom.Tree) string {
+	switch v.kind {
+	case 's':
+		return v.str
+	case 'n':
+		return trimFloat(v.num)
+	case 'S':
+		if len(v.nodes) == 0 {
+			return ""
+		}
+		return stringValue(t, v.nodes[0])
+	case 'b':
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	}
+	return ""
+}
+
+func valueTruth(t *dom.Tree, n dom.NodeID, pos, size int, v ValueExpr) (bool, error) {
+	val, err := evalValue(t, n, pos, size, v)
+	if err != nil {
+		return false, err
+	}
+	switch val.kind {
+	case 'S':
+		return len(val.nodes) > 0, nil
+	case 'n':
+		// XPath 1.0: a numeric predicate value means position() = value
+		// (so [last()] keeps only the last candidate).
+		return float64(pos) == val.num, nil
+	case 's':
+		return val.ok && val.str != "", nil
+	}
+	return val.ok, nil
+}
+
+// compareValues implements the XPath 1.0 comparison rules for the
+// fragment, including existential node-set comparison.
+func compareValues(t *dom.Tree, n dom.NodeID, pos, size int, c Compare) (bool, error) {
+	l, err := evalValue(t, n, pos, size, c.L)
+	if err != nil {
+		return false, err
+	}
+	r, err := evalValue(t, n, pos, size, c.R)
+	if err != nil {
+		return false, err
+	}
+	// Expand node-sets existentially.
+	lvals := expand(t, l)
+	rvals := expand(t, r)
+	for _, lv := range lvals {
+		for _, rv := range rvals {
+			if compareScalar(t, lv, rv, c.Op) {
+				return true, nil
+			}
+		}
+	}
+	return false, nil
+}
+
+func expand(t *dom.Tree, v value) []value {
+	if v.kind != 'S' {
+		if !v.ok {
+			return nil // absent attribute: no comparison succeeds
+		}
+		return []value{v}
+	}
+	out := make([]value, 0, len(v.nodes))
+	for _, n := range v.nodes {
+		out = append(out, value{kind: 's', str: stringValue(t, n), ok: true})
+	}
+	return out
+}
+
+func compareScalar(t *dom.Tree, l, r value, op string) bool {
+	// Numeric comparison when either side is a number and the other
+	// parses as one; otherwise string comparison (only = and !=).
+	if l.kind == 'n' || r.kind == 'n' {
+		ln, lok := toNum(l)
+		rn, rok := toNum(r)
+		if lok && rok {
+			switch op {
+			case "=":
+				return ln == rn
+			case "!=":
+				return ln != rn
+			case "<":
+				return ln < rn
+			case "<=":
+				return ln <= rn
+			case ">":
+				return ln > rn
+			case ">=":
+				return ln >= rn
+			}
+			return false
+		}
+		// Number vs non-numeric string: only != succeeds.
+		return op == "!="
+	}
+	switch op {
+	case "=":
+		return l.str == r.str
+	case "!=":
+		return l.str != r.str
+	case "<":
+		return l.str < r.str
+	case "<=":
+		return l.str <= r.str
+	case ">":
+		return l.str > r.str
+	case ">=":
+		return l.str >= r.str
+	}
+	return false
+}
+
+func toNum(v value) (float64, bool) {
+	if v.kind == 'n' {
+		return v.num, true
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(v.str), 64)
+	return f, err == nil
+}

@@ -1,0 +1,201 @@
+package xpath
+
+import (
+	"repro/internal/dom"
+)
+
+// EvalNaive evaluates a Core XPath path the way pre-2002 XPath engines
+// did (the behaviour Theorem 4.1 / [15] was written against): context
+// nodes are processed one at a time, intermediate results are node LISTS
+// that are concatenated without duplicate elimination, and every
+// condition re-evaluates its paths from scratch at every candidate node.
+//
+// On queries like //a//a//a over a tree with many nested a's, the
+// intermediate lists grow multiplicatively and the running time is
+// exponential in the query size — experiment E10 measures exactly this
+// against EvalCore.
+//
+// The returned list may contain duplicates (callers interested only in
+// the answer set can dedup); its node SET always equals EvalCore's.
+func EvalNaive(p *Path, t *dom.Tree, context []dom.NodeID) ([]dom.NodeID, error) {
+	if !p.IsCore() {
+		return nil, errNotCore(p)
+	}
+	if t.Size() == 0 {
+		return nil, nil
+	}
+	t.Reindex()
+	var ctx []dom.NodeID
+	switch {
+	case p.Absolute:
+		ctx = []dom.NodeID{VirtualRoot}
+	case context == nil:
+		ctx = []dom.NodeID{t.Root()}
+	default:
+		ctx = append(ctx, context...)
+	}
+	out := naiveSteps(t, p.Steps, ctx)
+	for i, n := range out {
+		if n == VirtualRoot {
+			out[i] = t.Root()
+		}
+	}
+	return out, nil
+}
+
+// VirtualRoot is the sentinel for the document node above the root
+// element, used as the starting context of absolute paths. It never
+// appears in results (it materializes as the root element).
+const VirtualRoot dom.NodeID = -2
+
+func errNotCore(p *Path) error {
+	return &notCoreError{p}
+}
+
+type notCoreError struct{ p *Path }
+
+func (e *notCoreError) Error() string {
+	return "xpath: " + e.p.String() + " is not in Core XPath"
+}
+
+func naiveSteps(t *dom.Tree, steps []Step, ctx []dom.NodeID) []dom.NodeID {
+	if len(steps) == 0 {
+		return ctx
+	}
+	s := steps[0]
+	var out []dom.NodeID
+	for _, c := range ctx {
+		for _, n := range axisNodes(t, s.Axis, c) {
+			if !nodeTestHolds(t, s.Test, n) {
+				continue
+			}
+			ok := true
+			for _, pred := range s.Preds {
+				if !naiveCond(t, n, pred) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				// No dedup: this is the point of the naive evaluator.
+				out = append(out, naiveSteps(t, steps[1:], []dom.NodeID{n})...)
+			}
+		}
+	}
+	return out
+}
+
+func naiveCond(t *dom.Tree, n dom.NodeID, e Expr) bool {
+	switch x := e.(type) {
+	case And:
+		return naiveCond(t, n, x.L) && naiveCond(t, n, x.R)
+	case Or:
+		return naiveCond(t, n, x.L) || naiveCond(t, n, x.R)
+	case Not:
+		return !naiveCond(t, n, x.E)
+	case ExistsPath:
+		ctx := []dom.NodeID{n}
+		if x.Path.Absolute {
+			ctx = []dom.NodeID{VirtualRoot}
+		}
+		return len(naiveSteps(t, x.Path.Steps, ctx)) > 0
+	}
+	return false
+}
+
+// nodeTestHolds checks a node test on a single node.
+func nodeTestHolds(t *dom.Tree, nt NodeTest, n dom.NodeID) bool {
+	if n == VirtualRoot {
+		return nt.Kind == TestNode
+	}
+	switch nt.Kind {
+	case TestName:
+		return t.Kind(n) == dom.Element && t.Label(n) == nt.Name
+	case TestAny:
+		return t.Kind(n) == dom.Element
+	case TestText:
+		return t.Kind(n) == dom.Text
+	case TestComment:
+		return t.Kind(n) == dom.Comment
+	case TestNode:
+		return true
+	}
+	return false
+}
+
+// axisNodes enumerates the axis members of a single context node in
+// axis order (document order for forward axes, reverse document order —
+// nearest first — for reverse axes), as required for positional
+// predicates.
+func axisNodes(t *dom.Tree, a Axis, n dom.NodeID) []dom.NodeID {
+	if n == VirtualRoot {
+		switch a {
+		case AxisSelf:
+			return []dom.NodeID{VirtualRoot}
+		case AxisChild:
+			return []dom.NodeID{t.Root()}
+		case AxisDescendant:
+			return t.InDocumentOrder()
+		case AxisDescendantOrSelf:
+			return append([]dom.NodeID{VirtualRoot}, t.InDocumentOrder()...)
+		}
+		return nil
+	}
+	switch a {
+	case AxisSelf:
+		return []dom.NodeID{n}
+	case AxisChild:
+		return t.Children(n)
+	case AxisParent:
+		if p := t.Parent(n); p != dom.Nil {
+			return []dom.NodeID{p}
+		}
+		return nil
+	case AxisDescendant:
+		return t.Descendants(n)
+	case AxisDescendantOrSelf:
+		return append([]dom.NodeID{n}, t.Descendants(n)...)
+	case AxisAncestor:
+		var out []dom.NodeID
+		for p := t.Parent(n); p != dom.Nil; p = t.Parent(p) {
+			out = append(out, p)
+		}
+		return out
+	case AxisAncestorOrSelf:
+		out := []dom.NodeID{n}
+		for p := t.Parent(n); p != dom.Nil; p = t.Parent(p) {
+			out = append(out, p)
+		}
+		return out
+	case AxisFollowingSibling:
+		var out []dom.NodeID
+		for s := t.NextSibling(n); s != dom.Nil; s = t.NextSibling(s) {
+			out = append(out, s)
+		}
+		return out
+	case AxisPrecedingSibling:
+		var out []dom.NodeID
+		for s := t.PrevSibling(n); s != dom.Nil; s = t.PrevSibling(s) {
+			out = append(out, s)
+		}
+		return out
+	case AxisFollowing:
+		var out []dom.NodeID
+		for _, m := range t.InDocumentOrder() {
+			if t.Following(n, m) {
+				out = append(out, m)
+			}
+		}
+		return out
+	case AxisPreceding:
+		var out []dom.NodeID
+		order := t.InDocumentOrder()
+		for i := len(order) - 1; i >= 0; i-- {
+			if t.Following(order[i], n) {
+				out = append(out, order[i])
+			}
+		}
+		return out
+	}
+	return nil
+}

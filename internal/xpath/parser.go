@@ -1,0 +1,557 @@
+package xpath
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse parses an XPath expression in the fragment described in the
+// package comment. Supported syntax:
+//
+//	/html/body/table            absolute paths
+//	//table[tr]/td              '//' abbreviation, existence predicates
+//	child::a, descendant::b     explicit axes
+//	.. . @href text() node()    abbreviations and node tests
+//	[not(b) and (c or d)]       boolean predicates
+//	[3] [position()=2] [last()] positional predicates (extended)
+//	[@class='x'] [text()!='y']  value comparisons (extended)
+//	[count(tr)>2] [contains(@href,'x')]
+func Parse(src string) (*Path, error) {
+	p := &parser{lex: newLexer(src)}
+	path, err := p.parsePath()
+	if err != nil {
+		return nil, err
+	}
+	if p.lex.peek().kind != tokEOF {
+		return nil, fmt.Errorf("xpath: trailing input %q", p.lex.peek().text)
+	}
+	return path, nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(src string) *Path {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokSlash
+	tokDblSlash
+	tokName   // identifier
+	tokAt     // @
+	tokLBrack // [
+	tokRBrack // ]
+	tokLParen
+	tokRParen
+	tokComma
+	tokDot
+	tokDotDot
+	tokStar
+	tokString
+	tokNumber
+	tokOp     // = != < <= > >=
+	tokAxis   // name:: (the name is in text)
+	tokDollar // unused, reserved
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	cur  token
+	have bool
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) peek() token {
+	if !l.have {
+		l.cur = l.scan()
+		l.have = true
+	}
+	return l.cur
+}
+
+func (l *lexer) next() token {
+	t := l.peek()
+	l.have = false
+	return t
+}
+
+func (l *lexer) scan() token {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '/':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+			l.pos += 2
+			return token{kind: tokDblSlash, text: "//"}
+		}
+		l.pos++
+		return token{kind: tokSlash, text: "/"}
+	case '@':
+		l.pos++
+		return token{kind: tokAt, text: "@"}
+	case '[':
+		l.pos++
+		return token{kind: tokLBrack, text: "["}
+	case ']':
+		l.pos++
+		return token{kind: tokRBrack, text: "]"}
+	case '(':
+		l.pos++
+		return token{kind: tokLParen, text: "("}
+	case ')':
+		l.pos++
+		return token{kind: tokRParen, text: ")"}
+	case ',':
+		l.pos++
+		return token{kind: tokComma, text: ","}
+	case '*':
+		l.pos++
+		return token{kind: tokStar, text: "*"}
+	case '.':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '.' {
+			l.pos += 2
+			return token{kind: tokDotDot, text: ".."}
+		}
+		l.pos++
+		return token{kind: tokDot, text: "."}
+	case '=':
+		l.pos++
+		return token{kind: tokOp, text: "="}
+	case '!':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: "!="}
+		}
+		l.pos++
+		return token{kind: tokOp, text: "!"}
+	case '<', '>':
+		op := string(c)
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			op += "="
+			l.pos++
+		}
+		return token{kind: tokOp, text: op}
+	case '\'', '"':
+		q := c
+		l.pos++
+		start := l.pos
+		for l.pos < len(l.src) && l.src[l.pos] != q {
+			l.pos++
+		}
+		s := l.src[start:l.pos]
+		if l.pos < len(l.src) {
+			l.pos++
+		}
+		return token{kind: tokString, text: s}
+	}
+	if c >= '0' && c <= '9' {
+		start := l.pos
+		for l.pos < len(l.src) && (l.src[l.pos] >= '0' && l.src[l.pos] <= '9' || l.src[l.pos] == '.') {
+			l.pos++
+		}
+		f, err := strconv.ParseFloat(l.src[start:l.pos], 64)
+		if err != nil {
+			return token{kind: tokEOF, text: "bad number"}
+		}
+		return token{kind: tokNumber, num: f, text: l.src[start:l.pos]}
+	}
+	if isNameStart(c) {
+		start := l.pos
+		for l.pos < len(l.src) && isNameChar(l.src[l.pos]) {
+			l.pos++
+		}
+		name := l.src[start:l.pos]
+		// Axis specifier?
+		if strings.HasPrefix(l.src[l.pos:], "::") {
+			l.pos += 2
+			return token{kind: tokAxis, text: name}
+		}
+		return token{kind: tokName, text: name}
+	}
+	// Unknown byte: skip to avoid loops; report as EOF with message.
+	l.pos++
+	return token{kind: tokEOF, text: fmt.Sprintf("unexpected byte %q", c)}
+}
+
+func isNameStart(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isNameChar(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9' || c == '-'
+}
+
+type parser struct {
+	lex *lexer
+}
+
+func (p *parser) parsePath() (*Path, error) {
+	path := &Path{}
+	tk := p.lex.peek()
+	switch tk.kind {
+	case tokSlash:
+		p.lex.next()
+		path.Absolute = true
+		if p.lex.peek().kind == tokEOF {
+			// "/" alone selects the root: encode as absolute self::node().
+			path.Steps = append(path.Steps, Step{Axis: AxisSelf, Test: NodeTest{Kind: TestNode}})
+			return path, nil
+		}
+	case tokDblSlash:
+		p.lex.next()
+		path.Absolute = true
+		path.Steps = append(path.Steps, Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode}})
+	}
+	for {
+		step, err := p.parseStep()
+		if err != nil {
+			return nil, err
+		}
+		path.Steps = append(path.Steps, step)
+		switch p.lex.peek().kind {
+		case tokSlash:
+			p.lex.next()
+		case tokDblSlash:
+			p.lex.next()
+			path.Steps = append(path.Steps, Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode}})
+		default:
+			return path, nil
+		}
+	}
+}
+
+func (p *parser) parseStep() (Step, error) {
+	tk := p.lex.peek()
+	step := Step{Axis: AxisChild}
+	switch tk.kind {
+	case tokDot:
+		p.lex.next()
+		step.Axis = AxisSelf
+		step.Test = NodeTest{Kind: TestNode}
+		return p.parsePreds(step)
+	case tokDotDot:
+		p.lex.next()
+		step.Axis = AxisParent
+		step.Test = NodeTest{Kind: TestNode}
+		return p.parsePreds(step)
+	case tokAxis:
+		p.lex.next()
+		ax, ok := axisByName[tk.text]
+		if !ok {
+			return step, fmt.Errorf("xpath: unknown axis %q", tk.text)
+		}
+		step.Axis = ax
+	case tokAt:
+		return step, fmt.Errorf("xpath: the attribute axis is not a location step in this fragment; use @name inside predicates")
+	}
+	test, err := p.parseNodeTest()
+	if err != nil {
+		return step, err
+	}
+	step.Test = test
+	return p.parsePreds(step)
+}
+
+func (p *parser) parseNodeTest() (NodeTest, error) {
+	tk := p.lex.next()
+	switch tk.kind {
+	case tokStar:
+		return NodeTest{Kind: TestAny}, nil
+	case tokName:
+		// text(), node(), comment()?
+		if p.lex.peek().kind == tokLParen {
+			switch tk.text {
+			case "text", "node", "comment":
+				p.lex.next()
+				if p.lex.next().kind != tokRParen {
+					return NodeTest{}, fmt.Errorf("xpath: expected ')' after %s(", tk.text)
+				}
+				switch tk.text {
+				case "text":
+					return NodeTest{Kind: TestText}, nil
+				case "node":
+					return NodeTest{Kind: TestNode}, nil
+				default:
+					return NodeTest{Kind: TestComment}, nil
+				}
+			default:
+				return NodeTest{}, fmt.Errorf("xpath: unknown node test %s()", tk.text)
+			}
+		}
+		return NodeTest{Kind: TestName, Name: tk.text}, nil
+	}
+	return NodeTest{}, fmt.Errorf("xpath: expected node test, got %q", tk.text)
+}
+
+func (p *parser) parsePreds(step Step) (Step, error) {
+	for p.lex.peek().kind == tokLBrack {
+		p.lex.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return step, err
+		}
+		if p.lex.next().kind != tokRBrack {
+			return step, fmt.Errorf("xpath: expected ']' after predicate %s", e)
+		}
+		step.Preds = append(step.Preds, e)
+	}
+	return step, nil
+}
+
+// parseExpr parses or-expressions (lowest precedence).
+func (p *parser) parseExpr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.lex.peek().kind == tokName && p.lex.peek().text == "or" {
+		p.lex.next()
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseComparison()
+	if err != nil {
+		return nil, err
+	}
+	for p.lex.peek().kind == tokName && p.lex.peek().text == "and" {
+		p.lex.next()
+		r, err := p.parseComparison()
+		if err != nil {
+			return nil, err
+		}
+		l = And{L: l, R: r}
+	}
+	return l, nil
+}
+
+// parseComparison parses a primary, optionally followed by a comparison
+// operator and another primary.
+func (p *parser) parseComparison() (Expr, error) {
+	l, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	if p.lex.peek().kind == tokOp {
+		op := p.lex.next().text
+		if op == "!" {
+			return nil, fmt.Errorf("xpath: '!' is not an operator (use !=)")
+		}
+		rv, err := p.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		lv, err := exprToValue(l)
+		if err != nil {
+			return nil, err
+		}
+		return Compare{Op: op, L: lv, R: rv}, nil
+	}
+	return l, nil
+}
+
+// exprToValue reinterprets an expression parsed as a primary when it
+// turns out to be the left side of a comparison.
+func exprToValue(e Expr) (ValueExpr, error) {
+	switch x := e.(type) {
+	case ExistsPath:
+		// A path compared to a value: its string-value (existential
+		// comparison is handled by the evaluator).
+		return StringFn{Path: x.Path}, nil
+	case Compare:
+		return nil, fmt.Errorf("xpath: chained comparisons are not supported")
+	case NumberPred:
+		return Number{N: x.N}, nil
+	case valueWrapper:
+		return x.v, nil
+	}
+	return nil, fmt.Errorf("xpath: %s cannot be compared", e)
+}
+
+// valueWrapper lets parsePrimary return naked value expressions
+// (position(), @attr, literals) that may stand alone or in comparisons.
+type valueWrapper struct{ v ValueExpr }
+
+func (valueWrapper) isExpr() {}
+func (w valueWrapper) String() string {
+	return w.v.String()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	tk := p.lex.peek()
+	switch tk.kind {
+	case tokLParen:
+		p.lex.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.lex.next().kind != tokRParen {
+			return nil, fmt.Errorf("xpath: expected ')'")
+		}
+		return e, nil
+	case tokNumber:
+		p.lex.next()
+		return NumberPred{N: tk.num}, nil
+	case tokString:
+		p.lex.next()
+		return valueWrapper{Literal{S: tk.text}}, nil
+	case tokAt:
+		p.lex.next()
+		name := p.lex.next()
+		if name.kind != tokName {
+			return nil, fmt.Errorf("xpath: expected attribute name after @")
+		}
+		return valueWrapper{AttrRef{Name: name.text}}, nil
+	case tokName:
+		switch tk.text {
+		case "not":
+			p.lex.next()
+			if p.lex.next().kind != tokLParen {
+				return nil, fmt.Errorf("xpath: expected '(' after not")
+			}
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if p.lex.next().kind != tokRParen {
+				return nil, fmt.Errorf("xpath: expected ')' after not(...)")
+			}
+			return Not{E: e}, nil
+		case "position", "last", "count", "string", "contains":
+			// Function call?
+			save := *p.lex
+			p.lex.next()
+			if p.lex.peek().kind == tokLParen {
+				return p.parseFunction(tk.text)
+			}
+			*p.lex = save
+		}
+		// A relative path predicate.
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		return ExistsPath{Path: path}, nil
+	case tokSlash, tokDblSlash, tokDot, tokDotDot, tokAxis, tokStar:
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		return ExistsPath{Path: path}, nil
+	}
+	return nil, fmt.Errorf("xpath: unexpected token %q in predicate", tk.text)
+}
+
+func (p *parser) parseFunction(name string) (Expr, error) {
+	if p.lex.next().kind != tokLParen {
+		return nil, fmt.Errorf("xpath: expected '(' after %s", name)
+	}
+	switch name {
+	case "position":
+		if p.lex.next().kind != tokRParen {
+			return nil, fmt.Errorf("xpath: position() takes no arguments")
+		}
+		return valueWrapper{PositionFn{}}, nil
+	case "last":
+		if p.lex.next().kind != tokRParen {
+			return nil, fmt.Errorf("xpath: last() takes no arguments")
+		}
+		return valueWrapper{LastFn{}}, nil
+	case "count":
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		if p.lex.next().kind != tokRParen {
+			return nil, fmt.Errorf("xpath: expected ')' after count path")
+		}
+		return valueWrapper{CountFn{Path: path}}, nil
+	case "string":
+		if p.lex.peek().kind == tokDot {
+			p.lex.next()
+			if p.lex.next().kind != tokRParen {
+				return nil, fmt.Errorf("xpath: expected ')' after string(.)")
+			}
+			return valueWrapper{StringFn{}}, nil
+		}
+		path, err := p.parsePath()
+		if err != nil {
+			return nil, err
+		}
+		if p.lex.next().kind != tokRParen {
+			return nil, fmt.Errorf("xpath: expected ')' after string path")
+		}
+		return valueWrapper{StringFn{Path: path}}, nil
+	case "contains":
+		a, err := p.parseValueArg()
+		if err != nil {
+			return nil, err
+		}
+		if p.lex.next().kind != tokComma {
+			return nil, fmt.Errorf("xpath: expected ',' in contains")
+		}
+		b, err := p.parseValueArg()
+		if err != nil {
+			return nil, err
+		}
+		if p.lex.next().kind != tokRParen {
+			return nil, fmt.Errorf("xpath: expected ')' after contains")
+		}
+		return Compare{Op: "=", L: ContainsFn{A: a, B: b}, R: Number{N: 1}}, nil
+	}
+	return nil, fmt.Errorf("xpath: unknown function %s", name)
+}
+
+func (p *parser) parseValueArg() (ValueExpr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	return exprToValue(e)
+}
+
+func (p *parser) parseValue() (ValueExpr, error) {
+	tk := p.lex.peek()
+	switch tk.kind {
+	case tokNumber:
+		p.lex.next()
+		return Number{N: tk.num}, nil
+	case tokString:
+		p.lex.next()
+		return Literal{S: tk.text}, nil
+	}
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	return exprToValue(e)
+}

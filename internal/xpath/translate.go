@@ -1,0 +1,707 @@
+package xpath
+
+import (
+	"fmt"
+
+	"repro/internal/datalog"
+	"repro/internal/mdatalog"
+)
+
+// TranslateCore translates a Core XPath query into an equivalent monadic
+// datalog program over τ_ur ∪ {child} in time (and output size) linear
+// in the query — Theorem 4.6. The returned program's query predicate
+// selects, on any tree, exactly the nodes EvalCore selects from the
+// root.
+//
+// The "slightly curious fact" the paper notes — datalog has no negation,
+// Core XPath does — is handled as in [12]: negations are pushed down to
+// condition leaves and the complements of path-existence conditions are
+// expressed positively by structural recursion over the tree (e.g. "no
+// child matches" is computed bottom-up from last siblings), using the
+// extensional complement predicates justified by footnote 5.
+//
+// Feed the result to mdatalog.ToTMNF for Tree-Marking Normal Form, or
+// directly to mdatalog.Eval.
+func TranslateCore(p *Path) (*datalog.Program, string, error) {
+	if !p.IsCore() {
+		return nil, "", fmt.Errorf("xpath: %s is not in Core XPath", p)
+	}
+	tr := &translator{}
+	// Absolute queries start at the virtual document root (tracked
+	// symbolically: cur == "" means "no real nodes yet"); relative
+	// queries are evaluated from the root element context, matching
+	// EvalCore's convention.
+	cur, virtual := "", true
+	if !p.Absolute {
+		cur = tr.fresh("s")
+		tr.rule(cur, nil, atom1(mdatalog.PredRoot))
+		virtual = false
+	}
+	for _, s := range p.Steps {
+		next, nextVirtual, err := tr.step(cur, virtual, s)
+		if err != nil {
+			return nil, "", err
+		}
+		cur, virtual = next, nextVirtual
+	}
+	query := "xpath_result"
+	emitted := false
+	if cur != "" {
+		tr.rule(query, nil, atom1(cur))
+		emitted = true
+	}
+	if virtual {
+		// The query "/" (and friends): the virtual root materializes as
+		// the root element.
+		tr.rule(query, nil, atom1(mdatalog.PredRoot))
+		emitted = true
+	}
+	if !emitted {
+		tr.rule(query, nil, atom1(query)) // defined and empty
+	}
+	return &datalog.Program{Rules: tr.rules}, query, nil
+}
+
+// translator accumulates rules and fresh predicate names.
+type translator struct {
+	rules []datalog.Rule
+	n     int
+}
+
+func (t *translator) fresh(prefix string) string {
+	t.n++
+	return fmt.Sprintf("x_%s%d", prefix, t.n)
+}
+
+// atomSpec describes one body atom: unary pred on the head variable
+// (binary == ""), or a binary tree atom connecting x0 to the head
+// variable x in the given argument order.
+type atomSpec struct {
+	pred    string
+	binary  string // "", "fwd" (pred(x0,x)) or "rev" (pred(x,x0))
+	onAuxFn bool   // atom applies to x0 instead of x
+}
+
+func atom1(pred string) atomSpec   { return atomSpec{pred: pred} }
+func atomOn0(pred string) atomSpec { return atomSpec{pred: pred, onAuxFn: true} }
+func atomFwd(pred string) atomSpec { return atomSpec{pred: pred, binary: "fwd"} }
+func atomRev(pred string) atomSpec { return atomSpec{pred: pred, binary: "rev"} }
+func (t *translator) rule(head string, _ []string, body ...atomSpec) {
+	x := datalog.Var("X")
+	x0 := datalog.Var("X0")
+	r := datalog.Rule{Head: datalog.Atom{Pred: head, Args: []datalog.Term{x}}}
+	for _, a := range body {
+		switch {
+		case a.binary == "fwd":
+			r.Body = append(r.Body, datalog.Atom{Pred: a.pred, Args: []datalog.Term{x0, x}})
+		case a.binary == "rev":
+			r.Body = append(r.Body, datalog.Atom{Pred: a.pred, Args: []datalog.Term{x, x0}})
+		case a.onAuxFn:
+			r.Body = append(r.Body, datalog.Atom{Pred: a.pred, Args: []datalog.Term{x0}})
+		default:
+			r.Body = append(r.Body, datalog.Atom{Pred: a.pred, Args: []datalog.Term{x}})
+		}
+	}
+	t.rules = append(t.rules, r)
+}
+
+// step emits rules computing the node set after applying one location
+// step to the context denoted by (src, virtual): src is the predicate
+// for the real context nodes ("" when empty) and virtual reports whether
+// the virtual document root is in the context. It returns the result
+// predicate and the new virtual flag.
+func (t *translator) step(src string, virtual bool, s Step) (string, bool, error) {
+	// test+preds conjunction applied to the axis image.
+	var guards []atomSpec
+	if g, ok := testPred(s.Test); ok {
+		guards = append(guards, atom1(g))
+	}
+	for _, pred := range s.Preds {
+		c, err := t.condPos(pred)
+		if err != nil {
+			return "", false, err
+		}
+		guards = append(guards, atom1(c))
+	}
+	out := t.fresh("s")
+	outRules := 0
+	emit := func(body ...atomSpec) {
+		t.rule(out, nil, append(body, guards...)...)
+		outRules++
+	}
+	// Contributions of the virtual document root to the axis image.
+	if virtual {
+		switch s.Axis {
+		case AxisChild:
+			emit(atom1(mdatalog.PredRoot))
+		case AxisDescendant, AxisDescendantOrSelf:
+			emit(atom1(mdatalog.PredNode))
+		}
+	}
+	outVirtual := virtual &&
+		(s.Axis == AxisSelf || s.Axis == AxisDescendantOrSelf) &&
+		s.Test.Kind == TestNode && len(s.Preds) == 0
+	if src == "" {
+		if outRules == 0 {
+			t.rule(out, nil, atom1(out)) // defined and empty
+		}
+		if outRules == 0 && !outVirtual {
+			return "", outVirtual, nil
+		}
+		if outRules == 0 {
+			return "", outVirtual, nil
+		}
+		return out, outVirtual, nil
+	}
+	if err := t.stepReal(src, s, emit); err != nil {
+		return "", false, err
+	}
+	return out, outVirtual, nil
+}
+
+// stepReal emits the axis rules for the real part of the context.
+func (t *translator) stepReal(src string, s Step, emit func(body ...atomSpec)) error {
+	switch s.Axis {
+	case AxisSelf:
+		emit(atom1(src))
+	case AxisChild:
+		emit(atomOn0(src), atomFwd(mdatalog.PredChild))
+	case AxisParent:
+		emit(atomOn0(src), atomRev(mdatalog.PredChild))
+	case AxisDescendant, AxisDescendantOrSelf:
+		d := t.fresh("desc")
+		if s.Axis == AxisDescendantOrSelf {
+			t.rule(d, nil, atom1(src))
+		}
+		t.rule(d, nil, atomOn0(src), atomFwd(mdatalog.PredChild))
+		t.rule(d, nil, atomOn0(d), atomFwd(mdatalog.PredChild))
+		emit(atom1(d))
+	case AxisAncestor, AxisAncestorOrSelf:
+		u := t.fresh("anc")
+		if s.Axis == AxisAncestorOrSelf {
+			t.rule(u, nil, atom1(src))
+		}
+		t.rule(u, nil, atomOn0(src), atomRev(mdatalog.PredChild))
+		t.rule(u, nil, atomOn0(u), atomRev(mdatalog.PredChild))
+		emit(atom1(u))
+	case AxisFollowingSibling:
+		f := t.fresh("fsib")
+		t.rule(f, nil, atomOn0(src), atomFwd(mdatalog.PredNextSibling))
+		t.rule(f, nil, atomOn0(f), atomFwd(mdatalog.PredNextSibling))
+		emit(atom1(f))
+	case AxisPrecedingSibling:
+		f := t.fresh("psib")
+		t.rule(f, nil, atomOn0(src), atomRev(mdatalog.PredNextSibling))
+		t.rule(f, nil, atomOn0(f), atomRev(mdatalog.PredNextSibling))
+		emit(atom1(f))
+	case AxisFollowing:
+		// ancestor-or-self, then nextsibling+, then descendant-or-self.
+		aos := t.fresh("aos")
+		t.rule(aos, nil, atom1(src))
+		t.rule(aos, nil, atomOn0(aos), atomRev(mdatalog.PredChild))
+		ns := t.fresh("fns")
+		t.rule(ns, nil, atomOn0(aos), atomFwd(mdatalog.PredNextSibling))
+		t.rule(ns, nil, atomOn0(ns), atomFwd(mdatalog.PredNextSibling))
+		dos := t.fresh("fdos")
+		t.rule(dos, nil, atom1(ns))
+		t.rule(dos, nil, atomOn0(dos), atomFwd(mdatalog.PredChild))
+		emit(atom1(dos))
+	case AxisPreceding:
+		aos := t.fresh("aos")
+		t.rule(aos, nil, atom1(src))
+		t.rule(aos, nil, atomOn0(aos), atomRev(mdatalog.PredChild))
+		ns := t.fresh("pns")
+		t.rule(ns, nil, atomOn0(aos), atomRev(mdatalog.PredNextSibling))
+		t.rule(ns, nil, atomOn0(ns), atomRev(mdatalog.PredNextSibling))
+		dos := t.fresh("pdos")
+		t.rule(dos, nil, atom1(ns))
+		t.rule(dos, nil, atomOn0(dos), atomFwd(mdatalog.PredChild))
+		emit(atom1(dos))
+	default:
+		return fmt.Errorf("xpath: untranslatable axis %s", s.Axis)
+	}
+	return nil
+}
+
+// testPred returns the extensional predicate for a node test, with
+// ok=false when the test is vacuous (node()).
+func testPred(nt NodeTest) (string, bool) {
+	switch nt.Kind {
+	case TestName:
+		return mdatalog.LabelPred(nt.Name), true
+	case TestAny:
+		return mdatalog.PredElement, true
+	case TestText:
+		return mdatalog.PredTextNode, true
+	case TestComment:
+		return mdatalog.PredCommentNode, true
+	}
+	return "", false
+}
+
+// negTestPred returns the complement predicate of a node test, with
+// ok=false when the test never fails (node()).
+func negTestPred(nt NodeTest) (string, bool) {
+	switch nt.Kind {
+	case TestName:
+		return mdatalog.NLabelPrefix + nt.Name, true
+	case TestAny:
+		return mdatalog.PredNonElement, true
+	case TestText:
+		return mdatalog.PredNonTextNode, true
+	case TestComment:
+		return mdatalog.PredNonCommentNode, true
+	}
+	return "", false
+}
+
+// condPos emits rules for a predicate expression and returns the
+// predicate holding exactly where the condition holds.
+func (t *translator) condPos(e Expr) (string, error) {
+	switch x := e.(type) {
+	case And:
+		l, err := t.condPos(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := t.condPos(x.R)
+		if err != nil {
+			return "", err
+		}
+		out := t.fresh("and")
+		t.rule(out, nil, atom1(l), atom1(r))
+		return out, nil
+	case Or:
+		l, err := t.condPos(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := t.condPos(x.R)
+		if err != nil {
+			return "", err
+		}
+		out := t.fresh("or")
+		t.rule(out, nil, atom1(l))
+		t.rule(out, nil, atom1(r))
+		return out, nil
+	case Not:
+		return t.condNeg(x.E)
+	case ExistsPath:
+		return t.existsPos(x.Path)
+	}
+	return "", fmt.Errorf("xpath: non-Core predicate %s in translation", e)
+}
+
+// condNeg emits rules for the COMPLEMENT of a condition, entirely
+// positively.
+func (t *translator) condNeg(e Expr) (string, error) {
+	switch x := e.(type) {
+	case And:
+		l, err := t.condNeg(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := t.condNeg(x.R)
+		if err != nil {
+			return "", err
+		}
+		out := t.fresh("nand")
+		t.rule(out, nil, atom1(l))
+		t.rule(out, nil, atom1(r))
+		return out, nil
+	case Or:
+		l, err := t.condNeg(x.L)
+		if err != nil {
+			return "", err
+		}
+		r, err := t.condNeg(x.R)
+		if err != nil {
+			return "", err
+		}
+		out := t.fresh("nor")
+		t.rule(out, nil, atom1(l), atom1(r))
+		return out, nil
+	case Not:
+		return t.condPos(x.E)
+	case ExistsPath:
+		return t.existsNeg(x.Path)
+	}
+	return "", fmt.Errorf("xpath: non-Core predicate %s in translation", e)
+}
+
+// okAndFail emits, for step i of a condition path with continuation
+// predicates (contPos, contFail), the pair (ok_i, fail_i) where
+// ok_i(x) ⇔ test_i(x) ∧ conds_i(x) ∧ contPos(x) and fail_i is its
+// complement.
+func (t *translator) okAndFail(s Step, contPos, contFail string) (ok, fail string, err error) {
+	ok = t.fresh("ok")
+	fail = t.fresh("fail")
+	failRules := 0
+	var conj []atomSpec
+	if g, has := testPred(s.Test); has {
+		conj = append(conj, atom1(g))
+	}
+	if g, has := negTestPred(s.Test); has {
+		t.rule(fail, nil, atom1(g))
+		failRules++
+	}
+	for _, pred := range s.Preds {
+		c, err := t.condPos(pred)
+		if err != nil {
+			return "", "", err
+		}
+		conj = append(conj, atom1(c))
+		nc, err := t.condNeg(pred)
+		if err != nil {
+			return "", "", err
+		}
+		t.rule(fail, nil, atom1(nc))
+		failRules++
+	}
+	if contPos != "" {
+		conj = append(conj, atom1(contPos))
+		t.rule(fail, nil, atom1(contFail))
+		failRules++
+	}
+	if len(conj) == 0 {
+		conj = append(conj, atom1(mdatalog.PredNode))
+	}
+	if failRules == 0 {
+		// node() test, no predicates, no continuation: nothing can fail.
+		// Keep the predicate defined (and empty).
+		t.rule(fail, nil, atom1(fail))
+	}
+	t.rule(ok, nil, conj...)
+	return ok, fail, nil
+}
+
+// existsPos returns a predicate holding at x iff the path has a match
+// starting from x (or from the root, for absolute paths).
+func (t *translator) existsPos(p *Path) (string, error) {
+	pos, _, err := t.existsBoth(p, false)
+	return pos, err
+}
+
+// existsNeg returns a predicate holding at x iff the path has NO match.
+func (t *translator) existsNeg(p *Path) (string, error) {
+	_, neg, err := t.existsBoth(p, true)
+	return neg, err
+}
+
+// existsBoth builds the backward chain E_i / NE_i over the steps. For
+// relative paths the chain heads are the answer. Absolute paths are
+// context-independent: their truth is decided at the virtual document
+// root and then spread to every node.
+func (t *translator) existsBoth(p *Path, needNeg bool) (string, string, error) {
+	n := len(p.Steps)
+	ok := make([]string, n)
+	fail := make([]string, n)
+	ePos := make([]string, n+1)
+	eNeg := make([]string, n+1)
+	// Walk steps from the last to the first, remembering the per-step
+	// ok/fail predicates (the absolute case needs them).
+	for i := n - 1; i >= 0; i-- {
+		s := p.Steps[i]
+		var err error
+		ok[i], fail[i], err = t.okAndFail(s, ePos[i+1], eNeg[i+1])
+		if err != nil {
+			return "", "", err
+		}
+		ePos[i], eNeg[i], err = t.axisExists(s.Axis, ok[i], fail[i], needNeg || p.Absolute)
+		if err != nil {
+			return "", "", err
+		}
+	}
+	if !p.Absolute {
+		if n == 0 {
+			// Empty relative path: trivially true.
+			tp := t.fresh("true")
+			t.rule(tp, nil, atom1(mdatalog.PredNode))
+			fp := t.fresh("false")
+			t.rule(fp, nil, atom1(fp))
+			return tp, fp, nil
+		}
+		return ePos[0], eNeg[0], nil
+	}
+	// Absolute path: decide truth at the virtual root. virtualExists
+	// returns "root-anchored boolean" predicates (holding at the root
+	// node iff true).
+	posRoot, negRoot := t.virtualExists(p.Steps, 0, ok, fail)
+	pos := t.spreadFromRoot(posRoot)
+	neg := ""
+	if needNeg {
+		neg = t.spreadFromRoot(negRoot)
+	}
+	return pos, neg, nil
+}
+
+// trueAtRoot returns a predicate holding exactly at the root.
+func (t *translator) trueAtRoot() string {
+	p := t.fresh("troot")
+	t.rule(p, nil, atom1(mdatalog.PredRoot))
+	return p
+}
+
+// falsePred returns a defined-but-empty predicate.
+func (t *translator) falsePred() string {
+	p := t.fresh("fpred")
+	t.rule(p, nil, atom1(p))
+	return p
+}
+
+// anywhere returns a root-anchored boolean: it holds at the root iff
+// base holds at some node (computed by bubbling base up the tree).
+func (t *translator) anywhere(base string) string {
+	u := t.fresh("up")
+	t.rule(u, nil, atom1(base))
+	t.rule(u, nil, atomOn0(u), atomRev(mdatalog.PredChild))
+	out := t.fresh("anyroot")
+	t.rule(out, nil, atom1(u), atom1(mdatalog.PredRoot))
+	return out
+}
+
+// atRoot restricts base to the root node.
+func (t *translator) atRoot(base string) string {
+	out := t.fresh("atroot")
+	t.rule(out, nil, atom1(base), atom1(mdatalog.PredRoot))
+	return out
+}
+
+// spreadFromRoot turns a root-anchored boolean into an all-or-nothing
+// node set.
+func (t *translator) spreadFromRoot(rootPred string) string {
+	sp := t.fresh("spread")
+	t.rule(sp, nil, atom1(rootPred))
+	t.rule(sp, nil, atomOn0(sp), atomFwd(mdatalog.PredFirstChild))
+	t.rule(sp, nil, atomOn0(sp), atomFwd(mdatalog.PredNextSibling))
+	return sp
+}
+
+// virtualExists computes root-anchored booleans (pos, neg) for "the
+// path steps[k:] has a match starting at the virtual document root".
+// The virtual root's axis images are: child = {root element},
+// descendant(-or-self) = all real nodes; self keeps the virtual root
+// alive when the test is node() with no predicates.
+func (t *translator) virtualExists(steps []Step, k int, ok, fail []string) (string, string) {
+	if k == len(steps) {
+		return t.trueAtRoot(), t.falsePred()
+	}
+	s := steps[k]
+	var posParts []string
+	negParts := []string{}
+	switch s.Axis {
+	case AxisChild:
+		posParts = append(posParts, t.atRoot(ok[k]))
+		negParts = append(negParts, t.atRoot(fail[k]))
+	case AxisDescendant, AxisDescendantOrSelf:
+		posParts = append(posParts, t.anywhere(ok[k]))
+		ad := t.allDescFail(fail[k])
+		all := t.fresh("allfail")
+		t.rule(all, nil, atom1(fail[k]), atom1(ad), atom1(mdatalog.PredRoot))
+		negParts = append(negParts, all)
+	}
+	if (s.Axis == AxisSelf || s.Axis == AxisDescendantOrSelf) &&
+		s.Test.Kind == TestNode && len(s.Preds) == 0 {
+		p2, n2 := t.virtualExists(steps, k+1, ok, fail)
+		posParts = append(posParts, p2)
+		negParts = append(negParts, n2)
+	}
+	var pos string
+	switch len(posParts) {
+	case 0:
+		pos = t.falsePred()
+		// With no way to match, the negation is unconditionally true.
+		return pos, t.trueAtRoot()
+	case 1:
+		pos = posParts[0]
+	default:
+		pos = t.fresh("vor")
+		for _, p := range posParts {
+			t.rule(pos, nil, atom1(p))
+		}
+	}
+	var neg string
+	switch len(negParts) {
+	case 1:
+		neg = negParts[0]
+	default:
+		neg = t.fresh("vand")
+		var body []atomSpec
+		for _, p := range negParts {
+			body = append(body, atom1(p))
+		}
+		t.rule(neg, nil, body...)
+	}
+	return pos, neg
+}
+
+// axisExists emits, given predicates ok (target matches) and fail (its
+// complement), the pair of predicates
+//
+//	E(x)  ⇔ ∃y axis(x, y) ∧ ok(y)
+//	NE(x) ⇔ ∀y axis(x, y) → fail(y)
+//
+// NE is only constructed when needNeg is true (it costs extra rules).
+func (t *translator) axisExists(a Axis, ok, fail string, needNeg bool) (string, string, error) {
+	e := t.fresh("e")
+	var ne string
+	mkNE := func() string {
+		if ne == "" {
+			ne = t.fresh("ne")
+		}
+		return ne
+	}
+	switch a {
+	case AxisSelf:
+		t.rule(e, nil, atom1(ok))
+		if needNeg {
+			t.rule(mkNE(), nil, atom1(fail))
+		}
+	case AxisChild:
+		t.rule(e, nil, atomOn0(ok), atomRev(mdatalog.PredChild))
+		if needNeg {
+			// All children fail: recursion from the last sibling.
+			chain := t.fresh("cfail") // y and all right siblings fail
+			t.rule(chain, nil, atom1(fail), atom1(mdatalog.PredLastSibling))
+			carry := t.fresh("cnext")
+			t.rule(carry, nil, atomOn0(chain), atomRev(mdatalog.PredNextSibling))
+			t.rule(chain, nil, atom1(fail), atom1(carry))
+			t.rule(mkNE(), nil, atom1(mdatalog.PredLeaf))
+			t.rule(mkNE(), nil, atomOn0(chain), atomRev(mdatalog.PredFirstChild))
+		}
+	case AxisParent:
+		t.rule(e, nil, atomOn0(ok), atomFwd(mdatalog.PredChild))
+		if needNeg {
+			t.rule(mkNE(), nil, atom1(mdatalog.PredRoot))
+			t.rule(mkNE(), nil, atomOn0(fail), atomFwd(mdatalog.PredChild))
+		}
+	case AxisDescendant, AxisDescendantOrSelf:
+		ob := t.fresh("ob") // ok at y or somewhere below y
+		t.rule(ob, nil, atom1(ok))
+		t.rule(ob, nil, atomOn0(ob), atomRev(mdatalog.PredChild))
+		if a == AxisDescendant {
+			t.rule(e, nil, atomOn0(ob), atomRev(mdatalog.PredChild))
+		} else {
+			t.rule(e, nil, atom1(ob))
+		}
+		if needNeg {
+			ad := t.allDescFail(fail)
+			if a == AxisDescendant {
+				t.rule(mkNE(), nil, atom1(ad))
+			} else {
+				t.rule(mkNE(), nil, atom1(fail), atom1(ad))
+			}
+		}
+	case AxisAncestor, AxisAncestorOrSelf:
+		if a == AxisAncestorOrSelf {
+			t.rule(e, nil, atom1(ok))
+		}
+		t.rule(e, nil, atomOn0(ok), atomFwd(mdatalog.PredChild))
+		t.rule(e, nil, atomOn0(e), atomFwd(mdatalog.PredChild))
+		if needNeg {
+			aa := t.fresh("aafail") // all proper ancestors fail
+			t.rule(aa, nil, atom1(mdatalog.PredRoot))
+			h := t.fresh("aastep")
+			t.rule(h, nil, atom1(fail), atom1(aa))
+			t.rule(aa, nil, atomOn0(h), atomFwd(mdatalog.PredChild))
+			if a == AxisAncestor {
+				t.rule(mkNE(), nil, atom1(aa))
+			} else {
+				t.rule(mkNE(), nil, atom1(fail), atom1(aa))
+			}
+		}
+	case AxisFollowingSibling:
+		t.rule(e, nil, atomOn0(ok), atomRev(mdatalog.PredNextSibling))
+		t.rule(e, nil, atomOn0(e), atomRev(mdatalog.PredNextSibling))
+		if needNeg {
+			afs := t.fresh("afsfail")
+			t.rule(afs, nil, atom1(mdatalog.PredLastSibling))
+			t.rule(afs, nil, atom1(mdatalog.PredRoot))
+			h := t.fresh("afsstep")
+			t.rule(h, nil, atom1(fail), atom1(afs))
+			t.rule(afs, nil, atomOn0(h), atomRev(mdatalog.PredNextSibling))
+			t.rule(mkNE(), nil, atom1(afs))
+		}
+	case AxisPrecedingSibling:
+		t.rule(e, nil, atomOn0(ok), atomFwd(mdatalog.PredNextSibling))
+		t.rule(e, nil, atomOn0(e), atomFwd(mdatalog.PredNextSibling))
+		if needNeg {
+			aps := t.fresh("apsfail")
+			t.rule(aps, nil, atom1(mdatalog.PredFirstSibling))
+			t.rule(aps, nil, atom1(mdatalog.PredRoot))
+			h := t.fresh("apsstep")
+			t.rule(h, nil, atom1(fail), atom1(aps))
+			t.rule(aps, nil, atomOn0(h), atomFwd(mdatalog.PredNextSibling))
+			t.rule(mkNE(), nil, atom1(aps))
+		}
+	case AxisFollowing:
+		// ∃: some right-sibling subtree (of an ancestor-or-self) matches.
+		ob := t.fresh("ob")
+		t.rule(ob, nil, atom1(ok))
+		t.rule(ob, nil, atomOn0(ob), atomRev(mdatalog.PredChild))
+		rs := t.fresh("rs") // some strict right sibling subtree has ok
+		t.rule(rs, nil, atomOn0(ob), atomRev(mdatalog.PredNextSibling))
+		t.rule(rs, nil, atomOn0(rs), atomRev(mdatalog.PredNextSibling))
+		t.rule(e, nil, atom1(rs))
+		t.rule(e, nil, atomOn0(e), atomFwd(mdatalog.PredChild))
+		if needNeg {
+			ad := t.allDescFail(fail)
+			w := t.fresh("wfail") // y's subtree-or-self and right forest fail
+			arsf := t.fresh("arsf")
+			t.rule(w, nil, atom1(fail), atom1(ad), atom1(arsf))
+			t.rule(arsf, nil, atom1(mdatalog.PredLastSibling))
+			t.rule(arsf, nil, atom1(mdatalog.PredRoot))
+			t.rule(arsf, nil, atomOn0(w), atomRev(mdatalog.PredNextSibling))
+			nf := mkNE()
+			t.rule(nf, nil, atom1(mdatalog.PredRoot))
+			nfp := t.fresh("nfp")
+			t.rule(nfp, nil, atomOn0(nf), atomFwd(mdatalog.PredChild))
+			t.rule(nf, nil, atom1(nfp), atom1(arsf))
+		}
+	case AxisPreceding:
+		ob := t.fresh("ob")
+		t.rule(ob, nil, atom1(ok))
+		t.rule(ob, nil, atomOn0(ob), atomRev(mdatalog.PredChild))
+		ls := t.fresh("ls") // some strict left sibling subtree has ok
+		t.rule(ls, nil, atomOn0(ob), atomFwd(mdatalog.PredNextSibling))
+		t.rule(ls, nil, atomOn0(ls), atomFwd(mdatalog.PredNextSibling))
+		t.rule(e, nil, atom1(ls))
+		t.rule(e, nil, atomOn0(e), atomFwd(mdatalog.PredChild))
+		if needNeg {
+			ad := t.allDescFail(fail)
+			w := t.fresh("wfail")
+			alsf := t.fresh("alsf")
+			t.rule(w, nil, atom1(fail), atom1(ad), atom1(alsf))
+			t.rule(alsf, nil, atom1(mdatalog.PredFirstSibling))
+			t.rule(alsf, nil, atom1(mdatalog.PredRoot))
+			t.rule(alsf, nil, atomOn0(w), atomFwd(mdatalog.PredNextSibling))
+			np := mkNE()
+			t.rule(np, nil, atom1(mdatalog.PredRoot))
+			npp := t.fresh("npp")
+			t.rule(npp, nil, atomOn0(np), atomFwd(mdatalog.PredChild))
+			t.rule(np, nil, atom1(npp), atom1(alsf))
+		}
+	default:
+		return "", "", fmt.Errorf("xpath: untranslatable axis %s", a)
+	}
+	if ne == "" {
+		ne = t.fresh("ne")
+		t.rule(ne, nil, atom1(ne)) // defined but empty
+	}
+	return e, ne, nil
+}
+
+// allDescFail emits the predicate AD with AD(x) ⇔ every proper
+// descendant of x satisfies fail, via the bottom-up recursion described
+// in the package comment, and returns its name.
+func (t *translator) allDescFail(fail string) string {
+	ad := t.fresh("adfail")
+	g := t.fresh("gfail") // subtree-or-self of y and right forest fail
+	t.rule(ad, nil, atom1(mdatalog.PredLeaf))
+	t.rule(ad, nil, atomOn0(g), atomRev(mdatalog.PredFirstChild))
+	t.rule(g, nil, atom1(fail), atom1(ad), atom1(mdatalog.PredLastSibling))
+	gn := t.fresh("gnext")
+	t.rule(gn, nil, atomOn0(g), atomRev(mdatalog.PredNextSibling))
+	t.rule(g, nil, atom1(fail), atom1(ad), atom1(gn))
+	return ad
+}

@@ -1,0 +1,601 @@
+package xpath
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dom"
+	"repro/internal/htmlparse"
+	"repro/internal/mdatalog"
+)
+
+func nodesEqual(a, b []dom.NodeID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func dedup(t *dom.Tree, ns []dom.NodeID) []dom.NodeID {
+	return t.SortDocOrder(append([]dom.NodeID(nil), ns...))
+}
+
+func TestParseBasics(t *testing.T) {
+	for _, src := range []string{
+		"/html/body/table",
+		"//table[tr]/td",
+		"child::a/descendant::b",
+		"//a[not(b) and (c or d)]",
+		"//tr[3]",
+		"//td[position()=2]",
+		"//td[last()]",
+		"//a[@href='x.html']",
+		"//p[text()='hi']",
+		"//table[count(tr)>2]",
+		"//a[contains(@href, 'item')]",
+		"..//*",
+		"//*[@class]",
+		"/",
+		"//a[.//b]",
+		"ancestor-or-self::div[parent::body]",
+		"preceding-sibling::td/following::hr",
+	} {
+		p, err := Parse(src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", src, err)
+			continue
+		}
+		// Reparse of String must succeed (String uses canonical axis
+		// syntax).
+		if _, err := Parse(p.String()); err != nil {
+			t.Errorf("reparse of %q -> %q failed: %v", src, p.String(), err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"", "//", "//a[", "//a[]", "//a]'", "foo::a", "//a[not b]",
+		"//a[1 = ", "@x", "//a[position(1)]",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded", src)
+		}
+	}
+}
+
+func TestIsCoreAndPositive(t *testing.T) {
+	core := MustParse("//a[b and not(c//d)]")
+	if !core.IsCore() || core.IsPositive() {
+		t.Error("classification of core path wrong")
+	}
+	pos := MustParse("//a[b]/c")
+	if !pos.IsCore() || !pos.IsPositive() {
+		t.Error("classification of positive path wrong")
+	}
+	ext := MustParse("//a[3]")
+	if ext.IsCore() {
+		t.Error("positional predicate classified as core")
+	}
+}
+
+func bookTree() *dom.Tree {
+	return htmlparse.Parse(`
+<html><body>
+  <h1>Books</h1>
+  <table class="list">
+    <tr><td class="t">Title A</td><td class="p">10</td></tr>
+    <tr><td class="t">Title B</td><td class="p">20</td></tr>
+    <tr><td class="t">Title C</td><td class="p">30</td></tr>
+  </table>
+  <div><p>note <i>deep <b>x</b></i></p></div>
+  <hr>
+</body></html>`)
+}
+
+func countLabel(tr *dom.Tree, res []dom.NodeID, label string) int {
+	k := 0
+	for _, n := range res {
+		if tr.Label(n) == label {
+			k++
+		}
+	}
+	return k
+}
+
+func TestEvalCoreOnDocument(t *testing.T) {
+	tr := bookTree()
+	for _, tc := range []struct {
+		q    string
+		want int // result count
+	}{
+		{"//td", 6},
+		{"//table/tr", 3},
+		{"//tr[td]", 3},
+		{"/html/body/table", 1},
+		{"//tr/td/text()", 6},
+		{"//i/ancestor::div", 1},
+		{"//b/ancestor-or-self::*", 6}, // b, i, p, div, body, html
+		{"//h1/following-sibling::*", 3},
+		{"//hr/preceding-sibling::table", 1},
+		{"//table/following::hr", 1},
+		{"//hr/preceding::td", 6},
+		{"//tr[not(td)]", 0},
+		{"//*[not(self::td) and not(self::tr)]", 9}, // html body h1 table div p i b hr
+		{"//td[not(following-sibling::td)]", 3},
+	} {
+		p := MustParse(tc.q)
+		got, err := EvalCore(p, tr, nil)
+		if err != nil {
+			t.Errorf("%s: %v", tc.q, err)
+			continue
+		}
+		if len(got) != tc.want {
+			t.Errorf("%s: got %d nodes (%v), want %d", tc.q, len(got), got, tc.want)
+		}
+	}
+}
+
+// TestNaiveMatchesCore: naive (deduped) equals linear on hand-written
+// and random queries.
+func TestNaiveMatchesCore(t *testing.T) {
+	tr := bookTree()
+	for _, q := range []string{
+		"//td", "//tr[td]", "//i/ancestor::div", "//table/following::hr",
+		"//td[not(following-sibling::td)]", "//*[b or i]",
+	} {
+		p := MustParse(q)
+		fast, err := EvalCore(p, tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow, err := EvalNaive(p, tr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nodesEqual(fast, dedup(tr, slow)) {
+			t.Errorf("%s: core %v naive %v", q, fast, dedup(tr, slow))
+		}
+	}
+}
+
+// randomCorePath generates a random Core XPath query.
+func randomCorePath(rng *rand.Rand, depth int) *Path {
+	axes := []Axis{AxisSelf, AxisChild, AxisParent, AxisDescendant,
+		AxisDescendantOrSelf, AxisAncestor, AxisAncestorOrSelf,
+		AxisFollowing, AxisPreceding, AxisFollowingSibling, AxisPrecedingSibling}
+	labels := []string{"a", "b", "c"}
+	var mkPath func(d int) *Path
+	var mkExpr func(d int) Expr
+	mkStep := func(d int) Step {
+		s := Step{Axis: axes[rng.Intn(len(axes))]}
+		switch rng.Intn(4) {
+		case 0:
+			s.Test = NodeTest{Kind: TestAny}
+		case 1, 2:
+			s.Test = NodeTest{Kind: TestName, Name: labels[rng.Intn(len(labels))]}
+		default:
+			s.Test = NodeTest{Kind: TestNode}
+		}
+		if d > 0 && rng.Intn(3) == 0 {
+			s.Preds = append(s.Preds, mkExpr(d-1))
+		}
+		return s
+	}
+	mkPath = func(d int) *Path {
+		p := &Path{Absolute: rng.Intn(4) == 0}
+		n := 1 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			p.Steps = append(p.Steps, mkStep(d))
+		}
+		return p
+	}
+	mkExpr = func(d int) Expr {
+		switch rng.Intn(5) {
+		case 0:
+			return And{L: mkExpr(d / 2), R: mkExpr(d / 2)}
+		case 1:
+			return Or{L: mkExpr(d / 2), R: mkExpr(d / 2)}
+		case 2:
+			return Not{E: mkExpr(d - 1)}
+		default:
+			return ExistsPath{Path: mkPath(d - 1)}
+		}
+	}
+	return mkPath(depth)
+}
+
+// TestRandomCoreDifferential cross-validates the three Core evaluators —
+// linear set-algebraic, naive recursive, and full/CVT — on random
+// queries and random trees.
+func TestRandomCoreDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := dom.RandomTree(rng, 1+rng.Intn(30), []string{"a", "b", "c"}, 4)
+		p := randomCorePath(rng, 2)
+		lin, err := EvalCore(p, tr, nil)
+		if err != nil {
+			return false
+		}
+		naive, err := EvalNaive(p, tr, nil)
+		if err != nil {
+			return false
+		}
+		full, err := EvalFull(p, tr, nil)
+		if err != nil {
+			return false
+		}
+		if !nodesEqual(lin, dedup(tr, naive)) {
+			t.Logf("naive mismatch: %s on %s: lin=%v naive=%v", p, tr, lin, dedup(tr, naive))
+			return false
+		}
+		if !nodesEqual(lin, full) {
+			t.Logf("full mismatch: %s on %s: lin=%v full=%v", p, tr, lin, full)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestE12TranslationEquivalence is Theorem 4.6's correctness: the
+// translated monadic datalog program selects exactly EvalCore's nodes.
+func TestE12TranslationEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := dom.RandomTree(rng, 1+rng.Intn(25), []string{"a", "b", "c"}, 4)
+		p := randomCorePath(rng, 2)
+		want, err := EvalCore(p, tr, nil)
+		if err != nil {
+			return false
+		}
+		prog, qpred, err := TranslateCore(p)
+		if err != nil {
+			t.Logf("translate %s: %v", p, err)
+			return false
+		}
+		got, err := mdatalog.Query(prog, tr, qpred)
+		if err != nil {
+			t.Logf("eval translated %s: %v", p, err)
+			return false
+		}
+		got = dedup(tr, got)
+		if !nodesEqual(got, want) {
+			t.Logf("translation mismatch: %s on %s: datalog=%v core=%v", p, tr, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTranslationSizeLinear checks Theorem 4.6's size bound.
+func TestTranslationSizeLinear(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 30; i++ {
+		p := randomCorePath(rng, 3)
+		prog, _, err := TranslateCore(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prog.Size() > 60*p.Size() {
+			t.Errorf("program size %d >> 60·|Q| = %d for %s", prog.Size(), 60*p.Size(), p)
+		}
+	}
+}
+
+func TestEvalFullPositional(t *testing.T) {
+	tr := bookTree()
+	for _, tc := range []struct {
+		q    string
+		want int
+	}{
+		{"//tr[1]", 1},
+		{"//tr[3]/td", 2},
+		{"//tr[last()]", 1},
+		{"//td[position()=2]", 3},
+		{"//tr[position()>1]", 2},
+		{"//td[@class='p']", 3},
+		{"//table[@class='list']", 1},
+		{"//table[count(tr)>2]", 1},
+		{"//table[count(tr)>3]", 0},
+		{"//td[text()='Title B']", 1},
+		{"//tr[td='Title B']", 1},
+		{"//a[contains(@href, 'zzz')]", 0},
+		{"//*[@class]", 7}, // table + 6 td
+	} {
+		p := MustParse(tc.q)
+		got, err := EvalFull(p, tr, nil)
+		if err != nil {
+			t.Errorf("%s: %v", tc.q, err)
+			continue
+		}
+		if len(got) != tc.want {
+			t.Errorf("%s: got %d (%v), want %d", tc.q, len(got), got, tc.want)
+		}
+	}
+}
+
+func TestEvalFullReverseAxisPositions(t *testing.T) {
+	// On reverse axes, position 1 is the nearest node.
+	tr := bookTree()
+	p := MustParse("//b/ancestor::*[1]")
+	got, err := EvalFull(p, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || tr.Label(got[0]) != "i" {
+		t.Errorf("nearest ancestor: got %v", got)
+	}
+}
+
+func TestEvalCoreRejectsExtended(t *testing.T) {
+	if _, err := EvalCore(MustParse("//tr[2]"), bookTree(), nil); err == nil {
+		t.Fatal("EvalCore accepted a positional predicate")
+	}
+}
+
+// deepDivs builds nested divs for the E10 pathological workload.
+func deepDivs(depth int) *dom.Tree {
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	for i := 0; i < depth; i++ {
+		b.WriteString("<div><span>x</span>")
+	}
+	for i := 0; i < depth; i++ {
+		b.WriteString("</div>")
+	}
+	b.WriteString("</body></html>")
+	return htmlparse.Parse(b.String())
+}
+
+// doubleSlashQuery returns //div//div//...//div with k steps.
+func doubleSlashQuery(k int) *Path {
+	p := &Path{Absolute: true}
+	for i := 0; i < k; i++ {
+		p.Steps = append(p.Steps,
+			Step{Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode}},
+			Step{Axis: AxisChild, Test: NodeTest{Kind: TestName, Name: "div"}})
+	}
+	return p
+}
+
+func TestNaiveExplodesButAgrees(t *testing.T) {
+	tr := deepDivs(8)
+	q := doubleSlashQuery(4)
+	lin, err := EvalCore(q, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := EvalNaive(q, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(naive) <= len(lin) {
+		t.Errorf("expected duplicate blowup: naive list %d, set %d", len(naive), len(lin))
+	}
+	if !nodesEqual(lin, dedup(tr, naive)) {
+		t.Error("naive disagrees with linear")
+	}
+}
+
+func BenchmarkE9_CoreXPathLinear(b *testing.B) {
+	// O(|D|·|Q|): scale document size at fixed query.
+	q := MustParse("//div[span and not(b)]//span")
+	for _, depth := range []int{100, 200, 400, 800} {
+		tr := deepDivs(depth)
+		b.Run("doc-"+itoa(depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EvalCore(q, tr, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	// Scale query size at fixed document.
+	tr := deepDivs(200)
+	for _, k := range []int{2, 4, 8, 16} {
+		q := doubleSlashQuery(k)
+		b.Run("query-"+itoa(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EvalCore(q, tr, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE10_NaiveVsCVT(b *testing.B) {
+	// Theorem 4.1 [15]: naive engines are exponential in |Q|; ours is
+	// polynomial. Same query family on a fixed document.
+	tr := deepDivs(14)
+	for _, k := range []int{2, 3, 4, 5} {
+		q := doubleSlashQuery(k)
+		b.Run("naive-k"+itoa(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EvalNaive(q, tr, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("linear-k"+itoa(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EvalCore(q, tr, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("cvt-k"+itoa(k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := EvalFull(q, tr, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE12_XPathTMNF(b *testing.B) {
+	tr := deepDivs(100)
+	q := MustParse("//div[span and not(b)]//span")
+	prog, qpred, err := TranslateCore(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("translate", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := TranslateCore(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("eval-tmnf", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mdatalog.Query(prog, tr, qpred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("eval-core", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := EvalCore(q, tr, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestParserPrecedence(t *testing.T) {
+	// "a or b and c" parses as "a or (b and c)".
+	p := MustParse("//x[a or b and c]")
+	pred := p.Steps[1].Preds[0]
+	or, ok := pred.(Or)
+	if !ok {
+		t.Fatalf("top is %T, want Or", pred)
+	}
+	if _, ok := or.R.(And); !ok {
+		t.Fatalf("right of or is %T, want And", or.R)
+	}
+}
+
+func TestDoubleNegationProperty(t *testing.T) {
+	// not(not(phi)) selects the same nodes as phi.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := dom.RandomTree(rng, 1+rng.Intn(25), []string{"a", "b"}, 3)
+		inner := randomCorePath(rng, 1)
+		base := &Path{Steps: []Step{{
+			Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode},
+			Preds: []Expr{ExistsPath{Path: inner}},
+		}}}
+		doubled := &Path{Steps: []Step{{
+			Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode},
+			Preds: []Expr{Not{E: Not{E: ExistsPath{Path: inner}}}},
+		}}}
+		r1, err1 := EvalCore(base, tr, nil)
+		r2, err2 := EvalCore(doubled, tr, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return nodesEqual(r1, r2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeMorganProperty(t *testing.T) {
+	// not(a and b) == not(a) or not(b), via the TMNF translation too.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := dom.RandomTree(rng, 1+rng.Intn(20), []string{"a", "b"}, 3)
+		pa := randomCorePath(rng, 0)
+		pb := randomCorePath(rng, 0)
+		lhs := &Path{Steps: []Step{{
+			Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode},
+			Preds: []Expr{Not{E: And{L: ExistsPath{Path: pa}, R: ExistsPath{Path: pb}}}},
+		}}}
+		rhs := &Path{Steps: []Step{{
+			Axis: AxisDescendantOrSelf, Test: NodeTest{Kind: TestNode},
+			Preds: []Expr{Or{L: Not{E: ExistsPath{Path: pa}}, R: Not{E: ExistsPath{Path: pb}}}},
+		}}}
+		r1, err1 := EvalCore(lhs, tr, nil)
+		r2, err2 := EvalCore(rhs, tr, nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if !nodesEqual(r1, r2) {
+			return false
+		}
+		// And the translation agrees on the lhs.
+		prog, q, err := TranslateCore(lhs)
+		if err != nil {
+			return false
+		}
+		r3, err := mdatalog.Query(prog, tr, q)
+		if err != nil {
+			return false
+		}
+		return nodesEqual(dedup(tr, r3), r1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalFullAttributeExistence(t *testing.T) {
+	tr := bookTree()
+	got, err := EvalFull(MustParse("//td[@class]"), tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Errorf("td[@class] = %d", len(got))
+	}
+	got2, err := EvalFull(MustParse("//td[@missing]"), tr, nil)
+	if err != nil || len(got2) != 0 {
+		t.Errorf("td[@missing] = %v, %v", got2, err)
+	}
+}
+
+func TestEvalFullChainedPredicatesRerank(t *testing.T) {
+	// [position()>1][1] selects the SECOND original candidate (the first
+	// after re-ranking).
+	tr := bookTree()
+	got, err := EvalFull(MustParse("//table/tr[position()>1][1]"), tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if txt := tr.ElementText(got[0]); !strings.Contains(txt, "Title B") {
+		t.Errorf("selected row %q", txt)
+	}
+}
