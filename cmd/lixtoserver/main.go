@@ -1,28 +1,38 @@
 // Command lixtoserver runs a Lixto Transformation Server instance
 // (Section 5) hosting the application pipelines of Section 6 over the
-// simulated web, and serves the latest output of each on HTTP:
+// simulated web, and serves their output on HTTP:
 //
 //	lixtoserver [-addr :8080] [-interval 2s] [-steps N]
 //
-//	GET /nowplaying   the Now Playing portal feed (Section 6.1)
-//	GET /flights      the latest flight alerts (6.2)
-//	GET /press        the NITF news feed (6.3)
-//	GET /power        the power-trading report (6.7)
+//	GET /nowplaying           the Now Playing portal feed (Section 6.1)
+//	GET /flights              the latest flight alerts (6.2)
+//	GET /press                the NITF news feed (6.3)
+//	GET /power                the power-trading report (6.7)
+//	GET /{name}/history?n=K   the K most recent documents of a pipeline
+//	GET /healthz              liveness probe
+//	GET /statusz              per-pipeline tick/error/latency counters
 //
-// With -steps N the server runs N synchronous ticks, prints a summary
-// and exits (useful without a long-running terminal).
+// Documents are served as XML, or as JSON when the request's Accept
+// header prefers application/json.
+//
+// In serve mode each pipeline ticks on its own goroutine at the
+// configured interval; SIGINT/SIGTERM shuts the server down
+// gracefully, draining any in-flight tick. With -steps N the server
+// instead runs N synchronous ticks, prints a summary and exits (useful
+// without a long-running terminal).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/apps"
-	"repro/internal/transform"
-	"repro/internal/xmlenc"
+	"repro/internal/server"
 )
 
 func main() {
@@ -47,16 +57,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	tick := func() {
-		np.Step()
-		fl.Step(true)
-		pc.Step(false, 0)
-		pw.Step()
-	}
 
 	if *steps > 0 {
 		for i := 0; i < *steps; i++ {
-			tick()
+			np.Step()
+			fl.Step(true)
+			pc.Step(false, 0)
+			pw.Step()
 		}
 		fmt.Printf("ran %d ticks\n", *steps)
 		fmt.Printf("  nowplaying: %d portal updates\n", np.Portal.Len())
@@ -66,30 +73,23 @@ func main() {
 		return
 	}
 
-	serveLatest := func(c *transform.Collector) http.HandlerFunc {
-		return func(w http.ResponseWriter, r *http.Request) {
-			docs := c.Docs()
-			if len(docs) == 0 {
-				http.Error(w, "no data yet", http.StatusServiceUnavailable)
-				return
-			}
-			w.Header().Set("Content-Type", "application/xml")
-			fmt.Fprint(w, xmlenc.MarshalIndent(docs[len(docs)-1]))
+	srv := server.New(server.Config{
+		Addr:            *addr,
+		DefaultInterval: *interval,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	for _, p := range []server.Pipeline{np, fl, pc, pw} {
+		if err := srv.Register(p, 0); err != nil {
+			fatal(err)
 		}
 	}
-	http.HandleFunc("/nowplaying", serveLatest(np.Portal))
-	http.HandleFunc("/flights", serveLatest(fl.SMS))
-	http.HandleFunc("/press", serveLatest(pc.Out))
-	http.HandleFunc("/power", serveLatest(pw.Out))
 
-	go func() {
-		for {
-			tick()
-			time.Sleep(*interval)
-		}
-	}()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	fmt.Printf("lixtoserver: serving on %s (tick every %s)\n", *addr, *interval)
-	if err := http.ListenAndServe(*addr, nil); err != nil {
+	if err := srv.Run(ctx); err != nil {
 		fatal(err)
 	}
 }

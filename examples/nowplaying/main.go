@@ -44,7 +44,7 @@ func main() {
 	}
 	// The full XML of the last update, as a mobile syndication layer
 	// would consume it.
-	last := app.Portal.Docs()[app.Portal.Len()-1]
+	last := app.Portal.Latest()
 	fmt.Println("last update as XML (first station):")
 	if sts := last.Find("station"); len(sts) > 0 {
 		fmt.Println(xmlenc.MarshalIndent(sts[0]))

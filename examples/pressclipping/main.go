@@ -35,6 +35,6 @@ func main() {
 	}
 	// Breaking news: publish and re-tick.
 	app.Step(true, 7)
-	feed2 := app.Out.Docs()[app.Out.Len()-1]
+	feed2 := app.Out.Latest()
 	fmt.Printf("after publishing one more article: %d NITF documents\n", len(feed2.Find("nitf")))
 }

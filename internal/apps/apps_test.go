@@ -71,7 +71,7 @@ func TestE14NowPlaying(t *testing.T) {
 	if app.Portal.Len() <= prev {
 		t.Fatal("no delivery after rotation")
 	}
-	last := app.Portal.Docs()[app.Portal.Len()-1]
+	last := app.Portal.Latest()
 	changed := false
 	for i, st := range last.Find("station") {
 		if st.FirstChild("song").Text != stations[i].FirstChild("song").Text {
@@ -180,7 +180,7 @@ func TestE16PressClippingNITF(t *testing.T) {
 	}
 	// New article published: next tick includes it.
 	app.Step(true, 77)
-	feed2 := app.Out.Docs()[app.Out.Len()-1]
+	feed2 := app.Out.Latest()
 	if got := len(feed2.Find("nitf")); got != 7 {
 		t.Errorf("after publish: %d articles", got)
 	}
@@ -216,7 +216,7 @@ func TestE17PowerTrading(t *testing.T) {
 	}
 	// Prices move between trading intervals.
 	app.Step()
-	rep2 := app.Out.Docs()[app.Out.Len()-1]
+	rep2 := app.Out.Latest()
 	if xmlenc.Marshal(rep) == xmlenc.Marshal(rep2) {
 		t.Error("spot report identical after market moved")
 	}

@@ -100,12 +100,12 @@ func (a *FlightInfo) Step(advance bool) {
 
 // LastMessage formats the most recent SMS, or "".
 func (a *FlightInfo) LastMessage() string {
-	docs := a.SMS.Docs()
-	if len(docs) == 0 {
+	last := a.SMS.Latest()
+	if last == nil {
 		return ""
 	}
 	var parts []string
-	for _, alert := range docs[len(docs)-1].Find("alert") {
+	for _, alert := range last.Find("alert") {
 		parts = append(parts, fmt.Sprintf("%s: %s",
 			textOf(alert.FirstChild("flight")), textOf(alert.FirstChild("status"))))
 	}

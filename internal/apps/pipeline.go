@@ -1,0 +1,63 @@
+package apps
+
+import (
+	"repro/internal/transform"
+)
+
+// The Section 6 applications double as schedulable pipelines for the
+// Transformation Server (internal/server): each exposes a stable name,
+// a synchronous Tick that advances the simulated sources and runs one
+// activation round, and the delivery collector whose output the server
+// publishes. Tick reports the most recent error newly logged by the
+// engine during the round, if any, so the scheduler's status page can
+// surface per-pipeline failures without killing the service.
+
+func tickEngine(e *transform.Engine, step func()) error {
+	before := e.ErrorCount()
+	step()
+	if e.ErrorCount() > before {
+		return e.LastError()
+	}
+	return nil
+}
+
+// PipeName returns the server route name for the Now Playing portal.
+func (a *NowPlaying) PipeName() string { return "nowplaying" }
+
+// Tick advances the simulation one round and reports any new engine
+// error.
+func (a *NowPlaying) Tick() error { return tickEngine(a.Engine, a.Step) }
+
+// Output returns the portal feed collector.
+func (a *NowPlaying) Output() *transform.Collector { return a.Portal }
+
+// PipeName returns the server route name for the flight alerts.
+func (a *FlightInfo) PipeName() string { return "flights" }
+
+// Tick advances the airport and polls once.
+func (a *FlightInfo) Tick() error {
+	return tickEngine(a.Engine, func() { a.Step(true) })
+}
+
+// Output returns the SMS delivery collector.
+func (a *FlightInfo) Output() *transform.Collector { return a.SMS }
+
+// PipeName returns the server route name for the NITF news feed.
+func (a *PressClipping) PipeName() string { return "press" }
+
+// Tick advances quotes (no new article) and republishes.
+func (a *PressClipping) Tick() error {
+	return tickEngine(a.Engine, func() { a.Step(false, 0) })
+}
+
+// Output returns the publication collector.
+func (a *PressClipping) Output() *transform.Collector { return a.Out }
+
+// PipeName returns the server route name for the power-trading report.
+func (a *PowerTrading) PipeName() string { return "power" }
+
+// Tick advances the market and ticks.
+func (a *PowerTrading) Tick() error { return tickEngine(a.Engine, a.Step) }
+
+// Output returns the risk-report collector.
+func (a *PowerTrading) Output() *transform.Collector { return a.Out }

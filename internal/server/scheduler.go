@@ -1,0 +1,77 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// pipeState is one scheduled pipeline plus its run-time counters. The
+// scheduler goroutine is the only writer; HTTP handlers read the
+// counters under the mutex.
+type pipeState struct {
+	p        Pipeline
+	interval time.Duration
+
+	mu          sync.Mutex
+	ticks       uint64
+	errs        uint64
+	lastErr     string
+	lastTick    time.Time
+	lastLatency time.Duration
+}
+
+// run ticks the pipeline until ctx is cancelled. The first tick fires
+// immediately so the endpoints have data as soon as possible; after
+// that a time.Ticker drives the cadence, which (unlike a sleep loop)
+// does not drift by the tick's own duration. A tick that is in flight
+// when ctx is cancelled always completes and is counted — cancellation
+// is only observed between ticks.
+func (ps *pipeState) run(ctx context.Context) {
+	ps.tickOnce()
+	t := time.NewTicker(ps.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			ps.tickOnce()
+		}
+	}
+}
+
+func (ps *pipeState) tickOnce() {
+	start := time.Now()
+	err := ps.p.Tick()
+	elapsed := time.Since(start)
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	ps.ticks++
+	ps.lastTick = time.Now()
+	ps.lastLatency = elapsed
+	if err != nil {
+		ps.errs++
+		ps.lastErr = err.Error()
+	}
+}
+
+func (ps *pipeState) status(name string) PipelineStatus {
+	out := ps.p.Output()
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	st := PipelineStatus{
+		Name:          name,
+		IntervalMS:    ps.interval.Milliseconds(),
+		Ticks:         ps.ticks,
+		Errors:        ps.errs,
+		LastError:     ps.lastErr,
+		LastLatencyMS: float64(ps.lastLatency.Microseconds()) / 1000,
+		Delivered:     out.Len(),
+		Retained:      out.Retained(),
+	}
+	if !ps.lastTick.IsZero() {
+		st.LastTick = ps.lastTick.UTC().Format(time.RFC3339Nano)
+	}
+	return st
+}

@@ -1,0 +1,352 @@
+// Package server hosts Transformation Server pipelines (Section 5) as
+// a long-running concurrent service: each registered pipeline ticks on
+// its own goroutine at its own interval, and the latest outputs are
+// published over HTTP.
+//
+// Endpoints:
+//
+//	GET /{name}            latest document (XML, or JSON when the
+//	                       Accept header prefers application/json)
+//	GET /{name}/history?n=K  the K most recent documents, newest first
+//	GET /healthz           liveness: 200 once the server is ticking
+//	GET /statusz           per-pipeline tick counts, errors, latencies
+//
+// Lifecycle is context-driven: Run blocks until the context is
+// cancelled, then stops the tickers, drains in-flight ticks, and shuts
+// the HTTP listener down gracefully.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/transform"
+	"repro/internal/xmlenc"
+)
+
+// Pipeline is one independently scheduled unit of work: a Section 6
+// application (or any other information pipe) that can run one
+// synchronous activation round and exposes its delivery collector.
+type Pipeline interface {
+	// PipeName is the stable route name (e.g. "nowplaying").
+	PipeName() string
+	// Tick runs one synchronous activation round. The returned error
+	// is recorded in the pipeline's status; it does not stop the
+	// schedule.
+	Tick() error
+	// Output is the collector whose documents the server publishes.
+	Output() *transform.Collector
+}
+
+// Config tunes the server.
+type Config struct {
+	// Addr is the listen address (default ":8080").
+	Addr string
+	// DefaultInterval is the tick interval for pipelines registered
+	// with interval 0 (default 2s).
+	DefaultInterval time.Duration
+	// ShutdownGrace bounds how long Run waits for open HTTP
+	// connections on shutdown (default 5s).
+	ShutdownGrace time.Duration
+	// ReadTimeout, WriteTimeout and IdleTimeout are applied to the
+	// http.Server (defaults 5s / 10s / 60s).
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	IdleTimeout  time.Duration
+	// Logf, when set, receives server lifecycle messages.
+	Logf func(format string, args ...any)
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Addr == "" {
+		out.Addr = ":8080"
+	}
+	if out.DefaultInterval <= 0 {
+		out.DefaultInterval = 2 * time.Second
+	}
+	if out.ShutdownGrace <= 0 {
+		out.ShutdownGrace = 5 * time.Second
+	}
+	if out.ReadTimeout <= 0 {
+		out.ReadTimeout = 5 * time.Second
+	}
+	if out.WriteTimeout <= 0 {
+		out.WriteTimeout = 10 * time.Second
+	}
+	if out.IdleTimeout <= 0 {
+		out.IdleTimeout = 60 * time.Second
+	}
+	if out.Logf == nil {
+		out.Logf = func(string, ...any) {}
+	}
+	return out
+}
+
+// Server is the pipeline registry and HTTP front end.
+type Server struct {
+	cfg Config
+
+	mu      sync.Mutex
+	pipes   map[string]*pipeState
+	order   []string
+	addr    string
+	started bool
+
+	ready chan struct{} // closed once the listener is bound
+}
+
+// New returns an empty server.
+func New(cfg Config) *Server {
+	return &Server{
+		cfg:   cfg.withDefaults(),
+		pipes: map[string]*pipeState{},
+		ready: make(chan struct{}),
+	}
+}
+
+// Register adds a pipeline ticking at the given interval (0 uses the
+// configured default). It fails on duplicate or reserved names.
+func (s *Server) Register(p Pipeline, interval time.Duration) error {
+	name := p.PipeName()
+	if name == "" || name == "healthz" || name == "statusz" {
+		return fmt.Errorf("server: invalid pipeline name %q", name)
+	}
+	if interval <= 0 {
+		interval = s.cfg.DefaultInterval
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return fmt.Errorf("server: cannot register %q after Run has started", name)
+	}
+	if _, dup := s.pipes[name]; dup {
+		return fmt.Errorf("server: duplicate pipeline %q", name)
+	}
+	s.pipes[name] = &pipeState{p: p, interval: interval}
+	s.order = append(s.order, name)
+	return nil
+}
+
+// Addr returns the bound listen address once Run has started, or "".
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.addr
+}
+
+// Ready is closed once the HTTP listener is bound and the pipelines
+// are ticking.
+func (s *Server) Ready() <-chan struct{} { return s.ready }
+
+// Run binds the listener, starts one ticking goroutine per pipeline,
+// and serves HTTP until ctx is cancelled. On cancellation it stops the
+// tickers, waits for any in-flight tick to finish, and drains the HTTP
+// server; it returns nil on a clean shutdown.
+func (s *Server) Run(ctx context.Context) error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.started = true
+	s.addr = ln.Addr().String()
+	states := make([]*pipeState, 0, len(s.order))
+	for _, name := range s.order {
+		states = append(states, s.pipes[name])
+	}
+	s.mu.Unlock()
+
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadTimeout:       s.cfg.ReadTimeout,
+		ReadHeaderTimeout: s.cfg.ReadTimeout,
+		WriteTimeout:      s.cfg.WriteTimeout,
+		IdleTimeout:       s.cfg.IdleTimeout,
+	}
+
+	tickCtx, stopTicks := context.WithCancel(context.Background())
+	defer stopTicks()
+	var wg sync.WaitGroup
+	for _, ps := range states {
+		wg.Add(1)
+		go func(ps *pipeState) {
+			defer wg.Done()
+			ps.run(tickCtx)
+		}(ps)
+	}
+	close(s.ready)
+	s.cfg.Logf("server: listening on %s (%d pipelines)", s.addr, len(states))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		s.cfg.Logf("server: shutting down")
+		stopTicks()
+		wg.Wait() // drain in-flight ticks
+		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
+		defer cancel()
+		err := hs.Shutdown(sctx)
+		<-serveErr // Serve has returned (ErrServerClosed)
+		return err
+	case err := <-serveErr:
+		stopTicks()
+		wg.Wait()
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+// Handler returns the HTTP handler serving all endpoints; it is usable
+// standalone (e.g. under httptest) without Run.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	mux.HandleFunc("GET /{name}", s.handleLatest)
+	mux.HandleFunc("GET /{name}/history", s.handleHistory)
+	return mux
+}
+
+func (s *Server) pipe(name string) *pipeState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pipes[name]
+}
+
+// wantsJSON reports whether the Accept header prefers JSON over XML.
+func wantsJSON(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	ji := strings.Index(accept, "application/json")
+	if ji < 0 {
+		return false
+	}
+	for _, xml := range []string{"application/xml", "text/xml"} {
+		if xi := strings.Index(accept, xml); xi >= 0 && xi < ji {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Server) handleLatest(w http.ResponseWriter, r *http.Request) {
+	ps := s.pipe(r.PathValue("name"))
+	if ps == nil {
+		http.NotFound(w, r)
+		return
+	}
+	doc := ps.p.Output().Latest()
+	if doc == nil {
+		http.Error(w, "no data yet", http.StatusServiceUnavailable)
+		return
+	}
+	writeDoc(w, r, doc)
+}
+
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	ps := s.pipe(r.PathValue("name"))
+	if ps == nil {
+		http.NotFound(w, r)
+		return
+	}
+	n := 10
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			http.Error(w, "bad n", http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	docs := ps.p.Output().History(n)
+	if wantsJSON(r) {
+		data, err := xmlenc.MarshalJSONList(docs)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		return
+	}
+	root := xmlenc.NewElement("history")
+	root.SetAttr("name", ps.p.PipeName())
+	root.SetAttr("count", strconv.Itoa(len(docs)))
+	root.Append(docs...)
+	w.Header().Set("Content-Type", "application/xml")
+	fmt.Fprint(w, xmlenc.MarshalIndent(root))
+}
+
+func writeDoc(w http.ResponseWriter, r *http.Request, doc *xmlenc.Node) {
+	if wantsJSON(r) {
+		data, err := xmlenc.MarshalJSONIndent(doc)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	fmt.Fprint(w, xmlenc.MarshalIndent(doc))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+// PipelineStatus is one entry of the /statusz report.
+type PipelineStatus struct {
+	Name          string  `json:"name"`
+	IntervalMS    int64   `json:"interval_ms"`
+	Ticks         uint64  `json:"ticks"`
+	Errors        uint64  `json:"errors"`
+	LastError     string  `json:"last_error,omitempty"`
+	LastTick      string  `json:"last_tick,omitempty"`
+	LastLatencyMS float64 `json:"last_latency_ms"`
+	Delivered     int     `json:"delivered"`
+	Retained      int     `json:"retained"`
+}
+
+// Status returns a snapshot of every pipeline's counters, sorted by
+// name.
+func (s *Server) Status() []PipelineStatus {
+	s.mu.Lock()
+	names := append([]string{}, s.order...)
+	s.mu.Unlock()
+	sort.Strings(names)
+	out := make([]PipelineStatus, 0, len(names))
+	for _, name := range names {
+		ps := s.pipe(name)
+		if ps == nil {
+			continue
+		}
+		out = append(out, ps.status(name))
+	}
+	return out
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	data, err := json.MarshalIndent(map[string]any{"pipelines": s.Status()}, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(data)
+}

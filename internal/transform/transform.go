@@ -59,6 +59,10 @@ type Engine struct {
 	Errors []error
 	// MaxErrors bounds the error log.
 	MaxErrors int
+	// lastErr and nErrs always track the most recent error and the
+	// total count, even once the Errors log is full.
+	lastErr error
+	nErrs   int
 }
 
 // NewEngine returns an empty engine.
@@ -152,9 +156,26 @@ func (e *Engine) propagate(from string, doc *xmlenc.Node) {
 func (e *Engine) logErr(err error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.lastErr = err
+	e.nErrs++
 	if len(e.Errors) < e.MaxErrors {
 		e.Errors = append(e.Errors, err)
 	}
+}
+
+// ErrorCount returns the total number of errors logged so far (not
+// capped by MaxErrors).
+func (e *Engine) ErrorCount() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.nErrs
+}
+
+// LastError returns the most recently logged error, or nil.
+func (e *Engine) LastError() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lastErr
 }
 
 // Run ticks the engine at the given interval until the context is
@@ -323,35 +344,113 @@ func (c *ChangeFilter) Process(from string, doc *xmlenc.Node) ([]*xmlenc.Node, e
 // ---------------------------------------------------------------------
 // Deliverers.
 
-// Collector is a deliverer that stores everything it receives; tests,
-// examples and benchmarks read the service's output here. It stands in
-// for the paper's SMS/HTTP/RMI delivery media.
+// DefaultRetain is the number of recent documents a Collector keeps
+// when no explicit retention cap is configured.
+const DefaultRetain = 64
+
+// Collector is a deliverer that stores the documents it receives in a
+// bounded ring buffer; tests, examples and benchmarks read the
+// service's output here. It stands in for the paper's SMS/HTTP/RMI
+// delivery media. A long-running server delivers forever, so retention
+// is capped (DefaultRetain unless Retain is set) while Len still
+// reports the total number of deliveries.
 type Collector struct {
 	CompName string
-	mu       sync.Mutex
-	docs     []*xmlenc.Node
+	// Retain caps how many recent documents are kept. Zero means
+	// DefaultRetain. The cap is latched on the first delivery; later
+	// changes to Retain have no effect.
+	Retain  int
+	mu      sync.Mutex
+	ringCap int
+	docs    []*xmlenc.Node // ring storage, oldest at start
+	start   int
+	total   int
 }
 
 // Name implements Component.
 func (c *Collector) Name() string { return c.CompName }
 
+func (c *Collector) capLocked() int {
+	if c.ringCap == 0 {
+		if c.Retain > 0 {
+			c.ringCap = c.Retain
+		} else {
+			c.ringCap = DefaultRetain
+		}
+	}
+	return c.ringCap
+}
+
 // Process implements Component.
 func (c *Collector) Process(_ string, doc *xmlenc.Node) ([]*xmlenc.Node, error) {
 	c.mu.Lock()
-	c.docs = append(c.docs, doc)
-	c.mu.Unlock()
+	defer c.mu.Unlock()
+	c.total++
+	if n := c.capLocked(); len(c.docs) < n {
+		c.docs = append(c.docs, doc)
+	} else {
+		c.docs[c.start] = doc
+		c.start = (c.start + 1) % n
+	}
 	return nil, nil
 }
 
-// Docs returns the delivered documents so far.
+// Docs returns the retained documents in delivery order (oldest
+// first). Once more than the retention cap have been delivered, only
+// the most recent cap documents remain.
 func (c *Collector) Docs() []*xmlenc.Node {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]*xmlenc.Node{}, c.docs...)
+	out := make([]*xmlenc.Node, len(c.docs))
+	for i := range c.docs {
+		out[i] = c.docs[(c.start+i)%len(c.docs)]
+	}
+	return out
 }
 
-// Len returns the number of deliveries.
+// Latest returns the most recently delivered document, or nil.
+func (c *Collector) Latest() *xmlenc.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.docs) == 0 {
+		return nil
+	}
+	last := c.start - 1
+	if last < 0 {
+		last = len(c.docs) - 1
+	}
+	return c.docs[last]
+}
+
+// History returns up to n of the most recent documents, newest first.
+func (c *Collector) History(n int) []*xmlenc.Node {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if n > len(c.docs) {
+		n = len(c.docs)
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]*xmlenc.Node, 0, n)
+	for i := 0; i < n; i++ {
+		idx := c.start - 1 - i
+		idx = ((idx % len(c.docs)) + len(c.docs)) % len(c.docs)
+		out = append(out, c.docs[idx])
+	}
+	return out
+}
+
+// Len returns the total number of deliveries (including documents that
+// have since been evicted from the retention ring).
 func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Retained returns the number of documents currently held.
+func (c *Collector) Retained() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.docs)

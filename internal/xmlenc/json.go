@@ -1,0 +1,49 @@
+package xmlenc
+
+import "encoding/json"
+
+// jsonNode is the JSON projection of a Node: element name, attributes
+// as an object, character data, and child elements. Empty fields are
+// omitted so leaf text elements render compactly.
+type jsonNode struct {
+	Name     string            `json:"name,omitempty"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+	Text     string            `json:"text,omitempty"`
+	Children []*jsonNode       `json:"children,omitempty"`
+}
+
+func toJSONNode(n *Node) *jsonNode {
+	j := &jsonNode{Name: n.Name, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		j.Attrs = make(map[string]string, len(n.Attrs))
+		for _, a := range n.Attrs {
+			j.Attrs[a.Name] = a.Value
+		}
+	}
+	for _, c := range n.Children {
+		j.Children = append(j.Children, toJSONNode(c))
+	}
+	return j
+}
+
+// MarshalJSON renders the document as compact JSON. The shape is
+// {"name": ..., "attrs": {...}, "text": ..., "children": [...]} with
+// empty fields omitted.
+func MarshalJSON(n *Node) ([]byte, error) {
+	return json.Marshal(toJSONNode(n))
+}
+
+// MarshalJSONIndent renders the document as two-space-indented JSON.
+func MarshalJSONIndent(n *Node) ([]byte, error) {
+	return json.MarshalIndent(toJSONNode(n), "", "  ")
+}
+
+// MarshalJSONList renders several documents as a JSON array (used by
+// the server's history endpoint).
+func MarshalJSONList(docs []*Node) ([]byte, error) {
+	list := make([]*jsonNode, len(docs))
+	for i, d := range docs {
+		list[i] = toJSONNode(d)
+	}
+	return json.MarshalIndent(list, "", "  ")
+}

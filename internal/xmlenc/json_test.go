@@ -1,0 +1,69 @@
+package xmlenc
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestMarshalJSON(t *testing.T) {
+	doc := NewElement("alerts")
+	doc.SetAttr("source", "wrap-flights")
+	a := doc.AppendElement("alert")
+	a.AppendTextElement("flight", "OS105")
+	a.AppendTextElement("status", "delayed <30min>")
+
+	data, err := MarshalJSON(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got struct {
+		Name     string            `json:"name"`
+		Attrs    map[string]string `json:"attrs"`
+		Children []struct {
+			Name     string `json:"name"`
+			Children []struct {
+				Name string `json:"name"`
+				Text string `json:"text"`
+			} `json:"children"`
+		} `json:"children"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("invalid JSON %s: %v", data, err)
+	}
+	if got.Name != "alerts" || got.Attrs["source"] != "wrap-flights" {
+		t.Fatalf("root: %s", data)
+	}
+	if len(got.Children) != 1 || len(got.Children[0].Children) != 2 {
+		t.Fatalf("children: %s", data)
+	}
+	if got.Children[0].Children[1].Text != "delayed <30min>" {
+		t.Fatalf("text round-trip: %s", data)
+	}
+}
+
+func TestMarshalJSONOmitsEmpty(t *testing.T) {
+	data, err := MarshalJSON(NewElement("empty"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `{"name":"empty"}` {
+		t.Fatalf("empty element = %s", data)
+	}
+}
+
+func TestMarshalJSONList(t *testing.T) {
+	docs := []*Node{NewElement("a"), NewElement("b")}
+	data, err := MarshalJSONList(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []struct {
+		Name string `json:"name"`
+	}
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("list = %s", data)
+	}
+}

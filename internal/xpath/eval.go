@@ -67,12 +67,19 @@ func evalSteps(t *dom.Tree, steps []Step, ctx nodeset.Set, virtual bool) (nodese
 			}
 		}
 		// Does the virtual root survive this step? Only self and
-		// descendant-or-self keep it, under a node() test and no
-		// predicates (no predicate of the fragment holds at the virtual
-		// root except trivially true ones; we conservatively drop it).
+		// descendant-or-self keep it, under a node() test; predicates
+		// are then evaluated at the virtual root itself (a negated
+		// condition like [not(parent::*)] DOES hold there, so dropping
+		// it whenever predicates exist would lose answers).
 		virtual = virtual &&
 			(s.Axis == AxisSelf || s.Axis == AxisDescendantOrSelf) &&
-			s.Test.Kind == TestNode && len(s.Preds) == 0
+			s.Test.Kind == TestNode
+		for _, pred := range s.Preds {
+			if !virtual {
+				break
+			}
+			virtual = condHoldsAtVirtualRoot(t, pred)
+		}
 		next.And(testSet(t, s.Test))
 		for _, pred := range s.Preds {
 			next.And(condSet(t, pred))
@@ -179,6 +186,25 @@ func condSet(t *dom.Tree, e Expr) nodeset.Set {
 	// Non-Core predicate reaching the linear evaluator is a programming
 	// error (guarded by IsCore); fail closed with the empty set.
 	return nodeset.New(t)
+}
+
+// condHoldsAtVirtualRoot evaluates a Core condition at the virtual
+// document root: boolean operators pointwise, and an ExistsPath —
+// relative or absolute, both start at the virtual root there —
+// evaluated forward from the virtual root.
+func condHoldsAtVirtualRoot(t *dom.Tree, e Expr) bool {
+	switch x := e.(type) {
+	case And:
+		return condHoldsAtVirtualRoot(t, x.L) && condHoldsAtVirtualRoot(t, x.R)
+	case Or:
+		return condHoldsAtVirtualRoot(t, x.L) || condHoldsAtVirtualRoot(t, x.R)
+	case Not:
+		return !condHoldsAtVirtualRoot(t, x.E)
+	case ExistsPath:
+		res, virt := evalSteps(t, x.Path.Steps, nodeset.New(t), true)
+		return virt || !res.Empty()
+	}
+	return false
 }
 
 // existsSet returns the set of context nodes from which the path has at

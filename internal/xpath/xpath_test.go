@@ -242,8 +242,39 @@ func TestRandomCoreDifferential(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+	// Deterministic input stream: EvalNaive is exponential by design,
+	// so a time-seeded draw can occasionally produce a query that runs
+	// for minutes (worse under -race) and times the suite out. A fixed
+	// source keeps the differential reproducible and CI-stable.
+	if err := quick.Check(f, &quick.Config{MaxCount: 250, Rand: rand.New(rand.NewSource(20040614))}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestVirtualRootPredicateRegression pins a counterexample once found
+// by TestRandomCoreDifferential (quick input 4479217461210968517): the
+// negated predicate holds at the virtual document root — not() of an
+// empty node set is true — so the virtual root survives the first step
+// and the final descendant step must include the root element. The
+// linear evaluator used to drop the virtual root whenever a predicate
+// was present and lost that answer.
+func TestVirtualRootPredicateRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(4479217461210968517))
+	tr := dom.RandomTree(rng, 1+rng.Intn(30), []string{"a", "b", "c"}, 4)
+	p := MustParse("/descendant-or-self::node()[not(parent::*/self::*)]/descendant::node()")
+	lin, err := EvalCore(p, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := EvalNaive(p, tr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nodesEqual(lin, dedup(tr, naive)) {
+		t.Fatalf("lin=%v naive=%v", lin, dedup(tr, naive))
+	}
+	if lin[0] != tr.Root() {
+		t.Fatalf("root element missing from answer: %v", lin)
 	}
 }
 
@@ -275,7 +306,9 @@ func TestE12TranslationEquivalence(t *testing.T) {
 		}
 		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+	// Fixed source for the same reason as TestRandomCoreDifferential:
+	// bounded, reproducible running time.
+	if err := quick.Check(f, &quick.Config{MaxCount: 150, Rand: rand.New(rand.NewSource(20040615))}); err != nil {
 		t.Error(err)
 	}
 }
