@@ -5,15 +5,23 @@
 // the paper (linear scaling, polynomial-vs-exponential crossovers,
 // extraction accuracy, click counts).
 //
-//	go run ./cmd/benchreport [-quick]
+// With -json PATH the command additionally runs a fixed set of named
+// benchmarks under testing.Benchmark and writes a machine-readable
+// report (benchmark name → ns/op, allocs/op, B/op) so that the perf
+// trajectory can be tracked across commits, e.g.
+//
+//	go run ./cmd/benchreport -quick -json BENCH_report.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"math/rand"
+	"os"
 	"sort"
 	"strings"
+	"testing"
 	"time"
 
 	"repro/internal/cq"
@@ -27,7 +35,10 @@ import (
 	"repro/internal/xpath"
 )
 
-var quick = flag.Bool("quick", false, "fewer repetitions")
+var (
+	quick    = flag.Bool("quick", false, "fewer repetitions")
+	jsonPath = flag.String("json", "", "write a BENCH_*.json report to this path")
+)
 
 func main() {
 	flag.Parse()
@@ -39,6 +50,88 @@ func main() {
 	e10NaiveVsPolynomial()
 	e11Dichotomy()
 	e12TranslationSizes()
+	if *jsonPath != "" {
+		if err := writeBenchJSON(*jsonPath); err != nil {
+			fmt.Fprintln(os.Stderr, "benchreport:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nwrote %s\n", *jsonPath)
+	}
+}
+
+// benchEntry is one row of the JSON report.
+type benchEntry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// writeBenchJSON measures the tracked workloads with testing.Benchmark
+// and writes {name: {ns_per_op, allocs_per_op, bytes_per_op}}.
+func writeBenchJSON(path string) error {
+	report := map[string]benchEntry{}
+	add := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		report[name] = benchEntry{
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Iterations:  r.N,
+		}
+	}
+
+	itp := mdatalog.ItalicProgram()
+	for _, size := range []int{2000, 8000, 32000} {
+		tr := dom.RandomTree(rand.New(rand.NewSource(2)), size, []string{"a", "i", "b"}, 6)
+		add(fmt.Sprintf("E02_MonadicDatalogEval/dom-%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := mdatalog.Eval(itp, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
+	xq := xpath.MustParse("//div[span and not(b)]//span")
+	xtr := deepDivs(300)
+	add("E09_CoreXPathLinear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := xpath.EvalCore(xq, xtr, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	compiled := xpath.CompilePath(xq)
+	add("E09_CoreXPathCompiledCached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := compiled.EvalCached(xtr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	prog, qpred, err := xpath.TranslateCore(xq)
+	if err != nil {
+		return err
+	}
+	add("E12_XPathViaTMNF", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := mdatalog.Query(prog, xtr, qpred); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // timeIt returns the median wall time of r runs of f.

@@ -2,7 +2,7 @@
 // (Section 5) hosting the application pipelines of Section 6 over the
 // simulated web, and serves their output on HTTP:
 //
-//	lixtoserver [-addr :8080] [-interval 2s] [-steps N]
+//	lixtoserver [-addr :8080] [-interval 2s] [-steps N] [-history N] [-pprof]
 //
 //	GET /nowplaying           the Now Playing portal feed (Section 6.1)
 //	GET /flights              the latest flight alerts (6.2)
@@ -11,6 +11,9 @@
 //	GET /{name}/history?n=K   the K most recent documents of a pipeline
 //	GET /healthz              liveness probe
 //	GET /statusz              per-pipeline tick/error/latency counters
+//	GET /debug/pprof/         live profiling (with -pprof)
+//
+// -history N bounds each pipeline's retained document ring (default 64).
 //
 // Documents are served as XML, or as JSON when the request's Accept
 // header prefers application/json.
@@ -39,7 +42,12 @@ func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	interval := flag.Duration("interval", 2*time.Second, "tick interval")
 	steps := flag.Int("steps", 0, "run N ticks and exit (0 = serve forever)")
+	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof endpoints")
+	history := flag.Int("history", 0, "documents retained per pipeline (0 = default 64)")
 	flag.Parse()
+	if *history < 0 {
+		fatal(fmt.Errorf("-history must be >= 0, got %d", *history))
+	}
 
 	np, err := apps.NewNowPlaying(2004)
 	if err != nil {
@@ -56,6 +64,12 @@ func main() {
 	pw, err := apps.NewPowerTrading(2004)
 	if err != nil {
 		fatal(err)
+	}
+	if *history > 0 {
+		// Retention is latched on the first delivery; no tick has run yet.
+		for _, p := range []server.Pipeline{np, fl, pc, pw} {
+			p.Output().Retain = *history
+		}
 	}
 
 	if *steps > 0 {
@@ -76,6 +90,7 @@ func main() {
 	srv := server.New(server.Config{
 		Addr:            *addr,
 		DefaultInterval: *interval,
+		EnablePprof:     *pprofFlag,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

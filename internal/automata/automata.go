@@ -100,16 +100,14 @@ func (a *DTA) inAlphabet(label string) bool {
 }
 
 // Run computes the bottom-up run of the automaton on the (unmarked) tree
-// and returns the state of every node. The run is computed in a single
-// reverse-document-order pass: node ids are assigned in document order by
-// every builder in this repository, so children and next siblings have
-// larger ids than the position where their state is needed... they have
-// larger ids, hence a reverse iteration sees them first.
+// and returns the state of every node. Children and next siblings always
+// carry larger NodeIDs than the node that consumes their state (trees
+// are built by appending), so a single descending id sweep sees every
+// dependency first — no document-order sort is needed.
 func (a *DTA) Run(t *dom.Tree) []int {
 	states := make([]int, t.Size())
-	order := t.InDocumentOrder()
-	for i := len(order) - 1; i >= 0; i-- {
-		n := order[i]
+	for i := t.Size() - 1; i >= 0; i-- {
+		n := dom.NodeID(i)
 		l, r := Absent, Absent
 		if c := t.FirstChild(n); c != dom.Nil {
 			l = states[c]
@@ -140,19 +138,28 @@ func (a *DTA) Select(t *dom.Tree) []dom.NodeID {
 		return nil
 	}
 	states := a.Run(t)
-	// ctx[n][q] == true iff: assuming the binary-encoding subtree rooted
-	// at n evaluates to state q (all nodes outside that subtree keeping
-	// their unmarked states), the root state is accepting.
-	ctx := make([][]bool, t.Size())
-	for i := range ctx {
-		ctx[i] = make([]bool, a.NumStates)
+	// ctx holds one packed state set per node (stride words each):
+	// bit q of ctx[n] == true iff, assuming the binary-encoding subtree
+	// rooted at n evaluates to state q (all nodes outside that subtree
+	// keeping their unmarked states), the root state is accepting.
+	stride := (a.NumStates + 63) / 64
+	ctx := make([]uint64, t.Size()*stride)
+	has := func(n dom.NodeID, q int) bool {
+		return ctx[int(n)*stride+q>>6]&(1<<(uint(q)&63)) != 0
+	}
+	set := func(n dom.NodeID, q int) {
+		ctx[int(n)*stride+q>>6] |= 1 << (uint(q) & 63)
 	}
 	root := t.Root()
 	for q := 0; q < a.NumStates; q++ {
-		ctx[root][q] = a.Accept[q]
+		if a.Accept[q] {
+			set(root, q)
+		}
 	}
-	// Top-down in document order: parents and previous siblings first.
-	for _, n := range t.InDocumentOrder() {
+	// Top-down: parents and previous siblings always carry smaller ids,
+	// so an ascending id sweep sees them first.
+	for i := 0; i < t.Size(); i++ {
+		n := dom.NodeID(i)
 		l, r := Absent, Absent
 		if c := t.FirstChild(n); c != dom.Nil {
 			l = states[c]
@@ -163,15 +170,15 @@ func (a *DTA) Select(t *dom.Tree) []dom.NodeID {
 		label := t.Label(n)
 		if c := t.FirstChild(n); c != dom.Nil {
 			for q := 0; q < a.NumStates; q++ {
-				if ctx[n][a.Step(q, r, label, false)] {
-					ctx[c][q] = true
+				if has(n, a.Step(q, r, label, false)) {
+					set(c, q)
 				}
 			}
 		}
 		if s := t.NextSibling(n); s != dom.Nil {
 			for q := 0; q < a.NumStates; q++ {
-				if ctx[n][a.Step(l, q, label, false)] {
-					ctx[s][q] = true
+				if has(n, a.Step(l, q, label, false)) {
+					set(s, q)
 				}
 			}
 		}
@@ -186,7 +193,7 @@ func (a *DTA) Select(t *dom.Tree) []dom.NodeID {
 		if s := t.NextSibling(n); s != dom.Nil {
 			r = states[s]
 		}
-		if ctx[n][a.Step(l, r, t.Label(n), true)] {
+		if has(n, a.Step(l, r, t.Label(n), true)) {
 			out = append(out, n)
 		}
 	}
@@ -198,12 +205,11 @@ func (a *DTA) Select(t *dom.Tree) []dom.NodeID {
 // test oracle for Select and for the compiled datalog program.
 func (a *DTA) SelectNaive(t *dom.Tree) []dom.NodeID {
 	var out []dom.NodeID
-	order := t.InDocumentOrder()
 	for i := 0; i < t.Size(); i++ {
 		mark := dom.NodeID(i)
 		states := make([]int, t.Size())
-		for j := len(order) - 1; j >= 0; j-- {
-			n := order[j]
+		for j := t.Size() - 1; j >= 0; j-- {
+			n := dom.NodeID(j)
 			l, r := Absent, Absent
 			if c := t.FirstChild(n); c != dom.Nil {
 				l = states[c]

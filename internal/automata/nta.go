@@ -1,7 +1,7 @@
 package automata
 
 import (
-	"sort"
+	"math/bits"
 )
 
 // NTA is a nondeterministic bottom-up tree automaton over the binary
@@ -31,62 +31,68 @@ func (a *NTA) AddTrans(l, r int, label string, marked bool, target int) {
 }
 
 // Determinize performs the subset construction, producing an equivalent
-// deterministic automaton. States of the result are sets of NTA states;
-// the empty set becomes the (rejecting) sink. Worst-case exponential, as
-// it must be.
+// deterministic automaton. States of the result are packed bitsets of
+// NTA states (one word per 64 states); the empty set becomes the
+// (rejecting) sink. Worst-case exponential, as it must be.
 func (a *NTA) Determinize() *DTA {
-	type setKey string
-	encode := func(set []int) setKey {
-		sort.Ints(set)
-		b := make([]byte, 0, len(set)*2)
-		for _, q := range set {
-			b = append(b, byte(q), ',')
+	stride := (a.NumStates + 63) / 64
+	if stride == 0 {
+		stride = 1
+	}
+	encode := func(set []uint64) string {
+		b := make([]byte, 0, stride*8)
+		for _, w := range set {
+			b = append(b,
+				byte(w), byte(w>>8), byte(w>>16), byte(w>>24),
+				byte(w>>32), byte(w>>40), byte(w>>48), byte(w>>56))
 		}
-		return setKey(b)
+		return string(b)
 	}
 	// Subset states discovered so far; index 0 is the empty set (sink).
-	var sets [][]int
-	index := map[setKey]int{}
-	intern := func(set []int) int {
+	var sets [][]uint64
+	index := map[string]int{}
+	intern := func(set []uint64) int {
 		k := encode(set)
 		if i, ok := index[k]; ok {
 			return i
 		}
 		i := len(sets)
 		index[k] = i
-		sets = append(sets, append([]int{}, set...))
+		sets = append(sets, append([]uint64{}, set...))
 		return i
 	}
-	sink := intern(nil)
+	sink := intern(make([]uint64, stride))
 
 	labels := append([]string{}, a.Alphabet...)
 	labels = append(labels, Wildcard)
 
-	// step computes the subset reached from subset-states L and R
-	// (Absent maps to "absent").
-	step := func(L, R []int, lAbsent, rAbsent bool, label string, marked bool) []int {
-		out := map[int]bool{}
-		ls := L
-		if lAbsent {
-			ls = []int{Absent}
+	// forEach visits the member states of a subset in ascending order,
+	// or just Absent for an absent side.
+	forEach := func(set []uint64, absent bool, f func(int)) {
+		if absent {
+			f(Absent)
+			return
 		}
-		rs := R
-		if rAbsent {
-			rs = []int{Absent}
-		}
-		for _, l := range ls {
-			for _, r := range rs {
-				for _, q := range a.Trans[TransKey{l, r, label, marked}] {
-					out[q] = true
-				}
+		for wi, w := range set {
+			for w != 0 {
+				f(wi<<6 + bits.TrailingZeros64(w))
+				w &= w - 1
 			}
 		}
-		set := make([]int, 0, len(out))
-		for q := range out {
-			set = append(set, q)
-		}
-		sort.Ints(set)
-		return set
+	}
+
+	// step computes the subset reached from subset-states L and R
+	// (Absent maps to "absent").
+	step := func(L, R []uint64, lAbsent, rAbsent bool, label string, marked bool) []uint64 {
+		out := make([]uint64, stride)
+		forEach(L, lAbsent, func(l int) {
+			forEach(R, rAbsent, func(r int) {
+				for _, q := range a.Trans[TransKey{l, r, label, marked}] {
+					out[q>>6] |= 1 << (uint(q) & 63)
+				}
+			})
+		})
+		return out
 	}
 
 	d := NewDTA(0, a.Alphabet...)
@@ -104,7 +110,7 @@ func (a *NTA) Determinize() *DTA {
 			for ri := -1; ri < cnt; ri++ {
 				for _, lbl := range labels {
 					for _, marked := range []bool{false, true} {
-						var L, R []int
+						var L, R []uint64
 						lAbsent := li == -1
 						rAbsent := ri == -1
 						if !lAbsent {
@@ -140,11 +146,11 @@ func (a *NTA) Determinize() *DTA {
 	d.NumStates = len(sets)
 	d.Accept = make([]bool, len(sets))
 	for i, set := range sets {
-		for _, q := range set {
+		forEach(set, false, func(q int) {
 			if a.Accept[q] {
 				d.Accept[i] = true
 			}
-		}
+		})
 	}
 	return d
 }

@@ -61,11 +61,23 @@ type Attr struct {
 	Value string
 }
 
+// LabelID is a dense interned symbol for a node label. Every distinct
+// label string of a tree (including the #text/#comment pseudo-labels)
+// receives one id in 0..NumLabels()-1, assigned in first-occurrence
+// order. Comparing LabelIDs replaces string comparison on the hot paths
+// of every evaluator; Label still returns the string for display and
+// encoding.
+type LabelID int32
+
+// NoLabel is returned by LabelIDFor for labels that do not occur in the
+// tree.
+const NoLabel LabelID = -1
+
 // Tree is an unranked ordered labeled tree. The zero value is an empty
 // tree to which a root must be added with AddRoot before use.
 type Tree struct {
 	kind        []Kind
-	label       []string
+	labelID     []LabelID
 	text        []string // text/comment payload; "" for elements
 	attrs       [][]Attr
 	parent      []NodeID
@@ -74,11 +86,28 @@ type Tree struct {
 	nextSibling []NodeID
 	prevSibling []NodeID
 
+	// Label interning: labelNames[id] is the string of symbol id;
+	// labelIndex is the inverse map.
+	labelNames []string
+	labelIndex map[string]LabelID
+
 	// pre/post order numbers and subtree sizes; valid while indexed.
-	pre     []int32
-	post    []int32
-	size    []int32
-	indexed bool
+	pre        []int32
+	post       []int32
+	size       []int32
+	indexed    bool
+	docOrdered bool // NodeIDs coincide with document order; valid while indexed
+
+	// Lazily-built characteristic bitsets: labelBits[id] has bit n set
+	// iff label_id(n); kindBits likewise per node kind. Valid while
+	// bitsValid.
+	labelBits [][]uint64
+	kindBits  [3][]uint64
+	bitsValid bool
+
+	// fp caches Fingerprint; valid while fpValid.
+	fp      uint64
+	fpValid bool
 }
 
 // New returns an empty tree with capacity hint n.
@@ -138,7 +167,7 @@ func (t *Tree) AppendComment(parent NodeID, data string) NodeID {
 func (t *Tree) addNode(k Kind, label, text string, parent NodeID) NodeID {
 	id := NodeID(len(t.kind))
 	t.kind = append(t.kind, k)
-	t.label = append(t.label, label)
+	t.labelID = append(t.labelID, t.intern(label))
 	t.text = append(t.text, text)
 	t.attrs = append(t.attrs, nil)
 	t.parent = append(t.parent, parent)
@@ -147,6 +176,8 @@ func (t *Tree) addNode(k Kind, label, text string, parent NodeID) NodeID {
 	t.nextSibling = append(t.nextSibling, Nil)
 	t.prevSibling = append(t.prevSibling, Nil)
 	t.indexed = false
+	t.bitsValid = false
+	t.fpValid = false
 	if parent != Nil {
 		last := t.lastChild[parent]
 		if last == Nil {
@@ -160,16 +191,132 @@ func (t *Tree) addNode(k Kind, label, text string, parent NodeID) NodeID {
 	return id
 }
 
+// intern maps a label string to its dense symbol, allocating a fresh id
+// on first occurrence.
+func (t *Tree) intern(label string) LabelID {
+	if id, ok := t.labelIndex[label]; ok {
+		return id
+	}
+	if t.labelIndex == nil {
+		t.labelIndex = make(map[string]LabelID, 8)
+	}
+	id := LabelID(len(t.labelNames))
+	t.labelIndex[label] = id
+	t.labelNames = append(t.labelNames, label)
+	return id
+}
+
+// NumLabels returns the number of distinct labels interned so far.
+func (t *Tree) NumLabels() int { return len(t.labelNames) }
+
+// LabelID returns the interned symbol of node n's label.
+func (t *Tree) LabelID(n NodeID) LabelID { return t.labelID[n] }
+
+// LabelIDFor returns the symbol of a label string, or NoLabel if no node
+// of the tree carries that label.
+func (t *Tree) LabelIDFor(label string) LabelID {
+	if id, ok := t.labelIndex[label]; ok {
+		return id
+	}
+	return NoLabel
+}
+
+// LabelName returns the label string of symbol id.
+func (t *Tree) LabelName(id LabelID) string { return t.labelNames[id] }
+
+// wordsFor returns the number of 64-bit words covering the tree's nodes.
+func (t *Tree) wordsFor() int { return (len(t.kind) + 63) / 64 }
+
+func (t *Tree) ensureBits() {
+	if t.bitsValid {
+		return
+	}
+	w := t.wordsFor()
+	t.labelBits = make([][]uint64, len(t.labelNames))
+	for i := range t.labelBits {
+		t.labelBits[i] = make([]uint64, w)
+	}
+	for k := range t.kindBits {
+		t.kindBits[k] = make([]uint64, w)
+	}
+	for n, id := range t.labelID {
+		t.labelBits[id][n>>6] |= 1 << (uint(n) & 63)
+		t.kindBits[t.kind[n]][n>>6] |= 1 << (uint(n) & 63)
+	}
+	t.bitsValid = true
+}
+
+// LabelBits returns the characteristic bitset of label_id (bit n set iff
+// node n carries the label), built lazily and cached until the tree is
+// mutated. The slice is shared: callers must not modify it.
+func (t *Tree) LabelBits(id LabelID) []uint64 {
+	t.ensureBits()
+	return t.labelBits[id]
+}
+
+// KindBits returns the characteristic bitset of a node kind (shared
+// slice; do not mutate).
+func (t *Tree) KindBits(k Kind) []uint64 {
+	t.ensureBits()
+	return t.kindBits[k]
+}
+
+// Fingerprint returns a cheap content hash of the tree covering
+// structure, kinds, labels, text, and attributes (FNV-1a over a
+// canonical byte walk). It is cached and invalidated on mutation, so
+// unchanged trees fingerprint in O(1); evaluation caches key on it.
+// Equal trees always agree; distinct trees collide with probability
+// ~2^-64.
+func (t *Tree) Fingerprint() uint64 {
+	if t.fpValid {
+		return t.fp
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	byte1 := func(b byte) {
+		h = (h ^ uint64(b)) * prime64
+	}
+	str := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h = (h ^ uint64(s[i])) * prime64
+		}
+		byte1(0)
+	}
+	num := func(v int32) {
+		h = (h ^ uint64(uint32(v))) * prime64
+	}
+	num(int32(len(t.kind)))
+	for n := range t.kind {
+		byte1(byte(t.kind[n]))
+		num(int32(t.parent[n]))
+		str(t.labelNames[t.labelID[n]])
+		str(t.text[n])
+		num(int32(len(t.attrs[n])))
+		for _, a := range t.attrs[n] {
+			str(a.Name)
+			str(a.Value)
+		}
+	}
+	t.fp = h
+	t.fpValid = true
+	return h
+}
+
 // SetAttr sets attribute name to value on element node n, replacing any
 // existing attribute of the same name.
 func (t *Tree) SetAttr(n NodeID, name, value string) {
 	for i := range t.attrs[n] {
 		if t.attrs[n][i].Name == name {
 			t.attrs[n][i].Value = value
+			t.fpValid = false
 			return
 		}
 	}
 	t.attrs[n] = append(t.attrs[n], Attr{Name: name, Value: value})
+	t.fpValid = false
 }
 
 // Attr returns the value of attribute name on node n and whether it is set.
@@ -191,17 +338,23 @@ func (t *Tree) Kind(n NodeID) Kind { return t.kind[n] }
 // Label returns the label of node n: the tag symbol for elements,
 // "#text" for text nodes and "#comment" for comments. This realizes the
 // paper's unary relations label_a(x).
-func (t *Tree) Label(n NodeID) string { return t.label[n] }
+func (t *Tree) Label(n NodeID) string { return t.labelNames[t.labelID[n]] }
 
 // HasLabel reports label_a(n), i.e. whether node n carries label a.
-func (t *Tree) HasLabel(n NodeID, a string) bool { return t.label[n] == a }
+func (t *Tree) HasLabel(n NodeID, a string) bool {
+	id, ok := t.labelIndex[a]
+	return ok && t.labelID[n] == id
+}
 
 // Text returns the character data of a text or comment node ("" for
 // element nodes).
 func (t *Tree) Text(n NodeID) string { return t.text[n] }
 
 // SetText replaces the character data of a text or comment node.
-func (t *Tree) SetText(n NodeID, data string) { t.text[n] = data }
+func (t *Tree) SetText(n NodeID, data string) {
+	t.text[n] = data
+	t.fpValid = false
+}
 
 // Parent returns the parent of n, or Nil for the root.
 func (t *Tree) Parent(n NodeID) NodeID { return t.parent[n] }
@@ -290,6 +443,7 @@ func (t *Tree) Reindex() {
 	}
 	if n == 0 {
 		t.indexed = true
+		t.docOrdered = true
 		return
 	}
 	var pre, post int32
@@ -320,6 +474,23 @@ func (t *Tree) Reindex() {
 		stack = append(stack, frame{c, t.firstChild[c]})
 	}
 	t.indexed = true
+	t.docOrdered = true
+	for i, p := range t.pre {
+		if p != int32(i) {
+			t.docOrdered = false
+			break
+		}
+	}
+}
+
+// DocOrdered reports whether NodeIDs coincide with document order
+// (pre[n] == n for every node) — true for every tree built strictly
+// top-down left-to-right, as the HTML parser and the generators do.
+// Consumers iterating ids in ascending order may then skip
+// document-order sorting entirely.
+func (t *Tree) DocOrdered() bool {
+	t.ensureIndex()
+	return t.docOrdered
 }
 
 func (t *Tree) ensureIndex() {
@@ -492,7 +663,7 @@ func (t *Tree) PathLabels(x, y NodeID) ([]string, bool) {
 	}
 	var rev []string
 	for n := y; n != x; n = t.parent[n] {
-		rev = append(rev, t.label[n])
+		rev = append(rev, t.Label(n))
 	}
 	out := make([]string, len(rev))
 	for i := range rev {
@@ -505,13 +676,18 @@ func (t *Tree) PathLabels(x, y NodeID) ([]string, bool) {
 func (t *Tree) Clone() *Tree {
 	c := &Tree{
 		kind:        append([]Kind(nil), t.kind...),
-		label:       append([]string(nil), t.label...),
+		labelID:     append([]LabelID(nil), t.labelID...),
+		labelNames:  append([]string(nil), t.labelNames...),
 		text:        append([]string(nil), t.text...),
 		parent:      append([]NodeID(nil), t.parent...),
 		firstChild:  append([]NodeID(nil), t.firstChild...),
 		lastChild:   append([]NodeID(nil), t.lastChild...),
 		nextSibling: append([]NodeID(nil), t.nextSibling...),
 		prevSibling: append([]NodeID(nil), t.prevSibling...),
+	}
+	c.labelIndex = make(map[string]LabelID, len(t.labelIndex))
+	for s, id := range t.labelIndex {
+		c.labelIndex[s] = id
 	}
 	c.attrs = make([][]Attr, len(t.attrs))
 	for i, as := range t.attrs {
@@ -533,7 +709,7 @@ func Equal(a, b *Tree) bool {
 	}
 	var eq func(x, y NodeID) bool
 	eq = func(x, y NodeID) bool {
-		if a.kind[x] != b.kind[y] || a.label[x] != b.label[y] || a.text[x] != b.text[y] {
+		if a.kind[x] != b.kind[y] || a.Label(x) != b.Label(y) || a.text[x] != b.text[y] {
 			return false
 		}
 		if len(a.attrs[x]) != len(b.attrs[y]) {
@@ -574,7 +750,7 @@ func (t *Tree) String() string {
 			fmt.Fprintf(&b, "comment(%q)", t.text[n])
 			return
 		}
-		b.WriteString(t.label[n])
+		b.WriteString(t.Label(n))
 		if t.firstChild[n] == Nil {
 			return
 		}

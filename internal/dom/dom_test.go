@@ -366,3 +366,114 @@ func TestSubtreeSizeProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestLabelInterning(t *testing.T) {
+	tr := MustParseTerm("a(b,a(b),\"txt\")")
+	if tr.NumLabels() != 3 { // a, b, #text
+		t.Fatalf("NumLabels = %d, want 3", tr.NumLabels())
+	}
+	if tr.LabelID(0) != tr.LabelID(2) {
+		t.Error("equal labels intern to different ids")
+	}
+	if tr.LabelIDFor("a") != tr.LabelID(0) {
+		t.Error("LabelIDFor(a) disagrees with node symbol")
+	}
+	if tr.LabelIDFor("zz") != NoLabel {
+		t.Error("unknown label should map to NoLabel")
+	}
+	if tr.LabelName(tr.LabelID(0)) != "a" || tr.Label(0) != "a" {
+		t.Error("label round trip broken")
+	}
+	if !tr.HasLabel(0, "a") || tr.HasLabel(0, "b") || tr.HasLabel(0, "zz") {
+		t.Error("HasLabel wrong")
+	}
+}
+
+func TestLabelAndKindBits(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := RandomTree(rng, 300, []string{"a", "b", "c"}, 6)
+	for _, lbl := range []string{"a", "b", "c"} {
+		id := tr.LabelIDFor(lbl)
+		if id == NoLabel {
+			continue
+		}
+		bits := tr.LabelBits(id)
+		for i := 0; i < tr.Size(); i++ {
+			got := bits[i>>6]&(1<<(uint(i)&63)) != 0
+			if got != (tr.Label(NodeID(i)) == lbl) {
+				t.Fatalf("LabelBits(%s) wrong at node %d", lbl, i)
+			}
+		}
+	}
+	eb := tr.KindBits(Element)
+	for i := 0; i < tr.Size(); i++ {
+		got := eb[i>>6]&(1<<(uint(i)&63)) != 0
+		if got != (tr.Kind(NodeID(i)) == Element) {
+			t.Fatalf("KindBits(Element) wrong at node %d", i)
+		}
+	}
+	// Mutation invalidates the cache.
+	tr.AppendChild(tr.Root(), "zz")
+	id := tr.LabelIDFor("zz")
+	if id == NoLabel {
+		t.Fatal("new label not interned")
+	}
+	nb := tr.LabelBits(id)
+	last := tr.Size() - 1
+	if nb[last>>6]&(1<<(uint(last)&63)) == 0 {
+		t.Fatal("label bits stale after mutation")
+	}
+}
+
+func TestFingerprint(t *testing.T) {
+	build := func() *Tree {
+		tr := New(0)
+		r := tr.AddRoot("a")
+		c := tr.AppendChild(r, "b")
+		tr.SetAttr(c, "k", "v")
+		tr.AppendText(c, "hello")
+		return tr
+	}
+	t1, t2 := build(), build()
+	if t1.Fingerprint() != t2.Fingerprint() {
+		t.Fatal("identical trees fingerprint differently")
+	}
+	if t1.Fingerprint() != t1.Clone().Fingerprint() {
+		t.Fatal("clone fingerprints differently")
+	}
+	fp := t1.Fingerprint()
+	if t1.Fingerprint() != fp {
+		t.Fatal("fingerprint not stable")
+	}
+	t1.SetText(2, "world")
+	if t1.Fingerprint() == fp {
+		t.Fatal("SetText did not change the fingerprint")
+	}
+	t2.SetAttr(1, "k", "w")
+	if t2.Fingerprint() == fp {
+		t.Fatal("SetAttr did not change the fingerprint")
+	}
+	t3 := build()
+	t3.AppendChild(t3.Root(), "c")
+	if t3.Fingerprint() == fp {
+		t.Fatal("AppendChild did not change the fingerprint")
+	}
+}
+
+func TestDocOrdered(t *testing.T) {
+	if !Chain(50, "a").DocOrdered() {
+		t.Error("chain should be doc ordered")
+	}
+	if !FullBinary(4, "a").DocOrdered() {
+		t.Error("depth-first built tree should be doc ordered")
+	}
+	// Interleaved construction: ids diverge from document order.
+	tr2 := New(4)
+	r := tr2.AddRoot("r")
+	a := tr2.AppendChild(r, "a")
+	tr2.AppendChild(r, "b")
+	tr2.AppendChild(a, "g")
+	if tr2.DocOrdered() {
+		t.Error("interleaved tree must not be doc ordered")
+	}
+}

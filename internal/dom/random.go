@@ -7,8 +7,12 @@ import "math/rand"
 // maxFanout. It is used by the property-based tests and by the workload
 // generators of the complexity experiments (E2, E9, E11).
 //
-// The generator appends children in document order, so NodeIDs coincide
-// with preorder numbers, matching the invariant of the HTML parser.
+// The generator grows the tree at random frontier nodes, so NodeIDs do
+// not generally coincide with preorder numbers (unlike the HTML
+// parser's strictly top-down left-to-right construction) — which makes
+// these trees a useful differential workload for the document-order
+// fast paths. Parents and left siblings still always have smaller ids
+// than their children/right siblings, as for every appended tree.
 func RandomTree(rng *rand.Rand, n int, alphabet []string, maxFanout int) *Tree {
 	if n <= 0 {
 		n = 1

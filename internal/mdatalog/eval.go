@@ -2,10 +2,13 @@ package mdatalog
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
+	"strings"
 
 	"repro/internal/datalog"
 	"repro/internal/dom"
+	"repro/internal/nodeset"
 )
 
 // Result maps each exported predicate to the set of selected nodes, in
@@ -15,10 +18,13 @@ type Result map[string][]dom.NodeID
 
 // Eval evaluates a monadic datalog program over the tree in time
 // O(|P| · |dom|) (Theorem 2.4): the program is first brought into TMNF
-// (Theorem 2.7, linear time), then grounded — constant work per
-// (rule, node) pair, since firstchild and nextsibling are partial
-// functions in both directions — and the ground Horn program is solved
-// by linear-time unit resolution.
+// (Theorem 2.7, linear time), then solved directly over packed bitsets —
+// one word vector per predicate — by rule-driven unit propagation.
+// Extensional bodies are resolved to characteristic bitsets up front, so
+// purely extensional rules apply as word operations (64 nodes per
+// instruction); rules with intensional bodies fire from a worklist in
+// constant time per derived (predicate, node) atom, which keeps the
+// total linear. No ground clause set is ever materialized.
 func Eval(p *datalog.Program, t *dom.Tree) (Result, error) {
 	tp, err := ToTMNF(p)
 	if err != nil {
@@ -38,156 +44,274 @@ func MustEval(p *datalog.Program, t *dom.Tree) Result {
 
 // EvalTMNF evaluates a TMNF program directly.
 func EvalTMNF(p *TMNFProgram, t *dom.Tree) Result {
-	g := ground(p, t)
-	g.solve()
+	e := newEvaluator(p, t)
+	e.run(p)
 	out := Result{}
-	n := t.Size()
 	for _, pred := range p.Exported {
-		pi, ok := g.predIndex[pred]
+		pi, ok := e.predIndex[pred]
 		if !ok {
 			out[pred] = nil
 			continue
 		}
-		var nodes []dom.NodeID
-		base := pi * n
-		for i := 0; i < n; i++ {
-			if g.truth[base+i] {
-				nodes = append(nodes, dom.NodeID(i))
-			}
-		}
-		out[pred] = nodes
+		out[pred] = e.nodesOf(pi)
 	}
 	return out
 }
 
-// grounder holds the ground Horn program: atoms are (predicate, node)
-// pairs encoded as pred*|dom|+node.
-type grounder struct {
-	n         int
-	predIndex map[string]int
-	truth     []bool
-	// clauses: body atom ids and head atom id; unit facts go straight to
-	// the queue.
-	clauseHead []int32
-	clauseBody [][2]int32 // at most 2 body atoms in TMNF
-	clauseLen  []int8
-	// occ[a] lists clause indices having atom a in their body.
-	occ   [][]int32
-	queue []int32
+// occEntry is one body occurrence of an intensional predicate: when an
+// atom of that predicate is derived at node x, the entry fires in O(1).
+type occEntry struct {
+	kind  RuleKind
+	head  int
+	rel   BinaryRel // Step: head holds at rel(x)
+	mask  []uint64  // And with an extensional co-body: fire iff mask has x
+	other int       // And with an intensional co-body: fire iff truth[other] has x (-1 = use mask)
 }
 
-func ground(p *TMNFProgram, t *dom.Tree) *grounder {
-	g := &grounder{n: t.Size(), predIndex: map[string]int{}}
-	intens := map[string]bool{}
-	for _, r := range p.Rules {
-		intens[r.Head] = true
-	}
-	idx := func(pred string) int {
-		i, ok := g.predIndex[pred]
-		if !ok {
-			i = len(g.predIndex)
-			g.predIndex[pred] = i
-		}
-		return i
+// evaluator holds the bitset truth store of one EvalTMNF run: one word
+// vector of |dom| bits per intensional predicate, plus the worklist of
+// derived atoms.
+type evaluator struct {
+	t         *dom.Tree
+	n         int
+	stride    int // words per predicate
+	predIndex map[string]int
+	truth     []uint64 // predIndex-major, stride words each
+	occ       [][]occEntry
+	ext       map[string][]uint64
+	queue     []atom
+}
+
+type atom struct {
+	pred int32
+	node dom.NodeID
+}
+
+func newEvaluator(p *TMNFProgram, t *dom.Tree) *evaluator {
+	e := &evaluator{
+		t:         t,
+		n:         t.Size(),
+		stride:    (t.Size() + 63) / 64,
+		predIndex: make(map[string]int, len(p.Rules)),
+		ext:       map[string][]uint64{},
 	}
 	// Pre-register heads for deterministic layout.
 	for _, r := range p.Rules {
-		idx(r.Head)
+		if _, ok := e.predIndex[r.Head]; !ok {
+			e.predIndex[r.Head] = len(e.predIndex)
+		}
 	}
-	g.truth = make([]bool, len(g.predIndex)*g.n)
-	g.occ = make([][]int32, len(g.truth))
-	atom := func(pred int, node dom.NodeID) int32 { return int32(pred*g.n + int(node)) }
+	e.truth = make([]uint64, len(e.predIndex)*e.stride)
+	e.occ = make([][]occEntry, len(e.predIndex))
+	return e
+}
 
-	addFact := func(a int32) {
-		if !g.truth[a] {
-			g.truth[a] = true
-			g.queue = append(g.queue, a)
-		}
-	}
-	addClause := func(head int32, body ...int32) {
-		if len(body) == 0 {
-			addFact(head)
-			return
-		}
-		ci := int32(len(g.clauseHead))
-		g.clauseHead = append(g.clauseHead, head)
-		var b [2]int32
-		copy(b[:], body)
-		g.clauseBody = append(g.clauseBody, b)
-		g.clauseLen = append(g.clauseLen, int8(len(body)))
-		for _, a := range body {
-			g.occ[a] = append(g.occ[a], ci)
-		}
-	}
+func (e *evaluator) words(pred int) []uint64 {
+	return e.truth[pred*e.stride : (pred+1)*e.stride]
+}
 
-	// resolveBody turns a body predicate applied at node m into either a
-	// known truth value (extensional) or an atom id (intensional).
-	resolveBody := func(pred string, m dom.NodeID) (int32, bool, bool) {
-		if intens[pred] {
-			return atom(g.predIndex[pred], m), false, false
-		}
-		return 0, true, HoldsUnary(t, pred, m)
-	}
+// nodesOf returns the members of a predicate in ascending NodeID order.
+func (e *evaluator) nodesOf(pred int) []dom.NodeID {
+	return nodeset.MembersOf(e.words(pred))
+}
 
+// derive records atom (pred, x) and schedules its consequences.
+func (e *evaluator) derive(pred int, x dom.NodeID) {
+	w := &e.truth[pred*e.stride+int(uint32(x)>>6)]
+	bit := uint64(1) << (uint32(x) & 63)
+	if *w&bit == 0 {
+		*w |= bit
+		e.queue = append(e.queue, atom{int32(pred), x})
+	}
+}
+
+// orInto unions src into a predicate word-parallel, enqueuing only the
+// newly set atoms.
+func (e *evaluator) orInto(pred int, src []uint64) {
+	base := pred * e.stride
+	for wi, s := range src {
+		diff := s &^ e.truth[base+wi]
+		if diff == 0 {
+			continue
+		}
+		e.truth[base+wi] |= diff
+		for diff != 0 {
+			e.queue = append(e.queue, atom{int32(pred), dom.NodeID(wi<<6 + bits.TrailingZeros64(diff))})
+			diff &= diff - 1
+		}
+	}
+}
+
+// run seeds the extensional-only rules word-parallel, wires occurrence
+// lists for the intensional bodies, and solves by unit propagation.
+func (e *evaluator) run(p *TMNFProgram) {
+	if e.n == 0 {
+		return
+	}
+	intens := func(pred string) (int, bool) {
+		i, ok := e.predIndex[pred]
+		return i, ok
+	}
 	for _, r := range p.Rules {
-		hp := g.predIndex[r.Head]
+		hp := e.predIndex[r.Head]
 		switch r.Kind {
 		case Copy:
-			for i := 0; i < g.n; i++ {
-				m := dom.NodeID(i)
-				a, ext, val := resolveBody(r.P0, m)
-				h := atom(hp, m)
-				if ext {
-					if val {
-						addFact(h)
-					}
-					continue
-				}
-				addClause(h, a)
+			if q, ok := intens(r.P0); ok {
+				e.occ[q] = append(e.occ[q], occEntry{kind: Copy, head: hp})
+			} else {
+				e.orInto(hp, e.extBits(r.P0))
 			}
 		case Step:
-			for i := 0; i < g.n; i++ {
-				x0 := dom.NodeID(i)
-				x := applyRel(t, r.Rel, x0)
-				if x == dom.Nil {
-					continue
-				}
-				a, ext, val := resolveBody(r.P0, x0)
-				h := atom(hp, x)
-				if ext {
-					if val {
-						addFact(h)
+			if q, ok := intens(r.P0); ok {
+				e.occ[q] = append(e.occ[q], occEntry{kind: Step, head: hp, rel: r.Rel})
+			} else {
+				nodeset.ForEachWord(e.extBits(r.P0), func(x dom.NodeID) {
+					if y := applyRel(e.t, r.Rel, x); y != dom.Nil {
+						e.derive(hp, y)
 					}
-					continue
-				}
-				addClause(h, a)
+				})
 			}
 		case And:
-			for i := 0; i < g.n; i++ {
-				m := dom.NodeID(i)
-				h := atom(hp, m)
-				a0, ext0, v0 := resolveBody(r.P0, m)
-				a1, ext1, v1 := resolveBody(r.P1, m)
-				switch {
-				case ext0 && ext1:
-					if v0 && v1 {
-						addFact(h)
-					}
-				case ext0:
-					if v0 {
-						addClause(h, a1)
-					}
-				case ext1:
-					if v1 {
-						addClause(h, a0)
-					}
-				default:
-					addClause(h, a0, a1)
+			q0, i0 := intens(r.P0)
+			q1, i1 := intens(r.P1)
+			switch {
+			case !i0 && !i1:
+				b0, b1 := e.extBits(r.P0), e.extBits(r.P1)
+				tmp := make([]uint64, e.stride)
+				for wi := range tmp {
+					tmp[wi] = b0[wi] & b1[wi]
+				}
+				e.orInto(hp, tmp)
+			case i0 && !i1:
+				e.occ[q0] = append(e.occ[q0], occEntry{kind: And, head: hp, mask: e.extBits(r.P1), other: -1})
+			case !i0 && i1:
+				e.occ[q1] = append(e.occ[q1], occEntry{kind: And, head: hp, mask: e.extBits(r.P0), other: -1})
+			default:
+				// Both intensional: either side completing the pair
+				// fires the rule (the co-body bit is already set when
+				// the later atom is processed). A duplicated body
+				// p(x) ← q(x), q(x) needs only one trigger.
+				e.occ[q0] = append(e.occ[q0], occEntry{kind: And, head: hp, other: q1})
+				if q0 != q1 {
+					e.occ[q1] = append(e.occ[q1], occEntry{kind: And, head: hp, other: q0})
 				}
 			}
 		}
 	}
-	return g
+	for len(e.queue) > 0 {
+		a := e.queue[len(e.queue)-1]
+		e.queue = e.queue[:len(e.queue)-1]
+		for _, oc := range e.occ[a.pred] {
+			switch oc.kind {
+			case Copy:
+				e.derive(oc.head, a.node)
+			case Step:
+				if y := applyRel(e.t, oc.rel, a.node); y != dom.Nil {
+					e.derive(oc.head, y)
+				}
+			case And:
+				x := a.node
+				if oc.other >= 0 {
+					if e.truth[oc.other*e.stride+int(uint32(x)>>6)]&(1<<(uint32(x)&63)) != 0 {
+						e.derive(oc.head, x)
+					}
+				} else if oc.mask[uint32(x)>>6]&(1<<(uint32(x)&63)) != 0 {
+					e.derive(oc.head, x)
+				}
+			}
+		}
+	}
+}
+
+// extBits resolves a unary extensional predicate to its characteristic
+// bitset over the tree, cached per evaluation. Label predicates reuse
+// the dom-cached label bitsets (shared, read-only); the structural
+// predicates are one O(|dom|) sweep each, computed only when the
+// program mentions them. Unknown predicates are empty, matching
+// HoldsUnary.
+func (e *evaluator) extBits(pred string) []uint64 {
+	if w, ok := e.ext[pred]; ok {
+		return w
+	}
+	var w []uint64
+	fresh := func() []uint64 { return make([]uint64, e.stride) }
+	complemented := func(src []uint64) []uint64 {
+		out := fresh()
+		for i := range out {
+			out[i] = ^src[i]
+		}
+		nodeset.TrimWords(out, e.n)
+		return out
+	}
+	t := e.t
+	switch pred {
+	case PredRoot:
+		w = fresh()
+		if r := t.Root(); r != dom.Nil {
+			w[uint32(r)>>6] |= 1 << (uint32(r) & 63)
+		}
+	case PredLeaf:
+		w = fresh()
+		for i := 0; i < e.n; i++ {
+			if t.IsLeaf(dom.NodeID(i)) {
+				w[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case PredLastSibling:
+		w = fresh()
+		for i := 0; i < e.n; i++ {
+			if t.IsLastSibling(dom.NodeID(i)) {
+				w[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case PredFirstSibling:
+		w = fresh()
+		for i := 0; i < e.n; i++ {
+			if t.IsFirstSibling(dom.NodeID(i)) {
+				w[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	case PredTextNode:
+		w = t.KindBits(dom.Text)
+	case PredNode:
+		w = fresh()
+		for i := range w {
+			w[i] = ^uint64(0)
+		}
+		nodeset.TrimWords(w, e.n)
+	case PredElement:
+		w = t.KindBits(dom.Element)
+	case PredNonElement:
+		w = complemented(t.KindBits(dom.Element))
+	case PredNonTextNode:
+		w = complemented(t.KindBits(dom.Text))
+	case PredCommentNode:
+		w = t.KindBits(dom.Comment)
+	case PredNonCommentNode:
+		w = complemented(t.KindBits(dom.Comment))
+	default:
+		if a, ok := strings.CutPrefix(pred, NLabelPrefix); ok {
+			if id := t.LabelIDFor(a); id != dom.NoLabel {
+				w = complemented(t.LabelBits(id))
+			} else {
+				w = fresh()
+				for i := range w {
+					w[i] = ^uint64(0)
+				}
+				nodeset.TrimWords(w, e.n)
+			}
+		} else if a, ok := strings.CutPrefix(pred, LabelPrefix); ok {
+			if id := t.LabelIDFor(a); id != dom.NoLabel {
+				w = t.LabelBits(id)
+			} else {
+				w = fresh()
+			}
+		} else {
+			w = fresh()
+		}
+	}
+	e.ext[pred] = w
+	return w
 }
 
 // applyRel computes the unique x with Rel(x0, x), or Nil. That this is a
@@ -208,42 +332,6 @@ func applyRel(t *dom.Tree, rel BinaryRel, x0 dom.NodeID) dom.NodeID {
 		return t.PrevSibling(x0)
 	}
 	return dom.Nil
-}
-
-// solve runs LTUR (linear-time unit resolution, [29]): a counter per
-// clause of unsatisfied body atoms; when it reaches zero the head is
-// derived. Total work is linear in the size of the ground program.
-func (g *grounder) solve() {
-	remaining := make([]int8, len(g.clauseHead))
-	copy(remaining, g.clauseLen)
-	// Account for duplicate atoms in a 2-atom body (p(x) ← q(x), q(x)).
-	for i, b := range g.clauseBody {
-		if g.clauseLen[i] == 2 && b[0] == b[1] {
-			remaining[i] = 1
-			// Remove the duplicate occurrence to avoid double decrement.
-			occ := g.occ[b[0]]
-			for j := len(occ) - 1; j >= 0; j-- {
-				if occ[j] == int32(i) {
-					g.occ[b[0]] = append(occ[:j], occ[j+1:]...)
-					break
-				}
-			}
-		}
-	}
-	for len(g.queue) > 0 {
-		a := g.queue[len(g.queue)-1]
-		g.queue = g.queue[:len(g.queue)-1]
-		for _, ci := range g.occ[a] {
-			remaining[ci]--
-			if remaining[ci] == 0 {
-				h := g.clauseHead[ci]
-				if !g.truth[h] {
-					g.truth[h] = true
-					g.queue = append(g.queue, h)
-				}
-			}
-		}
-	}
 }
 
 // Pred returns the head predicate name of a TMNF rule; it exists so that

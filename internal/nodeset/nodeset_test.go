@@ -8,9 +8,50 @@ import (
 	"repro/internal/dom"
 )
 
-// oracle computes an axis image by quadratic enumeration.
-func oracle(t *dom.Tree, s Set, holds func(x, y dom.NodeID) bool) Set {
-	out := New(t)
+// boolSet is the seed's []bool reference representation; the property
+// tests below pin that the packed bitset agrees with it bit for bit.
+type boolSet []bool
+
+func toBools(s Set) boolSet {
+	out := make(boolSet, s.Len())
+	s.ForEach(func(n dom.NodeID) { out[n] = true })
+	return out
+}
+
+func fromBools(t *dom.Tree, b boolSet) Set {
+	s := New(t)
+	for i, in := range b {
+		if in {
+			s.Add(dom.NodeID(i))
+		}
+	}
+	return s
+}
+
+func randomSet(rng *rand.Rand, t *dom.Tree) (Set, boolSet) {
+	b := make(boolSet, t.Size())
+	for i := range b {
+		b[i] = rng.Intn(3) == 0
+	}
+	return fromBools(t, b), b
+}
+
+func boolsEqual(a, b boolSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// oracle computes an axis image by quadratic enumeration over the
+// []bool representation.
+func oracle(t *dom.Tree, s boolSet, holds func(x, y dom.NodeID) bool) boolSet {
+	out := make(boolSet, t.Size())
 	for x := 0; x < t.Size(); x++ {
 		if !s[x] {
 			continue
@@ -22,18 +63,6 @@ func oracle(t *dom.Tree, s Set, holds func(x, y dom.NodeID) bool) Set {
 		}
 	}
 	return out
-}
-
-func setsEqual(a, b Set) bool {
-	if len(a) != len(b) {
-		return false
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false
-		}
-	}
-	return true
 }
 
 func TestAxisOpsAgainstOracle(t *testing.T) {
@@ -77,14 +106,11 @@ func TestAxisOpsAgainstOracle(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		tr := dom.RandomTree(rng, 1+rng.Intn(40), []string{"a", "b"}, 4)
 		tr.Reindex()
-		s := New(tr)
-		for i := range s {
-			s[i] = rng.Intn(3) == 0
-		}
+		s, sb := randomSet(rng, tr)
 		for _, op := range ops {
-			got := op.fn(tr, s)
-			want := oracle(tr, s, op.holds(tr))
-			if !setsEqual(got, want) {
+			got := toBools(op.fn(tr, s))
+			want := oracle(tr, sb, op.holds(tr))
+			if !boolsEqual(got, want) {
 				t.Logf("%s wrong on %s", op.name, tr)
 				return false
 			}
@@ -93,6 +119,101 @@ func TestAxisOpsAgainstOracle(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestBitOpsAgainstBoolReference pins the word-parallel boolean algebra
+// against the naive []bool implementation on random sets, including
+// sizes straddling word boundaries.
+func TestBitOpsAgainstBoolReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		size := 1 + rng.Intn(200)
+		tr := dom.RandomTree(rng, size, []string{"a"}, 5)
+		a, ab := randomSet(rng, tr)
+		b, bb := randomSet(rng, tr)
+
+		and := make(boolSet, size)
+		or := make(boolSet, size)
+		andNot := make(boolSet, size)
+		notA := make(boolSet, size)
+		for i := range ab {
+			and[i] = ab[i] && bb[i]
+			or[i] = ab[i] || bb[i]
+			andNot[i] = ab[i] && !bb[i]
+			notA[i] = !ab[i]
+		}
+		if !boolsEqual(toBools(a.Clone().And(b)), and) {
+			t.Log("And disagrees")
+			return false
+		}
+		if !boolsEqual(toBools(a.Clone().Or(b)), or) {
+			t.Log("Or disagrees")
+			return false
+		}
+		if !boolsEqual(toBools(a.Clone().AndNot(b)), andNot) {
+			t.Log("AndNot disagrees")
+			return false
+		}
+		if !boolsEqual(toBools(a.Clone().Not()), notA) {
+			t.Log("Not disagrees")
+			return false
+		}
+		count := 0
+		for _, in := range ab {
+			if in {
+				count++
+			}
+		}
+		if a.Count() != count || a.Empty() != (count == 0) {
+			t.Log("Count/Empty disagree")
+			return false
+		}
+		for i := range ab {
+			if a.Has(dom.NodeID(i)) != ab[i] {
+				t.Log("Has disagrees")
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNotTrimsGhostBits(t *testing.T) {
+	tr := dom.MustParseTerm("a(b,c)")
+	full := New(tr).Not()
+	if full.Count() != 3 {
+		t.Fatalf("Not() over 3 nodes has count %d; tail bits leaked", full.Count())
+	}
+	if got := full.Nodes(tr); len(got) != 3 {
+		t.Fatalf("Nodes after Not = %v", got)
+	}
+}
+
+func TestNodesDocOrderAndDedup(t *testing.T) {
+	// A tree built out of document order: root, two children, then a
+	// grandchild under the first child (id 3, document position 2).
+	tr := dom.New(4)
+	r := tr.AddRoot("r")
+	a := tr.AppendChild(r, "a")
+	b := tr.AppendChild(r, "b")
+	g := tr.AppendChild(a, "g")
+	if tr.DocOrdered() {
+		t.Fatal("tree should not be id-ordered")
+	}
+	s := FromSlice(tr, []dom.NodeID{b, g, a})
+	got := s.Nodes(tr)
+	want := []dom.NodeID{a, g, b}
+	if len(got) != len(want) {
+		t.Fatalf("Nodes = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Nodes = %v, want %v", got, want)
+		}
 	}
 }
 
@@ -107,15 +228,18 @@ func TestSetAlgebra(t *testing.T) {
 		t.Error("Singleton wrong")
 	}
 	c := s.Clone().Not()
-	if c.Count() != 2 || c[1] {
+	if c.Count() != 2 || c.Has(1) {
 		t.Error("Not wrong")
 	}
 	u := s.Clone().Or(c)
 	if u.Count() != 3 {
 		t.Error("Or wrong")
 	}
+	if !Equal(u, Full(tr)) || Equal(u, New(tr)) {
+		t.Error("Equal wrong")
+	}
 	i := u.And(Singleton(tr, 2))
-	if i.Count() != 1 || !i[2] {
+	if i.Count() != 1 || !i.Has(2) {
 		t.Error("And wrong")
 	}
 	if got := FromSlice(tr, []dom.NodeID{2, 0}).Nodes(tr); len(got) != 2 || got[0] != 0 {

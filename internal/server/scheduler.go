@@ -4,6 +4,8 @@ import (
 	"context"
 	"sync"
 	"time"
+
+	"repro/internal/xmlenc"
 )
 
 // pipeState is one scheduled pipeline plus its run-time counters. The
@@ -19,6 +21,38 @@ type pipeState struct {
 	lastErr     string
 	lastTick    time.Time
 	lastLatency time.Duration
+
+	// Rendered-response cache for GET /{name}: the latest document is
+	// the same *xmlenc.Node until the next delivery, so repeated
+	// requests on an unchanged pipeline reuse the encoded bytes.
+	renderMu   sync.Mutex
+	renderDoc  *xmlenc.Node
+	renderXML  []byte
+	renderJSON []byte
+}
+
+// render returns the encoded form of doc, reusing the cached bytes
+// while the pipeline's latest document is unchanged.
+func (ps *pipeState) render(doc *xmlenc.Node, asJSON bool) ([]byte, error) {
+	ps.renderMu.Lock()
+	defer ps.renderMu.Unlock()
+	if ps.renderDoc != doc {
+		ps.renderDoc, ps.renderXML, ps.renderJSON = doc, nil, nil
+	}
+	if asJSON {
+		if ps.renderJSON == nil {
+			data, err := xmlenc.MarshalJSONIndent(doc)
+			if err != nil {
+				return nil, err
+			}
+			ps.renderJSON = data
+		}
+		return ps.renderJSON, nil
+	}
+	if ps.renderXML == nil {
+		ps.renderXML = []byte(xmlenc.MarshalIndent(doc))
+	}
+	return ps.renderXML, nil
 }
 
 // run ticks the pipeline until ctx is cancelled. The first tick fires

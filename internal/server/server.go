@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -62,6 +63,9 @@ type Config struct {
 	ReadTimeout  time.Duration
 	WriteTimeout time.Duration
 	IdleTimeout  time.Duration
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ for live
+	// profiling of a running server.
+	EnablePprof bool
 	// Logf, when set, receives server lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -118,7 +122,7 @@ func New(cfg Config) *Server {
 // configured default). It fails on duplicate or reserved names.
 func (s *Server) Register(p Pipeline, interval time.Duration) error {
 	name := p.PipeName()
-	if name == "" || name == "healthz" || name == "statusz" {
+	if name == "" || name == "healthz" || name == "statusz" || name == "debug" {
 		return fmt.Errorf("server: invalid pipeline name %q", name)
 	}
 	if interval <= 0 {
@@ -218,6 +222,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	mux.HandleFunc("GET /{name}", s.handleLatest)
 	mux.HandleFunc("GET /{name}/history", s.handleHistory)
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -253,7 +264,18 @@ func (s *Server) handleLatest(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "no data yet", http.StatusServiceUnavailable)
 		return
 	}
-	writeDoc(w, r, doc)
+	asJSON := wantsJSON(r)
+	data, err := ps.render(doc, asJSON)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	if asJSON {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "application/xml")
+	}
+	w.Write(data)
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
@@ -288,21 +310,6 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	root.Append(docs...)
 	w.Header().Set("Content-Type", "application/xml")
 	fmt.Fprint(w, xmlenc.MarshalIndent(root))
-}
-
-func writeDoc(w http.ResponseWriter, r *http.Request, doc *xmlenc.Node) {
-	if wantsJSON(r) {
-		data, err := xmlenc.MarshalJSONIndent(doc)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(data)
-		return
-	}
-	w.Header().Set("Content-Type", "application/xml")
-	fmt.Fprint(w, xmlenc.MarshalIndent(doc))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {

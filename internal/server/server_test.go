@@ -336,3 +336,58 @@ func TestGracefulShutdownDrainsInFlightTick(t *testing.T) {
 		t.Fatalf("pipeline ticked after shutdown (%d -> %d)", started, p.ticks.Load())
 	}
 }
+
+// TestRenderCacheStableAcrossRequests pins the per-pipeline render
+// cache: while the latest document is unchanged, repeated GETs serve
+// identical bytes (from cache), and a new delivery refreshes them.
+func TestRenderCacheStableAcrossRequests(t *testing.T) {
+	p := newFakePipe("cachepipe", 0)
+	s := New(Config{})
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, body1, ct1 := get(t, ts.URL+"/cachepipe")
+	_, body2, _ := get(t, ts.URL+"/cachepipe")
+	if body1 != body2 || ct1 != "application/xml" {
+		t.Fatalf("cached responses differ: %q vs %q (%s)", body1, body2, ct1)
+	}
+	_, json1, ctj := get(t, ts.URL+"/cachepipe", "Accept", "application/json")
+	if ctj != "application/json" || json1 == body1 {
+		t.Fatalf("JSON negotiation broken under cache: %s %q", ctj, json1)
+	}
+	if err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	_, body3, _ := get(t, ts.URL+"/cachepipe")
+	if body3 == body1 {
+		t.Fatal("render cache served a stale document after a new delivery")
+	}
+}
+
+// TestPprofEndpoint verifies /debug/pprof is mounted only when enabled
+// and that "debug" is a reserved pipeline name.
+func TestPprofEndpoint(t *testing.T) {
+	off := New(Config{})
+	tsOff := httptest.NewServer(off.Handler())
+	defer tsOff.Close()
+	if code, _, _ := get(t, tsOff.URL+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("pprof disabled: GET /debug/pprof/ = %d, want 404", code)
+	}
+
+	on := New(Config{EnablePprof: true})
+	if err := on.Register(newFakePipe("debug", 0), time.Hour); err == nil {
+		t.Fatal("pipeline named debug must be rejected")
+	}
+	tsOn := httptest.NewServer(on.Handler())
+	defer tsOn.Close()
+	code, body, _ := get(t, tsOn.URL+"/debug/pprof/")
+	if code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof enabled: GET /debug/pprof/ = %d (%q...)", code, body[:min(len(body), 80)])
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/dom"
 	"repro/internal/elog"
 	"repro/internal/pib"
 	"repro/internal/xmlenc"
@@ -200,6 +201,13 @@ func (e *Engine) Run(ctx context.Context, interval time.Duration) {
 // runs an Elog wrapper against its Fetcher and emits the XML produced by
 // the XML transformer — "this component resembles the Lixto Visual
 // Wrapper".
+//
+// Polls are memoized on page content: every run records the fetched
+// pages' fingerprints (dom.Tree.Fingerprint), and the next poll first
+// re-fetches only those pages. If every fingerprint is unchanged, the
+// wrapper evaluation is deterministic on the same inputs, so the
+// previous output document is re-emitted without re-running the Elog
+// program or the XML transformation. Set NoCache to disable.
 type WrapperSource struct {
 	CompName string
 	Fetcher  elog.Fetcher
@@ -209,7 +217,67 @@ type WrapperSource struct {
 	// slower upgrade intervals (charts vs radio, Section 6.1) poll less
 	// often.
 	Every int
-	tick  int
+	// NoCache disables the fingerprint-keyed result cache.
+	NoCache bool
+	tick    int
+
+	// Last successful run: the URLs fetched (in order), their tree
+	// fingerprints, and the emitted document.
+	lastURLs []string
+	lastFPs  []uint64
+	lastDoc  *xmlenc.Node
+	// CacheHits counts polls answered from the fingerprint cache.
+	CacheHits int
+}
+
+// recordingFetcher wraps a Fetcher, recording each fetched URL and the
+// fingerprint of the returned tree. Pages already fetched by the
+// cache recheck are served from prefetched, so a cache miss never
+// fetches a page twice in one poll.
+type recordingFetcher struct {
+	inner      elog.Fetcher
+	prefetched map[string]*dom.Tree
+	urls       []string
+	fps        []uint64
+}
+
+func (r *recordingFetcher) Fetch(url string) (*dom.Tree, error) {
+	t, ok := r.prefetched[url]
+	if !ok {
+		var err error
+		t, err = r.inner.Fetch(url)
+		if err != nil {
+			return nil, err
+		}
+	}
+	r.urls = append(r.urls, url)
+	r.fps = append(r.fps, t.Fingerprint())
+	return t, nil
+}
+
+// unchanged reports whether re-fetching every page of the last run
+// yields the same fingerprints. The fetched trees are retained in
+// prefetched either way, so on a miss the evaluator reuses them.
+func (s *WrapperSource) unchanged(prefetched map[string]*dom.Tree) bool {
+	if s.lastDoc == nil {
+		return false
+	}
+	same := true
+	for i, url := range s.lastURLs {
+		t, ok := prefetched[url]
+		if !ok {
+			var err error
+			t, err = s.Fetcher.Fetch(url)
+			if err != nil {
+				return false
+			}
+			prefetched[url] = t
+		}
+		if t.Fingerprint() != s.lastFPs[i] {
+			same = false
+		}
+	}
+	return same
 }
 
 // Name implements Component.
@@ -230,7 +298,17 @@ func (s *WrapperSource) Poll() ([]*xmlenc.Node, error) {
 	if (s.tick-1)%every != 0 {
 		return nil, nil
 	}
-	ev := elog.NewEvaluator(s.Fetcher)
+	prefetched := map[string]*dom.Tree{}
+	if !s.NoCache {
+		if s.unchanged(prefetched) {
+			s.CacheHits++
+			return []*xmlenc.Node{s.lastDoc}, nil
+		}
+	} else {
+		prefetched = nil
+	}
+	rec := &recordingFetcher{inner: s.Fetcher, prefetched: prefetched}
+	ev := elog.NewEvaluator(rec)
 	base, err := ev.Run(s.Program)
 	if err != nil {
 		return nil, err
@@ -241,6 +319,7 @@ func (s *WrapperSource) Poll() ([]*xmlenc.Node, error) {
 	}
 	doc := design.Transform(base)
 	doc.SetAttr("source", s.CompName)
+	s.lastURLs, s.lastFPs, s.lastDoc = rec.urls, rec.fps, doc
 	return []*xmlenc.Node{doc}, nil
 }
 

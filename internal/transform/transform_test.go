@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/elog"
+	"repro/internal/htmlparse"
 	"repro/internal/pib"
 	"repro/internal/web"
 	"repro/internal/xmlenc"
@@ -314,5 +315,49 @@ func TestRunWallClock(t *testing.T) {
 	case <-done:
 	case <-time.After(time.Second):
 		t.Fatal("Run did not stop on context cancel")
+	}
+}
+
+// TestWrapperSourceFingerprintCache pins the fingerprint-keyed poll
+// cache: unchanged pages re-emit the previous document without
+// re-running the wrapper; any page mutation invalidates the cache.
+func TestWrapperSourceFingerprintCache(t *testing.T) {
+	page := htmlparse.Parse(`<html><body><p class="x">one</p></body></html>`)
+	src := &WrapperSource{
+		CompName: "w",
+		Fetcher:  elog.MapFetcher{"site/page.html": page},
+		Program: elog.MustParse(`
+page(S, X) <- document("site/page.html", S), subelem(S, .body, X)
+`),
+	}
+	poll := func() *xmlenc.Node {
+		t.Helper()
+		docs, err := src.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(docs) != 1 {
+			t.Fatalf("poll emitted %d docs, want 1", len(docs))
+		}
+		return docs[0]
+	}
+	d1 := poll()
+	d2 := poll()
+	if d2 != d1 || src.CacheHits != 1 {
+		t.Fatalf("unchanged page: got new document (hits=%d), want cache hit", src.CacheHits)
+	}
+	// Mutate the page: the fingerprint changes and the wrapper re-runs.
+	page.AppendText(page.Root(), "extra")
+	d3 := poll()
+	if d3 == d1 || src.CacheHits != 1 {
+		t.Fatalf("changed page: poll reused stale document (hits=%d)", src.CacheHits)
+	}
+	if d4 := poll(); d4 != d3 || src.CacheHits != 2 {
+		t.Fatalf("re-poll after change should hit cache again (hits=%d)", src.CacheHits)
+	}
+	// NoCache disables memoization entirely.
+	src.NoCache = true
+	if d5 := poll(); d5 == d3 || src.CacheHits != 2 {
+		t.Fatalf("NoCache poll must re-evaluate (hits=%d)", src.CacheHits)
 	}
 }

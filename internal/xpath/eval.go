@@ -43,7 +43,7 @@ func EvalCore(p *Path, t *dom.Tree, context []dom.NodeID) ([]dom.NodeID, error) 
 		// A final context still containing the virtual root (query "/")
 		// materializes as the root element — the closest representable
 		// node.
-		res[t.Root()] = true
+		res.Add(t.Root())
 	}
 	return res.Nodes(t), nil
 }
@@ -59,11 +59,9 @@ func evalSteps(t *dom.Tree, steps []Step, ctx nodeset.Set, virtual bool) (nodese
 		if virtual {
 			switch s.Axis {
 			case AxisChild:
-				next[t.Root()] = true
+				next.Add(t.Root())
 			case AxisDescendant, AxisDescendantOrSelf:
-				for i := range next {
-					next[i] = true
-				}
+				next.Or(nodeset.Full(t))
 			}
 		}
 		// Does the virtual root survive this step? Only self and
@@ -148,25 +146,31 @@ func inverseAxis(a Axis) Axis {
 	return a
 }
 
-// testSet returns the set of nodes passing a node test.
+// testSet returns the set of nodes passing a node test. With interned
+// labels and the dom-cached characteristic bitsets this is a word copy,
+// not a |dom| string-comparison sweep.
 func testSet(t *dom.Tree, nt NodeTest) nodeset.Set {
-	out := nodeset.New(t)
-	for i := 0; i < t.Size(); i++ {
-		n := dom.NodeID(i)
-		switch nt.Kind {
-		case TestName:
-			out[i] = t.Kind(n) == dom.Element && t.Label(n) == nt.Name
-		case TestAny:
-			out[i] = t.Kind(n) == dom.Element
-		case TestText:
-			out[i] = t.Kind(n) == dom.Text
-		case TestComment:
-			out[i] = t.Kind(n) == dom.Comment
-		case TestNode:
-			out[i] = true
+	switch nt.Kind {
+	case TestName:
+		id := t.LabelIDFor(nt.Name)
+		if id == dom.NoLabel {
+			return nodeset.New(t)
 		}
+		// The element-kind mask keeps the seed semantics exact even for
+		// perverse trees where a tag label collides with the #text or
+		// #comment pseudo-labels.
+		out := nodeset.FromWords(t, t.LabelBits(id))
+		return out.And(nodeset.FromWords(t, t.KindBits(dom.Element)))
+	case TestAny:
+		return nodeset.FromWords(t, t.KindBits(dom.Element))
+	case TestText:
+		return nodeset.FromWords(t, t.KindBits(dom.Text))
+	case TestComment:
+		return nodeset.FromWords(t, t.KindBits(dom.Comment))
+	case TestNode:
+		return nodeset.Full(t)
 	}
-	return out
+	return nodeset.New(t)
 }
 
 // condSet computes the set of nodes at which a Core XPath condition
@@ -215,13 +219,10 @@ func condHoldsAtVirtualRoot(t *dom.Tree, e Expr) bool {
 func existsSet(t *dom.Tree, p *Path) nodeset.Set {
 	if p.Absolute {
 		res, virt := evalSteps(t, p.Steps, nodeset.New(t), true)
-		out := nodeset.New(t)
 		if virt || !res.Empty() {
-			for i := range out {
-				out[i] = true
-			}
+			return nodeset.Full(t)
 		}
-		return out
+		return nodeset.New(t)
 	}
 	target := nodeset.Full(t)
 	for i := len(p.Steps) - 1; i >= 0; i-- {

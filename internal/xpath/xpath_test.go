@@ -632,3 +632,96 @@ func TestEvalFullChainedPredicatesRerank(t *testing.T) {
 		t.Errorf("selected row %q", txt)
 	}
 }
+
+// TestCompiledMatchesEval pins that compiled queries dispatch to the
+// same evaluator as the direct entry points, and that the
+// fingerprint-keyed cache stays coherent across document mutations.
+func TestCompiledMatchesEval(t *testing.T) {
+	doc := htmlparse.Parse(`<body><div><span>a</span></div><div><b>x</b><span>b</span></div></body>`)
+	for _, q := range []string{
+		"//div[span and not(b)]//span",
+		"/html/body/div",
+		"//div[position() = 2]",
+	} {
+		c, err := Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.Eval(doc, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var direct []dom.NodeID
+		if c.IsCore() {
+			direct, err = EvalCore(c.Path, doc, nil)
+		} else {
+			direct, err = EvalFull(c.Path, doc, nil)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !nodesEqual(want, direct) {
+			t.Fatalf("%s: Compiled.Eval %v != direct %v", q, want, direct)
+		}
+		for i := 0; i < 3; i++ {
+			got, err := c.EvalCached(doc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !nodesEqual(got, want) {
+				t.Fatalf("%s: cached eval %v != %v", q, got, want)
+			}
+		}
+	}
+	// A mutation must invalidate cached results.
+	c := MustCompile("//span")
+	before, err := c.EvalCached(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := doc.FirstChild(doc.Root())
+	doc.AppendChild(body, "span")
+	after, err := c.EvalCached(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) != len(before)+1 {
+		t.Fatalf("cache served stale results: before %v, after %v", before, after)
+	}
+	fresh, err := EvalCore(c.Path, doc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nodesEqual(after, fresh) {
+		t.Fatalf("cached %v != fresh %v", after, fresh)
+	}
+}
+
+// TestCompiledCachedRandomDifferential cross-checks EvalCached against
+// EvalCore on the random-tree generator, interleaving repeated lookups.
+func TestCompiledCachedRandomDifferential(t *testing.T) {
+	queries := []*Compiled{
+		MustCompile("//a//b"),
+		MustCompile("//a[b and not(parent::b)]"),
+		MustCompile("//b[following-sibling::a]"),
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 25; i++ {
+		tr := dom.RandomTree(rng, 1+rng.Intn(120), []string{"a", "b", "c"}, 4)
+		for _, c := range queries {
+			want, err := EvalCore(c.Path, tr, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for rep := 0; rep < 2; rep++ {
+				got, err := c.EvalCached(tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !nodesEqual(got, want) {
+					t.Fatalf("tree %d query %s: cached %v != core %v", i, c, got, want)
+				}
+			}
+		}
+	}
+}
