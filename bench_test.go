@@ -180,16 +180,22 @@ currency(S, X) <- price(_, S), subtext(S, \var[Y], X), isCurrency(Y)
 `
 
 // BenchmarkE08_Figure5_EbayWrapper: the complete Figure 5 program on a
-// generated listing.
+// generated listing — the seed interpreter against the compiled bitset
+// execution (elog.Compile), cold and with a warm fingerprint-keyed
+// match cache (the continuous-wrapping server path).
 func BenchmarkE08_Figure5_EbayWrapper(b *testing.B) {
 	sim := web.New()
 	site := web.NewAuctionSite(8, 100)
 	site.PageSize = 100
 	site.Register(sim, "www.ebay.com")
+	page, err := sim.Fetch("www.ebay.com/")
+	if err != nil {
+		b.Fatal(err)
+	}
+	fetch := elog.MapFetcher{"www.ebay.com/": page}
 	prog := elog.MustParse(ebayFigure5)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		base, err := elog.NewEvaluator(sim).Run(prog)
+	checkRun := func(b *testing.B, base *pib.Base, err error) {
+		b.Helper()
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -197,6 +203,28 @@ func BenchmarkE08_Figure5_EbayWrapper(b *testing.B) {
 			b.Fatalf("records = %d", len(base.Instances("record")))
 		}
 	}
+	b.Run("interpreted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			base, err := elog.NewEvaluator(fetch).Run(prog)
+			checkRun(b, base, err)
+		}
+	})
+	b.Run("compiled-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			base, err := elog.NewEvaluator(fetch).RunCompiled(elog.MustCompile(prog))
+			checkRun(b, base, err)
+		}
+	})
+	b.Run("compiled-cached", func(b *testing.B) {
+		cp := elog.MustCompile(prog)
+		base, err := elog.NewEvaluator(fetch).RunCompiled(cp) // warm the match cache
+		checkRun(b, base, err)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			base, err := elog.NewEvaluator(fetch).RunCompiled(cp)
+			checkRun(b, base, err)
+		}
+	})
 }
 
 // BenchmarkE09_CoreXPathLinear: Core XPath combined complexity (one

@@ -50,6 +50,7 @@ func main() {
 	e10NaiveVsPolynomial()
 	e11Dichotomy()
 	e12TranslationSizes()
+	e18ElogCompiled()
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -109,6 +110,45 @@ func writeBenchJSON(path string) error {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := compiled.EvalCached(xtr); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// End-to-end Elog: the Figure 5 eBay wrapper on a fixed pre-parsed
+	// page — seed interpreter vs compiled bitset execution, cold and
+	// with a warm fingerprint-keyed match cache (the repeated
+	// extraction of an unchanged page that the server performs every
+	// tick).
+	eprog := elog.MustParse(ebayFigure5)
+	fetch, err := ebayFetcher(50)
+	if err != nil {
+		return err
+	}
+	add("E18_ElogEbay/interpreted", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := elog.NewEvaluator(fetch).Run(eprog); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	add("E18_ElogEbay/compiled-cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := elog.NewEvaluator(fetch).RunCompiled(elog.MustCompile(eprog)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	ecp := elog.MustCompile(eprog)
+	if _, err := elog.NewEvaluator(fetch).RunCompiled(ecp); err != nil { // warm the cache
+		return err
+	}
+	add("E18_ElogEbay/compiled-cached", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := elog.NewEvaluator(fetch).RunCompiled(ecp); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -404,6 +444,54 @@ func easyQuery(k int) *cq.Query {
 		q.Edges = append(q.Edges, cq.EdgeAtom{Axis: ax, X: cq.Var(i), Y: cq.Var(i + 1)})
 	}
 	return q
+}
+
+// ebayFetcher parses one generated n-item eBay listing into a fixed
+// in-memory fetcher, so the measured work is extraction alone.
+func ebayFetcher(n int) (elog.MapFetcher, error) {
+	site := web.NewAuctionSite(8, n)
+	site.PageSize = n
+	sim := web.New()
+	site.Register(sim, "www.ebay.com")
+	page, err := sim.Fetch("www.ebay.com/")
+	if err != nil {
+		return nil, err
+	}
+	return elog.MapFetcher{"www.ebay.com/": page}, nil
+}
+
+func e18ElogCompiled() {
+	header("E18", "compiled Elog wrappers on the bitset kernel (PR 3)",
+		"compiled execution beats the interpreter; repeated extraction of an unchanged page is >=2x faster again")
+	prog := elog.MustParse(ebayFigure5)
+	fmt.Printf("   %8s %14s %14s %14s %10s %10s\n",
+		"items", "interpreted", "compiled-cold", "compiled-hot", "vs-interp", "hot-vs-cold")
+	for _, n := range []int{25, 50, 100} {
+		fetch, err := ebayFetcher(n)
+		check(err)
+		di := timeIt(func() {
+			if _, err := elog.NewEvaluator(fetch).Run(prog); err != nil {
+				panic(err)
+			}
+		})
+		dc := timeIt(func() {
+			if _, err := elog.NewEvaluator(fetch).RunCompiled(elog.MustCompile(prog)); err != nil {
+				panic(err)
+			}
+		})
+		cp := elog.MustCompile(prog)
+		if _, err := elog.NewEvaluator(fetch).RunCompiled(cp); err != nil { // warm
+			panic(err)
+		}
+		dh := timeIt(func() {
+			if _, err := elog.NewEvaluator(fetch).RunCompiled(cp); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("   %8d %14s %14s %14s %9.1fx %9.1fx\n",
+			n, di.Round(time.Microsecond), dc.Round(time.Microsecond), dh.Round(time.Microsecond),
+			float64(di)/float64(dh), float64(dc)/float64(dh))
+	}
 }
 
 func e12TranslationSizes() {

@@ -29,6 +29,9 @@ func main() {
 	programPath := flag.String("program", "", "path to the Elog program (required)")
 	aux := flag.String("aux", "document", "comma-separated auxiliary patterns")
 	root := flag.String("root", "lixto", "output document element name")
+	interpret := flag.Bool("interpret", false, "run the seed interpreter instead of the compiled program")
+	concurrency := flag.Int("concurrency", 0, "max parallel page fetches while crawling (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print compiled match-cache statistics to stderr after wrapping")
 	flag.Parse()
 	if *programPath == "" {
 		fmt.Fprintln(os.Stderr, "elogc: -program is required")
@@ -44,6 +47,10 @@ func main() {
 		fatal(err)
 	}
 	w.Design.RootName = *root
+	w.MaxConcurrency = *concurrency
+	if *interpret {
+		w.Compiled = nil // fall back to the seed interpreter
+	}
 	for _, p := range strings.Split(*aux, ",") {
 		if p != "" {
 			w.SetAuxiliary(strings.TrimSpace(p))
@@ -76,6 +83,14 @@ func main() {
 		fatal(err)
 	}
 	fmt.Print(xmlenc.MarshalIndent(xml))
+	if *stats {
+		if w.Compiled != nil {
+			hits, misses := w.Compiled.Stats()
+			fmt.Fprintf(os.Stderr, "elogc: match cache: %d hits, %d misses\n", hits, misses)
+		} else {
+			fmt.Fprintln(os.Stderr, "elogc: match-cache stats unavailable with -interpret")
+		}
+	}
 }
 
 func fatal(err error) {

@@ -21,6 +21,24 @@ func tickEngine(e *transform.Engine, step func()) error {
 	return nil
 }
 
+// Each application also surfaces its engine's wrapper memoization
+// counters (implementing server.ExtractionStatser), so /statusz
+// reports per-pipeline extraction-cache hits.
+
+// ExtractionStats sums the engine's wrapper-source cache counters.
+func (a *NowPlaying) ExtractionStats() transform.ExtractionStats { return a.Engine.ExtractionStats() }
+
+// ExtractionStats sums the engine's wrapper-source cache counters.
+func (a *FlightInfo) ExtractionStats() transform.ExtractionStats { return a.Engine.ExtractionStats() }
+
+// ExtractionStats sums the engine's wrapper-source cache counters.
+func (a *PressClipping) ExtractionStats() transform.ExtractionStats {
+	return a.Engine.ExtractionStats()
+}
+
+// ExtractionStats sums the engine's wrapper-source cache counters.
+func (a *PowerTrading) ExtractionStats() transform.ExtractionStats { return a.Engine.ExtractionStats() }
+
 // PipeName returns the server route name for the Now Playing portal.
 func (a *NowPlaying) PipeName() string { return "nowplaying" }
 

@@ -31,24 +31,38 @@ import (
 // Wrapper is a compiled Elog wrapper together with its XML design.
 type Wrapper struct {
 	Program *elog.Program
-	Design  *pib.Design
+	// Compiled is the bitset-lowered form of Program (elog.Compile):
+	// extraction runs on it, and its fingerprint-keyed match caches
+	// persist across Wrap calls, so re-wrapping unchanged pages skips
+	// the pattern-matching tree walks. Program must not be mutated
+	// after CompileWrapper.
+	Compiled *elog.CompiledProgram
+	Design   *pib.Design
 	// Concepts can be extended with application-specific semantic or
 	// syntactic concepts before wrapping.
 	Concepts *concepts.Base
 	// MaxDocuments bounds crawling (0 = default).
 	MaxDocuments int
+	// MaxConcurrency bounds the crawl frontier's parallel fetches
+	// (0 = GOMAXPROCS).
+	MaxConcurrency int
 }
 
-// CompileWrapper parses an Elog program and returns a wrapper with the
-// default XML design (document instances auxiliary, patterns emitted
-// under their own names).
+// CompileWrapper parses and compiles an Elog program and returns a
+// wrapper with the default XML design (document instances auxiliary,
+// patterns emitted under their own names).
 func CompileWrapper(src string) (*Wrapper, error) {
 	p, err := elog.Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	cp, err := elog.Compile(p)
+	if err != nil {
+		return nil, err
+	}
 	return &Wrapper{
 		Program:  p,
+		Compiled: cp,
 		Design:   &pib.Design{Auxiliary: map[string]bool{"document": true}},
 		Concepts: concepts.NewBase(),
 	}, nil
@@ -84,7 +98,8 @@ func (w *Wrapper) Rename(pattern, element string) *Wrapper {
 }
 
 // Extract runs the wrapper against the fetcher and returns the pattern
-// instance base.
+// instance base, on the compiled form when present (always, for
+// wrappers built by CompileWrapper).
 func (w *Wrapper) Extract(f elog.Fetcher) (*pib.Base, error) {
 	ev := elog.NewEvaluator(f)
 	if w.Concepts != nil {
@@ -92,6 +107,10 @@ func (w *Wrapper) Extract(f elog.Fetcher) (*pib.Base, error) {
 	}
 	if w.MaxDocuments > 0 {
 		ev.MaxDocuments = w.MaxDocuments
+	}
+	ev.MaxConcurrency = w.MaxConcurrency
+	if w.Compiled != nil {
+		return ev.RunCompiled(w.Compiled)
 	}
 	return ev.Run(w.Program)
 }

@@ -2,59 +2,39 @@ package datalog
 
 import (
 	"fmt"
+
+	"repro/internal/strata"
 )
 
 // Stratify partitions the program's intensional predicates into strata
 // such that negative dependencies only point to strictly lower strata.
 // It returns the rules grouped by stratum in evaluation order, or an
 // error if the program is not stratifiable (a negative cycle exists).
+//
+// The stratum numbers come from the shared solver in internal/strata
+// (also used by the Elog engine). Dependencies on extensional
+// predicates are dropped before solving: EDB facts are fully known
+// before evaluation, so negation on them needs no stratification.
 func Stratify(p *Program) ([][]Rule, error) {
 	idb := map[string]bool{}
 	for _, r := range p.Rules {
 		idb[r.Head.Pred] = true
 	}
-	// stratum numbers, computed by the classical iterative algorithm.
-	stratum := map[string]int{}
-	for pred := range idb {
-		stratum[pred] = 0
-	}
-	n := len(idb)
-	for iter := 0; ; iter++ {
-		if iter > n+1 {
-			return nil, fmt.Errorf("datalog: program is not stratifiable (cycle through negation)")
-		}
-		changed := false
-		for _, r := range p.Rules {
-			h := stratum[r.Head.Pred]
-			for _, a := range r.Body {
-				if !idb[a.Pred] {
-					continue
-				}
-				b := stratum[a.Pred]
-				var need int
-				if a.Negated {
-					need = b + 1
-				} else {
-					need = b
-				}
-				if h < need {
-					stratum[r.Head.Pred] = need
-					h = need
-					changed = true
-				}
+	deps := make([]strata.Rule, 0, len(p.Rules))
+	for _, r := range p.Rules {
+		sr := strata.Rule{Head: r.Head.Pred}
+		for _, a := range r.Body {
+			if idb[a.Pred] {
+				sr.Deps = append(sr.Deps, strata.Dep{Pred: a.Pred, Negated: a.Negated})
 			}
 		}
-		if !changed {
-			break
-		}
+		deps = append(deps, sr)
 	}
-	max := 0
-	for _, s := range stratum {
-		if s > max {
-			max = s
-		}
+	stratum, err := strata.Solve(deps)
+	if err != nil {
+		return nil, fmt.Errorf("datalog: program is not stratifiable (cycle through negation)")
 	}
-	out := make([][]Rule, max+1)
+	out := make([][]Rule, strata.Height(stratum))
 	for _, r := range p.Rules {
 		s := stratum[r.Head.Pred]
 		out[s] = append(out[s], r)

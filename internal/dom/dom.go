@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // NodeID identifies a node within a single Tree. The zero Tree has no
@@ -108,6 +109,11 @@ type Tree struct {
 	// fp caches Fingerprint; valid while fpValid.
 	fp      uint64
 	fpValid bool
+
+	// warmMu serializes Warm, so concurrent warmers (crawl-frontier
+	// workers handed the same tree under different URLs) do not race on
+	// the lazy caches above.
+	warmMu sync.Mutex
 }
 
 // New returns an empty tree with capacity hint n.
@@ -303,6 +309,33 @@ func (t *Tree) Fingerprint() uint64 {
 	t.fp = h
 	t.fpValid = true
 	return h
+}
+
+// Warm eagerly builds every lazily-cached structure of the tree — the
+// pre/post index, the label and kind bitsets, and the content
+// fingerprint. A warmed tree is effectively read-only as long as it is
+// not mutated, so multiple goroutines may evaluate queries over it
+// concurrently; the parallel crawl frontier warms every fetched
+// document on its worker before publishing it. Warm itself is safe to
+// call from multiple goroutines (callers serialize on an internal
+// lock), which covers fetchers that hand the same tree out under
+// several URLs; the read accessors stay lock-free and must not run
+// concurrently with the first Warm of a tree.
+func (t *Tree) Warm() {
+	t.warmMu.Lock()
+	defer t.warmMu.Unlock()
+	t.ensureIndex()
+	t.ensureBits()
+	t.Fingerprint()
+}
+
+// WarmIndex builds only the pre/post index, under the same lock as
+// Warm — the part interpreted evaluation reads. Use it when the label
+// bitsets and fingerprint would be dead weight.
+func (t *Tree) WarmIndex() {
+	t.warmMu.Lock()
+	defer t.warmMu.Unlock()
+	t.ensureIndex()
 }
 
 // SetAttr sets attribute name to value on element node n, replacing any

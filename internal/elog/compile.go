@@ -1,0 +1,199 @@
+package elog
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dom"
+	"repro/internal/nodeset"
+)
+
+// CompiledProgram is a parsed and analyzed Elog program: a reusable
+// value mirroring the xpath.Compile design. Compiling resolves the
+// stratification once and lowers every element path definition onto
+// the packed-bitset kernel — each tag test becomes a word-parallel
+// intersection with the document's interned-label bitsets
+// (dom.LabelBits via internal/nodeset), with per-node work left only
+// for the attribute/variable conditions. Per-document match results
+// are memoized keyed on the tree's content fingerprint, so re-wrapping
+// an unchanged page costs hash lookups instead of tree walks.
+//
+// A CompiledProgram is safe for concurrent use: multiple evaluators
+// (server ticks, parallel Run calls) may share one, provided the
+// document trees themselves are not shared unwarmed between goroutines
+// (the crawl frontier warms every tree it fetches; see dom.Tree.Warm).
+type CompiledProgram struct {
+	// Program is the source program (read-only after Compile).
+	Program *Program
+	strata  [][]*Rule
+	epds    map[*EPD]*compiledEPD
+
+	hits, misses atomic.Uint64
+}
+
+// Compile stratifies the program and lowers its element path
+// definitions for bitset execution. It fails exactly when Run would:
+// on programs with a cycle through a negated pattern reference.
+func Compile(p *Program) (*CompiledProgram, error) {
+	strata, err := Stratify(p)
+	if err != nil {
+		return nil, err
+	}
+	cp := &CompiledProgram{Program: p, strata: strata, epds: map[*EPD]*compiledEPD{}}
+	add := func(e *EPD) {
+		if e != nil && cp.epds[e] == nil {
+			cp.epds[e] = newCompiledEPD(e)
+		}
+	}
+	for _, r := range p.Rules {
+		if r.Extract != nil {
+			// Subsq Start/End are SelfMatch-only delimiters (per-node
+			// checks on already-selected children); nothing to lower.
+			add(r.Extract.EPD)
+			add(r.Extract.From)
+		}
+		for _, c := range r.Conds {
+			switch cc := c.(type) {
+			case BeforeCond:
+				add(cc.EPD)
+			case ContainsCond:
+				add(cc.EPD)
+			}
+		}
+	}
+	return cp, nil
+}
+
+// MustCompile panics on error, for tests and package-level wrappers.
+func MustCompile(p *Program) *CompiledProgram {
+	cp, err := Compile(p)
+	if err != nil {
+		panic(err)
+	}
+	return cp
+}
+
+// Stats returns the cumulative fingerprint-cache counters across all
+// compiled paths: hits are pattern matches answered without touching
+// the document tree.
+func (cp *CompiledProgram) Stats() (hits, misses uint64) {
+	return cp.hits.Load(), cp.misses.Load()
+}
+
+// maxEPDCache bounds each compiled path's memo table. Entries are keyed
+// per (document fingerprint, context node set), so a parent pattern
+// with many instances produces many keys; when the table fills it is
+// reset wholesale, like the xpath compiled-query cache.
+const maxEPDCache = 4096
+
+// epdCacheKey identifies one memoized match: the document content
+// fingerprint, a hash of the context roots, and the two match-mode
+// flags. Hash collisions are as unlikely as fingerprint collisions
+// (~2^-64), the same trade the xpath cache makes.
+type epdCacheKey struct {
+	fp, roots  uint64
+	asChildren bool
+	deep       bool
+}
+
+// compiledEPD is one lowered element path definition plus its memo
+// table. The deep variant (implicit leading descent, used by context
+// and internal conditions) shares the table under the key's deep flag.
+type compiledEPD struct {
+	epd  *EPD
+	deep *EPD
+
+	mu    sync.Mutex
+	cache map[epdCacheKey][]epdMatch
+}
+
+func newCompiledEPD(e *EPD) *compiledEPD {
+	return &compiledEPD{
+		epd:   e,
+		deep:  &EPD{Steps: append([]EPDStep{{Kind: "deep"}}, e.Steps...), Conds: e.Conds},
+		cache: map[epdCacheKey][]epdMatch{},
+	}
+}
+
+// match evaluates the path over the bitset kernel, memoized per
+// document fingerprint and context set. The returned slice and the
+// binds maps inside it are shared cache entries: callers must treat
+// them as read-only, which every evaluator call site does (bindings
+// are copied into fresh maps before use).
+func (ce *compiledEPD) match(cp *CompiledProgram, t *dom.Tree, roots []dom.NodeID, asChildren, deep bool) []epdMatch {
+	key := epdCacheKey{fp: t.Fingerprint(), roots: hashNodes(roots), asChildren: asChildren, deep: deep}
+	ce.mu.Lock()
+	m, ok := ce.cache[key]
+	ce.mu.Unlock()
+	if ok {
+		cp.hits.Add(1)
+		return m
+	}
+	cp.misses.Add(1)
+	e := ce.epd
+	if deep {
+		e = ce.deep
+	}
+	m = bitsetMatch(e, t, roots, asChildren)
+	ce.mu.Lock()
+	if len(ce.cache) >= maxEPDCache {
+		ce.cache = make(map[epdCacheKey][]epdMatch, 64)
+	}
+	ce.cache[key] = m
+	ce.mu.Unlock()
+	return m
+}
+
+// bitsetMatch is the compiled analogue of EPD.Match: each step advances
+// a packed node set — descent is a single-sweep DescendantsOrSelf
+// image, tag tests are word-parallel intersections with the interned
+// labels' characteristic bitsets — and only the attribute conditions
+// fall back to per-node checks. Matches come out in document order;
+// the interpreter's discovery order can differ, but the match sets are
+// identical and every downstream consumer is order-insensitive (the
+// XML transformer re-sorts siblings by document order).
+func bitsetMatch(e *EPD, t *dom.Tree, roots []dom.NodeID, rootsAsChildren bool) []epdMatch {
+	ctx := nodeset.FromSlice(t, roots)
+	for si := range e.Steps {
+		step := &e.Steps[si]
+		if step.Kind == "deep" {
+			ctx = nodeset.DescendantsOrSelf(t, ctx)
+			continue
+		}
+		cand := ctx
+		if !(si == 0 && rootsAsChildren) {
+			cand = nodeset.Children(t, ctx)
+		}
+		switch step.Kind {
+		case "tag":
+			sel := nodeset.New(t)
+			for _, tag := range append([]string{step.Tag}, step.Alts...) {
+				if id := t.LabelIDFor(tag); id != dom.NoLabel {
+					sel.OrWords(t.LabelBits(id))
+				}
+			}
+			ctx = cand.And(sel).AndWords(t.KindBits(dom.Element))
+		case "star":
+			ctx = cand.AndWords(t.KindBits(dom.Element))
+		default: // "content": any child node
+			ctx = cand
+		}
+		if ctx.Empty() {
+			return nil
+		}
+	}
+	return e.applyConds(t, ctx.Nodes(t))
+}
+
+// hashNodes is FNV-1a over the context node ids.
+func hashNodes(nodes []dom.NodeID) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, n := range nodes {
+		h = (h ^ uint64(uint32(n))) * prime64
+	}
+	return h
+}

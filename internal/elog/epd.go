@@ -418,9 +418,17 @@ func (e *EPD) Match(t *dom.Tree, roots []dom.NodeID, rootsAsChildren bool) []epd
 			return nil
 		}
 	}
-	// Apply attribute conditions.
+	return e.applyConds(t, ctx)
+}
+
+// applyConds filters candidate nodes through the attribute conditions,
+// returning one match (with regvar bindings) per surviving node, in
+// input order. Both the interpreted Match above and the compiled bitset
+// matcher funnel through here, so the condition semantics have a single
+// home.
+func (e *EPD) applyConds(t *dom.Tree, nodes []dom.NodeID) []epdMatch {
 	var out []epdMatch
-	for _, n := range ctx {
+	for _, n := range nodes {
 		binds := map[string]string{}
 		ok := true
 		for i := range e.Conds {

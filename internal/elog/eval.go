@@ -9,6 +9,7 @@ import (
 	"repro/internal/concepts"
 	"repro/internal/dom"
 	"repro/internal/pib"
+	"repro/internal/strata"
 )
 
 // errCrawlLimit marks the crawl guard tripping; unlike a dangling link,
@@ -17,6 +18,10 @@ var errCrawlLimit = errors.New("elog: crawl limit")
 
 // Fetcher resolves URLs to parsed HTML documents. The simulated web of
 // internal/web provides one; tests use in-memory maps.
+//
+// The evaluator's crawl frontier calls Fetch from multiple goroutines,
+// so fetchers must be safe for concurrent use (internal/web is; a bare
+// MapFetcher is, as map reads).
 type Fetcher interface {
 	Fetch(url string) (*dom.Tree, error)
 }
@@ -51,6 +56,11 @@ type Evaluator struct {
 	// MaxInstances bounds the pattern instance base (default 100000),
 	// guarding against runaway recursive wrapping.
 	MaxInstances int
+	// MaxConcurrency bounds how many documents the crawl frontier
+	// fetches and parses in parallel (default GOMAXPROCS). Rule
+	// application itself stays sequential and deterministic; only the
+	// fetch/parse latency overlaps.
+	MaxConcurrency int
 }
 
 // NewEvaluator returns an evaluator with the built-in concept base.
@@ -61,66 +71,109 @@ func NewEvaluator(f Fetcher) *Evaluator {
 // Run evaluates the program: document(url, S) entry rules fetch their
 // pages through the Fetcher, patterns are computed to fixpoint
 // (supporting recursive wrapping and crawling), and the resulting
-// pattern instance base is returned.
+// pattern instance base is returned. Documents are fetched through a
+// concurrent crawl frontier (see MaxConcurrency), but the instance
+// base is built in the same deterministic order as a serial crawl.
 //
 // A single Elog program "can be used for continuous wrapping of changing
 // pages or to wrap several HTML pages of similar structure"
 // (Section 3.1) — Run is stateless; call it again to re-wrap.
-func (ev *Evaluator) Run(p *Program) (*pib.Base, error) {
-	base := pib.NewBase()
-	docs := map[string]*pib.Instance{} // by URL
-	fetchDoc := func(url string) (*pib.Instance, error) {
-		if in, ok := docs[url]; ok {
-			return in, nil
-		}
-		if len(docs) >= ev.max(ev.MaxDocuments, 64) {
-			return nil, fmt.Errorf("%w of %d documents exceeded", errCrawlLimit, ev.max(ev.MaxDocuments, 64))
-		}
-		t, err := ev.Fetcher.Fetch(url)
-		if err != nil {
-			return nil, err
-		}
-		t.Reindex()
-		in := &pib.Instance{Pattern: "document", Kind: pib.DocumentInstance,
-			Doc: t, URL: url, Nodes: []dom.NodeID{t.Root()}}
-		in, _ = base.Add(in)
-		docs[url] = in
-		return in, nil
-	}
+func (ev *Evaluator) Run(p *Program) (*pib.Base, error) { return ev.run(p, nil) }
+
+// RunCompiled evaluates a compiled program: pattern matching runs on
+// the bitset kernel and is memoized per document fingerprint, so
+// re-wrapping unchanged pages skips the tree walks entirely. The
+// instance base is identical to Run's on the same inputs.
+func (ev *Evaluator) RunCompiled(cp *CompiledProgram) (*pib.Base, error) {
+	return ev.run(cp.Program, cp)
+}
+
+// runner is the state of one evaluation: the instance base under
+// construction, the crawl bookkeeping, and the optional compiled form.
+type runner struct {
+	ev   *Evaluator
+	cp   *CompiledProgram // nil for interpreted execution
+	base *pib.Base
+	fr   *frontier
+	docs map[string]*pib.Instance // fetched documents by URL
+	// announced marks parent instances whose crawl URL was already
+	// handed to the frontier, so fixpoint re-iterations do not re-walk
+	// their text content.
+	announced map[*pib.Instance]bool
+}
+
+func (ev *Evaluator) run(p *Program, cp *CompiledProgram) (*pib.Base, error) {
+	r := &runner{ev: ev, cp: cp, base: pib.NewBase(),
+		docs: map[string]*pib.Instance{}, announced: map[*pib.Instance]bool{}}
+	r.fr = newFrontier(ev.Fetcher, ev.MaxConcurrency, ev.max(ev.MaxDocuments, 64), cp != nil)
+	defer r.fr.drain()
 
 	// Elog supports stratified negation (Section 3.3): rules with
 	// negated pattern references must see the referenced pattern fully
 	// computed. Group the rules into strata, then run each stratum's
 	// rules to fixpoint (rules within a stratum may feed each other —
 	// pattern references, recursive wrapping).
-	strata, err := Stratify(p)
-	if err != nil {
-		return base, err
+	var st [][]*Rule
+	if cp != nil {
+		st = cp.strata
+	} else {
+		var err error
+		st, err = Stratify(p)
+		if err != nil {
+			return r.base, err
+		}
 	}
-	for _, rules := range strata {
+
+	// Seed the frontier with every entry page: they are all fetched
+	// eventually, so announcing them up front overlaps their fetch and
+	// parse latencies.
+	for _, rule := range p.Rules {
+		if rule.DocURL != "" {
+			r.fr.prefetch(rule.DocURL)
+		}
+	}
+
+	for _, rules := range st {
 		for {
 			changed := false
-			for _, r := range rules {
+			for _, rule := range rules {
 				var parents []*pib.Instance
-				if r.DocURL != "" {
-					in, err := fetchDoc(r.DocURL)
+				if rule.DocURL != "" {
+					in, err := r.fetchDoc(rule.DocURL)
 					if err != nil {
-						return base, fmt.Errorf("elog: rule for %s: %w", r.Head, err)
+						return r.base, fmt.Errorf("elog: rule for %s: %w", rule.Head, err)
 					}
 					parents = []*pib.Instance{in}
 				} else {
-					parents = base.Instances(r.Parent)
+					parents = r.base.Instances(rule.Parent)
+				}
+				if rule.Extract != nil && rule.Extract.Kind == GetDocument {
+					// Open the crawl frontier: every URL this rule is
+					// about to request is known before the first fetch,
+					// so the pages download in parallel while rule
+					// application consumes them sequentially in stable
+					// order. Each parent is announced once; fixpoint
+					// re-iterations skip the text walk.
+					for _, s := range parents {
+						if r.announced[s] {
+							continue
+						}
+						r.announced[s] = true
+						if url, ok := crawlURL(s); ok {
+							r.fr.prefetch(url)
+						}
+					}
 				}
 				for _, s := range parents {
-					added, err := ev.applyRule(base, r, s, fetchDoc)
+					added, err := r.applyRule(rule, s)
 					if err != nil {
-						return base, err
+						return r.base, err
 					}
 					if added {
 						changed = true
 					}
-					if base.Count() > ev.max(ev.MaxInstances, 100000) {
-						return base, fmt.Errorf("elog: instance limit exceeded (recursive wrapper runaway?)")
+					if r.base.Count() > ev.max(ev.MaxInstances, 100000) {
+						return r.base, fmt.Errorf("elog: instance limit exceeded (recursive wrapper runaway?)")
 					}
 				}
 			}
@@ -129,7 +182,50 @@ func (ev *Evaluator) Run(p *Program) (*pib.Base, error) {
 			}
 		}
 	}
-	return base, nil
+	return r.base, nil
+}
+
+// fetchDoc returns the document instance for url, consuming the crawl
+// frontier. It runs on the evaluation goroutine only, so instance ids
+// and the crawl limit are accounted in deterministic request order.
+func (r *runner) fetchDoc(url string) (*pib.Instance, error) {
+	if in, ok := r.docs[url]; ok {
+		return in, nil
+	}
+	if len(r.docs) >= r.ev.max(r.ev.MaxDocuments, 64) {
+		return nil, fmt.Errorf("%w of %d documents exceeded", errCrawlLimit, r.ev.max(r.ev.MaxDocuments, 64))
+	}
+	t, err := r.fr.get(url)
+	if err != nil {
+		return nil, err
+	}
+	in := &pib.Instance{Pattern: "document", Kind: pib.DocumentInstance,
+		Doc: t, URL: url, Nodes: []dom.NodeID{t.Root()}}
+	in, _ = r.base.Add(in)
+	r.docs[url] = in
+	return in, nil
+}
+
+// match dispatches an extraction-path match to the compiled bitset
+// matcher when a compiled form is present, else to the interpreter.
+func (r *runner) match(e *EPD, t *dom.Tree, roots []dom.NodeID, asChildren bool) []epdMatch {
+	if r.cp != nil {
+		if ce := r.cp.epds[e]; ce != nil {
+			return ce.match(r.cp, t, roots, asChildren, false)
+		}
+	}
+	return e.Match(t, roots, asChildren)
+}
+
+// matchDeep is match with the implicit leading descent of context and
+// internal conditions.
+func (r *runner) matchDeep(e *EPD, t *dom.Tree, roots []dom.NodeID, asChildren bool) []epdMatch {
+	if r.cp != nil {
+		if ce := r.cp.epds[e]; ce != nil {
+			return ce.match(r.cp, t, roots, asChildren, true)
+		}
+	}
+	return e.MatchDeep(t, roots, asChildren)
 }
 
 // Stratify partitions the program's rules into strata such that negated
@@ -137,48 +233,30 @@ func (ev *Evaluator) Run(p *Program) (*pib.Base, error) {
 // dependencies (parents, positive references) stay within or below. It
 // returns an error for programs with negation cycles, which have no
 // stratified semantics.
+//
+// The stratum numbers come from the shared solver in internal/strata
+// (also used by the generic datalog engine): a rule's head depends
+// positively on its parent pattern and on each positive pattern
+// reference, and negatively on each negated pattern reference.
 func Stratify(p *Program) ([][]*Rule, error) {
-	stratum := map[string]int{}
+	deps := make([]strata.Rule, 0, len(p.Rules))
 	for _, r := range p.Rules {
-		stratum[r.Head] = 0
-	}
-	n := len(stratum)
-	for iter := 0; ; iter++ {
-		if iter > n+1 {
-			return nil, fmt.Errorf("elog: program is not stratifiable (cycle through a negated pattern reference)")
+		sr := strata.Rule{Head: r.Head}
+		if r.DocURL == "" {
+			sr.Deps = append(sr.Deps, strata.Dep{Pred: r.Parent})
 		}
-		changed := false
-		bump := func(head string, min int) {
-			if stratum[head] < min {
-				stratum[head] = min
-				changed = true
+		for _, c := range r.Conds {
+			if ref, ok := c.(PatternRefCond); ok {
+				sr.Deps = append(sr.Deps, strata.Dep{Pred: ref.Pattern, Negated: ref.Negated})
 			}
 		}
-		for _, r := range p.Rules {
-			if r.DocURL == "" {
-				bump(r.Head, stratum[r.Parent])
-			}
-			for _, c := range r.Conds {
-				if ref, ok := c.(PatternRefCond); ok {
-					need := stratum[ref.Pattern]
-					if ref.Negated {
-						need++
-					}
-					bump(r.Head, need)
-				}
-			}
-		}
-		if !changed {
-			break
-		}
+		deps = append(deps, sr)
 	}
-	max := 0
-	for _, s := range stratum {
-		if s > max {
-			max = s
-		}
+	stratum, err := strata.Solve(deps)
+	if err != nil {
+		return nil, fmt.Errorf("elog: program is not stratifiable (cycle through a negated pattern reference)")
 	}
-	out := make([][]*Rule, max+1)
+	out := make([][]*Rule, strata.Height(stratum))
 	for _, r := range p.Rules {
 		out[stratum[r.Head]] = append(out[stratum[r.Head]], r)
 	}
@@ -225,8 +303,8 @@ type candidate struct {
 
 // applyRule evaluates one rule for one parent instance; it returns
 // whether any new instance was added.
-func (ev *Evaluator) applyRule(base *pib.Base, r *Rule, s *pib.Instance, fetch func(string) (*pib.Instance, error)) (bool, error) {
-	cands, err := ev.extract(r, s, fetch)
+func (r *runner) applyRule(rule *Rule, s *pib.Instance) (bool, error) {
+	cands, err := r.extract(rule, s)
 	if err != nil {
 		return false, err
 	}
@@ -242,7 +320,7 @@ func (ev *Evaluator) applyRule(base *pib.Base, r *Rule, s *pib.Instance, fetch f
 		for k, v := range c.binds {
 			b.strs[k] = v
 		}
-		ok, err := ev.conditions(base, r, s, c, b, 0)
+		ok, err := r.conditions(rule, s, c, b, 0)
 		if err != nil {
 			return false, err
 		}
@@ -250,10 +328,10 @@ func (ev *Evaluator) applyRule(base *pib.Base, r *Rule, s *pib.Instance, fetch f
 			accepted = append(accepted, c)
 		}
 	}
-	if r.Extract != nil && r.Extract.Kind == Subsq {
+	if rule.Extract != nil && rule.Extract.Kind == Subsq {
 		accepted = maximalOnly(accepted)
 	}
-	for _, c := range r.Conds {
+	for _, c := range rule.Conds {
 		if _, ok := c.(FirstCond); ok {
 			accepted = firstOnly(accepted)
 			break
@@ -262,10 +340,10 @@ func (ev *Evaluator) applyRule(base *pib.Base, r *Rule, s *pib.Instance, fetch f
 	changed := false
 	for _, c := range accepted {
 		inst := &pib.Instance{
-			Pattern: r.Head, Kind: c.kind, Doc: c.doc, URL: c.url,
+			Pattern: rule.Head, Kind: c.kind, Doc: c.doc, URL: c.url,
 			Nodes: c.nodes, Text: c.text, Parent: s,
 		}
-		if _, added := base.Add(inst); added {
+		if _, added := r.base.Add(inst); added {
 			changed = true
 		}
 	}
@@ -319,19 +397,19 @@ func maximalOnly(cands []candidate) []candidate {
 }
 
 // extract produces the candidate instances of a rule for parent s.
-func (ev *Evaluator) extract(r *Rule, s *pib.Instance, fetch func(string) (*pib.Instance, error)) ([]candidate, error) {
-	if r.Specialize {
+func (r *runner) extract(rule *Rule, s *pib.Instance) ([]candidate, error) {
+	if rule.Specialize {
 		// The candidate is the parent instance itself.
 		return []candidate{{kind: s.Kind, nodes: s.Nodes, text: s.Text, doc: s.Doc, url: s.URL}}, nil
 	}
-	e := r.Extract
+	e := rule.Extract
 	switch e.Kind {
 	case Subelem:
 		if len(s.Nodes) == 0 {
 			return nil, nil
 		}
 		var out []candidate
-		for _, m := range e.EPD.Match(s.Doc, s.Nodes, s.Kind == pib.SequenceInstance) {
+		for _, m := range r.match(e.EPD, s.Doc, s.Nodes, s.Kind == pib.SequenceInstance) {
 			out = append(out, candidate{kind: pib.NodeInstance, nodes: []dom.NodeID{m.node}, doc: s.Doc, url: s.URL, binds: m.binds})
 		}
 		return out, nil
@@ -340,7 +418,7 @@ func (ev *Evaluator) extract(r *Rule, s *pib.Instance, fetch func(string) (*pib.
 			return nil, nil
 		}
 		var out []candidate
-		for _, fm := range e.From.Match(s.Doc, s.Nodes, s.Kind == pib.SequenceInstance) {
+		for _, fm := range r.match(e.From, s.Doc, s.Nodes, s.Kind == pib.SequenceInstance) {
 			seqs := candidateSequences(s.Doc, fm.node, e.Start, e.End)
 			for _, seq := range seqs {
 				out = append(out, candidate{kind: pib.SequenceInstance, nodes: seq, doc: s.Doc, url: s.URL, binds: fm.binds})
@@ -366,11 +444,11 @@ func (ev *Evaluator) extract(r *Rule, s *pib.Instance, fetch func(string) (*pib.
 		}
 		return out, nil
 	case GetDocument:
-		url := strings.TrimSpace(s.TextContent())
-		if url == "" {
+		url, ok := crawlURL(s)
+		if !ok {
 			return nil, nil
 		}
-		in, err := fetch(resolveURL(s.URL, url))
+		in, err := r.fetchDoc(url)
 		if err != nil {
 			if errors.Is(err, errCrawlLimit) {
 				return nil, err
@@ -381,6 +459,18 @@ func (ev *Evaluator) extract(r *Rule, s *pib.Instance, fetch func(string) (*pib.
 		return []candidate{{kind: pib.NodeInstance, nodes: in.Nodes, doc: in.Doc, url: in.URL}}, nil
 	}
 	return nil, fmt.Errorf("elog: unknown extraction kind")
+}
+
+// crawlURL derives the document URL a getDocument extraction for
+// parent s requests: the instance's text resolved against its source
+// document. The frontier announce loop and the consuming extraction
+// share it, so prefetched keys always match what is consumed.
+func crawlURL(s *pib.Instance) (string, bool) {
+	url := strings.TrimSpace(s.TextContent())
+	if url == "" {
+		return "", false
+	}
+	return resolveURL(s.URL, url), true
 }
 
 // resolveURL resolves a possibly relative URL against the base document
@@ -437,28 +527,28 @@ func candidateSequences(t *dom.Tree, parent dom.NodeID, start, end *EPD) [][]dom
 	return out
 }
 
-// conditions evaluates r.Conds[i:] under binding b with backtracking
+// conditions evaluates rule.Conds[i:] under binding b with backtracking
 // over the choices introduced by before/after/contains.
-func (ev *Evaluator) conditions(base *pib.Base, r *Rule, s *pib.Instance, c candidate, b *binding, i int) (bool, error) {
-	if i == len(r.Conds) {
+func (r *runner) conditions(rule *Rule, s *pib.Instance, c candidate, b *binding, i int) (bool, error) {
+	if i == len(rule.Conds) {
 		return true, nil
 	}
-	cond := r.Conds[i]
+	cond := rule.Conds[i]
 	switch cc := cond.(type) {
 	case BeforeCond:
 		// In a specialization rule head(S, X) <- parent(S, X), the rule
 		// variable S denotes the parent instance's own parent — context
 		// conditions scope there, not at the instance being specialized.
 		scope := s
-		if r.Specialize && s.Parent != nil {
+		if rule.Specialize && s.Parent != nil {
 			scope = s.Parent
 		}
-		matches := ev.contextMatches(scope, c, cc)
+		matches := r.contextMatches(scope, c, cc)
 		if cc.Negated {
 			if len(matches) > 0 {
 				return false, nil
 			}
-			return ev.conditions(base, r, s, c, b, i+1)
+			return r.conditions(rule, s, c, b, i+1)
 		}
 		for _, m := range matches {
 			nb := b.clone()
@@ -472,7 +562,7 @@ func (ev *Evaluator) conditions(base *pib.Base, r *Rule, s *pib.Instance, c cand
 			for k, v := range m.binds {
 				nb.strs[k] = v
 			}
-			ok, err := ev.conditions(base, r, s, c, nb, i+1)
+			ok, err := r.conditions(rule, s, c, nb, i+1)
 			if err != nil || ok {
 				return ok, err
 			}
@@ -481,16 +571,16 @@ func (ev *Evaluator) conditions(base *pib.Base, r *Rule, s *pib.Instance, c cand
 	case ContainsCond:
 		if len(c.nodes) == 0 {
 			if cc.Negated {
-				return ev.conditions(base, r, s, c, b, i+1)
+				return r.conditions(rule, s, c, b, i+1)
 			}
 			return false, nil
 		}
-		ms := cc.EPD.MatchDeep(c.doc, c.nodes, c.kind == pib.SequenceInstance)
+		ms := r.matchDeep(cc.EPD, c.doc, c.nodes, c.kind == pib.SequenceInstance)
 		if cc.Negated {
 			if len(ms) > 0 {
 				return false, nil
 			}
-			return ev.conditions(base, r, s, c, b, i+1)
+			return r.conditions(rule, s, c, b, i+1)
 		}
 		for _, m := range ms {
 			nb := b.clone()
@@ -501,27 +591,27 @@ func (ev *Evaluator) conditions(base *pib.Base, r *Rule, s *pib.Instance, c cand
 			for k, v := range m.binds {
 				nb.strs[k] = v
 			}
-			ok, err := ev.conditions(base, r, s, c, nb, i+1)
+			ok, err := r.conditions(rule, s, c, nb, i+1)
 			if err != nil || ok {
 				return ok, err
 			}
 		}
 		return false, nil
 	case ConceptCond:
-		val, ok := ev.varText(b, c, cc.Var)
+		val, ok := r.varText(b, c, cc.Var)
 		if !ok {
-			return false, fmt.Errorf("elog: rule for %s: concept %s on unbound variable %s", r.Head, cc.Concept, cc.Var)
+			return false, fmt.Errorf("elog: rule for %s: concept %s on unbound variable %s", rule.Head, cc.Concept, cc.Var)
 		}
-		holds := ev.Concepts.Holds(cc.Concept, val)
+		holds := r.ev.Concepts.Holds(cc.Concept, val)
 		if holds == cc.Negated {
 			return false, nil
 		}
-		return ev.conditions(base, r, s, c, b, i+1)
+		return r.conditions(rule, s, c, b, i+1)
 	case CompareCond:
-		l, ok1 := ev.operandText(b, c, cc.L)
-		rv, ok2 := ev.operandText(b, c, cc.R)
+		l, ok1 := r.operandText(b, c, cc.L)
+		rv, ok2 := r.operandText(b, c, cc.R)
 		if !ok1 || !ok2 {
-			return false, fmt.Errorf("elog: rule for %s: comparison on unbound variable", r.Head)
+			return false, fmt.Errorf("elog: rule for %s: comparison on unbound variable", rule.Head)
 		}
 		holds, err := concepts.Compare(cc.Op, l, rv)
 		if err != nil {
@@ -530,18 +620,18 @@ func (ev *Evaluator) conditions(base *pib.Base, r *Rule, s *pib.Instance, c cand
 		if !holds {
 			return false, nil
 		}
-		return ev.conditions(base, r, s, c, b, i+1)
+		return r.conditions(rule, s, c, b, i+1)
 	case FirstCond:
 		// Handled as a post-filter in applyRule; as an in-place
 		// condition it is vacuously true.
-		return ev.conditions(base, r, s, c, b, i+1)
+		return r.conditions(rule, s, c, b, i+1)
 	case PatternRefCond:
 		n, ok := b.nodes[cc.Var]
 		if !ok {
-			return false, fmt.Errorf("elog: rule for %s: pattern reference %s(_, %s) on unbound variable", r.Head, cc.Pattern, cc.Var)
+			return false, fmt.Errorf("elog: rule for %s: pattern reference %s(_, %s) on unbound variable", rule.Head, cc.Pattern, cc.Var)
 		}
 		found := false
-		for _, in := range base.Instances(cc.Pattern) {
+		for _, in := range r.base.Instances(cc.Pattern) {
 			if in.Doc == c.doc && len(in.Nodes) == 1 && in.Nodes[0] == n {
 				found = true
 				break
@@ -550,14 +640,14 @@ func (ev *Evaluator) conditions(base *pib.Base, r *Rule, s *pib.Instance, c cand
 		if found == cc.Negated {
 			return false, nil
 		}
-		return ev.conditions(base, r, s, c, b, i+1)
+		return r.conditions(rule, s, c, b, i+1)
 	}
 	return false, fmt.Errorf("elog: unknown condition %T", cond)
 }
 
 // varText resolves a variable to text: string binding first, then the
 // element text of a node binding, then the candidate itself for "X".
-func (ev *Evaluator) varText(b *binding, c candidate, v string) (string, bool) {
+func (r *runner) varText(b *binding, c candidate, v string) (string, bool) {
 	if s, ok := b.strs[v]; ok && s != "" {
 		return s, true
 	}
@@ -580,9 +670,9 @@ func (ev *Evaluator) varText(b *binding, c candidate, v string) (string, bool) {
 	return "", false
 }
 
-func (ev *Evaluator) operandText(b *binding, c candidate, o Operand) (string, bool) {
+func (r *runner) operandText(b *binding, c candidate, o Operand) (string, bool) {
 	if o.Var != "" {
-		return ev.varText(b, c, o.Var)
+		return r.varText(b, c, o.Var)
 	}
 	return o.Literal, true
 }
@@ -601,17 +691,19 @@ type ctxMatch struct {
 // positions between the end of the earlier subtree and the start of the
 // later one — 0 means immediately adjacent, as in Figure 5's
 // before(..., 0, 0, ...) "immediately precedes" usage.
-func (ev *Evaluator) contextMatches(s *pib.Instance, c candidate, cc BeforeCond) []ctxMatch {
+func (r *runner) contextMatches(s *pib.Instance, c candidate, cc BeforeCond) []ctxMatch {
 	if len(s.Nodes) == 0 || len(c.nodes) == 0 {
 		return nil
 	}
+	// The tree was warmed when fetched, so the order predicates below
+	// are read-only lookups (an explicit Reindex here would re-walk the
+	// tree on every call and race between concurrent runs).
 	t := s.Doc
-	t.Reindex()
 	xStart := t.Pre(c.nodes[0])
 	lastNode := c.nodes[len(c.nodes)-1]
 	xEnd := t.Pre(lastNode) + t.SubtreeSize(lastNode) // one past the end
 	var out []ctxMatch
-	for _, m := range cc.EPD.MatchDeep(t, s.Nodes, s.Kind == pib.SequenceInstance) {
+	for _, m := range r.matchDeep(cc.EPD, t, s.Nodes, s.Kind == pib.SequenceInstance) {
 		yStart := t.Pre(m.node)
 		yEnd := yStart + t.SubtreeSize(m.node)
 		var dist int

@@ -1,0 +1,147 @@
+package elog
+
+import (
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/htmlparse"
+)
+
+// fuzzTree is a fixed, warmed document the EPD fuzzer matches against,
+// so every parsed path is also executed — interpreted and compiled —
+// and the two matchers are cross-checked on arbitrary inputs.
+var fuzzTree = func() *dom.Tree {
+	t := htmlparse.Parse(`<html><body>
+<table class="books"><tr class="book"><td class="title">A</td><td class="price">$ 1.00</td></tr>
+<tr><td><a href="x">link</a></td></tr></table>
+<div id="d"><span>text</span><!-- c --><p>more <b>bold</b></p></div>
+<hr><ul><li>one<li>two</ul>
+</body></html>`)
+	t.Warm()
+	return t
+}()
+
+// FuzzParseEPD is the native fuzz target for element path definitions:
+// ParseEPD must never panic; on accepted inputs the textual form must
+// re-parse, and the compiled bitset matcher must select exactly the
+// same nodes as the interpreted matcher.
+//
+// Run with `go test -fuzz=FuzzParseEPD ./internal/elog`; without -fuzz
+// the seed corpus doubles as a regression test.
+func FuzzParseEPD(f *testing.F) {
+	seeds := []string{
+		".body",
+		"?.td",
+		".*",
+		"?",
+		".content",
+		".table.tr.td",
+		"?.td.?.a",
+		".td|th",
+		"(?.td, [(elementtext, \\var[Y].*, regvar)])",
+		"(.table, [(elementtext, item, substr)])",
+		"(?.a, [(class, next, exact), (href, ., regexp)])",
+		"(.div, [id, d, exact])",
+		"( , )",
+		".",
+		"?..",
+		"(?.td, [(elementtext, [bad(regexp, regvar)])",
+		"....",
+		".#text",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 512 {
+			return // bound regexp compilation work
+		}
+		e, err := ParseEPD(src)
+		if err != nil {
+			return
+		}
+		if len(e.Steps) == 0 {
+			t.Fatalf("ParseEPD(%q) accepted a path with no steps", src)
+		}
+		if _, err := ParseEPD(e.String()); err != nil {
+			t.Fatalf("round trip of %q failed: %v", src, err)
+		}
+		roots := []dom.NodeID{fuzzTree.Root()}
+		interp := e.Match(fuzzTree, roots, false)
+		compiled := bitsetMatch(e, fuzzTree, roots, false)
+		if got, want := nodeSet(compiled), nodeSet(interp); got != want {
+			t.Fatalf("path %q: compiled matched %s, interpreter matched %s", src, got, want)
+		}
+	})
+}
+
+// nodeSet renders matches as a canonical sorted id set.
+func nodeSet(ms []epdMatch) string {
+	present := map[dom.NodeID]bool{}
+	for _, m := range ms {
+		present[m.node] = true
+	}
+	out := make([]byte, fuzzTree.Size())
+	for i := range out {
+		if present[dom.NodeID(i)] {
+			out[i] = '1'
+		} else {
+			out[i] = '0'
+		}
+	}
+	return string(out)
+}
+
+// FuzzParseProgram fuzzes the full Elog program parser: Parse must
+// never panic, and accepted programs must re-parse from their textual
+// form, stratify deterministically, and compile.
+func FuzzParseProgram(f *testing.F) {
+	seeds := []string{
+		`p(S, X) <- document("u", S), subelem(S, .body, X)`,
+		`p(S, X) <- document("u", S), subelem(S, .body, X)
+q(S, X) <- p(_, S), subelem(S, ?.td, X), before(S, X, .hr, 0, 2, Y, D), isCurrency(Y)`,
+		`p(S, X) <- document("u", S), subsq(S, (.body, []), (.table, []), (.hr, []), X)
+q(S, X) <- p(_, S), subtext(S, \var[Y].*, X), not q2(_, Y)
+q2(S, X) <- p(_, S), subatt(S, href, X)`,
+		`a(S, X) <- document("u", S), getDocument(S, X)`,
+		`p(S, X) <- p(_, S), subelem(S, .b, X)`,
+		`p(S, X) <- document("u", S), subelem(S, .b, X), not p(_, X)`,
+		"p(S,X) <- q(S,X)\n",
+		"% comment only",
+		"p(S, X) <- document(\"u\", S), subelem(S, .body, X), >=(X, \"10\")",
+		"broken <- <- (",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		if len(src) > 2048 {
+			return
+		}
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := Parse(p.String()); err != nil {
+			t.Fatalf("round trip failed: %v\nprogram:\n%s", err, p)
+		}
+		strata1, err1 := Stratify(p)
+		strata2, err2 := Stratify(p)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("Stratify not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		if len(strata1) != len(strata2) {
+			t.Fatalf("Stratify heights differ: %d vs %d", len(strata1), len(strata2))
+		}
+		cp, err := Compile(p)
+		if err != nil {
+			t.Fatalf("Stratify accepted but Compile rejected: %v", err)
+		}
+		if cp.Program != p {
+			t.Fatal("Compile lost the program")
+		}
+	})
+}

@@ -195,6 +195,23 @@ func (s Set) Or(o Set) Set {
 	return s
 }
 
+// OrWords unions a raw word vector (e.g. a dom label bitset) into s and
+// returns it. The vector must cover the same universe.
+func (s Set) OrWords(words []uint64) Set {
+	for i := range s.words {
+		s.words[i] |= words[i]
+	}
+	return s
+}
+
+// AndWords intersects s with a raw word vector and returns it.
+func (s Set) AndWords(words []uint64) Set {
+	for i := range s.words {
+		s.words[i] &= words[i]
+	}
+	return s
+}
+
 // AndNot removes o's members from s and returns it.
 func (s Set) AndNot(o Set) Set {
 	for i := range s.words {

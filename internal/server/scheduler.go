@@ -107,5 +107,9 @@ func (ps *pipeState) status(name string) PipelineStatus {
 	if !ps.lastTick.IsZero() {
 		st.LastTick = ps.lastTick.UTC().Format(time.RFC3339Nano)
 	}
+	if es, ok := ps.p.(ExtractionStatser); ok {
+		stats := es.ExtractionStats()
+		st.Extraction = &stats
+	}
 	return st
 }

@@ -328,6 +328,17 @@ type PipelineStatus struct {
 	LastLatencyMS float64 `json:"last_latency_ms"`
 	Delivered     int     `json:"delivered"`
 	Retained      int     `json:"retained"`
+	// Extraction holds the pipeline's wrapper memoization counters
+	// (poll-level fingerprint cache, compiled match cache) when the
+	// pipeline exposes them.
+	Extraction *transform.ExtractionStats `json:"extraction,omitempty"`
+}
+
+// ExtractionStatser is optionally implemented by pipelines whose
+// wrappers memoize extraction (transform.Engine does); the counters
+// appear in /statusz.
+type ExtractionStatser interface {
+	ExtractionStats() transform.ExtractionStats
 }
 
 // Status returns a snapshot of every pipeline's counters, sorted by

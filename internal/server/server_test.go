@@ -391,3 +391,80 @@ func TestPprofEndpoint(t *testing.T) {
 		t.Fatalf("pprof enabled: GET /debug/pprof/ = %d (%q...)", code, body[:min(len(body), 80)])
 	}
 }
+
+// statsPipe is a fakePipe that also reports extraction memoization
+// counters, as the Section 6 application pipelines do.
+type statsPipe struct {
+	*fakePipe
+	stats transform.ExtractionStats
+}
+
+func (s *statsPipe) ExtractionStats() transform.ExtractionStats { return s.stats }
+
+// TestStatuszExtractionStats checks that pipelines exposing extraction
+// caches get their hit counters surfaced per pipeline on /statusz.
+func TestStatuszExtractionStats(t *testing.T) {
+	s := New(Config{})
+	plain := newFakePipe("plain", 0)
+	caching := &statsPipe{
+		fakePipe: newFakePipe("caching", 0),
+		stats:    transform.ExtractionStats{PollCacheHits: 3, MatchCacheHits: 41, MatchCacheMisses: 7},
+	}
+	if err := s.Register(plain, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Register(caching, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body, _ := get(t, ts.URL+"/statusz")
+	if code != http.StatusOK {
+		t.Fatalf("statusz: %d", code)
+	}
+	var report struct {
+		Pipelines []PipelineStatus `json:"pipelines"`
+	}
+	if err := json.Unmarshal([]byte(body), &report); err != nil {
+		t.Fatalf("statusz JSON: %v\n%s", err, body)
+	}
+	byName := map[string]PipelineStatus{}
+	for _, p := range report.Pipelines {
+		byName[p.Name] = p
+	}
+	if st := byName["plain"].Extraction; st != nil {
+		t.Errorf("plain pipeline reports extraction stats: %+v", st)
+	}
+	st := byName["caching"].Extraction
+	if st == nil {
+		t.Fatalf("caching pipeline lacks extraction stats:\n%s", body)
+	}
+	if *st != caching.stats {
+		t.Errorf("extraction stats = %+v, want %+v", *st, caching.stats)
+	}
+	if !strings.Contains(body, "match_cache_hits") {
+		t.Errorf("statusz body lacks match_cache_hits:\n%s", body)
+	}
+}
+
+// TestAppPipelinesReportExtractionStats checks the Section 6 apps
+// implement ExtractionStatser end to end: after a few ticks over
+// unchanged pages the flight pipeline reports poll cache hits.
+func TestAppPipelinesReportExtractionStats(t *testing.T) {
+	app, err := apps.NewFlightInfo(7, []apps.Subscription{{Number: "OS001"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var es ExtractionStatser = app // compile-time check
+	for i := 0; i < 3; i++ {
+		app.Engine.Tick() // no Advance: pages unchanged after the first tick
+	}
+	st := es.ExtractionStats()
+	if st.PollCacheHits == 0 {
+		t.Errorf("flight pipeline reports no poll cache hits after repeated ticks: %+v", st)
+	}
+	if st.MatchCacheMisses == 0 {
+		t.Errorf("flight pipeline reports no compiled matches at all: %+v", st)
+	}
+}

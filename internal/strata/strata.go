@@ -1,0 +1,89 @@
+// Package strata implements the classical iterative stratification
+// algorithm for datalog-style rule sets with negation: predicates are
+// assigned stratum numbers so that every negative dependency points to
+// a strictly lower stratum and every positive dependency to the same
+// stratum or lower. Programs with a cycle through negation have no
+// stratified semantics and are rejected.
+//
+// Both rule engines of this repository — the generic datalog evaluator
+// (internal/datalog) and the Elog wrapper evaluator (internal/elog) —
+// stratify through this one implementation, so the two cannot drift.
+package strata
+
+import "errors"
+
+// ErrNotStratifiable is returned when the dependency graph has a cycle
+// through a negative edge.
+var ErrNotStratifiable = errors.New("not stratifiable: cycle through negation")
+
+// Dep is one body dependency of a rule: the referenced predicate and
+// whether the reference is negated.
+type Dep struct {
+	Pred    string
+	Negated bool
+}
+
+// Rule is the dependency skeleton of one rule: its head predicate and
+// the predicates its body references. Dependencies on predicates that
+// are not the head of any rule are treated as extensional (fixed at
+// stratum 0); a negated dependency on such a predicate still lifts the
+// head to stratum 1, which is harmless but keeps the bound uniform.
+// Callers for which negation on extensional predicates needs no
+// stratification (the facts are fully known up front) should filter
+// those dependencies out before calling Solve.
+type Rule struct {
+	Head string
+	Deps []Dep
+}
+
+// Solve assigns a stratum number to every head predicate, or returns
+// ErrNotStratifiable. The iteration is the standard fixpoint: a head
+// must sit at least as high as each positive dependency and strictly
+// higher than each negative one; any predicate forced above the number
+// of intensional predicates is on a negative cycle.
+func Solve(rules []Rule) (map[string]int, error) {
+	stratum := map[string]int{}
+	for _, r := range rules {
+		stratum[r.Head] = 0
+	}
+	n := len(stratum)
+	for iter := 0; ; iter++ {
+		if iter > n+1 {
+			return nil, ErrNotStratifiable
+		}
+		changed := false
+		for _, r := range rules {
+			h := stratum[r.Head]
+			for _, d := range r.Deps {
+				need, idb := stratum[d.Pred]
+				if !idb {
+					need = 0
+				}
+				if d.Negated {
+					need++
+				}
+				if h < need {
+					stratum[r.Head] = need
+					h = need
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return stratum, nil
+}
+
+// Height returns the number of strata (1 + the maximum stratum number),
+// or 0 for an empty assignment.
+func Height(stratum map[string]int) int {
+	max := -1
+	for _, s := range stratum {
+		if s > max {
+			max = s
+		}
+	}
+	return max + 1
+}

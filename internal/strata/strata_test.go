@@ -1,0 +1,161 @@
+package strata_test
+
+import (
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/elog"
+	"repro/internal/strata"
+)
+
+func TestSolveLayersNegationChain(t *testing.T) {
+	rules := []strata.Rule{
+		{Head: "a", Deps: []strata.Dep{{Pred: "edb"}}},
+		{Head: "b", Deps: []strata.Dep{{Pred: "a", Negated: true}}},
+		{Head: "c", Deps: []strata.Dep{{Pred: "b"}, {Pred: "a"}}},
+		{Head: "d", Deps: []strata.Dep{{Pred: "c", Negated: true}, {Pred: "b", Negated: true}}},
+	}
+	got, err := strata.Solve(rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]int{"a": 0, "b": 1, "c": 1, "d": 2}
+	for head, s := range want {
+		if got[head] != s {
+			t.Errorf("stratum[%s] = %d, want %d (all: %v)", head, got[head], s, got)
+		}
+	}
+	if h := strata.Height(got); h != 3 {
+		t.Errorf("Height = %d, want 3", h)
+	}
+}
+
+func TestSolveRejectsNegativeCycle(t *testing.T) {
+	rules := []strata.Rule{
+		{Head: "p", Deps: []strata.Dep{{Pred: "q", Negated: true}}},
+		{Head: "q", Deps: []strata.Dep{{Pred: "p"}}},
+	}
+	if _, err := strata.Solve(rules); err == nil {
+		t.Fatal("negative cycle accepted")
+	}
+	// A purely positive cycle is fine.
+	rules = []strata.Rule{
+		{Head: "p", Deps: []strata.Dep{{Pred: "q"}}},
+		{Head: "q", Deps: []strata.Dep{{Pred: "p"}}},
+	}
+	if _, err := strata.Solve(rules); err != nil {
+		t.Fatalf("positive cycle rejected: %v", err)
+	}
+}
+
+// TestEnginesAgree cross-checks the two engines that stratify through
+// this package: structurally equivalent programs — the same dependency
+// graph spelled once in datalog syntax and once in Elog syntax — must
+// come out with identical per-head stratum assignments, so the engines
+// cannot drift.
+func TestEnginesAgree(t *testing.T) {
+	cases := []struct {
+		name    string
+		datalog string
+		elog    string
+		want    map[string]int
+	}{
+		{
+			name: "negation-chain",
+			datalog: `
+a(X) :- leaf(X).
+b(X) :- a(X).
+c(X) :- b(X), not a(X).
+d(X) :- c(X), not b(X), a(X).
+`,
+			elog: `
+a(S, X) <- document("u", S), subelem(S, .body, X)
+b(S, X) <- a(_, S), subelem(S, .td, X)
+c(S, X) <- b(_, S), subelem(S, .td, X), not a(_, X)
+d(S, X) <- c(_, S), subelem(S, .td, X), not b(_, X), a(_, X)
+`,
+			want: map[string]int{"a": 0, "b": 0, "c": 1, "d": 1},
+		},
+		{
+			name: "diamond",
+			datalog: `
+a(X) :- leaf(X).
+b(X) :- a(X), not a(X).
+c(X) :- a(X).
+d(X) :- b(X), c(X).
+`,
+			elog: `
+a(S, X) <- document("u", S), subelem(S, .body, X)
+b(S, X) <- a(_, S), subelem(S, .td, X), not a(_, X)
+c(S, X) <- a(_, S), subelem(S, .td, X)
+d(S, X) <- b(_, S), subelem(S, .td, X), c(_, X)
+`,
+			want: map[string]int{"a": 0, "b": 1, "c": 0, "d": 1},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dp, err := datalog.Parse(tc.datalog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dStrata, err := datalog.Stratify(dp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dAt := map[string]int{}
+			for i, rules := range dStrata {
+				for _, r := range rules {
+					dAt[r.Head.Pred] = i
+				}
+			}
+			ep, err := elog.Parse(tc.elog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eStrata, err := elog.Stratify(ep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eAt := map[string]int{}
+			for i, rules := range eStrata {
+				for _, r := range rules {
+					eAt[r.Head] = i
+				}
+			}
+			for head, want := range tc.want {
+				if dAt[head] != want {
+					t.Errorf("datalog stratum[%s] = %d, want %d", head, dAt[head], want)
+				}
+				if eAt[head] != want {
+					t.Errorf("elog stratum[%s] = %d, want %d", head, eAt[head], want)
+				}
+			}
+		})
+	}
+}
+
+// TestEnginesAgreeOnRejection checks both engines reject the same
+// negative cycle.
+func TestEnginesAgreeOnRejection(t *testing.T) {
+	dp, err := datalog.Parse(`
+p(X) :- leaf(X), not q(X).
+q(X) :- leaf(X), not p(X).
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := datalog.Stratify(dp); err == nil {
+		t.Error("datalog accepted a negative cycle")
+	}
+	ep, err := elog.Parse(`
+p(S, X) <- document("u", S), subelem(S, .body, X), not q(_, X)
+q(S, X) <- document("u", S), subelem(S, .body, X), not p(_, X)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := elog.Stratify(ep); err == nil {
+		t.Error("elog accepted a negative cycle")
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"time"
@@ -202,12 +203,19 @@ func (e *Engine) Run(ctx context.Context, interval time.Duration) {
 // the XML transformer — "this component resembles the Lixto Visual
 // Wrapper".
 //
-// Polls are memoized on page content: every run records the fetched
-// pages' fingerprints (dom.Tree.Fingerprint), and the next poll first
-// re-fetches only those pages. If every fingerprint is unchanged, the
-// wrapper evaluation is deterministic on the same inputs, so the
-// previous output document is re-emitted without re-running the Elog
-// program or the XML transformation. Set NoCache to disable.
+// The Elog program is compiled once on the first poll (elog.Compile)
+// and the compiled form is held across ticks, so its fingerprint-keyed
+// match caches persist: pages whose content is unchanged skip the
+// pattern-matching tree walks even when some other page of the wrapper
+// changed. Program must therefore not be swapped after the first poll.
+//
+// Polls are additionally memoized on page content: every run records
+// the fetched pages' fingerprints (dom.Tree.Fingerprint), and the next
+// poll first re-fetches only those pages. If every fingerprint is
+// unchanged, the wrapper evaluation is deterministic on the same
+// inputs, so the previous output document is re-emitted without
+// re-running the Elog program or the XML transformation. Set NoCache to
+// disable.
 type WrapperSource struct {
 	CompName string
 	Fetcher  elog.Fetcher
@@ -221,22 +229,90 @@ type WrapperSource struct {
 	NoCache bool
 	tick    int
 
+	// Compiled form of Program, built lazily on the first poll and
+	// reused across ticks.
+	compiled   *elog.CompiledProgram
+	compileErr error
+
 	// Last successful run: the URLs fetched (in order), their tree
 	// fingerprints, and the emitted document.
 	lastURLs []string
 	lastFPs  []uint64
 	lastDoc  *xmlenc.Node
-	// CacheHits counts polls answered from the fingerprint cache.
+	// CacheHits counts polls answered from the fingerprint cache. It is
+	// written under statsMu so that ExtractionStats can be read
+	// concurrently (the server's status page polls it over HTTP).
 	CacheHits int
+	statsMu   sync.Mutex
+}
+
+// ExtractionStats aggregates a wrapper's memoization counters:
+// PollCacheHits counts whole polls answered from the page-fingerprint
+// cache; MatchCacheHits/Misses count individual compiled pattern
+// matches answered from (or inserted into) the per-document match
+// caches.
+type ExtractionStats struct {
+	PollCacheHits    uint64 `json:"poll_cache_hits"`
+	MatchCacheHits   uint64 `json:"match_cache_hits"`
+	MatchCacheMisses uint64 `json:"match_cache_misses"`
+}
+
+// add accumulates o into s.
+func (s *ExtractionStats) add(o ExtractionStats) {
+	s.PollCacheHits += o.PollCacheHits
+	s.MatchCacheHits += o.MatchCacheHits
+	s.MatchCacheMisses += o.MatchCacheMisses
+}
+
+// ExtractionStats returns the source's memoization counters; safe to
+// call concurrently with polling.
+func (s *WrapperSource) ExtractionStats() ExtractionStats {
+	s.statsMu.Lock()
+	out := ExtractionStats{PollCacheHits: uint64(s.CacheHits)}
+	compiled := s.compiled
+	s.statsMu.Unlock()
+	if compiled != nil {
+		out.MatchCacheHits, out.MatchCacheMisses = compiled.Stats()
+	}
+	return out
+}
+
+// extractionStatser is any component exposing extraction memoization
+// counters.
+type extractionStatser interface {
+	ExtractionStats() ExtractionStats
+}
+
+// ExtractionStats sums the memoization counters of every wrapper source
+// registered in the engine — the per-pipeline numbers surfaced on the
+// server's /statusz page.
+func (e *Engine) ExtractionStats() ExtractionStats {
+	e.mu.Lock()
+	comps := make([]Component, 0, len(e.order))
+	for _, name := range e.order {
+		comps = append(comps, e.comps[name])
+	}
+	e.mu.Unlock()
+	var out ExtractionStats
+	for _, c := range comps {
+		if es, ok := c.(extractionStatser); ok {
+			out.add(es.ExtractionStats())
+		}
+	}
+	return out
 }
 
 // recordingFetcher wraps a Fetcher, recording each fetched URL and the
 // fingerprint of the returned tree. Pages already fetched by the
 // cache recheck are served from prefetched, so a cache miss never
-// fetches a page twice in one poll.
+// fetches a page twice in one poll. The evaluator's crawl frontier
+// fetches from multiple goroutines, so the recording is locked; the
+// recorded order is whatever the frontier completes first, which is
+// fine — the cache recheck treats the list as a url→fingerprint set.
 type recordingFetcher struct {
 	inner      elog.Fetcher
 	prefetched map[string]*dom.Tree
+	mu         sync.Mutex
 	urls       []string
 	fps        []uint64
 }
@@ -250,30 +326,69 @@ func (r *recordingFetcher) Fetch(url string) (*dom.Tree, error) {
 			return nil, err
 		}
 	}
+	// Warm before fingerprinting: Warm serializes concurrent callers,
+	// so two frontier workers handed the same tree under different
+	// URLs do not race on the lazy fingerprint.
+	t.Warm()
+	fp := t.Fingerprint()
+	r.mu.Lock()
 	r.urls = append(r.urls, url)
-	r.fps = append(r.fps, t.Fingerprint())
+	r.fps = append(r.fps, fp)
+	r.mu.Unlock()
 	return t, nil
 }
 
 // unchanged reports whether re-fetching every page of the last run
 // yields the same fingerprints. The fetched trees are retained in
-// prefetched either way, so on a miss the evaluator reuses them.
+// prefetched either way, so on a miss the evaluator reuses them. The
+// re-fetch is the steady-state server tick, so the pages are retrieved
+// in parallel, mirroring the evaluator's crawl frontier; a fetch error
+// counts as changed (the evaluator will surface it).
 func (s *WrapperSource) unchanged(prefetched map[string]*dom.Tree) bool {
 	if s.lastDoc == nil {
 		return false
 	}
+	var missing []string
+	seen := map[string]bool{}
+	for _, url := range s.lastURLs {
+		if _, ok := prefetched[url]; !ok && !seen[url] {
+			seen[url] = true
+			missing = append(missing, url)
+		}
+	}
+	type fetched struct {
+		url string
+		t   *dom.Tree
+		err error
+	}
+	results := make(chan fetched, len(missing))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for _, url := range missing {
+		go func(url string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t, err := s.Fetcher.Fetch(url)
+			if err == nil {
+				t.Warm()
+			}
+			results <- fetched{url, t, err}
+		}(url)
+	}
+	ok := true
+	for range missing {
+		r := <-results
+		if r.err != nil {
+			ok = false
+			continue
+		}
+		prefetched[r.url] = r.t
+	}
+	if !ok {
+		return false
+	}
 	same := true
 	for i, url := range s.lastURLs {
-		t, ok := prefetched[url]
-		if !ok {
-			var err error
-			t, err = s.Fetcher.Fetch(url)
-			if err != nil {
-				return false
-			}
-			prefetched[url] = t
-		}
-		if t.Fingerprint() != s.lastFPs[i] {
+		if prefetched[url].Fingerprint() != s.lastFPs[i] {
 			same = false
 		}
 	}
@@ -298,10 +413,20 @@ func (s *WrapperSource) Poll() ([]*xmlenc.Node, error) {
 	if (s.tick-1)%every != 0 {
 		return nil, nil
 	}
+	if s.compiled == nil && s.compileErr == nil {
+		s.statsMu.Lock()
+		s.compiled, s.compileErr = elog.Compile(s.Program)
+		s.statsMu.Unlock()
+	}
+	if s.compileErr != nil {
+		return nil, s.compileErr
+	}
 	prefetched := map[string]*dom.Tree{}
 	if !s.NoCache {
 		if s.unchanged(prefetched) {
+			s.statsMu.Lock()
 			s.CacheHits++
+			s.statsMu.Unlock()
 			return []*xmlenc.Node{s.lastDoc}, nil
 		}
 	} else {
@@ -309,7 +434,7 @@ func (s *WrapperSource) Poll() ([]*xmlenc.Node, error) {
 	}
 	rec := &recordingFetcher{inner: s.Fetcher, prefetched: prefetched}
 	ev := elog.NewEvaluator(rec)
-	base, err := ev.Run(s.Program)
+	base, err := ev.RunCompiled(s.compiled)
 	if err != nil {
 		return nil, err
 	}

@@ -361,3 +361,87 @@ page(S, X) <- document("site/page.html", S), subelem(S, .body, X)
 		t.Fatalf("NoCache poll must re-evaluate (hits=%d)", src.CacheHits)
 	}
 }
+
+// TestExtractionStats pins the wrapper memoization counters that the
+// server's /statusz page surfaces: whole-poll fingerprint cache hits
+// plus the compiled program's per-document match cache, aggregated
+// over the engine.
+func TestExtractionStats(t *testing.T) {
+	page := htmlparse.Parse(`<html><body><p class="x">one</p><p class="x">two</p></body></html>`)
+	src := &WrapperSource{
+		CompName: "w",
+		Fetcher:  elog.MapFetcher{"site/page.html": page},
+		Program: elog.MustParse(`
+page(S, X) <- document("site/page.html", S), subelem(S, .body, X)
+para(S, X) <- page(_, S), subelem(S, (?.p, [(class, x, exact)]), X)
+`),
+	}
+	eng := NewEngine()
+	sink := &Collector{CompName: "sink"}
+	for _, c := range []Component{Component(src), sink} {
+		if err := eng.Add(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := eng.Connect("w", "sink"); err != nil {
+		t.Fatal(err)
+	}
+
+	eng.Tick()
+	st := src.ExtractionStats()
+	// The fixpoint loop re-applies rules within one run, so the match
+	// cache records hits even on a cold poll; misses are the cold
+	// matches themselves.
+	if st.PollCacheHits != 0 || st.MatchCacheMisses == 0 {
+		t.Fatalf("first tick stats = %+v, want cold misses and no poll hits", st)
+	}
+	eng.Tick()
+	prev := st
+	st = src.ExtractionStats()
+	if st.PollCacheHits != 1 {
+		t.Fatalf("second tick poll hits = %d, want 1", st.PollCacheHits)
+	}
+	if st.MatchCacheMisses != prev.MatchCacheMisses {
+		t.Fatalf("poll cache hit still re-matched: %+v vs %+v", st, prev)
+	}
+	// Invalidate only the poll cache (NoCache): the compiled match
+	// cache still answers the unchanged page without new misses.
+	src.NoCache = true
+	eng.Tick()
+	prev = st
+	st = src.ExtractionStats()
+	if st.MatchCacheHits <= prev.MatchCacheHits || st.MatchCacheMisses != prev.MatchCacheMisses {
+		t.Fatalf("re-extraction of an unchanged page missed the match cache: %+v vs %+v", st, prev)
+	}
+	if got := eng.ExtractionStats(); got != st {
+		t.Fatalf("engine aggregate %+v != source stats %+v", got, st)
+	}
+}
+
+// TestWrapperSourceAliasedTree polls a wrapper whose fetcher serves the
+// same tree under two URLs: the frontier's workers then hand the shared
+// tree to the recording fetcher concurrently, which must be race-free
+// (run with -race; CI does).
+func TestWrapperSourceAliasedTree(t *testing.T) {
+	for i := 0; i < 10; i++ {
+		page := htmlparse.Parse(`<html><body><p class="x">one</p></body></html>`)
+		src := &WrapperSource{
+			CompName: "w",
+			Fetcher:  elog.MapFetcher{"u1": page, "u2": page},
+			Program: elog.MustParse(`
+a(S, X) <- document("u1", S), subelem(S, .body, X)
+b(S, X) <- document("u2", S), subelem(S, .body, X)
+`),
+		}
+		docs, err := src.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(docs) != 1 {
+			t.Fatalf("poll emitted %d docs", len(docs))
+		}
+		if docs2, err := src.Poll(); err != nil || len(docs2) != 1 || docs2[0] != docs[0] {
+			t.Fatalf("re-poll over the aliased unchanged tree missed the cache: %v", err)
+		}
+	}
+}

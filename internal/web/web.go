@@ -22,17 +22,26 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/dom"
 	"repro/internal/htmlparse"
 )
 
-// Web is a registry of simulated sites addressed by URL.
+// Web is a registry of simulated sites addressed by URL. It is safe
+// for concurrent fetching: the evaluator's crawl frontier retrieves
+// many pages at once, so the registry is locked, page rendering is
+// serialized (site generators close over mutable site state), and the
+// optional simulated latency and HTML parsing run in parallel.
 type Web struct {
 	mu    sync.RWMutex
 	pages map[string]func() string
 	// Fetches counts page retrievals, for the crawling experiments.
 	fetches map[string]int
+	// latency is the simulated per-fetch network delay.
+	latency time.Duration
+	// renderMu serializes generator calls.
+	renderMu sync.Mutex
 }
 
 // New returns an empty web.
@@ -61,17 +70,37 @@ func (w *Web) Fetch(url string) (*dom.Tree, error) {
 	return htmlparse.Parse(html), nil
 }
 
+// SetLatency installs a simulated per-fetch delay, modeling network and
+// server time. With latency set, the parallelism of a crawl becomes
+// observable: n pages fetched serially cost n×latency of wall clock,
+// a concurrent frontier roughly one latency per batch.
+func (w *Web) SetLatency(d time.Duration) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.latency = d
+}
+
 // Source returns the raw HTML of a page.
 func (w *Web) Source(url string) (string, error) {
 	w.mu.Lock()
 	gen, ok := w.pages[url]
+	var delay time.Duration
 	if ok {
 		w.fetches[url]++
+		delay = w.latency
 	}
 	w.mu.Unlock()
 	if !ok {
 		return "", fmt.Errorf("web: 404 %s", url)
 	}
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	// Generators may close over mutable site state (AdvanceTime), so
+	// concurrent fetches serialize the render; only the simulated
+	// latency above and the caller's parse overlap.
+	w.renderMu.Lock()
+	defer w.renderMu.Unlock()
 	return gen(), nil
 }
 

@@ -1,10 +1,13 @@
 package web
 
 import (
+	"fmt"
 	"io"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/dom"
 )
@@ -255,5 +258,51 @@ func TestHTTPFetcherEndToEnd(t *testing.T) {
 	}
 	if _, err := f.Fetch("missing.example.com/x.html"); err == nil {
 		t.Error("404 not surfaced")
+	}
+}
+
+// TestConcurrentFetchWithLatency exercises the fetcher the way the
+// evaluator's crawl frontier does: many goroutines fetching stateful
+// generated pages at once, with simulated latency. Rendering is
+// serialized internally (generators close over site state) while the
+// latency overlaps, so this must be race-free and the fetch counters
+// exact. Run with -race (CI does).
+func TestConcurrentFetchWithLatency(t *testing.T) {
+	w := New()
+	site := NewAuctionSite(5, 60)
+	site.Register(w, "www.ebay.com")
+	w.SetLatency(2 * time.Millisecond)
+	urls := w.URLs()
+	if len(urls) < 2 {
+		t.Fatalf("auction site registered %d pages", len(urls))
+	}
+	const per = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, len(urls)*per)
+	for _, url := range urls {
+		for i := 0; i < per; i++ {
+			wg.Add(1)
+			go func(url string) {
+				defer wg.Done()
+				tr, err := w.Fetch(url)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if tr.Size() == 0 {
+					errs <- fmt.Errorf("empty tree for %s", url)
+				}
+			}(url)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	for _, url := range urls {
+		if got := w.FetchCount(url); got != per {
+			t.Errorf("FetchCount(%s) = %d, want %d", url, got, per)
+		}
 	}
 }
