@@ -14,10 +14,14 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"sort"
 	"strings"
@@ -30,6 +34,7 @@ import (
 	"repro/internal/elog"
 	"repro/internal/htmlparse"
 	"repro/internal/mdatalog"
+	"repro/internal/server"
 	"repro/internal/visual"
 	"repro/internal/web"
 	"repro/internal/xpath"
@@ -51,6 +56,7 @@ func main() {
 	e11Dichotomy()
 	e12TranslationSizes()
 	e18ElogCompiled()
+	e19DynamicRegister()
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -153,6 +159,29 @@ func writeBenchJSON(path string) error {
 			}
 		}
 	})
+
+	// Dynamic registration over the /v1 API: one POST is compile +
+	// register + first extraction; the warm path re-extracts an
+	// unchanged page through the fingerprint-keyed match caches.
+	e19ts := v1Server()
+	e19page := e19Page(50)
+	e19i := 0
+	add("E19_DynamicRegister/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e19Cold(e19ts, e19page, e19i)
+			e19i++
+		}
+	})
+	v1Post(e19ts.URL+"/v1/wrappers", map[string]any{
+		"name": "warmjson", "program": ebayFigure5, "html": e19page,
+		"auxiliary": []string{"tableseq"},
+	})
+	add("E19_DynamicRegister/warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			v1Post(e19ts.URL+"/v1/wrappers/warmjson/extract", map[string]any{})
+		}
+	})
+	e19ts.Close()
 
 	prog, qpred, err := xpath.TranslateCore(xq)
 	if err != nil {
@@ -492,6 +521,84 @@ func e18ElogCompiled() {
 			n, di.Round(time.Microsecond), dc.Round(time.Microsecond), dh.Round(time.Microsecond),
 			float64(di)/float64(dh), float64(dc)/float64(dh))
 	}
+}
+
+// v1Server spins up the HTTP front end with dynamic registration
+// enabled (no rate limit: we are the load).
+func v1Server() *httptest.Server {
+	s := server.New(server.Config{AllowDynamic: true, MaxCompilesPerMinute: -1})
+	return httptest.NewServer(s.Handler())
+}
+
+// v1Post issues one JSON POST and fails hard on a non-2xx status.
+func v1Post(url string, body map[string]any) {
+	data, err := json.Marshal(body)
+	check(err)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	check(err)
+	defer resp.Body.Close()
+	out, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		panic(fmt.Sprintf("POST %s: %d %s", url, resp.StatusCode, out))
+	}
+}
+
+func v1Delete(url string) {
+	req, err := http.NewRequest("DELETE", url, nil)
+	check(err)
+	resp, err := http.DefaultClient.Do(req)
+	check(err)
+	resp.Body.Close()
+}
+
+// e19Page returns the generated n-item auction listing as raw HTML, the
+// inline page POSTed alongside dynamic wrappers.
+func e19Page(n int) string {
+	site := web.NewAuctionSite(8, n)
+	site.PageSize = n
+	sim := web.New()
+	site.Register(sim, "www.ebay.com")
+	src, err := sim.Source("www.ebay.com/")
+	check(err)
+	return src
+}
+
+// e19Cold measures one full POST /v1/wrappers round trip — compile,
+// register, synchronous first extraction — followed by DELETE.
+func e19Cold(ts *httptest.Server, page string, i int) {
+	name := fmt.Sprintf("cold%d", i)
+	v1Post(ts.URL+"/v1/wrappers", map[string]any{
+		"name": name, "program": ebayFigure5, "html": page,
+		"auxiliary": []string{"tableseq"},
+	})
+	v1Delete(ts.URL + "/v1/wrappers/" + name)
+}
+
+func e19DynamicRegister() {
+	header("E19", "dynamic wrapper registration over /v1 (PR 4)",
+		"compile+register+first-extract as one POST; warm fingerprint caches make repeat extraction cheap")
+	page := e19Page(50)
+	ts := v1Server()
+	defer ts.Close()
+
+	i := 0
+	cold := timeIt(func() { e19Cold(ts, page, i); i++ })
+
+	// Warm: one registered wrapper, repeated one-shot extraction of its
+	// unchanged registered page (empty body = Origin source) — the page
+	// tree is already parsed and its fingerprint already sits in the
+	// compiled match caches, so extraction skips the tree walks.
+	v1Post(ts.URL+"/v1/wrappers", map[string]any{
+		"name": "warm", "program": ebayFigure5, "html": page,
+		"auxiliary": []string{"tableseq"},
+	})
+	extract := func() { v1Post(ts.URL+"/v1/wrappers/warm/extract", map[string]any{}) }
+	extract() // prime the fingerprint cache
+	warm := timeIt(extract)
+
+	fmt.Printf("   %-34s %12s\n", "cold: POST wrappers (50 items)", cold.Round(time.Microsecond))
+	fmt.Printf("   %-34s %12s\n", "warm: POST extract, cached page", warm.Round(time.Microsecond))
+	fmt.Printf("   cold/warm: %.1fx\n", float64(cold)/float64(warm))
 }
 
 func e12TranslationSizes() {

@@ -1,6 +1,7 @@
 // Command elogc runs an Elog wrapper program against HTML documents and
 // prints the extracted XML — the Extractor + XML Transformer pair of
-// Figure 2 as a command-line tool.
+// Figure 2 as a command-line tool. It is a thin shim over the public
+// SDK (repro/pkg/lixto); anything it does is available to embedders.
 //
 // Usage:
 //
@@ -13,16 +14,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/elog"
 	"repro/internal/htmlparse"
 	"repro/internal/web"
 	"repro/internal/xmlenc"
+	"repro/pkg/lixto"
 )
 
 func main() {
@@ -42,18 +44,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	w, err := core.CompileWrapper(string(src))
-	if err != nil {
-		fatal(err)
-	}
-	w.Design.RootName = *root
-	w.MaxConcurrency = *concurrency
-	if *interpret {
-		w.Compiled = nil // fall back to the seed interpreter
+
+	opts := []lixto.Option{
+		lixto.WithRoot(*root),
+		lixto.WithConcurrency(*concurrency),
+		lixto.WithCache(!*interpret),
 	}
 	for _, p := range strings.Split(*aux, ",") {
-		if p != "" {
-			w.SetAuxiliary(strings.TrimSpace(p))
+		if p = strings.TrimSpace(p); p != "" {
+			opts = append(opts, lixto.WithAuxiliary(p))
 		}
 	}
 
@@ -78,14 +77,20 @@ func main() {
 		}
 		fetcher = m
 	}
-	xml, err := w.Wrap(fetcher)
+	opts = append(opts, lixto.WithFetcher(fetcher))
+
+	w, err := lixto.Compile(string(src), opts...)
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Print(xmlenc.MarshalIndent(xml))
+	res, err := w.Extract(context.Background(), lixto.Origin())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(xmlenc.MarshalIndent(res.XML()))
 	if *stats {
-		if w.Compiled != nil {
-			hits, misses := w.Compiled.Stats()
+		if !*interpret {
+			hits, misses := w.Compiled().Stats()
 			fmt.Fprintf(os.Stderr, "elogc: match cache: %d hits, %d misses\n", hits, misses)
 		} else {
 			fmt.Fprintln(os.Stderr, "elogc: match-cache stats unavailable with -interpret")

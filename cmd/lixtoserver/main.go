@@ -2,7 +2,7 @@
 // (Section 5) hosting the application pipelines of Section 6 over the
 // simulated web, and serves their output on HTTP:
 //
-//	lixtoserver [-addr :8080] [-interval 2s] [-steps N] [-history N] [-pprof]
+//	lixtoserver [-addr :8080] [-interval 2s] [-steps N] [-history N] [-pprof] [-allow-dynamic]
 //
 //	GET /nowplaying           the Now Playing portal feed (Section 6.1)
 //	GET /flights              the latest flight alerts (6.2)
@@ -13,6 +13,13 @@
 //	GET /statusz              per-pipeline tick/error/latency counters
 //	GET /debug/pprof/         live profiling (with -pprof)
 //
+// With -allow-dynamic the versioned wrapper-lifecycle API under /v1
+// additionally accepts wrappers at runtime: POST an Elog program to
+// /v1/wrappers (with an inline page or against the built-in simulated
+// sites), extract synchronously via POST /v1/wrappers/{name}/extract,
+// read results from GET /v1/wrappers/{name}/results, and retire with
+// DELETE. See the README's "HTTP API v1" section.
+//
 // -history N bounds each pipeline's retained document ring (default 64).
 //
 // Documents are served as XML, or as JSON when the request's Accept
@@ -20,9 +27,10 @@
 //
 // In serve mode each pipeline ticks on its own goroutine at the
 // configured interval; SIGINT/SIGTERM shuts the server down
-// gracefully, draining any in-flight tick. With -steps N the server
-// instead runs N synchronous ticks, prints a summary and exits (useful
-// without a long-running terminal).
+// gracefully, draining any in-flight tick (including dynamically
+// registered wrappers). With -steps N the server instead runs N
+// synchronous ticks, prints a summary and exits (useful without a
+// long-running terminal).
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/server"
+	"repro/internal/web"
 )
 
 func main() {
@@ -44,6 +53,8 @@ func main() {
 	steps := flag.Int("steps", 0, "run N ticks and exit (0 = serve forever)")
 	pprofFlag := flag.Bool("pprof", false, "expose /debug/pprof endpoints")
 	history := flag.Int("history", 0, "documents retained per pipeline (0 = default 64)")
+	allowDynamic := flag.Bool("allow-dynamic", false,
+		"accept wrapper registration at runtime via the /v1 API")
 	flag.Parse()
 	if *history < 0 {
 		fatal(fmt.Errorf("-history must be >= 0, got %d", *history))
@@ -87,14 +98,24 @@ func main() {
 		return
 	}
 
-	srv := server.New(server.Config{
+	cfg := server.Config{
 		Addr:            *addr,
 		DefaultInterval: *interval,
 		EnablePprof:     *pprofFlag,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
-	})
+	}
+	if *allowDynamic {
+		// Dynamic wrappers without an inline page extract from the
+		// built-in simulated sites.
+		sim := web.New()
+		web.NewAuctionSite(2004, 40).Register(sim, "www.ebay.com")
+		web.NewBookSite(2004, 12).Register(sim, "books.example.com")
+		cfg.AllowDynamic = true
+		cfg.DynamicFetcher = sim
+	}
+	srv := server.New(cfg)
 	for _, p := range []server.Pipeline{np, fl, pc, pw} {
 		if err := srv.Register(p, 0); err != nil {
 			fatal(err)

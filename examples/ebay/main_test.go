@@ -1,0 +1,39 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/web"
+	"repro/pkg/lixto"
+)
+
+// The Figure 5 wrapper (with the crawling extension) compiles and
+// extracts through the public SDK, following the next-page link across
+// the simulated site.
+func TestFigure5Wrapper(t *testing.T) {
+	sim := web.New()
+	site := web.NewAuctionSite(2004, 40) // two pages of 25 + 15
+	site.Register(sim, "www.ebay.com")
+
+	w, err := lixto.Compile(figure5,
+		lixto.WithFetcher(sim),
+		lixto.WithAuxiliary("tableseq", "tableseq2", "nextlink", "nexturl", "nextpage"),
+		lixto.WithRoot("auctions"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Extract(context.Background(), lixto.Origin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Instances("record")); got != len(site.Items) {
+		t.Fatalf("records: got %d, want %d", got, len(site.Items))
+	}
+	if got := len(res.XML().Find("record")); got != len(site.Items) {
+		t.Fatalf("records in XML: got %d, want %d", got, len(site.Items))
+	}
+	if got := len(res.Instances("price")); got == 0 {
+		t.Fatal("no prices extracted")
+	}
+}

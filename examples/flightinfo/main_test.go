@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// The flight-info pipeline delivers an SMS only when a subscribed
+// flight's status changes between polls.
+func TestFlightInfoDeliversOnChange(t *testing.T) {
+	app, err := apps.NewFlightInfo(2004, []apps.Subscription{
+		{Number: "OS105"},
+		{From: "Vienna", To: "London"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 20; step++ {
+		app.Step(step > 0)
+	}
+	if app.SMS.Len() == 0 {
+		t.Fatalf("no SMS deliveries in 20 steps (errors: %v)", app.Engine.Errors)
+	}
+	if app.SMS.Len() >= 20 {
+		t.Fatalf("SMS on every poll (%d/20): change detection not working", app.SMS.Len())
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// The Now Playing pipeline (whose wrappers the example hosts) produces
+// a portal update with stations and rankings on every step.
+func TestNowPlayingSteps(t *testing.T) {
+	app, err := apps.NewNowPlaying(2004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 2; step++ {
+		app.Step()
+	}
+	if app.Portal.Len() == 0 {
+		t.Fatalf("no portal output (errors: %v)", app.Engine.Errors)
+	}
+	portal := app.Portal.Latest()
+	if stations := portal.Find("station"); len(stations) == 0 {
+		t.Fatal("portal update has no stations")
+	}
+}

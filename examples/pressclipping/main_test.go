@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+)
+
+// The press-clipping pipeline publishes NITF documents and picks up a
+// breaking article on the next tick.
+func TestPressClippingPublishes(t *testing.T) {
+	app, err := apps.NewPressClipping(2004)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Engine.Tick()
+	if app.Out.Len() == 0 {
+		t.Fatalf("no publication (errors: %v)", app.Engine.Errors)
+	}
+	before := len(app.Out.Latest().Find("nitf"))
+	if before == 0 {
+		t.Fatal("feed has no NITF documents")
+	}
+	app.Step(true, 7)
+	after := len(app.Out.Latest().Find("nitf"))
+	if after != before+1 {
+		t.Fatalf("breaking news not published: %d -> %d NITF docs", before, after)
+	}
+}

@@ -1,15 +1,18 @@
-// Command quickstart is the five-minute tour: compile an Elog wrapper,
-// run it against a page, and print the extracted XML.
+// Command quickstart is the five-minute tour: compile an Elog wrapper
+// with the public SDK (repro/pkg/lixto), run it against a page, and
+// print the extracted XML.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"repro/internal/core"
 	"repro/internal/xmlenc"
+	"repro/pkg/lixto"
 )
 
 // A bestseller page as a bookshop might serve it.
@@ -34,20 +37,20 @@ price(S, X) <- book(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
 `
 
 func main() {
-	w, err := core.CompileWrapper(wrapper)
-	if err != nil {
-		log.Fatal(err)
-	}
 	// page is an auxiliary pattern: it structures the wrapper but should
 	// not appear in the output XML.
-	w.SetAuxiliary("page")
-	w.Design.RootName = "books"
-
-	xml, err := w.WrapHTML(page)
+	w, err := lixto.Compile(wrapper,
+		lixto.WithAuxiliary("page"),
+		lixto.WithRoot("books"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(xmlenc.MarshalIndent(xml))
+
+	res, err := w.Extract(context.Background(), lixto.HTML(page))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(xmlenc.MarshalIndent(res.XML()))
 
 	// The same document is queryable with XPath and monadic datalog.
 	doc := core.ParseHTML(page)

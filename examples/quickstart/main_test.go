@@ -1,0 +1,34 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/xmlenc"
+	"repro/pkg/lixto"
+)
+
+// The quickstart wrapper compiles and extracts through the public SDK.
+func TestQuickstartWrapper(t *testing.T) {
+	w, err := lixto.Compile(wrapper, lixto.WithAuxiliary("page"), lixto.WithRoot("books"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := w.Extract(context.Background(), lixto.HTML(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Instances("book")); got != 3 {
+		t.Fatalf("books: got %d, want 3", got)
+	}
+	xml := xmlenc.MarshalIndent(res.XML())
+	if !strings.Contains(xml, "<books>") || !strings.Contains(xml, "The Complexity of XPath") {
+		t.Fatalf("unexpected XML:\n%s", xml)
+	}
+	for _, pat := range []string{"title", "price"} {
+		if got := len(res.Instances(pat)); got != 3 {
+			t.Fatalf("%s: got %d, want 3", pat, got)
+		}
+	}
+}

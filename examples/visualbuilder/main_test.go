@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/visual"
+	"repro/internal/web"
+	"repro/pkg/lixto"
+)
+
+// The visually generated wrapper round-trips through its concrete
+// syntax into the public SDK and extracts from a held-out page.
+func TestGeneratedWrapperThroughSDK(t *testing.T) {
+	sim := web.New()
+	site := web.NewBookSite(2004, 8)
+	site.Register(sim, "books.example.com")
+	doc, err := sim.Fetch("books.example.com/bestsellers.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := visual.NewSession(doc, "books.example.com/bestsellers.html")
+	if err := s.AddDocumentPattern("page"); err != nil {
+		t.Fatal(err)
+	}
+	region, ok := s.FindText(site.Books[0].Title)
+	if !ok {
+		t.Fatal("example title not on page")
+	}
+	if _, err := s.AddPattern("title", "page", region); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GeneralizePath("title", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RequireAttribute("title", "class", "title", "exact"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round-trip: the generated program's concrete syntax compiles in
+	// the SDK and extracts every title from a page never seen during
+	// design.
+	w, err := lixto.Compile(s.Program().String(), lixto.WithAuxiliary("page"))
+	if err != nil {
+		t.Fatalf("generated program did not compile through the SDK: %v\n%s", err, s.Program())
+	}
+	heldOut := web.New()
+	site2 := web.NewBookSite(4071, 20)
+	site2.Register(heldOut, "books.example.com")
+	res, err := w.Extract(context.Background(), lixto.Origin(), lixto.WithFetcher(heldOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(res.Instances("title")); got != len(site2.Books) {
+		t.Fatalf("held-out titles: got %d, want %d", got, len(site2.Books))
+	}
+}

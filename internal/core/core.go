@@ -1,8 +1,7 @@
-// Package core is the public facade of the Lixto reproduction: it ties
-// together the wrapper language (internal/elog), the pattern instance
-// base and XML mapping (internal/pib), the visual builder
-// (internal/visual), and the query engines (internal/xpath,
-// internal/mdatalog) behind a small API:
+// Package core is the legacy facade of the Lixto reproduction. It is a
+// thin shim over the public SDK in pkg/lixto — the supported embedding
+// entry point — kept so that older call sites and examples continue to
+// work unchanged:
 //
 //	w, _ := core.CompileWrapper(elogSource)
 //	xml, _ := w.Wrap(fetcher)              // crawl + extract + XML
@@ -10,12 +9,12 @@
 //	nodes, _ := core.XPath(doc, "//table//td[not(a)]")
 //	res, _ := core.MonadicDatalog(doc, program, "query")
 //
-// Downstream users who need the full control surface import the internal
-// packages directly; core covers the common paths.
+// New code should import repro/pkg/lixto directly; it adds
+// context-aware extraction, typed errors, and batch fan-out.
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/concepts"
 	"repro/internal/datalog"
@@ -26,16 +25,20 @@ import (
 	"repro/internal/pib"
 	"repro/internal/xmlenc"
 	"repro/internal/xpath"
+	"repro/pkg/lixto"
 )
 
-// Wrapper is a compiled Elog wrapper together with its XML design.
+// Wrapper is a compiled Elog wrapper together with its XML design. The
+// exported fields mirror the SDK wrapper's state; extraction delegates
+// to pkg/lixto with the fields' current values.
 type Wrapper struct {
 	Program *elog.Program
 	// Compiled is the bitset-lowered form of Program (elog.Compile):
 	// extraction runs on it, and its fingerprint-keyed match caches
 	// persist across Wrap calls, so re-wrapping unchanged pages skips
-	// the pattern-matching tree walks. Program must not be mutated
-	// after CompileWrapper.
+	// the pattern-matching tree walks. Setting Compiled to nil falls
+	// back to the seed interpreter. Program must not be mutated after
+	// CompileWrapper.
 	Compiled *elog.CompiledProgram
 	Design   *pib.Design
 	// Concepts can be extended with application-specific semantic or
@@ -46,25 +49,25 @@ type Wrapper struct {
 	// MaxConcurrency bounds the crawl frontier's parallel fetches
 	// (0 = GOMAXPROCS).
 	MaxConcurrency int
+
+	sdk *lixto.Wrapper
 }
 
 // CompileWrapper parses and compiles an Elog program and returns a
 // wrapper with the default XML design (document instances auxiliary,
-// patterns emitted under their own names).
+// patterns emitted under their own names). Errors are typed
+// *lixto.Error values with source positions.
 func CompileWrapper(src string) (*Wrapper, error) {
-	p, err := elog.Parse(src)
-	if err != nil {
-		return nil, err
-	}
-	cp, err := elog.Compile(p)
+	lw, err := lixto.Compile(src)
 	if err != nil {
 		return nil, err
 	}
 	return &Wrapper{
-		Program:  p,
-		Compiled: cp,
-		Design:   &pib.Design{Auxiliary: map[string]bool{"document": true}},
+		Program:  lw.Program(),
+		Compiled: lw.Compiled(),
+		Design:   lw.Design(),
 		Concepts: concepts.NewBase(),
+		sdk:      lw,
 	}, nil
 }
 
@@ -97,22 +100,49 @@ func (w *Wrapper) Rename(pattern, element string) *Wrapper {
 	return w
 }
 
+// options assembles the per-call SDK options from the wrapper's current
+// field values, so post-compile mutations (MaxDocuments, Compiled=nil)
+// keep working as they did before the SDK existed.
+func (w *Wrapper) options(f elog.Fetcher) []lixto.Option {
+	opts := []lixto.Option{
+		lixto.WithFetcher(f),
+		lixto.WithConcurrency(w.MaxConcurrency),
+		lixto.WithDesign(w.Design),
+	}
+	if w.Concepts != nil {
+		opts = append(opts, lixto.WithConcepts(w.Concepts))
+	}
+	if w.MaxDocuments > 0 {
+		opts = append(opts, lixto.WithMaxDocuments(w.MaxDocuments))
+	}
+	if w.Compiled == nil {
+		opts = append(opts, lixto.WithCache(false))
+	}
+	return opts
+}
+
 // Extract runs the wrapper against the fetcher and returns the pattern
 // instance base, on the compiled form when present (always, for
 // wrappers built by CompileWrapper).
 func (w *Wrapper) Extract(f elog.Fetcher) (*pib.Base, error) {
-	ev := elog.NewEvaluator(f)
-	if w.Concepts != nil {
-		ev.Concepts = w.Concepts
-	}
-	if w.MaxDocuments > 0 {
-		ev.MaxDocuments = w.MaxDocuments
-	}
-	ev.MaxConcurrency = w.MaxConcurrency
-	if w.Compiled != nil {
+	if w.Compiled != nil && w.Compiled != w.sdk.Compiled() {
+		// Legacy escape hatch: the caller swapped in a different
+		// compiled form; run it directly as the pre-SDK code did.
+		ev := elog.NewEvaluator(f)
+		if w.Concepts != nil {
+			ev.Concepts = w.Concepts
+		}
+		if w.MaxDocuments > 0 {
+			ev.MaxDocuments = w.MaxDocuments
+		}
+		ev.MaxConcurrency = w.MaxConcurrency
 		return ev.RunCompiled(w.Compiled)
 	}
-	return ev.Run(w.Program)
+	res, err := w.sdk.Extract(context.Background(), lixto.Origin(), w.options(f)...)
+	if err != nil {
+		return nil, err
+	}
+	return res.Base, nil
 }
 
 // Wrap extracts and transforms to XML in one call.
@@ -126,20 +156,18 @@ func (w *Wrapper) Wrap(f elog.Fetcher) (*xmlenc.Node, error) {
 
 // WrapHTML wraps a single in-memory HTML document: every document URL
 // mentioned by the program is served this same document. Useful for
-// one-page wrappers and tests.
+// one-page wrappers and tests. It routes through Wrap/Extract, so the
+// swapped-Compiled escape hatch applies here too.
 func (w *Wrapper) WrapHTML(html string) (*xmlenc.Node, error) {
-	t := htmlparse.Parse(html)
-	m := elog.MapFetcher{}
-	for _, r := range w.Program.Rules {
-		if r.DocURL != "" {
-			m[r.DocURL] = t
-		}
+	f, err := w.sdk.InlineFetcher(html, nil)
+	if err != nil {
+		return nil, err
 	}
-	if len(m) == 0 {
-		return nil, fmt.Errorf("core: program has no document entry points")
-	}
-	return w.Wrap(m)
+	return w.Wrap(f)
 }
+
+// SDK returns the underlying pkg/lixto wrapper.
+func (w *Wrapper) SDK() *lixto.Wrapper { return w.sdk }
 
 // ParseHTML parses HTML into a document tree.
 func ParseHTML(html string) *dom.Tree { return htmlparse.Parse(html) }

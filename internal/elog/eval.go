@@ -1,6 +1,7 @@
 package elog
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -450,7 +451,10 @@ func (r *runner) extract(rule *Rule, s *pib.Instance) ([]candidate, error) {
 		}
 		in, err := r.fetchDoc(url)
 		if err != nil {
-			if errors.Is(err, errCrawlLimit) {
+			// A cancelled context must abort the whole evaluation, not
+			// degrade every remaining crawl step into a "dangling link".
+			if errors.Is(err, errCrawlLimit) ||
+				errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 				return nil, err
 			}
 			// A dangling link is not a wrapper failure; crawling skips it.

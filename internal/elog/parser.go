@@ -6,6 +6,22 @@ import (
 	"strings"
 )
 
+// SyntaxError is a positioned Elog program error: Rule is the 1-based
+// index of the offending rule and Line the 1-based source line the rule
+// starts on. Parse errors unwrap to the underlying cause.
+type SyntaxError struct {
+	Rule int
+	Line int
+	Err  error
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("rule %d (line %d): %v", e.Rule, e.Line, e.Err)
+}
+
+// Unwrap returns the underlying cause.
+func (e *SyntaxError) Unwrap() error { return e.Err }
+
 // Parse reads an Elog program in the concrete syntax of Figure 5:
 //
 //	tableseq(S, X) <- document("www.ebay.com/", S),
@@ -19,20 +35,27 @@ import (
 // wrap across lines as long as open parentheses carry it), or by an
 // optional '.'. '%' starts a comment. The arrow may be '<-', '←' or
 // ':-'.
+//
+// Errors carry source positions: every parse failure (and every
+// undefined-pattern reference) is reported as a *SyntaxError naming the
+// rule number and the source line the rule starts on.
 func Parse(src string) (*Program, error) {
 	prog := &Program{}
-	for i, raw := range splitRules(src) {
-		r, err := parseRule(raw)
+	srcs := splitRules(src)
+	lines := make([]int, 0, len(srcs))
+	for i, raw := range srcs {
+		r, err := parseRule(raw.text)
 		if err != nil {
-			return nil, fmt.Errorf("rule %d: %w", i+1, err)
+			return nil, &SyntaxError{Rule: i + 1, Line: raw.line, Err: err}
 		}
 		prog.Rules = append(prog.Rules, r)
+		lines = append(lines, raw.line)
 	}
 	if len(prog.Rules) == 0 {
 		return nil, fmt.Errorf("elog: empty program")
 	}
-	if err := prog.check(); err != nil {
-		return nil, err
+	if idx, err := prog.check(); err != nil {
+		return nil, &SyntaxError{Rule: idx + 1, Line: lines[idx], Err: err}
 	}
 	return prog, nil
 }
@@ -46,50 +69,63 @@ func MustParse(src string) *Program {
 	return p
 }
 
-// check verifies that every referenced parent pattern is defined.
-func (p *Program) check() error {
+// check verifies that every referenced parent pattern is defined; on
+// failure it returns the index of the offending rule.
+func (p *Program) check() (int, error) {
 	defined := map[string]bool{"document": true}
 	for _, r := range p.Rules {
 		defined[r.Head] = true
 	}
-	for _, r := range p.Rules {
+	for i, r := range p.Rules {
 		if r.DocURL == "" && !defined[r.Parent] {
-			return fmt.Errorf("elog: rule for %s references undefined parent pattern %s", r.Head, r.Parent)
+			return i, fmt.Errorf("elog: rule for %s references undefined parent pattern %s", r.Head, r.Parent)
 		}
 		for _, c := range r.Conds {
 			if ref, ok := c.(PatternRefCond); ok && !defined[ref.Pattern] {
-				return fmt.Errorf("elog: rule for %s references undefined pattern %s", r.Head, ref.Pattern)
+				return i, fmt.Errorf("elog: rule for %s references undefined pattern %s", r.Head, ref.Pattern)
 			}
 		}
 	}
-	return nil
+	return 0, nil
+}
+
+// ruleSrc is one rule's raw text plus the 1-based source line it starts
+// on (for positioned errors).
+type ruleSrc struct {
+	text string
+	line int
 }
 
 // splitRules splits the source into rule strings: a rule ends at a
 // newline (or '.') at parenthesis depth zero, once it contains an arrow.
-func splitRules(src string) []string {
+func splitRules(src string) []ruleSrc {
 	src = strings.ReplaceAll(src, "←", "<-")
-	var rules []string
+	var rules []ruleSrc
 	var cur strings.Builder
 	depth := 0
 	hasArrow := false
+	startLine := 0
 	flush := func() {
 		s := strings.TrimSpace(cur.String())
 		s = strings.TrimSuffix(s, ".")
 		if s != "" {
-			rules = append(rules, s)
+			rules = append(rules, ruleSrc{text: s, line: startLine})
 		}
 		cur.Reset()
 		hasArrow = false
+		startLine = 0
 	}
 	lines := strings.Split(src, "\n")
-	for _, line := range lines {
+	for ln, line := range lines {
 		if i := strings.IndexByte(line, '%'); i >= 0 {
 			line = line[:i]
 		}
 		trimmed := strings.TrimSpace(line)
 		if trimmed == "" {
 			continue
+		}
+		if cur.Len() == 0 {
+			startLine = ln + 1
 		}
 		cur.WriteString(line)
 		cur.WriteByte(' ')

@@ -1,0 +1,50 @@
+package server
+
+import (
+	"repro/internal/elog"
+	"repro/internal/transform"
+	"repro/pkg/lixto"
+)
+
+// dynPipeline is a wrapper compiled and registered at runtime through
+// POST /v1/wrappers: a single-wrapper transform engine (source →
+// collector) driving the scheduled path, plus the SDK wrapper itself
+// for synchronous one-shot extractions. Both paths share the compiled
+// program and its match caches.
+type dynPipeline struct {
+	name     string
+	w        *lixto.Wrapper
+	eng      *transform.Engine
+	out      *transform.Collector
+	onDemand bool
+}
+
+// newDynPipeline compiles nothing: it wires an already-compiled SDK
+// wrapper into a schedulable pipeline.
+func newDynPipeline(name string, w *lixto.Wrapper, f elog.Fetcher, onDemand bool) (*dynPipeline, error) {
+	eng, out, err := transform.NewWrapperEngine(name, w, f)
+	if err != nil {
+		return nil, err
+	}
+	return &dynPipeline{name: name, w: w, eng: eng, out: out, onDemand: onDemand}, nil
+}
+
+// PipeName implements Pipeline.
+func (d *dynPipeline) PipeName() string { return d.name }
+
+// Tick implements Pipeline: one engine activation round, reporting any
+// error newly logged during the round.
+func (d *dynPipeline) Tick() error {
+	before := d.eng.ErrorCount()
+	d.eng.Tick()
+	if d.eng.ErrorCount() > before {
+		return d.eng.LastError()
+	}
+	return nil
+}
+
+// Output implements Pipeline.
+func (d *dynPipeline) Output() *transform.Collector { return d.out }
+
+// ExtractionStats implements ExtractionStatser.
+func (d *dynPipeline) ExtractionStats() transform.ExtractionStats { return d.eng.ExtractionStats() }

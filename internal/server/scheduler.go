@@ -15,6 +15,21 @@ type pipeState struct {
 	p        Pipeline
 	interval time.Duration
 
+	// dynamic pipelines were registered through the /v1 API at runtime
+	// and may be deregistered again; onDemand ones never tick on a
+	// schedule (extraction is driven by POST .../extract only).
+	dynamic  bool
+	onDemand bool
+	// skipFirst suppresses the immediate first tick of the scheduler
+	// goroutine (the registration path already ticked synchronously).
+	skipFirst bool
+	// running/cancel/done manage the scheduler goroutine lifecycle;
+	// guarded by the server mutex (running) and written once (cancel,
+	// done) before the goroutine starts.
+	running bool
+	cancel  context.CancelFunc
+	done    chan struct{}
+
 	mu          sync.Mutex
 	ticks       uint64
 	errs        uint64
@@ -56,13 +71,16 @@ func (ps *pipeState) render(doc *xmlenc.Node, asJSON bool) ([]byte, error) {
 }
 
 // run ticks the pipeline until ctx is cancelled. The first tick fires
-// immediately so the endpoints have data as soon as possible; after
-// that a time.Ticker drives the cadence, which (unlike a sleep loop)
-// does not drift by the tick's own duration. A tick that is in flight
-// when ctx is cancelled always completes and is counted — cancellation
-// is only observed between ticks.
+// immediately so the endpoints have data as soon as possible (unless
+// the registration path already ran it synchronously); after that a
+// time.Ticker drives the cadence, which (unlike a sleep loop) does not
+// drift by the tick's own duration. A tick that is in flight when ctx
+// is cancelled always completes and is counted — cancellation is only
+// observed between ticks.
 func (ps *pipeState) run(ctx context.Context) {
-	ps.tickOnce()
+	if !ps.skipFirst {
+		ps.tickOnce()
+	}
 	t := time.NewTicker(ps.interval)
 	defer t.Stop()
 	for {

@@ -3,7 +3,7 @@
 // its own goroutine at its own interval, and the latest outputs are
 // published over HTTP.
 //
-// Endpoints:
+// Legacy (unversioned) endpoints, kept bit-for-bit stable:
 //
 //	GET /{name}            latest document (XML, or JSON when the
 //	                       Accept header prefers application/json)
@@ -11,9 +11,16 @@
 //	GET /healthz           liveness: 200 once the server is ticking
 //	GET /statusz           per-pipeline tick counts, errors, latencies
 //
+// The versioned wrapper-lifecycle API lives under /v1 (see v1.go):
+// wrappers can be compiled and registered at runtime, extracted from
+// synchronously, observed, and retired, with a uniform JSON error
+// envelope {"error":{"kind","message","pos"}}.
+//
 // Lifecycle is context-driven: Run blocks until the context is
 // cancelled, then stops the tickers, drains in-flight ticks, and shuts
-// the HTTP listener down gracefully.
+// the HTTP listener down gracefully. Dynamically registered pipelines
+// participate: each owns a child context and is drained on DELETE and
+// on shutdown.
 package server
 
 import (
@@ -30,6 +37,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/elog"
 	"repro/internal/transform"
 	"repro/internal/xmlenc"
 )
@@ -66,6 +74,20 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ for live
 	// profiling of a running server.
 	EnablePprof bool
+	// AllowDynamic enables runtime wrapper registration through
+	// POST /v1/wrappers and /v1/extract. Off by default: accepting
+	// programs from the network is an operator decision.
+	AllowDynamic bool
+	// DynamicFetcher resolves document URLs for dynamically registered
+	// wrappers that do not carry an inline page, and for url-based
+	// one-shot extractions. Nil means such requests are rejected.
+	DynamicFetcher elog.Fetcher
+	// MaxProgramBytes bounds the request body of the /v1 compile and
+	// extract endpoints (default 256 KiB).
+	MaxProgramBytes int
+	// MaxCompilesPerMinute rate-limits program compilation across the
+	// /v1 endpoints (token bucket; default 60, negative = unlimited).
+	MaxCompilesPerMinute int
 	// Logf, when set, receives server lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -90,6 +112,12 @@ func (c *Config) withDefaults() Config {
 	if out.IdleTimeout <= 0 {
 		out.IdleTimeout = 60 * time.Second
 	}
+	if out.MaxProgramBytes == 0 {
+		out.MaxProgramBytes = 256 << 10
+	}
+	if out.MaxCompilesPerMinute == 0 {
+		out.MaxCompilesPerMinute = 60
+	}
 	if out.Logf == nil {
 		out.Logf = func(string, ...any) {}
 	}
@@ -100,29 +128,47 @@ func (c *Config) withDefaults() Config {
 type Server struct {
 	cfg Config
 
-	mu      sync.Mutex
-	pipes   map[string]*pipeState
-	order   []string
-	addr    string
-	started bool
+	mu       sync.Mutex
+	pipes    map[string]*pipeState
+	order    []string
+	addr     string
+	started  bool
+	draining bool
+	tickCtx  context.Context // parent of every pipeline's context; set by Run
+
+	wg      sync.WaitGroup // scheduler goroutines
+	limiter *rateLimiter   // compile rate limit for the /v1 endpoints
 
 	ready chan struct{} // closed once the listener is bound
 }
 
 // New returns an empty server.
 func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:   cfg.withDefaults(),
-		pipes: map[string]*pipeState{},
-		ready: make(chan struct{}),
+		cfg:     cfg,
+		pipes:   map[string]*pipeState{},
+		limiter: newRateLimiter(cfg.MaxCompilesPerMinute),
+		ready:   make(chan struct{}),
 	}
 }
 
+// validName reports whether a pipeline name is routable: non-empty, no
+// path separators, and not one of the reserved endpoint names.
+func validName(name string) bool {
+	switch name {
+	case "", "healthz", "statusz", "debug", "v1":
+		return false
+	}
+	return !strings.ContainsAny(name, "/?#%")
+}
+
 // Register adds a pipeline ticking at the given interval (0 uses the
-// configured default). It fails on duplicate or reserved names.
+// configured default). It fails on duplicate or reserved names. For
+// registration while the server is running, see RegisterDynamic.
 func (s *Server) Register(p Pipeline, interval time.Duration) error {
 	name := p.PipeName()
-	if name == "" || name == "healthz" || name == "statusz" || name == "debug" {
+	if !validName(name) {
 		return fmt.Errorf("server: invalid pipeline name %q", name)
 	}
 	if interval <= 0 {
@@ -141,6 +187,139 @@ func (s *Server) Register(p Pipeline, interval time.Duration) error {
 	return nil
 }
 
+// errors distinguishing the registration failure modes for the HTTP
+// layer.
+var (
+	errUnknownPipeline   = errors.New("server: unknown pipeline")
+	errStaticPipeline    = errors.New("server: pipeline is not dynamic")
+	errDuplicatePipeline = errors.New("duplicate pipeline")
+	errShuttingDown      = errors.New("server shutting down")
+	errFirstTick         = errors.New("first extraction failed")
+)
+
+// RegisterDynamic adds a pipeline at runtime: it reserves the name,
+// runs one synchronous tick (so the wrapper serves results the moment
+// registration returns — and a broken wrapper is rejected instead of
+// failing silently on its schedule), then starts the scheduler
+// goroutine unless the pipeline is on-demand. It is safe to call while
+// Run is serving; before Run, the pipeline starts ticking when Run
+// does.
+func (s *Server) RegisterDynamic(p Pipeline, interval time.Duration, onDemand bool) error {
+	name := p.PipeName()
+	if !validName(name) {
+		return fmt.Errorf("server: invalid pipeline name %q", name)
+	}
+	if interval <= 0 {
+		interval = s.cfg.DefaultInterval
+	}
+	ps := &pipeState{p: p, interval: interval, dynamic: true, onDemand: onDemand, skipFirst: true}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return fmt.Errorf("server: %w", errShuttingDown)
+	}
+	if _, dup := s.pipes[name]; dup {
+		s.mu.Unlock()
+		return fmt.Errorf("server: %w %q", errDuplicatePipeline, name)
+	}
+	s.pipes[name] = ps
+	s.order = append(s.order, name)
+	s.mu.Unlock()
+
+	// First tick outside the lock: compilation already happened, but
+	// the first extraction may fetch pages.
+	ps.tickOnce()
+	if msg := func() string {
+		ps.mu.Lock()
+		defer ps.mu.Unlock()
+		return ps.lastErr
+	}(); msg != "" {
+		s.removePipeIf(name, ps)
+		return fmt.Errorf("server: wrapper %q: %w: %s", name, errFirstTick, msg)
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		// Shutdown raced registration: drop the pipe again.
+		s.removePipeLocked(name)
+		return fmt.Errorf("server: %w", errShuttingDown)
+	}
+	if s.pipes[name] != ps {
+		// A concurrent DELETE raced the first tick; stay deregistered.
+		return fmt.Errorf("server: pipeline %q deregistered during registration", name)
+	}
+	if s.started {
+		s.startLocked(ps)
+	}
+	s.cfg.Logf("server: registered dynamic pipeline %q (interval %s, on-demand %v)", name, interval, onDemand)
+	return nil
+}
+
+// Deregister retires a dynamically registered pipeline: it is removed
+// from the registry, its scheduler context is cancelled, and the call
+// blocks until any in-flight tick has drained.
+func (s *Server) Deregister(name string) error {
+	s.mu.Lock()
+	ps := s.pipes[name]
+	if ps == nil {
+		s.mu.Unlock()
+		return errUnknownPipeline
+	}
+	if !ps.dynamic {
+		s.mu.Unlock()
+		return errStaticPipeline
+	}
+	s.removePipeLocked(name)
+	s.mu.Unlock()
+	if ps.cancel != nil {
+		ps.cancel()
+		<-ps.done
+	}
+	s.cfg.Logf("server: deregistered pipeline %q", name)
+	return nil
+}
+
+// removePipeIf removes the registration only if it still belongs to
+// ps: a concurrent DELETE + re-register of the same name must not lose
+// the newer pipeline.
+func (s *Server) removePipeIf(name string, ps *pipeState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.pipes[name] == ps {
+		s.removePipeLocked(name)
+	}
+}
+
+func (s *Server) removePipeLocked(name string) {
+	delete(s.pipes, name)
+	for i, n := range s.order {
+		if n == name {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// startLocked launches the scheduler goroutine for ps. Callers hold
+// s.mu; the server must have started and must not be draining.
+func (s *Server) startLocked(ps *pipeState) {
+	if ps.onDemand || ps.running {
+		return
+	}
+	ps.running = true
+	ctx, cancel := context.WithCancel(s.tickCtx)
+	ps.cancel = cancel
+	ps.done = make(chan struct{})
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer close(ps.done)
+		ps.run(ctx)
+	}()
+}
+
 // Addr returns the bound listen address once Run has started, or "".
 func (s *Server) Addr() string {
 	s.mu.Lock()
@@ -154,19 +333,24 @@ func (s *Server) Ready() <-chan struct{} { return s.ready }
 
 // Run binds the listener, starts one ticking goroutine per pipeline,
 // and serves HTTP until ctx is cancelled. On cancellation it stops the
-// tickers, waits for any in-flight tick to finish, and drains the HTTP
-// server; it returns nil on a clean shutdown.
+// tickers (including dynamically registered ones), waits for any
+// in-flight tick to finish, and drains the HTTP server; it returns nil
+// on a clean shutdown.
 func (s *Server) Run(ctx context.Context) error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
 	}
+	tickCtx, stopTicks := context.WithCancel(context.Background())
+	defer stopTicks()
+
 	s.mu.Lock()
 	s.started = true
 	s.addr = ln.Addr().String()
-	states := make([]*pipeState, 0, len(s.order))
+	s.tickCtx = tickCtx
+	n := len(s.order)
 	for _, name := range s.order {
-		states = append(states, s.pipes[name])
+		s.startLocked(s.pipes[name])
 	}
 	s.mu.Unlock()
 
@@ -177,36 +361,33 @@ func (s *Server) Run(ctx context.Context) error {
 		WriteTimeout:      s.cfg.WriteTimeout,
 		IdleTimeout:       s.cfg.IdleTimeout,
 	}
-
-	tickCtx, stopTicks := context.WithCancel(context.Background())
-	defer stopTicks()
-	var wg sync.WaitGroup
-	for _, ps := range states {
-		wg.Add(1)
-		go func(ps *pipeState) {
-			defer wg.Done()
-			ps.run(tickCtx)
-		}(ps)
-	}
 	close(s.ready)
-	s.cfg.Logf("server: listening on %s (%d pipelines)", s.addr, len(states))
+	s.cfg.Logf("server: listening on %s (%d pipelines)", s.addr, n)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
+	// drain stops every scheduler, refuses new registrations, and waits
+	// for in-flight ticks.
+	drain := func() {
+		stopTicks()
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		s.wg.Wait()
+	}
+
 	select {
 	case <-ctx.Done():
 		s.cfg.Logf("server: shutting down")
-		stopTicks()
-		wg.Wait() // drain in-flight ticks
+		drain()
 		sctx, cancel := context.WithTimeout(context.Background(), s.cfg.ShutdownGrace)
 		defer cancel()
 		err := hs.Shutdown(sctx)
 		<-serveErr // Serve has returned (ErrServerClosed)
 		return err
 	case err := <-serveErr:
-		stopTicks()
-		wg.Wait()
+		drain()
 		if errors.Is(err, http.ErrServerClosed) {
 			return nil
 		}
@@ -222,6 +403,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /statusz", s.handleStatusz)
 	mux.HandleFunc("GET /{name}", s.handleLatest)
 	mux.HandleFunc("GET /{name}/history", s.handleHistory)
+	// The /v1 routes are registered without a method so that bad
+	// methods get a 405 + Allow with the JSON error envelope.
+	mux.HandleFunc("/v1/wrappers", s.v1Wrappers)
+	mux.HandleFunc("/v1/wrappers/{name}", s.v1Wrapper)
+	mux.HandleFunc("/v1/wrappers/{name}/extract", s.v1WrapperExtract)
+	mux.HandleFunc("/v1/wrappers/{name}/results", s.v1Results)
+	mux.HandleFunc("/v1/extract", s.v1Extract)
+	mux.HandleFunc("/v1/wrappers/{name}/{rest...}", s.v1NotFound)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -288,7 +477,8 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("n"); q != "" {
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 {
-			http.Error(w, "bad n", http.StatusBadRequest)
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("query parameter n must be a positive integer, got %q", q), nil)
 			return
 		}
 		n = v

@@ -227,7 +227,12 @@ type WrapperSource struct {
 	Every int
 	// NoCache disables the fingerprint-keyed result cache.
 	NoCache bool
-	tick    int
+	// NoSourceAttr suppresses the source="name" attribute on emitted
+	// documents, so the output is byte-identical to running the same
+	// program through the SDK or cmd/elogc (the /v1 dynamic wrappers
+	// rely on this).
+	NoSourceAttr bool
+	tick         int
 
 	// Compiled form of Program, built lazily on the first poll and
 	// reused across ticks.
@@ -443,7 +448,9 @@ func (s *WrapperSource) Poll() ([]*xmlenc.Node, error) {
 		design = &pib.Design{Auxiliary: map[string]bool{"document": true}}
 	}
 	doc := design.Transform(base)
-	doc.SetAttr("source", s.CompName)
+	if !s.NoSourceAttr {
+		doc.SetAttr("source", s.CompName)
+	}
 	s.lastURLs, s.lastFPs, s.lastDoc = rec.urls, rec.fps, doc
 	return []*xmlenc.Node{doc}, nil
 }

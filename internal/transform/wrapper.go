@@ -1,0 +1,45 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/elog"
+	"repro/pkg/lixto"
+)
+
+// NewWrapperSource builds a wrapper source from a compiled SDK wrapper:
+// the source shares the wrapper's bitset-compiled form (and therefore
+// its fingerprint-keyed match caches) instead of compiling its own copy
+// on the first poll. The program must not be mutated afterwards.
+func NewWrapperSource(name string, w *lixto.Wrapper, f elog.Fetcher) *WrapperSource {
+	return &WrapperSource{
+		CompName: name,
+		Fetcher:  f,
+		Program:  w.Program(),
+		Design:   w.Design(),
+		compiled: w.Compiled(),
+	}
+}
+
+// NewWrapperEngine wires the minimal single-wrapper information pipe —
+// one wrapper source feeding one collector — from a compiled SDK
+// wrapper. The emitted documents carry no source attribute, so each
+// delivery is byte-identical to running the same program through the
+// SDK; this is the engine behind the server's dynamically registered
+// /v1 wrappers.
+func NewWrapperEngine(name string, w *lixto.Wrapper, f elog.Fetcher) (*Engine, *Collector, error) {
+	e := NewEngine()
+	src := NewWrapperSource(name, w, f)
+	src.NoSourceAttr = true
+	out := &Collector{CompName: name + ".out"}
+	if err := e.Add(src); err != nil {
+		return nil, nil, err
+	}
+	if err := e.Add(out); err != nil {
+		return nil, nil, err
+	}
+	if err := e.Connect(src.CompName, out.CompName); err != nil {
+		return nil, nil, fmt.Errorf("transform: wiring wrapper engine %s: %w", name, err)
+	}
+	return e, out, nil
+}

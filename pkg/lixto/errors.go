@@ -1,0 +1,92 @@
+package lixto
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Kind classifies SDK errors by the lifecycle stage that failed.
+type Kind string
+
+const (
+	// KindParse: the Elog source did not parse (or referenced undefined
+	// patterns). The error carries a source position.
+	KindParse Kind = "parse"
+	// KindStratify: the program parsed but has no stratified semantics
+	// (a cycle through a negated pattern reference).
+	KindStratify Kind = "stratify"
+	// KindFetch: a document could not be retrieved — the configured
+	// Fetcher failed on an entry page, a URL source did not resolve, or
+	// the extraction context was cancelled mid-fetch.
+	KindFetch Kind = "fetch"
+	// KindEval: extraction itself failed (crawl/instance limits,
+	// condition errors, missing fetcher for the requested source).
+	KindEval Kind = "eval"
+)
+
+// Pos is a position in an Elog program: the 1-based rule number and the
+// 1-based source line the rule starts on. The zero value means unknown.
+type Pos struct {
+	Rule int `json:"rule,omitempty"`
+	Line int `json:"line,omitempty"`
+}
+
+// Error is the SDK's error type: every error returned by Compile,
+// Extract and ExtractAll is an *Error. Kind says which stage failed,
+// Pos (when non-nil) points into the wrapper source, and Unwrap exposes
+// the underlying cause — context cancellation is observable with
+// errors.Is(err, context.Canceled).
+type Error struct {
+	Kind Kind
+	Msg  string
+	Pos  *Pos
+	Err  error
+}
+
+func (e *Error) Error() string {
+	switch {
+	case e.Pos != nil && e.Pos.Line > 0:
+		return fmt.Sprintf("lixto: %s error at rule %d (line %d): %s", e.Kind, e.Pos.Rule, e.Pos.Line, e.Msg)
+	case e.Pos != nil:
+		return fmt.Sprintf("lixto: %s error at rule %d: %s", e.Kind, e.Pos.Rule, e.Msg)
+	}
+	return fmt.Sprintf("lixto: %s error: %s", e.Kind, e.Msg)
+}
+
+// Unwrap returns the underlying cause.
+func (e *Error) Unwrap() error { return e.Err }
+
+// AsError extracts the SDK error from an error chain, or wraps a
+// foreign error as an eval error so callers can always inspect a Kind.
+func AsError(err error) *Error {
+	if err == nil {
+		return nil
+	}
+	var le *Error
+	if errors.As(err, &le) {
+		return le
+	}
+	return &Error{Kind: KindEval, Msg: err.Error(), Err: err}
+}
+
+// newError wraps err with a kind, preserving the kind of an inner
+// fetch-boundary tag or *Error if one is already present (so a fetch
+// error surfacing through the evaluator classifies as KindFetch). The
+// message is the outermost error text: the tags add no prefix of their
+// own, so rule context from the evaluator survives without nesting
+// "lixto: ... error:" prefixes.
+func newError(kind Kind, err error) *Error {
+	var fe fetchError
+	if errors.As(err, &fe) {
+		return &Error{Kind: KindFetch, Msg: err.Error(), Err: err}
+	}
+	var le *Error
+	if errors.As(err, &le) {
+		return &Error{Kind: le.Kind, Msg: le.Msg, Pos: le.Pos, Err: err}
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		kind = KindFetch
+	}
+	return &Error{Kind: kind, Msg: err.Error(), Err: err}
+}

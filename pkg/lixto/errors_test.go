@@ -1,0 +1,26 @@
+package lixto
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/elog"
+)
+
+// A fetch failure surfacing through the evaluator keeps one "lixto:"
+// prefix and the rule context, not a nested prefix per wrap.
+func TestNoDoubledPrefix(t *testing.T) {
+	w := MustCompile(bookWrapper)
+	failing := elog.FetcherFunc(func(url string) (*dom.Tree, error) { return nil, errors.New("boom") })
+	_, err := w.Extract(context.Background(), Origin(), WithFetcher(failing))
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if n := strings.Count(err.Error(), "lixto:"); n != 1 {
+		t.Fatalf("prefix count %d: %q", n, err.Error())
+	}
+	t.Log(err.Error())
+}
