@@ -11,15 +11,19 @@ import (
 	"strings"
 	"testing"
 
+	"time"
+
 	"repro/internal/apps"
 	"repro/internal/automata"
 	"repro/internal/cq"
 	"repro/internal/datalog"
 	"repro/internal/dom"
 	"repro/internal/elog"
+	"repro/internal/fetchcache"
 	"repro/internal/htmlparse"
 	"repro/internal/mdatalog"
 	"repro/internal/pib"
+	"repro/internal/transform"
 	"repro/internal/visual"
 	"repro/internal/web"
 	"repro/internal/xpath"
@@ -405,6 +409,54 @@ func BenchmarkE17_PowerTrading(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		app.Step()
 	}
+}
+
+// BenchmarkE20_SharedFetchLayer: a fleet of 1000 wrapper sources
+// monitoring 50 shared pages, polled one full round per iteration —
+// per-wrapper fetching (every source fetches and parses its page
+// privately, the pre-PR-5 behaviour) vs the shared fetch/document
+// layer (one fetch+parse per page per freshness window, all sources
+// sharing the parsed tree).
+func BenchmarkE20_SharedFetchLayer(b *testing.B) {
+	const nWrappers, nPages = 1000, 50
+	newSim := func() *web.Web {
+		sim := web.New()
+		for p := 0; p < nPages; p++ {
+			sim.SetStatic(fmt.Sprintf("fleet.example.com/p%d", p),
+				fmt.Sprintf(`<html><body><table><tr><td class="t">item %d</td></tr><tr><td class="t">more %d</td></tr></table></body></html>`, p, p))
+		}
+		return sim
+	}
+	run := func(b *testing.B, cache *fetchcache.Cache) {
+		sim := newSim()
+		srcs := make([]*transform.WrapperSource, nWrappers)
+		for i := range srcs {
+			srcs[i] = &transform.WrapperSource{
+				CompName: fmt.Sprintf("w%d", i),
+				Fetcher:  sim,
+				Program: elog.MustParse(fmt.Sprintf(
+					`it(S, X) <- document("fleet.example.com/p%d", S), subelem(S, (?.td, [(class, t, exact)]), X)`, i%nPages)),
+				Design: &pib.Design{Auxiliary: map[string]bool{"document": true}},
+				Shared: cache,
+			}
+		}
+		// Warm round: compile every program, populate the caches.
+		for _, s := range srcs {
+			if _, err := s.Poll(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, s := range srcs {
+				if _, err := s.Poll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("private", func(b *testing.B) { run(b, nil) })
+	b.Run("shared", func(b *testing.B) { run(b, fetchcache.New(nPages*2, time.Hour)) })
 }
 
 // BenchmarkWrapperToXML measures the full extract+transform path used by

@@ -15,6 +15,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -23,6 +24,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -32,9 +34,12 @@ import (
 	"repro/internal/datalog"
 	"repro/internal/dom"
 	"repro/internal/elog"
+	"repro/internal/fetchcache"
 	"repro/internal/htmlparse"
 	"repro/internal/mdatalog"
+	"repro/internal/pib"
 	"repro/internal/server"
+	"repro/internal/transform"
 	"repro/internal/visual"
 	"repro/internal/web"
 	"repro/internal/xpath"
@@ -57,6 +62,7 @@ func main() {
 	e12TranslationSizes()
 	e18ElogCompiled()
 	e19DynamicRegister()
+	e20SharedFetch()
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -183,6 +189,25 @@ func writeBenchJSON(path string) error {
 	})
 	e19ts.Close()
 
+	// Shared fetch layer: one fleet polling round, per-wrapper fetching
+	// vs the shared cache (E20).
+	e20priv, _ := e20Fleet(1000, 50, nil)
+	pollFleet(e20priv)
+	add("E20_SharedFetch/private-1000x50", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pollFleet(e20priv)
+		}
+	})
+	e20shared, _ := e20Fleet(1000, 50, fetchcache.New(100, time.Hour))
+	pollFleet(e20shared)
+	add("E20_SharedFetch/shared-1000x50", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			pollFleet(e20shared)
+		}
+	})
+
 	prog, qpred, err := xpath.TranslateCore(xq)
 	if err != nil {
 		return err
@@ -203,8 +228,15 @@ func writeBenchJSON(path string) error {
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
-// timeIt returns the median wall time of r runs of f.
+// timeIt returns the median wall time of several runs of f.
 func timeIt(f func()) time.Duration {
+	d, _ := timeItN(f)
+	return d
+}
+
+// timeItN is timeIt, additionally reporting how many times f ran (for
+// callers that meter side effects per run).
+func timeItN(f func()) (time.Duration, int) {
 	runs := 5
 	if *quick {
 		runs = 3
@@ -216,7 +248,7 @@ func timeIt(f func()) time.Duration {
 		ds = append(ds, time.Since(t0))
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-	return ds[len(ds)/2]
+	return ds[len(ds)/2], runs
 }
 
 func header(id, title, claim string) {
@@ -599,6 +631,102 @@ func e19DynamicRegister() {
 	fmt.Printf("   %-34s %12s\n", "cold: POST wrappers (50 items)", cold.Round(time.Microsecond))
 	fmt.Printf("   %-34s %12s\n", "warm: POST extract, cached page", warm.Round(time.Microsecond))
 	fmt.Printf("   cold/warm: %.1fx\n", float64(cold)/float64(warm))
+}
+
+// nopPipe is an inert pipeline for counting scheduler goroutines.
+type nopPipe struct {
+	name string
+	out  *transform.Collector
+}
+
+func (p *nopPipe) PipeName() string             { return p.name }
+func (p *nopPipe) Tick() error                  { return nil }
+func (p *nopPipe) Output() *transform.Collector { return p.out }
+
+// goroutinesWithPipelines runs a server with n registered pipelines and
+// reports the process goroutine count at steady state.
+func goroutinesWithPipelines(n int) int {
+	s := server.New(server.Config{Addr: "127.0.0.1:0"})
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("p%d", i)
+		if err := s.Register(&nopPipe{name: name, out: &transform.Collector{CompName: name}}, time.Hour); err != nil {
+			panic(err)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	<-s.Ready()
+	time.Sleep(30 * time.Millisecond) // let the immediate first ticks drain
+	g := runtime.NumGoroutine()
+	cancel()
+	<-done
+	return g
+}
+
+// e20Fleet builds the 1000-wrapper/50-page fleet of E20; cache nil
+// means per-wrapper fetching.
+func e20Fleet(nWrappers, nPages int, cache *fetchcache.Cache) ([]*transform.WrapperSource, *web.Web) {
+	sim := web.New()
+	for p := 0; p < nPages; p++ {
+		sim.SetStatic(fmt.Sprintf("fleet.example.com/p%d", p),
+			fmt.Sprintf(`<html><body><table><tr><td class="t">item %d</td></tr><tr><td class="t">more %d</td></tr></table></body></html>`, p, p))
+	}
+	srcs := make([]*transform.WrapperSource, nWrappers)
+	for i := range srcs {
+		srcs[i] = &transform.WrapperSource{
+			CompName: fmt.Sprintf("w%d", i),
+			Fetcher:  sim,
+			Program: elog.MustParse(fmt.Sprintf(
+				`it(S, X) <- document("fleet.example.com/p%d", S), subelem(S, (?.td, [(class, t, exact)]), X)`, i%nPages)),
+			Design: &pib.Design{Auxiliary: map[string]bool{"document": true}},
+			Shared: cache,
+		}
+	}
+	return srcs, sim
+}
+
+func pollFleet(srcs []*transform.WrapperSource) {
+	for _, s := range srcs {
+		if _, err := s.Poll(); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func e20SharedFetch() {
+	header("E20", "sharded scheduler + shared fetch layer (PR 5)",
+		"O(shards+workers) goroutines for any fleet size; overlapping wrappers share one fetch+parse per page")
+	fmt.Printf("   %10s %12s\n", "wrappers", "goroutines")
+	for _, n := range []int{10, 100, 1000} {
+		fmt.Printf("   %10d %12d\n", n, goroutinesWithPipelines(n))
+	}
+
+	const nWrappers, nPages = 1000, 50
+	fetches := func(sim *web.Web) int {
+		total := 0
+		for p := 0; p < nPages; p++ {
+			total += sim.FetchCount(fmt.Sprintf("fleet.example.com/p%d", p))
+		}
+		return total
+	}
+	priv, privSim := e20Fleet(nWrappers, nPages, nil)
+	pollFleet(priv) // warm: compile + first poll
+	before := fetches(privSim)
+	dPriv, rounds := timeItN(func() { pollFleet(priv) })
+	privPerRound := (fetches(privSim) - before) / rounds
+
+	shared, sharedSim := e20Fleet(nWrappers, nPages, fetchcache.New(nPages*2, time.Hour))
+	pollFleet(shared)
+	before = fetches(sharedSim)
+	dShared, _ := timeItN(func() { pollFleet(shared) })
+	sharedPerRound := (fetches(sharedSim) - before) / rounds
+
+	fmt.Printf("   fleet poll round (%d wrappers / %d shared pages):\n", nWrappers, nPages)
+	fmt.Printf("   %-28s %12s %18s\n", "", "median", "fetches/round")
+	fmt.Printf("   %-28s %12s %18d\n", "per-wrapper fetching", dPriv.Round(time.Microsecond), privPerRound)
+	fmt.Printf("   %-28s %12s %18d\n", "shared fetch layer", dShared.Round(time.Microsecond), sharedPerRound)
+	fmt.Printf("   private/shared: %.1fx\n", float64(dPriv)/float64(dShared))
 }
 
 func e12TranslationSizes() {

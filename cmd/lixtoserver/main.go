@@ -3,6 +3,7 @@
 // simulated web, and serves their output on HTTP:
 //
 //	lixtoserver [-addr :8080] [-interval 2s] [-steps N] [-history N] [-pprof] [-allow-dynamic]
+//	            [-shards N] [-workers N] [-jitter F] [-cache-entries N] [-cache-ttl D]
 //
 //	GET /nowplaying           the Now Playing portal feed (Section 6.1)
 //	GET /flights              the latest flight alerts (6.2)
@@ -25,12 +26,19 @@
 // Documents are served as XML, or as JSON when the request's Accept
 // header prefers application/json.
 //
-// In serve mode each pipeline ticks on its own goroutine at the
-// configured interval; SIGINT/SIGTERM shuts the server down
-// gracefully, draining any in-flight tick (including dynamically
-// registered wrappers). With -steps N the server instead runs N
-// synchronous ticks, prints a summary and exits (useful without a
-// long-running terminal).
+// In serve mode the pipelines tick on a sharded timer-heap scheduler:
+// -shards timer goroutines own the next-fire deadline heaps and
+// dispatch due wrappers into a pool of -workers goroutines, so the
+// goroutine count stays O(shards+workers) no matter how many wrappers
+// are registered. -jitter 0.1 spreads deadlines by ±10% of the
+// interval so a large fleet does not fire in lockstep. -cache-entries
+// sizes the shared fetch/document layer deduplicating fetch+parse
+// across dynamic wrappers that monitor the same URLs (0 disables);
+// -cache-ttl bounds how stale a shared page may be served.
+// SIGINT/SIGTERM shuts the server down gracefully, draining queued and
+// in-flight ticks (including dynamically registered wrappers). With
+// -steps N the server instead runs N synchronous ticks, prints a
+// summary and exits (useful without a long-running terminal).
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/fetchcache"
 	"repro/internal/server"
 	"repro/internal/web"
 )
@@ -55,9 +64,17 @@ func main() {
 	history := flag.Int("history", 0, "documents retained per pipeline (0 = default 64)")
 	allowDynamic := flag.Bool("allow-dynamic", false,
 		"accept wrapper registration at runtime via the /v1 API")
+	shards := flag.Int("shards", 0, "scheduler timer shards (0 = default 4)")
+	workers := flag.Int("workers", 0, "scheduler tick workers (0 = GOMAXPROCS)")
+	jitter := flag.Float64("jitter", 0, "deadline jitter as a fraction of the interval (0..0.5)")
+	cacheEntries := flag.Int("cache-entries", 1024, "shared fetch cache capacity in pages (0 disables)")
+	cacheTTL := flag.Duration("cache-ttl", time.Second, "shared fetch cache freshness window (0 = never stale)")
 	flag.Parse()
 	if *history < 0 {
 		fatal(fmt.Errorf("-history must be >= 0, got %d", *history))
+	}
+	if *jitter < 0 || *jitter > 0.5 {
+		fatal(fmt.Errorf("-jitter must be in [0, 0.5], got %g", *jitter))
 	}
 
 	np, err := apps.NewNowPlaying(2004)
@@ -99,12 +116,18 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Addr:            *addr,
-		DefaultInterval: *interval,
-		EnablePprof:     *pprofFlag,
+		Addr:             *addr,
+		DefaultInterval:  *interval,
+		EnablePprof:      *pprofFlag,
+		SchedulerShards:  *shards,
+		SchedulerWorkers: *workers,
+		SchedulerJitter:  *jitter,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
+	}
+	if *cacheEntries > 0 {
+		cfg.SharedCache = fetchcache.New(*cacheEntries, *cacheTTL)
 	}
 	if *allowDynamic {
 		// Dynamic wrappers without an inline page extract from the

@@ -12,21 +12,22 @@ import (
 // for synchronous one-shot extractions. Both paths share the compiled
 // program and its match caches.
 type dynPipeline struct {
-	name     string
-	w        *lixto.Wrapper
-	eng      *transform.Engine
-	out      *transform.Collector
-	onDemand bool
+	name string
+	w    *lixto.Wrapper
+	eng  *transform.Engine
+	out  *transform.Collector
 }
 
 // newDynPipeline compiles nothing: it wires an already-compiled SDK
-// wrapper into a schedulable pipeline.
-func newDynPipeline(name string, w *lixto.Wrapper, f elog.Fetcher, onDemand bool) (*dynPipeline, error) {
+// wrapper into a schedulable pipeline. Scheduling (interval vs
+// on-demand) lives in the server's pipeState and may change over the
+// pipeline's lifetime via PATCH.
+func newDynPipeline(name string, w *lixto.Wrapper, f elog.Fetcher) (*dynPipeline, error) {
 	eng, out, err := transform.NewWrapperEngine(name, w, f)
 	if err != nil {
 		return nil, err
 	}
-	return &dynPipeline{name: name, w: w, eng: eng, out: out, onDemand: onDemand}, nil
+	return &dynPipeline{name: name, w: w, eng: eng, out: out}, nil
 }
 
 // PipeName implements Pipeline.

@@ -1,0 +1,348 @@
+package server
+
+import (
+	"container/heap"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// sched is the sharded timer-heap scheduler: a small fixed set of
+// shard goroutines each own a min-heap of next-fire deadlines, and due
+// pipelines are dispatched into a bounded worker pool. The goroutine
+// count is O(shards + workers) regardless of how many pipelines are
+// registered — the per-pipeline ticker goroutines this replaces scaled
+// O(pipelines).
+//
+// Overlap protection: a pipeline whose previous tick is still queued
+// or running when its deadline fires is not dispatched again (a tick
+// never runs concurrently with itself); the miss is counted as a late
+// tick and the deadline advances one interval. A full dispatch queue
+// counts a dropped tick and retries on a short backoff instead of
+// blocking the shard (backpressure never stalls unrelated pipelines
+// on the same shard).
+type sched struct {
+	workers  int
+	jitter   float64
+	queue    chan *schedEntry
+	shards   []*shard
+	stopping chan struct{}
+
+	shardWg  sync.WaitGroup
+	workerWg sync.WaitGroup
+	stopped  atomic.Bool
+
+	dispatched atomic.Uint64
+	late       atomic.Uint64
+	dropped    atomic.Uint64
+	busy       atomic.Int64
+}
+
+// Entry execution states, guarded by the owning shard's mutex.
+const (
+	entryIdle    = iota // schedulable
+	entryQueued         // sitting in the dispatch queue
+	entryRunning        // tick in flight on a worker
+)
+
+// schedEntry is one scheduled pipeline's heap slot. All mutable fields
+// are guarded by sh.mu.
+type schedEntry struct {
+	ps *pipeState
+	sh *shard
+
+	interval time.Duration
+	when     time.Time
+	idx      int // heap position, -1 when popped
+	state    int
+	removed  bool
+}
+
+// shard owns one deadline heap and the goroutine draining it.
+type shard struct {
+	s    *sched
+	mu   sync.Mutex
+	cond *sync.Cond // broadcast when an entry returns to entryIdle
+	heap entryHeap
+	wake chan struct{}
+	rng  uint64 // xorshift state for jitter
+}
+
+// newSched starts the shard and worker goroutines immediately.
+func newSched(shards, workers, queueCap int, jitter float64) *sched {
+	s := &sched{
+		workers:  workers,
+		jitter:   jitter,
+		queue:    make(chan *schedEntry, queueCap),
+		stopping: make(chan struct{}),
+	}
+	for i := 0; i < shards; i++ {
+		sh := &shard{s: s, wake: make(chan struct{}, 1), rng: uint64(i)*0x9e3779b97f4a7c15 + 1}
+		sh.cond = sync.NewCond(&sh.mu)
+		s.shards = append(s.shards, sh)
+		s.shardWg.Add(1)
+		go sh.loop()
+	}
+	for i := 0; i < workers; i++ {
+		s.workerWg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// schedule adds a pipeline firing first at the given time, sharded by
+// name so reschedules and removals find a stable owner. With
+// jitterFirst the first deadline is spread by the configured jitter
+// too, so a fleet registered in one burst does not fire its first
+// round in lockstep.
+func (s *sched) schedule(ps *pipeState, name string, interval time.Duration, first time.Time, jitterFirst bool) *schedEntry {
+	sh := s.shards[fnv32(name)%uint32(len(s.shards))]
+	e := &schedEntry{ps: ps, sh: sh, interval: interval, when: first, idx: -1}
+	sh.mu.Lock()
+	if jitterFirst {
+		e.when = first.Add(sh.jitterDelta(interval))
+	}
+	heap.Push(&sh.heap, e)
+	sh.mu.Unlock()
+	sh.kick()
+	return e
+}
+
+// reschedule moves a live entry to a new cadence; the next fire is one
+// new interval from now.
+func (s *sched) reschedule(e *schedEntry, interval time.Duration) {
+	sh := e.sh
+	sh.mu.Lock()
+	e.interval = interval
+	if !e.removed {
+		e.when = time.Now().Add(interval)
+		if e.idx >= 0 {
+			heap.Fix(&sh.heap, e.idx)
+		} else {
+			heap.Push(&sh.heap, e)
+		}
+	}
+	sh.mu.Unlock()
+	sh.kick()
+}
+
+// remove unschedules an entry and blocks until any queued or in-flight
+// tick of it has drained, so callers observe the old
+// cancel-and-wait-for-done semantics.
+func (s *sched) remove(e *schedEntry) {
+	sh := e.sh
+	sh.mu.Lock()
+	e.removed = true
+	if e.idx >= 0 {
+		heap.Remove(&sh.heap, e.idx)
+	}
+	for e.state != entryIdle {
+		sh.cond.Wait()
+	}
+	sh.mu.Unlock()
+}
+
+// stopAndDrain stops the shard goroutines, then closes the dispatch
+// queue and waits for the workers to finish every already-queued tick.
+func (s *sched) stopAndDrain() {
+	if !s.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	close(s.stopping)
+	s.shardWg.Wait() // no sender left
+	close(s.queue)
+	s.workerWg.Wait()
+}
+
+// SchedulerStatus is the /statusz "scheduler" block: pool shape plus
+// the backpressure counters.
+type SchedulerStatus struct {
+	Shards            int     `json:"shards"`
+	Workers           int     `json:"workers"`
+	Scheduled         int     `json:"scheduled"`
+	QueueDepth        int     `json:"queue_depth"`
+	QueueCapacity     int     `json:"queue_capacity"`
+	BusyWorkers       int     `json:"busy_workers"`
+	WorkerUtilization float64 `json:"worker_utilization"`
+	Dispatched        uint64  `json:"dispatched"`
+	LateTicks         uint64  `json:"late_ticks"`
+	DroppedTicks      uint64  `json:"dropped_ticks"`
+}
+
+func (s *sched) status() SchedulerStatus {
+	scheduled := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		scheduled += len(sh.heap)
+		sh.mu.Unlock()
+	}
+	busy := int(s.busy.Load())
+	return SchedulerStatus{
+		Shards:            len(s.shards),
+		Workers:           s.workers,
+		Scheduled:         scheduled,
+		QueueDepth:        len(s.queue),
+		QueueCapacity:     cap(s.queue),
+		BusyWorkers:       busy,
+		WorkerUtilization: float64(busy) / float64(s.workers),
+		Dispatched:        s.dispatched.Load(),
+		LateTicks:         s.late.Load(),
+		DroppedTicks:      s.dropped.Load(),
+	}
+}
+
+func (s *sched) worker() {
+	defer s.workerWg.Done()
+	for e := range s.queue {
+		sh := e.sh
+		sh.mu.Lock()
+		if e.removed {
+			e.state = entryIdle
+			sh.cond.Broadcast()
+			sh.mu.Unlock()
+			continue
+		}
+		e.state = entryRunning
+		sh.mu.Unlock()
+
+		s.busy.Add(1)
+		e.ps.tickOnce()
+		s.busy.Add(-1)
+		s.dispatched.Add(1)
+
+		sh.mu.Lock()
+		e.state = entryIdle
+		sh.cond.Broadcast()
+		sh.mu.Unlock()
+	}
+}
+
+// kick wakes the shard goroutine to re-examine its heap (non-blocking;
+// one pending wake is enough).
+func (sh *shard) kick() {
+	select {
+	case sh.wake <- struct{}{}:
+	default:
+	}
+}
+
+// loop drains the shard's deadline heap until the scheduler stops.
+func (sh *shard) loop() {
+	defer sh.s.shardWg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		sh.mu.Lock()
+		now := time.Now()
+		for len(sh.heap) > 0 && !sh.heap[0].when.After(now) {
+			e := sh.heap[0]
+			if e.state != entryIdle {
+				// Overlap protection: the previous tick is still queued
+				// or running, so this deadline is skipped.
+				sh.s.late.Add(1)
+				e.when = now.Add(sh.jittered(e.interval))
+				heap.Fix(&sh.heap, 0)
+				continue
+			}
+			select {
+			case sh.s.queue <- e:
+				e.state = entryQueued
+				e.when = now.Add(sh.jittered(e.interval))
+			default:
+				// Queue full: record the drop and retry soon rather than
+				// blocking the whole shard behind the worker pool.
+				sh.s.dropped.Add(1)
+				e.when = now.Add(retryDelay(e.interval))
+			}
+			heap.Fix(&sh.heap, 0)
+		}
+		wait := time.Hour
+		if len(sh.heap) > 0 {
+			if wait = time.Until(sh.heap[0].when); wait < 0 {
+				wait = 0
+			}
+		}
+		sh.mu.Unlock()
+
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-sh.s.stopping:
+			return
+		case <-sh.wake:
+		case <-timer.C:
+		}
+	}
+}
+
+// retryDelay is the backoff before re-attempting a dispatch that found
+// the queue full: a quarter interval, clamped to [5ms, 1s].
+func retryDelay(interval time.Duration) time.Duration {
+	d := interval / 4
+	if d < 5*time.Millisecond {
+		d = 5 * time.Millisecond
+	}
+	if d > time.Second {
+		d = time.Second
+	}
+	return d
+}
+
+// jittered spreads a deadline by ±jitter·interval, decorrelating
+// pipelines registered at the same instant. Called under sh.mu.
+func (sh *shard) jittered(d time.Duration) time.Duration {
+	return d + sh.jitterDelta(d)
+}
+
+// jitterDelta draws the ±jitter·d offset alone. Called under sh.mu.
+func (sh *shard) jitterDelta(d time.Duration) time.Duration {
+	j := sh.s.jitter
+	if j <= 0 || d <= 0 {
+		return 0
+	}
+	sh.rng ^= sh.rng << 13
+	sh.rng ^= sh.rng >> 7
+	sh.rng ^= sh.rng << 17
+	f := float64(sh.rng%(1<<20))/(1<<19) - 1 // [-1, 1)
+	return time.Duration(f * j * float64(d))
+}
+
+// fnv32 hashes a pipeline name onto its shard.
+func fnv32(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+// entryHeap is a min-heap on the next-fire deadline.
+type entryHeap []*schedEntry
+
+func (h entryHeap) Len() int           { return len(h) }
+func (h entryHeap) Less(i, j int) bool { return h[i].when.Before(h[j].when) }
+func (h entryHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx, h[j].idx = i, j
+}
+
+func (h *entryHeap) Push(x any) {
+	e := x.(*schedEntry)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}

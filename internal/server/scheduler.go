@@ -1,36 +1,40 @@
 package server
 
 import (
-	"context"
 	"sync"
 	"time"
 
 	"repro/internal/xmlenc"
 )
 
-// pipeState is one scheduled pipeline plus its run-time counters. The
-// scheduler goroutine is the only writer; HTTP handlers read the
-// counters under the mutex.
+// pipeState is one scheduled pipeline plus its run-time counters. Ticks
+// are executed by the sharded scheduler's worker pool (see sched.go),
+// which guarantees a pipeline never ticks concurrently with itself;
+// HTTP handlers read the counters under the mutex.
 type pipeState struct {
-	p        Pipeline
-	interval time.Duration
+	p    Pipeline
+	name string
 
 	// dynamic pipelines were registered through the /v1 API at runtime
 	// and may be deregistered again; onDemand ones never tick on a
 	// schedule (extraction is driven by POST .../extract only).
-	dynamic  bool
-	onDemand bool
-	// skipFirst suppresses the immediate first tick of the scheduler
-	// goroutine (the registration path already ticked synchronously).
+	dynamic bool
+	// skipFirst suppresses the immediate first tick when the pipeline
+	// is scheduled (the registration path already ticked synchronously).
 	skipFirst bool
-	// running/cancel/done manage the scheduler goroutine lifecycle;
-	// guarded by the server mutex (running) and written once (cancel,
-	// done) before the goroutine starts.
-	running bool
-	cancel  context.CancelFunc
-	done    chan struct{}
+	// registering is true while RegisterDynamic's synchronous first
+	// tick is in flight; SetInterval must not schedule the pipeline
+	// until it completes (a scheduled tick would run concurrently with
+	// the registration tick). Guarded by the server mutex.
+	registering bool
+	// entry is the pipeline's slot in the scheduler's deadline heap
+	// (nil before Run and for on-demand pipelines); guarded by the
+	// server mutex.
+	entry *schedEntry
 
 	mu          sync.Mutex
+	interval    time.Duration
+	onDemand    bool
 	ticks       uint64
 	errs        uint64
 	lastErr     string
@@ -70,29 +74,6 @@ func (ps *pipeState) render(doc *xmlenc.Node, asJSON bool) ([]byte, error) {
 	return ps.renderXML, nil
 }
 
-// run ticks the pipeline until ctx is cancelled. The first tick fires
-// immediately so the endpoints have data as soon as possible (unless
-// the registration path already ran it synchronously); after that a
-// time.Ticker drives the cadence, which (unlike a sleep loop) does not
-// drift by the tick's own duration. A tick that is in flight when ctx
-// is cancelled always completes and is counted — cancellation is only
-// observed between ticks.
-func (ps *pipeState) run(ctx context.Context) {
-	if !ps.skipFirst {
-		ps.tickOnce()
-	}
-	t := time.NewTicker(ps.interval)
-	defer t.Stop()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case <-t.C:
-			ps.tickOnce()
-		}
-	}
-}
-
 func (ps *pipeState) tickOnce() {
 	start := time.Now()
 	err := ps.p.Tick()
@@ -106,6 +87,13 @@ func (ps *pipeState) tickOnce() {
 		ps.errs++
 		ps.lastErr = err.Error()
 	}
+}
+
+// flags returns the mutable registration flags consistently.
+func (ps *pipeState) flags() (dynamic, onDemand bool) {
+	ps.mu.Lock()
+	defer ps.mu.Unlock()
+	return ps.dynamic, ps.onDemand
 }
 
 func (ps *pipeState) status(name string) PipelineStatus {

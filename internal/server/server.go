@@ -1,7 +1,10 @@
 // Package server hosts Transformation Server pipelines (Section 5) as
-// a long-running concurrent service: each registered pipeline ticks on
-// its own goroutine at its own interval, and the latest outputs are
-// published over HTTP.
+// a long-running concurrent service: registered pipelines tick at
+// their own intervals on a sharded timer-heap scheduler (a fixed set
+// of shard goroutines owning next-fire deadline heaps, dispatching
+// into a bounded worker pool — O(shards+workers) goroutines whether
+// ten pipelines are registered or ten thousand), and the latest
+// outputs are published over HTTP.
 //
 // Legacy (unversioned) endpoints, kept bit-for-bit stable:
 //
@@ -17,10 +20,11 @@
 // envelope {"error":{"kind","message","pos"}}.
 //
 // Lifecycle is context-driven: Run blocks until the context is
-// cancelled, then stops the tickers, drains in-flight ticks, and shuts
-// the HTTP listener down gracefully. Dynamically registered pipelines
-// participate: each owns a child context and is drained on DELETE and
-// on shutdown.
+// cancelled, then stops the scheduler shards, drains queued and
+// in-flight ticks, and shuts the HTTP listener down gracefully.
+// Dynamically registered pipelines participate: each is drained on
+// DELETE and on shutdown, and PATCH /v1/wrappers/{name} reschedules a
+// wrapper in the live deadline heap without a restart.
 package server
 
 import (
@@ -31,6 +35,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -38,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/elog"
+	"repro/internal/fetchcache"
 	"repro/internal/transform"
 	"repro/internal/xmlenc"
 )
@@ -88,6 +94,26 @@ type Config struct {
 	// MaxCompilesPerMinute rate-limits program compilation across the
 	// /v1 endpoints (token bucket; default 60, negative = unlimited).
 	MaxCompilesPerMinute int
+	// SchedulerShards is the number of timer-shard goroutines owning
+	// the pipeline deadline heaps (default 4).
+	SchedulerShards int
+	// SchedulerWorkers bounds how many pipeline ticks run concurrently
+	// (default GOMAXPROCS, at least 4).
+	SchedulerWorkers int
+	// SchedulerQueue is the dispatch queue capacity between the timer
+	// shards and the worker pool (default 16× workers, at least 256).
+	// A full queue counts dropped ticks on /statusz.
+	SchedulerQueue int
+	// SchedulerJitter spreads every deadline by ±jitter·interval
+	// (0..0.5), decorrelating pipelines registered at the same instant
+	// so a fleet does not fire in lockstep. Default 0.
+	SchedulerJitter float64
+	// SharedCache, when set, is the shared fetch/document layer:
+	// dynamically registered wrappers without an inline page resolve
+	// their fetches through it (deduplicating fetch+parse across
+	// wrappers monitoring the same URLs), and its counters appear on
+	// /statusz and GET /v1/wrappers.
+	SharedCache *fetchcache.Cache
 	// Logf, when set, receives server lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -118,6 +144,23 @@ func (c *Config) withDefaults() Config {
 	if out.MaxCompilesPerMinute == 0 {
 		out.MaxCompilesPerMinute = 60
 	}
+	if out.SchedulerShards <= 0 {
+		out.SchedulerShards = 4
+	}
+	if out.SchedulerWorkers <= 0 {
+		out.SchedulerWorkers = max(4, runtime.GOMAXPROCS(0))
+	}
+	if out.SchedulerQueue <= 0 {
+		out.SchedulerQueue = max(256, 16*out.SchedulerWorkers)
+	}
+	if out.SchedulerJitter < 0 {
+		out.SchedulerJitter = 0
+	}
+	if out.SchedulerJitter > 0.5 {
+		// Above 0.5 the jittered deadline could approach zero delay,
+		// degenerating into continuous ticking.
+		out.SchedulerJitter = 0.5
+	}
 	if out.Logf == nil {
 		out.Logf = func(string, ...any) {}
 	}
@@ -134,10 +177,9 @@ type Server struct {
 	addr     string
 	started  bool
 	draining bool
-	tickCtx  context.Context // parent of every pipeline's context; set by Run
+	sched    *sched // sharded timer-heap scheduler; set by Run
 
-	wg      sync.WaitGroup // scheduler goroutines
-	limiter *rateLimiter   // compile rate limit for the /v1 endpoints
+	limiter *rateLimiter // compile rate limit for the /v1 endpoints
 
 	ready chan struct{} // closed once the listener is bound
 }
@@ -182,7 +224,7 @@ func (s *Server) Register(p Pipeline, interval time.Duration) error {
 	if _, dup := s.pipes[name]; dup {
 		return fmt.Errorf("server: duplicate pipeline %q", name)
 	}
-	s.pipes[name] = &pipeState{p: p, interval: interval}
+	s.pipes[name] = &pipeState{p: p, name: name, interval: interval}
 	s.order = append(s.order, name)
 	return nil
 }
@@ -212,7 +254,8 @@ func (s *Server) RegisterDynamic(p Pipeline, interval time.Duration, onDemand bo
 	if interval <= 0 {
 		interval = s.cfg.DefaultInterval
 	}
-	ps := &pipeState{p: p, interval: interval, dynamic: true, onDemand: onDemand, skipFirst: true}
+	ps := &pipeState{p: p, name: name, interval: interval, dynamic: true, onDemand: onDemand,
+		skipFirst: true, registering: true}
 
 	s.mu.Lock()
 	if s.draining {
@@ -250,6 +293,10 @@ func (s *Server) RegisterDynamic(p Pipeline, interval time.Duration, onDemand bo
 		// A concurrent DELETE raced the first tick; stay deregistered.
 		return fmt.Errorf("server: pipeline %q deregistered during registration", name)
 	}
+	// startLocked reads the live interval/onDemand flags, so a PATCH
+	// that raced the first tick (deferred while registering) takes
+	// effect here.
+	ps.registering = false
 	if s.started {
 		s.startLocked(ps)
 	}
@@ -258,8 +305,8 @@ func (s *Server) RegisterDynamic(p Pipeline, interval time.Duration, onDemand bo
 }
 
 // Deregister retires a dynamically registered pipeline: it is removed
-// from the registry, its scheduler context is cancelled, and the call
-// blocks until any in-flight tick has drained.
+// from the registry, unscheduled from its timer shard, and the call
+// blocks until any queued or in-flight tick has drained.
 func (s *Server) Deregister(name string) error {
 	s.mu.Lock()
 	ps := s.pipes[name]
@@ -272,12 +319,58 @@ func (s *Server) Deregister(name string) error {
 		return errStaticPipeline
 	}
 	s.removePipeLocked(name)
+	entry, sched := ps.entry, s.sched
+	ps.entry = nil
 	s.mu.Unlock()
-	if ps.cancel != nil {
-		ps.cancel()
-		<-ps.done
+	if entry != nil && sched != nil {
+		sched.remove(entry)
 	}
 	s.cfg.Logf("server: deregistered pipeline %q", name)
+	return nil
+}
+
+// SetInterval reschedules a dynamically registered wrapper in the live
+// deadline heap: interval > 0 sets a new cadence (the next tick fires
+// one new interval from now; an on-demand wrapper starts ticking),
+// interval 0 converts the wrapper to on-demand, unscheduling it. The
+// call blocks until a tick of a newly on-demand wrapper has drained.
+func (s *Server) SetInterval(name string, interval time.Duration) error {
+	s.mu.Lock()
+	ps := s.pipes[name]
+	if ps == nil {
+		s.mu.Unlock()
+		return errUnknownPipeline
+	}
+	if !ps.dynamic {
+		s.mu.Unlock()
+		return errStaticPipeline
+	}
+	onDemand := interval <= 0
+	ps.mu.Lock()
+	ps.interval = interval
+	ps.onDemand = onDemand
+	ps.mu.Unlock()
+	entry, sched := ps.entry, s.sched
+	switch {
+	case onDemand && entry != nil:
+		ps.entry = nil
+		s.mu.Unlock()
+		sched.remove(entry)
+	case !onDemand && entry != nil:
+		s.mu.Unlock()
+		sched.reschedule(entry, interval)
+	case !onDemand && entry == nil && s.started && !s.draining && !ps.registering:
+		// Was on-demand: start ticking (skipFirst holds for dynamic
+		// pipelines, so the first fire is one interval from now).
+		s.startLocked(ps)
+		s.mu.Unlock()
+	default:
+		// Before Run, while draining, or while the registration tick is
+		// still in flight: the new interval is picked up when the
+		// scheduler (or the registration path) schedules the pipeline.
+		s.mu.Unlock()
+	}
+	s.cfg.Logf("server: rescheduled pipeline %q (interval %s)", name, interval)
 	return nil
 }
 
@@ -302,22 +395,22 @@ func (s *Server) removePipeLocked(name string) {
 	}
 }
 
-// startLocked launches the scheduler goroutine for ps. Callers hold
+// startLocked schedules ps on the sharded scheduler. Callers hold
 // s.mu; the server must have started and must not be draining.
 func (s *Server) startLocked(ps *pipeState) {
-	if ps.onDemand || ps.running {
+	ps.mu.Lock()
+	onDemand, interval := ps.onDemand, ps.interval
+	ps.mu.Unlock()
+	if onDemand || ps.entry != nil || s.sched == nil {
 		return
 	}
-	ps.running = true
-	ctx, cancel := context.WithCancel(s.tickCtx)
-	ps.cancel = cancel
-	ps.done = make(chan struct{})
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		defer close(ps.done)
-		ps.run(ctx)
-	}()
+	first := time.Now()
+	if ps.skipFirst {
+		// The registration path already ticked synchronously; jitter
+		// the first scheduled fire so burst-registered fleets spread.
+		first = first.Add(interval)
+	}
+	ps.entry = s.sched.schedule(ps, ps.name, interval, first, ps.skipFirst)
 }
 
 // Addr returns the bound listen address once Run has started, or "".
@@ -331,23 +424,24 @@ func (s *Server) Addr() string {
 // are ticking.
 func (s *Server) Ready() <-chan struct{} { return s.ready }
 
-// Run binds the listener, starts one ticking goroutine per pipeline,
-// and serves HTTP until ctx is cancelled. On cancellation it stops the
-// tickers (including dynamically registered ones), waits for any
-// in-flight tick to finish, and drains the HTTP server; it returns nil
-// on a clean shutdown.
+// Run binds the listener, starts the sharded scheduler (shard + worker
+// goroutines; pipelines add no goroutines of their own), and serves
+// HTTP until ctx is cancelled. On cancellation it stops the scheduler
+// (including dynamically registered pipelines), waits for queued and
+// in-flight ticks to finish, and drains the HTTP server; it returns
+// nil on a clean shutdown.
 func (s *Server) Run(ctx context.Context) error {
 	ln, err := net.Listen("tcp", s.cfg.Addr)
 	if err != nil {
 		return err
 	}
-	tickCtx, stopTicks := context.WithCancel(context.Background())
-	defer stopTicks()
+	sc := newSched(s.cfg.SchedulerShards, s.cfg.SchedulerWorkers, s.cfg.SchedulerQueue, s.cfg.SchedulerJitter)
+	defer sc.stopAndDrain()
 
 	s.mu.Lock()
 	s.started = true
 	s.addr = ln.Addr().String()
-	s.tickCtx = tickCtx
+	s.sched = sc
 	n := len(s.order)
 	for _, name := range s.order {
 		s.startLocked(s.pipes[name])
@@ -367,14 +461,13 @@ func (s *Server) Run(ctx context.Context) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
-	// drain stops every scheduler, refuses new registrations, and waits
-	// for in-flight ticks.
+	// drain refuses new registrations, stops the scheduler shards, and
+	// waits for queued and in-flight ticks.
 	drain := func() {
-		stopTicks()
 		s.mu.Lock()
 		s.draining = true
 		s.mu.Unlock()
-		s.wg.Wait()
+		sc.stopAndDrain()
 	}
 
 	select {
@@ -549,8 +642,38 @@ func (s *Server) Status() []PipelineStatus {
 	return out
 }
 
+// SchedulerStatus returns the scheduler's pool shape and backpressure
+// counters. Before Run it reports the configured shape with zero
+// counters.
+func (s *Server) SchedulerStatus() SchedulerStatus {
+	s.mu.Lock()
+	sc := s.sched
+	s.mu.Unlock()
+	if sc == nil {
+		return SchedulerStatus{
+			Shards:        s.cfg.SchedulerShards,
+			Workers:       s.cfg.SchedulerWorkers,
+			QueueCapacity: s.cfg.SchedulerQueue,
+		}
+	}
+	return sc.status()
+}
+
+// statusReport is the full /statusz payload; shared-cache stats appear
+// only when a shared fetch cache is configured.
+func (s *Server) statusReport() map[string]any {
+	report := map[string]any{
+		"pipelines": s.Status(),
+		"scheduler": s.SchedulerStatus(),
+	}
+	if s.cfg.SharedCache != nil {
+		report["shared_cache"] = s.cfg.SharedCache.Stats()
+	}
+	return report
+}
+
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
-	data, err := json.MarshalIndent(map[string]any{"pipelines": s.Status()}, "", "  ")
+	data, err := json.MarshalIndent(s.statusReport(), "", "  ")
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return

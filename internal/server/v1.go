@@ -24,8 +24,10 @@ import (
 // Endpoints:
 //
 //	POST   /v1/wrappers                 compile + register a wrapper at runtime
-//	GET    /v1/wrappers                 list registered wrappers
+//	GET    /v1/wrappers                 list registered wrappers (+ scheduler/cache stats)
 //	GET    /v1/wrappers/{name}          one wrapper's status
+//	PATCH  /v1/wrappers/{name}          reschedule: {"interval_ms": N} moves the wrapper
+//	                                    in the live deadline heap (0 = on-demand)
 //	DELETE /v1/wrappers/{name}          retire a dynamic wrapper (drains its ticks)
 //	POST   /v1/wrappers/{name}/extract  synchronous one-shot extraction
 //	GET    /v1/wrappers/{name}/results  latest result; ?n=K for the K most recent
@@ -211,7 +213,8 @@ type wrapperInfo struct {
 }
 
 func (s *Server) wrapperInfo(name string, ps *pipeState) wrapperInfo {
-	info := wrapperInfo{PipelineStatus: ps.status(name), Dynamic: ps.dynamic, OnDemand: ps.onDemand}
+	dynamic, onDemand := ps.flags()
+	info := wrapperInfo{PipelineStatus: ps.status(name), Dynamic: dynamic, OnDemand: onDemand}
 	if d, ok := ps.p.(*dynPipeline); ok {
 		info.Patterns = d.w.Patterns()
 	}
@@ -250,7 +253,11 @@ func (s *Server) v1ListWrappers(w http.ResponseWriter, _ *http.Request) {
 			infos = append(infos, s.wrapperInfo(name, ps))
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"wrappers": infos})
+	body := map[string]any{"wrappers": infos, "scheduler": s.SchedulerStatus()}
+	if s.cfg.SharedCache != nil {
+		body["shared_cache"] = s.cfg.SharedCache.Stats()
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -306,7 +313,7 @@ func (s *Server) v1CreateWrapper(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	onDemand := spec.IntervalMS <= 0
-	d, err := newDynPipeline(spec.Name, lw, fetcher, onDemand)
+	d, err := newDynPipeline(spec.Name, lw, fetcher)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
 		return
@@ -346,9 +353,25 @@ func specOptions(root string, aux []string) []lixto.Option {
 	return opts
 }
 
+// dynamicFetcher returns the server's dynamic fetcher, routed through
+// the shared fetch/document cache when one is configured: wrappers
+// monitoring the same URLs then share one fetch+parse per page per
+// freshness window. Inline-page overlays are never cached (their
+// content is wrapper-private); only the fall-through fetcher is.
+func (s *Server) dynamicFetcher() elog.Fetcher {
+	if s.cfg.DynamicFetcher == nil {
+		return nil
+	}
+	if s.cfg.SharedCache != nil {
+		return s.cfg.SharedCache.Wrap(s.cfg.DynamicFetcher)
+	}
+	return s.cfg.DynamicFetcher
+}
+
 // compileSpec compiles a submitted program and resolves its fetcher:
-// the inline page when given, else the server's dynamic fetcher. The
-// returned error is a typed SDK error.
+// the inline page when given, else the server's dynamic fetcher
+// (behind the shared cache when configured). The returned error is a
+// typed SDK error.
 func (s *Server) compileSpec(program, root string, aux []string, inlineHTML string) (*lixto.Wrapper, elog.Fetcher, error) {
 	lw, err := lixto.Compile(program, specOptions(root, aux)...)
 	if err != nil {
@@ -358,12 +381,12 @@ func (s *Server) compileSpec(program, root string, aux []string, inlineHTML stri
 	if inlineHTML != "" {
 		// The inline page overlays the entry URLs; crawled links still
 		// fall through to the dynamic fetcher when one is configured.
-		fetcher, err = lw.InlineFetcher(inlineHTML, s.cfg.DynamicFetcher)
+		fetcher, err = lw.InlineFetcher(inlineHTML, s.dynamicFetcher())
 		if err != nil {
 			return nil, nil, err
 		}
-	} else if s.cfg.DynamicFetcher != nil {
-		fetcher = s.cfg.DynamicFetcher
+	} else if f := s.dynamicFetcher(); f != nil {
+		fetcher = f
 	} else {
 		return nil, nil, &lixto.Error{Kind: lixto.KindEval,
 			Msg: "no dynamic fetcher configured; submit an inline html page"}
@@ -381,6 +404,8 @@ func (s *Server) v1Wrapper(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeJSON(w, http.StatusOK, s.wrapperInfo(name, ps))
+	case http.MethodPatch:
+		s.v1PatchWrapper(w, r, name)
 	case http.MethodDelete:
 		switch err := s.Deregister(name); {
 		case err == nil:
@@ -394,7 +419,45 @@ func (s *Server) v1Wrapper(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
 		}
 	default:
-		methodNotAllowed(w, "GET, DELETE")
+		methodNotAllowed(w, "GET, PATCH, DELETE")
+	}
+}
+
+// v1PatchWrapper reschedules a dynamic wrapper in the live deadline
+// heap: {"interval_ms": N} sets a new cadence, 0 converts it to
+// on-demand. No restart, no recompilation — the wrapper's compiled
+// program and caches are untouched.
+func (s *Server) v1PatchWrapper(w http.ResponseWriter, r *http.Request, name string) {
+	var spec struct {
+		IntervalMS *int64 `json:"interval_ms"`
+	}
+	if !s.decodeJSON(w, r, &spec) {
+		return
+	}
+	if spec.IntervalMS == nil {
+		writeError(w, http.StatusBadRequest, "bad_request", "interval_ms is required", nil)
+		return
+	}
+	if *spec.IntervalMS < 0 || *spec.IntervalMS > maxIntervalMS {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("interval_ms must be between 0 and %d", maxIntervalMS), nil)
+		return
+	}
+	switch err := s.SetInterval(name, time.Duration(*spec.IntervalMS)*time.Millisecond); {
+	case err == nil:
+		ps := s.pipe(name)
+		if ps == nil { // deleted while rescheduling
+			writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no wrapper %q", name), nil)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.wrapperInfo(name, ps))
+	case errors.Is(err, errUnknownPipeline):
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no wrapper %q", name), nil)
+	case errors.Is(err, errStaticPipeline):
+		writeError(w, http.StatusForbidden, "forbidden",
+			fmt.Sprintf("wrapper %q is static and cannot be rescheduled", name), nil)
+	default:
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
 	}
 }
 
@@ -427,7 +490,7 @@ func (s *Server) v1WrapperExtract(w http.ResponseWriter, r *http.Request) {
 	if spec.URL != "" && s.cfg.DynamicFetcher != nil {
 		// url extraction resolves through the server's fetcher even for
 		// wrappers registered with an inline page.
-		opts = append(opts, lixto.WithFetcher(s.cfg.DynamicFetcher))
+		opts = append(opts, lixto.WithFetcher(s.dynamicFetcher()))
 	}
 	res, err := d.w.Extract(r.Context(), src, opts...)
 	if err != nil {
@@ -549,8 +612,8 @@ func (s *Server) v1Extract(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := specOptions(spec.Root, spec.Auxiliary)
-	if s.cfg.DynamicFetcher != nil {
-		opts = append(opts, lixto.WithFetcher(s.cfg.DynamicFetcher))
+	if f := s.dynamicFetcher(); f != nil {
+		opts = append(opts, lixto.WithFetcher(f))
 	}
 	lw, err := lixto.Compile(spec.Program, opts...)
 	if err != nil {

@@ -1,0 +1,151 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fetchcache"
+	"repro/internal/web"
+)
+
+// TestV1PatchReschedulesWrapper covers the PATCH /v1/wrappers/{name}
+// satellite end to end: an on-demand wrapper is switched onto a fast
+// schedule in the live heap (no restart), slowed back to on-demand,
+// and the error paths return the uniform envelope.
+func TestV1PatchReschedulesWrapper(t *testing.T) {
+	sim := web.New()
+	web.NewBookSite(7, 5).Register(sim, "books.example.com")
+	cache := fetchcache.New(64, time.Second)
+	s := New(Config{
+		Addr: "127.0.0.1:0", AllowDynamic: true, DynamicFetcher: sim,
+		SharedCache: cache, MaxCompilesPerMinute: -1,
+	})
+	static := newFakePipe("static", 0)
+	if err := s.Register(static, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runErr := make(chan error, 1)
+	go func() { runErr <- s.Run(ctx) }()
+	<-s.Ready()
+	base := "http://" + s.Addr()
+
+	prog := `page(S, X)  <- document("books.example.com/bestsellers.html", S), subelem(S, .body, X)
+title(S, X) <- page(_, S), subelem(S, (?.td, [(class, title, exact)]), X)`
+	code, body, _ := do(t, "POST", base+"/v1/wrappers",
+		map[string]any{"name": "patchme", "program": prog}) // interval_ms absent: on-demand
+	if code != 201 {
+		t.Fatalf("create: %d %s", code, body)
+	}
+
+	// PATCH onto a fast schedule; the response is the updated info.
+	code, body, _ = do(t, "PATCH", base+"/v1/wrappers/patchme", map[string]any{"interval_ms": 5})
+	if code != 200 {
+		t.Fatalf("patch: %d %s", code, body)
+	}
+	var info struct {
+		IntervalMS int64  `json:"interval_ms"`
+		OnDemand   bool   `json:"on_demand"`
+		Ticks      uint64 `json:"ticks"`
+	}
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.IntervalMS != 5 || info.OnDemand {
+		t.Fatalf("patched info: %s", body)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body, _ = do(t, "GET", base+"/v1/wrappers/patchme", nil)
+		if err := json.Unmarshal([]byte(body), &info); err != nil {
+			t.Fatal(err)
+		}
+		if info.Ticks >= 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("patched wrapper never started ticking: %s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Back to on-demand: ticking stops.
+	if code, body, _ = do(t, "PATCH", base+"/v1/wrappers/patchme", map[string]any{"interval_ms": 0}); code != 200 {
+		t.Fatalf("patch to on-demand: %d %s", code, body)
+	}
+	_, body, _ = do(t, "GET", base+"/v1/wrappers/patchme", nil)
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.OnDemand {
+		t.Fatalf("wrapper still scheduled after PATCH 0: %s", body)
+	}
+	ticksAfter := info.Ticks
+	time.Sleep(50 * time.Millisecond)
+	_, body, _ = do(t, "GET", base+"/v1/wrappers/patchme", nil)
+	if err := json.Unmarshal([]byte(body), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Ticks != ticksAfter {
+		t.Fatalf("on-demand wrapper kept ticking (%d -> %d)", ticksAfter, info.Ticks)
+	}
+
+	// Error paths, all in the uniform envelope.
+	for _, tc := range []struct {
+		name string
+		url  string
+		body map[string]any
+		code int
+		kind string
+	}{
+		{"missing field", "/v1/wrappers/patchme", map[string]any{}, 400, "bad_request"},
+		{"negative", "/v1/wrappers/patchme", map[string]any{"interval_ms": -1}, 400, "bad_request"},
+		{"overflow", "/v1/wrappers/patchme", map[string]any{"interval_ms": int64(1) << 40}, 400, "bad_request"},
+		{"unknown", "/v1/wrappers/nosuch", map[string]any{"interval_ms": 5}, 404, "not_found"},
+		{"static", "/v1/wrappers/static", map[string]any{"interval_ms": 5}, 403, "forbidden"},
+	} {
+		code, body, _ := do(t, "PATCH", base+tc.url, tc.body)
+		if code != tc.code || envelope(t, body).Kind != tc.kind {
+			t.Errorf("%s: %d %s", tc.name, code, body)
+		}
+	}
+	// 405 advertises PATCH.
+	code, body, hdr := do(t, "PUT", base+"/v1/wrappers/patchme", map[string]any{})
+	if code != 405 || !strings.Contains(hdr.Get("Allow"), "PATCH") {
+		t.Fatalf("PUT: %d Allow=%q %s", code, hdr.Get("Allow"), body)
+	}
+
+	// GET /v1/wrappers carries the scheduler and shared-cache blocks.
+	code, body, _ = do(t, "GET", base+"/v1/wrappers", nil)
+	if code != 200 {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	var list struct {
+		Wrappers  []wrapperInfo     `json:"wrappers"`
+		Scheduler *SchedulerStatus  `json:"scheduler"`
+		Cache     *fetchcache.Stats `json:"shared_cache"`
+	}
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list.Scheduler == nil || list.Cache == nil || len(list.Wrappers) != 2 {
+		t.Fatalf("list missing stats blocks:\n%s", body)
+	}
+	if list.Scheduler.Scheduled == 0 {
+		t.Errorf("scheduler reports nothing scheduled (the static pipe is): %s", body)
+	}
+	// The dynamic wrapper fetched through the shared cache.
+	if list.Cache.Misses == 0 {
+		t.Errorf("shared cache never consulted: %+v", *list.Cache)
+	}
+
+	http.DefaultClient.CloseIdleConnections()
+	cancel()
+	if err := <-runErr; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/dom"
 	"repro/internal/elog"
+	"repro/internal/fetchcache"
 	"repro/internal/pib"
 	"repro/internal/xmlenc"
 )
@@ -232,7 +233,16 @@ type WrapperSource struct {
 	// program through the SDK or cmd/elogc (the /v1 dynamic wrappers
 	// rely on this).
 	NoSourceAttr bool
-	tick         int
+	// Shared, when set, routes every fetch (the cache recheck and the
+	// evaluator's crawl frontier alike) through the shared
+	// fetch/document layer, so concurrent wrappers monitoring the same
+	// URLs share one fetch+parse per page per freshness window. All
+	// sources sharing one cache must resolve URLs identically; the
+	// extracted output is unchanged (only the fetch work is shared).
+	Shared *fetchcache.Cache
+	tick   int
+	// shared is the cache-wrapped form of Fetcher, built on first use.
+	shared elog.Fetcher
 
 	// Compiled form of Program, built lazily on the first poll and
 	// reused across ticks.
@@ -367,12 +377,13 @@ func (s *WrapperSource) unchanged(prefetched map[string]*dom.Tree) bool {
 		err error
 	}
 	results := make(chan fetched, len(missing))
+	fetcher := s.fetchClient()
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for _, url := range missing {
 		go func(url string) {
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			t, err := s.Fetcher.Fetch(url)
+			t, err := fetcher.Fetch(url)
 			if err == nil {
 				t.Warm()
 			}
@@ -398,6 +409,19 @@ func (s *WrapperSource) unchanged(prefetched map[string]*dom.Tree) bool {
 		}
 	}
 	return same
+}
+
+// fetchClient returns the fetcher polls go through: the raw Fetcher,
+// or its cache-wrapped form when a shared fetch layer is configured.
+// Called only from the polling goroutine (Poll and its helpers).
+func (s *WrapperSource) fetchClient() elog.Fetcher {
+	if s.Shared == nil {
+		return s.Fetcher
+	}
+	if s.shared == nil {
+		s.shared = s.Shared.Wrap(s.Fetcher)
+	}
+	return s.shared
 }
 
 // Name implements Component.
@@ -437,7 +461,7 @@ func (s *WrapperSource) Poll() ([]*xmlenc.Node, error) {
 	} else {
 		prefetched = nil
 	}
-	rec := &recordingFetcher{inner: s.Fetcher, prefetched: prefetched}
+	rec := &recordingFetcher{inner: s.fetchClient(), prefetched: prefetched}
 	ev := elog.NewEvaluator(rec)
 	base, err := ev.RunCompiled(s.compiled)
 	if err != nil {

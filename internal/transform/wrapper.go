@@ -4,13 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/elog"
+	"repro/internal/fetchcache"
 	"repro/pkg/lixto"
 )
 
 // NewWrapperSource builds a wrapper source from a compiled SDK wrapper:
 // the source shares the wrapper's bitset-compiled form (and therefore
 // its fingerprint-keyed match caches) instead of compiling its own copy
-// on the first poll. The program must not be mutated afterwards.
+// on the first poll. The program must not be mutated afterwards. An
+// optional shared fetch cache (see WrapperSource.Shared) can be set on
+// the returned source before its first poll.
 func NewWrapperSource(name string, w *lixto.Wrapper, f elog.Fetcher) *WrapperSource {
 	return &WrapperSource{
 		CompName: name,
@@ -28,9 +31,19 @@ func NewWrapperSource(name string, w *lixto.Wrapper, f elog.Fetcher) *WrapperSou
 // SDK; this is the engine behind the server's dynamically registered
 // /v1 wrappers.
 func NewWrapperEngine(name string, w *lixto.Wrapper, f elog.Fetcher) (*Engine, *Collector, error) {
+	return NewWrapperEngineCached(name, w, f, nil)
+}
+
+// NewWrapperEngineCached is NewWrapperEngine with the wrapper source
+// polling through a shared fetch/document cache (nil behaves exactly
+// like NewWrapperEngine): the server threads its process-wide cache
+// through here so that thousands of dynamically registered wrappers
+// monitoring the same pages share one fetch+parse per page.
+func NewWrapperEngineCached(name string, w *lixto.Wrapper, f elog.Fetcher, cache *fetchcache.Cache) (*Engine, *Collector, error) {
 	e := NewEngine()
 	src := NewWrapperSource(name, w, f)
 	src.NoSourceAttr = true
+	src.Shared = cache
 	out := &Collector{CompName: name + ".out"}
 	if err := e.Add(src); err != nil {
 		return nil, nil, err

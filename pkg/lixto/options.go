@@ -3,6 +3,7 @@ package lixto
 import (
 	"repro/internal/concepts"
 	"repro/internal/elog"
+	"repro/internal/fetchcache"
 	"repro/internal/pib"
 )
 
@@ -15,6 +16,7 @@ type config struct {
 	maxDocuments int
 	maxInstances int
 	fetcher      elog.Fetcher
+	shared       *fetchcache.Cache
 	concepts     *concepts.Base
 	design       *pib.Design
 	// designOwned is true once this config's design is a private copy
@@ -111,6 +113,19 @@ func WithMaxInstances(n int) Option {
 // crawling beyond an inline page.
 func WithFetcher(f elog.Fetcher) Option {
 	return func(c *config) { c.fetcher = f }
+}
+
+// WithSharedCache routes the wrapper's fetcher through a shared
+// fetch/document cache (fetchcache.New): concurrent extractions — of
+// this wrapper and of every other wrapper sharing the cache — that
+// resolve the same URL share one fetch+parse, deduplicated in flight
+// and retained in a size-bounded LRU for the cache's freshness window.
+// Only the configured fetcher (WithFetcher) is cached; inline
+// HTML/Tree source overlays stay private to their extraction. All
+// wrappers sharing one cache must resolve URLs identically. Nil
+// removes a previously set cache.
+func WithSharedCache(c *fetchcache.Cache) Option {
+	return func(cfg *config) { cfg.shared = c }
 }
 
 // WithConcepts replaces the semantic/syntactic concept base consulted
