@@ -459,6 +459,86 @@ func BenchmarkE20_SharedFetchLayer(b *testing.B) {
 	b.Run("shared", func(b *testing.B) { run(b, fetchcache.New(nPages*2, time.Hour)) })
 }
 
+// BenchmarkE21_BatchedFleetExtraction: 100 wrappers stamped from one
+// template, all monitoring the same page, whose content churns every
+// round (so no fingerprint cache can short-circuit whole polls). The
+// per-wrapper configuration fetches, parses and pattern-matches
+// privately — 100 parses and 100 match computations per round. The
+// batched configuration shares one fetch/document cache and one
+// fleet-shared match cache, so a round costs about one parse plus one
+// warmed match cache, with the other 99 wrappers answering their
+// matches from the shared table.
+func BenchmarkE21_BatchedFleetExtraction(b *testing.B) {
+	const nWrappers = 100
+	const url = "fleet.example.com/board"
+	page := func(round int) string {
+		var sb strings.Builder
+		sb.WriteString("<html><body><table>")
+		for r := 0; r < 400; r++ {
+			tag := ""
+			if r%50 == 0 {
+				tag = "DEAL "
+			}
+			fmt.Fprintf(&sb, `<tr class="row"><td class="name">%sitem %d (round %d)</td><td class="price">$ %d</td></tr>`, tag, r, round, r*3+round)
+		}
+		sb.WriteString("</table></body></html>")
+		return sb.String()
+	}
+	// Match-heavy, output-light: the regexp condition scans the text of
+	// every row, but only a handful of rows are extracted — the shape of
+	// a monitoring wrapper, and the work the shared match cache elides.
+	prog := fmt.Sprintf(`
+page(S, X) <- document(%q, S), subelem(S, .body, X)
+row(S, X) <- page(_, S), subelem(S, (?.tr, [(elementtext, .*DEAL.*, regexp)]), X)
+name(S, X) <- row(_, S), subelem(S, (?.td, [(class, name, exact)]), X)
+price(S, X) <- row(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+`, url)
+	design := &pib.Design{Auxiliary: map[string]bool{"document": true, "page": true}}
+	run := func(b *testing.B, batched bool) {
+		round := 0
+		sim := web.New()
+		sim.SetPage(url, func() string { return page(round) })
+		var mc *elog.MatchCache
+		var cache *fetchcache.Cache
+		if batched {
+			mc = elog.NewMatchCache()
+			cache = fetchcache.New(4, time.Hour)
+		}
+		srcs := make([]*transform.WrapperSource, nWrappers)
+		for i := range srcs {
+			srcs[i] = &transform.WrapperSource{
+				CompName: fmt.Sprintf("w%d", i),
+				Fetcher:  sim,
+				Program:  elog.MustParse(prog),
+				Design:   design,
+				NoCache:  true, // content churns every round anyway
+				Shared:   cache,
+				Batch:    mc,
+			}
+		}
+		pollRound := func() {
+			// One freshness window per round: the batched fleet shares
+			// one fetch+parse of the churned page.
+			if cache != nil {
+				cache.Flush()
+			}
+			for _, s := range srcs {
+				if _, err := s.Poll(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		pollRound() // warm round: compile every program
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			round++
+			pollRound()
+		}
+	}
+	b.Run("per-wrapper", func(b *testing.B) { run(b, false) })
+	b.Run("batched", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkWrapperToXML measures the full extract+transform path used by
 // every application, on a large page.
 func BenchmarkWrapperToXML(b *testing.B) {

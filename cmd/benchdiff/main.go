@@ -1,0 +1,139 @@
+// Command benchdiff compares two benchreport -json files and prints a
+// benchstat-style before/after table: time and allocation deltas per
+// benchmark, with geometric-mean summaries over the common set.
+//
+// Usage:
+//
+//	benchdiff [-max-regress factor] old.json new.json
+//
+// With -max-regress set, benchdiff exits nonzero when any common
+// benchmark's time regresses by more than the given factor (e.g.
+// -max-regress 1.5 fails on a >1.5x slowdown), making it usable as a
+// CI gate; without it the comparison is informational.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"text/tabwriter"
+)
+
+type entry struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+func load(path string) (map[string]entry, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]entry{}
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
+func fmtNs(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+// delta renders a new/old ratio the way benchstat does: negative
+// percentages are improvements.
+func delta(old, new float64) string {
+	if old == 0 {
+		return "?"
+	}
+	return fmt.Sprintf("%+.1f%%", (new/old-1)*100)
+}
+
+func main() {
+	maxRegress := flag.Float64("max-regress", 0, "fail when any benchmark's time regresses by more than this factor (0 = never fail)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-regress factor] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	new, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	var names []string
+	for name := range new {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "benchmark\told time/op\tnew time/op\tdelta\told allocs/op\tnew allocs/op\tdelta\n")
+	var logSumNs, logSumAllocs float64
+	common := 0
+	worst, worstName := 0.0, ""
+	for _, name := range names {
+		nb := new[name]
+		ob, ok := old[name]
+		if !ok {
+			fmt.Fprintf(w, "%s\t-\t%s\t(new)\t-\t%.0f\t(new)\n", name, fmtNs(nb.NsPerOp), nb.AllocsPerOp)
+			continue
+		}
+		fmt.Fprintf(w, "%s\t%s\t%s\t%s\t%.0f\t%.0f\t%s\n",
+			name, fmtNs(ob.NsPerOp), fmtNs(nb.NsPerOp), delta(ob.NsPerOp, nb.NsPerOp),
+			ob.AllocsPerOp, nb.AllocsPerOp, delta(ob.AllocsPerOp, nb.AllocsPerOp))
+		if ob.NsPerOp > 0 && nb.NsPerOp > 0 {
+			ratio := nb.NsPerOp / ob.NsPerOp
+			logSumNs += math.Log(ratio)
+			if ob.AllocsPerOp > 0 && nb.AllocsPerOp > 0 {
+				logSumAllocs += math.Log(nb.AllocsPerOp / ob.AllocsPerOp)
+			}
+			common++
+			if ratio > worst {
+				worst, worstName = ratio, name
+			}
+		}
+	}
+	for _, name := range sortedKeys(old) {
+		if _, ok := new[name]; !ok {
+			fmt.Fprintf(w, "%s\t%s\t-\t(removed)\t%.0f\t-\t(removed)\n", name, fmtNs(old[name].NsPerOp), old[name].AllocsPerOp)
+		}
+	}
+	w.Flush()
+	if common > 0 {
+		fmt.Printf("\ngeomean over %d common benchmarks: time %+.1f%%, allocs %+.1f%%\n",
+			common, (math.Exp(logSumNs/float64(common))-1)*100,
+			(math.Exp(logSumAllocs/float64(common))-1)*100)
+	}
+	if *maxRegress > 0 && worst > *maxRegress {
+		fmt.Fprintf(os.Stderr, "benchdiff: %s regressed %.2fx (> %.2fx budget)\n", worstName, worst, *maxRegress)
+		os.Exit(1)
+	}
+}
+
+func sortedKeys(m map[string]entry) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -63,6 +63,7 @@ func main() {
 	e18ElogCompiled()
 	e19DynamicRegister()
 	e20SharedFetch()
+	e21BatchedFleet()
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -205,6 +206,23 @@ func writeBenchJSON(path string) error {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			pollFleet(e20shared)
+		}
+	})
+
+	// Batched fleet extraction (E21): one poll round of 100 wrappers
+	// over one shared, churning page.
+	e21priv := e21Round(100, false)
+	add("E21_BatchedFleet/per-wrapper-100x1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e21priv()
+		}
+	})
+	e21batch := e21Round(100, true)
+	add("E21_BatchedFleet/batched-100x1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e21batch()
 		}
 	})
 
@@ -727,6 +745,80 @@ func e20SharedFetch() {
 	fmt.Printf("   %-28s %12s %18d\n", "per-wrapper fetching", dPriv.Round(time.Microsecond), privPerRound)
 	fmt.Printf("   %-28s %12s %18d\n", "shared fetch layer", dShared.Round(time.Microsecond), sharedPerRound)
 	fmt.Printf("   private/shared: %.1fx\n", float64(dPriv)/float64(dShared))
+}
+
+// e21Round builds the E21 fleet — 100 wrappers stamped from one
+// template, all monitoring the same match-heavy page whose content
+// churns every round — and returns one full poll round as a closure.
+// Batched fleets share one fetch/document cache and one fleet-shared
+// match cache; per-wrapper fleets fetch, parse and match privately.
+func e21Round(nWrappers int, batched bool) func() {
+	const url = "fleet.example.com/board"
+	round := 0
+	page := func() string {
+		var sb strings.Builder
+		sb.WriteString("<html><body><table>")
+		for r := 0; r < 400; r++ {
+			tag := ""
+			if r%50 == 0 {
+				tag = "DEAL "
+			}
+			fmt.Fprintf(&sb, `<tr class="row"><td class="name">%sitem %d (round %d)</td><td class="price">$ %d</td></tr>`, tag, r, round, r*3+round)
+		}
+		sb.WriteString("</table></body></html>")
+		return sb.String()
+	}
+	prog := fmt.Sprintf(`
+page(S, X) <- document(%q, S), subelem(S, .body, X)
+row(S, X) <- page(_, S), subelem(S, (?.tr, [(elementtext, .*DEAL.*, regexp)]), X)
+name(S, X) <- row(_, S), subelem(S, (?.td, [(class, name, exact)]), X)
+price(S, X) <- row(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+`, url)
+	sim := web.New()
+	sim.SetPage(url, page)
+	var mc *elog.MatchCache
+	var cache *fetchcache.Cache
+	if batched {
+		mc = elog.NewMatchCache()
+		cache = fetchcache.New(4, time.Hour)
+	}
+	design := &pib.Design{Auxiliary: map[string]bool{"document": true, "page": true}}
+	srcs := make([]*transform.WrapperSource, nWrappers)
+	for i := range srcs {
+		srcs[i] = &transform.WrapperSource{
+			CompName: fmt.Sprintf("w%d", i),
+			Fetcher:  sim,
+			Program:  elog.MustParse(prog),
+			Design:   design,
+			NoCache:  true,
+			Shared:   cache,
+			Batch:    mc,
+		}
+	}
+	pollRound := func() {
+		round++
+		if cache != nil {
+			cache.Flush() // one freshness window per round
+		}
+		pollFleet(srcs)
+	}
+	pollRound() // warm: compile every program
+	return pollRound
+}
+
+func e21BatchedFleet() {
+	header("E21", "batched fleet extraction (PR 6)",
+		"100 wrappers on one shared, churning page: ~1 parse + 1 warmed match cache per round")
+	const nWrappers = 100
+	perWrapper := e21Round(nWrappers, false)
+	dPriv := timeIt(perWrapper)
+	batched := e21Round(nWrappers, true)
+	dBatch := timeIt(batched)
+	fmt.Printf("   fleet poll round (%d wrappers / 1 churning page):\n", nWrappers)
+	fmt.Printf("   %-28s %12s\n", "", "median")
+	fmt.Printf("   %-28s %12s\n", "per-wrapper extraction", dPriv.Round(time.Microsecond))
+	fmt.Printf("   %-28s %12s\n", "batched extraction", dBatch.Round(time.Microsecond))
+	fmt.Printf("   per-wrapper/batched: %.1fx\n", float64(dPriv)/float64(dBatch))
 }
 
 func e12TranslationSizes() {

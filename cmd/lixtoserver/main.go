@@ -34,7 +34,11 @@
 // interval so a large fleet does not fire in lockstep. -cache-entries
 // sizes the shared fetch/document layer deduplicating fetch+parse
 // across dynamic wrappers that monitor the same URLs (0 disables);
-// -cache-ttl bounds how stale a shared page may be served.
+// -cache-ttl bounds how stale a shared page may be served. -batch
+// (default on) additionally shares one match cache across dynamic
+// wrappers, so fleets stamped from one template reuse each other's
+// compiled pattern matches on shared pages (batched fleet extraction;
+// /statusz reports the match_cache block).
 // SIGINT/SIGTERM shuts the server down gracefully, draining queued and
 // in-flight ticks (including dynamically registered wrappers). With
 // -steps N the server instead runs N synchronous ticks, prints a
@@ -51,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/elog"
 	"repro/internal/fetchcache"
 	"repro/internal/server"
 	"repro/internal/web"
@@ -69,6 +74,7 @@ func main() {
 	jitter := flag.Float64("jitter", 0, "deadline jitter as a fraction of the interval (0..0.5)")
 	cacheEntries := flag.Int("cache-entries", 1024, "shared fetch cache capacity in pages (0 disables)")
 	cacheTTL := flag.Duration("cache-ttl", time.Second, "shared fetch cache freshness window (0 = never stale)")
+	batch := flag.Bool("batch", true, "share one match cache across dynamic wrappers (batched fleet extraction)")
 	flag.Parse()
 	if *history < 0 {
 		fatal(fmt.Errorf("-history must be >= 0, got %d", *history))
@@ -128,6 +134,9 @@ func main() {
 	}
 	if *cacheEntries > 0 {
 		cfg.SharedCache = fetchcache.New(*cacheEntries, *cacheTTL)
+	}
+	if *batch {
+		cfg.MatchCache = elog.NewMatchCache()
 	}
 	if *allowDynamic {
 		// Dynamic wrappers without an inline page extract from the

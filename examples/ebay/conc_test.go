@@ -1,0 +1,39 @@
+package main
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/web"
+	"repro/pkg/lixto"
+)
+
+// TestFigure5ConcurrencyDeterminism extracts the crawling Figure 5
+// wrapper at concurrency 1 and GOMAXPROCS and requires byte-identical
+// instance bases: the parallel crawl frontier and wave-parallel rule
+// evaluation must not change ids, parents, or dedup decisions.
+func TestFigure5ConcurrencyDeterminism(t *testing.T) {
+	run := func(conc int) string {
+		sim := web.New()
+		site := web.NewAuctionSite(2004, 40)
+		site.Register(sim, "www.ebay.com")
+		w, err := lixto.Compile(figure5,
+			lixto.WithFetcher(sim),
+			lixto.WithAuxiliary("tableseq", "tableseq2", "nextlink", "nexturl", "nextpage"),
+			lixto.WithRoot("auctions"),
+			lixto.WithConcurrency(conc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := w.Extract(context.Background(), lixto.Origin())
+		if err != nil {
+			t.Fatalf("conc=%d: %v", conc, err)
+		}
+		return res.Base.Dump()
+	}
+	want := run(1)
+	if got := run(runtime.GOMAXPROCS(0)); got != want {
+		t.Errorf("parallel base diverges from serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+}

@@ -1,0 +1,30 @@
+package main
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/pkg/lixto"
+)
+
+// TestQuickstartConcurrencyDeterminism pins the SDK contract that
+// WithConcurrency changes scheduling, never output: the quickstart
+// wrapper's instance base is byte-identical at any concurrency.
+func TestQuickstartConcurrencyDeterminism(t *testing.T) {
+	w, err := lixto.Compile(wrapper, lixto.WithAuxiliary("page"), lixto.WithRoot("books"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(conc int) string {
+		res, err := w.Extract(context.Background(), lixto.HTML(page), lixto.WithConcurrency(conc))
+		if err != nil {
+			t.Fatalf("conc=%d: %v", conc, err)
+		}
+		return res.Base.Dump()
+	}
+	want := run(1)
+	if got := run(runtime.GOMAXPROCS(0)); got != want {
+		t.Errorf("parallel base diverges from serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+}

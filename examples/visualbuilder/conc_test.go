@@ -1,0 +1,60 @@
+package main
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/visual"
+	"repro/internal/web"
+	"repro/pkg/lixto"
+)
+
+// TestGeneratedWrapperConcurrencyDeterminism runs a visually generated
+// wrapper against a held-out site at concurrency 1 and GOMAXPROCS and
+// requires byte-identical instance bases.
+func TestGeneratedWrapperConcurrencyDeterminism(t *testing.T) {
+	sim := web.New()
+	site := web.NewBookSite(2004, 8)
+	site.Register(sim, "books.example.com")
+	doc, err := sim.Fetch("books.example.com/bestsellers.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := visual.NewSession(doc, "books.example.com/bestsellers.html")
+	if err := s.AddDocumentPattern("page"); err != nil {
+		t.Fatal(err)
+	}
+	region, ok := s.FindText(site.Books[0].Title)
+	if !ok {
+		t.Fatal("example title not on page")
+	}
+	if _, err := s.AddPattern("title", "page", region); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GeneralizePath("title", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RequireAttribute("title", "class", "title", "exact"); err != nil {
+		t.Fatal(err)
+	}
+	src := s.Program().String()
+
+	run := func(conc int) string {
+		w, err := lixto.Compile(src, lixto.WithAuxiliary("page"), lixto.WithConcurrency(conc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		heldOut := web.New()
+		web.NewBookSite(4071, 20).Register(heldOut, "books.example.com")
+		res, err := w.Extract(context.Background(), lixto.Origin(), lixto.WithFetcher(heldOut))
+		if err != nil {
+			t.Fatalf("conc=%d: %v", conc, err)
+		}
+		return res.Base.Dump()
+	}
+	want := run(1)
+	if got := run(runtime.GOMAXPROCS(0)); got != want {
+		t.Errorf("parallel base diverges from serial:\n--- serial ---\n%s--- parallel ---\n%s", want, got)
+	}
+}

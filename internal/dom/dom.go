@@ -106,6 +106,13 @@ type Tree struct {
 	kindBits  [3][]uint64
 	bitsValid bool
 
+	// attrArena is the chunked backing store SetAttrs copies into: each
+	// node's attribute list is a sub-slice of the current chunk, so a
+	// document with hundreds of attributed nodes costs a handful of
+	// chunk allocations instead of one slice per node. Retired chunks
+	// stay alive through the per-node sub-slices that reference them.
+	attrArena []Attr
+
 	// fp caches Fingerprint; valid while fpValid.
 	fp      uint64
 	fpValid bool
@@ -123,14 +130,42 @@ func New(n int) *Tree {
 	return t
 }
 
+// grow pre-allocates every parallel slice for n nodes, so a builder
+// that sized its hint correctly performs zero growth reallocations
+// while appending — the arena property the streaming HTML parser
+// relies on. Growth past the hint falls back to append's amortized
+// doubling.
 func (t *Tree) grow(n int) {
-	if cap(t.kind) >= n {
+	if n <= 0 || cap(t.kind) >= n {
 		return
 	}
-	// Let append handle growth; this only pre-allocates.
 	k := make([]Kind, len(t.kind), n)
 	copy(k, t.kind)
 	t.kind = k
+	l := make([]LabelID, len(t.labelID), n)
+	copy(l, t.labelID)
+	t.labelID = l
+	tx := make([]string, len(t.text), n)
+	copy(tx, t.text)
+	t.text = tx
+	at := make([][]Attr, len(t.attrs), n)
+	copy(at, t.attrs)
+	t.attrs = at
+	// The five structural id slices share one backing allocation,
+	// partitioned with full slice expressions so growth past the hint
+	// reallocates the overflowing slice privately instead of clobbering
+	// its neighbour.
+	ids := make([]NodeID, 5*n)
+	growIDs := func(s []NodeID, i int) []NodeID {
+		out := ids[i*n : i*n+len(s) : (i+1)*n]
+		copy(out, s)
+		return out
+	}
+	t.parent = growIDs(t.parent, 0)
+	t.firstChild = growIDs(t.firstChild, 1)
+	t.lastChild = growIDs(t.lastChild, 2)
+	t.nextSibling = growIDs(t.nextSibling, 3)
+	t.prevSibling = growIDs(t.prevSibling, 4)
 }
 
 // Size returns the number of nodes in the tree, |dom|.
@@ -204,7 +239,10 @@ func (t *Tree) intern(label string) LabelID {
 		return id
 	}
 	if t.labelIndex == nil {
-		t.labelIndex = make(map[string]LabelID, 8)
+		t.labelIndex = make(map[string]LabelID, 16)
+	}
+	if t.labelNames == nil {
+		t.labelNames = make([]string, 0, 16)
 	}
 	id := LabelID(len(t.labelNames))
 	t.labelIndex[label] = id
@@ -238,12 +276,18 @@ func (t *Tree) ensureBits() {
 		return
 	}
 	w := t.wordsFor()
-	t.labelBits = make([][]uint64, len(t.labelNames))
+	// One backing array for every characteristic bitset (labels first,
+	// then the three kinds), capped sub-slices so accidental appends
+	// cannot cross into a neighbour.
+	L := len(t.labelNames)
+	backing := make([]uint64, (L+len(t.kindBits))*w)
+	t.labelBits = make([][]uint64, L)
 	for i := range t.labelBits {
-		t.labelBits[i] = make([]uint64, w)
+		t.labelBits[i] = backing[i*w : (i+1)*w : (i+1)*w]
 	}
 	for k := range t.kindBits {
-		t.kindBits[k] = make([]uint64, w)
+		o := (L + k) * w
+		t.kindBits[k] = backing[o : o+w : o+w]
 	}
 	for n, id := range t.labelID {
 		t.labelBits[id][n>>6] |= 1 << (uint(n) & 63)
@@ -349,6 +393,46 @@ func (t *Tree) SetAttr(n NodeID, name, value string) {
 		}
 	}
 	t.attrs[n] = append(t.attrs[n], Attr{Name: name, Value: value})
+	t.fpValid = false
+}
+
+// attrChunk is the allocation unit of the attribute arena.
+const attrChunk = 64
+
+// SetAttrs replaces node n's whole attribute list in one call, copying
+// the values into the tree's attribute arena. Duplicate names follow
+// SetAttr semantics: the first occurrence keeps its position, later
+// occurrences overwrite its value. The input slice is not retained, so
+// builders may reuse a scratch buffer across calls.
+func (t *Tree) SetAttrs(n NodeID, attrs []Attr) {
+	if len(attrs) == 0 {
+		t.attrs[n] = nil
+		t.fpValid = false
+		return
+	}
+	if cap(t.attrArena)-len(t.attrArena) < len(attrs) {
+		size := attrChunk
+		if len(attrs) > size {
+			size = len(attrs)
+		}
+		t.attrArena = make([]Attr, 0, size)
+	}
+	start := len(t.attrArena)
+	for _, a := range attrs {
+		dup := false
+		for i := start; i < len(t.attrArena); i++ {
+			if t.attrArena[i].Name == a.Name {
+				t.attrArena[i].Value = a.Value
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			t.attrArena = append(t.attrArena, a)
+		}
+	}
+	end := len(t.attrArena)
+	t.attrs[n] = t.attrArena[start:end:end]
 	t.fpValid = false
 }
 
@@ -466,9 +550,10 @@ func (t *Tree) ChildIndex(n NodeID) int {
 func (t *Tree) Reindex() {
 	n := len(t.kind)
 	if cap(t.pre) < n {
-		t.pre = make([]int32, n)
-		t.post = make([]int32, n)
-		t.size = make([]int32, n)
+		idx := make([]int32, 3*n)
+		t.pre = idx[0:n:n]
+		t.post = idx[n : 2*n : 2*n]
+		t.size = idx[2*n : 3*n : 3*n]
 	} else {
 		t.pre = t.pre[:n]
 		t.post = t.post[:n]
@@ -630,18 +715,26 @@ func (t *Tree) Descendants(n NodeID) []NodeID {
 	return out
 }
 
-// WalkSubtree visits n and every descendant of n in document order.
+// WalkSubtree visits n and every descendant of n in document order. It
+// walks the firstChild/nextSibling links directly with no auxiliary
+// storage, so a walk allocates nothing — ElementText and the pattern
+// matchers call this on every candidate node of the hot evaluation
+// loops.
 func (t *Tree) WalkSubtree(n NodeID, visit func(NodeID)) {
-	stack := []NodeID{n}
-	for len(stack) > 0 {
-		m := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
+	m := n
+	for {
 		visit(m)
-		// Push children in reverse so the leftmost is visited first.
-		cs := t.Children(m)
-		for i := len(cs) - 1; i >= 0; i-- {
-			stack = append(stack, cs[i])
+		if c := t.firstChild[m]; c != Nil {
+			m = c
+			continue
 		}
+		for m != n && t.nextSibling[m] == Nil {
+			m = t.parent[m]
+		}
+		if m == n {
+			return
+		}
+		m = t.nextSibling[m]
 	}
 }
 

@@ -1,0 +1,110 @@
+package elog
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// MatchCache is a shared, cross-program match memo for batched fleet
+// extraction: when a fleet of wrappers monitors the same pages (one
+// fetch+parse shared through fetchcache), attaching one MatchCache to
+// all of their evaluators also shares the pattern-matching work. Keys
+// extend the per-program memo key with a signature of the element path
+// definition itself, so two independently compiled wrappers containing
+// the same path — the common case in a fleet stamped from one template
+// — reuse each other's match results on the same document. A
+// 100-wrapper fleet over one shared page then costs roughly one parse
+// plus one warmed match cache instead of 100 of each.
+//
+// A MatchCache is safe for concurrent use by any number of evaluators.
+// Entries are value-compatible across programs: a match result depends
+// only on the path definition (captured by the signature) and the
+// document content (captured by the tree fingerprint), never on the
+// program around it.
+type MatchCache struct {
+	mu    sync.Mutex
+	cache map[sharedMatchKey][]epdMatch
+
+	hits, misses atomic.Uint64
+	attached     atomic.Int64
+}
+
+// sharedMatchKey is a per-program memo key qualified by the path
+// definition's signature, making it meaningful across programs.
+type sharedMatchKey struct {
+	sig uint64
+	epdCacheKey
+}
+
+// maxSharedCache bounds the shared table; like the per-program memo it
+// is reset wholesale when full. It is larger because one table serves
+// a whole fleet.
+const maxSharedCache = 65536
+
+// NewMatchCache returns an empty shared match cache.
+func NewMatchCache() *MatchCache {
+	return &MatchCache{cache: make(map[sharedMatchKey][]epdMatch)}
+}
+
+// Stats returns the cumulative shared-cache counters: hits are matches
+// some evaluator answered from another program's (or an earlier run's)
+// work; misses are lookups that fell through to computation.
+func (mc *MatchCache) Stats() (hits, misses uint64) {
+	return mc.hits.Load(), mc.misses.Load()
+}
+
+// Attach records one more wrapper drawing on the cache; Attached is the
+// fleet's batch size, surfaced in extraction stats.
+func (mc *MatchCache) Attach() { mc.attached.Add(1) }
+
+// Detach undoes one Attach.
+func (mc *MatchCache) Detach() { mc.attached.Add(-1) }
+
+// Attached returns the number of currently attached wrappers.
+func (mc *MatchCache) Attached() int { return int(mc.attached.Load()) }
+
+// BatchStats is a JSON-friendly snapshot of a MatchCache, surfaced on
+// the server's /statusz and GET /v1/wrappers payloads.
+type BatchStats struct {
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Attached int    `json:"attached"`
+	Entries  int    `json:"entries"`
+}
+
+// Report returns the cache's current counters and size.
+func (mc *MatchCache) Report() BatchStats {
+	mc.mu.Lock()
+	entries := len(mc.cache)
+	mc.mu.Unlock()
+	return BatchStats{
+		Hits:     mc.hits.Load(),
+		Misses:   mc.misses.Load(),
+		Attached: mc.Attached(),
+		Entries:  entries,
+	}
+}
+
+// get looks the key up, counting a hit or miss.
+func (mc *MatchCache) get(k sharedMatchKey) ([]epdMatch, bool) {
+	mc.mu.Lock()
+	m, ok := mc.cache[k]
+	mc.mu.Unlock()
+	if ok {
+		mc.hits.Add(1)
+	} else {
+		mc.misses.Add(1)
+	}
+	return m, ok
+}
+
+// put stores a computed match result, resetting the table wholesale at
+// the size bound.
+func (mc *MatchCache) put(k sharedMatchKey, m []epdMatch) {
+	mc.mu.Lock()
+	if len(mc.cache) >= maxSharedCache {
+		mc.cache = make(map[sharedMatchKey][]epdMatch, 1024)
+	}
+	mc.cache[k] = m
+	mc.mu.Unlock()
+}

@@ -26,7 +26,10 @@ type CompiledProgram struct {
 	// Program is the source program (read-only after Compile).
 	Program *Program
 	strata  [][]*Rule
-	epds    map[*EPD]*compiledEPD
+	// waves caches planWaves per stratum, so evaluation does not re-plan
+	// the concurrency structure on every run.
+	waves [][]wave
+	epds  map[*EPD]*compiledEPD
 
 	hits, misses atomic.Uint64
 }
@@ -39,7 +42,11 @@ func Compile(p *Program) (*CompiledProgram, error) {
 	if err != nil {
 		return nil, err
 	}
-	cp := &CompiledProgram{Program: p, strata: strata, epds: map[*EPD]*compiledEPD{}}
+	waves := make([][]wave, len(strata))
+	for i, rules := range strata {
+		waves[i] = planWaves(rules)
+	}
+	cp := &CompiledProgram{Program: p, strata: strata, waves: waves, epds: map[*EPD]*compiledEPD{}}
 	add := func(e *EPD) {
 		if e != nil && cp.epds[e] == nil {
 			cp.epds[e] = newCompiledEPD(e)
@@ -102,6 +109,10 @@ type epdCacheKey struct {
 type compiledEPD struct {
 	epd  *EPD
 	deep *EPD
+	// sig is a hash of the path's canonical form: the identity under
+	// which structurally equal paths of different programs share match
+	// results through an attached MatchCache.
+	sig uint64
 
 	mu    sync.Mutex
 	cache map[epdCacheKey][]epdMatch
@@ -111,16 +122,20 @@ func newCompiledEPD(e *EPD) *compiledEPD {
 	return &compiledEPD{
 		epd:   e,
 		deep:  &EPD{Steps: append([]EPDStep{{Kind: "deep"}}, e.Steps...), Conds: e.Conds},
+		sig:   hashString(e.sigString()),
 		cache: map[epdCacheKey][]epdMatch{},
 	}
 }
 
 // match evaluates the path over the bitset kernel, memoized per
-// document fingerprint and context set. The returned slice and the
-// binds maps inside it are shared cache entries: callers must treat
-// them as read-only, which every evaluator call site does (bindings
-// are copied into fresh maps before use).
-func (ce *compiledEPD) match(cp *CompiledProgram, t *dom.Tree, roots []dom.NodeID, asChildren, deep bool) []epdMatch {
+// document fingerprint and context set — first in the program's own
+// table, then (when a fleet-shared MatchCache is attached) in the
+// shared one, qualified by the path's signature. Results computed here
+// are published to both. The returned slice and the binds maps inside
+// it are shared cache entries: callers must treat them as read-only,
+// which every evaluator call site does (bindings are copied into fresh
+// maps before use).
+func (ce *compiledEPD) match(cp *CompiledProgram, shared *MatchCache, t *dom.Tree, roots []dom.NodeID, asChildren, deep bool) []epdMatch {
 	key := epdCacheKey{fp: t.Fingerprint(), roots: hashNodes(roots), asChildren: asChildren, deep: deep}
 	ce.mu.Lock()
 	m, ok := ce.cache[key]
@@ -129,19 +144,35 @@ func (ce *compiledEPD) match(cp *CompiledProgram, t *dom.Tree, roots []dom.NodeI
 		cp.hits.Add(1)
 		return m
 	}
+	if shared != nil {
+		if m, ok := shared.get(sharedMatchKey{sig: ce.sig, epdCacheKey: key}); ok {
+			cp.hits.Add(1)
+			ce.store(key, m)
+			return m
+		}
+	}
 	cp.misses.Add(1)
 	e := ce.epd
 	if deep {
 		e = ce.deep
 	}
 	m = bitsetMatch(e, t, roots, asChildren)
+	ce.store(key, m)
+	if shared != nil {
+		shared.put(sharedMatchKey{sig: ce.sig, epdCacheKey: key}, m)
+	}
+	return m
+}
+
+// store inserts into the per-program memo, resetting wholesale at the
+// size bound.
+func (ce *compiledEPD) store(key epdCacheKey, m []epdMatch) {
 	ce.mu.Lock()
 	if len(ce.cache) >= maxEPDCache {
 		ce.cache = make(map[epdCacheKey][]epdMatch, 64)
 	}
 	ce.cache[key] = m
 	ce.mu.Unlock()
-	return m
 }
 
 // bitsetMatch is the compiled analogue of EPD.Match: each step advances
@@ -183,6 +214,19 @@ func bitsetMatch(e *EPD, t *dom.Tree, roots []dom.NodeID, rootsAsChildren bool) 
 		}
 	}
 	return e.applyConds(t, ctx.Nodes(t))
+}
+
+// hashString is FNV-1a over a string.
+func hashString(s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * prime64
+	}
+	return h
 }
 
 // hashNodes is FNV-1a over the context node ids.

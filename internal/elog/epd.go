@@ -71,6 +71,14 @@ func (e *EPD) String() string {
 	if e.src != "" {
 		return e.src
 	}
+	return e.sigString()
+}
+
+// sigString is the canonical textual identity of the path: unlike
+// String it ignores the source spelling, so two paths that parse to
+// the same steps and conditions are identified regardless of
+// formatting. The cross-program match cache keys on its hash.
+func (e *EPD) sigString() string {
 	var b strings.Builder
 	for _, s := range e.Steps {
 		switch s.Kind {

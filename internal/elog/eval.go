@@ -4,8 +4,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/concepts"
 	"repro/internal/dom"
@@ -58,10 +61,19 @@ type Evaluator struct {
 	// guarding against runaway recursive wrapping.
 	MaxInstances int
 	// MaxConcurrency bounds how many documents the crawl frontier
-	// fetches and parses in parallel (default GOMAXPROCS). Rule
-	// application itself stays sequential and deterministic; only the
-	// fetch/parse latency overlaps.
+	// fetches and parses in parallel, and how many rule-application
+	// jobs run concurrently within a stratum (default GOMAXPROCS).
+	// Candidate generation for provably independent rules overlaps;
+	// instances are committed sequentially in rule order, so the
+	// resulting base is bit-identical to a fully serial evaluation at
+	// any concurrency level.
 	MaxConcurrency int
+	// Shared, when set, consults and feeds a fleet-shared match cache
+	// (see MatchCache): compiled pattern matches are then reused across
+	// every program whose evaluator shares the cache, keyed by path
+	// signature and document fingerprint. Output is unchanged — only the
+	// matching work is shared.
+	Shared *MatchCache
 }
 
 // NewEvaluator returns an evaluator with the built-in concept base.
@@ -101,6 +113,17 @@ type runner struct {
 	// handed to the frontier, so fixpoint re-iterations do not re-walk
 	// their text content.
 	announced map[*pib.Instance]bool
+	// jobs is runWave's scratch job list, reused across waves and
+	// fixpoint passes of this evaluation.
+	jobs []waveJob
+}
+
+// waveJob is one (rule, parent) candidate-generation unit of a wave.
+type waveJob struct {
+	rule     *Rule
+	parent   *pib.Instance
+	accepted []candidate
+	err      error
 }
 
 func (ev *Evaluator) run(p *Program, cp *CompiledProgram) (*pib.Base, error) {
@@ -134,56 +157,242 @@ func (ev *Evaluator) run(p *Program, cp *CompiledProgram) (*pib.Base, error) {
 		}
 	}
 
-	for _, rules := range st {
-		for {
-			changed := false
-			for _, rule := range rules {
-				var parents []*pib.Instance
-				if rule.DocURL != "" {
-					in, err := r.fetchDoc(rule.DocURL)
-					if err != nil {
-						return r.base, fmt.Errorf("elog: rule for %s: %w", rule.Head, err)
-					}
-					parents = []*pib.Instance{in}
-				} else {
-					parents = r.base.Instances(rule.Parent)
-				}
-				if rule.Extract != nil && rule.Extract.Kind == GetDocument {
-					// Open the crawl frontier: every URL this rule is
-					// about to request is known before the first fetch,
-					// so the pages download in parallel while rule
-					// application consumes them sequentially in stable
-					// order. Each parent is announced once; fixpoint
-					// re-iterations skip the text walk.
-					for _, s := range parents {
-						if r.announced[s] {
-							continue
-						}
-						r.announced[s] = true
-						if url, ok := crawlURL(s); ok {
-							r.fr.prefetch(url)
-						}
-					}
-				}
-				for _, s := range parents {
-					added, err := r.applyRule(rule, s)
-					if err != nil {
-						return r.base, err
-					}
-					if added {
-						changed = true
-					}
-					if r.base.Count() > ev.max(ev.MaxInstances, 100000) {
-						return r.base, fmt.Errorf("elog: instance limit exceeded (recursive wrapper runaway?)")
-					}
-				}
-			}
-			if !changed {
-				break
-			}
+	for i, rules := range st {
+		var waves []wave
+		if cp != nil {
+			waves = cp.waves[i]
+		} else {
+			waves = planWaves(rules)
+		}
+		if err := r.runStratum(waves); err != nil {
+			return r.base, err
 		}
 	}
 	return r.base, nil
+}
+
+// wave is a run of consecutive stratum rules whose candidate-generation
+// phases are mutually independent: no member reads (via its parent
+// pattern or a pattern reference) a pattern any member writes.
+// Sequential waves are singletons that must interleave generation and
+// commit exactly like the serial evaluator: document/crawl rules (they
+// mutate the crawl bookkeeping) and self-recursive rules (a later
+// parent's generation may read an earlier parent's commits).
+type wave struct {
+	rules      []*Rule
+	sequential bool
+}
+
+// ruleReads returns the patterns whose instance sets candidate
+// generation for the rule consults: the parent pattern and every
+// pattern reference (negated references point to lower strata and so
+// can never conflict within one, but listing them is harmless).
+func ruleReads(rule *Rule) []string {
+	var out []string
+	if rule.DocURL == "" {
+		out = append(out, rule.Parent)
+	}
+	for _, c := range rule.Conds {
+		if ref, ok := c.(PatternRefCond); ok {
+			out = append(out, ref.Pattern)
+		}
+	}
+	return out
+}
+
+// ruleSequential reports whether the rule must run on the interleaved
+// serial path: entry rules and getDocument rules drive the crawl
+// frontier and mutate the document table, and a rule that reads its own
+// head must see each parent's commits before the next parent's
+// generation, exactly as the serial evaluator does.
+func ruleSequential(rule *Rule) bool {
+	if rule.DocURL != "" {
+		return true
+	}
+	if rule.Extract != nil && rule.Extract.Kind == GetDocument {
+		return true
+	}
+	for _, p := range ruleReads(rule) {
+		if p == rule.Head {
+			return true
+		}
+	}
+	return false
+}
+
+// planWaves greedily partitions a stratum's rule list, preserving rule
+// order, into waves safe for concurrent candidate generation. A rule
+// opens a new wave when it reads a pattern some earlier member of the
+// current wave writes (it must observe those commits first) or when it
+// needs the serial path.
+func planWaves(rules []*Rule) []wave {
+	var out []wave
+	var cur []*Rule
+	heads := map[string]bool{}
+	flush := func() {
+		if len(cur) > 0 {
+			out = append(out, wave{rules: cur})
+			cur = nil
+			heads = map[string]bool{}
+		}
+	}
+	for _, rule := range rules {
+		if ruleSequential(rule) {
+			flush()
+			out = append(out, wave{rules: []*Rule{rule}, sequential: true})
+			continue
+		}
+		for _, p := range ruleReads(rule) {
+			if heads[p] {
+				flush()
+				break
+			}
+		}
+		cur = append(cur, rule)
+		heads[rule.Head] = true
+	}
+	flush()
+	return out
+}
+
+// runStratum evaluates one stratum's rules to fixpoint. The rule list
+// is planned into waves once (at Compile for compiled programs); each
+// fixpoint pass walks the waves in rule order, so at MaxConcurrency 1 —
+// or whenever every wave is a singleton — the evaluation order is
+// exactly the serial one.
+func (r *runner) runStratum(waves []wave) error {
+	conc := r.ev.MaxConcurrency
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	for {
+		changed := false
+		for _, w := range waves {
+			wc, err := r.runWave(w, conc)
+			if wc {
+				changed = true
+			}
+			if err != nil {
+				return err
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return nil
+}
+
+// runWave evaluates one wave: candidate generation runs concurrently
+// over every (rule, parent) job, then instances are committed on the
+// evaluation goroutine in job order. Because no job's generation reads
+// a pattern the wave writes, every job sees the same base it would have
+// seen serially, and the ordered commit assigns the same instance ids —
+// the resulting base is bit-identical to serial evaluation.
+func (r *runner) runWave(w wave, conc int) (bool, error) {
+	if w.sequential || conc <= 1 {
+		return r.runSerial(w.rules)
+	}
+	jobs := r.jobs[:0]
+	for _, rule := range w.rules {
+		for _, s := range r.base.Instances(rule.Parent) {
+			jobs = append(jobs, waveJob{rule: rule, parent: s})
+		}
+	}
+	r.jobs = jobs
+	switch {
+	case len(jobs) == 0:
+		return false, nil
+	case len(jobs) == 1:
+		return r.runSerial(w.rules)
+	}
+	if conc > len(jobs) {
+		conc = len(jobs)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < conc; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				j := int(next.Add(1)) - 1
+				if j >= len(jobs) {
+					return
+				}
+				jb := &jobs[j]
+				jb.accepted, jb.err = r.ruleCandidates(jb.rule, jb.parent)
+			}
+		}()
+	}
+	wg.Wait()
+	changed := false
+	for j := range jobs {
+		jb := &jobs[j]
+		if jb.err != nil {
+			// Generation has no side effects, so discarding the later
+			// jobs' candidates leaves the base exactly as the serial
+			// evaluator would have: committed up to the failing job.
+			return changed, jb.err
+		}
+		if r.commit(jb.rule, jb.parent, jb.accepted) {
+			changed = true
+		}
+		if r.base.Count() > r.ev.max(r.ev.MaxInstances, 100000) {
+			return changed, fmt.Errorf("elog: instance limit exceeded (recursive wrapper runaway?)")
+		}
+	}
+	return changed, nil
+}
+
+// runSerial is the seed evaluator's interleaved loop: one rule at a
+// time, one parent at a time, committing before the next generation.
+// Crawl-driving and self-recursive rules require it; it is also the
+// whole story at MaxConcurrency 1.
+func (r *runner) runSerial(rules []*Rule) (bool, error) {
+	changed := false
+	for _, rule := range rules {
+		var parents []*pib.Instance
+		if rule.DocURL != "" {
+			in, err := r.fetchDoc(rule.DocURL)
+			if err != nil {
+				return changed, fmt.Errorf("elog: rule for %s: %w", rule.Head, err)
+			}
+			parents = []*pib.Instance{in}
+		} else {
+			parents = r.base.Instances(rule.Parent)
+		}
+		if rule.Extract != nil && rule.Extract.Kind == GetDocument {
+			// Open the crawl frontier: every URL this rule is
+			// about to request is known before the first fetch,
+			// so the pages download in parallel while rule
+			// application consumes them sequentially in stable
+			// order. Each parent is announced once; fixpoint
+			// re-iterations skip the text walk.
+			for _, s := range parents {
+				if r.announced[s] {
+					continue
+				}
+				r.announced[s] = true
+				if url, ok := crawlURL(s); ok {
+					r.fr.prefetch(url)
+				}
+			}
+		}
+		for _, s := range parents {
+			added, err := r.applyRule(rule, s)
+			if err != nil {
+				return changed, err
+			}
+			if added {
+				changed = true
+			}
+			if r.base.Count() > r.ev.max(r.ev.MaxInstances, 100000) {
+				return changed, fmt.Errorf("elog: instance limit exceeded (recursive wrapper runaway?)")
+			}
+		}
+	}
+	return changed, nil
 }
 
 // fetchDoc returns the document instance for url, consuming the crawl
@@ -212,7 +421,7 @@ func (r *runner) fetchDoc(url string) (*pib.Instance, error) {
 func (r *runner) match(e *EPD, t *dom.Tree, roots []dom.NodeID, asChildren bool) []epdMatch {
 	if r.cp != nil {
 		if ce := r.cp.epds[e]; ce != nil {
-			return ce.match(r.cp, t, roots, asChildren, false)
+			return ce.match(r.cp, r.ev.Shared, t, roots, asChildren, false)
 		}
 	}
 	return e.Match(t, roots, asChildren)
@@ -223,7 +432,7 @@ func (r *runner) match(e *EPD, t *dom.Tree, roots []dom.NodeID, asChildren bool)
 func (r *runner) matchDeep(e *EPD, t *dom.Tree, roots []dom.NodeID, asChildren bool) []epdMatch {
 	if r.cp != nil {
 		if ce := r.cp.epds[e]; ce != nil {
-			return ce.match(r.cp, t, roots, asChildren, true)
+			return ce.match(r.cp, r.ev.Shared, t, roots, asChildren, true)
 		}
 	}
 	return e.MatchDeep(t, roots, asChildren)
@@ -272,24 +481,81 @@ func (ev *Evaluator) max(v, def int) int {
 }
 
 // binding maps Elog variables to values: "S", "X" plus regvar and
-// condition-bound variables. Values are candidate instances (nodes or
-// strings) or plain strings.
+// condition-bound variables. Rules bind a handful of variables, so the
+// entries live in small slices scanned linearly — in the per-candidate
+// hot path this beats allocating two maps per candidate and two more
+// per backtracking branch by a wide margin (the E18 allocs/op budget).
 type binding struct {
 	// node-valued variables.
-	nodes map[string]dom.NodeID
+	nodes []nodeBind
 	// string-valued variables.
-	strs map[string]string
+	strs []strBind
 }
 
-func (b *binding) clone() *binding {
-	nb := &binding{nodes: map[string]dom.NodeID{}, strs: map[string]string{}}
-	for k, v := range b.nodes {
-		nb.nodes[k] = v
+type nodeBind struct {
+	name string
+	node dom.NodeID
+}
+
+type strBind struct {
+	name, val string
+}
+
+// branch returns a child binding sharing this one's entries. The
+// capacity caps force any append in the child to reallocate, so sibling
+// backtracking branches never observe each other's bindings.
+func (b *binding) branch() binding {
+	return binding{
+		nodes: b.nodes[:len(b.nodes):len(b.nodes)],
+		strs:  b.strs[:len(b.strs):len(b.strs)],
 	}
-	for k, v := range b.strs {
-		nb.strs[k] = v
+}
+
+// setNode binds name to a node, replacing an existing binding
+// copy-on-write (the backing array may be shared with other branches).
+func (b *binding) setNode(name string, n dom.NodeID) {
+	for i := range b.nodes {
+		if b.nodes[i].name == name {
+			nodes := make([]nodeBind, len(b.nodes))
+			copy(nodes, b.nodes)
+			nodes[i].node = n
+			b.nodes = nodes
+			return
+		}
 	}
-	return nb
+	b.nodes = append(b.nodes, nodeBind{name, n})
+}
+
+// setStr binds name to a string, replacing copy-on-write like setNode.
+func (b *binding) setStr(name, val string) {
+	for i := range b.strs {
+		if b.strs[i].name == name {
+			strs := make([]strBind, len(b.strs))
+			copy(strs, b.strs)
+			strs[i].val = val
+			b.strs = strs
+			return
+		}
+	}
+	b.strs = append(b.strs, strBind{name, val})
+}
+
+func (b *binding) node(name string) (dom.NodeID, bool) {
+	for i := range b.nodes {
+		if b.nodes[i].name == name {
+			return b.nodes[i].node, true
+		}
+	}
+	return dom.Nil, false
+}
+
+func (b *binding) str(name string) (string, bool) {
+	for i := range b.strs {
+		if b.strs[i].name == name {
+			return b.strs[i].val, true
+		}
+	}
+	return "", false
 }
 
 // candidate is a prospective instance produced by the extraction atom.
@@ -305,25 +571,42 @@ type candidate struct {
 // applyRule evaluates one rule for one parent instance; it returns
 // whether any new instance was added.
 func (r *runner) applyRule(rule *Rule, s *pib.Instance) (bool, error) {
-	cands, err := r.extract(rule, s)
+	accepted, err := r.ruleCandidates(rule, s)
 	if err != nil {
 		return false, err
 	}
+	return r.commit(rule, s, accepted), nil
+}
+
+// ruleCandidates is the generation phase of one (rule, parent) job:
+// extraction, condition filtering, and the subsq/firstsubtree
+// post-filters. It only reads evaluation state (the instance base, the
+// concept base, warmed document trees, memoized match caches), never
+// writes it, so independent jobs run concurrently — runWave relies on
+// this. Crawl-driving rules (getDocument, document entry) are the
+// exception and never reach here concurrently: ruleSequential pins them
+// to the serial path because their extraction fetches documents.
+func (r *runner) ruleCandidates(rule *Rule, s *pib.Instance) ([]candidate, error) {
+	cands, err := r.extract(rule, s)
+	if err != nil {
+		return nil, err
+	}
 	var accepted []candidate
 	for _, c := range cands {
-		b := &binding{nodes: map[string]dom.NodeID{}, strs: map[string]string{}}
+		var b binding
+		b.nodes = make([]nodeBind, 0, 2)
 		if len(c.nodes) > 0 {
-			b.nodes["X"] = c.nodes[0]
+			b.nodes = append(b.nodes, nodeBind{"X", c.nodes[0]})
 		}
 		if len(s.Nodes) > 0 {
-			b.nodes["S"] = s.Nodes[0]
+			b.nodes = append(b.nodes, nodeBind{"S", s.Nodes[0]})
 		}
 		for k, v := range c.binds {
-			b.strs[k] = v
+			b.setStr(k, v)
 		}
 		ok, err := r.conditions(rule, s, c, b, 0)
 		if err != nil {
-			return false, err
+			return nil, err
 		}
 		if ok {
 			accepted = append(accepted, c)
@@ -338,6 +621,13 @@ func (r *runner) applyRule(rule *Rule, s *pib.Instance) (bool, error) {
 			break
 		}
 	}
+	return accepted, nil
+}
+
+// commit adds the accepted candidates of one (rule, parent) job to the
+// instance base. It runs on the evaluation goroutine only, in job
+// order, so instance ids and dedup decisions are deterministic.
+func (r *runner) commit(rule *Rule, s *pib.Instance, accepted []candidate) bool {
 	changed := false
 	for _, c := range accepted {
 		inst := &pib.Instance{
@@ -348,7 +638,7 @@ func (r *runner) applyRule(rule *Rule, s *pib.Instance) (bool, error) {
 			changed = true
 		}
 	}
-	return changed, nil
+	return changed
 }
 
 // firstOnly keeps the candidate earliest in document order — the
@@ -532,8 +822,9 @@ func candidateSequences(t *dom.Tree, parent dom.NodeID, start, end *EPD) [][]dom
 }
 
 // conditions evaluates rule.Conds[i:] under binding b with backtracking
-// over the choices introduced by before/after/contains.
-func (r *runner) conditions(rule *Rule, s *pib.Instance, c candidate, b *binding, i int) (bool, error) {
+// over the choices introduced by before/after/contains. Bindings pass
+// by value; branches extend them copy-on-write (see binding.branch).
+func (r *runner) conditions(rule *Rule, s *pib.Instance, c candidate, b binding, i int) (bool, error) {
 	if i == len(rule.Conds) {
 		return true, nil
 	}
@@ -555,16 +846,16 @@ func (r *runner) conditions(rule *Rule, s *pib.Instance, c candidate, b *binding
 			return r.conditions(rule, s, c, b, i+1)
 		}
 		for _, m := range matches {
-			nb := b.clone()
+			nb := b.branch()
 			if cc.Var != "" {
-				nb.nodes[cc.Var] = m.node
-				nb.strs[cc.Var] = strings.TrimSpace(c.doc.ElementText(m.node))
+				nb.setNode(cc.Var, m.node)
+				nb.setStr(cc.Var, strings.TrimSpace(c.doc.ElementText(m.node)))
 			}
 			if cc.DistVar != "" {
-				nb.strs[cc.DistVar] = fmt.Sprintf("%d", m.dist)
+				nb.setStr(cc.DistVar, fmt.Sprintf("%d", m.dist))
 			}
 			for k, v := range m.binds {
-				nb.strs[k] = v
+				nb.setStr(k, v)
 			}
 			ok, err := r.conditions(rule, s, c, nb, i+1)
 			if err != nil || ok {
@@ -587,13 +878,13 @@ func (r *runner) conditions(rule *Rule, s *pib.Instance, c candidate, b *binding
 			return r.conditions(rule, s, c, b, i+1)
 		}
 		for _, m := range ms {
-			nb := b.clone()
+			nb := b.branch()
 			if cc.Var != "" {
-				nb.nodes[cc.Var] = m.node
-				nb.strs[cc.Var] = strings.TrimSpace(c.doc.ElementText(m.node))
+				nb.setNode(cc.Var, m.node)
+				nb.setStr(cc.Var, strings.TrimSpace(c.doc.ElementText(m.node)))
 			}
 			for k, v := range m.binds {
-				nb.strs[k] = v
+				nb.setStr(k, v)
 			}
 			ok, err := r.conditions(rule, s, c, nb, i+1)
 			if err != nil || ok {
@@ -602,7 +893,7 @@ func (r *runner) conditions(rule *Rule, s *pib.Instance, c candidate, b *binding
 		}
 		return false, nil
 	case ConceptCond:
-		val, ok := r.varText(b, c, cc.Var)
+		val, ok := r.varText(&b, c, cc.Var)
 		if !ok {
 			return false, fmt.Errorf("elog: rule for %s: concept %s on unbound variable %s", rule.Head, cc.Concept, cc.Var)
 		}
@@ -612,8 +903,8 @@ func (r *runner) conditions(rule *Rule, s *pib.Instance, c candidate, b *binding
 		}
 		return r.conditions(rule, s, c, b, i+1)
 	case CompareCond:
-		l, ok1 := r.operandText(b, c, cc.L)
-		rv, ok2 := r.operandText(b, c, cc.R)
+		l, ok1 := r.operandText(&b, c, cc.L)
+		rv, ok2 := r.operandText(&b, c, cc.R)
 		if !ok1 || !ok2 {
 			return false, fmt.Errorf("elog: rule for %s: comparison on unbound variable", rule.Head)
 		}
@@ -630,7 +921,7 @@ func (r *runner) conditions(rule *Rule, s *pib.Instance, c candidate, b *binding
 		// condition it is vacuously true.
 		return r.conditions(rule, s, c, b, i+1)
 	case PatternRefCond:
-		n, ok := b.nodes[cc.Var]
+		n, ok := b.node(cc.Var)
 		if !ok {
 			return false, fmt.Errorf("elog: rule for %s: pattern reference %s(_, %s) on unbound variable", rule.Head, cc.Pattern, cc.Var)
 		}
@@ -652,10 +943,10 @@ func (r *runner) conditions(rule *Rule, s *pib.Instance, c candidate, b *binding
 // varText resolves a variable to text: string binding first, then the
 // element text of a node binding, then the candidate itself for "X".
 func (r *runner) varText(b *binding, c candidate, v string) (string, bool) {
-	if s, ok := b.strs[v]; ok && s != "" {
+	if s, ok := b.str(v); ok && s != "" {
 		return s, true
 	}
-	if n, ok := b.nodes[v]; ok {
+	if n, ok := b.node(v); ok {
 		return strings.TrimSpace(c.doc.ElementText(n)), true
 	}
 	if v == "X" {
@@ -668,7 +959,7 @@ func (r *runner) varText(b *binding, c candidate, v string) (string, bool) {
 		}
 		return strings.TrimSpace(sb.String()), true
 	}
-	if s, ok := b.strs[v]; ok {
+	if s, ok := b.str(v); ok {
 		return s, true
 	}
 	return "", false

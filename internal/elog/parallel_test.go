@@ -1,0 +1,162 @@
+package elog
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/htmlparse"
+	"repro/internal/pib"
+)
+
+// parallelFixtures are programs spanning the evaluator's features —
+// sequence extraction, regvar bindings, pattern references, stratified
+// negation, specialization, crawling — each paired with its fetcher.
+func parallelFixtures() map[string]struct {
+	src   string
+	fetch MapFetcher
+} {
+	return map[string]struct {
+		src   string
+		fetch MapFetcher
+	}{
+		"ebay": {
+			src:   ebayProgram,
+			fetch: MapFetcher{"www.ebay.com/": htmlparse.Parse(ebayPage())},
+		},
+		"stratified": {
+			src: `
+cell(S, X) <- document("d", S), subelem(S, ?.td, X)
+price(S, X) <- cell(S, X), contains(X, (?.b, [(class, cur, exact)]), _)
+nonprice(S, X) <- cell(S, X), not price(_, X)
+`,
+			fetch: MapFetcher{"d": htmlparse.Parse(`<table><tr>
+<td><b class="cur">$</b> 10</td>
+<td>just text</td>
+<td><b class="cur">$</b> 20</td>
+</tr></table>`)},
+		},
+		"crawl": {
+			src: `
+page(S, X) <- document("p1", S), subelem(S, .body, X)
+nextlink(S, X) <- page(_, S), subelem(S, ?.a, X)
+nexturl(S, X) <- nextlink(_, S), subatt(S, href, X)
+nextdoc(S, X) <- nexturl(_, S), getDocument(S, X)
+page(S, X) <- nextdoc(_, S), subelem(S, .body, X)
+title(S, X) <- page(_, S), subelem(S, ?.h1, X)
+`,
+			fetch: MapFetcher{
+				"p1": htmlparse.Parse(`<body><h1>One</h1><a href="p2">next</a></body>`),
+				"p2": htmlparse.Parse(`<body><h1>Two</h1><a href="p3">next</a></body>`),
+				"p3": htmlparse.Parse(`<body><h1>Three</h1></body>`),
+			},
+		},
+	}
+}
+
+// TestParallelMatchesSerial pins the tentpole determinism claim: the
+// instance base — ids, parents, dedup decisions, everything Dump
+// serializes — is byte-identical whether rule application runs serially
+// or wave-parallel, interpreted or compiled. Run with -race, this also
+// stresses the concurrent candidate-generation phase.
+func TestParallelMatchesSerial(t *testing.T) {
+	concs := []int{1, 2, 3, runtime.GOMAXPROCS(0)}
+	for name, fx := range parallelFixtures() {
+		prog := MustParse(fx.src)
+		for _, compiled := range []bool{false, true} {
+			var want string
+			for _, conc := range concs {
+				ev := NewEvaluator(fx.fetch)
+				ev.MaxConcurrency = conc
+				var base *pib.Base
+				var err error
+				if compiled {
+					base, err = ev.RunCompiled(MustCompile(prog))
+				} else {
+					base, err = ev.Run(prog)
+				}
+				if err != nil {
+					t.Fatalf("%s compiled=%v conc=%d: %v", name, compiled, conc, err)
+				}
+				if base.Count() == 0 {
+					t.Fatalf("%s compiled=%v conc=%d: empty base", name, compiled, conc)
+				}
+				got := base.Dump()
+				if conc == concs[0] {
+					want = got
+				} else if got != want {
+					t.Errorf("%s compiled=%v conc=%d: base diverges from serial evaluation:\n--- serial ---\n%s--- conc=%d ---\n%s",
+						name, compiled, conc, want, conc, got)
+				}
+			}
+		}
+	}
+}
+
+// TestPlanWaves checks the independence analysis on the Figure 5
+// program: the entry rule is a sequential singleton, record waits for
+// tableseq, itemdes and price share a wave (both only read record),
+// bids must wait for price (pattern reference), and currency may join
+// bids' wave (it reads price, which that wave does not write).
+func TestPlanWaves(t *testing.T) {
+	prog := MustParse(ebayProgram)
+	st, err := Stratify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st) != 1 {
+		t.Fatalf("strata = %d, want 1", len(st))
+	}
+	var got [][]string
+	var seq []bool
+	for _, w := range planWaves(st[0]) {
+		var heads []string
+		for _, r := range w.rules {
+			heads = append(heads, r.Head)
+		}
+		got = append(got, heads)
+		seq = append(seq, w.sequential)
+	}
+	want := [][]string{{"tableseq"}, {"record"}, {"itemdes", "price"}, {"bids", "currency"}}
+	if len(got) != len(want) {
+		t.Fatalf("waves = %v, want %v", got, want)
+	}
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("wave %d = %v, want %v", i, got[i], want[i])
+		}
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("wave %d = %v, want %v", i, got[i], want[i])
+			}
+		}
+	}
+	if !seq[0] {
+		t.Error("entry rule wave should be sequential (it drives the crawl frontier)")
+	}
+	for i := 1; i < len(seq); i++ {
+		if seq[i] {
+			t.Errorf("wave %d (%v) should be parallel-eligible", i, got[i])
+		}
+	}
+}
+
+// TestSelfRecursiveRuleIsSequential guards the subtle case: a rule
+// reading its own head must interleave generation and commit per
+// parent, so the planner must pin it to the serial path.
+func TestSelfRecursiveRuleIsSequential(t *testing.T) {
+	prog := MustParse(`
+item(S, X) <- document("d", S), subelem(S, ?.li, X)
+item(S, X) <- item(_, S), subelem(S, ?.li, X)
+`)
+	st, err := Stratify(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range planWaves(st[0]) {
+		for _, r := range w.rules {
+			if r.DocURL == "" && r.Head == "item" && !w.sequential {
+				t.Fatal("self-recursive rule placed in a parallel wave")
+			}
+		}
+	}
+}

@@ -6,63 +6,27 @@ import (
 	"repro/internal/dom"
 )
 
-// voidElements never have content; an end tag for them is ignored.
-var voidElements = map[string]bool{
-	"area": true, "base": true, "br": true, "col": true, "embed": true,
-	"hr": true, "img": true, "input": true, "link": true, "meta": true,
-	"param": true, "source": true, "track": true, "wbr": true,
-}
-
-// autoClose maps a tag name to the set of open tags it implicitly closes
-// when it starts: e.g. a new <li> closes a currently open <li>.
-var autoClose = map[string][]string{
-	"li":     {"li"},
-	"td":     {"td", "th"},
-	"th":     {"td", "th"},
-	"tr":     {"tr", "td", "th"},
-	"thead":  {"tr", "td", "th"},
-	"tbody":  {"thead", "tr", "td", "th"},
-	"tfoot":  {"tbody", "tr", "td", "th"},
-	"p":      {"p"},
-	"option": {"option"},
-	"dt":     {"dt", "dd"},
-	"dd":     {"dt", "dd"},
-}
-
-// closeBarrier contains tags that act as scope boundaries for implicit
-// closing: an auto-close never propagates past them.
-var closeBarrier = map[string]bool{
-	"table": true, "html": true, "body": true, "div": true, "ul": true,
-	"ol": true, "select": true, "dl": true,
-}
-
-// headElements are tags that, when they appear directly under html before
-// any body content, are placed in a synthesized head element.
-var headElements = map[string]bool{
-	"title": true, "meta": true, "link": true, "base": true, "style": true,
-}
-
-// Parse parses HTML source into a dom.Tree. The returned tree always has
-// an "html" root with a "body" child (synthesized when missing), because
-// the Elog programs of the paper navigate from the body node (Figure 5).
-// Parse never fails; arbitrarily broken input yields a best-effort tree.
+// parseArena is the zero-copy parse path behind Parse: the tokenizer
+// streams tags straight into an arena-allocated dom.Tree. Three things
+// distinguish it from ParseLegacy, none of them semantic:
 //
-// Parse is a thin shim over the streaming arena builder (see arena.go):
-// tokens flow directly into one pre-sized allocation region per
-// document, with no intermediate token slices and no per-node
-// allocations. The token-at-a-time seed implementation is kept as
-// ParseLegacy; the two are pinned tree-identical by differential and
-// fuzz tests.
-func Parse(src string) *dom.Tree {
-	return parseArena(src)
-}
-
-// ParseLegacy is the seed token-based parser, retained verbatim as the
-// reference implementation: FuzzParseArena and the differential tests
-// assert that the arena builder produces byte-identical trees. New
-// parsing behaviour must change both implementations.
-func ParseLegacy(src string) *dom.Tree {
-	t := dom.New(len(src) / 16)
+//   - the tree's parallel node slices are pre-sized from a tag-count
+//     estimate of the source, so node appends never reallocate on
+//     typical documents;
+//   - tag tokens come from Tokenizer.NextStream, whose attribute lists
+//     live in a reused scratch buffer instead of a fresh slice per tag;
+//   - attributes are committed with dom.Tree.SetAttrs, which copies the
+//     scratch into the tree's chunked attribute arena in one step
+//     (label interning already happens at node-append time).
+//
+// The token stream, the repair rules, and the resulting tree are
+// identical to ParseLegacy's; FuzzParseArena pins that.
+func parseArena(src string) *dom.Tree {
+	// Every element, end tag, and comment starts with '<'; text runs sit
+	// between them. Counting '<' therefore bounds the element+comment
+	// count and approximates the node count closely enough that typical
+	// documents never regrow the arena.
+	t := dom.New(strings.Count(src, "<") + 4)
 	z := NewTokenizer(src)
 
 	var root, head, body dom.NodeID = dom.Nil, dom.Nil, dom.Nil
@@ -71,7 +35,22 @@ func ParseLegacy(src string) *dom.Tree {
 		node dom.NodeID
 		name string
 	}
-	var stack []openElem
+	stack := make([]openElem, 0, 16)
+
+	// attrScratch bridges the tokenizer's reused attribute buffer to
+	// SetAttrs, reused across tags so attribute commits allocate nothing
+	// beyond the tree's own arena chunks.
+	var attrScratch []dom.Attr
+	setAttrs := func(n dom.NodeID, as []Attr) {
+		if len(as) == 0 {
+			return
+		}
+		attrScratch = attrScratch[:0]
+		for _, a := range as {
+			attrScratch = append(attrScratch, dom.Attr{Name: a.Name, Value: a.Value})
+		}
+		t.SetAttrs(n, attrScratch)
+	}
 
 	ensureRoot := func() {
 		if root == dom.Nil {
@@ -101,7 +80,7 @@ func ParseLegacy(src string) *dom.Tree {
 	}
 
 	for {
-		tok, ok := z.Next()
+		tok, ok := z.NextStream()
 		if !ok {
 			break
 		}
@@ -133,9 +112,7 @@ func ParseLegacy(src string) *dom.Tree {
 				if root == dom.Nil {
 					root = t.AddRoot("html")
 					stack = append(stack, openElem{root, "html"})
-					for _, a := range tok.Attrs {
-						t.SetAttr(root, a.Name, a.Value)
-					}
+					setAttrs(root, tok.Attrs)
 				}
 				continue
 			case "head":
@@ -154,9 +131,7 @@ func ParseLegacy(src string) *dom.Tree {
 					}
 					body = t.AppendChild(root, "body")
 					stack = append(stack, openElem{body, "body"})
-					for _, a := range tok.Attrs {
-						t.SetAttr(body, a.Name, a.Value)
-					}
+					setAttrs(body, tok.Attrs)
 				}
 				continue
 			}
@@ -194,9 +169,7 @@ func ParseLegacy(src string) *dom.Tree {
 				}
 			}
 			n := t.AppendChild(parent, name)
-			for _, a := range tok.Attrs {
-				t.SetAttr(n, a.Name, a.Value)
-			}
+			setAttrs(n, tok.Attrs)
 			if tok.Type == StartTagToken && !voidElements[name] {
 				stack = append(stack, openElem{n, name})
 			}
@@ -248,59 +221,4 @@ func ParseLegacy(src string) *dom.Tree {
 		}
 	}
 	return t
-}
-
-// Body returns the body element of a parsed document, or the root if no
-// body exists (which Parse prevents).
-func Body(t *dom.Tree) dom.NodeID {
-	for c := t.FirstChild(t.Root()); c != dom.Nil; c = t.NextSibling(c) {
-		if t.Label(c) == "body" {
-			return c
-		}
-	}
-	return t.Root()
-}
-
-// Render serializes a tree back to HTML text. It is the inverse of Parse
-// up to whitespace and repaired malformations and is used by the
-// transformation server's HTML deliverer.
-func Render(t *dom.Tree) string {
-	var b strings.Builder
-	var rec func(n dom.NodeID)
-	rec = func(n dom.NodeID) {
-		switch t.Kind(n) {
-		case dom.Text:
-			b.WriteString(EscapeText(t.Text(n)))
-			return
-		case dom.Comment:
-			b.WriteString("<!--")
-			b.WriteString(t.Text(n))
-			b.WriteString("-->")
-			return
-		}
-		name := t.Label(n)
-		b.WriteByte('<')
-		b.WriteString(name)
-		for _, a := range t.Attrs(n) {
-			b.WriteByte(' ')
-			b.WriteString(a.Name)
-			b.WriteString(`="`)
-			b.WriteString(EscapeAttr(a.Value))
-			b.WriteByte('"')
-		}
-		b.WriteByte('>')
-		if voidElements[name] {
-			return
-		}
-		for c := t.FirstChild(n); c != dom.Nil; c = t.NextSibling(c) {
-			rec(c)
-		}
-		b.WriteString("</")
-		b.WriteString(name)
-		b.WriteByte('>')
-	}
-	if t.Size() > 0 {
-		rec(t.Root())
-	}
-	return b.String()
 }

@@ -1,0 +1,108 @@
+package htmlparse
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/dom"
+)
+
+// arenaDiffDocs are representative documents for the arena-vs-legacy
+// differential: the fuzz seeds plus larger structured pages of the kind
+// the benchmarks exercise.
+func arenaDiffDocs() []string {
+	docs := []string{
+		"",
+		"plain text",
+		"<html><body><p>hi</p></body></html>",
+		"<table><tr><td>a<td>b<tr><td>c</table>",
+		"<ul><li>one<li>two</ul>",
+		"<div><span>x</span><!-- c --><br></div>",
+		"<p>broken <b>nest</b></p>",
+		"</html></body></p>",
+		"<a href='x' class=\"y\" checked>link</a>",
+		"<script>if (a < b) { x(); }</script>",
+		"<<<>>><tag<<",
+		"&amp;&lt;&unknown;&#65;&#x41;",
+		"<p attr=>empty</p><p =broken>",
+		"<!DOCTYPE html><html><head><title>t</title></head></html>",
+		"<html lang=en a=1 a=2><body class=main>dup attr</body></html>",
+	}
+	var b strings.Builder
+	b.WriteString("<html><head><title>listing</title></head><body><table>")
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&b, "<tr class=row id=r%d><td><b>item %d</b></td><td><a href=\"/item/%d\">$%d.00</a></td></tr>", i, i, i, i)
+	}
+	b.WriteString("</table></body></html>")
+	docs = append(docs, b.String())
+	return docs
+}
+
+// assertSameTree checks every property the arena parser must preserve:
+// isomorphism, fingerprints, and attribute order (dom.Equal compares
+// attributes by name lookup, so order is pinned separately).
+func assertSameTree(t *testing.T, arena, legacy *dom.Tree) {
+	t.Helper()
+	if !dom.Equal(arena, legacy) {
+		t.Fatalf("arena tree differs from legacy tree:\narena:  %s\nlegacy: %s", arena, legacy)
+	}
+	if af, lf := arena.Fingerprint(), legacy.Fingerprint(); af != lf {
+		t.Fatalf("fingerprint mismatch: arena %#x, legacy %#x", af, lf)
+	}
+	if arena.Size() != legacy.Size() {
+		t.Fatalf("size mismatch: arena %d, legacy %d", arena.Size(), legacy.Size())
+	}
+	for i := 0; i < arena.Size(); i++ {
+		n := dom.NodeID(i)
+		aa, la := arena.Attrs(n), legacy.Attrs(n)
+		if len(aa) != len(la) {
+			t.Fatalf("node %d: attr count %d != %d", i, len(aa), len(la))
+		}
+		for j := range aa {
+			if aa[j] != la[j] {
+				t.Fatalf("node %d attr %d: %v != %v", i, j, aa[j], la[j])
+			}
+		}
+	}
+}
+
+// TestParseArenaMatchesLegacy is the deterministic differential: the
+// arena builder must be tree-identical to the frozen seed parser on a
+// spread of well-formed, malformed, and large inputs.
+func TestParseArenaMatchesLegacy(t *testing.T) {
+	for i, src := range arenaDiffDocs() {
+		assertSameTree(t, Parse(src), ParseLegacy(src))
+		_ = i
+	}
+}
+
+// TestParseAllocs pins the allocation collapse the arena parser exists
+// for. The representative page has ~1200 elements; the legacy parser
+// allocates a few per node (token attr slices, per-node appends, attr
+// map churn), the arena parser a small constant number of regions plus
+// the interned strings. A generous cap still catches any per-node
+// regression, and the ≥3× ratio is the PR's acceptance criterion.
+func TestParseAllocs(t *testing.T) {
+	src := arenaDiffDocs()[len(arenaDiffDocs())-1]
+	arena := testing.AllocsPerRun(20, func() {
+		if Parse(src) == nil {
+			t.Fatal("nil tree")
+		}
+	})
+	legacy := testing.AllocsPerRun(20, func() {
+		if ParseLegacy(src) == nil {
+			t.Fatal("nil tree")
+		}
+	})
+	t.Logf("allocs/op: arena %.0f, legacy %.0f", arena, legacy)
+	if arena*3 > legacy {
+		t.Errorf("arena parse allocates %.0f/op, legacy %.0f/op: want >= 3x reduction", arena, legacy)
+	}
+	// Absolute backstop: the arena path must stay within a small budget
+	// that cannot hide a per-node allocation on a ~1600-node document.
+	const maxAllocs = 400
+	if arena > maxAllocs {
+		t.Errorf("arena parse allocates %.0f/op, want <= %d", arena, maxAllocs)
+	}
+}

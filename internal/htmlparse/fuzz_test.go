@@ -73,3 +73,47 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// FuzzParseArena is the differential fuzz target for the zero-copy
+// arena builder: on any input, the arena path behind Parse must produce
+// a tree byte-identical to the frozen seed parser ParseLegacy —
+// isomorphic structure, equal fingerprints, and identical in-order
+// attribute lists (dom.Equal compares attributes by name, so order is
+// checked separately).
+func FuzzParseArena(f *testing.F) {
+	seeds := []string{
+		"",
+		"<html><body><p>hi</p></body></html>",
+		"<table><tr><td>a<td>b<tr><td>c</table>",
+		"<html lang=en a=1 a=2><body class=main>dup</body></html>",
+		"<p>broken <b>nest</p></b>",
+		"<a href='x' class=\"y\" checked>link</a>",
+		"<!DOCTYPE html><html><head><title>t</title></head></html>",
+		"<<<>>><tag<<",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		arena := Parse(src)
+		legacy := ParseLegacy(src)
+		if !dom.Equal(arena, legacy) {
+			t.Fatalf("arena tree differs from legacy:\narena:  %s\nlegacy: %s", arena, legacy)
+		}
+		if af, lf := arena.Fingerprint(), legacy.Fingerprint(); af != lf {
+			t.Fatalf("fingerprint mismatch: arena %#x, legacy %#x", af, lf)
+		}
+		for i := 0; i < arena.Size(); i++ {
+			n := dom.NodeID(i)
+			aa, la := arena.Attrs(n), legacy.Attrs(n)
+			if len(aa) != len(la) {
+				t.Fatalf("node %d: attr count %d != %d", i, len(aa), len(la))
+			}
+			for j := range aa {
+				if aa[j] != la[j] {
+					t.Fatalf("node %d attr %d: %v != %v", i, j, aa[j], la[j])
+				}
+			}
+		}
+	})
+}

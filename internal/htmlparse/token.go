@@ -77,6 +77,10 @@ type Tokenizer struct {
 	// title, textarea); set by XML consumers, where those names are
 	// ordinary elements.
 	NoRawText bool
+	// scratch backs the attribute lists of NextStream tokens, reused
+	// across calls; reuse selects it over a fresh allocation.
+	scratch []Attr
+	reuse   bool
 }
 
 // NewTokenizer returns a tokenizer over src.
@@ -85,7 +89,24 @@ func NewTokenizer(src string) *Tokenizer {
 }
 
 // Next returns the next token and false when the input is exhausted.
+// The token's attribute slice is freshly allocated and owned by the
+// caller.
 func (z *Tokenizer) Next() (Token, bool) {
+	z.reuse = false
+	return z.next()
+}
+
+// NextStream is Next with zero-copy attribute handling: the returned
+// token's Attrs alias an internal scratch buffer that the following
+// NextStream call overwrites. Streaming consumers that process each
+// token before asking for the next one (the arena tree builder) avoid
+// one slice allocation per tag this way.
+func (z *Tokenizer) NextStream() (Token, bool) {
+	z.reuse = true
+	return z.next()
+}
+
+func (z *Tokenizer) next() (Token, bool) {
 	if z.pos >= len(z.src) {
 		return Token{}, false
 	}
@@ -203,10 +224,22 @@ func (z *Tokenizer) tag() (Token, bool) {
 
 // attrs lexes the attribute list starting at position j, returning the
 // attributes, whether the tag is self-closing, and the position just
-// past the closing '>'.
+// past the closing '>'. In reuse mode the list is built in the scratch
+// buffer, whose grown capacity is kept for the next tag.
 func (z *Tokenizer) attrs(j int) ([]Attr, bool, int) {
+	attrs, selfClose, pos := z.lexAttrs(j)
+	if z.reuse {
+		z.scratch = attrs
+	}
+	return attrs, selfClose, pos
+}
+
+func (z *Tokenizer) lexAttrs(j int) ([]Attr, bool, int) {
 	s := z.src
 	var attrs []Attr
+	if z.reuse {
+		attrs = z.scratch[:0]
+	}
 	selfClose := false
 	for j < len(s) {
 		// Skip whitespace.

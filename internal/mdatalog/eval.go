@@ -145,6 +145,13 @@ func (e *evaluator) orInto(pred int, src []uint64) {
 // run seeds the extensional-only rules word-parallel, wires occurrence
 // lists for the intensional bodies, and solves by unit propagation.
 func (e *evaluator) run(p *TMNFProgram) {
+	e.wire(p.Rules)
+	e.propagate()
+}
+
+// wire seeds the extensional-only rules and registers occurrence-list
+// entries for the intensional bodies of the given rules.
+func (e *evaluator) wire(rules []TMNFRule) {
 	if e.n == 0 {
 		return
 	}
@@ -152,7 +159,7 @@ func (e *evaluator) run(p *TMNFProgram) {
 		i, ok := e.predIndex[pred]
 		return i, ok
 	}
-	for _, r := range p.Rules {
+	for _, r := range rules {
 		hp := e.predIndex[r.Head]
 		switch r.Kind {
 		case Copy:
@@ -198,6 +205,11 @@ func (e *evaluator) run(p *TMNFProgram) {
 			}
 		}
 	}
+}
+
+// propagate drains the worklist: constant time per derived
+// (predicate, node) atom.
+func (e *evaluator) propagate() {
 	for len(e.queue) > 0 {
 		a := e.queue[len(e.queue)-1]
 		e.queue = e.queue[:len(e.queue)-1]

@@ -1,0 +1,107 @@
+package mdatalog
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/datalog"
+	"repro/internal/dom"
+	"repro/internal/strata"
+)
+
+// EvalParallel is Eval with concurrent evaluation of independent rule
+// components (see EvalTMNFParallel). conc <= 0 means GOMAXPROCS.
+func EvalParallel(p *datalog.Program, t *dom.Tree, conc int) (Result, error) {
+	tp, err := ToTMNF(p)
+	if err != nil {
+		return nil, err
+	}
+	return EvalTMNFParallel(tp, t, conc), nil
+}
+
+// EvalTMNFParallel evaluates a TMNF program with the weakly connected
+// components of its rule graph solved concurrently. Two rules are
+// dependent only if they share an intensional predicate (head-to-head
+// or head-to-body); components linked merely by extensional predicates
+// (labels, structural facts) never exchange derived atoms, so each can
+// run its own unit-propagation worklist.
+//
+// The truth store keeps the exact layout of the sequential evaluator —
+// one stride-aligned word region per predicate, predicates indexed in
+// first-head order — and every component writes only the regions of its
+// own predicates, which are disjoint word ranges. Combined with the
+// confluence of monotone datalog (a unique least model regardless of
+// derivation order), the resulting bits — and hence the Result — are
+// identical to EvalTMNF's at any concurrency level.
+func EvalTMNFParallel(p *TMNFProgram, t *dom.Tree, conc int) Result {
+	if conc <= 0 {
+		conc = runtime.GOMAXPROCS(0)
+	}
+	comps := tmnfComponents(p)
+	if conc == 1 || len(comps) < 2 || t.Size() == 0 {
+		return EvalTMNF(p, t)
+	}
+	// Shared global layout: predicate indexes and the one truth array.
+	g := newEvaluator(p, t)
+	// Build the tree's lazily cached structures (label/kind bitsets,
+	// pre/post index) before any worker reads them: the read accessors
+	// are lock-free and must not race with the first build.
+	t.Warm()
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, conc)
+	for _, comp := range comps {
+		rules := make([]TMNFRule, len(comp))
+		for i, ri := range comp {
+			rules[i] = p.Rules[ri]
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(rules []TMNFRule) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			ce := componentEvaluator(g)
+			ce.wire(rules)
+			ce.propagate()
+		}(rules)
+	}
+	wg.Wait()
+	out := Result{}
+	for _, pred := range p.Exported {
+		pi, ok := g.predIndex[pred]
+		if !ok {
+			out[pred] = nil
+			continue
+		}
+		out[pred] = g.nodesOf(pi)
+	}
+	return out
+}
+
+// componentEvaluator returns an evaluator for one component: it shares
+// the global predicate layout and truth array (writing only its own
+// predicates' word regions) but owns its occurrence lists, worklist,
+// and extensional-bitset cache.
+func componentEvaluator(g *evaluator) *evaluator {
+	return &evaluator{
+		t:         g.t,
+		n:         g.n,
+		stride:    g.stride,
+		predIndex: g.predIndex,
+		truth:     g.truth,
+		occ:       make([][]occEntry, len(g.predIndex)),
+		ext:       map[string][]uint64{},
+	}
+}
+
+// tmnfComponents partitions the program's rules into weakly connected
+// components over shared intensional predicates.
+func tmnfComponents(p *TMNFProgram) [][]int {
+	sr := make([]strata.Rule, len(p.Rules))
+	for i, r := range p.Rules {
+		sr[i] = strata.Rule{Head: r.Head, Deps: []strata.Dep{{Pred: r.P0}}}
+		if r.Kind == And {
+			sr[i].Deps = append(sr[i].Deps, strata.Dep{Pred: r.P1})
+		}
+	}
+	return strata.Partition(sr)
+}

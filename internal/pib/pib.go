@@ -137,6 +137,29 @@ func (b *Base) Patterns() []string {
 // Count returns the total number of instances.
 func (b *Base) Count() int { return len(b.all) }
 
+// Dump returns a canonical textual serialization of the whole base: one
+// line per instance, patterns in sorted order, instances in insertion
+// order, including the sequentially assigned ids and parent ids. Two
+// bases serialize identically exactly when every instance — and the
+// order it was committed in — matches, which is what the differential
+// tests for parallel evaluation pin.
+func (b *Base) Dump() string {
+	var sb strings.Builder
+	for _, p := range b.Patterns() {
+		for _, in := range b.byPat[p] {
+			fmt.Fprintf(&sb, "%s#%d kind=%d url=%s nodes=%v", in.Pattern, in.ID, in.Kind, in.URL, in.Nodes)
+			if in.Kind == StringInstance {
+				fmt.Fprintf(&sb, " text=%q", in.Text)
+			}
+			if in.Parent != nil {
+				fmt.Fprintf(&sb, " parent=%d", in.Parent.ID)
+			}
+			sb.WriteByte('\n')
+		}
+	}
+	return sb.String()
+}
+
 // Design is the XML Designer configuration (Section 3.1): which
 // intensional predicates are auxiliary, and what labels nodes receive.
 // The zero value emits every pattern under its own name — "the pattern

@@ -19,11 +19,12 @@ type dynPipeline struct {
 }
 
 // newDynPipeline compiles nothing: it wires an already-compiled SDK
-// wrapper into a schedulable pipeline. Scheduling (interval vs
-// on-demand) lives in the server's pipeState and may change over the
-// pipeline's lifetime via PATCH.
-func newDynPipeline(name string, w *lixto.Wrapper, f elog.Fetcher) (*dynPipeline, error) {
-	eng, out, err := transform.NewWrapperEngine(name, w, f)
+// wrapper into a schedulable pipeline, optionally attached to the
+// server's fleet-shared match cache (nil batch disables batching).
+// Scheduling (interval vs on-demand) lives in the server's pipeState
+// and may change over the pipeline's lifetime via PATCH.
+func newDynPipeline(name string, w *lixto.Wrapper, f elog.Fetcher, batch *elog.MatchCache) (*dynPipeline, error) {
+	eng, out, err := transform.NewWrapperEngineBatched(name, w, f, nil, batch)
 	if err != nil {
 		return nil, err
 	}
@@ -46,6 +47,10 @@ func (d *dynPipeline) Tick() error {
 
 // Output implements Pipeline.
 func (d *dynPipeline) Output() *transform.Collector { return d.out }
+
+// Close detaches the pipeline's wrapper source from the fleet-shared
+// match cache, so batch_size stops counting retired wrappers.
+func (d *dynPipeline) Close() { d.eng.Close() }
 
 // ExtractionStats implements ExtractionStatser.
 func (d *dynPipeline) ExtractionStats() transform.ExtractionStats { return d.eng.ExtractionStats() }

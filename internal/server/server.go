@@ -114,6 +114,13 @@ type Config struct {
 	// wrappers monitoring the same URLs), and its counters appear on
 	// /statusz and GET /v1/wrappers.
 	SharedCache *fetchcache.Cache
+	// MatchCache, when set, is the fleet-shared pattern-match layer
+	// (elog.MatchCache): dynamically registered wrappers attach their
+	// evaluators to it, so wrappers containing identical extraction
+	// paths reuse each other's compiled match results on shared pages.
+	// Its counters appear on /statusz and GET /v1/wrappers as
+	// "match_cache". Pair with SharedCache to also share the fetches.
+	MatchCache *elog.MatchCache
 	// Logf, when set, receives server lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -279,6 +286,7 @@ func (s *Server) RegisterDynamic(p Pipeline, interval time.Duration, onDemand bo
 		return ps.lastErr
 	}(); msg != "" {
 		s.removePipeIf(name, ps)
+		closePipe(ps.p)
 		return fmt.Errorf("server: wrapper %q: %w: %s", name, errFirstTick, msg)
 	}
 
@@ -287,6 +295,7 @@ func (s *Server) RegisterDynamic(p Pipeline, interval time.Duration, onDemand bo
 	if s.draining {
 		// Shutdown raced registration: drop the pipe again.
 		s.removePipeLocked(name)
+		closePipe(ps.p)
 		return fmt.Errorf("server: %w", errShuttingDown)
 	}
 	if s.pipes[name] != ps {
@@ -325,8 +334,18 @@ func (s *Server) Deregister(name string) error {
 	if entry != nil && sched != nil {
 		sched.remove(entry)
 	}
+	closePipe(ps.p)
 	s.cfg.Logf("server: deregistered pipeline %q", name)
 	return nil
+}
+
+// closePipe releases a retired pipeline's external attachments (e.g. a
+// dynamic wrapper detaching from the fleet-shared match cache). Called
+// only after the pipeline can no longer tick.
+func closePipe(p Pipeline) {
+	if c, ok := p.(interface{ Close() }); ok {
+		c.Close()
+	}
 }
 
 // SetInterval reschedules a dynamically registered wrapper in the live
@@ -668,6 +687,9 @@ func (s *Server) statusReport() map[string]any {
 	}
 	if s.cfg.SharedCache != nil {
 		report["shared_cache"] = s.cfg.SharedCache.Stats()
+	}
+	if s.cfg.MatchCache != nil {
+		report["match_cache"] = s.cfg.MatchCache.Report()
 	}
 	return report
 }

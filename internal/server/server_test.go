@@ -408,7 +408,8 @@ func TestStatuszExtractionStats(t *testing.T) {
 	plain := newFakePipe("plain", 0)
 	caching := &statsPipe{
 		fakePipe: newFakePipe("caching", 0),
-		stats:    transform.ExtractionStats{PollCacheHits: 3, MatchCacheHits: 41, MatchCacheMisses: 7},
+		stats: transform.ExtractionStats{PollCacheHits: 3, MatchCacheHits: 41, MatchCacheMisses: 7,
+			ParseNS: 1200, EvalNS: 3400, BatchSize: 2},
 	}
 	if err := s.Register(plain, time.Hour); err != nil {
 		t.Fatal(err)
@@ -443,8 +444,10 @@ func TestStatuszExtractionStats(t *testing.T) {
 	if *st != caching.stats {
 		t.Errorf("extraction stats = %+v, want %+v", *st, caching.stats)
 	}
-	if !strings.Contains(body, "match_cache_hits") {
-		t.Errorf("statusz body lacks match_cache_hits:\n%s", body)
+	for _, field := range []string{"match_cache_hits", "parse_ns", "eval_ns", "batch_size"} {
+		if !strings.Contains(body, field) {
+			t.Errorf("statusz body lacks %s:\n%s", field, body)
+		}
 	}
 }
 

@@ -257,6 +257,9 @@ func (s *Server) v1ListWrappers(w http.ResponseWriter, _ *http.Request) {
 	if s.cfg.SharedCache != nil {
 		body["shared_cache"] = s.cfg.SharedCache.Stats()
 	}
+	if s.cfg.MatchCache != nil {
+		body["match_cache"] = s.cfg.MatchCache.Report()
+	}
 	writeJSON(w, http.StatusOK, body)
 }
 
@@ -313,7 +316,7 @@ func (s *Server) v1CreateWrapper(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	onDemand := spec.IntervalMS <= 0
-	d, err := newDynPipeline(spec.Name, lw, fetcher)
+	d, err := newDynPipeline(spec.Name, lw, fetcher, s.cfg.MatchCache)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
 		return

@@ -13,6 +13,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/elog"
+	"repro/internal/transform"
 	"repro/internal/web"
 	"repro/internal/xmlenc"
 	"repro/pkg/lixto"
@@ -536,5 +538,84 @@ func TestV1ConcurrentLifecycle(t *testing.T) {
 	cancel()
 	if err := <-runErr; err != nil {
 		t.Fatalf("shutdown: %v", err)
+	}
+}
+
+// TestV1BatchedFleet pins the server-side batching wiring: with
+// Config.MatchCache set, every dynamically registered wrapper attaches
+// to the fleet-shared match cache, the listing reports the cache's
+// counters, and each wrapper's extraction block carries the fleet's
+// batch size.
+func TestV1BatchedFleet(t *testing.T) {
+	mc := elog.NewMatchCache()
+	// The empty web 404s every fetch: fleet wrappers carry inline pages,
+	// so only the deliberately broken registration below hits it.
+	_, ts := newDynamicServer(t, Config{MatchCache: mc, DynamicFetcher: web.New()})
+
+	const fleet = 3
+	for i := 0; i < fleet; i++ {
+		code, body, _ := do(t, "POST", ts.URL+"/v1/wrappers",
+			map[string]any{"name": fmt.Sprintf("books%d", i), "program": v1Wrapper,
+				"html": v1Page, "auxiliary": []string{"page"}})
+		if code != 201 {
+			t.Fatalf("create %d: %d %s", i, code, body)
+		}
+	}
+	if got := mc.Attached(); got != fleet {
+		t.Fatalf("attached = %d, want %d", got, fleet)
+	}
+	if hits, _ := mc.Stats(); hits == 0 {
+		t.Fatal("fleet wrappers over the same page never hit the shared match cache")
+	}
+
+	code, body, _ := do(t, "GET", ts.URL+"/v1/wrappers", nil)
+	if code != 200 {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	var listing struct {
+		MatchCache *elog.BatchStats `json:"match_cache"`
+		Wrappers   []struct {
+			Extraction *transform.ExtractionStats `json:"extraction"`
+		} `json:"wrappers"`
+	}
+	if err := json.Unmarshal([]byte(body), &listing); err != nil {
+		t.Fatal(err)
+	}
+	if listing.MatchCache == nil || listing.MatchCache.Attached != fleet || listing.MatchCache.Hits == 0 {
+		t.Fatalf("listing match_cache = %+v", listing.MatchCache)
+	}
+	for i, w := range listing.Wrappers {
+		if w.Extraction == nil || w.Extraction.BatchSize != fleet {
+			t.Fatalf("wrapper %d extraction = %+v, want batch_size %d", i, w.Extraction, fleet)
+		}
+		if w.Extraction.EvalNS == 0 {
+			t.Fatalf("wrapper %d eval_ns = 0 after registration tick", i)
+		}
+	}
+
+	// The same counters appear on /statusz.
+	code, body, _ = do(t, "GET", ts.URL+"/statusz", nil)
+	if code != 200 || !strings.Contains(body, `"match_cache"`) || !strings.Contains(body, `"batch_size"`) {
+		t.Fatalf("statusz lacks match cache stats: %d\n%s", code, body)
+	}
+
+	// Deleting a wrapper detaches it: batch_size must not keep counting
+	// retired fleet members.
+	code, body, _ = do(t, "DELETE", ts.URL+"/v1/wrappers/books0", nil)
+	if code != 204 {
+		t.Fatalf("delete: %d %s", code, body)
+	}
+	if got := mc.Attached(); got != fleet-1 {
+		t.Fatalf("attached after delete = %d, want %d", got, fleet-1)
+	}
+
+	// A wrapper rejected on its first extraction must not stay attached.
+	code, body, _ = do(t, "POST", ts.URL+"/v1/wrappers",
+		map[string]any{"name": "broken", "program": v1Wrapper, "interval_ms": 1000})
+	if code != 422 {
+		t.Fatalf("broken create: %d %s", code, body)
+	}
+	if got := mc.Attached(); got != fleet-1 {
+		t.Fatalf("attached after rejected registration = %d, want %d", got, fleet-1)
 	}
 }

@@ -76,6 +76,64 @@ func Solve(rules []Rule) (map[string]int, error) {
 	return stratum, nil
 }
 
+// Partition groups rules into the weakly connected components of the
+// dependency graph: two rules share a component when they share a head
+// predicate, or when one's head appears among the other's intensional
+// dependencies (directly or transitively). Dependencies on extensional
+// predicates — those that head no rule — do not connect components:
+// extensional facts are fixed inputs, so rule sets that only share them
+// can be solved independently (and, by the caller, concurrently).
+//
+// The result is a list of rule-index groups: components appear in the
+// order of their first rule, and each group lists its rule indices in
+// input order, so a caller that solves the groups in sequence visits
+// the rules in exactly the original order.
+func Partition(rules []Rule) [][]int {
+	heads := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		heads[r.Head] = true
+	}
+	// Union-find over predicate names.
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			parent[x] = x
+			return x
+		}
+		root := find(p)
+		parent[x] = root
+		return root
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, r := range rules {
+		for _, d := range r.Deps {
+			if heads[d.Pred] {
+				union(r.Head, d.Pred)
+			}
+		}
+	}
+	index := map[string]int{}
+	var out [][]int
+	for i, r := range rules {
+		root := find(r.Head)
+		gi, ok := index[root]
+		if !ok {
+			gi = len(out)
+			index[root] = gi
+			out = append(out, nil)
+		}
+		out[gi] = append(out[gi], i)
+	}
+	return out
+}
+
 // Height returns the number of strata (1 + the maximum stratum number),
 // or 0 for an empty assignment.
 func Height(stratum map[string]int) int {

@@ -1,0 +1,78 @@
+package transform
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/elog"
+	"repro/internal/fetchcache"
+	"repro/internal/web"
+	"repro/internal/xmlenc"
+)
+
+// TestWrapperSourcesBatchExtraction pins the batched fleet path at the
+// transform level: N wrapper sources sharing one fetch cache AND one
+// match cache over the same page produce output byte-identical to
+// private polling, while the fleet's matching work collapses into the
+// shared cache (later wrappers hit, only the first misses). The
+// extraction block must report the fleet's batch size and nonzero
+// parse/eval timings.
+func TestWrapperSourcesBatchExtraction(t *testing.T) {
+	const fleet = 6
+	sim := web.New()
+	sim.SetStatic("shop.example.com/books", sharedPage)
+
+	cache := fetchcache.New(16, time.Hour)
+	mc := elog.NewMatchCache()
+	var docs []string
+	var srcs []*WrapperSource
+	for i := 0; i < fleet; i++ {
+		src := newSharedSource("batched", sim, cache)
+		src.Batch = mc
+		out, err := src.Poll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		docs = append(docs, xmlenc.MarshalIndent(out[0]))
+		srcs = append(srcs, src)
+	}
+
+	simPrivate := web.New()
+	simPrivate.SetStatic("shop.example.com/books", sharedPage)
+	private := newSharedSource("batched", simPrivate, nil)
+	out, err := private.Poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := xmlenc.MarshalIndent(out[0])
+	for i, got := range docs {
+		if got != want {
+			t.Fatalf("source %d output differs under batching:\n%s\nwant:\n%s", i, got, want)
+		}
+	}
+
+	hits, misses := mc.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("shared match cache hits=%d misses=%d: fleet is not batching", hits, misses)
+	}
+	if hits < misses*(fleet-2) {
+		t.Errorf("shared match cache hits=%d misses=%d: expected all but the first wrapper to hit", hits, misses)
+	}
+	st := srcs[0].ExtractionStats()
+	if st.BatchSize != fleet {
+		t.Errorf("batch_size = %d, want %d", st.BatchSize, fleet)
+	}
+	if st.EvalNS == 0 {
+		t.Error("eval_ns = 0 after a real poll")
+	}
+	if st.ParseNS == 0 {
+		t.Error("parse_ns = 0 after a real poll")
+	}
+	var agg ExtractionStats
+	for _, src := range srcs {
+		agg.add(src.ExtractionStats())
+	}
+	if agg.BatchSize != fleet {
+		t.Errorf("aggregated batch_size = %d, want %d", agg.BatchSize, fleet)
+	}
+}

@@ -85,6 +85,30 @@ func (e *Engine) Add(c Component) error {
 	return nil
 }
 
+// Components returns the registered components in registration order —
+// the order Tick polls sources in. Callers inspect them (status pages,
+// differential tests over wrapper sources); the engine stays the owner.
+func (e *Engine) Components() []Component {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]Component, 0, len(e.order))
+	for _, name := range e.order {
+		out = append(out, e.comps[name])
+	}
+	return out
+}
+
+// Close releases component resources held outside the engine — today,
+// wrapper sources detaching from a fleet-shared match cache. The
+// engine must not tick concurrently with or after Close.
+func (e *Engine) Close() {
+	for _, c := range e.Components() {
+		if cl, ok := c.(interface{ Close() }); ok {
+			cl.Close()
+		}
+	}
+}
+
 // Connect wires from's output to to's input. The pipe network must stay
 // acyclic ("very complex unidirectional information flows").
 func (e *Engine) Connect(from, to string) error {
@@ -240,9 +264,19 @@ type WrapperSource struct {
 	// sources sharing one cache must resolve URLs identically; the
 	// extracted output is unchanged (only the fetch work is shared).
 	Shared *fetchcache.Cache
-	tick   int
+	// Batch, when set, attaches the source's evaluator to a fleet-shared
+	// match cache (elog.MatchCache): every wrapper sharing the cache
+	// reuses the others' compiled pattern matches on identical paths and
+	// unchanged pages, so a fleet of N template-stamped wrappers over
+	// one shared page costs about one parse plus one warmed match cache.
+	// Output is unchanged; pair with Shared to also share the fetches.
+	Batch *elog.MatchCache
+	tick  int
 	// shared is the cache-wrapped form of Fetcher, built on first use.
 	shared elog.Fetcher
+	// batchAttached records that this source has counted itself into
+	// Batch's fleet size.
+	batchAttached bool
 
 	// Compiled form of Program, built lazily on the first poll and
 	// reused across ticks.
@@ -254,6 +288,12 @@ type WrapperSource struct {
 	lastURLs []string
 	lastFPs  []uint64
 	lastDoc  *xmlenc.Node
+	// Cumulative extraction timings (nanoseconds), written under
+	// statsMu: parseNS is time spent in the fetch+parse layer (the
+	// fetcher calls, including tree warming), evalNS the wall time of
+	// whole wrapper evaluations.
+	parseNS int64
+	evalNS  int64
 	// CacheHits counts polls answered from the fingerprint cache. It is
 	// written under statsMu so that ExtractionStats can be read
 	// concurrently (the server's status page polls it over HTTP).
@@ -270,6 +310,15 @@ type ExtractionStats struct {
 	PollCacheHits    uint64 `json:"poll_cache_hits"`
 	MatchCacheHits   uint64 `json:"match_cache_hits"`
 	MatchCacheMisses uint64 `json:"match_cache_misses"`
+	// ParseNS is cumulative time (ns) spent in the fetch+parse layer;
+	// EvalNS cumulative wall time (ns) of wrapper evaluations (which
+	// includes the fetches its crawl frontier issues).
+	ParseNS uint64 `json:"parse_ns"`
+	EvalNS  uint64 `json:"eval_ns"`
+	// BatchSize is the number of wrappers attached to the source's
+	// fleet-shared match cache (0 when batching is off). Aggregated
+	// stats report the largest fleet.
+	BatchSize int `json:"batch_size"`
 }
 
 // add accumulates o into s.
@@ -277,17 +326,29 @@ func (s *ExtractionStats) add(o ExtractionStats) {
 	s.PollCacheHits += o.PollCacheHits
 	s.MatchCacheHits += o.MatchCacheHits
 	s.MatchCacheMisses += o.MatchCacheMisses
+	s.ParseNS += o.ParseNS
+	s.EvalNS += o.EvalNS
+	if o.BatchSize > s.BatchSize {
+		s.BatchSize = o.BatchSize
+	}
 }
 
 // ExtractionStats returns the source's memoization counters; safe to
 // call concurrently with polling.
 func (s *WrapperSource) ExtractionStats() ExtractionStats {
 	s.statsMu.Lock()
-	out := ExtractionStats{PollCacheHits: uint64(s.CacheHits)}
+	out := ExtractionStats{
+		PollCacheHits: uint64(s.CacheHits),
+		ParseNS:       uint64(s.parseNS),
+		EvalNS:        uint64(s.evalNS),
+	}
 	compiled := s.compiled
 	s.statsMu.Unlock()
 	if compiled != nil {
 		out.MatchCacheHits, out.MatchCacheMisses = compiled.Stats()
+	}
+	if s.Batch != nil {
+		out.BatchSize = s.Batch.Attached()
 	}
 	return out
 }
@@ -330,9 +391,11 @@ type recordingFetcher struct {
 	mu         sync.Mutex
 	urls       []string
 	fps        []uint64
+	fetchNS    int64
 }
 
 func (r *recordingFetcher) Fetch(url string) (*dom.Tree, error) {
+	start := time.Now()
 	t, ok := r.prefetched[url]
 	if !ok {
 		var err error
@@ -349,6 +412,7 @@ func (r *recordingFetcher) Fetch(url string) (*dom.Tree, error) {
 	r.mu.Lock()
 	r.urls = append(r.urls, url)
 	r.fps = append(r.fps, fp)
+	r.fetchNS += time.Since(start).Nanoseconds()
 	r.mu.Unlock()
 	return t, nil
 }
@@ -364,43 +428,61 @@ func (s *WrapperSource) unchanged(prefetched map[string]*dom.Tree) bool {
 		return false
 	}
 	var missing []string
-	seen := map[string]bool{}
-	for _, url := range s.lastURLs {
-		if _, ok := prefetched[url]; !ok && !seen[url] {
-			seen[url] = true
-			missing = append(missing, url)
+	if len(s.lastURLs) == 1 {
+		if _, ok := prefetched[s.lastURLs[0]]; !ok {
+			missing = s.lastURLs
 		}
-	}
-	type fetched struct {
-		url string
-		t   *dom.Tree
-		err error
-	}
-	results := make(chan fetched, len(missing))
-	fetcher := s.fetchClient()
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for _, url := range missing {
-		go func(url string) {
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			t, err := fetcher.Fetch(url)
-			if err == nil {
-				t.Warm()
+	} else {
+		seen := map[string]bool{}
+		for _, url := range s.lastURLs {
+			if _, ok := prefetched[url]; !ok && !seen[url] {
+				seen[url] = true
+				missing = append(missing, url)
 			}
-			results <- fetched{url, t, err}
-		}(url)
-	}
-	ok := true
-	for range missing {
-		r := <-results
-		if r.err != nil {
-			ok = false
-			continue
 		}
-		prefetched[r.url] = r.t
 	}
-	if !ok {
-		return false
+	fetcher := s.fetchClient()
+	if len(missing) == 1 {
+		// The common single-page wrapper: fetch inline, skipping the
+		// fan-out machinery (a measurable share of steady-state poll
+		// allocations).
+		t, err := fetcher.Fetch(missing[0])
+		if err != nil {
+			return false
+		}
+		t.Warm()
+		prefetched[missing[0]] = t
+	} else if len(missing) > 1 {
+		type fetched struct {
+			url string
+			t   *dom.Tree
+			err error
+		}
+		results := make(chan fetched, len(missing))
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for _, url := range missing {
+			go func(url string) {
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				t, err := fetcher.Fetch(url)
+				if err == nil {
+					t.Warm()
+				}
+				results <- fetched{url, t, err}
+			}(url)
+		}
+		ok := true
+		for range missing {
+			r := <-results
+			if r.err != nil {
+				ok = false
+				continue
+			}
+			prefetched[r.url] = r.t
+		}
+		if !ok {
+			return false
+		}
 	}
 	same := true
 	for i, url := range s.lastURLs {
@@ -463,10 +545,24 @@ func (s *WrapperSource) Poll() ([]*xmlenc.Node, error) {
 	}
 	rec := &recordingFetcher{inner: s.fetchClient(), prefetched: prefetched}
 	ev := elog.NewEvaluator(rec)
+	if s.Batch != nil {
+		ev.Shared = s.Batch
+		s.statsMu.Lock()
+		if !s.batchAttached {
+			s.batchAttached = true
+			s.Batch.Attach()
+		}
+		s.statsMu.Unlock()
+	}
+	start := time.Now()
 	base, err := ev.RunCompiled(s.compiled)
 	if err != nil {
 		return nil, err
 	}
+	s.statsMu.Lock()
+	s.parseNS += rec.fetchNS
+	s.evalNS += time.Since(start).Nanoseconds()
+	s.statsMu.Unlock()
 	design := s.Design
 	if design == nil {
 		design = &pib.Design{Auxiliary: map[string]bool{"document": true}}
@@ -477,6 +573,22 @@ func (s *WrapperSource) Poll() ([]*xmlenc.Node, error) {
 	}
 	s.lastURLs, s.lastFPs, s.lastDoc = rec.urls, rec.fps, doc
 	return []*xmlenc.Node{doc}, nil
+}
+
+// Close detaches the source from its fleet-shared match cache, so
+// batch_size stops counting retired wrappers. Safe to call multiple
+// times and on sources that never polled.
+func (s *WrapperSource) Close() {
+	if s.Batch == nil {
+		return
+	}
+	s.statsMu.Lock()
+	attached := s.batchAttached
+	s.batchAttached = false
+	s.statsMu.Unlock()
+	if attached {
+		s.Batch.Detach()
+	}
 }
 
 // ---------------------------------------------------------------------

@@ -40,10 +40,20 @@ func NewWrapperEngine(name string, w *lixto.Wrapper, f elog.Fetcher) (*Engine, *
 // through here so that thousands of dynamically registered wrappers
 // monitoring the same pages share one fetch+parse per page.
 func NewWrapperEngineCached(name string, w *lixto.Wrapper, f elog.Fetcher, cache *fetchcache.Cache) (*Engine, *Collector, error) {
+	return NewWrapperEngineBatched(name, w, f, cache, nil)
+}
+
+// NewWrapperEngineBatched is NewWrapperEngineCached with the wrapper
+// source additionally attached to a fleet-shared match cache (nil
+// disables batching): wrappers sharing one batch cache reuse each
+// other's compiled pattern matches on identical paths and unchanged
+// pages — the match-side counterpart of the shared fetch layer.
+func NewWrapperEngineBatched(name string, w *lixto.Wrapper, f elog.Fetcher, cache *fetchcache.Cache, batch *elog.MatchCache) (*Engine, *Collector, error) {
 	e := NewEngine()
 	src := NewWrapperSource(name, w, f)
 	src.NoSourceAttr = true
 	src.Shared = cache
+	src.Batch = batch
 	out := &Collector{CompName: name + ".out"}
 	if err := e.Add(src); err != nil {
 		return nil, nil, err

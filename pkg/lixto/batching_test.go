@@ -1,0 +1,61 @@
+package lixto_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/elog"
+	"repro/internal/web"
+	"repro/pkg/lixto"
+)
+
+// TestWithBatching checks the SDK batching option end to end: a fleet
+// of independently compiled wrappers extracting the same page through
+// one shared match cache produces instance bases byte-identical to
+// unbatched extraction, while all but the first wrapper answer their
+// pattern matches from the cache. Concurrent extractions exercise the
+// cache under -race.
+func TestWithBatching(t *testing.T) {
+	const fleet = 8
+	newSim := func() *web.Web {
+		sim := web.New()
+		web.NewBookSite(7, 5).Register(sim, "books.example.com")
+		return sim
+	}
+
+	plain := lixto.MustCompile(cacheProg, lixto.WithFetcher(newSim()), lixto.WithAuxiliary("page"))
+	res, err := plain.Extract(context.Background(), lixto.Origin())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := res.Base.Dump()
+
+	mc := elog.NewMatchCache()
+	sim := newSim()
+	var wg sync.WaitGroup
+	outs := make([]string, fleet)
+	for i := 0; i < fleet; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := lixto.MustCompile(cacheProg, lixto.WithFetcher(sim),
+				lixto.WithBatching(mc), lixto.WithAuxiliary("page"))
+			res, err := w.Extract(context.Background(), lixto.Origin())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			outs[i] = res.Base.Dump()
+		}(i)
+	}
+	wg.Wait()
+	for i, got := range outs {
+		if got != want {
+			t.Fatalf("wrapper %d batched base differs:\n--- got ---\n%s--- want ---\n%s", i, got, want)
+		}
+	}
+	if hits, misses := mc.Stats(); hits == 0 {
+		t.Fatalf("shared match cache never hit (hits=%d misses=%d)", hits, misses)
+	}
+}

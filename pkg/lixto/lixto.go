@@ -182,6 +182,7 @@ func (w *Wrapper) Extract(ctx context.Context, src Source, opts ...Option) (*Res
 		ev.MaxInstances = cfg.maxInstances
 	}
 	ev.MaxConcurrency = cfg.concurrency
+	ev.Shared = cfg.batch
 	var base *pib.Base
 	if cfg.cache {
 		base, err = ev.RunCompiled(w.compiled)

@@ -17,6 +17,7 @@ type config struct {
 	maxInstances int
 	fetcher      elog.Fetcher
 	shared       *fetchcache.Cache
+	batch        *elog.MatchCache
 	concepts     *concepts.Base
 	design       *pib.Design
 	// designOwned is true once this config's design is a private copy
@@ -126,6 +127,19 @@ func WithFetcher(f elog.Fetcher) Option {
 // removes a previously set cache.
 func WithSharedCache(c *fetchcache.Cache) Option {
 	return func(cfg *config) { cfg.shared = c }
+}
+
+// WithBatching attaches extractions to a fleet-shared match cache
+// (elog.NewMatchCache): every wrapper extracting through the same
+// cache reuses the others' compiled pattern matches on identical
+// extraction paths and unchanged pages, so a fleet of wrappers stamped
+// from one template costs about one parse plus one warmed match cache
+// per shared page. The extracted output is unchanged — only the
+// matching work is shared. Pair with WithSharedCache to also share the
+// fetches. Nil removes a previously set cache; WithCache(false)
+// disables the compiled path and with it the batching.
+func WithBatching(mc *elog.MatchCache) Option {
+	return func(cfg *config) { cfg.batch = mc }
 }
 
 // WithConcepts replaces the semantic/syntactic concept base consulted
