@@ -6,9 +6,16 @@
 package repro_test
 
 import (
+	"bufio"
+	"context"
 	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"time"
@@ -23,9 +30,11 @@ import (
 	"repro/internal/htmlparse"
 	"repro/internal/mdatalog"
 	"repro/internal/pib"
+	"repro/internal/server"
 	"repro/internal/transform"
 	"repro/internal/visual"
 	"repro/internal/web"
+	"repro/internal/xmlenc"
 	"repro/internal/xpath"
 )
 
@@ -604,3 +613,134 @@ func TestRootCrossEngineSanity(t *testing.T) {
 		t.Fatalf("datalog engines disagree: %v vs %v", fast["q"], slow["q"])
 	}
 }
+
+// BenchmarkE22_WatchFanout: the encode-once delivery plane under a
+// subscriber fleet. A wrapper whose document changes every tick is
+// watched by 100 SSE subscribers; each iteration is one changed tick
+// delivered end to end — encode once, fan the shared bytes out, and
+// every subscriber holds the event. Compare with "poll": the same tick
+// consumed by 100 conditional-GET pollers, i.e. 100 independent reads
+// against the same snapshot.
+func BenchmarkE22_WatchFanout(b *testing.B) {
+	const nReaders = 100
+	tick := 0
+	out := &transform.Collector{CompName: "hot"}
+	pipe := &churnBenchPipe{name: "hot", out: out, tick: &tick}
+	deliver := func(h http.Handler) {
+		tick++
+		doc := xmlenc.NewElement("doc")
+		doc.SetAttr("n", strconv.Itoa(tick))
+		for i := 0; i < 50; i++ {
+			doc.AppendTextElement("row", fmt.Sprintf("item %d of tick %d", i, tick))
+		}
+		if _, err := out.Process("", doc); err != nil {
+			b.Fatal(err)
+		}
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/hot", nil))
+		if rec.Code != 200 {
+			b.Fatalf("GET /hot = %d", rec.Code)
+		}
+	}
+
+	b.Run("watch", func(b *testing.B) {
+		s := server.New(server.Config{WatchQueue: 16})
+		if err := s.Register(pipe, time.Hour); err != nil {
+			b.Fatal(err)
+		}
+		h := s.Handler()
+		deliver(h)
+		ts := httptest.NewServer(h)
+		defer ts.Close()
+
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		var received atomic.Int64
+		var wg, ready sync.WaitGroup
+		client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: nReaders}}
+		for i := 0; i < nReaders; i++ {
+			ready.Add(1)
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				first := true
+				done := func() {
+					if first {
+						first = false
+						ready.Done()
+					}
+				}
+				defer done()
+				req, _ := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/wrappers/hot/watch", nil)
+				resp, err := client.Do(req)
+				if err != nil {
+					return
+				}
+				defer resp.Body.Close()
+				br := bufio.NewReader(resp.Body)
+				for {
+					line, err := br.ReadString('\n')
+					if err != nil {
+						return
+					}
+					if strings.HasPrefix(line, "event: result") {
+						if first {
+							done()
+							continue
+						}
+						received.Add(1)
+					}
+				}
+			}()
+		}
+		ready.Wait()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			base := received.Load()
+			deliver(h)
+			for received.Load() < base+nReaders {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+		b.StopTimer()
+		cancel()
+		wg.Wait()
+	})
+
+	b.Run("poll", func(b *testing.B) {
+		s := server.New(server.Config{})
+		if err := s.Register(pipe, time.Hour); err != nil {
+			b.Fatal(err)
+		}
+		h := s.Handler()
+		deliver(h)
+		for i := 0; i < b.N; i++ {
+			deliver(h)
+			var wg sync.WaitGroup
+			for r := 0; r < nReaders; r++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, httptest.NewRequest("GET", "/hot", nil))
+					if rec.Code != 200 {
+						b.Error(rec.Code)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	})
+}
+
+// churnBenchPipe adapts the shared churning collector to the server's
+// Pipeline interface for E22.
+type churnBenchPipe struct {
+	name string
+	out  *transform.Collector
+	tick *int
+}
+
+func (p *churnBenchPipe) PipeName() string             { return p.name }
+func (p *churnBenchPipe) Output() *transform.Collector { return p.out }
+func (p *churnBenchPipe) Tick() error                  { return nil }

@@ -1,0 +1,210 @@
+// Command lixtoload storms a running lixtoserver with concurrent
+// readers and reports what the delivery plane served. It drives the two
+// read styles side by side:
+//
+//   - pollers: tight conditional-GET loops on GET /{wrapper} (or any
+//     path), each reusing the last ETag via If-None-Match, so an
+//     unchanged wrapper costs a 304 and zero body bytes;
+//   - watchers: long-lived GET /v1/wrappers/{wrapper}/watch SSE
+//     subscriptions counting pushed result events.
+//
+// Start a server, then point the harness at it:
+//
+//	lixtoserver -addr :8080 -interval 500ms &
+//	lixtoload -addr http://localhost:8080 -wrapper nowplaying \
+//	          -pollers 200 -watchers 800 -duration 10s
+//
+// The summary shows request and event totals, the 200/304 split
+// (encode-once: the 304s never touched a marshaler), error counts, and
+// body bytes transferred per read style.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+type counters struct {
+	requests  atomic.Int64
+	fresh     atomic.Int64 // 200s with a body
+	notMod    atomic.Int64 // 304s
+	events    atomic.Int64 // SSE result events
+	heartbeat atomic.Int64 // SSE comment pings
+	errors    atomic.Int64
+	bytes     atomic.Int64
+}
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8080", "base URL of the lixtoserver")
+	wrapper := flag.String("wrapper", "nowplaying", "wrapper name to read")
+	pollers := flag.Int("pollers", 100, "concurrent conditional-GET pollers")
+	watchers := flag.Int("watchers", 100, "concurrent SSE watch subscribers")
+	duration := flag.Duration("duration", 10*time.Second, "how long to run the storm")
+	pollDelay := flag.Duration("poll-delay", 0, "pause between polls per poller (0 = tight loop)")
+	gzipOn := flag.Bool("gzip", false, "pollers advertise Accept-Encoding: gzip")
+	flag.Parse()
+	if *pollers < 0 || *watchers < 0 || *pollers+*watchers == 0 {
+		fmt.Fprintln(os.Stderr, "lixtoload: need at least one poller or watcher")
+		os.Exit(1)
+	}
+
+	base := strings.TrimRight(*addr, "/")
+	pollURL := base + "/" + *wrapper
+	watchURL := base + "/v1/wrappers/" + *wrapper + "/watch"
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        *pollers + *watchers,
+		MaxIdleConnsPerHost: *pollers + *watchers,
+		DisableCompression:  true, // count the wire bytes we asked for
+	}}
+
+	// One probe first so a typo fails fast instead of as N errors.
+	resp, err := client.Get(pollURL)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lixtoload:", err)
+		os.Exit(1)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "lixtoload: GET %s = %d\n", pollURL, resp.StatusCode)
+		os.Exit(1)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *duration)
+	defer cancel()
+	var pc, wc counters
+	var wg sync.WaitGroup
+	for i := 0; i < *pollers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			poll(ctx, client, pollURL, *pollDelay, *gzipOn, &pc)
+		}()
+	}
+	for i := 0; i < *watchers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			watch(ctx, client, watchURL, &wc)
+		}()
+	}
+	start := time.Now()
+	fmt.Printf("lixtoload: %d pollers + %d watchers on %s for %s\n",
+		*pollers, *watchers, pollURL, *duration)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	fmt.Printf("\n%-22s %12s %12s\n", "", "pollers", "watchers")
+	row := func(label string, p, w int64) { fmt.Printf("%-22s %12d %12d\n", label, p, w) }
+	row("requests", pc.requests.Load(), wc.requests.Load())
+	row("fresh bodies (200)", pc.fresh.Load(), wc.fresh.Load())
+	row("not modified (304)", pc.notMod.Load(), 0)
+	row("events", 0, wc.events.Load())
+	row("heartbeats", 0, wc.heartbeat.Load())
+	row("errors", pc.errors.Load(), wc.errors.Load())
+	row("body bytes", pc.bytes.Load(), wc.bytes.Load())
+	secs := elapsed.Seconds()
+	fmt.Printf("%-22s %12.0f %12.0f   (per second)\n", "throughput",
+		float64(pc.requests.Load())/secs, float64(wc.events.Load())/secs)
+	if n := pc.requests.Load(); n > 0 {
+		fmt.Printf("poll efficiency: %.1f%% of requests were 304s (no body, no encode)\n",
+			100*float64(pc.notMod.Load())/float64(n))
+	}
+}
+
+// poll runs one conditional-GET loop: each response's ETag becomes the
+// next request's If-None-Match, so steady state on an unchanged wrapper
+// is a stream of body-less 304s.
+func poll(ctx context.Context, client *http.Client, url string, delay time.Duration, gz bool, c *counters) {
+	etag := ""
+	for ctx.Err() == nil {
+		req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+		if err != nil {
+			c.errors.Add(1)
+			return
+		}
+		if etag != "" {
+			req.Header.Set("If-None-Match", etag)
+		}
+		if gz {
+			req.Header.Set("Accept-Encoding", "gzip")
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				c.errors.Add(1)
+			}
+			continue
+		}
+		n, _ := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		c.requests.Add(1)
+		c.bytes.Add(n)
+		switch resp.StatusCode {
+		case http.StatusOK:
+			c.fresh.Add(1)
+			etag = resp.Header.Get("ETag")
+		case http.StatusNotModified:
+			c.notMod.Add(1)
+		default:
+			c.errors.Add(1)
+			etag = ""
+		}
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+			}
+		}
+	}
+}
+
+// watch holds one SSE subscription open, counting result events and
+// heartbeats, and resubscribes if the stream drops mid-storm.
+func watch(ctx context.Context, client *http.Client, url string, c *counters) {
+	for ctx.Err() == nil {
+		req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+		if err != nil {
+			c.errors.Add(1)
+			return
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			if ctx.Err() == nil {
+				c.errors.Add(1)
+			}
+			continue
+		}
+		c.requests.Add(1)
+		if resp.StatusCode != http.StatusOK {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			c.errors.Add(1)
+			continue
+		}
+		br := bufio.NewReader(resp.Body)
+		for {
+			line, err := br.ReadString('\n')
+			if err != nil {
+				break
+			}
+			c.bytes.Add(int64(len(line)))
+			switch {
+			case strings.HasPrefix(line, "event: result"):
+				c.events.Add(1)
+			case strings.HasPrefix(line, ": ping"):
+				c.heartbeat.Add(1)
+			}
+		}
+		resp.Body.Close()
+	}
+}

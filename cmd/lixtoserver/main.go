@@ -4,12 +4,14 @@
 //
 //	lixtoserver [-addr :8080] [-interval 2s] [-steps N] [-history N] [-pprof] [-allow-dynamic]
 //	            [-shards N] [-workers N] [-jitter F] [-cache-entries N] [-cache-ttl D]
+//	            [-watch-queue N] [-watch-heartbeat D]
 //
 //	GET /nowplaying           the Now Playing portal feed (Section 6.1)
 //	GET /flights              the latest flight alerts (6.2)
 //	GET /press                the NITF news feed (6.3)
 //	GET /power                the power-trading report (6.7)
 //	GET /{name}/history?n=K   the K most recent documents of a pipeline
+//	GET /v1/wrappers/{n}/watch  SSE change feed of new result snapshots
 //	GET /healthz              liveness probe
 //	GET /statusz              per-pipeline tick/error/latency counters
 //	GET /debug/pprof/         live profiling (with -pprof)
@@ -39,6 +41,13 @@
 // wrappers, so fleets stamped from one template reuse each other's
 // compiled pattern matches on shared pages (batched fleet extraction;
 // /statusz reports the match_cache block).
+// Reads are served from immutable pre-encoded snapshots (strong ETags,
+// If-None-Match → 304, gzip) and each wrapper's change feed streams at
+// GET /v1/wrappers/{name}/watch as Server-Sent Events: -watch-queue
+// bounds each subscriber's pending-event queue (slow clients drop their
+// oldest events rather than stalling delivery) and -watch-heartbeat
+// sets the SSE comment-ping period that keeps idle connections alive
+// through proxies.
 // SIGINT/SIGTERM shuts the server down gracefully, draining queued and
 // in-flight ticks (including dynamically registered wrappers). With
 // -steps N the server instead runs N synchronous ticks, prints a
@@ -75,6 +84,8 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 1024, "shared fetch cache capacity in pages (0 disables)")
 	cacheTTL := flag.Duration("cache-ttl", time.Second, "shared fetch cache freshness window (0 = never stale)")
 	batch := flag.Bool("batch", true, "share one match cache across dynamic wrappers (batched fleet extraction)")
+	watchQueue := flag.Int("watch-queue", 0, "pending events buffered per watch subscriber (0 = default 8)")
+	watchHeartbeat := flag.Duration("watch-heartbeat", 0, "SSE heartbeat period for watch streams (0 = default 15s)")
 	flag.Parse()
 	if *history < 0 {
 		fatal(fmt.Errorf("-history must be >= 0, got %d", *history))
@@ -128,6 +139,8 @@ func main() {
 		SchedulerShards:  *shards,
 		SchedulerWorkers: *workers,
 		SchedulerJitter:  *jitter,
+		WatchQueue:       *watchQueue,
+		WatchHeartbeat:   *watchHeartbeat,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

@@ -1,0 +1,328 @@
+package server
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/xmlenc"
+)
+
+// bigPipe delivers a document large enough to clear the gzip
+// threshold; every Tick appends a new row so consecutive documents
+// differ.
+type bigPipe struct {
+	*fakePipe
+	rows int
+}
+
+func newBigPipe(name string, rows int) *bigPipe {
+	return &bigPipe{fakePipe: newFakePipe(name, 0), rows: rows}
+}
+
+func (b *bigPipe) Tick() error {
+	n := b.ticks.Add(1)
+	doc := xmlenc.NewElement("doc")
+	doc.SetAttr("n", strconv.FormatUint(n, 10))
+	for i := 0; i < b.rows; i++ {
+		doc.AppendTextElement("row", fmt.Sprintf("row %d of tick %d with enough text to compress", i, n))
+	}
+	_, err := b.out.Process("", doc)
+	return err
+}
+
+// TestReadsDoNotTakeServerMutex pins the lock-free read path: with the
+// server-wide mutex held, every GET read route still completes.
+func TestReadsDoNotTakeServerMutex(t *testing.T) {
+	s := New(Config{})
+	p := newFakePipe("hot", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	done := make(chan string, 1)
+	go func() {
+		for _, path := range []string{"/hot", "/hot/history?n=2", "/v1/wrappers/hot/results", "/v1/wrappers/hot/results?n=2"} {
+			code, _, _ := get(t, ts.URL+path)
+			if code != 200 {
+				done <- fmt.Sprintf("%s = %d with s.mu held", path, code)
+				return
+			}
+		}
+		done <- ""
+	}()
+	select {
+	case msg := <-done:
+		if msg != "" {
+			t.Fatal(msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("reads blocked on the server mutex")
+	}
+}
+
+func TestConditionalGet(t *testing.T) {
+	s := New(Config{})
+	p := newFakePipe("etag", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/etag")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+		t.Fatalf("missing or weak ETag: %q", etag)
+	}
+	if got := resp.Header.Values("Vary"); len(got) != 2 || got[0] != "Accept" || got[1] != "Accept-Encoding" {
+		t.Fatalf("Vary = %v", got)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/xml; charset=utf-8" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// A matching validator — including list, weak, and * forms — turns
+	// into 304 with no body.
+	for _, inm := range []string{etag, `"bogus", ` + etag, "W/" + etag, "*"} {
+		code, body, _ := get(t, ts.URL+"/etag", "If-None-Match", inm)
+		if code != http.StatusNotModified || body != "" {
+			t.Fatalf("If-None-Match %q: %d %q", inm, code, body)
+		}
+	}
+	// JSON is a different representation with its own ETag.
+	code, _, _ := get(t, ts.URL+"/etag", "Accept", "application/json", "If-None-Match", etag)
+	if code != 200 {
+		t.Fatalf("XML ETag matched the JSON representation: %d", code)
+	}
+	// A stale validator gets the new body.
+	if err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ := get(t, ts.URL+"/etag", "If-None-Match", etag)
+	if code != 200 || !strings.Contains(body, `n="2"`) {
+		t.Fatalf("stale validator: %d %q", code, body)
+	}
+	ds := s.DeliveryStatus()
+	if ds.EtagHits != 4 || ds.EtagMisses < 2 {
+		t.Fatalf("etag counters: hits=%d misses=%d", ds.EtagHits, ds.EtagMisses)
+	}
+	// The /v1 results route shares the snapshot and so the ETag.
+	resp2, err := http.Get(ts.URL + "/v1/wrappers/etag/results")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	code, _, _ = get(t, ts.URL+"/v1/wrappers/etag/results", "If-None-Match", resp2.Header.Get("ETag"))
+	if code != http.StatusNotModified {
+		t.Fatalf("v1 results conditional GET: %d", code)
+	}
+}
+
+func TestGzipPrecompressed(t *testing.T) {
+	s := New(Config{})
+	p := newBigPipe("big", 50)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Plain body first, for comparison. DisableCompression keeps the
+	// transport from transparently gunzipping.
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	resp, err := client.Get(ts.URL + "/big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Content-Encoding") != "" {
+		t.Fatalf("unsolicited Content-Encoding %q", resp.Header.Get("Content-Encoding"))
+	}
+
+	req, _ := http.NewRequest("GET", ts.URL+"/big", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compressed, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("Content-Encoding = %q", resp.Header.Get("Content-Encoding"))
+	}
+	if len(compressed) >= len(plain) {
+		t.Fatalf("gzip variant not smaller: %d vs %d", len(compressed), len(plain))
+	}
+	zr, err := gzip.NewReader(strings.NewReader(string(compressed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	round, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(round) != string(plain) {
+		t.Fatal("gzip variant does not round-trip to the identity body")
+	}
+
+	// Tiny documents are not worth compressing and stay identity.
+	p2 := newFakePipe("tiny", 0)
+	s2 := New(Config{})
+	if err := s2.Register(p2, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	req, _ = http.NewRequest("GET", ts2.URL+"/tiny", nil)
+	req.Header.Set("Accept-Encoding", "gzip")
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("Content-Encoding") == "gzip" {
+		t.Fatal("tiny body was gzipped")
+	}
+}
+
+// TestEncodeOnceSnapshots pins the encode-once property: any number of
+// reads of an unchanged pipeline reuse one published snapshot, and
+// no-op re-deliveries (same document pointer, or a fresh document with
+// identical bytes) are suppressed without re-encoding or re-publishing.
+func TestEncodeOnceSnapshots(t *testing.T) {
+	s := New(Config{})
+	p := newFakePipe("once", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 25; i++ {
+		if code, _, _ := get(t, ts.URL+"/once"); code != 200 {
+			t.Fatalf("read %d failed", i)
+		}
+		if code, _, _ := get(t, ts.URL+"/v1/wrappers/once/results"); code != 200 {
+			t.Fatalf("v1 read %d failed", i)
+		}
+	}
+	if ds := s.DeliveryStatus(); ds.Snapshots != 1 {
+		t.Fatalf("snapshots = %d after 50 reads of one delivery", ds.Snapshots)
+	}
+
+	// Re-delivering the same document pointer (what the poll-level
+	// fingerprint cache does on unchanged pages) is a suppressed no-op.
+	ps := s.readPipe("once")
+	doc := p.out.Latest()
+	if _, err := p.out.Process("", doc); err != nil {
+		t.Fatal(err)
+	}
+	ps.deliver.snapshot(p.out)
+	// So is a fresh document object with byte-identical content.
+	clone := xmlenc.NewElement("doc")
+	clone.SetAttr("n", "1")
+	if _, err := p.out.Process("", clone); err != nil {
+		t.Fatal(err)
+	}
+	ps.deliver.snapshot(p.out)
+	ds := s.DeliveryStatus()
+	if ds.Snapshots != 1 || ds.SuppressedNoopTicks != 2 {
+		t.Fatalf("snapshots=%d suppressed=%d, want 1/2", ds.Snapshots, ds.SuppressedNoopTicks)
+	}
+
+	// Changed content publishes a second snapshot.
+	if err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if _, body, _ := get(t, ts.URL+"/once"); !strings.Contains(body, `n="2"`) {
+		t.Fatalf("stale body after new delivery: %q", body)
+	}
+	if ds := s.DeliveryStatus(); ds.Snapshots != 2 {
+		t.Fatalf("snapshots = %d after second delivery", ds.Snapshots)
+	}
+}
+
+// TestHistoryCache pins the satellite: the encoded history list is
+// built once per (n, format) until the next delivery invalidates it.
+func TestHistoryCache(t *testing.T) {
+	p := newFakePipe("hist", 0)
+	p.out.Retain = 8
+	s := New(Config{})
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := p.Tick(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	_, b1, ct := get(t, ts.URL+"/hist/history?n=3")
+	if ct != "application/xml; charset=utf-8" {
+		t.Fatalf("history Content-Type = %q", ct)
+	}
+	ps := s.readPipe("hist")
+	ps.deliver.histMu.Lock()
+	cached := len(ps.deliver.hist)
+	ps.deliver.histMu.Unlock()
+	if cached != 1 {
+		t.Fatalf("history cache entries = %d", cached)
+	}
+	_, b2, _ := get(t, ts.URL+"/hist/history?n=3")
+	if b1 != b2 {
+		t.Fatal("cached history differs between requests")
+	}
+	// The v1 list has a different root element and must not collide
+	// with the legacy route's cache entry.
+	_, v1b, _ := get(t, ts.URL+"/v1/wrappers/hist/results?n=3")
+	if !strings.Contains(v1b, "<results") || strings.Contains(v1b, "<history") {
+		t.Fatalf("v1 list root: %q", v1b)
+	}
+	if !strings.Contains(b1, "<history") {
+		t.Fatalf("legacy list root: %q", b1)
+	}
+	// A new delivery invalidates every cached encoding.
+	if err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	_, b3, _ := get(t, ts.URL+"/hist/history?n=3")
+	if b3 == b1 || !strings.Contains(b3, `n="5"`) {
+		t.Fatalf("history cache served stale list: %q", b3)
+	}
+}

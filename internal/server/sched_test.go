@@ -242,11 +242,12 @@ func TestStatuszSchedulerAndCacheShape(t *testing.T) {
 		Pipelines []PipelineStatus  `json:"pipelines"`
 		Scheduler *SchedulerStatus  `json:"scheduler"`
 		Cache     *fetchcache.Stats `json:"shared_cache"`
+		Delivery  *DeliveryStatus   `json:"delivery"`
 	}
 	if err := json.Unmarshal([]byte(body), &report); err != nil {
 		t.Fatalf("statusz JSON: %v\n%s", err, body)
 	}
-	if report.Scheduler == nil || report.Cache == nil || len(report.Pipelines) != 1 {
+	if report.Scheduler == nil || report.Cache == nil || report.Delivery == nil || len(report.Pipelines) != 1 {
 		t.Fatalf("statusz missing blocks:\n%s", body)
 	}
 	if report.Scheduler.Shards != 3 || report.Scheduler.Workers != 5 || report.Scheduler.QueueCapacity != 17 {
@@ -262,6 +263,9 @@ func TestStatuszSchedulerAndCacheShape(t *testing.T) {
 		`"dispatched"`, `"late_ticks"`, `"dropped_ticks"`,
 		`"shared_cache"`, `"entries"`, `"max_entries"`, `"max_age_ms"`,
 		`"hits"`, `"misses"`, `"shared"`, `"expired"`, `"evictions"`,
+		`"delivery"`, `"snapshots"`, `"suppressed_noop_ticks"`, `"broadcasts"`,
+		`"subscribers"`, `"subscribers_total"`, `"dropped_slow"`,
+		`"etag_hits"`, `"etag_misses"`,
 	} {
 		if !strings.Contains(body, key) {
 			t.Errorf("statusz lacks %s:\n%s", key, body)

@@ -3,8 +3,6 @@ package server
 import (
 	"sync"
 	"time"
-
-	"repro/internal/xmlenc"
 )
 
 // pipeState is one scheduled pipeline plus its run-time counters. Ticks
@@ -41,37 +39,11 @@ type pipeState struct {
 	lastTick    time.Time
 	lastLatency time.Duration
 
-	// Rendered-response cache for GET /{name}: the latest document is
-	// the same *xmlenc.Node until the next delivery, so repeated
-	// requests on an unchanged pipeline reuse the encoded bytes.
-	renderMu   sync.Mutex
-	renderDoc  *xmlenc.Node
-	renderXML  []byte
-	renderJSON []byte
-}
-
-// render returns the encoded form of doc, reusing the cached bytes
-// while the pipeline's latest document is unchanged.
-func (ps *pipeState) render(doc *xmlenc.Node, asJSON bool) ([]byte, error) {
-	ps.renderMu.Lock()
-	defer ps.renderMu.Unlock()
-	if ps.renderDoc != doc {
-		ps.renderDoc, ps.renderXML, ps.renderJSON = doc, nil, nil
-	}
-	if asJSON {
-		if ps.renderJSON == nil {
-			data, err := xmlenc.MarshalJSONIndent(doc)
-			if err != nil {
-				return nil, err
-			}
-			ps.renderJSON = data
-		}
-		return ps.renderJSON, nil
-	}
-	if ps.renderXML == nil {
-		ps.renderXML = []byte(xmlenc.MarshalIndent(doc))
-	}
-	return ps.renderXML, nil
+	// deliver is the pipeline's delivery plane (delivery.go): the
+	// published encode-once snapshot, the conditional-GET counters, and
+	// the SSE watch hub. Read handlers reach it through the lock-free
+	// registry (Server.readPipe), never through s.mu.
+	deliver delivery
 }
 
 func (ps *pipeState) tickOnce() {
@@ -79,7 +51,6 @@ func (ps *pipeState) tickOnce() {
 	err := ps.p.Tick()
 	elapsed := time.Since(start)
 	ps.mu.Lock()
-	defer ps.mu.Unlock()
 	ps.ticks++
 	ps.lastTick = time.Now()
 	ps.lastLatency = elapsed
@@ -87,6 +58,10 @@ func (ps *pipeState) tickOnce() {
 		ps.errs++
 		ps.lastErr = err.Error()
 	}
+	ps.mu.Unlock()
+	// Tick-commit publish: encode the new result once and fan it out to
+	// watchers now, rather than lazily on the first read.
+	ps.deliver.snapshot(ps.p.Output())
 }
 
 // flags returns the mutable registration flags consistently.

@@ -114,6 +114,15 @@ type Config struct {
 	// wrappers monitoring the same URLs), and its counters appear on
 	// /statusz and GET /v1/wrappers.
 	SharedCache *fetchcache.Cache
+	// WatchQueue is the per-subscriber event queue depth on the SSE
+	// watch routes (default 8). A subscriber that falls further behind
+	// than this loses its oldest pending events (counted in the
+	// delivery stats as dropped_slow) and coalesces onto newer state.
+	WatchQueue int
+	// WatchHeartbeat is the interval between SSE comment heartbeats on
+	// idle watch streams (default 15s), keeping intermediaries from
+	// closing quiet connections.
+	WatchHeartbeat time.Duration
 	// MatchCache, when set, is the fleet-shared pattern-match layer
 	// (elog.MatchCache): dynamically registered wrappers attach their
 	// evaluators to it, so wrappers containing identical extraction
@@ -163,6 +172,12 @@ func (c *Config) withDefaults() Config {
 	if out.SchedulerJitter < 0 {
 		out.SchedulerJitter = 0
 	}
+	if out.WatchQueue <= 0 {
+		out.WatchQueue = 8
+	}
+	if out.WatchHeartbeat <= 0 {
+		out.WatchHeartbeat = 15 * time.Second
+	}
 	if out.SchedulerJitter > 0.5 {
 		// Above 0.5 the jittered deadline could approach zero delay,
 		// degenerating into continuous ticking.
@@ -186,9 +201,16 @@ type Server struct {
 	draining bool
 	sched    *sched // sharded timer-heap scheduler; set by Run
 
+	// readPipes mirrors pipes for the read path: GET handlers resolve
+	// names through this sync.Map (one lock-free lookup) and never
+	// acquire s.mu. Mutated only under s.mu, alongside pipes.
+	readPipes sync.Map // name → *pipeState
+
 	limiter *rateLimiter // compile rate limit for the /v1 endpoints
 
-	ready chan struct{} // closed once the listener is bound
+	ready     chan struct{} // closed once the listener is bound
+	drainCh   chan struct{} // closed when shutdown begins; ends SSE streams
+	drainOnce sync.Once
 }
 
 // New returns an empty server.
@@ -199,6 +221,7 @@ func New(cfg Config) *Server {
 		pipes:   map[string]*pipeState{},
 		limiter: newRateLimiter(cfg.MaxCompilesPerMinute),
 		ready:   make(chan struct{}),
+		drainCh: make(chan struct{}),
 	}
 }
 
@@ -231,8 +254,10 @@ func (s *Server) Register(p Pipeline, interval time.Duration) error {
 	if _, dup := s.pipes[name]; dup {
 		return fmt.Errorf("server: duplicate pipeline %q", name)
 	}
-	s.pipes[name] = &pipeState{p: p, name: name, interval: interval}
+	ps := &pipeState{p: p, name: name, interval: interval}
+	s.pipes[name] = ps
 	s.order = append(s.order, name)
+	s.readPipes.Store(name, ps)
 	return nil
 }
 
@@ -275,6 +300,7 @@ func (s *Server) RegisterDynamic(p Pipeline, interval time.Duration, onDemand bo
 	}
 	s.pipes[name] = ps
 	s.order = append(s.order, name)
+	s.readPipes.Store(name, ps)
 	s.mu.Unlock()
 
 	// First tick outside the lock: compilation already happened, but
@@ -405,12 +431,19 @@ func (s *Server) removePipeIf(name string, ps *pipeState) {
 }
 
 func (s *Server) removePipeLocked(name string) {
+	ps := s.pipes[name]
 	delete(s.pipes, name)
+	s.readPipes.Delete(name)
 	for i, n := range s.order {
 		if n == name {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
+	}
+	if ps != nil {
+		// Watch subscribers observe the hub close and end their streams
+		// with an "event: close" frame.
+		ps.deliver.hub.close()
 	}
 }
 
@@ -486,6 +519,9 @@ func (s *Server) Run(ctx context.Context) error {
 		s.mu.Lock()
 		s.draining = true
 		s.mu.Unlock()
+		// Wake every SSE watch stream so hs.Shutdown is not held open
+		// by long-lived subscribers.
+		s.drainOnce.Do(func() { close(s.drainCh) })
 		sc.stopAndDrain()
 	}
 
@@ -521,6 +557,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/wrappers/{name}", s.v1Wrapper)
 	mux.HandleFunc("/v1/wrappers/{name}/extract", s.v1WrapperExtract)
 	mux.HandleFunc("/v1/wrappers/{name}/results", s.v1Results)
+	mux.HandleFunc("/v1/wrappers/{name}/watch", s.v1Watch)
 	mux.HandleFunc("/v1/extract", s.v1Extract)
 	mux.HandleFunc("/v1/wrappers/{name}/{rest...}", s.v1NotFound)
 	if s.cfg.EnablePprof {
@@ -539,6 +576,17 @@ func (s *Server) pipe(name string) *pipeState {
 	return s.pipes[name]
 }
 
+// readPipe resolves a pipeline for the read path without touching
+// s.mu: one lock-free sync.Map lookup. Every GET handler goes through
+// here, so reads stay responsive while registration, rescheduling, or
+// shutdown hold the server mutex.
+func (s *Server) readPipe(name string) *pipeState {
+	if v, ok := s.readPipes.Load(name); ok {
+		return v.(*pipeState)
+	}
+	return nil
+}
+
 // wantsJSON reports whether the Accept header prefers JSON over XML.
 func wantsJSON(r *http.Request) bool {
 	accept := r.Header.Get("Accept")
@@ -555,32 +603,21 @@ func wantsJSON(r *http.Request) bool {
 }
 
 func (s *Server) handleLatest(w http.ResponseWriter, r *http.Request) {
-	ps := s.pipe(r.PathValue("name"))
+	ps := s.readPipe(r.PathValue("name"))
 	if ps == nil {
 		http.NotFound(w, r)
 		return
 	}
-	doc := ps.p.Output().Latest()
-	if doc == nil {
+	sn := ps.deliver.snapshot(ps.p.Output())
+	if sn == nil {
 		http.Error(w, "no data yet", http.StatusServiceUnavailable)
 		return
 	}
-	asJSON := wantsJSON(r)
-	data, err := ps.render(doc, asJSON)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	if asJSON {
-		w.Header().Set("Content-Type", "application/json")
-	} else {
-		w.Header().Set("Content-Type", "application/xml")
-	}
-	w.Write(data)
+	ps.serveSnapshot(w, r, sn, false)
 }
 
 func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
-	ps := s.pipe(r.PathValue("name"))
+	ps := s.readPipe(r.PathValue("name"))
 	if ps == nil {
 		http.NotFound(w, r)
 		return
@@ -595,23 +632,25 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	docs := ps.p.Output().History(n)
-	if wantsJSON(r) {
-		data, err := xmlenc.MarshalJSONList(docs)
-		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
+	out := ps.p.Output()
+	asJSON := wantsJSON(r)
+	body, err := ps.deliver.history(out, histKey{n: n, json: asJSON}, func() ([]byte, error) {
+		docs := out.History(n)
+		if asJSON {
+			return xmlenc.MarshalJSONList(docs)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(data)
+		root := xmlenc.NewElement("history")
+		root.SetAttr("name", ps.p.PipeName())
+		root.SetAttr("count", strconv.Itoa(len(docs)))
+		root.Append(docs...)
+		return xmlenc.MarshalIndentBytes(root), nil
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return
 	}
-	root := xmlenc.NewElement("history")
-	root.SetAttr("name", ps.p.PipeName())
-	root.SetAttr("count", strconv.Itoa(len(docs)))
-	root.Append(docs...)
-	w.Header().Set("Content-Type", "application/xml")
-	fmt.Fprint(w, xmlenc.MarshalIndent(root))
+	setReadRouteHeaders(w, asJSON)
+	w.Write(body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -684,6 +723,7 @@ func (s *Server) statusReport() map[string]any {
 	report := map[string]any{
 		"pipelines": s.Status(),
 		"scheduler": s.SchedulerStatus(),
+		"delivery":  s.DeliveryStatus(),
 	}
 	if s.cfg.SharedCache != nil {
 		report["shared_cache"] = s.cfg.SharedCache.Stats()

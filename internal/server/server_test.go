@@ -100,11 +100,11 @@ func TestEndpoints(t *testing.T) {
 	defer ts.Close()
 
 	code, body, ct := get(t, ts.URL+"/x")
-	if code != 200 || ct != "application/xml" || !strings.Contains(body, `<doc n="10"/>`) {
+	if code != 200 || ct != "application/xml; charset=utf-8" || !strings.Contains(body, `<doc n="10"/>`) {
 		t.Fatalf("latest XML: %d %s %q", code, ct, body)
 	}
 	code, body, ct = get(t, ts.URL+"/x", "Accept", "application/json")
-	if code != 200 || ct != "application/json" {
+	if code != 200 || ct != "application/json; charset=utf-8" {
 		t.Fatalf("latest JSON: %d %s", code, ct)
 	}
 	var doc struct {
@@ -119,7 +119,7 @@ func TestEndpoints(t *testing.T) {
 	}
 	// XML explicitly preferred over JSON.
 	code, _, ct = get(t, ts.URL+"/x", "Accept", "application/xml, application/json")
-	if code != 200 || ct != "application/xml" {
+	if code != 200 || ct != "application/xml; charset=utf-8" {
 		t.Fatalf("Accept order ignored: %d %s", code, ct)
 	}
 
@@ -354,11 +354,11 @@ func TestRenderCacheStableAcrossRequests(t *testing.T) {
 
 	_, body1, ct1 := get(t, ts.URL+"/cachepipe")
 	_, body2, _ := get(t, ts.URL+"/cachepipe")
-	if body1 != body2 || ct1 != "application/xml" {
+	if body1 != body2 || ct1 != "application/xml; charset=utf-8" {
 		t.Fatalf("cached responses differ: %q vs %q (%s)", body1, body2, ct1)
 	}
 	_, json1, ctj := get(t, ts.URL+"/cachepipe", "Accept", "application/json")
-	if ctj != "application/json" || json1 == body1 {
+	if ctj != "application/json; charset=utf-8" || json1 == body1 {
 		t.Fatalf("JSON negotiation broken under cache: %s %q", ctj, json1)
 	}
 	if err := p.Tick(); err != nil {

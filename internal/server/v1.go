@@ -104,20 +104,23 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, dst any) boo
 	return true
 }
 
-// writeDoc renders one document as XML (or JSON per Accept).
+// writeDoc renders one document as XML (or JSON per Accept). The
+// response is content-negotiated, so Vary: Accept and an explicit
+// charset keep intermediaries from serving the wrong encoding.
 func writeDoc(w http.ResponseWriter, r *http.Request, doc *xmlenc.Node) {
+	w.Header().Add("Vary", "Accept")
 	if wantsJSON(r) {
 		data, err := xmlenc.MarshalJSONIndent(doc)
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		w.Write(data)
 		return
 	}
-	w.Header().Set("Content-Type", "application/xml")
-	w.Write([]byte(xmlenc.MarshalIndent(doc)))
+	w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+	w.Write(xmlenc.MarshalIndentBytes(doc))
 }
 
 // rateLimiter is a token bucket: perMinute tokens refill continuously,
@@ -253,7 +256,8 @@ func (s *Server) v1ListWrappers(w http.ResponseWriter, _ *http.Request) {
 			infos = append(infos, s.wrapperInfo(name, ps))
 		}
 	}
-	body := map[string]any{"wrappers": infos, "scheduler": s.SchedulerStatus()}
+	body := map[string]any{"wrappers": infos, "scheduler": s.SchedulerStatus(),
+		"delivery": s.DeliveryStatus()}
 	if s.cfg.SharedCache != nil {
 		body["shared_cache"] = s.cfg.SharedCache.Stats()
 	}
@@ -502,11 +506,13 @@ func (s *Server) v1WrapperExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	doc := res.XML()
 	// A one-shot result is a delivery like any other: it lands in the
-	// wrapper's collector and shows up under .../results.
+	// wrapper's collector, shows up under .../results, and fans out to
+	// watch subscribers.
 	if _, err := d.out.Process("extract", doc); err != nil {
 		writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
 		return
 	}
+	ps.deliver.snapshot(d.out)
 	writeDoc(w, r, doc)
 }
 
@@ -532,7 +538,7 @@ func (s *Server) v1Results(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
-	ps := s.pipe(name)
+	ps := s.readPipe(name)
 	if ps == nil {
 		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no wrapper %q", name), nil)
 		return
@@ -540,24 +546,14 @@ func (s *Server) v1Results(w http.ResponseWriter, r *http.Request) {
 	vals, listed := r.URL.Query()["n"]
 	if !listed {
 		// Without ?n= the latest result is served raw — byte-identical
-		// to running the same program through cmd/elogc.
-		doc := ps.p.Output().Latest()
-		if doc == nil {
+		// to running the same program through cmd/elogc — straight from
+		// the published snapshot.
+		sn := ps.deliver.snapshot(ps.p.Output())
+		if sn == nil {
 			writeError(w, http.StatusServiceUnavailable, "unavailable", "no results yet", nil)
 			return
 		}
-		asJSON := wantsJSON(r)
-		data, err := ps.render(doc, asJSON)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
-			return
-		}
-		if asJSON {
-			w.Header().Set("Content-Type", "application/json")
-		} else {
-			w.Header().Set("Content-Type", "application/xml")
-		}
-		w.Write(data)
+		ps.serveSnapshot(w, r, sn, true)
 		return
 	}
 	n, err := strconv.Atoi(vals[0])
@@ -566,23 +562,25 @@ func (s *Server) v1Results(w http.ResponseWriter, r *http.Request) {
 			fmt.Sprintf("query parameter n must be a positive integer, got %q", vals[0]), nil)
 		return
 	}
-	docs := ps.p.Output().History(n)
-	if wantsJSON(r) {
-		data, err := xmlenc.MarshalJSONList(docs)
-		if err != nil {
-			writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
-			return
+	out := ps.p.Output()
+	asJSON := wantsJSON(r)
+	body, err := ps.deliver.history(out, histKey{n: n, json: asJSON, v1: true}, func() ([]byte, error) {
+		docs := out.History(n)
+		if asJSON {
+			return xmlenc.MarshalJSONList(docs)
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Write(data)
+		root := xmlenc.NewElement("results")
+		root.SetAttr("name", name)
+		root.SetAttr("count", strconv.Itoa(len(docs)))
+		root.Append(docs...)
+		return xmlenc.MarshalIndentBytes(root), nil
+	})
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
 		return
 	}
-	root := xmlenc.NewElement("results")
-	root.SetAttr("name", name)
-	root.SetAttr("count", strconv.Itoa(len(docs)))
-	root.Append(docs...)
-	w.Header().Set("Content-Type", "application/xml")
-	fmt.Fprint(w, xmlenc.MarshalIndent(root))
+	setReadRouteHeaders(w, asJSON)
+	w.Write(body)
 }
 
 func (s *Server) v1Extract(w http.ResponseWriter, r *http.Request) {

@@ -134,7 +134,7 @@ func TestV1LifecycleAndByteIdentity(t *testing.T) {
 	want := marshalIndent(res)
 
 	code, got, hdr := do(t, "GET", ts.URL+"/v1/wrappers/books/results", nil)
-	if code != 200 || hdr.Get("Content-Type") != "application/xml" {
+	if code != 200 || hdr.Get("Content-Type") != "application/xml; charset=utf-8" {
 		t.Fatalf("results: %d %s", code, hdr.Get("Content-Type"))
 	}
 	if got != want {
@@ -195,7 +195,7 @@ func TestV1AnonymousExtract(t *testing.T) {
 	_, ts := newDynamicServer(t, Config{})
 	code, body, hdr := do(t, "POST", ts.URL+"/v1/extract",
 		map[string]any{"program": v1Wrapper, "html": v1Page, "root": "books", "auxiliary": []string{"page"}})
-	if code != 200 || hdr.Get("Content-Type") != "application/xml" {
+	if code != 200 || hdr.Get("Content-Type") != "application/xml; charset=utf-8" {
 		t.Fatalf("anon extract: %d %s", code, body)
 	}
 	if !strings.Contains(body, "<books>") || !strings.Contains(body, "The Complexity of XPath") {
@@ -205,7 +205,7 @@ func TestV1AnonymousExtract(t *testing.T) {
 	code, body, hdr = do(t, "POST", ts.URL+"/v1/extract",
 		map[string]any{"program": v1Wrapper, "html": v1Page},
 		"Accept", "application/json")
-	if code != 200 || hdr.Get("Content-Type") != "application/json" {
+	if code != 200 || hdr.Get("Content-Type") != "application/json; charset=utf-8" {
 		t.Fatalf("anon extract JSON: %d %s %s", code, hdr.Get("Content-Type"), body)
 	}
 	if !json.Valid([]byte(body)) {

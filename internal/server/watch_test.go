@@ -1,0 +1,497 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	event string
+	id    uint64
+	data  string
+}
+
+// sseClient consumes a watch stream. Events are parsed on a reader
+// goroutine so tests can wait with timeouts.
+type sseClient struct {
+	resp   *http.Response
+	events chan sseEvent
+	errs   chan error
+	cancel context.CancelFunc
+}
+
+func openWatch(t *testing.T, url string, header ...string) *sseClient {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", url, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	for i := 0; i+1 < len(header); i += 2 {
+		req.Header.Set(header[i], header[i+1])
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		cancel()
+		resp.Body.Close()
+		t.Fatalf("watch open: %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream; charset=utf-8" {
+		t.Fatalf("watch Content-Type = %q", ct)
+	}
+	c := &sseClient{resp: resp, events: make(chan sseEvent, 64), errs: make(chan error, 1), cancel: cancel}
+	go c.readLoop()
+	t.Cleanup(c.close)
+	return c
+}
+
+func (c *sseClient) close() {
+	c.cancel()
+	c.resp.Body.Close()
+}
+
+func (c *sseClient) readLoop() {
+	br := bufio.NewReader(c.resp.Body)
+	var ev sseEvent
+	var data []string
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			c.errs <- err
+			return
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if ev.event != "" || len(data) > 0 {
+				ev.data = strings.Join(data, "\n")
+				c.events <- ev
+			}
+			ev, data = sseEvent{}, nil
+		case strings.HasPrefix(line, ":"):
+			// Comment (heartbeat); ignored.
+		case strings.HasPrefix(line, "event: "):
+			ev.event = line[len("event: "):]
+		case strings.HasPrefix(line, "id: "):
+			ev.id, _ = strconv.ParseUint(line[len("id: "):], 10, 64)
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):])
+		}
+	}
+}
+
+// next waits for the next event.
+func (c *sseClient) next(t *testing.T, timeout time.Duration) sseEvent {
+	t.Helper()
+	select {
+	case ev := <-c.events:
+		return ev
+	case err := <-c.errs:
+		// The final events of a closing stream may already be parsed
+		// and queued; drain them before reporting the stream end.
+		select {
+		case ev := <-c.events:
+			return ev
+		default:
+		}
+		t.Fatalf("watch stream ended: %v", err)
+	case <-time.After(timeout):
+		t.Fatal("no SSE event within timeout")
+	}
+	return sseEvent{}
+}
+
+// none asserts no event arrives within the window.
+func (c *sseClient) none(t *testing.T, window time.Duration) {
+	t.Helper()
+	select {
+	case ev := <-c.events:
+		t.Fatalf("unexpected SSE event %q id=%d", ev.event, ev.id)
+	case <-time.After(window):
+	}
+}
+
+// deliver ticks p and publishes the result the way the scheduler's
+// tick-commit path does.
+func deliver(t *testing.T, s *Server, p *fakePipe) {
+	t.Helper()
+	if err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	if ps := s.readPipe(p.name); ps != nil {
+		ps.deliver.snapshot(p.out)
+	}
+}
+
+func TestWatchStreamsChanges(t *testing.T) {
+	s := New(Config{})
+	p := newFakePipe("feed", 0)
+	if err := s.RegisterDynamic(p, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close) // after the SSE clients close (cleanups run LIFO)
+
+	c := openWatch(t, ts.URL+"/v1/wrappers/feed/watch")
+	// The current state arrives immediately.
+	ev := c.next(t, 2*time.Second)
+	if ev.event != "result" || !strings.Contains(ev.data, `n="1"`) {
+		t.Fatalf("initial event: %q %q", ev.event, ev.data)
+	}
+	// Each change streams one event whose payload matches the GET body.
+	deliver(t, s, p)
+	ev = c.next(t, 2*time.Second)
+	_, body, _ := get(t, ts.URL+"/feed")
+	if ev.event != "result" || ev.data != strings.TrimRight(body, "\n") {
+		t.Fatalf("watch payload diverges from GET:\n%q\nvs\n%q", ev.data, body)
+	}
+	// A no-op re-delivery (same document pointer) is suppressed.
+	doc := p.out.Latest()
+	if _, err := p.out.Process("", doc); err != nil {
+		t.Fatal(err)
+	}
+	s.readPipe("feed").deliver.snapshot(p.out)
+	c.none(t, 150*time.Millisecond)
+
+	// JSON subscribers get the JSON rendering of the same snapshot.
+	cj := openWatch(t, ts.URL+"/v1/wrappers/feed/watch", "Accept", "application/json")
+	ev = cj.next(t, 2*time.Second)
+	if !strings.HasPrefix(ev.data, "{") {
+		t.Fatalf("JSON watch payload: %q", ev.data)
+	}
+
+	ds := s.DeliveryStatus()
+	if ds.Subscribers != 2 || ds.SubscribersTotal != 2 || ds.SuppressedNoopTicks != 1 {
+		t.Fatalf("delivery stats: %+v", ds)
+	}
+}
+
+func TestWatchDeleteAndPatch(t *testing.T) {
+	s := New(Config{})
+	p := newFakePipe("live", 0)
+	if err := s.RegisterDynamic(p, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close) // after the SSE clients close (cleanups run LIFO)
+
+	c := openWatch(t, ts.URL+"/v1/wrappers/live/watch")
+	c.next(t, 2*time.Second) // initial state
+
+	// A live reschedule must not disturb the subscription.
+	if err := s.SetInterval("live", time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, s, p)
+	if ev := c.next(t, 2*time.Second); ev.event != "result" {
+		t.Fatalf("after PATCH: %q", ev.event)
+	}
+
+	// DELETE closes the stream with an explicit close event.
+	if err := s.Deregister("live"); err != nil {
+		t.Fatal(err)
+	}
+	if ev := c.next(t, 2*time.Second); ev.event != "close" || ev.data != "deregistered" {
+		t.Fatalf("after DELETE: %q %q", ev.event, ev.data)
+	}
+
+	// New watches on the retired name 404 with the envelope.
+	code, body, _ := get(t, ts.URL+"/v1/wrappers/live/watch")
+	if code != 404 || !strings.Contains(body, `"not_found"`) {
+		t.Fatalf("watch after delete: %d %q", code, body)
+	}
+	// Bad methods get the uniform 405.
+	req, _ := http.NewRequest("POST", ts.URL+"/v1/wrappers/live/watch", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 || resp.Header.Get("Allow") != "GET" {
+		t.Fatalf("watch POST: %d Allow=%q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}
+
+// TestWatchSlowClientDrops pins the backpressure policy: a subscriber
+// that stops reading loses its oldest pending events (counted) while
+// the tick path never blocks, and the subscriber coalesces onto recent
+// state once it resumes.
+func TestWatchSlowClientDrops(t *testing.T) {
+	s := New(Config{WatchQueue: 2})
+	p := newFakePipe("burst", 0)
+	if err := s.RegisterDynamic(p, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	ps := s.readPipe("burst")
+	sub := ps.deliver.hub.subscribe(s.cfg.WatchQueue)
+	if sub == nil {
+		t.Fatal("subscribe failed")
+	}
+	defer ps.deliver.hub.unsubscribe(sub)
+
+	// Publish far more changes than the queue holds without reading.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			deliver(t, s, p)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("broadcast blocked on a slow subscriber")
+	}
+	// broadcast only enqueues; wait for the dispatcher to fan the
+	// backlog out before inspecting the subscriber queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ps.deliver.hub.mu.Lock()
+		n := len(ps.deliver.hub.pending)
+		ps.deliver.hub.mu.Unlock()
+		if n == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	ds := s.DeliveryStatus()
+	if ds.DroppedSlow == 0 {
+		t.Fatalf("no drops counted after overflowing a queue of 2: %+v", ds)
+	}
+	// The queue still holds the most recent events in order.
+	var last uint64
+	n := 0
+	for {
+		select {
+		case sn := <-sub.ch:
+			if sn.seq <= last {
+				t.Fatalf("event order violated: %d after %d", sn.seq, last)
+			}
+			last = sn.seq
+			n++
+			continue
+		default:
+		}
+		break
+	}
+	if n == 0 || n > 2 {
+		t.Fatalf("queued events = %d, want 1..2", n)
+	}
+	if last != ps.deliver.seq.Load() {
+		t.Fatalf("newest queued event %d is not the latest snapshot %d", last, ps.deliver.seq.Load())
+	}
+}
+
+// TestWatchShutdownDrain runs the real server lifecycle and asserts
+// cancellation cleanly ends open SSE streams with a close event instead
+// of hanging Shutdown until the grace timeout.
+func TestWatchShutdownDrain(t *testing.T) {
+	p := newFakePipe("drainfeed", 0)
+	s := New(Config{Addr: "127.0.0.1:0", ShutdownGrace: 5 * time.Second})
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	select {
+	case <-s.Ready():
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + s.Addr()
+
+	clients := make([]*sseClient, 3)
+	for i := range clients {
+		clients[i] = openWatch(t, base+"/v1/wrappers/drainfeed/watch")
+		clients[i].next(t, 2*time.Second) // initial state
+	}
+
+	start := time.Now()
+	cancel()
+	for _, c := range clients {
+		// Result events scheduled before the drain may still arrive;
+		// the stream must end with the shutdown close event.
+		for {
+			ev := c.next(t, 3*time.Second)
+			if ev.event == "result" {
+				continue
+			}
+			if ev.event != "close" || ev.data != "shutting down" {
+				t.Fatalf("shutdown close event: %q %q", ev.event, ev.data)
+			}
+			break
+		}
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v", err)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("Run did not return after cancel with open watch streams")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("shutdown waited out the grace period (%v) instead of draining streams", elapsed)
+	}
+}
+
+// TestWatchLifecycleStress races subscribe/unsubscribe against
+// DELETE, re-register, and PATCH reschedules (run under -race in CI):
+// no writes to closed subscribers, no stuck streams, and every
+// subscriber observes strictly increasing event ids.
+func TestWatchLifecycleStress(t *testing.T) {
+	// The short heartbeat keeps idle subscriber reads from stalling the
+	// test, and exercises the keepalive path under churn.
+	s := New(Config{WatchQueue: 4, WatchHeartbeat: 50 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close) // after the SSE clients close (cleanups run LIFO)
+
+	reg := func() error { return s.RegisterDynamic(newFakePipe("churn", 0), 0, true) }
+	if err := reg(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	time.AfterFunc(600*time.Millisecond, func() { close(stop) })
+	var wg sync.WaitGroup
+
+	// Lifecycle churn: delete, re-register, reschedule.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Deregister("churn")
+			reg()
+			s.SetInterval("churn", time.Duration(1+time.Now().UnixNano()%5)*time.Hour)
+		}
+	}()
+	// Publisher: keep delivering on whatever pipeline is current.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if ps := s.readPipe("churn"); ps != nil {
+				if fp, ok := ps.p.(*fakePipe); ok {
+					fp.Tick()
+					ps.deliver.snapshot(fp.out)
+				}
+			}
+		}
+	}()
+	// Subscribers: open a watch, consume a few events asserting id
+	// monotonicity, close, repeat.
+	for i := 0; i < 6; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/v1/wrappers/churn/watch")
+				if err != nil {
+					continue
+				}
+				if resp.StatusCode != 200 {
+					resp.Body.Close()
+					continue
+				}
+				br := bufio.NewReader(resp.Body)
+				var last uint64
+				for ev := 0; ev < 8; ev++ {
+					line, err := br.ReadString('\n')
+					if err != nil {
+						break
+					}
+					line = strings.TrimRight(line, "\n")
+					if !strings.HasPrefix(line, "id: ") {
+						continue
+					}
+					id, _ := strconv.ParseUint(line[len("id: "):], 10, 64)
+					if id <= last {
+						t.Errorf("subscriber saw id %d after %d", id, last)
+						break
+					}
+					last = id
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+
+	// After the churn settles the server still works end to end.
+	s.Deregister("churn")
+	if err := reg(); err != nil {
+		t.Fatal(err)
+	}
+	c := openWatch(t, ts.URL+"/v1/wrappers/churn/watch")
+	if ev := c.next(t, 2*time.Second); ev.event != "result" {
+		t.Fatalf("post-stress watch: %q", ev.event)
+	}
+	if code, _, _ := get(t, ts.URL+"/churn"); code != 200 {
+		t.Fatalf("post-stress read: %d", code)
+	}
+}
+
+func TestWatchStatuszShape(t *testing.T) {
+	s := New(Config{})
+	p := newFakePipe("shape", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close) // after the SSE clients close (cleanups run LIFO)
+	c := openWatch(t, ts.URL+"/v1/wrappers/shape/watch")
+	c.next(t, 2*time.Second)
+
+	for _, url := range []string{ts.URL + "/statusz", ts.URL + "/v1/wrappers"} {
+		code, body, _ := get(t, url)
+		if code != 200 {
+			t.Fatalf("%s = %d", url, code)
+		}
+		for _, key := range []string{`"delivery"`, `"snapshots"`, `"suppressed_noop_ticks"`,
+			`"broadcasts"`, `"subscribers"`, `"subscribers_total"`, `"dropped_slow"`,
+			`"etag_hits"`, `"etag_misses"`} {
+			if !strings.Contains(body, key) {
+				t.Errorf("%s missing %s", url, key)
+			}
+		}
+		if !strings.Contains(body, fmt.Sprintf(`"subscribers": %d`, 1)) {
+			t.Errorf("%s does not report the live subscriber", url)
+		}
+	}
+}

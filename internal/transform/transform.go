@@ -26,6 +26,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dom"
@@ -712,6 +713,9 @@ type Collector struct {
 	docs    []*xmlenc.Node // ring storage, oldest at start
 	start   int
 	total   int
+	// version counts deliveries atomically so readers (the server's
+	// delivery plane) can detect staleness without taking mu.
+	version atomic.Uint64
 }
 
 // Name implements Component.
@@ -739,8 +743,14 @@ func (c *Collector) Process(_ string, doc *xmlenc.Node) ([]*xmlenc.Node, error) 
 		c.docs[c.start] = doc
 		c.start = (c.start + 1) % n
 	}
+	c.version.Add(1)
 	return nil, nil
 }
+
+// Version returns the delivery counter without locking: it increments
+// on every Process call, so a reader holding an encoded copy of the
+// collector's state can check freshness with one atomic load.
+func (c *Collector) Version() uint64 { return c.version.Load() }
 
 // Docs returns the retained documents in delivery order (oldest
 // first). Once more than the retention cap have been delivered, only

@@ -9,7 +9,9 @@
 package xmlenc
 
 import (
+	"bytes"
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/htmlparse"
@@ -143,7 +145,27 @@ func MarshalIndent(n *Node) string {
 	return b.String()
 }
 
-func write(b *strings.Builder, n *Node, depth int) {
+// MarshalIndentBytes is MarshalIndent returning the encoded bytes
+// directly, without the string→[]byte copy. The server's delivery
+// plane encodes every published snapshot exactly once and serves the
+// bytes to every reader, so the copy would be pure overhead.
+func MarshalIndentBytes(n *Node) []byte {
+	var b bytes.Buffer
+	write(&b, n, 0)
+	b.WriteByte('\n')
+	return b.Bytes()
+}
+
+// encBuf is the common surface of strings.Builder and bytes.Buffer the
+// serializer writes through.
+type encBuf interface {
+	io.Writer
+	WriteByte(byte) error
+	WriteString(string) (int, error)
+	Len() int
+}
+
+func write(b encBuf, n *Node, depth int) {
 	indent := func(d int) {
 		if d >= 0 {
 			if b.Len() > 0 {

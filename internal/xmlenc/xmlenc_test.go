@@ -105,3 +105,10 @@ func TestSetAttrReplaces(t *testing.T) {
 		t.Errorf("attrs = %v", n.Attrs)
 	}
 }
+
+func TestMarshalIndentBytesEquivalence(t *testing.T) {
+	n := sample()
+	if got, want := string(MarshalIndentBytes(n)), MarshalIndent(n); got != want {
+		t.Errorf("MarshalIndentBytes diverges from MarshalIndent:\n%q\nvs\n%q", got, want)
+	}
+}
