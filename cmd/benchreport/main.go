@@ -71,6 +71,7 @@ func main() {
 	e21BatchedFleet()
 	e22WatchFanout()
 	e23LockFreeReads()
+	e24ChurnIncremental()
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -279,6 +280,28 @@ func writeBenchJSON(path string) error {
 	e23mu, e23lf := e23Handlers(e23p)
 	add("E23_LockFreeReads/mutexed-baseline", parallelGet(e23mu, "/hot23"))
 	add("E23_LockFreeReads/snapshot", parallelGet(e23lf, "/hot23"))
+
+	// Incremental extraction under churn (E24): each round rewrites a
+	// contiguous ~5% window of the page; full re-evaluation vs
+	// subtree-fingerprint reuse. The -eval pair measures pure evaluation
+	// (page generation, parse and warm off the clock); the fleet pair is
+	// a whole 100-wrapper poll round over one shared page.
+	add("E24_ChurnIncremental/full-eval", e24Eval(false))
+	add("E24_ChurnIncremental/incremental-eval", e24Eval(true))
+	e24full := e24Round(100, false)
+	add("E24_ChurnIncremental/fleet-full-100x1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e24full()
+		}
+	})
+	e24inc := e24Round(100, true)
+	add("E24_ChurnIncremental/fleet-incremental-100x1", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e24inc()
+		}
+	})
 
 	prog, qpred, err := xpath.TranslateCore(xq)
 	if err != nil {
@@ -873,6 +896,127 @@ func e21BatchedFleet() {
 	fmt.Printf("   %-28s %12s\n", "per-wrapper extraction", dPriv.Round(time.Microsecond))
 	fmt.Printf("   %-28s %12s\n", "batched extraction", dBatch.Round(time.Microsecond))
 	fmt.Printf("   per-wrapper/batched: %.1fx\n", float64(dPriv)/float64(dBatch))
+}
+
+// e24Setup builds the E24 churn workload: a catalogue page of 60
+// sections x 40 rows (~12k nodes) where each round rewrites one
+// contiguous window of 3 sections (5% of the nodes) and leaves the
+// rest byte-identical, plus the wrapper extracting it. The expensive
+// step is the SALE-row filter: an elementtext regexp that walks every
+// candidate row's subtree — exactly the work subtree-fingerprint reuse
+// skips for clean sections. Page content is a pure function of the
+// accumulated per-section versions, so churn is reproducible.
+func e24Setup() (page func() string, bump func(), prog, url string) {
+	url = "churn.example.com/catalogue"
+	const sections, rowsPer, window = 60, 40, 3
+	version := make([]int, sections)
+	round := 0
+	page = func() string {
+		var sb strings.Builder
+		sb.WriteString("<html><body>")
+		for s := 0; s < sections; s++ {
+			v := version[s]
+			sb.WriteString(`<div class="section"><table>`)
+			for r := 0; r < rowsPer; r++ {
+				tag := ""
+				if r == v%rowsPer {
+					tag = "SALE "
+				}
+				fmt.Fprintf(&sb, `<tr><td class="name">%sitem %d.%d v%d</td><td class="price">$ %d.%02d</td></tr>`,
+					tag, s, r, v, 10+(s*7+v*13)%90, (s*31+v*17)%100)
+			}
+			sb.WriteString("</table></div>")
+		}
+		sb.WriteString("</body></html>")
+		return sb.String()
+	}
+	bump = func() {
+		start := (round * window) % sections
+		for i := 0; i < window; i++ {
+			version[(start+i)%sections]++
+		}
+		round++
+	}
+	prog = fmt.Sprintf(`
+page(S, X)    <- document(%q, S), subelem(S, .body, X)
+section(S, X) <- page(_, S), subelem(S, (.div, [(class, section, exact)]), X)
+row(S, X)     <- section(_, S), subelem(S, (?.tr, [(elementtext, .*SALE.*, regexp)]), X)
+name(S, X)    <- row(_, S), subelem(S, (?.td, [(class, name, exact)]), X)
+price(S, X)   <- row(_, S), subelem(S, (?.td, [(class, price, exact)]), X)
+`, url)
+	return page, bump, prog, url
+}
+
+// e24Eval returns a benchmark measuring pure evaluation cost per churn
+// round — page generation, parse and warm run off the clock — with one
+// compiled program (and so its content-addressed caches) held across
+// rounds, as a long-lived wrapper holds it across polls.
+func e24Eval(incremental bool) func(b *testing.B) {
+	page, bump, prog, url := e24Setup()
+	cp := elog.MustCompile(elog.MustParse(prog))
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			bump()
+			tr := htmlparse.Parse(page())
+			tr.Warm()
+			fetch := elog.MapFetcher{url: tr}
+			b.StartTimer()
+			ev := elog.NewEvaluator(fetch)
+			ev.Incremental = incremental
+			if _, err := ev.RunCompiled(cp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// e24Round builds the E24 fleet — nWrappers wrappers over one shared
+// churning page, fetched and parsed once per round through a shared
+// fetch cache — and returns one full poll round as a closure. Each
+// wrapper keeps its own compiled program across rounds; incremental
+// toggles subtree-fingerprint reuse, everything else is identical.
+func e24Round(nWrappers int, incremental bool) func() {
+	page, bump, prog, url := e24Setup()
+	sim := web.New()
+	sim.SetPage(url, page)
+	cache := fetchcache.New(4, time.Hour)
+	design := &pib.Design{Auxiliary: map[string]bool{"document": true, "page": true, "section": true}}
+	srcs := make([]*transform.WrapperSource, nWrappers)
+	for i := range srcs {
+		srcs[i] = &transform.WrapperSource{
+			CompName:      fmt.Sprintf("w%d", i),
+			Fetcher:       sim,
+			Program:       elog.MustParse(prog),
+			Design:        design,
+			NoCache:       true,
+			Shared:        cache,
+			NoIncremental: !incremental,
+		}
+	}
+	pollRound := func() {
+		bump()
+		cache.Flush() // one freshness window per round
+		pollFleet(srcs)
+	}
+	pollRound() // warm: compile every program, seed the subtree caches
+	return pollRound
+}
+
+func e24ChurnIncremental() {
+	header("E24", "incremental extraction under churn (PR 8)",
+		"100 wrappers, one shared page, ~5% of nodes mutate per round: only dirty regions re-match")
+	const nWrappers = 100
+	full := e24Round(nWrappers, false)
+	dFull := timeIt(full)
+	incr := e24Round(nWrappers, true)
+	dIncr := timeIt(incr)
+	fmt.Printf("   fleet poll round (%d wrappers / 1 churning page, ~5%% dirty):\n", nWrappers)
+	fmt.Printf("   %-28s %12s\n", "", "median")
+	fmt.Printf("   %-28s %12s\n", "full re-evaluation", dFull.Round(time.Microsecond))
+	fmt.Printf("   %-28s %12s\n", "incremental", dIncr.Round(time.Microsecond))
+	fmt.Printf("   full/incremental: %.1fx\n", float64(dFull)/float64(dIncr))
 }
 
 func e12TranslationSizes() {

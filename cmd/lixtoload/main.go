@@ -51,6 +51,12 @@ func main() {
 	duration := flag.Duration("duration", 10*time.Second, "how long to run the storm")
 	pollDelay := flag.Duration("poll-delay", 0, "pause between polls per poller (0 = tight loop)")
 	gzipOn := flag.Bool("gzip", false, "pollers advertise Accept-Encoding: gzip")
+	churn := flag.Bool("churn", false,
+		"register a churn wrapper (requires server -allow-dynamic) and mutate a fraction of its page per interval")
+	churnInterval := flag.Duration("churn-interval", 500*time.Millisecond, "pause between churn ticks")
+	churnRows := flag.Int("churn-rows", 200, "rows on the churned page")
+	churnFrac := flag.Float64("churn-frac", 0.05, "fraction of rows rewritten per tick")
+	churnSeed := flag.Int64("churn-seed", 1, "seed of the churn sequence")
 	flag.Parse()
 	if *pollers < 0 || *watchers < 0 || *pollers+*watchers == 0 {
 		fmt.Fprintln(os.Stderr, "lixtoload: need at least one poller or watcher")
@@ -65,6 +71,15 @@ func main() {
 		MaxIdleConnsPerHost: *pollers + *watchers,
 		DisableCompression:  true, // count the wire bytes we asked for
 	}}
+
+	var ch *churner
+	if *churn {
+		ch = newChurner(client, base, *wrapper, *churnRows, *churnFrac, *churnSeed)
+		if err := ch.install(); err != nil {
+			fmt.Fprintln(os.Stderr, "lixtoload:", err)
+			os.Exit(1)
+		}
+	}
 
 	// One probe first so a typo fails fast instead of as N errors.
 	resp, err := client.Get(pollURL)
@@ -97,6 +112,13 @@ func main() {
 			watch(ctx, client, watchURL, &wc)
 		}()
 	}
+	if ch != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ch.run(ctx, *churnInterval)
+		}()
+	}
 	start := time.Now()
 	fmt.Printf("lixtoload: %d pollers + %d watchers on %s for %s\n",
 		*pollers, *watchers, pollURL, *duration)
@@ -118,6 +140,9 @@ func main() {
 	if n := pc.requests.Load(); n > 0 {
 		fmt.Printf("poll efficiency: %.1f%% of requests were 304s (no body, no encode)\n",
 			100*float64(pc.notMod.Load())/float64(n))
+	}
+	if ch != nil {
+		ch.report()
 	}
 }
 

@@ -84,6 +84,8 @@ func main() {
 	cacheEntries := flag.Int("cache-entries", 1024, "shared fetch cache capacity in pages (0 disables)")
 	cacheTTL := flag.Duration("cache-ttl", time.Second, "shared fetch cache freshness window (0 = never stale)")
 	batch := flag.Bool("batch", true, "share one match cache across dynamic wrappers (batched fleet extraction)")
+	matchCacheEntries := flag.Int("match-cache-entries", 0,
+		"shared match cache capacity in entries, LRU-evicted (0 = default 65536)")
 	watchQueue := flag.Int("watch-queue", 0, "pending events buffered per watch subscriber (0 = default 8)")
 	watchHeartbeat := flag.Duration("watch-heartbeat", 0, "SSE heartbeat period for watch streams (0 = default 15s)")
 	flag.Parse()
@@ -149,7 +151,7 @@ func main() {
 		cfg.SharedCache = fetchcache.New(*cacheEntries, *cacheTTL)
 	}
 	if *batch {
-		cfg.MatchCache = elog.NewMatchCache()
+		cfg.MatchCache = elog.NewMatchCacheSize(*matchCacheEntries)
 	}
 	if *allowDynamic {
 		// Dynamic wrappers without an inline page extract from the

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/web"
+	"repro/pkg/lixto"
+)
+
+// TestFigure5IncrementalDifferential re-extracts the crawling Figure 5
+// wrapper over a churning auction site and requires the incremental
+// wrapper (one compiled program held across versions) to produce an
+// instance base byte-identical to a cold, non-incremental extraction of
+// each version — including versions whose structural mutations knock
+// pages out of document order and force the full-matching fallback.
+func TestFigure5IncrementalDifferential(t *testing.T) {
+	sim := web.New()
+	site := web.NewAuctionSite(2004, 40)
+	site.Register(sim, "www.ebay.com")
+	churn := &web.ChurnFetcher{Inner: sim, Seed: 12, PerStep: 5, Grow: true}
+
+	opts := []lixto.Option{
+		lixto.WithFetcher(churn),
+		lixto.WithAuxiliary("tableseq", "tableseq2", "nextlink", "nexturl", "nextpage"),
+		lixto.WithRoot("auctions"),
+	}
+	w, err := lixto.Compile(figure5, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 5; step++ {
+		cold, err := lixto.Compile(figure5, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantRes, err := cold.Extract(context.Background(), lixto.Origin(), lixto.WithIncremental(false))
+		if err != nil {
+			t.Fatalf("step %d cold: %v", step, err)
+		}
+		gotRes, err := w.Extract(context.Background(), lixto.Origin())
+		if err != nil {
+			t.Fatalf("step %d incremental: %v", step, err)
+		}
+		if want, got := wantRes.Base.Dump(), gotRes.Base.Dump(); got != want {
+			t.Errorf("step %d: incremental base diverges from cold extraction:\n--- cold ---\n%s--- incremental ---\n%s", step, want, got)
+		}
+		churn.Advance()
+	}
+}

@@ -117,6 +117,12 @@ type Tree struct {
 	fp      uint64
 	fpValid bool
 
+	// subHash holds the per-node subtree fingerprints (SubtreeHash) in
+	// one packed allocation, like the pre/post/size index; valid while
+	// subHashValid.
+	subHash      []uint64
+	subHashValid bool
+
 	// warmMu serializes Warm, so concurrent warmers (crawl-frontier
 	// workers handed the same tree under different URLs) do not race on
 	// the lazy caches above.
@@ -219,6 +225,7 @@ func (t *Tree) addNode(k Kind, label, text string, parent NodeID) NodeID {
 	t.indexed = false
 	t.bitsValid = false
 	t.fpValid = false
+	t.subHashValid = false
 	if parent != Nil {
 		last := t.lastChild[parent]
 		if last == Nil {
@@ -355,9 +362,74 @@ func (t *Tree) Fingerprint() uint64 {
 	return h
 }
 
+// ensureSubHash fills subHash with the merkle-style subtree
+// fingerprints in a single bottom-up pass. Nodes are only ever created
+// by addNode, which requires the parent to exist first, so every
+// parent id is smaller than its children's ids and one reverse-id
+// sweep visits children before parents.
+func (t *Tree) ensureSubHash() {
+	if t.subHashValid {
+		return
+	}
+	n := len(t.kind)
+	if cap(t.subHash) < n {
+		t.subHash = make([]uint64, n)
+	} else {
+		t.subHash = t.subHash[:n]
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	for i := n - 1; i >= 0; i-- {
+		h := uint64(offset64)
+		byte1 := func(b byte) {
+			h = (h ^ uint64(b)) * prime64
+		}
+		str := func(s string) {
+			for j := 0; j < len(s); j++ {
+				h = (h ^ uint64(s[j])) * prime64
+			}
+			byte1(0)
+		}
+		num := func(v uint64) {
+			for s := 0; s < 64; s += 8 {
+				byte1(byte(v >> s))
+			}
+		}
+		byte1(byte(t.kind[i]))
+		str(t.labelNames[t.labelID[i]])
+		str(t.text[i])
+		byte1(byte(len(t.attrs[i])))
+		for _, a := range t.attrs[i] {
+			str(a.Name)
+			str(a.Value)
+		}
+		for c := t.firstChild[i]; c != Nil; c = t.nextSibling[c] {
+			num(t.subHash[c])
+		}
+		t.subHash[i] = h
+	}
+	t.subHashValid = true
+}
+
+// SubtreeHash returns the content fingerprint of the subtree rooted at
+// n: an FNV-1a hash over n's kind, label, text and attributes mixed
+// with the subtree hashes of its children in sibling order. It depends
+// only on subtree content — never on n's position — so equal subtrees
+// hash equal across independently parsed documents, and any mutation
+// inside the subtree changes the hash of n and of every ancestor
+// (modulo ~2^-64 collisions). The whole table is built in one O(|dom|)
+// pass on first use and cached until mutation; Warm precomputes it, so
+// on warmed trees concurrent readers stay lock-free.
+func (t *Tree) SubtreeHash(n NodeID) uint64 {
+	t.ensureSubHash()
+	return t.subHash[n]
+}
+
 // Warm eagerly builds every lazily-cached structure of the tree — the
-// pre/post index, the label and kind bitsets, and the content
-// fingerprint. A warmed tree is effectively read-only as long as it is
+// pre/post index, the label and kind bitsets, the content fingerprint,
+// and the per-node subtree fingerprints. A warmed tree is effectively read-only as long as it is
 // not mutated, so multiple goroutines may evaluate queries over it
 // concurrently; the parallel crawl frontier warms every fetched
 // document on its worker before publishing it. Warm itself is safe to
@@ -371,6 +443,7 @@ func (t *Tree) Warm() {
 	t.ensureIndex()
 	t.ensureBits()
 	t.Fingerprint()
+	t.ensureSubHash()
 }
 
 // WarmIndex builds only the pre/post index, under the same lock as
@@ -389,11 +462,13 @@ func (t *Tree) SetAttr(n NodeID, name, value string) {
 		if t.attrs[n][i].Name == name {
 			t.attrs[n][i].Value = value
 			t.fpValid = false
+			t.subHashValid = false
 			return
 		}
 	}
 	t.attrs[n] = append(t.attrs[n], Attr{Name: name, Value: value})
 	t.fpValid = false
+	t.subHashValid = false
 }
 
 // attrChunk is the allocation unit of the attribute arena.
@@ -408,6 +483,7 @@ func (t *Tree) SetAttrs(n NodeID, attrs []Attr) {
 	if len(attrs) == 0 {
 		t.attrs[n] = nil
 		t.fpValid = false
+		t.subHashValid = false
 		return
 	}
 	if cap(t.attrArena)-len(t.attrArena) < len(attrs) {
@@ -434,6 +510,7 @@ func (t *Tree) SetAttrs(n NodeID, attrs []Attr) {
 	end := len(t.attrArena)
 	t.attrs[n] = t.attrArena[start:end:end]
 	t.fpValid = false
+	t.subHashValid = false
 }
 
 // Attr returns the value of attribute name on node n and whether it is set.
@@ -471,6 +548,7 @@ func (t *Tree) Text(n NodeID) string { return t.text[n] }
 func (t *Tree) SetText(n NodeID, data string) {
 	t.text[n] = data
 	t.fpValid = false
+	t.subHashValid = false
 }
 
 // Parent returns the parent of n, or Nil for the root.

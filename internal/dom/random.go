@@ -1,6 +1,9 @@
 package dom
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // RandomTree generates a pseudo-random unranked tree with exactly n
 // nodes, labels drawn uniformly from alphabet, and shapes controlled by
@@ -45,6 +48,46 @@ func RandomTree(rng *rand.Rand, n int, alphabet []string, maxFanout int) *Tree {
 		}
 	}
 	return t
+}
+
+// Mutate applies n pseudo-random in-place mutations to the tree: text
+// rewrites, attribute edits, and (rarely) structural growth by
+// appending a child. It drives the churn harnesses and the incremental
+// differential tests — deterministic given the rng state, so two runs
+// over clones of the same tree see identical mutation sequences. Note
+// that growth in the middle of the tree breaks the DocOrdered property
+// of parser-built trees, deliberately exercising the non-incremental
+// fallback alongside the incremental fast path.
+func Mutate(t *Tree, rng *rand.Rand, n int) {
+	mutate(t, rng, n, true)
+}
+
+// MutateContent is Mutate restricted to content edits (text rewrites
+// and attribute edits): it never appends nodes, so a tree built in
+// document order stays document-ordered. It models the common churn of
+// a live page — prices, counters, timestamps — where the incremental
+// evaluator's subtree reuse is expected to engage.
+func MutateContent(t *Tree, rng *rand.Rand, n int) {
+	mutate(t, rng, n, false)
+}
+
+func mutate(t *Tree, rng *rand.Rand, n int, grow bool) {
+	for i := 0; i < n && t.Size() > 0; i++ {
+		node := NodeID(rng.Intn(t.Size()))
+		r := rng.Intn(8)
+		switch {
+		case grow && r == 0 && t.Kind(node) == Element:
+			if rng.Intn(2) == 0 {
+				t.AppendText(node, fmt.Sprintf("grown %d", rng.Intn(1<<20)))
+			} else {
+				t.AppendChild(node, "span")
+			}
+		case t.Kind(node) == Element:
+			t.SetAttr(node, "data-mut", fmt.Sprintf("%d", rng.Intn(1<<20)))
+		default:
+			t.SetText(node, fmt.Sprintf("mut%d %s", rng.Intn(1<<20), t.Text(node)))
+		}
+	}
 }
 
 // Chain returns a degenerate tree of n nodes where every node has exactly

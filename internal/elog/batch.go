@@ -16,17 +16,39 @@ import (
 // 100-wrapper fleet over one shared page then costs roughly one parse
 // plus one warmed match cache instead of 100 of each.
 //
+// The cache holds two entry kinds behind one LRU bound: whole-call
+// results keyed by document fingerprint and context set, and per-root
+// relative results keyed by subtree fingerprint (the incremental layer
+// — see Evaluator.Incremental), which survive document churn because
+// they are content-addressed. Memory is bounded: at the entry cap the
+// least recently used entry of either kind is evicted.
+//
 // A MatchCache is safe for concurrent use by any number of evaluators.
 // Entries are value-compatible across programs: a match result depends
 // only on the path definition (captured by the signature) and the
-// document content (captured by the tree fingerprint), never on the
-// program around it.
+// document content (captured by the tree or subtree fingerprint),
+// never on the program around it.
 type MatchCache struct {
-	mu    sync.Mutex
-	cache map[sharedMatchKey][]epdMatch
+	mu         sync.Mutex
+	doc        map[sharedMatchKey]*mcEntry
+	sub        map[sharedSubKey]*mcEntry
+	head, tail *mcEntry // LRU list; head is most recently used
+	capEntries int
 
 	hits, misses atomic.Uint64
+	evictions    atomic.Uint64
 	attached     atomic.Int64
+}
+
+// mcEntry is one cache entry on the intrusive LRU list; exactly one of
+// the two key/value pairs is live, selected by isSub.
+type mcEntry struct {
+	prev, next *mcEntry
+	isSub      bool
+	docKey     sharedMatchKey
+	subK       sharedSubKey
+	matches    []epdMatch
+	rel        []relMatch
 }
 
 // sharedMatchKey is a per-program memo key qualified by the path
@@ -36,14 +58,34 @@ type sharedMatchKey struct {
 	epdCacheKey
 }
 
-// maxSharedCache bounds the shared table; like the per-program memo it
-// is reset wholesale when full. It is larger because one table serves
-// a whole fleet.
-const maxSharedCache = 65536
+// sharedSubKey qualifies a subtree-layer key by the path signature,
+// like sharedMatchKey does for whole-call keys.
+type sharedSubKey struct {
+	sig uint64
+	subKey
+}
 
-// NewMatchCache returns an empty shared match cache.
-func NewMatchCache() *MatchCache {
-	return &MatchCache{cache: make(map[sharedMatchKey][]epdMatch)}
+// DefaultMatchCacheEntries is the entry cap of NewMatchCache. It is
+// larger than the per-program memo bound because one table serves a
+// whole fleet.
+const DefaultMatchCacheEntries = 65536
+
+// NewMatchCache returns an empty shared match cache with the default
+// entry cap.
+func NewMatchCache() *MatchCache { return NewMatchCacheSize(0) }
+
+// NewMatchCacheSize returns an empty shared match cache evicting least
+// recently used entries beyond maxEntries (<= 0 means
+// DefaultMatchCacheEntries).
+func NewMatchCacheSize(maxEntries int) *MatchCache {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMatchCacheEntries
+	}
+	return &MatchCache{
+		doc:        make(map[sharedMatchKey]*mcEntry),
+		sub:        make(map[sharedSubKey]*mcEntry),
+		capEntries: maxEntries,
+	}
 }
 
 // Stats returns the cumulative shared-cache counters: hits are matches
@@ -69,26 +111,81 @@ type BatchStats struct {
 	Hits     uint64 `json:"hits"`
 	Misses   uint64 `json:"misses"`
 	Attached int    `json:"attached"`
-	Entries  int    `json:"entries"`
+	// Entries counts live entries of both kinds (document-keyed and
+	// subtree-keyed); Evictions counts entries dropped at the LRU cap.
+	Entries   int    `json:"entries"`
+	Evictions uint64 `json:"evictions"`
 }
 
 // Report returns the cache's current counters and size.
 func (mc *MatchCache) Report() BatchStats {
 	mc.mu.Lock()
-	entries := len(mc.cache)
+	entries := len(mc.doc) + len(mc.sub)
 	mc.mu.Unlock()
 	return BatchStats{
-		Hits:     mc.hits.Load(),
-		Misses:   mc.misses.Load(),
-		Attached: mc.Attached(),
-		Entries:  entries,
+		Hits:      mc.hits.Load(),
+		Misses:    mc.misses.Load(),
+		Attached:  mc.Attached(),
+		Entries:   entries,
+		Evictions: mc.evictions.Load(),
+	}
+}
+
+// moveFront makes e the most recently used entry. Caller holds mu.
+func (mc *MatchCache) moveFront(e *mcEntry) {
+	if mc.head == e {
+		return
+	}
+	// Unlink (e is in the list unless it is new).
+	if e.prev != nil {
+		e.prev.next = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	}
+	if mc.tail == e {
+		mc.tail = e.prev
+	}
+	e.prev = nil
+	e.next = mc.head
+	if mc.head != nil {
+		mc.head.prev = e
+	}
+	mc.head = e
+	if mc.tail == nil {
+		mc.tail = e
+	}
+}
+
+// evict drops least recently used entries until the cap holds. Caller
+// holds mu.
+func (mc *MatchCache) evict() {
+	for len(mc.doc)+len(mc.sub) > mc.capEntries && mc.tail != nil {
+		e := mc.tail
+		mc.tail = e.prev
+		if mc.tail != nil {
+			mc.tail.next = nil
+		} else {
+			mc.head = nil
+		}
+		if e.isSub {
+			delete(mc.sub, e.subK)
+		} else {
+			delete(mc.doc, e.docKey)
+		}
+		mc.evictions.Add(1)
 	}
 }
 
 // get looks the key up, counting a hit or miss.
 func (mc *MatchCache) get(k sharedMatchKey) ([]epdMatch, bool) {
 	mc.mu.Lock()
-	m, ok := mc.cache[k]
+	e, ok := mc.doc[k]
+	var m []epdMatch
+	if ok {
+		m = e.matches
+		mc.moveFront(e)
+	}
 	mc.mu.Unlock()
 	if ok {
 		mc.hits.Add(1)
@@ -98,13 +195,45 @@ func (mc *MatchCache) get(k sharedMatchKey) ([]epdMatch, bool) {
 	return m, ok
 }
 
-// put stores a computed match result, resetting the table wholesale at
-// the size bound.
+// put stores a computed match result, evicting at the entry cap.
 func (mc *MatchCache) put(k sharedMatchKey, m []epdMatch) {
 	mc.mu.Lock()
-	if len(mc.cache) >= maxSharedCache {
-		mc.cache = make(map[sharedMatchKey][]epdMatch, 1024)
+	e, ok := mc.doc[k]
+	if !ok {
+		e = &mcEntry{docKey: k}
+		mc.doc[k] = e
 	}
-	mc.cache[k] = m
+	e.matches = m
+	mc.moveFront(e)
+	mc.evict()
+	mc.mu.Unlock()
+}
+
+// subGet looks a subtree-layer key up. It does not touch the hit/miss
+// counters — the per-program IncrementalStats count subtree lookups,
+// keeping the two stats blocks independently meaningful.
+func (mc *MatchCache) subGet(k sharedSubKey) ([]relMatch, bool) {
+	mc.mu.Lock()
+	e, ok := mc.sub[k]
+	var m []relMatch
+	if ok {
+		m = e.rel
+		mc.moveFront(e)
+	}
+	mc.mu.Unlock()
+	return m, ok
+}
+
+// subPut stores a per-root relative result, evicting at the entry cap.
+func (mc *MatchCache) subPut(k sharedSubKey, m []relMatch) {
+	mc.mu.Lock()
+	e, ok := mc.sub[k]
+	if !ok {
+		e = &mcEntry{isSub: true, subK: k}
+		mc.sub[k] = e
+	}
+	e.rel = m
+	mc.moveFront(e)
+	mc.evict()
 	mc.mu.Unlock()
 }

@@ -1,6 +1,7 @@
 package elog
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -32,6 +33,12 @@ type CompiledProgram struct {
 	epds  map[*EPD]*compiledEPD
 
 	hits, misses atomic.Uint64
+
+	// Incremental-matching counters (see Evaluator.Incremental):
+	// subHits/subMisses count per-root subtree-fingerprint lookups,
+	// reusedNodes/dirtyNodes the document nodes those roots covered.
+	subHits, subMisses      atomic.Uint64
+	reusedNodes, dirtyNodes atomic.Uint64
 }
 
 // Compile stratifies the program and lowers its element path
@@ -87,6 +94,29 @@ func (cp *CompiledProgram) Stats() (hits, misses uint64) {
 	return cp.hits.Load(), cp.misses.Load()
 }
 
+// IncrementalStats is a snapshot of the subtree-fingerprint reuse
+// counters: SubtreeHits/SubtreeMisses count per-root cache lookups
+// during incremental matching, ReusedNodes/DirtyNodes the document
+// nodes under those roots — reused nodes were resolved from cache
+// without touching the tree, dirty nodes ran the bitset matcher.
+type IncrementalStats struct {
+	SubtreeHits   uint64 `json:"subtree_hits"`
+	SubtreeMisses uint64 `json:"subtree_misses"`
+	ReusedNodes   uint64 `json:"reused_nodes"`
+	DirtyNodes    uint64 `json:"dirty_nodes"`
+}
+
+// Incremental returns the cumulative incremental-matching counters
+// (all zero unless some evaluator ran with Incremental set).
+func (cp *CompiledProgram) Incremental() IncrementalStats {
+	return IncrementalStats{
+		SubtreeHits:   cp.subHits.Load(),
+		SubtreeMisses: cp.subMisses.Load(),
+		ReusedNodes:   cp.reusedNodes.Load(),
+		DirtyNodes:    cp.dirtyNodes.Load(),
+	}
+}
+
 // maxEPDCache bounds each compiled path's memo table. Entries are keyed
 // per (document fingerprint, context node set), so a parent pattern
 // with many instances produces many keys; when the table fills it is
@@ -103,9 +133,35 @@ type epdCacheKey struct {
 	deep       bool
 }
 
+// subKey identifies one memoized per-root match in the subtree-
+// fingerprint layer: the root's subtree content hash plus the two
+// match-mode flags. Unlike epdCacheKey it carries no document
+// fingerprint and no node ids — the entry is content-addressed, so it
+// survives across document versions and even across documents.
+type subKey struct {
+	sub        uint64
+	asChildren bool
+	deep       bool
+}
+
+// relMatch is a cached match in context-relative position: the offset
+// of the matched node from the context root. On document-ordered trees
+// the subtree of root r occupies exactly the contiguous id range
+// [r, r+size), and equal-content subtrees lay out their nodes at equal
+// offsets, so r+off re-materializes the match in any document carrying
+// an identical subtree at any position. The binds maps are shared with
+// the original computation (read-only by the evaluator convention).
+type relMatch struct {
+	off   dom.NodeID
+	binds map[string]string
+}
+
 // compiledEPD is one lowered element path definition plus its memo
-// table. The deep variant (implicit leading descent, used by context
-// and internal conditions) shares the table under the key's deep flag.
+// tables. The deep variant (implicit leading descent, used by context
+// and internal conditions) shares the tables under the keys' deep
+// flag. cache memoizes whole calls per document fingerprint; subCache
+// memoizes per-root results by subtree fingerprint, feeding the
+// incremental path.
 type compiledEPD struct {
 	epd  *EPD
 	deep *EPD
@@ -114,16 +170,18 @@ type compiledEPD struct {
 	// results through an attached MatchCache.
 	sig uint64
 
-	mu    sync.Mutex
-	cache map[epdCacheKey][]epdMatch
+	mu       sync.Mutex
+	cache    map[epdCacheKey][]epdMatch
+	subCache map[subKey][]relMatch
 }
 
 func newCompiledEPD(e *EPD) *compiledEPD {
 	return &compiledEPD{
-		epd:   e,
-		deep:  &EPD{Steps: append([]EPDStep{{Kind: "deep"}}, e.Steps...), Conds: e.Conds},
-		sig:   hashString(e.sigString()),
-		cache: map[epdCacheKey][]epdMatch{},
+		epd:      e,
+		deep:     &EPD{Steps: append([]EPDStep{{Kind: "deep"}}, e.Steps...), Conds: e.Conds},
+		sig:      hashString(e.sigString()),
+		cache:    map[epdCacheKey][]epdMatch{},
+		subCache: map[subKey][]relMatch{},
 	}
 }
 
@@ -135,7 +193,7 @@ func newCompiledEPD(e *EPD) *compiledEPD {
 // it are shared cache entries: callers must treat them as read-only,
 // which every evaluator call site does (bindings are copied into fresh
 // maps before use).
-func (ce *compiledEPD) match(cp *CompiledProgram, shared *MatchCache, t *dom.Tree, roots []dom.NodeID, asChildren, deep bool) []epdMatch {
+func (ce *compiledEPD) match(cp *CompiledProgram, shared *MatchCache, t *dom.Tree, roots []dom.NodeID, asChildren, deep, inc bool) []epdMatch {
 	key := epdCacheKey{fp: t.Fingerprint(), roots: hashNodes(roots), asChildren: asChildren, deep: deep}
 	ce.mu.Lock()
 	m, ok := ce.cache[key]
@@ -152,6 +210,15 @@ func (ce *compiledEPD) match(cp *CompiledProgram, shared *MatchCache, t *dom.Tre
 		}
 	}
 	cp.misses.Add(1)
+	if inc {
+		if m, ok := ce.matchIncremental(cp, shared, t, roots, asChildren, deep); ok {
+			ce.store(key, m)
+			if shared != nil {
+				shared.put(sharedMatchKey{sig: ce.sig, epdCacheKey: key}, m)
+			}
+			return m
+		}
+	}
 	e := ce.epd
 	if deep {
 		e = ce.deep
@@ -162,6 +229,137 @@ func (ce *compiledEPD) match(cp *CompiledProgram, shared *MatchCache, t *dom.Tre
 		shared.put(sharedMatchKey{sig: ce.sig, epdCacheKey: key}, m)
 	}
 	return m
+}
+
+// matchIncremental answers a match miss from the content-addressed
+// subtree layer: each context root whose subtree fingerprint was seen
+// before — in an earlier version of the document, in another document,
+// or via a fleet-shared MatchCache in another wrapper's run —
+// re-materializes its cached per-root result by offset translation,
+// and only the remaining dirty roots run the bitset matcher (in one
+// batched call). Correctness rests on two facts checked here: EPD
+// matches from a root depend only on that root's subtree (navigation
+// only descends, conditions are subtree-local), and on document-
+// ordered trees disjoint subtrees occupy disjoint contiguous id
+// ranges, so the per-root results concatenated in ascending root order
+// equal the batched document-order output exactly. Trees whose ids are
+// not document order, or overlapping context roots, report ok=false
+// and fall back to the plain batched path.
+func (ce *compiledEPD) matchIncremental(cp *CompiledProgram, shared *MatchCache, t *dom.Tree, roots []dom.NodeID, asChildren, deep bool) ([]epdMatch, bool) {
+	if len(roots) == 0 || !t.DocOrdered() {
+		return nil, false
+	}
+	sorted := roots
+	if len(roots) > 1 {
+		sorted = append(make([]dom.NodeID, 0, len(roots)), roots...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		w := 0
+		for i, r := range sorted {
+			if i == 0 || sorted[w-1] != r {
+				sorted[w] = r
+				w++
+			}
+		}
+		sorted = sorted[:w]
+		for i := 1; i < len(sorted); i++ {
+			if int(sorted[i]) < int(sorted[i-1])+t.SubtreeSize(sorted[i-1]) {
+				return nil, false
+			}
+		}
+	}
+	perRoot := make([][]epdMatch, len(sorted))
+	keys := make([]subKey, len(sorted))
+	var dirty []dom.NodeID
+	var dirtyIdx []int
+	for i, r := range sorted {
+		k := subKey{sub: t.SubtreeHash(r), asChildren: asChildren, deep: deep}
+		keys[i] = k
+		rel, ok := ce.subGet(k)
+		if !ok && shared != nil {
+			if rel, ok = shared.subGet(sharedSubKey{sig: ce.sig, subKey: k}); ok {
+				ce.subStore(k, rel)
+			}
+		}
+		if ok {
+			cp.subHits.Add(1)
+			cp.reusedNodes.Add(uint64(t.SubtreeSize(r)))
+			if len(rel) > 0 {
+				out := make([]epdMatch, len(rel))
+				for j, m := range rel {
+					out[j] = epdMatch{node: r + m.off, binds: m.binds}
+				}
+				perRoot[i] = out
+			}
+		} else {
+			cp.subMisses.Add(1)
+			cp.dirtyNodes.Add(uint64(t.SubtreeSize(r)))
+			dirty = append(dirty, r)
+			dirtyIdx = append(dirtyIdx, i)
+		}
+	}
+	if len(dirty) > 0 {
+		e := ce.epd
+		if deep {
+			e = ce.deep
+		}
+		all := bitsetMatch(e, t, dirty, asChildren)
+		j := 0
+		for k, r := range dirty {
+			end := dom.NodeID(int(r) + t.SubtreeSize(r))
+			start := j
+			for j < len(all) && all[j].node < end {
+				j++
+			}
+			seg := all[start:j:j]
+			perRoot[dirtyIdx[k]] = seg
+			var rel []relMatch
+			if len(seg) > 0 {
+				rel = make([]relMatch, len(seg))
+				for x, m := range seg {
+					rel[x] = relMatch{off: m.node - r, binds: m.binds}
+				}
+			}
+			ce.subStore(keys[dirtyIdx[k]], rel)
+			if shared != nil {
+				shared.subPut(sharedSubKey{sig: ce.sig, subKey: keys[dirtyIdx[k]]}, rel)
+			}
+		}
+	}
+	total := 0
+	for _, m := range perRoot {
+		total += len(m)
+	}
+	if total == 0 {
+		return nil, true
+	}
+	if len(perRoot) == 1 {
+		return perRoot[0], true
+	}
+	out := make([]epdMatch, 0, total)
+	for _, m := range perRoot {
+		out = append(out, m...)
+	}
+	return out, true
+}
+
+// subGet looks a root's cached relative matches up in the per-program
+// subtree table.
+func (ce *compiledEPD) subGet(k subKey) ([]relMatch, bool) {
+	ce.mu.Lock()
+	m, ok := ce.subCache[k]
+	ce.mu.Unlock()
+	return m, ok
+}
+
+// subStore inserts into the per-program subtree table, resetting
+// wholesale at the size bound like store.
+func (ce *compiledEPD) subStore(k subKey, m []relMatch) {
+	ce.mu.Lock()
+	if len(ce.subCache) >= maxEPDCache {
+		ce.subCache = make(map[subKey][]relMatch, 64)
+	}
+	ce.subCache[k] = m
+	ce.mu.Unlock()
 }
 
 // store inserts into the per-program memo, resetting wholesale at the

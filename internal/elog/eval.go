@@ -74,6 +74,16 @@ type Evaluator struct {
 	// signature and document fingerprint. Output is unchanged — only the
 	// matching work is shared.
 	Shared *MatchCache
+	// Incremental enables subtree-fingerprint match reuse: on a match
+	// miss (a changed document), context roots whose subtree content was
+	// seen before — in a previous version of the page, or in another
+	// wrapper's run via Shared — resolve their candidate sets from the
+	// content-addressed subtree cache, and only the dirty regions run
+	// the bitset matcher. The instance base is bit-identical to a full
+	// evaluation; only the matching work shrinks to the changed regions.
+	// Documents whose NodeIDs are not in document order (dom.DocOrdered)
+	// fall back to full matching automatically.
+	Incremental bool
 }
 
 // NewEvaluator returns an evaluator with the built-in concept base.
@@ -421,7 +431,7 @@ func (r *runner) fetchDoc(url string) (*pib.Instance, error) {
 func (r *runner) match(e *EPD, t *dom.Tree, roots []dom.NodeID, asChildren bool) []epdMatch {
 	if r.cp != nil {
 		if ce := r.cp.epds[e]; ce != nil {
-			return ce.match(r.cp, r.ev.Shared, t, roots, asChildren, false)
+			return ce.match(r.cp, r.ev.Shared, t, roots, asChildren, false, r.ev.Incremental)
 		}
 	}
 	return e.Match(t, roots, asChildren)
@@ -432,7 +442,7 @@ func (r *runner) match(e *EPD, t *dom.Tree, roots []dom.NodeID, asChildren bool)
 func (r *runner) matchDeep(e *EPD, t *dom.Tree, roots []dom.NodeID, asChildren bool) []epdMatch {
 	if r.cp != nil {
 		if ce := r.cp.epds[e]; ce != nil {
-			return ce.match(r.cp, r.ev.Shared, t, roots, asChildren, true)
+			return ce.match(r.cp, r.ev.Shared, t, roots, asChildren, true, r.ev.Incremental)
 		}
 	}
 	return e.MatchDeep(t, roots, asChildren)

@@ -1,0 +1,195 @@
+package elog
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/htmlparse"
+)
+
+// churnVersions returns nVersions snapshots of the fixture's documents:
+// version 0 is the fixture as parsed, and each later version is an
+// independent clone of the originals with its own deterministic
+// mutation burst. Consecutive versions therefore share most subtrees
+// while differing in a few dirty regions — the shape the incremental
+// layer is built for.
+func churnVersions(fetch MapFetcher, nVersions int) []MapFetcher {
+	versions := make([]MapFetcher, nVersions)
+	versions[0] = fetch
+	for v := 1; v < nVersions; v++ {
+		m := MapFetcher{}
+		for url, tr := range fetch {
+			c := tr.Clone()
+			dom.Mutate(c, rand.New(rand.NewSource(int64(v)*1000003+int64(len(url)))), 4)
+			m[url] = c
+		}
+		versions[v] = m
+	}
+	return versions
+}
+
+// TestIncrementalMatchesCold pins the tentpole differential guarantee:
+// over a randomized mutation sequence, an evaluator reusing subtree
+// match results across document versions produces a bit-identical
+// instance base to a cold evaluation of each version, at every
+// concurrency level. Run with -race this also stresses concurrent
+// access to the subtree caches from parallel waves.
+func TestIncrementalMatchesCold(t *testing.T) {
+	concs := []int{1, runtime.GOMAXPROCS(0)}
+	for name, fx := range parallelFixtures() {
+		prog := MustParse(fx.src)
+		versions := churnVersions(fx.fetch, 6)
+
+		// Cold baseline: a fresh compiled program per version, no
+		// sharing of any kind between versions.
+		want := make([]string, len(versions))
+		for v, fetch := range versions {
+			ev := NewEvaluator(fetch)
+			base, err := ev.RunCompiled(MustCompile(prog))
+			if err != nil {
+				t.Fatalf("%s cold v%d: %v", name, v, err)
+			}
+			want[v] = base.Dump()
+		}
+
+		for _, conc := range concs {
+			cp := MustCompile(prog)
+			shared := NewMatchCache()
+			for v, fetch := range versions {
+				ev := NewEvaluator(fetch)
+				ev.MaxConcurrency = conc
+				ev.Incremental = true
+				ev.Shared = shared
+				base, err := ev.RunCompiled(cp)
+				if err != nil {
+					t.Fatalf("%s conc=%d v%d: %v", name, conc, v, err)
+				}
+				if got := base.Dump(); got != want[v] {
+					t.Errorf("%s conc=%d v%d: incremental base diverges from cold evaluation:\n--- cold ---\n%s--- incremental ---\n%s",
+						name, conc, v, want[v], got)
+				}
+			}
+			// Fine-grained contexts (rows, cells) must see reuse across
+			// versions. The crawl fixture's contexts are whole tiny
+			// documents, so any mutation dirties them — zero hits is the
+			// correct outcome there, not a failure.
+			if inc := cp.Incremental(); inc.SubtreeHits == 0 && name != "crawl" {
+				t.Errorf("%s conc=%d: no subtree hits across %d versions — incremental path never engaged", name, conc, len(versions))
+			}
+		}
+	}
+}
+
+// TestIncrementalCumulativeDrift runs the same differential over a
+// cumulative content-mutation chain (each version mutates the previous
+// one, not the original), the pattern a long-lived wrapper sees from a
+// slowly drifting live page. Content-only churn preserves document
+// order, so the incremental path must stay engaged the whole chain.
+func TestIncrementalCumulativeDrift(t *testing.T) {
+	fx := parallelFixtures()["ebay"]
+	prog := MustParse(fx.src)
+	rng := rand.New(rand.NewSource(42))
+	cur := fx.fetch["www.ebay.com/"]
+	cp := MustCompile(prog)
+	shared := NewMatchCache()
+	for v := 0; v < 8; v++ {
+		fetch := MapFetcher{"www.ebay.com/": cur}
+		cold := NewEvaluator(fetch)
+		wantBase, err := cold.RunCompiled(MustCompile(prog))
+		if err != nil {
+			t.Fatalf("cold v%d: %v", v, err)
+		}
+		inc := NewEvaluator(fetch)
+		inc.Incremental = true
+		inc.Shared = shared
+		gotBase, err := inc.RunCompiled(cp)
+		if err != nil {
+			t.Fatalf("incremental v%d: %v", v, err)
+		}
+		if want, got := wantBase.Dump(), gotBase.Dump(); got != want {
+			t.Errorf("v%d: incremental base diverges from cold evaluation:\n--- cold ---\n%s--- incremental ---\n%s", v, want, got)
+		}
+		next := cur.Clone()
+		dom.MutateContent(next, rng, 5)
+		cur = next
+	}
+	if st := cp.Incremental(); st.SubtreeHits == 0 {
+		t.Error("no subtree hits over the drift chain")
+	}
+}
+
+// TestMatchCacheLRUBound pins the satellite memory guarantee: under
+// sustained churn the shared cache never exceeds its entry cap and
+// keeps serving by evicting least recently used entries.
+func TestMatchCacheLRUBound(t *testing.T) {
+	const cap = 32
+	shared := NewMatchCacheSize(cap)
+	prog := MustParse(`item(S, X) <- document("d", S), subelem(S, ?.td, X)`)
+	cp := MustCompile(prog)
+	rng := rand.New(rand.NewSource(9))
+	cur := htmlparse.Parse(`<table><tr><td>a</td><td>b</td><td>c</td><td>d</td></tr></table>`)
+	for i := 0; i < 150; i++ {
+		ev := NewEvaluator(MapFetcher{"d": cur})
+		ev.Incremental = true
+		ev.Shared = shared
+		if _, err := ev.RunCompiled(cp); err != nil {
+			t.Fatal(err)
+		}
+		if st := shared.Report(); st.Entries > cap {
+			t.Fatalf("round %d: %d entries exceeds cap %d", i, st.Entries, cap)
+		}
+		next := cur.Clone()
+		dom.Mutate(next, rng, 2)
+		cur = next
+	}
+	if st := shared.Report(); st.Evictions == 0 {
+		t.Error("no evictions after 150 distinct document versions against a 32-entry cap")
+	}
+}
+
+// FuzzIncremental mutates a document between evaluations and checks
+// that subtree-level reuse never changes the instance base: for every
+// (document, seed) the incremental evaluator's base must be
+// bit-identical to a cold evaluation of each version.
+func FuzzIncremental(f *testing.F) {
+	f.Add("<body><ul><li>alpha</li><li>beta</li></ul><p>tail</p></body>", int64(1))
+	f.Add(`<table><tr><td><b class="cur">$</b> 5</td><td>x</td></tr></table>`, int64(7))
+	f.Add(`<div a="1"><span>x</span><div><i>y</i></div></div>`, int64(3))
+	f.Fuzz(func(t *testing.T, src string, seed int64) {
+		if len(src) > 4096 {
+			return
+		}
+		prog := MustParse(`
+cell(S, X) <- document("d", S), subelem(S, ?.*, X)
+inner(S, X) <- cell(_, S), subelem(S, *, X)
+texty(S, X) <- cell(S, X), contains(X, (?.*, [(elementtext, .+, regexp)]), _)
+`)
+		rng := rand.New(rand.NewSource(seed))
+		cur := htmlparse.Parse(src)
+		cp := MustCompile(prog)
+		shared := NewMatchCache()
+		for v := 0; v < 3; v++ {
+			fetch := MapFetcher{"d": cur}
+			cold := NewEvaluator(fetch)
+			wantBase, err := cold.RunCompiled(MustCompile(prog))
+			if err != nil {
+				t.Fatalf("cold v%d: %v", v, err)
+			}
+			inc := NewEvaluator(fetch)
+			inc.Incremental = true
+			inc.Shared = shared
+			gotBase, err := inc.RunCompiled(cp)
+			if err != nil {
+				t.Fatalf("incremental v%d: %v", v, err)
+			}
+			if want, got := wantBase.Dump(), gotBase.Dump(); got != want {
+				t.Fatalf("v%d: incremental base diverges from cold evaluation:\n--- cold ---\n%s--- incremental ---\n%s", v, want, got)
+			}
+			next := cur.Clone()
+			dom.Mutate(next, rng, 3)
+			cur = next
+		}
+	})
+}

@@ -15,6 +15,7 @@ package pib
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/dom"
@@ -71,20 +72,36 @@ func (in *Instance) TextContent() string {
 	return b.String()
 }
 
-// key returns the identity of an instance for deduplication.
+// key returns the identity of an instance for deduplication. Built by
+// hand rather than with fmt: Add runs once per candidate derivation, so
+// key construction is on the evaluator's hottest path.
 func (in *Instance) key() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%s|", in.Pattern, in.URL)
+	n := len(in.Pattern) + len(in.URL) + 4 + 12*len(in.Nodes)
 	if in.Parent != nil {
-		fmt.Fprintf(&b, "p%d|", in.Parent.ID)
-	}
-	for _, n := range in.Nodes {
-		fmt.Fprintf(&b, "%d,", n)
+		n += 14
 	}
 	if in.Kind == StringInstance {
-		fmt.Fprintf(&b, "t:%s", in.Text)
+		n += 2 + len(in.Text)
 	}
-	return b.String()
+	b := make([]byte, 0, n)
+	b = append(b, in.Pattern...)
+	b = append(b, '|')
+	b = append(b, in.URL...)
+	b = append(b, '|')
+	if in.Parent != nil {
+		b = append(b, 'p')
+		b = strconv.AppendInt(b, int64(in.Parent.ID), 10)
+		b = append(b, '|')
+	}
+	for _, nd := range in.Nodes {
+		b = strconv.AppendInt(b, int64(nd), 10)
+		b = append(b, ',')
+	}
+	if in.Kind == StringInstance {
+		b = append(b, 't', ':')
+		b = append(b, in.Text...)
+	}
+	return string(b)
 }
 
 // Base is the pattern instance base.

@@ -409,6 +409,7 @@ func TestStatuszExtractionStats(t *testing.T) {
 	caching := &statsPipe{
 		fakePipe: newFakePipe("caching", 0),
 		stats: transform.ExtractionStats{PollCacheHits: 3, MatchCacheHits: 41, MatchCacheMisses: 7,
+			SubtreeHits: 19, SubtreeMisses: 4, DirtyNodes: 120, ReusedNodes: 4800,
 			ParseNS: 1200, EvalNS: 3400, BatchSize: 2},
 	}
 	if err := s.Register(plain, time.Hour); err != nil {
@@ -444,7 +445,8 @@ func TestStatuszExtractionStats(t *testing.T) {
 	if *st != caching.stats {
 		t.Errorf("extraction stats = %+v, want %+v", *st, caching.stats)
 	}
-	for _, field := range []string{"match_cache_hits", "parse_ns", "eval_ns", "batch_size"} {
+	for _, field := range []string{"match_cache_hits", "parse_ns", "eval_ns", "batch_size",
+		"subtree_hits", "subtree_misses", "dirty_nodes", "reused_nodes"} {
 		if !strings.Contains(body, field) {
 			t.Errorf("statusz body lacks %s:\n%s", field, body)
 		}

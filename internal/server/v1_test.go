@@ -584,6 +584,11 @@ func TestV1BatchedFleet(t *testing.T) {
 	if listing.MatchCache == nil || listing.MatchCache.Attached != fleet || listing.MatchCache.Hits == 0 {
 		t.Fatalf("listing match_cache = %+v", listing.MatchCache)
 	}
+	for _, field := range []string{`"evictions"`, `"subtree_hits"`, `"reused_nodes"`} {
+		if !strings.Contains(body, field) {
+			t.Errorf("listing lacks %s:\n%s", field, body)
+		}
+	}
 	for i, w := range listing.Wrappers {
 		if w.Extraction == nil || w.Extraction.BatchSize != fleet {
 			t.Fatalf("wrapper %d extraction = %+v, want batch_size %d", i, w.Extraction, fleet)

@@ -272,7 +272,17 @@ type WrapperSource struct {
 	// one shared page costs about one parse plus one warmed match cache.
 	// Output is unchanged; pair with Shared to also share the fetches.
 	Batch *elog.MatchCache
-	tick  int
+	// NoIncremental disables subtree-fingerprint match reuse
+	// (elog.Evaluator.Incremental). By default a changed-fingerprint
+	// tick re-evaluates incrementally: the compiled program's
+	// content-addressed subtree caches persist across polls, so the
+	// regions of the new document version that are byte-identical to
+	// the previous one resolve their matches from cache and only the
+	// dirty regions run the bitset matcher. Output is bit-identical
+	// either way; set this only to measure or to pin the full
+	// re-evaluation behaviour.
+	NoIncremental bool
+	tick          int
 	// shared is the cache-wrapped form of Fetcher, built on first use.
 	shared elog.Fetcher
 	// batchAttached records that this source has counted itself into
@@ -311,6 +321,15 @@ type ExtractionStats struct {
 	PollCacheHits    uint64 `json:"poll_cache_hits"`
 	MatchCacheHits   uint64 `json:"match_cache_hits"`
 	MatchCacheMisses uint64 `json:"match_cache_misses"`
+	// Incremental-matching counters (subtree-fingerprint reuse):
+	// SubtreeHits/SubtreeMisses count per-root content-addressed cache
+	// lookups on changed documents; ReusedNodes/DirtyNodes the document
+	// nodes those roots covered — reused nodes resolved their matches
+	// from cache, dirty nodes ran the bitset matcher.
+	SubtreeHits   uint64 `json:"subtree_hits"`
+	SubtreeMisses uint64 `json:"subtree_misses"`
+	DirtyNodes    uint64 `json:"dirty_nodes"`
+	ReusedNodes   uint64 `json:"reused_nodes"`
 	// ParseNS is cumulative time (ns) spent in the fetch+parse layer;
 	// EvalNS cumulative wall time (ns) of wrapper evaluations (which
 	// includes the fetches its crawl frontier issues).
@@ -327,6 +346,10 @@ func (s *ExtractionStats) add(o ExtractionStats) {
 	s.PollCacheHits += o.PollCacheHits
 	s.MatchCacheHits += o.MatchCacheHits
 	s.MatchCacheMisses += o.MatchCacheMisses
+	s.SubtreeHits += o.SubtreeHits
+	s.SubtreeMisses += o.SubtreeMisses
+	s.DirtyNodes += o.DirtyNodes
+	s.ReusedNodes += o.ReusedNodes
 	s.ParseNS += o.ParseNS
 	s.EvalNS += o.EvalNS
 	if o.BatchSize > s.BatchSize {
@@ -347,6 +370,11 @@ func (s *WrapperSource) ExtractionStats() ExtractionStats {
 	s.statsMu.Unlock()
 	if compiled != nil {
 		out.MatchCacheHits, out.MatchCacheMisses = compiled.Stats()
+		inc := compiled.Incremental()
+		out.SubtreeHits = inc.SubtreeHits
+		out.SubtreeMisses = inc.SubtreeMisses
+		out.DirtyNodes = inc.DirtyNodes
+		out.ReusedNodes = inc.ReusedNodes
 	}
 	if s.Batch != nil {
 		out.BatchSize = s.Batch.Attached()
@@ -546,6 +574,7 @@ func (s *WrapperSource) Poll() ([]*xmlenc.Node, error) {
 	}
 	rec := &recordingFetcher{inner: s.fetchClient(), prefetched: prefetched}
 	ev := elog.NewEvaluator(rec)
+	ev.Incremental = !s.NoIncremental
 	if s.Batch != nil {
 		ev.Shared = s.Batch
 		s.statsMu.Lock()

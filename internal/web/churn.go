@@ -1,0 +1,98 @@
+package web
+
+import (
+	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/dom"
+)
+
+// docFetcher is the fetching contract shared with elog.Fetcher,
+// restated locally so the simulated web does not depend on the
+// evaluator package.
+type docFetcher interface {
+	Fetch(url string) (*dom.Tree, error)
+}
+
+// ChurnFetcher wraps a fetcher and deterministically perturbs every
+// fetched document: at step s, the fetched tree is cloned and s bursts
+// of pseudo-random mutations are replayed onto it, each burst seeded by
+// (Seed, url, burst index) only. Two ChurnFetchers with the same Seed
+// whose steps advance in lockstep over the same underlying pages
+// therefore serve bit-identical document versions — the property the
+// incremental-vs-cold differential tests and the churn load generator
+// rely on: "the page at step s" is a pure function, not a mutable
+// object, so a cold evaluator and an incremental one can each fetch
+// their own copy and must extract identical instance bases.
+//
+// Consecutive steps share all subtrees the newest burst missed, giving
+// the subtree-fingerprint layer realistic partial overlap. With Grow
+// set, bursts occasionally append nodes, which knocks parser-built
+// trees out of document order and exercises the evaluator's
+// non-incremental fallback alongside the fast path.
+type ChurnFetcher struct {
+	Inner docFetcher
+	// Seed selects the mutation sequence; equal seeds replay equal
+	// sequences.
+	Seed int64
+	// PerStep is the number of mutations per burst (default 4).
+	PerStep int
+	// Grow allows structural growth mutations (see dom.Mutate); off,
+	// bursts are content-only (dom.MutateContent) and preserve
+	// document order.
+	Grow bool
+
+	step atomic.Int64
+}
+
+// Advance moves the churn one step forward and returns the new step.
+func (c *ChurnFetcher) Advance() int { return int(c.step.Add(1)) }
+
+// Step returns the current step.
+func (c *ChurnFetcher) Step() int { return int(c.step.Load()) }
+
+// Fetch retrieves the page and replays the mutation bursts for the
+// current step onto a clone, leaving the inner fetcher's tree intact.
+func (c *ChurnFetcher) Fetch(url string) (*dom.Tree, error) {
+	t, err := c.Inner.Fetch(url)
+	if err != nil {
+		return nil, err
+	}
+	steps := c.Step()
+	if steps == 0 {
+		return t, nil
+	}
+	per := c.PerStep
+	if per <= 0 {
+		per = 4
+	}
+	mt := t.Clone()
+	for s := 1; s <= steps; s++ {
+		rng := rand.New(rand.NewSource(churnSeed(c.Seed, url, s)))
+		if c.Grow {
+			dom.Mutate(mt, rng, per)
+		} else {
+			dom.MutateContent(mt, rng, per)
+		}
+	}
+	return mt, nil
+}
+
+// churnSeed derives the burst seed from (seed, url, step) by FNV-1a, so
+// distinct pages and steps mutate independently but reproducibly.
+func churnSeed(seed int64, url string, step int) int64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) { h = (h ^ uint64(b)) * prime64 }
+	for i := 0; i < len(url); i++ {
+		mix(url[i])
+	}
+	for s := 0; s < 8; s++ {
+		mix(byte(uint64(seed) >> (8 * s)))
+		mix(byte(uint64(step) >> (8 * s)))
+	}
+	return int64(h)
+}

@@ -183,6 +183,7 @@ func (w *Wrapper) Extract(ctx context.Context, src Source, opts ...Option) (*Res
 	}
 	ev.MaxConcurrency = cfg.concurrency
 	ev.Shared = cfg.batch
+	ev.Incremental = cfg.incremental
 	var base *pib.Base
 	if cfg.cache {
 		base, err = ev.RunCompiled(w.compiled)

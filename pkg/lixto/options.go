@@ -13,6 +13,7 @@ import (
 type config struct {
 	concurrency  int
 	cache        bool
+	incremental  bool
 	maxDocuments int
 	maxInstances int
 	fetcher      elog.Fetcher
@@ -28,6 +29,7 @@ type config struct {
 func defaultConfig() config {
 	return config{
 		cache:       true,
+		incremental: true,
 		design:      &pib.Design{Auxiliary: map[string]bool{"document": true}},
 		designOwned: true,
 	}
@@ -95,6 +97,19 @@ func WithConcurrency(n int) Option {
 // mutable state across calls — the reference semantics.
 func WithCache(enabled bool) Option {
 	return func(c *config) { c.cache = enabled }
+}
+
+// WithIncremental toggles subtree-fingerprint match reuse across
+// extractions (default on). With it on, the compiled wrapper's
+// content-addressed subtree caches persist across Extract calls, so
+// re-extracting a changed version of a document resolves the matches
+// of its unchanged regions from cache and runs the pattern matcher
+// only over the dirty regions. The instance base is bit-identical
+// either way; turn it off only to measure or to pin the full
+// re-evaluation behaviour. WithCache(false) disables the compiled path
+// and with it incremental reuse.
+func WithIncremental(enabled bool) Option {
+	return func(c *config) { c.incremental = enabled }
 }
 
 // WithMaxDocuments bounds how many documents one extraction may fetch
