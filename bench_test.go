@@ -30,6 +30,7 @@ import (
 	"repro/internal/htmlparse"
 	"repro/internal/mdatalog"
 	"repro/internal/pib"
+	"repro/internal/resultlog"
 	"repro/internal/server"
 	"repro/internal/transform"
 	"repro/internal/visual"
@@ -811,4 +812,57 @@ name(S, X)    <- row(_, S), subelem(S, (?.td, [(class, name, exact)]), X)
 	}
 	b.Run("full", func(b *testing.B) { run(b, false) })
 	b.Run("incremental", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkE25_DurableDelivery: the durable publish path. Each
+// iteration is one changed tick plus the read that publishes it; with a
+// result log attached the snapshot is not served until the delivery is
+// appended to the WAL (durable before acknowledged). "mem" is the
+// in-memory delivery plane, "wal-batch" appends with the background
+// fsync batcher (the default), "wal-always" fsyncs inside every append.
+func BenchmarkE25_DurableDelivery(b *testing.B) {
+	run := func(b *testing.B, durable bool, mode resultlog.FsyncMode) {
+		tick := 0
+		out := &transform.Collector{CompName: "hot25"}
+		pipe := &churnBenchPipe{name: "hot25", out: out, tick: &tick}
+		cfg := server.Config{}
+		if durable {
+			store, err := resultlog.Open(b.TempDir(), resultlog.Options{Fsync: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer store.Close()
+			cfg.ResultStore = store
+		}
+		s := server.New(cfg)
+		if err := s.Register(pipe, time.Hour); err != nil {
+			b.Fatal(err)
+		}
+		h := s.Handler()
+		deliver := func() {
+			tick++
+			doc := xmlenc.NewElement("doc")
+			doc.SetAttr("n", strconv.Itoa(tick))
+			for i := 0; i < 50; i++ {
+				doc.AppendTextElement("row", fmt.Sprintf("item %d of tick %d", i, tick))
+			}
+			if _, err := out.Process("", doc); err != nil {
+				b.Fatal(err)
+			}
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, httptest.NewRequest("GET", "/hot25", nil))
+			if rec.Code != 200 {
+				b.Fatalf("GET /hot25 = %d", rec.Code)
+			}
+		}
+		deliver() // warm
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			deliver()
+		}
+	}
+	b.Run("mem", func(b *testing.B) { run(b, false, 0) })
+	b.Run("wal-batch", func(b *testing.B) { run(b, true, resultlog.FsyncBatch) })
+	b.Run("wal-always", func(b *testing.B) { run(b, true, resultlog.FsyncAlways) })
 }

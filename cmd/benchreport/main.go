@@ -42,6 +42,7 @@ import (
 	"repro/internal/htmlparse"
 	"repro/internal/mdatalog"
 	"repro/internal/pib"
+	"repro/internal/resultlog"
 	"repro/internal/server"
 	"repro/internal/transform"
 	"repro/internal/visual"
@@ -72,6 +73,7 @@ func main() {
 	e22WatchFanout()
 	e23LockFreeReads()
 	e24ChurnIncremental()
+	e25DurableDelivery()
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -302,6 +304,39 @@ func writeBenchJSON(path string) error {
 			e24inc()
 		}
 	})
+
+	// Durable delivery (E25): the acknowledged publish path — one
+	// changed tick plus the read that publishes it — in-memory vs
+	// WAL-backed (batched fsync vs fsync-per-append: with a store
+	// attached the snapshot is not served until the journal is drained
+	// to the log), and the end-to-end webhook fan-out of one delivery
+	// to 8 endpoints.
+	for _, m := range []struct {
+		key     string
+		durable bool
+		mode    resultlog.FsyncMode
+	}{
+		{"publish-mem", false, 0},
+		{"publish-wal-batch", true, resultlog.FsyncBatch},
+		{"publish-wal-always", true, resultlog.FsyncAlways},
+	} {
+		p, h, cleanup := e25Pipe("hot25", m.durable, m.mode)
+		deliverTick(p, h)
+		add("E25_DurableDelivery/"+m.key, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				deliverTick(p, h)
+			}
+		})
+		cleanup()
+	}
+	e25fan, e25fanClean := e25Fanout(8)
+	add("E25_DurableDelivery/webhook-fanout-8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			e25fan()
+		}
+	})
+	e25fanClean()
 
 	prog, qpred, err := xpath.TranslateCore(xq)
 	if err != nil {
@@ -1302,6 +1337,112 @@ func parallelGet(h http.Handler, path string) func(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ---------------------------------------------------------------------
+// E25: durable delivery (PR 9).
+
+// e25Pipe wires a churn pipeline into a server whose deliveries append
+// to a result log under a throwaway directory with the given fsync
+// mode; durable=false keeps the delivery plane in-memory. deliverTick
+// on the returned handler measures the acknowledged publish path: with
+// a store attached the snapshot is not served until the journal is
+// drained to the WAL.
+func e25Pipe(name string, durable bool, mode resultlog.FsyncMode) (p *churnPipe, h http.Handler, cleanup func()) {
+	p = newChurnPipe(name, 50)
+	cfg := server.Config{}
+	cleanup = func() {}
+	if durable {
+		dir, err := os.MkdirTemp("", "bench-e25-")
+		check(err)
+		store, err := resultlog.Open(dir, resultlog.Options{Fsync: mode})
+		check(err)
+		cfg.ResultStore = store
+		cleanup = func() {
+			check(store.Close())
+			os.RemoveAll(dir)
+		}
+	}
+	s := server.New(cfg)
+	check(s.Register(p, time.Hour))
+	return p, s.Handler(), cleanup
+}
+
+// e25Fanout registers n webhook endpoints on one built-in sink and
+// returns a closure that advances one changed tick and blocks until
+// every endpoint has acknowledged the new version — the end-to-end push
+// latency of the webhook plane (dispatchers run off the tick path).
+func e25Fanout(n int) (fanout func(), cleanup func()) {
+	p, h, cleanPipe := e25Pipe("hot25hooks", false, 0)
+	var acked atomic.Int64
+	sink := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		acked.Add(1)
+	}))
+	ts := httptest.NewServer(h)
+	deliverTick(p, h) // version 1 exists before the hooks register
+	for i := 0; i < n; i++ {
+		v1Post(ts.URL+"/v1/wrappers/hot25hooks/webhooks",
+			map[string]any{"url": fmt.Sprintf("%s/hook/%d", sink.URL, i)})
+	}
+	fanout = func() {
+		base := acked.Load()
+		deliverTick(p, h)
+		deadline := time.Now().Add(30 * time.Second)
+		for acked.Load() < base+int64(n) && time.Now().Before(deadline) {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	cleanup = func() {
+		ts.Close()
+		sink.Close()
+		cleanPipe()
+	}
+	fanout() // warm: dispatcher goroutines and connection pools are up
+	return fanout, cleanup
+}
+
+func e25DurableDelivery() {
+	header("E25", "durable delivery: WAL-backed result log + webhooks (PR 9)",
+		"batched fsync keeps the acknowledged publish path near in-memory cost; webhook fan-out rides off the tick path")
+	fmt.Println("   acknowledged publish (changed tick + the read that publishes it):")
+	fmt.Printf("   %-28s %12s %8s\n", "", "median", "vs-mem")
+	var mem time.Duration
+	var batchRatio float64
+	for _, m := range []struct {
+		label   string
+		durable bool
+		mode    resultlog.FsyncMode
+	}{
+		{"in-memory (no WAL)", false, 0},
+		{"wal, batched fsync", true, resultlog.FsyncBatch},
+		{"wal, fsync per append", true, resultlog.FsyncAlways},
+	} {
+		p, h, cleanup := e25Pipe("hot25", m.durable, m.mode)
+		deliverTick(p, h) // warm
+		d := timeIt(func() {
+			for i := 0; i < 20; i++ {
+				deliverTick(p, h)
+			}
+		}) / 20
+		cleanup()
+		if mem == 0 {
+			mem = d
+		}
+		ratio := float64(d) / float64(mem)
+		if m.mode == resultlog.FsyncBatch && m.durable {
+			batchRatio = ratio
+		}
+		fmt.Printf("   %-28s %12s %7.2fx\n", m.label, d.Round(time.Microsecond), ratio)
+	}
+	fmt.Printf("   wal-batch vs in-memory: %.2fx (acceptance: <= 1.5x)\n", batchRatio)
+
+	const nHooks = 8
+	fanout, cleanup := e25Fanout(nHooks)
+	d := timeIt(fanout)
+	cleanup()
+	fmt.Printf("   webhook fan-out: 1 delivery -> %d endpoints acked end-to-end in %s\n",
+		nHooks, d.Round(time.Microsecond))
 }
 
 func e23LockFreeReads() {

@@ -1,0 +1,275 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Durable-delivery storm modes.
+//
+// Webhook sink mode (-webhooks N) turns lixtoload into the receiving
+// side of the push path: it runs a built-in HTTP sink, registers N
+// webhook endpoints on the target wrapper (since=0, so the retained
+// history replays first), and audits every delivery — per-endpoint
+// version coverage, duplicates (legal: at-least-once), gaps and
+// regressions (bugs: a skipped or reordered version means a lost or
+// misordered delivery).
+//
+// Crash storm mode (-crash-cmd "lixtoserver -data-dir ...") makes
+// lixtoload supervise the server itself: it launches the command,
+// SIGKILLs it every -crash-every, restarts it, and keeps the read and
+// write storm running across the crashes. Combined with -webhooks the
+// final audit proves the at-least-once contract end to end: every
+// version acknowledged before a kill must reach every endpoint, with
+// no gaps, across any number of kill -9s.
+
+// sinkEndpoint audits one registered webhook endpoint.
+type sinkEndpoint struct {
+	path   string // sink path the endpoint POSTs to
+	hookID string // server-side webhook id, for the final DELETE
+
+	mu          sync.Mutex
+	received    map[uint64]int // version -> delivery count
+	last        uint64
+	regressions int64
+}
+
+func (e *sinkEndpoint) record(version uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.received == nil {
+		e.received = map[uint64]int{}
+	}
+	e.received[version]++
+	if version < e.last {
+		e.regressions++
+	}
+	e.last = version
+}
+
+// audit returns (receipts, unique, duplicates, gaps, regressions) for
+// one endpoint. Gaps are versions missing inside the delivered range —
+// with since=0 the range starts at the wrapper's first retained
+// version, so any hole is a lost delivery.
+func (e *sinkEndpoint) audit() (receipts, unique, dups, gaps, regressions int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var min, max uint64
+	for v, n := range e.received {
+		receipts += int64(n)
+		unique++
+		dups += int64(n - 1)
+		if min == 0 || v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	if unique > 0 {
+		gaps = int64(max-min+1) - unique
+	}
+	return receipts, unique, dups, gaps, e.regressions
+}
+
+// webhookSink is the built-in receiver plus its registered endpoints.
+type webhookSink struct {
+	ln        net.Listener
+	endpoints []*sinkEndpoint
+}
+
+// newWebhookSink starts the sink server and registers n webhook
+// endpoints on the target wrapper.
+func newWebhookSink(client *http.Client, base, wrapper string, n int) (*webhookSink, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	sink := &webhookSink{ln: ln}
+	mux := http.NewServeMux()
+	for i := 0; i < n; i++ {
+		e := &sinkEndpoint{path: fmt.Sprintf("/hook/%d", i)}
+		sink.endpoints = append(sink.endpoints, e)
+		mux.HandleFunc(e.path, func(w http.ResponseWriter, r *http.Request) {
+			io.Copy(io.Discard, r.Body)
+			if v, err := strconv.ParseUint(r.Header.Get("Lixto-Version"), 10, 64); err == nil {
+				e.record(v)
+			}
+		})
+	}
+	go http.Serve(ln, mux)
+
+	for _, e := range sink.endpoints {
+		body, _ := json.Marshal(map[string]any{
+			"url":   "http://" + ln.Addr().String() + e.path,
+			"since": 0,
+		})
+		resp, err := client.Post(base+"/v1/wrappers/"+wrapper+"/webhooks",
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			ln.Close()
+			return nil, fmt.Errorf("register webhook: %d %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+		}
+		var created struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(msg, &created); err == nil {
+			e.hookID = created.ID
+		}
+	}
+	return sink, nil
+}
+
+// settle waits until deliveries stop arriving (the dispatchers drained
+// their backlog) or the deadline passes.
+func (s *webhookSink) settle(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	last := int64(-1)
+	for time.Now().Before(deadline) {
+		var total int64
+		for _, e := range s.endpoints {
+			r, _, _, _, _ := e.audit()
+			total += r
+		}
+		if total == last {
+			return
+		}
+		last = total
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// report prints the audit and retires the registered endpoints.
+func (s *webhookSink) report(client *http.Client, base, wrapper string) {
+	var receipts, unique, dups, gaps, regressions int64
+	for _, e := range s.endpoints {
+		r, u, d, g, rg := e.audit()
+		receipts += r
+		unique += u
+		dups += d
+		gaps += g
+		regressions += rg
+	}
+	fmt.Printf("\nwebhooks: %d endpoints, %d receipts (%d unique versions, %d at-least-once redeliveries)\n",
+		len(s.endpoints), receipts, unique, dups)
+	if gaps == 0 && regressions == 0 {
+		fmt.Println("webhooks: no gaps, no regressions — no lost deliveries")
+	} else {
+		fmt.Printf("webhooks: LOST OR MISORDERED DELIVERIES: %d gaps, %d regressions\n", gaps, regressions)
+	}
+	for _, e := range s.endpoints {
+		if e.hookID == "" {
+			continue
+		}
+		req, _ := http.NewRequest("DELETE", base+"/v1/wrappers/"+wrapper+"/webhooks/"+e.hookID, nil)
+		if resp, err := client.Do(req); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}
+	s.ln.Close()
+}
+
+// crashStorm supervises the server under test: launch, kill -9,
+// relaunch.
+type crashStorm struct {
+	args []string
+	base string
+
+	mu     sync.Mutex
+	cmd    *exec.Cmd
+	kills  int64
+	starts int64
+}
+
+func newCrashStorm(command, base string) *crashStorm {
+	return &crashStorm{args: strings.Fields(command), base: base}
+}
+
+// start launches the server and waits until it answers /healthz.
+func (cs *crashStorm) start() error {
+	cmd := exec.Command(cs.args[0], cs.args[1:]...)
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	cs.mu.Lock()
+	cs.cmd = cmd
+	cs.starts++
+	cs.mu.Unlock()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(cs.base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("crash storm: %q never became healthy on %s", strings.Join(cs.args, " "), cs.base)
+}
+
+// kill SIGKILLs the running server — no shutdown hook runs.
+func (cs *crashStorm) kill() {
+	cs.mu.Lock()
+	cmd := cs.cmd
+	cs.mu.Unlock()
+	if cmd != nil && cmd.Process != nil {
+		cmd.Process.Kill()
+		cmd.Wait()
+		cs.mu.Lock()
+		cs.kills++
+		cs.mu.Unlock()
+	}
+}
+
+// run crashes and restarts the server every interval until the context
+// expires, then leaves it running for the final audit.
+func (cs *crashStorm) run(ctx context.Context, every time.Duration) {
+	if every <= 0 {
+		every = 3 * time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			cs.kill()
+			if err := cs.start(); err != nil {
+				fmt.Println("lixtoload:", err)
+				return
+			}
+		}
+	}
+}
+
+// stop terminates the supervised server for good.
+func (cs *crashStorm) stop() {
+	cs.kill()
+}
+
+func (cs *crashStorm) report() {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	fmt.Printf("crash storm: %d launches, %d kill -9s survived\n", cs.starts, cs.kills)
+}

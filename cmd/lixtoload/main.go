@@ -17,6 +17,17 @@
 // The summary shows request and event totals, the 200/304 split
 // (encode-once: the 304s never touched a marshaler), error counts, and
 // body bytes transferred per read style.
+//
+// Two durable-delivery modes ride on top (see durable.go): -webhooks N
+// registers N endpoints on a built-in sink and audits version coverage
+// (duplicates are legal at-least-once redeliveries; gaps are lost
+// deliveries), and -crash-cmd launches the server under lixtoload's
+// supervision and kill -9s it every -crash-every, proving recovery
+// under load:
+//
+//	lixtoload -addr http://localhost:8080 -wrapper churn \
+//	          -crash-cmd "lixtoserver -addr :8080 -data-dir /tmp/lixto -allow-dynamic" \
+//	          -churn -webhooks 8 -pollers 50 -watchers 50 -duration 30s
 package main
 
 import (
@@ -57,9 +68,14 @@ func main() {
 	churnRows := flag.Int("churn-rows", 200, "rows on the churned page")
 	churnFrac := flag.Float64("churn-frac", 0.05, "fraction of rows rewritten per tick")
 	churnSeed := flag.Int64("churn-seed", 1, "seed of the churn sequence")
+	webhooks := flag.Int("webhooks", 0,
+		"register N webhook endpoints on a built-in sink and audit delivery coverage")
+	crashCmd := flag.String("crash-cmd", "",
+		"launch the server with this command and kill -9/restart it during the storm (e.g. \"lixtoserver -addr :8080 -data-dir /tmp/d -allow-dynamic\")")
+	crashEvery := flag.Duration("crash-every", 3*time.Second, "kill -9 period in crash storm mode")
 	flag.Parse()
-	if *pollers < 0 || *watchers < 0 || *pollers+*watchers == 0 {
-		fmt.Fprintln(os.Stderr, "lixtoload: need at least one poller or watcher")
+	if *pollers < 0 || *watchers < 0 || *pollers+*watchers+*webhooks == 0 {
+		fmt.Fprintln(os.Stderr, "lixtoload: need at least one poller, watcher, or webhook")
 		os.Exit(1)
 	}
 
@@ -72,10 +88,30 @@ func main() {
 		DisableCompression:  true, // count the wire bytes we asked for
 	}}
 
+	var storm *crashStorm
+	if *crashCmd != "" {
+		storm = newCrashStorm(*crashCmd, base)
+		if err := storm.start(); err != nil {
+			fmt.Fprintln(os.Stderr, "lixtoload:", err)
+			os.Exit(1)
+		}
+		defer storm.stop()
+	}
+
 	var ch *churner
 	if *churn {
 		ch = newChurner(client, base, *wrapper, *churnRows, *churnFrac, *churnSeed)
 		if err := ch.install(); err != nil {
+			fmt.Fprintln(os.Stderr, "lixtoload:", err)
+			os.Exit(1)
+		}
+	}
+
+	var sink *webhookSink
+	if *webhooks > 0 {
+		var err error
+		sink, err = newWebhookSink(client, base, *wrapper, *webhooks)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "lixtoload:", err)
 			os.Exit(1)
 		}
@@ -119,11 +155,23 @@ func main() {
 			ch.run(ctx, *churnInterval)
 		}()
 	}
+	if storm != nil {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			storm.run(ctx, *crashEvery)
+		}()
+	}
 	start := time.Now()
 	fmt.Printf("lixtoload: %d pollers + %d watchers on %s for %s\n",
 		*pollers, *watchers, pollURL, *duration)
 	wg.Wait()
 	elapsed := time.Since(start)
+	if sink != nil {
+		// Let the dispatchers drain their backlog (the at-least-once
+		// contract bounds what may still be in flight after a crash).
+		sink.settle(10 * time.Second)
+	}
 
 	fmt.Printf("\n%-22s %12s %12s\n", "", "pollers", "watchers")
 	row := func(label string, p, w int64) { fmt.Printf("%-22s %12d %12d\n", label, p, w) }
@@ -143,6 +191,12 @@ func main() {
 	}
 	if ch != nil {
 		ch.report()
+	}
+	if sink != nil {
+		sink.report(client, base, *wrapper)
+	}
+	if storm != nil {
+		storm.report()
 	}
 }
 

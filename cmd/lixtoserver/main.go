@@ -5,6 +5,9 @@
 //	lixtoserver [-addr :8080] [-interval 2s] [-steps N] [-history N] [-pprof] [-allow-dynamic]
 //	            [-shards N] [-workers N] [-jitter F] [-cache-entries N] [-cache-ttl D]
 //	            [-watch-queue N] [-watch-heartbeat D]
+//	            [-data-dir DIR] [-wal-fsync batch|always|off] [-wal-segment-bytes N]
+//	            [-wal-max-segments N] [-wal-max-age D]
+//	            [-webhook-timeout D] [-webhook-max-attempts N] [-webhook-cooldown D]
 //
 //	GET /nowplaying           the Now Playing portal feed (Section 6.1)
 //	GET /flights              the latest flight alerts (6.2)
@@ -48,6 +51,17 @@
 // oldest events rather than stalling delivery) and -watch-heartbeat
 // sets the SSE comment-ping period that keeps idle connections alive
 // through proxies.
+// With -data-dir every delivery is appended to a per-wrapper result
+// log (a length-prefixed, CRC-checked WAL with segment rotation) before
+// it is acknowledged; on restart the server rehydrates collector rings,
+// published snapshots (ETags included), dynamic wrapper registrations,
+// and webhook cursors from the logs, so reads and subscriptions resume
+// byte-identically after a crash. -wal-fsync picks the durability
+// trade: batch (default, a background syncer flushes every 50ms),
+// always (fsync per append), or off. Outbound webhooks — registered via
+// POST /v1/wrappers/{name}/webhooks — push each new result to HTTP
+// endpoints with retry/backoff and a circuit breaker, tuned by the
+// -webhook-* flags.
 // SIGINT/SIGTERM shuts the server down gracefully, draining queued and
 // in-flight ticks (including dynamically registered wrappers). With
 // -steps N the server instead runs N synchronous ticks, prints a
@@ -66,6 +80,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/elog"
 	"repro/internal/fetchcache"
+	"repro/internal/resultlog"
 	"repro/internal/server"
 	"repro/internal/web"
 )
@@ -88,6 +103,17 @@ func main() {
 		"shared match cache capacity in entries, LRU-evicted (0 = default 65536)")
 	watchQueue := flag.Int("watch-queue", 0, "pending events buffered per watch subscriber (0 = default 8)")
 	watchHeartbeat := flag.Duration("watch-heartbeat", 0, "SSE heartbeat period for watch streams (0 = default 15s)")
+	dataDir := flag.String("data-dir", "",
+		"directory for durable result logs; enables crash recovery and webhook cursors (empty = in-memory only)")
+	walFsync := flag.String("wal-fsync", "batch", "result-log fsync policy: batch, always, or off")
+	walFsyncInterval := flag.Duration("wal-fsync-interval", 0, "batched fsync period (0 = default 50ms)")
+	walSegmentBytes := flag.Int64("wal-segment-bytes", 0, "result-log segment rotation size (0 = default 4MiB)")
+	walMaxSegments := flag.Int("wal-max-segments", 0, "closed segments retained per wrapper (0 = default 8)")
+	walMaxAge := flag.Duration("wal-max-age", 0, "drop closed segments older than this (0 = keep by count only)")
+	webhookTimeout := flag.Duration("webhook-timeout", 0, "outbound webhook request timeout (0 = default 5s)")
+	webhookAttempts := flag.Int("webhook-max-attempts", 0,
+		"consecutive webhook failures before the circuit breaker opens (0 = default 6)")
+	webhookCooldown := flag.Duration("webhook-cooldown", 0, "breaker cooldown before the half-open probe (0 = default 30s)")
 	flag.Parse()
 	if *history < 0 {
 		fatal(fmt.Errorf("-history must be >= 0, got %d", *history))
@@ -143,9 +169,30 @@ func main() {
 		SchedulerJitter:  *jitter,
 		WatchQueue:       *watchQueue,
 		WatchHeartbeat:   *watchHeartbeat,
+		WebhookTimeout:   *webhookTimeout,
+		WebhookCooldown:  *webhookCooldown,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
+	}
+	cfg.WebhookMaxAttempts = *webhookAttempts
+	var store *resultlog.Store
+	if *dataDir != "" {
+		mode, err := resultlog.ParseFsyncMode(*walFsync)
+		if err != nil {
+			fatal(err)
+		}
+		store, err = resultlog.Open(*dataDir, resultlog.Options{
+			SegmentBytes:  *walSegmentBytes,
+			MaxSegments:   *walMaxSegments,
+			MaxAge:        *walMaxAge,
+			Fsync:         mode,
+			FsyncInterval: *walFsyncInterval,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		cfg.ResultStore = store
 	}
 	if *cacheEntries > 0 {
 		cfg.SharedCache = fetchcache.New(*cacheEntries, *cacheTTL)
@@ -168,12 +215,28 @@ func main() {
 			fatal(err)
 		}
 	}
+	if store != nil {
+		// Rehydrate collector rings, snapshots, dynamic wrappers, and
+		// webhook cursors from the previous run's result logs.
+		n, err := srv.Restore()
+		if err != nil {
+			fatal(err)
+		}
+		if n > 0 {
+			fmt.Printf("lixtoserver: restored %d wrapper(s) from %s\n", n, *dataDir)
+		}
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Printf("lixtoserver: serving on %s (tick every %s)\n", *addr, *interval)
 	if err := srv.Run(ctx); err != nil {
 		fatal(err)
+	}
+	if store != nil {
+		if err := store.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 

@@ -41,8 +41,12 @@ const gzipMinSize = 256
 // only mutable slot: the publisher bumps it forward (under pubMu) when
 // the same content is re-delivered, so readers keep fast-pathing.
 type snapshot struct {
-	doc     *xmlenc.Node
-	seq     uint64 // publish sequence; the SSE event id
+	doc *xmlenc.Node
+	seq uint64 // publish sequence
+	// ver is the delivery version at which this content first appeared:
+	// the SSE event id, and the cursor subscribers resume from. Unlike
+	// the version slot below it never moves.
+	ver     uint64
 	version atomic.Uint64
 
 	xml    []byte // eager: encoded at publish, reused by every reader
@@ -61,7 +65,7 @@ type snapshot struct {
 }
 
 func newSnapshot(doc *xmlenc.Node, version, seq uint64) *snapshot {
-	sn := &snapshot{doc: doc, seq: seq}
+	sn := &snapshot{doc: doc, seq: seq, ver: version}
 	sn.version.Store(version)
 	sn.xml = xmlenc.MarshalIndentBytes(doc)
 	sn.xmlTag = etagFor(sn.xml, 'x')
@@ -127,7 +131,8 @@ func (sn *snapshot) gzipped(asJSON bool) []byte {
 }
 
 // sseFrame returns the complete SSE event bytes for this snapshot —
-// "event: result", the publish sequence as the event id, and the
+// "event: result", the delivery version as the event id (the cursor a
+// reconnecting subscriber hands back via Last-Event-ID), and the
 // encoded document as data lines. Built once per representation and
 // written verbatim to every subscriber.
 func (sn *snapshot) sseFrame(asJSON bool) []byte {
@@ -144,17 +149,24 @@ func (sn *snapshot) sseFrame(asJSON bool) []byte {
 			}
 			payload = body
 		}
-		var b bytes.Buffer
-		fmt.Fprintf(&b, "event: result\nid: %d\n", sn.seq)
-		for _, line := range strings.Split(strings.TrimRight(string(payload), "\n"), "\n") {
-			b.WriteString("data: ")
-			b.WriteString(line)
-			b.WriteByte('\n')
-		}
-		b.WriteByte('\n')
-		sn.sse[i] = b.Bytes()
+		sn.sse[i] = sseFrameFor(payload, sn.ver)
 	})
 	return sn.sse[i]
+}
+
+// sseFrameFor frames one payload as a complete "event: result" SSE event
+// with the delivery version as the id. Shared by the cached snapshot
+// frames and the ad-hoc frames built during Last-Event-ID replay.
+func sseFrameFor(payload []byte, ver uint64) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "event: result\nid: %d\n", ver)
+	for _, line := range strings.Split(strings.TrimRight(string(payload), "\n"), "\n") {
+		b.WriteString("data: ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	b.WriteByte('\n')
+	return b.Bytes()
 }
 
 // ---------------------------------------------------------------------
@@ -182,6 +194,14 @@ type delivery struct {
 
 	hub watchHub
 
+	// persist, when set, is the pipeline's WAL attachment (persist.go):
+	// publish drains its journal queue so every delivery reaches the
+	// result log, reusing the just-encoded snapshot bytes. hooks, when
+	// set, is the pipeline's outbound webhook set; publish nudges its
+	// dispatchers after the log advances.
+	persist *pipePersist
+	hooks   *hookSet
+
 	suppressed atomic.Uint64 // no-op ticks caught before fan-out
 	etagHits   atomic.Uint64 // conditional GETs answered 304
 	etagMisses atomic.Uint64 // conditional GETs that had to send the body
@@ -194,8 +214,11 @@ type delivery struct {
 // snapshot returns the current snapshot for out, publishing a new one
 // if the collector has delivered since. The steady-state path is
 // lock-free: one atomic pointer load plus one atomic version compare.
+// Pending journal entries force the publish path so a delivery is
+// durably logged before its HTTP acknowledgement is written.
 func (d *delivery) snapshot(out *transform.Collector) *snapshot {
-	if cur := d.cur.Load(); cur != nil && cur.version.Load() == out.Version() {
+	if cur := d.cur.Load(); cur != nil && cur.version.Load() == out.Version() &&
+		(d.persist == nil || d.persist.idle()) {
 		return cur
 	}
 	return d.publish(out)
@@ -205,7 +228,10 @@ func (d *delivery) snapshot(out *transform.Collector) *snapshot {
 // publish mutex, then fans it out to the watch hub. Re-deliveries of
 // unchanged content (same document pointer, or byte-identical
 // encoding) bump the current snapshot's version instead: no re-encode,
-// no fan-out, one suppressed no-op tick counted.
+// no fan-out, one suppressed no-op tick counted. Either way the WAL
+// journal drains before returning, so the caller's delivery is on disk
+// (as a snapshot or a version-only no-op record) when it is
+// acknowledged.
 func (d *delivery) publish(out *transform.Collector) *snapshot {
 	d.pubMu.Lock()
 	defer d.pubMu.Unlock()
@@ -215,30 +241,43 @@ func (d *delivery) publish(out *transform.Collector) *snapshot {
 	// not.
 	v := out.Version()
 	cur := d.cur.Load()
-	if cur != nil && cur.version.Load() >= v {
-		return cur
-	}
+	sn := cur
 	doc := out.Latest()
-	if doc == nil {
-		return cur
-	}
-	if cur != nil && cur.doc == doc {
+	switch {
+	case cur != nil && cur.version.Load() >= v:
+		// Already current; fall through to the journal drain only.
+	case doc == nil, v == 0:
+		// No delivery yet — or a reader raced the very first one and
+		// loaded the version before the collector committed it (a
+		// document existing at all implies version >= 1). Publishing
+		// here would broadcast an SSE frame with id 0; the delivering
+		// tick's own snapshot call follows with the real version.
+	case cur != nil && cur.doc == doc:
 		// The poll-level fingerprint cache re-emitted the previous
 		// document: nothing changed upstream.
 		cur.version.Store(v)
 		d.suppressed.Add(1)
-		return cur
+	default:
+		fresh := newSnapshot(doc, v, d.seq.Load()+1)
+		if cur != nil && bytes.Equal(fresh.xml, cur.xml) {
+			// Fresh document object, identical content.
+			cur.version.Store(v)
+			d.suppressed.Add(1)
+		} else {
+			d.seq.Add(1)
+			d.cur.Store(fresh)
+			d.hub.broadcast(fresh)
+			sn = fresh
+		}
 	}
-	sn := newSnapshot(doc, v, d.seq.Load()+1)
-	if cur != nil && bytes.Equal(sn.xml, cur.xml) {
-		// Fresh document object, identical content.
-		cur.version.Store(v)
-		d.suppressed.Add(1)
-		return cur
+	if d.persist != nil && !d.persist.idle() {
+		d.persist.drain(sn)
+		if d.hooks != nil {
+			d.hooks.notify()
+		}
+	} else if d.hooks != nil && sn != cur {
+		d.hooks.notify()
 	}
-	d.seq.Add(1)
-	d.cur.Store(sn)
-	d.hub.broadcast(sn)
 	return sn
 }
 
@@ -394,6 +433,9 @@ func (ps *pipeState) serveSnapshot(w http.ResponseWriter, r *http.Request, sn *s
 	h.Add("Vary", "Accept")
 	h.Add("Vary", "Accept-Encoding")
 	h.Set("ETag", etag)
+	// The delivery version doubles as the subscriber cursor: clients
+	// seed ?since= and SSE Last-Event-ID from it.
+	h.Set("Lixto-Version", strconv.FormatUint(sn.version.Load(), 10))
 	if inm := r.Header.Get("If-None-Match"); inm != "" {
 		if etagMatch(inm, etag) {
 			ps.deliver.etagHits.Add(1)

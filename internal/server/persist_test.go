@@ -1,0 +1,419 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/resultlog"
+)
+
+// openStore opens a result store rooted at dir with test-friendly
+// options (no background fsync batching to wait out).
+func openStore(t *testing.T, dir string) *resultlog.Store {
+	t.Helper()
+	store, err := resultlog.Open(dir, resultlog.Options{Fsync: resultlog.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return store
+}
+
+// TestRestoreByteIdentity is the core recovery contract in-process: a
+// second server rehydrated from the first one's result store serves the
+// latest result, its ETag, the conditional-GET behavior, and the
+// history byte-identically.
+func TestRestoreByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	store := openStore(t, dir)
+
+	s1 := New(Config{ResultStore: store})
+	p1 := newFakePipe("x", 0)
+	if err := s1.Register(p1, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		deliver(t, s1, p1)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	_, latest1, hdr1 := do(t, "GET", ts1.URL+"/x", nil)
+	_, hist1, _ := do(t, "GET", ts1.URL+"/x/history?since=0", nil)
+	_, json1, _ := do(t, "GET", ts1.URL+"/x", nil, "Accept", "application/json")
+	ts1.Close()
+	etag1 := hdr1.Get("ETag")
+	if etag1 == "" || hdr1.Get("Lixto-Version") != "5" {
+		t.Fatalf("first server headers: ETag=%q Lixto-Version=%q", etag1, hdr1.Get("Lixto-Version"))
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Restart": a fresh store over the same directory, a fresh server,
+	// a fresh pipeline that has never ticked.
+	store2 := openStore(t, dir)
+	defer store2.Close()
+	s2 := New(Config{ResultStore: store2})
+	p2 := newFakePipe("x", 0)
+	if err := s2.Register(p2, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d wrappers, want 1", n)
+	}
+	if got := p2.out.Version(); got != 5 {
+		t.Fatalf("restored collector version = %d, want 5", got)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	code, latest2, hdr2 := do(t, "GET", ts2.URL+"/x", nil)
+	if code != 200 || latest2 != latest1 {
+		t.Fatalf("latest diverged across restart:\n--- before ---\n%s\n--- after ---\n%s", latest1, latest2)
+	}
+	if hdr2.Get("ETag") != etag1 {
+		t.Fatalf("ETag changed across restart: %q -> %q", etag1, hdr2.Get("ETag"))
+	}
+	if hdr2.Get("Lixto-Version") != "5" {
+		t.Fatalf("Lixto-Version after restore = %q, want 5", hdr2.Get("Lixto-Version"))
+	}
+	// The pre-crash ETag still answers 304 — caches survive the restart.
+	if code, _, _ := do(t, "GET", ts2.URL+"/x", nil, "If-None-Match", etag1); code != 304 {
+		t.Fatalf("conditional GET with pre-crash ETag = %d, want 304", code)
+	}
+	if _, hist2, _ := do(t, "GET", ts2.URL+"/x/history?since=0", nil); hist2 != hist1 {
+		t.Fatalf("history diverged across restart:\n--- before ---\n%s\n--- after ---\n%s", hist1, hist2)
+	}
+	if _, json2, _ := do(t, "GET", ts2.URL+"/x", nil, "Accept", "application/json"); json2 != json1 {
+		t.Fatalf("JSON rendering diverged across restart")
+	}
+
+	// Live deliveries continue the version sequence from the log.
+	deliver(t, s2, p2)
+	if got := p2.out.Version(); got != 6 {
+		t.Fatalf("post-restore delivery version = %d, want 6", got)
+	}
+	if _, _, hdr := do(t, "GET", ts2.URL+"/x", nil); hdr.Get("Lixto-Version") != "6" {
+		t.Fatalf("Lixto-Version after new delivery = %q, want 6", hdr.Get("Lixto-Version"))
+	}
+}
+
+// TestRestoreNoopRuns pins the no-op record semantics: suppressed
+// re-deliveries of unchanged content land in the log as version-only
+// records and rehydrate as repeated ring entries, exactly as the live
+// suppressed tick left them.
+func TestRestoreNoopRuns(t *testing.T) {
+	dir := t.TempDir()
+	store := openStore(t, dir)
+	s1 := New(Config{ResultStore: store})
+	p1 := newFakePipe("x", 0)
+	if err := s1.Register(p1, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, s1, p1)
+	// Re-deliver the same document pointer twice: versions 2 and 3 are
+	// suppressed no-ops.
+	doc := p1.out.Latest()
+	for i := 0; i < 2; i++ {
+		if _, err := p1.out.Process("", doc); err != nil {
+			t.Fatal(err)
+		}
+		s1.readPipe("x").deliver.snapshot(p1.out)
+	}
+	deliver(t, s1, p1) // version 4: real change
+
+	ts1 := httptest.NewServer(s1.Handler())
+	_, hist1, _ := do(t, "GET", ts1.URL+"/x/history?since=0", nil)
+	ts1.Close()
+	store.Close()
+
+	st := store.Stats()
+	if st.NoopAppends != 2 {
+		t.Fatalf("noop appends = %d, want 2 (stats %+v)", st.NoopAppends, st)
+	}
+
+	store2 := openStore(t, dir)
+	defer store2.Close()
+	s2 := New(Config{ResultStore: store2})
+	p2 := newFakePipe("x", 0)
+	if err := s2.Register(p2, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	_, hist2, _ := do(t, "GET", ts2.URL+"/x/history?since=0", nil)
+	if hist2 != hist1 {
+		t.Fatalf("noop-run history diverged:\n--- before ---\n%s\n--- after ---\n%s", hist1, hist2)
+	}
+	if !strings.Contains(hist2, `count="4"`) {
+		t.Fatalf("restored history should hold 4 versions: %s", hist2)
+	}
+}
+
+// TestRestoreDynamicWrapper: a wrapper registered through /v1 at
+// runtime is recompiled from its persisted spec on restart and serves
+// its last results without a validation tick.
+func TestRestoreDynamicWrapper(t *testing.T) {
+	dir := t.TempDir()
+	store := openStore(t, dir)
+	_, ts1 := newDynamicServer(t, Config{ResultStore: store})
+	code, body, _ := do(t, "POST", ts1.URL+"/v1/wrappers",
+		map[string]any{"name": "books", "program": v1Wrapper, "html": v1Page, "auxiliary": []string{"page"}})
+	if code != 201 {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	page2 := strings.ReplaceAll(v1Page, "Foundations of Databases", "Principles of Database Systems")
+	code, _, hdr := do(t, "POST", ts1.URL+"/v1/wrappers/books/extract", map[string]any{"html": page2})
+	if code != 200 || hdr.Get("Lixto-Version") != "2" {
+		t.Fatalf("extract: %d Lixto-Version=%q", code, hdr.Get("Lixto-Version"))
+	}
+	_, want, _ := do(t, "GET", ts1.URL+"/v1/wrappers/books/results", nil)
+	store.Close()
+
+	store2 := openStore(t, dir)
+	defer store2.Close()
+	s2, ts2 := newDynamicServer(t, Config{ResultStore: store2})
+	n, err := s2.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d wrappers, want 1", n)
+	}
+	code, body, _ = do(t, "GET", ts2.URL+"/v1/wrappers/books", nil)
+	if code != 200 || !strings.Contains(body, `"dynamic": true`) {
+		t.Fatalf("restored wrapper status: %d %s", code, body)
+	}
+	code, got, _ := do(t, "GET", ts2.URL+"/v1/wrappers/books/results", nil)
+	if code != 200 || got != want {
+		t.Fatalf("restored results diverged:\n--- before ---\n%s\n--- after ---\n%s", want, got)
+	}
+	// The restored wrapper still extracts: the spec round-tripped whole.
+	code, body, _ = do(t, "POST", ts2.URL+"/v1/wrappers/books/extract", map[string]any{"html": v1Page})
+	if code != 200 || !strings.Contains(body, "Foundations of Databases") {
+		t.Fatalf("extract after restore: %d %s", code, body)
+	}
+}
+
+// TestRestoreSkipsUnknownState: log directories for names no longer
+// registered (and lacking a dynamic spec) are left alone, and a
+// registered pipeline with an empty log stays empty.
+func TestRestoreSkipsUnknownState(t *testing.T) {
+	dir := t.TempDir()
+	store := openStore(t, dir)
+	defer store.Close()
+	// Seed state for "gone" with no spec sidecar — as a static pipeline
+	// from a previous configuration would leave behind.
+	l, err := store.Log("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(resultlog.Record{Kind: resultlog.KindSnapshot, Version: 1, XML: []byte("<doc/>")}); err != nil {
+		t.Fatal(err)
+	}
+
+	s := New(Config{ResultStore: store})
+	p := newFakePipe("fresh", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	n, err := s.Restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("restored %d, want 1 (the registered-but-empty pipeline)", n)
+	}
+	if p.out.Version() != 0 {
+		t.Fatalf("empty log rehydrated versions: %d", p.out.Version())
+	}
+	if s.pipe("gone") != nil {
+		t.Fatal("unregistered state resurrected a pipeline")
+	}
+}
+
+// TestHistorySinceCursor pins the ?since= cursor mode on the legacy
+// history route and the /v1 results route — including that it works
+// purely in-memory, with no result store configured.
+func TestHistorySinceCursor(t *testing.T) {
+	s := New(Config{})
+	p := newFakePipe("x", 0)
+	p.out.Retain = 10
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		deliver(t, s, p)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, route := range []string{"/x/history", "/v1/wrappers/x/results"} {
+		root := "history"
+		if strings.Contains(route, "/v1/") {
+			root = "results"
+		}
+		code, body, hdr := do(t, "GET", ts.URL+route+"?since=2", nil)
+		if code != 200 {
+			t.Fatalf("%s?since=2: %d %s", route, code, body)
+		}
+		if hdr.Get("Lixto-Version") != "5" {
+			t.Fatalf("%s cursor header = %q, want 5", route, hdr.Get("Lixto-Version"))
+		}
+		if !strings.Contains(body, "<"+root+` name="x" count="3" since="2">`) {
+			t.Fatalf("%s root shape: %s", route, body)
+		}
+		// Oldest first, version-stamped, strictly after the cursor.
+		i3 := strings.Index(body, `<result version="3">`)
+		i4 := strings.Index(body, `<result version="4">`)
+		i5 := strings.Index(body, `<result version="5">`)
+		if i3 < 0 || i4 < i3 || i5 < i4 {
+			t.Fatalf("%s order: %s", route, body)
+		}
+		if strings.Contains(body, `version="2"`) {
+			t.Fatalf("%s included the cursor version itself: %s", route, body)
+		}
+
+		// ?n pages the cursor scan, keeping the oldest entries so the
+		// client advances by re-requesting.
+		code, body, _ = do(t, "GET", ts.URL+route+"?since=0&n=2", nil)
+		if code != 200 || !strings.Contains(body, `version="1"`) || !strings.Contains(body, `version="2"`) ||
+			strings.Contains(body, `version="3"`) {
+			t.Fatalf("%s?since=0&n=2: %d %s", route, code, body)
+		}
+
+		// A cursor at (or past) the head returns an empty page.
+		code, body, _ = do(t, "GET", ts.URL+route+"?since=5", nil)
+		if code != 200 || !strings.Contains(body, `count="0"`) {
+			t.Fatalf("%s?since=5: %d %s", route, code, body)
+		}
+
+		// JSON mode renders the same version-stamped list.
+		code, body, _ = do(t, "GET", ts.URL+route+"?since=3", nil, "Accept", "application/json")
+		if code != 200 || !json.Valid([]byte(body)) {
+			t.Fatalf("%s JSON since: %d %s", route, code, body)
+		}
+		if !strings.Contains(body, `"version"`) || strings.Count(body, `"result"`) != 2 {
+			t.Fatalf("%s JSON shape: %s", route, body)
+		}
+
+		// Malformed cursor: uniform 400 envelope.
+		code, body, _ = do(t, "GET", ts.URL+route+"?since=abc", nil)
+		if code != 400 || envelope(t, body).Kind != "bad_request" {
+			t.Fatalf("%s?since=abc: %d %s", route, code, body)
+		}
+	}
+}
+
+// TestWatchReplaySince pins SSE resume: a subscriber presenting its
+// last seen delivery version — via Last-Event-ID or ?since= — gets the
+// missed snapshots replayed in order, each with its own id, before the
+// stream goes live. Duplicated ring entries (suppressed no-op ticks)
+// advance the cursor without re-sending.
+func TestWatchReplaySince(t *testing.T) {
+	s := New(Config{})
+	p := newFakePipe("feed", 0)
+	if err := s.RegisterDynamic(p, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ { // versions 2..4 (registration delivered 1)
+		deliver(t, s, p)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close) // after the SSE clients close (cleanups run LIFO)
+
+	c := openWatch(t, ts.URL+"/v1/wrappers/feed/watch", "Last-Event-ID", "2")
+	for _, want := range []uint64{3, 4} {
+		ev := c.next(t, 2*time.Second)
+		if ev.event != "result" || ev.id != want {
+			t.Fatalf("replay event: %q id=%d, want result id=%d", ev.event, ev.id, want)
+		}
+	}
+	// After the replay the stream is live: the next delivery arrives once.
+	deliver(t, s, p)
+	if ev := c.next(t, 2*time.Second); ev.id != 5 {
+		t.Fatalf("live event after replay: id=%d, want 5", ev.id)
+	}
+	c.none(t, 100*time.Millisecond)
+
+	// ?since= is the header-less spelling of the same cursor.
+	c2 := openWatch(t, ts.URL+"/v1/wrappers/feed/watch?since=4")
+	if ev := c2.next(t, 2*time.Second); ev.id != 5 {
+		t.Fatalf("?since=4 replay: id=%d, want 5", ev.id)
+	}
+
+	// A no-op re-delivery duplicates the ring tail; replay must advance
+	// past it without re-sending the unchanged document.
+	doc := p.out.Latest()
+	if _, err := p.out.Process("", doc); err != nil {
+		t.Fatal(err)
+	}
+	s.readPipe("feed").deliver.snapshot(p.out) // version 6, suppressed
+	c3 := openWatch(t, ts.URL+"/v1/wrappers/feed/watch", "Last-Event-ID", "4")
+	if ev := c3.next(t, 2*time.Second); ev.id != 5 {
+		t.Fatalf("replay over noop: first id=%d, want 5", ev.id)
+	}
+	c3.none(t, 100*time.Millisecond)
+	// The cursor advanced past the no-op: the next change is id 7.
+	deliver(t, s, p)
+	if ev := c3.next(t, 2*time.Second); ev.id != 7 {
+		t.Fatalf("live after noop replay: id=%d, want 7", ev.id)
+	}
+
+	// A cursor at the head replays nothing and waits silently.
+	c4 := openWatch(t, ts.URL+"/v1/wrappers/feed/watch", "Last-Event-ID", "7")
+	c4.none(t, 100*time.Millisecond)
+}
+
+// TestStatuszPersistenceShape pins the "persistence" stats block: keyed
+// fields appear on /statusz and GET /v1/wrappers when a result store is
+// configured, and are absent when it is not.
+func TestStatuszPersistenceShape(t *testing.T) {
+	dir := t.TempDir()
+	store := openStore(t, dir)
+	defer store.Close()
+	s := New(Config{ResultStore: store, AllowDynamic: true})
+	p := newFakePipe("x", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, s, p)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, url := range []string{ts.URL + "/statusz", ts.URL + "/v1/wrappers"} {
+		code, body, _ := do(t, "GET", url, nil)
+		if code != 200 {
+			t.Fatalf("%s = %d", url, code)
+		}
+		for _, key := range []string{`"persistence"`, `"wrappers"`, `"segments"`, `"appends"`,
+			`"noop_appends"`, `"bytes_appended"`, `"fsyncs"`, `"batched_syncs"`, `"rotations"`,
+			`"truncated_segments"`, `"replayed_records"`, `"torn_records"`, `"append_errors"`} {
+			if !strings.Contains(body, key) {
+				t.Errorf("%s missing %s", url, key)
+			}
+		}
+		if !strings.Contains(body, `"appends": 1`) {
+			t.Errorf("%s does not count the logged delivery:\n%s", url, body)
+		}
+	}
+
+	// Without a store the block stays out of the report entirely.
+	bare := New(Config{})
+	if err := bare.Register(newFakePipe("y", 0), time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	tsBare := httptest.NewServer(bare.Handler())
+	defer tsBare.Close()
+	if _, body, _ := do(t, "GET", tsBare.URL+"/statusz", nil); strings.Contains(body, `"persistence"`) {
+		t.Fatalf("statusz reports persistence without a store:\n%s", body)
+	}
+}

@@ -1,0 +1,249 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/resultlog"
+)
+
+// The crash-recovery differential test: a child server process (this
+// test binary re-executed) is SIGKILLed mid-fleet — no flush, no
+// shutdown hook — restarted over the same data directory, and must
+// serve the latest result, ETag, and history byte-identically, resume
+// webhook cursors, and continue the version sequence with no lost
+// deliveries.
+
+// recoveryChildEnv points the re-executed child at its data directory.
+const recoveryChildEnv = "LIXTO_RECOVERY_DIR"
+
+// TestRecoveryChild is the child half: it only runs when re-executed
+// by TestCrashRecoveryDifferential with the environment set. It serves
+// until killed.
+func TestRecoveryChild(t *testing.T) {
+	dir := os.Getenv(recoveryChildEnv)
+	if dir == "" {
+		t.Skip("helper process for TestCrashRecoveryDifferential")
+	}
+	store, err := resultlog.Open(dir, resultlog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{
+		Addr:                 "127.0.0.1:0",
+		AllowDynamic:         true,
+		ResultStore:          store,
+		MaxCompilesPerMinute: -1,
+		Logf:                 func(string, ...any) {},
+	})
+	if _, err := s.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	go s.Run(context.Background())
+	select {
+	case <-s.Ready():
+	case <-time.After(10 * time.Second):
+		t.Fatal("child never became ready")
+	}
+	// Publish the address atomically; the parent polls for this file.
+	tmp := filepath.Join(dir, ".addr.tmp")
+	if err := os.WriteFile(tmp, []byte(s.Addr()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, "addr.txt")); err != nil {
+		t.Fatal(err)
+	}
+	select {} // run until SIGKILLed by the parent
+}
+
+// recoveryChild manages one child server process.
+type recoveryChild struct {
+	cmd  *exec.Cmd
+	base string
+	out  strings.Builder
+}
+
+func startRecoveryChild(t *testing.T, dir string) *recoveryChild {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, "addr.txt"))
+	c := &recoveryChild{}
+	c.cmd = exec.Command(exe, "-test.run=TestRecoveryChild$")
+	c.cmd.Env = append(os.Environ(), recoveryChildEnv+"="+dir)
+	c.cmd.Stdout = &c.out
+	c.cmd.Stderr = &c.out
+	if err := c.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.kill() })
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if addr, err := os.ReadFile(filepath.Join(dir, "addr.txt")); err == nil {
+			c.base = "http://" + string(addr)
+			if resp, err := http.Get(c.base + "/healthz"); err == nil {
+				resp.Body.Close()
+				return c
+			}
+		}
+		if c.cmd.ProcessState != nil || time.Now().After(deadline) {
+			t.Fatalf("child server never came up; output:\n%s", c.out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// kill SIGKILLs the child — no signal handler, no flush, no shutdown.
+func (c *recoveryChild) kill() {
+	if c.cmd.Process != nil && c.cmd.ProcessState == nil {
+		c.cmd.Process.Kill()
+		c.cmd.Wait()
+	}
+}
+
+func TestCrashRecoveryDifferential(t *testing.T) {
+	if os.Getenv(recoveryChildEnv) != "" {
+		t.Skip("child process")
+	}
+	dir := t.TempDir()
+	sink := newHookSink(t)
+
+	// --- Before the crash: a small fleet with live traffic. ---
+	child := startRecoveryChild(t, dir)
+	for _, name := range []string{"crash", "fleet2"} {
+		code, body, _ := do(t, "POST", child.base+"/v1/wrappers",
+			map[string]any{"name": name, "program": v1Wrapper, "html": v1Page, "auxiliary": []string{"page"}})
+		if code != 201 {
+			t.Fatalf("create %s: %d %s\nchild output:\n%s", name, code, body, child.out.String())
+		}
+	}
+	if code, body, _ := do(t, "POST", child.base+"/v1/wrappers/crash/webhooks",
+		map[string]any{"url": sink.ts.URL, "since": 0}); code != 201 {
+		t.Fatalf("create webhook: %d %s", code, body)
+	}
+	// Three more extractions per wrapper: versions 2..4 (registration
+	// delivered version 1). Every acknowledged response is durable.
+	for i := 2; i <= 4; i++ {
+		page := strings.ReplaceAll(v1Page, "Foundations of Databases", fmt.Sprintf("Edition %d", i))
+		for _, name := range []string{"crash", "fleet2"} {
+			code, body, hdr := do(t, "POST", child.base+"/v1/wrappers/"+name+"/extract",
+				map[string]any{"html": page})
+			if code != 200 {
+				t.Fatalf("extract %s #%d: %d %s", name, i, code, body)
+			}
+			if got := hdr.Get("Lixto-Version"); got != fmt.Sprint(i) {
+				t.Fatalf("extract %s #%d: Lixto-Version %q", name, i, got)
+			}
+		}
+	}
+	// Capture the observable read state. These reads also guarantee the
+	// journal is drained to the WAL before we pull the plug.
+	type wrapperState struct{ latest, etag, history, results string }
+	capture := func(base string) map[string]wrapperState {
+		states := map[string]wrapperState{}
+		for _, name := range []string{"crash", "fleet2"} {
+			code, latest, hdr := do(t, "GET", base+"/"+name, nil)
+			if code != 200 {
+				t.Fatalf("GET /%s: %d", name, code)
+			}
+			_, history, _ := do(t, "GET", base+"/"+name+"/history?since=0", nil)
+			_, results, _ := do(t, "GET", base+"/v1/wrappers/"+name+"/results?since=0", nil)
+			states[name] = wrapperState{latest: latest, etag: hdr.Get("ETag"), history: history, results: results}
+		}
+		return states
+	}
+	before := capture(child.base)
+	// All four versions must reach the sink, and the durable cursor must
+	// record them, before the crash (the acknowledged-state boundary).
+	sink.waitFor(t, "pre-crash deliveries", func(rs []hookReceipt) bool { return len(rs) >= 4 })
+	hooksPath := filepath.Join(dir, "crash", "webhooks.json")
+	waitCursorFile(t, hooksPath, 4)
+
+	// --- The crash. ---
+	child.kill()
+
+	// --- After restart: byte-identical reads, resumed cursors. ---
+	child2 := startRecoveryChild(t, dir)
+	after := capture(child2.base)
+	for _, name := range []string{"crash", "fleet2"} {
+		b, a := before[name], after[name]
+		if a.latest != b.latest {
+			t.Errorf("%s latest diverged:\n--- before ---\n%s\n--- after ---\n%s", name, b.latest, a.latest)
+		}
+		if a.etag != b.etag {
+			t.Errorf("%s ETag diverged: %q -> %q", name, b.etag, a.etag)
+		}
+		if a.history != b.history {
+			t.Errorf("%s history diverged:\n--- before ---\n%s\n--- after ---\n%s", name, b.history, a.history)
+		}
+		if a.results != b.results {
+			t.Errorf("%s results diverged:\n--- before ---\n%s\n--- after ---\n%s", name, b.results, a.results)
+		}
+		// The pre-crash ETag still answers 304 on the restarted server.
+		if code, _, _ := do(t, "GET", child2.base+"/"+name, nil, "If-None-Match", b.etag); code != 304 {
+			t.Errorf("%s conditional GET with pre-crash ETag = %d, want 304", name, code)
+		}
+	}
+	w := waitInfo(t, child2.base+"/v1/wrappers/crash/webhooks/h1", "restored webhook", func(w hookInfo) bool {
+		return w.Cursor >= 4
+	})
+	if w.URL != sink.ts.URL {
+		t.Fatalf("restored webhook url: %+v", w)
+	}
+
+	// New work continues the version sequence and flows to the endpoint:
+	// at-least-once, monotonic cursor, no version ever skipped.
+	code, _, hdr := do(t, "POST", child2.base+"/v1/wrappers/crash/extract",
+		map[string]any{"html": strings.ReplaceAll(v1Page, "Foundations of Databases", "Edition 5")})
+	if code != 200 || hdr.Get("Lixto-Version") != "5" {
+		t.Fatalf("post-restart extract: %d Lixto-Version=%q", code, hdr.Get("Lixto-Version"))
+	}
+	got := sink.waitFor(t, "post-restart delivery", func(rs []hookReceipt) bool {
+		return len(rs) > 0 && rs[len(rs)-1].version == 5
+	})
+	seen := map[uint64]bool{}
+	var last uint64
+	for _, r := range got {
+		if r.version < last {
+			t.Fatalf("webhook versions regressed: %d after %d (%+v)", r.version, last, got)
+		}
+		last = r.version
+		seen[r.version] = true
+	}
+	for v := uint64(1); v <= 5; v++ {
+		if !seen[v] {
+			t.Fatalf("version %d never delivered (lost delivery): %+v", v, got)
+		}
+	}
+	child2.kill()
+}
+
+// waitCursorFile polls the webhook sidecar until its cursor reaches
+// want — the durable at-least-once boundary the crash test cuts at.
+func waitCursorFile(t *testing.T, path string, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var metas []hookMeta
+		if data, err := os.ReadFile(path); err == nil {
+			if json.Unmarshal(data, &metas) == nil && len(metas) == 1 && metas[0].Cursor >= want {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("webhook cursor never persisted to %d: %+v", want, metas)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

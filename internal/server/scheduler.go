@@ -44,6 +44,11 @@ type pipeState struct {
 	// the SSE watch hub. Read handlers reach it through the lock-free
 	// registry (Server.readPipe), never through s.mu.
 	deliver delivery
+
+	// hooks is the pipeline's outbound webhook registry (webhook.go);
+	// wired to the delivery plane by Server.initPipe so publishes nudge
+	// the dispatchers.
+	hooks hookSet
 }
 
 func (ps *pipeState) tickOnce() {

@@ -44,6 +44,7 @@ import (
 
 	"repro/internal/elog"
 	"repro/internal/fetchcache"
+	"repro/internal/resultlog"
 	"repro/internal/transform"
 	"repro/internal/xmlenc"
 )
@@ -130,6 +131,27 @@ type Config struct {
 	// Its counters appear on /statusz and GET /v1/wrappers as
 	// "match_cache". Pair with SharedCache to also share the fetches.
 	MatchCache *elog.MatchCache
+	// ResultStore, when set, is the durable delivery layer
+	// (internal/resultlog): every pipeline's results are journaled to a
+	// per-wrapper append-only log, Restore rehydrates rings, snapshots,
+	// dynamic registrations and webhook cursors after a restart, and
+	// the store's counters appear on /statusz as "persistence".
+	ResultStore *resultlog.Store
+	// WebhookTimeout bounds one outbound webhook POST (default 5s).
+	WebhookTimeout time.Duration
+	// WebhookMaxAttempts is how many consecutive failures one delivery
+	// may burn before the endpoint's circuit breaker opens (default 6).
+	WebhookMaxAttempts int
+	// WebhookBackoffMin/Max bound the exponential retry backoff
+	// (defaults 100ms / 30s).
+	WebhookBackoffMin time.Duration
+	WebhookBackoffMax time.Duration
+	// WebhookCooldown is how long an open breaker waits before its
+	// half-open probe (default 30s).
+	WebhookCooldown time.Duration
+	// MaxWebhooksPerWrapper caps endpoint registrations per wrapper
+	// (default 16).
+	MaxWebhooksPerWrapper int
 	// Logf, when set, receives server lifecycle messages.
 	Logf func(format string, args ...any)
 }
@@ -177,6 +199,24 @@ func (c *Config) withDefaults() Config {
 	}
 	if out.WatchHeartbeat <= 0 {
 		out.WatchHeartbeat = 15 * time.Second
+	}
+	if out.WebhookTimeout <= 0 {
+		out.WebhookTimeout = 5 * time.Second
+	}
+	if out.WebhookMaxAttempts <= 0 {
+		out.WebhookMaxAttempts = 6
+	}
+	if out.WebhookBackoffMin <= 0 {
+		out.WebhookBackoffMin = 100 * time.Millisecond
+	}
+	if out.WebhookBackoffMax <= 0 {
+		out.WebhookBackoffMax = 30 * time.Second
+	}
+	if out.WebhookCooldown <= 0 {
+		out.WebhookCooldown = 30 * time.Second
+	}
+	if out.MaxWebhooksPerWrapper <= 0 {
+		out.MaxWebhooksPerWrapper = 16
 	}
 	if out.SchedulerJitter > 0.5 {
 		// Above 0.5 the jittered deadline could approach zero delay,
@@ -235,6 +275,15 @@ func validName(name string) bool {
 	return !strings.ContainsAny(name, "/?#%")
 }
 
+// initPipe wires a freshly built pipeState's delivery plane: the
+// webhook registry and, when a result store is configured, the WAL
+// journal. Must run before the pipeline's first tick.
+func (s *Server) initPipe(ps *pipeState) error {
+	ps.hooks.init(s, ps)
+	ps.deliver.hooks = &ps.hooks
+	return s.attachPersist(ps)
+}
+
 // Register adds a pipeline ticking at the given interval (0 uses the
 // configured default). It fails on duplicate or reserved names. For
 // registration while the server is running, see RegisterDynamic.
@@ -255,6 +304,9 @@ func (s *Server) Register(p Pipeline, interval time.Duration) error {
 		return fmt.Errorf("server: duplicate pipeline %q", name)
 	}
 	ps := &pipeState{p: p, name: name, interval: interval}
+	if err := s.initPipe(ps); err != nil {
+		return err
+	}
 	s.pipes[name] = ps
 	s.order = append(s.order, name)
 	s.readPipes.Store(name, ps)
@@ -288,6 +340,9 @@ func (s *Server) RegisterDynamic(p Pipeline, interval time.Duration, onDemand bo
 	}
 	ps := &pipeState{p: p, name: name, interval: interval, dynamic: true, onDemand: onDemand,
 		skipFirst: true, registering: true}
+	if err := s.initPipe(ps); err != nil {
+		return err
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -313,6 +368,11 @@ func (s *Server) RegisterDynamic(p Pipeline, interval time.Duration, onDemand bo
 	}(); msg != "" {
 		s.removePipeIf(name, ps)
 		closePipe(ps.p)
+		if s.cfg.ResultStore != nil {
+			// The rejected wrapper's validation tick may have journaled;
+			// its log must not survive a registration that failed.
+			s.cfg.ResultStore.Remove(name)
+		}
 		return fmt.Errorf("server: wrapper %q: %w: %s", name, errFirstTick, msg)
 	}
 
@@ -361,6 +421,12 @@ func (s *Server) Deregister(name string) error {
 		sched.remove(entry)
 	}
 	closePipe(ps.p)
+	if s.cfg.ResultStore != nil {
+		// A retired wrapper's history and webhook cursors do not outlive
+		// its registration (the hook set was closed by removePipeLocked,
+		// so no dispatcher recreates the directory).
+		s.cfg.ResultStore.Remove(name)
+	}
 	s.cfg.Logf("server: deregistered pipeline %q", name)
 	return nil
 }
@@ -442,8 +508,10 @@ func (s *Server) removePipeLocked(name string) {
 	}
 	if ps != nil {
 		// Watch subscribers observe the hub close and end their streams
-		// with an "event: close" frame.
+		// with an "event: close" frame; webhook dispatchers stop and
+		// persist their final cursors.
 		ps.deliver.hub.close()
+		ps.hooks.close()
 	}
 }
 
@@ -523,6 +591,16 @@ func (s *Server) Run(ctx context.Context) error {
 		// by long-lived subscribers.
 		s.drainOnce.Do(func() { close(s.drainCh) })
 		sc.stopAndDrain()
+		// Stop webhook dispatchers and persist their final cursors, then
+		// flush the result log so the next process starts from exactly
+		// this state.
+		s.readPipes.Range(func(_, v any) bool {
+			v.(*pipeState).hooks.close()
+			return true
+		})
+		if s.cfg.ResultStore != nil {
+			s.cfg.ResultStore.Sync()
+		}
 	}
 
 	select {
@@ -558,6 +636,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/wrappers/{name}/extract", s.v1WrapperExtract)
 	mux.HandleFunc("/v1/wrappers/{name}/results", s.v1Results)
 	mux.HandleFunc("/v1/wrappers/{name}/watch", s.v1Watch)
+	mux.HandleFunc("/v1/wrappers/{name}/webhooks", s.v1Webhooks)
+	mux.HandleFunc("/v1/wrappers/{name}/webhooks/{id}", s.v1Webhook)
 	mux.HandleFunc("/v1/extract", s.v1Extract)
 	mux.HandleFunc("/v1/wrappers/{name}/{rest...}", s.v1NotFound)
 	if s.cfg.EnablePprof {
@@ -622,8 +702,10 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 		http.NotFound(w, r)
 		return
 	}
+	hasN := r.URL.Query().Get("n") != ""
 	n := 10
-	if q := r.URL.Query().Get("n"); q != "" {
+	if hasN {
+		q := r.URL.Query().Get("n")
 		v, err := strconv.Atoi(q)
 		if err != nil || v < 1 {
 			writeError(w, http.StatusBadRequest, "bad_request",
@@ -634,6 +716,26 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	}
 	out := ps.p.Output()
 	asJSON := wantsJSON(r)
+	if since, ok, valid := parseSince(w, r); !valid {
+		return
+	} else if ok {
+		// Cursor mode: the retained results strictly after `since`,
+		// oldest first, each stamped with its delivery version so the
+		// client can advance its cursor. Uncached — the cursor space is
+		// unbounded.
+		if !hasN {
+			n = 0
+		}
+		body, err := sinceBody(out, "history", ps.p.PipeName(), since, n, asJSON)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		setReadRouteHeaders(w, asJSON)
+		w.Header().Set("Lixto-Version", strconv.FormatUint(out.Version(), 10))
+		w.Write(body)
+		return
+	}
 	body, err := ps.deliver.history(out, histKey{n: n, json: asJSON}, func() ([]byte, error) {
 		docs := out.History(n)
 		if asJSON {
@@ -651,6 +753,47 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	}
 	setReadRouteHeaders(w, asJSON)
 	w.Write(body)
+}
+
+// parseSince reads the optional ?since=<version> cursor. The third
+// return is false when the parameter was present but malformed (a 400
+// envelope has been written).
+func parseSince(w http.ResponseWriter, r *http.Request) (uint64, bool, bool) {
+	q := r.URL.Query().Get("since")
+	if q == "" {
+		return 0, false, true
+	}
+	v, err := strconv.ParseUint(q, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Sprintf("query parameter since must be a non-negative integer, got %q", q), nil)
+		return 0, false, false
+	}
+	return v, true, true
+}
+
+// sinceBody renders the cursor-mode list shared by GET /{name}/history
+// and GET /v1/.../results: each retained result with version > since,
+// oldest first, wrapped in a <result version="N"> element (a JSON
+// object of the same shape under Accept: application/json).
+func sinceBody(out *transform.Collector, rootName, name string, since uint64, n int, asJSON bool) ([]byte, error) {
+	docs, vers := out.HistorySince(since, n)
+	items := make([]*xmlenc.Node, len(docs))
+	for i, doc := range docs {
+		item := xmlenc.NewElement("result")
+		item.SetAttr("version", strconv.FormatUint(vers[i], 10))
+		item.Append(doc)
+		items[i] = item
+	}
+	if asJSON {
+		return xmlenc.MarshalJSONList(items)
+	}
+	root := xmlenc.NewElement(rootName)
+	root.SetAttr("name", name)
+	root.SetAttr("count", strconv.Itoa(len(items)))
+	root.SetAttr("since", strconv.FormatUint(since, 10))
+	root.Append(items...)
+	return xmlenc.MarshalIndentBytes(root), nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
@@ -724,12 +867,16 @@ func (s *Server) statusReport() map[string]any {
 		"pipelines": s.Status(),
 		"scheduler": s.SchedulerStatus(),
 		"delivery":  s.DeliveryStatus(),
+		"webhooks":  s.WebhookStatus(),
 	}
 	if s.cfg.SharedCache != nil {
 		report["shared_cache"] = s.cfg.SharedCache.Stats()
 	}
 	if s.cfg.MatchCache != nil {
 		report["match_cache"] = s.cfg.MatchCache.Report()
+	}
+	if s.cfg.ResultStore != nil {
+		report["persistence"] = s.cfg.ResultStore.Stats()
 	}
 	return report
 }

@@ -213,11 +213,13 @@ type wrapperInfo struct {
 	Dynamic  bool     `json:"dynamic"`
 	OnDemand bool     `json:"on_demand,omitempty"`
 	Patterns []string `json:"patterns,omitempty"`
+	Webhooks int      `json:"webhooks,omitempty"`
 }
 
 func (s *Server) wrapperInfo(name string, ps *pipeState) wrapperInfo {
 	dynamic, onDemand := ps.flags()
-	info := wrapperInfo{PipelineStatus: ps.status(name), Dynamic: dynamic, OnDemand: onDemand}
+	info := wrapperInfo{PipelineStatus: ps.status(name), Dynamic: dynamic, OnDemand: onDemand,
+		Webhooks: ps.hooks.count()}
 	if d, ok := ps.p.(*dynPipeline); ok {
 		info.Patterns = d.w.Patterns()
 	}
@@ -257,12 +259,15 @@ func (s *Server) v1ListWrappers(w http.ResponseWriter, _ *http.Request) {
 		}
 	}
 	body := map[string]any{"wrappers": infos, "scheduler": s.SchedulerStatus(),
-		"delivery": s.DeliveryStatus()}
+		"delivery": s.DeliveryStatus(), "webhooks": s.WebhookStatus()}
 	if s.cfg.SharedCache != nil {
 		body["shared_cache"] = s.cfg.SharedCache.Stats()
 	}
 	if s.cfg.MatchCache != nil {
 		body["match_cache"] = s.cfg.MatchCache.Report()
+	}
+	if s.cfg.ResultStore != nil {
+		body["persistence"] = s.cfg.ResultStore.Stats()
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -337,6 +342,13 @@ func (s *Server) v1CreateWrapper(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, "bad_request", err.Error(), nil)
 		}
 		return
+	}
+	if store := s.cfg.ResultStore; store != nil {
+		// Persist the spec so a restart recompiles and re-registers the
+		// wrapper (Server.Restore) with its history intact.
+		if err := store.SaveMeta(spec.Name, specFile, spec); err != nil {
+			s.cfg.Logf("server: persist spec for %q: %v", spec.Name, err)
+		}
 	}
 	writeJSON(w, http.StatusCreated, map[string]any{
 		"name":        spec.Name,
@@ -506,13 +518,15 @@ func (s *Server) v1WrapperExtract(w http.ResponseWriter, r *http.Request) {
 	}
 	doc := res.XML()
 	// A one-shot result is a delivery like any other: it lands in the
-	// wrapper's collector, shows up under .../results, and fans out to
-	// watch subscribers.
+	// wrapper's collector, shows up under .../results, fans out to
+	// watch subscribers and webhooks, and — when persistence is on —
+	// reaches the result log before this response acknowledges it.
 	if _, err := d.out.Process("extract", doc); err != nil {
 		writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
 		return
 	}
 	ps.deliver.snapshot(d.out)
+	w.Header().Set("Lixto-Version", strconv.FormatUint(d.out.Version(), 10))
 	writeDoc(w, r, doc)
 }
 
@@ -544,6 +558,36 @@ func (s *Server) v1Results(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	vals, listed := r.URL.Query()["n"]
+	since, hasSince, valid := parseSince(w, r)
+	if !valid {
+		return
+	}
+	if hasSince {
+		// Cursor mode: everything retained after `since`, oldest first,
+		// version-stamped. ?n caps the page; the client pages forward by
+		// re-requesting with the last version it saw.
+		n := 0
+		if listed {
+			v, err := strconv.Atoi(vals[0])
+			if err != nil || v < 1 {
+				writeError(w, http.StatusBadRequest, "bad_request",
+					fmt.Sprintf("query parameter n must be a positive integer, got %q", vals[0]), nil)
+				return
+			}
+			n = v
+		}
+		out := ps.p.Output()
+		asJSON := wantsJSON(r)
+		body, err := sinceBody(out, "results", name, since, n, asJSON)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, "internal", err.Error(), nil)
+			return
+		}
+		setReadRouteHeaders(w, asJSON)
+		w.Header().Set("Lixto-Version", strconv.FormatUint(out.Version(), 10))
+		w.Write(body)
+		return
+	}
 	if !listed {
 		// Without ?n= the latest result is served raw — byte-identical
 		// to running the same program through cmd/elogc — straight from

@@ -3,9 +3,27 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/xmlenc"
 )
+
+// sseEventFor frames one historical document as an "event: result"
+// event during Last-Event-ID replay. Replay is rare, so these frames
+// are built ad hoc rather than cached like live snapshot frames.
+func sseEventFor(doc *xmlenc.Node, ver uint64, asJSON bool) []byte {
+	payload := xmlenc.MarshalIndentBytes(doc)
+	if asJSON {
+		body, err := xmlenc.MarshalJSONIndent(doc)
+		if err != nil {
+			body = []byte(`{"error":"encoding failure"}`)
+		}
+		payload = body
+	}
+	return sseFrameFor(payload, ver)
+}
 
 // The change feed: GET /v1/wrappers/{name}/watch streams each new
 // result snapshot to every subscriber as a Server-Sent Event. The hub
@@ -212,13 +230,39 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 	h.Add("Vary", "Accept")
 	w.WriteHeader(http.StatusOK)
 
-	// Send the current state immediately so a new subscriber does not
-	// wait for the next change; remember its sequence to dedupe a
-	// broadcast that raced the subscription.
-	var lastSeq uint64
-	if sn := ps.deliver.snapshot(ps.p.Output()); sn != nil {
+	// A reconnecting subscriber presents its last seen delivery version
+	// (the SSE id) via Last-Event-ID — or ?since= for hand-rolled
+	// clients — and missed snapshots replay from the retained history
+	// before live streaming resumes. Repeated ring entries (suppressed
+	// no-op ticks) advance the cursor without re-sending.
+	var lastVer uint64
+	replaying := false
+	if lei := r.Header.Get("Last-Event-ID"); lei != "" {
+		if v, err := strconv.ParseUint(lei, 10, 64); err == nil {
+			lastVer, replaying = v, true
+		}
+	}
+	if q := r.URL.Query().Get("since"); q != "" && !replaying {
+		if v, err := strconv.ParseUint(q, 10, 64); err == nil {
+			lastVer, replaying = v, true
+		}
+	}
+	if replaying {
+		docs, vers := ps.p.Output().HistorySince(lastVer, 0)
+		var prev *xmlenc.Node
+		for i, doc := range docs {
+			if doc != prev {
+				w.Write(sseEventFor(doc, vers[i], asJSON))
+				prev = doc
+			}
+			lastVer = vers[i]
+		}
+	} else if sn := ps.deliver.snapshot(ps.p.Output()); sn != nil {
+		// Send the current state immediately so a new subscriber does
+		// not wait for the next change; remember its version to dedupe a
+		// broadcast that raced the subscription.
 		w.Write(sn.sseFrame(asJSON))
-		lastSeq = sn.seq
+		lastVer = sn.ver
 	}
 	fl.Flush()
 
@@ -236,10 +280,10 @@ func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
 				closeEvent("deregistered")
 				return
 			}
-			if sn.seq <= lastSeq {
+			if sn.ver <= lastVer {
 				continue
 			}
-			lastSeq = sn.seq
+			lastVer = sn.ver
 			w.Write(sn.sseFrame(asJSON))
 			fl.Flush()
 		case <-r.Context().Done():

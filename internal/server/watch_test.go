@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -461,6 +462,79 @@ func TestWatchLifecycleStress(t *testing.T) {
 	}
 	if code, _, _ := get(t, ts.URL+"/churn"); code != 200 {
 		t.Fatalf("post-stress read: %d", code)
+	}
+}
+
+// TestWatchCloseEventWireFormat pins the exact close-event bytes on
+// the wire. Clients key on these strings; changing either is a
+// breaking protocol change.
+func TestWatchCloseEventWireFormat(t *testing.T) {
+	s := New(Config{})
+	p := newFakePipe("pin", 0)
+	if err := s.RegisterDynamic(p, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/v1/wrappers/pin/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	done := make(chan string, 1)
+	go func() {
+		raw, _ := io.ReadAll(resp.Body)
+		done <- string(raw)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the initial frame flush
+	if err := s.Deregister("pin"); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case raw := <-done:
+		if !strings.HasSuffix(raw, "event: close\ndata: deregistered\n\n") {
+			t.Fatalf("deregister close frame not byte-exact; stream tail: %q", raw[max(0, len(raw)-80):])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not end after deregister")
+	}
+
+	// The drain variant: a running server cancelled with an open stream.
+	p2 := newFakePipe("pin2", 0)
+	s2 := New(Config{Addr: "127.0.0.1:0"})
+	if err := s2.Register(p2, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.Tick(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan error, 1)
+	go func() { runDone <- s2.Run(ctx) }()
+	<-s2.Ready()
+	resp2, err := http.Get("http://" + s2.Addr() + "/v1/wrappers/pin2/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	done2 := make(chan string, 1)
+	go func() {
+		raw, _ := io.ReadAll(resp2.Body)
+		done2 <- string(raw)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case raw := <-done2:
+		if !strings.HasSuffix(raw, "event: close\ndata: shutting down\n\n") {
+			t.Fatalf("shutdown close frame not byte-exact; stream tail: %q", raw[max(0, len(raw)-80):])
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("stream did not end after shutdown")
+	}
+	if err := <-runDone; err != nil {
+		t.Fatal(err)
 	}
 }
 

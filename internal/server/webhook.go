@@ -1,0 +1,598 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/resultlog"
+	"repro/internal/xmlenc"
+)
+
+// Outbound webhooks: push delivery for subscribers that cannot hold an
+// SSE connection. Each registered endpoint gets its own dispatcher
+// goroutine walking the wrapper's result sequence behind a durable
+// cursor (the last delivered version): new snapshots are POSTed in
+// order, failures retry with exponential backoff and jitter, and a
+// run of failures past the attempt cap opens a circuit breaker that
+// cools down before probing again. The cursor only ever advances past
+// a version once that snapshot has been accepted (2xx), so delivery is
+// at-least-once — a crash re-sends at most the redelivery window
+// between cursor persists, never skips.
+//
+//	POST   /v1/wrappers/{name}/webhooks        register {"url": ...}
+//	GET    /v1/wrappers/{name}/webhooks        list endpoints + cursors
+//	GET    /v1/wrappers/{name}/webhooks/{id}   one endpoint's status
+//	DELETE /v1/wrappers/{name}/webhooks/{id}   retire an endpoint
+
+// hookBatch bounds how many records one dispatcher pass pulls from the
+// log or the ring.
+const hookBatch = 16
+
+// hookSaveDebounce coalesces cursor persists: an endpoint delivering a
+// burst writes its sidecar once per window, not once per delivery.
+// This is the redelivery window after a crash.
+const hookSaveDebounce = 200 * time.Millisecond
+
+// errStopFetch aborts a log replay once the batch is full.
+var errStopFetch = errors.New("server: webhook batch full")
+
+// hookMeta is the persisted form of one endpoint (webhooks.json).
+type hookMeta struct {
+	ID     string `json:"id"`
+	URL    string `json:"url"`
+	Cursor uint64 `json:"cursor"`
+}
+
+// hookEndpoint is one registered webhook and its dispatcher state.
+type hookEndpoint struct {
+	id     string
+	url    string
+	hs     *hookSet
+	notify chan struct{} // buffered(1): new results may be available
+	done   chan struct{} // closed to stop the dispatcher
+
+	mu           sync.Mutex
+	cursor       uint64 // last delivered (or skipped-noop) version
+	state        string // "idle" | "delivering" | "retrying" | "open"
+	attempts     int    // consecutive failures on the current record
+	deliveries   uint64
+	failures     uint64
+	retries      uint64
+	opens        uint64
+	lastErr      string
+	lastDelivery time.Time
+}
+
+// hookInfo is an endpoint's JSON rendering in the /v1 responses.
+type hookInfo struct {
+	ID           string `json:"id"`
+	URL          string `json:"url"`
+	Cursor       uint64 `json:"cursor"`
+	State        string `json:"state"`
+	Deliveries   uint64 `json:"deliveries"`
+	Failures     uint64 `json:"failures"`
+	Retries      uint64 `json:"retries"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+	LastError    string `json:"last_error,omitempty"`
+	LastDelivery string `json:"last_delivery,omitempty"`
+}
+
+func (e *hookEndpoint) info() hookInfo {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	info := hookInfo{
+		ID: e.id, URL: e.url, Cursor: e.cursor, State: e.state,
+		Deliveries: e.deliveries, Failures: e.failures, Retries: e.retries,
+		BreakerOpens: e.opens, LastError: e.lastErr,
+	}
+	if !e.lastDelivery.IsZero() {
+		info.LastDelivery = e.lastDelivery.UTC().Format(time.RFC3339Nano)
+	}
+	return info
+}
+
+// hookSet is a pipeline's webhook registry. Zero value is inert until
+// init wires it to its server and pipeline.
+type hookSet struct {
+	s  *Server
+	ps *pipeState
+
+	mu        sync.Mutex
+	endpoints map[string]*hookEndpoint
+	nextID    int
+	closed    bool
+	saveTimer *time.Timer // debounced cursor persist
+}
+
+func (hs *hookSet) init(s *Server, ps *pipeState) {
+	hs.s = s
+	hs.ps = ps
+}
+
+// notify nudges every dispatcher; called from the publish path, so it
+// must never block (channels are buffered and the send is dropped when
+// a nudge is already pending).
+func (hs *hookSet) notify() {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	for _, e := range hs.endpoints {
+		select {
+		case e.notify <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// add registers an endpoint and starts its dispatcher. cursor is the
+// version to resume after (deliveries start at cursor+1).
+func (hs *hookSet) add(id, rawurl string, cursor uint64) (*hookEndpoint, error) {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if hs.closed {
+		return nil, errShuttingDown
+	}
+	maxHooks := hs.s.cfg.MaxWebhooksPerWrapper
+	if len(hs.endpoints) >= maxHooks {
+		return nil, fmt.Errorf("webhook limit of %d per wrapper reached", maxHooks)
+	}
+	if id == "" {
+		hs.nextID++
+		id = "h" + strconv.Itoa(hs.nextID)
+	} else if n, err := strconv.Atoi(strings.TrimPrefix(id, "h")); err == nil && n > hs.nextID {
+		hs.nextID = n // restored ids keep the counter ahead
+	}
+	if _, dup := hs.endpoints[id]; dup {
+		return nil, fmt.Errorf("duplicate webhook id %q", id)
+	}
+	e := &hookEndpoint{
+		id: id, url: rawurl, hs: hs,
+		notify: make(chan struct{}, 1),
+		done:   make(chan struct{}),
+		cursor: cursor,
+		state:  "idle",
+	}
+	if hs.endpoints == nil {
+		hs.endpoints = map[string]*hookEndpoint{}
+	}
+	hs.endpoints[id] = e
+	go e.run()
+	return e, nil
+}
+
+// remove retires one endpoint: its dispatcher stops and the sidecar is
+// rewritten without it.
+func (hs *hookSet) remove(id string) bool {
+	hs.mu.Lock()
+	e := hs.endpoints[id]
+	if e != nil {
+		delete(hs.endpoints, id)
+	}
+	hs.mu.Unlock()
+	if e == nil {
+		return false
+	}
+	close(e.done)
+	hs.save()
+	return true
+}
+
+// close stops every dispatcher and persists final cursors. Signal-only
+// (it does not join the goroutines): it is called with server locks
+// held on deregistration and drain.
+func (hs *hookSet) close() {
+	hs.mu.Lock()
+	if hs.closed {
+		hs.mu.Unlock()
+		return
+	}
+	hs.closed = true
+	if hs.saveTimer != nil {
+		hs.saveTimer.Stop()
+		hs.saveTimer = nil
+	}
+	endpoints := make([]*hookEndpoint, 0, len(hs.endpoints))
+	for _, e := range hs.endpoints {
+		endpoints = append(endpoints, e)
+	}
+	hs.mu.Unlock()
+	for _, e := range endpoints {
+		close(e.done)
+	}
+	hs.persistNow(false)
+}
+
+// list returns the endpoints sorted by id.
+func (hs *hookSet) list() []*hookEndpoint {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	out := make([]*hookEndpoint, 0, len(hs.endpoints))
+	for _, e := range hs.endpoints {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
+}
+
+func (hs *hookSet) get(id string) *hookEndpoint {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	return hs.endpoints[id]
+}
+
+// scheduleSave debounces a cursor persist.
+func (hs *hookSet) scheduleSave() {
+	if hs.s.cfg.ResultStore == nil {
+		return
+	}
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	if hs.closed || hs.saveTimer != nil {
+		return
+	}
+	hs.saveTimer = time.AfterFunc(hookSaveDebounce, func() {
+		hs.mu.Lock()
+		hs.saveTimer = nil
+		hs.mu.Unlock()
+		hs.persistNow(true)
+	})
+}
+
+// save persists the registration set immediately (registration
+// changes, shutdown).
+func (hs *hookSet) save() { hs.persistNow(true) }
+
+// persistNow writes webhooks.json. checkClosed skips the write once
+// the set closed (a deregistered wrapper's store dir is being
+// removed; recreating it would leak).
+func (hs *hookSet) persistNow(checkClosed bool) {
+	store := hs.s.cfg.ResultStore
+	if store == nil {
+		return
+	}
+	hs.mu.Lock()
+	if checkClosed && hs.closed {
+		hs.mu.Unlock()
+		return
+	}
+	metas := make([]hookMeta, 0, len(hs.endpoints))
+	for _, e := range hs.endpoints {
+		e.mu.Lock()
+		metas = append(metas, hookMeta{ID: e.id, URL: e.url, Cursor: e.cursor})
+		e.mu.Unlock()
+	}
+	hs.mu.Unlock()
+	sort.Slice(metas, func(i, j int) bool { return metas[i].ID < metas[j].ID })
+	if err := store.SaveMeta(hs.ps.name, hooksFile, metas); err != nil {
+		hs.s.cfg.Logf("server: webhook persist for %q: %v", hs.ps.name, err)
+	}
+}
+
+// restore reloads the persisted endpoints and restarts their
+// dispatchers from the durable cursors.
+func (hs *hookSet) restore() error {
+	store := hs.s.cfg.ResultStore
+	if store == nil {
+		return nil
+	}
+	var metas []hookMeta
+	if err := store.LoadMeta(hs.ps.name, hooksFile, &metas); err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return err
+	}
+	for _, m := range metas {
+		if _, err := hs.add(m.ID, m.URL, m.Cursor); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// fetchSince returns up to limit records with versions after cursor:
+// from the result log when persistence is attached (long retention,
+// pre-encoded bytes), else from the in-memory ring (re-encoded on
+// demand; repeated documents — the ring's no-op duplicates — become
+// version-only records so cursors advance without re-sending).
+func (hs *hookSet) fetchSince(cursor uint64, limit int) []resultlog.Record {
+	if pp := hs.ps.deliver.persist; pp != nil {
+		out := make([]resultlog.Record, 0, limit)
+		pp.log.Since(cursor, func(rec resultlog.Record) error {
+			out = append(out, rec)
+			if len(out) >= limit {
+				return errStopFetch
+			}
+			return nil
+		})
+		return out
+	}
+	docs, vers := hs.ps.p.Output().HistorySince(cursor, limit)
+	out := make([]resultlog.Record, 0, len(docs))
+	for i, doc := range docs {
+		rec := resultlog.Record{Version: vers[i]}
+		if i > 0 && doc == docs[i-1] {
+			rec.Kind = resultlog.KindNoop
+		} else {
+			rec.Kind = resultlog.KindSnapshot
+			rec.XML = xmlenc.MarshalIndentBytes(doc)
+		}
+		out = append(out, rec)
+	}
+	return out
+}
+
+// run is the per-endpoint dispatcher goroutine.
+func (e *hookEndpoint) run() {
+	cfg := &e.hs.s.cfg
+	client := &http.Client{Timeout: cfg.WebhookTimeout}
+	for {
+		e.mu.Lock()
+		cursor := e.cursor
+		e.mu.Unlock()
+		recs := e.hs.fetchSince(cursor, hookBatch)
+		if len(recs) == 0 {
+			e.setState("idle")
+			select {
+			case <-e.notify:
+				continue
+			case <-e.done:
+				return
+			}
+		}
+		for _, rec := range recs {
+			if rec.Kind != resultlog.KindSnapshot || len(rec.XML) == 0 {
+				e.advance(rec.Version)
+				continue
+			}
+			if !e.deliverOne(client, rec) {
+				return // stopped
+			}
+		}
+	}
+}
+
+// deliverOne POSTs one snapshot until it is accepted, backing off on
+// failure and opening the breaker past the attempt cap. It never
+// skips: at-least-once means a dead endpoint blocks its own cursor,
+// not that versions vanish. Returns false when the dispatcher should
+// stop.
+func (e *hookEndpoint) deliverOne(client *http.Client, rec resultlog.Record) bool {
+	cfg := &e.hs.s.cfg
+	for {
+		err := e.post(client, rec)
+		if err == nil {
+			e.mu.Lock()
+			e.deliveries++
+			e.attempts = 0
+			e.state = "delivering"
+			e.lastErr = ""
+			e.lastDelivery = time.Now()
+			e.mu.Unlock()
+			e.advance(rec.Version)
+			return true
+		}
+		e.mu.Lock()
+		e.failures++
+		e.attempts++
+		attempts := e.attempts
+		e.lastErr = err.Error()
+		e.mu.Unlock()
+		var wait time.Duration
+		if attempts >= cfg.WebhookMaxAttempts {
+			// Breaker opens: cool down, then the loop's next pass is the
+			// half-open probe. The cursor stays put.
+			e.mu.Lock()
+			e.state = "open"
+			e.opens++
+			e.attempts = cfg.WebhookMaxAttempts - 1
+			e.mu.Unlock()
+			wait = cfg.WebhookCooldown
+		} else {
+			e.setState("retrying")
+			e.mu.Lock()
+			e.retries++
+			e.mu.Unlock()
+			wait = backoffDelay(cfg.WebhookBackoffMin, cfg.WebhookBackoffMax, attempts)
+		}
+		select {
+		case <-time.After(wait):
+		case <-e.done:
+			return false
+		}
+	}
+}
+
+// backoffDelay is exponential backoff with full jitter: min·2^(n-1)
+// capped at max, scaled by a random factor in [0.5, 1.0] so a fleet of
+// endpoints retrying against one dead sink decorrelates.
+func backoffDelay(min, max time.Duration, attempt int) time.Duration {
+	d := min << (attempt - 1)
+	if d > max || d <= 0 {
+		d = max
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
+}
+
+// post delivers one record. Any 2xx is acceptance; anything else (or a
+// transport error, or the timeout) is a retryable failure.
+func (e *hookEndpoint) post(client *http.Client, rec resultlog.Record) error {
+	req, err := http.NewRequest(http.MethodPost, e.url, bytes.NewReader(rec.XML))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/xml; charset=utf-8")
+	req.Header.Set("Lixto-Wrapper", e.hs.ps.name)
+	req.Header.Set("Lixto-Version", strconv.FormatUint(rec.Version, 10))
+	req.Header.Set("Lixto-Webhook", e.id)
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		return fmt.Errorf("endpoint returned %s", resp.Status)
+	}
+	return nil
+}
+
+// advance moves the cursor monotonically and schedules its persist.
+func (e *hookEndpoint) advance(version uint64) {
+	e.mu.Lock()
+	if version > e.cursor {
+		e.cursor = version
+	}
+	e.mu.Unlock()
+	e.hs.scheduleSave()
+}
+
+func (e *hookEndpoint) setState(state string) {
+	e.mu.Lock()
+	e.state = state
+	e.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Stats.
+
+// WebhookStatus aggregates the webhook counters across all pipelines;
+// the "webhooks" block on /statusz and GET /v1/wrappers.
+type WebhookStatus struct {
+	// Endpoints is the number of registered webhook endpoints;
+	// BreakerOpen of them are currently cooling down after exhausting
+	// their attempts.
+	Endpoints   int `json:"endpoints"`
+	BreakerOpen int `json:"breaker_open"`
+	// Deliveries counts accepted POSTs; Failures counts rejected or
+	// timed-out attempts; Retries counts backoff waits; BreakerOpens
+	// counts circuit-breaker trips.
+	Deliveries   uint64 `json:"deliveries"`
+	Failures     uint64 `json:"failures"`
+	Retries      uint64 `json:"retries"`
+	BreakerOpens uint64 `json:"breaker_opens"`
+}
+
+// WebhookStatus returns the webhook counters summed over the currently
+// registered pipelines.
+func (s *Server) WebhookStatus() WebhookStatus {
+	var ws WebhookStatus
+	s.readPipes.Range(func(_, v any) bool {
+		ps := v.(*pipeState)
+		for _, e := range ps.hooks.list() {
+			e.mu.Lock()
+			ws.Endpoints++
+			if e.state == "open" {
+				ws.BreakerOpen++
+			}
+			ws.Deliveries += e.deliveries
+			ws.Failures += e.failures
+			ws.Retries += e.retries
+			ws.BreakerOpens += e.opens
+			e.mu.Unlock()
+		}
+		return true
+	})
+	return ws
+}
+
+// hookCount returns the number of registered endpoints (wrapperInfo).
+func (hs *hookSet) count() int {
+	hs.mu.Lock()
+	defer hs.mu.Unlock()
+	return len(hs.endpoints)
+}
+
+// ---------------------------------------------------------------------
+// HTTP handlers.
+
+// webhookSpec is the POST .../webhooks body.
+type webhookSpec struct {
+	// URL receives each new snapshot as an XML POST.
+	URL string `json:"url"`
+	// Since, when set, starts delivery after this version (0 replays
+	// everything still retained). Absent means "from now": only results
+	// newer than the current version are delivered.
+	Since *uint64 `json:"since,omitempty"`
+}
+
+func (s *Server) v1Webhooks(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	ps := s.readPipe(name)
+	if ps == nil {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no wrapper %q", name), nil)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		infos := make([]hookInfo, 0)
+		for _, e := range ps.hooks.list() {
+			infos = append(infos, e.info())
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"name": name, "webhooks": infos})
+	case http.MethodPost:
+		var spec webhookSpec
+		if !s.decodeJSON(w, r, &spec) {
+			return
+		}
+		u, err := url.Parse(spec.URL)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			writeError(w, http.StatusBadRequest, "bad_request",
+				fmt.Sprintf("url must be absolute http(s), got %q", spec.URL), nil)
+			return
+		}
+		cursor := ps.p.Output().Version()
+		if spec.Since != nil {
+			cursor = *spec.Since
+		}
+		e, err := ps.hooks.add("", spec.URL, cursor)
+		if err != nil {
+			if errors.Is(err, errShuttingDown) {
+				writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error(), nil)
+			} else {
+				writeError(w, http.StatusUnprocessableEntity, "bad_request", err.Error(), nil)
+			}
+			return
+		}
+		ps.hooks.save()
+		writeJSON(w, http.StatusCreated, e.info())
+	default:
+		methodNotAllowed(w, "GET, POST")
+	}
+}
+
+func (s *Server) v1Webhook(w http.ResponseWriter, r *http.Request) {
+	name, id := r.PathValue("name"), r.PathValue("id")
+	ps := s.readPipe(name)
+	if ps == nil {
+		writeError(w, http.StatusNotFound, "not_found", fmt.Sprintf("no wrapper %q", name), nil)
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		e := ps.hooks.get(id)
+		if e == nil {
+			writeError(w, http.StatusNotFound, "not_found",
+				fmt.Sprintf("no webhook %q on wrapper %q", id, name), nil)
+			return
+		}
+		writeJSON(w, http.StatusOK, e.info())
+	case http.MethodDelete:
+		if !ps.hooks.remove(id) {
+			writeError(w, http.StatusNotFound, "not_found",
+				fmt.Sprintf("no webhook %q on wrapper %q", id, name), nil)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		methodNotAllowed(w, "GET, DELETE")
+	}
+}

@@ -1,0 +1,483 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// jsonUnmarshal decodes a response body string.
+func jsonUnmarshal(s string, v any) error { return json.Unmarshal([]byte(s), v) }
+
+// hookSink is an in-test webhook receiver: it records every POST (or
+// rejects it, while failing is set) so tests can assert ordering,
+// headers, and at-least-once coverage.
+type hookSink struct {
+	mu       sync.Mutex
+	failing  bool
+	failCode int
+	receipts []hookReceipt
+	ts       *httptest.Server
+}
+
+type hookReceipt struct {
+	wrapper string
+	webhook string
+	version uint64
+	body    string
+}
+
+func newHookSink(t *testing.T) *hookSink {
+	t.Helper()
+	sink := &hookSink{failCode: http.StatusServiceUnavailable}
+	sink.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		v, _ := strconv.ParseUint(r.Header.Get("Lixto-Version"), 10, 64)
+		sink.mu.Lock()
+		defer sink.mu.Unlock()
+		if sink.failing {
+			w.WriteHeader(sink.failCode)
+			return
+		}
+		sink.receipts = append(sink.receipts, hookReceipt{
+			wrapper: r.Header.Get("Lixto-Wrapper"),
+			webhook: r.Header.Get("Lixto-Webhook"),
+			version: v,
+			body:    string(body),
+		})
+	}))
+	t.Cleanup(sink.ts.Close)
+	return sink
+}
+
+func (h *hookSink) setFailing(on bool) {
+	h.mu.Lock()
+	h.failing = on
+	h.mu.Unlock()
+}
+
+func (h *hookSink) snapshot() []hookReceipt {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]hookReceipt(nil), h.receipts...)
+}
+
+// waitFor polls until the sink's receipts satisfy ok.
+func (h *hookSink) waitFor(t *testing.T, what string, ok func([]hookReceipt) bool) []hookReceipt {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		got := h.snapshot()
+		if ok(got) {
+			return got
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sink never satisfied %q: %+v", what, got)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// fastHookConfig keeps retry timing test-scale.
+func fastHookConfig() Config {
+	return Config{
+		WebhookBackoffMin:  time.Millisecond,
+		WebhookBackoffMax:  5 * time.Millisecond,
+		WebhookCooldown:    20 * time.Millisecond,
+		WebhookMaxAttempts: 3,
+	}
+}
+
+// TestWebhookDelivery pins the happy path: registering an endpoint
+// with since=0 replays the retained history, each new publish is
+// POSTed exactly once with the identifying headers, versions arrive in
+// order, and the cursor tracks the last accepted version.
+func TestWebhookDelivery(t *testing.T) {
+	sink := newHookSink(t)
+	s := New(Config{})
+	p := newFakePipe("x", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		deliver(t, s, p)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body, _ := do(t, "POST", ts.URL+"/v1/wrappers/x/webhooks",
+		map[string]any{"url": sink.ts.URL, "since": 0})
+	if code != 201 {
+		t.Fatalf("create webhook: %d %s", code, body)
+	}
+	var created hookInfo
+	if err := jsonUnmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if created.ID != "h1" || created.URL != sink.ts.URL {
+		t.Fatalf("created: %+v", created)
+	}
+
+	got := sink.waitFor(t, "3 replayed deliveries", func(rs []hookReceipt) bool { return len(rs) >= 3 })
+	for i, r := range got[:3] {
+		if r.version != uint64(i+1) || r.wrapper != "x" || r.webhook != "h1" {
+			t.Fatalf("receipt %d: %+v", i, r)
+		}
+		if !strings.Contains(r.body, fmt.Sprintf(`n="%d"`, i+1)) {
+			t.Fatalf("receipt %d body: %q", i, r.body)
+		}
+	}
+
+	// A new publish fans out to the endpoint.
+	deliver(t, s, p)
+	sink.waitFor(t, "live delivery of version 4", func(rs []hookReceipt) bool {
+		return len(rs) >= 4 && rs[len(rs)-1].version == 4
+	})
+
+	// The listing reports the advanced cursor and the delivery count.
+	var listing struct {
+		Name     string     `json:"name"`
+		Webhooks []hookInfo `json:"webhooks"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body, _ = do(t, "GET", ts.URL+"/v1/wrappers/x/webhooks", nil)
+		if err := jsonUnmarshal(body, &listing); err != nil {
+			t.Fatal(err)
+		}
+		if len(listing.Webhooks) == 1 && listing.Webhooks[0].Cursor == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cursor never advanced to 4: %s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if w := listing.Webhooks[0]; w.Deliveries != 4 || w.Failures != 0 {
+		t.Fatalf("webhook stats: %+v", w)
+	}
+
+	// DELETE retires the endpoint: no further deliveries.
+	code, _, _ = do(t, "DELETE", ts.URL+"/v1/wrappers/x/webhooks/h1", nil)
+	if code != 204 {
+		t.Fatalf("delete webhook: %d", code)
+	}
+	if code, _, _ := do(t, "GET", ts.URL+"/v1/wrappers/x/webhooks/h1", nil); code != 404 {
+		t.Fatalf("deleted webhook still listed: %d", code)
+	}
+	before := len(sink.snapshot())
+	deliver(t, s, p)
+	time.Sleep(50 * time.Millisecond)
+	if after := len(sink.snapshot()); after != before {
+		t.Fatalf("retired endpoint still delivered: %d -> %d", before, after)
+	}
+}
+
+// TestWebhookSinceAbsent: without "since" the cursor starts at the
+// current version — history is not replayed, only new results flow.
+func TestWebhookSinceAbsent(t *testing.T) {
+	sink := newHookSink(t)
+	s := New(Config{})
+	p := newFakePipe("x", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, s, p)
+	deliver(t, s, p)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, body, _ := do(t, "POST", ts.URL+"/v1/wrappers/x/webhooks",
+		map[string]any{"url": sink.ts.URL}); code != 201 {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if rs := sink.snapshot(); len(rs) != 0 {
+		t.Fatalf("history replayed without since: %+v", rs)
+	}
+	deliver(t, s, p)
+	got := sink.waitFor(t, "only the new version", func(rs []hookReceipt) bool { return len(rs) >= 1 })
+	if got[0].version != 3 {
+		t.Fatalf("first delivery version = %d, want 3", got[0].version)
+	}
+}
+
+// TestWebhookValidation pins the route's error envelopes.
+func TestWebhookValidation(t *testing.T) {
+	s := New(Config{MaxWebhooksPerWrapper: 1})
+	p := newFakePipe("x", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	for _, bad := range []string{"", "not-a-url", "ftp://host/x", "http://"} {
+		code, body, _ := do(t, "POST", ts.URL+"/v1/wrappers/x/webhooks", map[string]any{"url": bad})
+		if code != 400 || envelope(t, body).Kind != "bad_request" {
+			t.Fatalf("url=%q: %d %s", bad, code, body)
+		}
+	}
+	code, body, _ := do(t, "POST", ts.URL+"/v1/wrappers/nosuch/webhooks", map[string]any{"url": "http://h/x"})
+	if code != 404 || envelope(t, body).Kind != "not_found" {
+		t.Fatalf("unknown wrapper: %d %s", code, body)
+	}
+	code, _, hdr := do(t, "PUT", ts.URL+"/v1/wrappers/x/webhooks", nil)
+	if code != 405 || hdr.Get("Allow") != "GET, POST" {
+		t.Fatalf("405: %d Allow=%q", code, hdr.Get("Allow"))
+	}
+	code, _, hdr = do(t, "POST", ts.URL+"/v1/wrappers/x/webhooks/h1", nil)
+	if code != 405 || hdr.Get("Allow") != "GET, DELETE" {
+		t.Fatalf("405 item: %d Allow=%q", code, hdr.Get("Allow"))
+	}
+	// The per-wrapper cap.
+	if code, _, _ = do(t, "POST", ts.URL+"/v1/wrappers/x/webhooks", map[string]any{"url": "http://h/x"}); code != 201 {
+		t.Fatalf("first webhook: %d", code)
+	}
+	code, body, _ = do(t, "POST", ts.URL+"/v1/wrappers/x/webhooks", map[string]any{"url": "http://h/y"})
+	if code != 422 || !strings.Contains(body, "limit") {
+		t.Fatalf("over cap: %d %s", code, body)
+	}
+}
+
+// TestWebhookRetryBackoff: a failing endpoint is retried with backoff
+// until it accepts; the cursor never advances past an unacknowledged
+// version, and the failure/retry counters record the attempts.
+func TestWebhookRetryBackoff(t *testing.T) {
+	sink := newHookSink(t)
+	sink.setFailing(true)
+	s := New(fastHookConfig())
+	p := newFakePipe("x", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, s, p)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	code, body, _ := do(t, "POST", ts.URL+"/v1/wrappers/x/webhooks",
+		map[string]any{"url": sink.ts.URL, "since": 0})
+	if code != 201 {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	// Give it a few failed attempts, then recover the sink.
+	waitInfo(t, ts.URL+"/v1/wrappers/x/webhooks/h1", "failures recorded", func(w hookInfo) bool {
+		return w.Failures >= 2 && w.Cursor == 0
+	})
+	sink.setFailing(false)
+	got := sink.waitFor(t, "eventual delivery", func(rs []hookReceipt) bool { return len(rs) >= 1 })
+	if got[0].version != 1 {
+		t.Fatalf("delivered version = %d, want 1", got[0].version)
+	}
+	w := waitInfo(t, ts.URL+"/v1/wrappers/x/webhooks/h1", "cursor advanced", func(w hookInfo) bool {
+		return w.Cursor == 1
+	})
+	if w.Deliveries != 1 || w.Failures < 2 || w.Retries < 1 {
+		t.Fatalf("counters after recovery: %+v", w)
+	}
+	if w.LastError != "" && !strings.Contains(w.LastError, "503") {
+		t.Fatalf("last error: %q", w.LastError)
+	}
+}
+
+// TestWebhookBreaker: a run of failures past the attempt cap opens the
+// circuit breaker (visible in the endpoint state and the aggregate
+// stats); after the cooldown the half-open probe redelivers and the
+// breaker closes. No version is ever skipped.
+func TestWebhookBreaker(t *testing.T) {
+	sink := newHookSink(t)
+	sink.setFailing(true)
+	s := New(fastHookConfig())
+	p := newFakePipe("x", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, s, p)
+	deliver(t, s, p)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if code, body, _ := do(t, "POST", ts.URL+"/v1/wrappers/x/webhooks",
+		map[string]any{"url": sink.ts.URL, "since": 0}); code != 201 {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	waitInfo(t, ts.URL+"/v1/wrappers/x/webhooks/h1", "breaker open", func(w hookInfo) bool {
+		return w.State == "open" && w.BreakerOpens >= 1
+	})
+	// The aggregate block counts the open breaker.
+	var status struct {
+		Webhooks WebhookStatus `json:"webhooks"`
+	}
+	_, body, _ := do(t, "GET", ts.URL+"/statusz", nil)
+	if err := jsonUnmarshal(body, &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Webhooks.Endpoints != 1 || status.Webhooks.BreakerOpen != 1 || status.Webhooks.BreakerOpens < 1 {
+		t.Fatalf("aggregate webhook stats: %+v", status.Webhooks)
+	}
+
+	// Recovery: the half-open probe goes through and the backlog drains
+	// in order — both versions, nothing skipped.
+	sink.setFailing(false)
+	got := sink.waitFor(t, "backlog drained", func(rs []hookReceipt) bool { return len(rs) >= 2 })
+	if got[0].version != 1 || got[1].version != 2 {
+		t.Fatalf("post-breaker order: %+v", got)
+	}
+	waitInfo(t, ts.URL+"/v1/wrappers/x/webhooks/h1", "breaker closed", func(w hookInfo) bool {
+		return w.State != "open" && w.Cursor == 2
+	})
+}
+
+// TestWebhookCursorRestart: with a result store, endpoint
+// registrations and their cursors survive a restart — the restored
+// dispatcher resumes after the last acknowledged version instead of
+// replaying the whole log.
+func TestWebhookCursorRestart(t *testing.T) {
+	sink := newHookSink(t)
+	dir := t.TempDir()
+	store := openStore(t, dir)
+	cfg := fastHookConfig()
+	cfg.ResultStore = store
+	s1 := New(cfg)
+	p1 := newFakePipe("x", 0)
+	if err := s1.Register(p1, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, s1, p1)
+	deliver(t, s1, p1)
+	ts1 := httptest.NewServer(s1.Handler())
+	if code, body, _ := do(t, "POST", ts1.URL+"/v1/wrappers/x/webhooks",
+		map[string]any{"url": sink.ts.URL, "since": 0}); code != 201 {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	sink.waitFor(t, "both versions delivered", func(rs []hookReceipt) bool { return len(rs) >= 2 })
+	ts1.Close()
+	// Shutdown persists the final cursors (the drain path does the same
+	// through removePipeLocked).
+	s1.pipe("x").hooks.close()
+	store.Close()
+
+	store2 := openStore(t, dir)
+	defer store2.Close()
+	cfg2 := fastHookConfig()
+	cfg2.ResultStore = store2
+	s2 := New(cfg2)
+	p2 := newFakePipe("x", 0)
+	if err := s2.Register(p2, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+
+	w := waitInfo(t, ts2.URL+"/v1/wrappers/x/webhooks/h1", "restored endpoint", func(w hookInfo) bool {
+		return w.URL == sink.ts.URL
+	})
+	if w.Cursor != 2 {
+		t.Fatalf("restored cursor = %d, want 2", w.Cursor)
+	}
+	// Nothing is redelivered; the next publish picks up at version 3.
+	before := len(sink.snapshot())
+	deliver(t, s2, p2)
+	got := sink.waitFor(t, "post-restart delivery", func(rs []hookReceipt) bool { return len(rs) > before })
+	if got[len(got)-1].version != 3 {
+		t.Fatalf("post-restart version = %d, want 3", got[len(got)-1].version)
+	}
+	if len(got) != before+1 {
+		t.Fatalf("restart redelivered acknowledged versions: %+v", got)
+	}
+}
+
+// TestStatuszWebhookShape pins the "webhooks" stats block keys on
+// /statusz and GET /v1/wrappers, and the per-wrapper endpoint count in
+// the listing.
+func TestStatuszWebhookShape(t *testing.T) {
+	sink := newHookSink(t)
+	s := New(Config{})
+	p := newFakePipe("x", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	deliver(t, s, p)
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if code, body, _ := do(t, "POST", ts.URL+"/v1/wrappers/x/webhooks",
+		map[string]any{"url": sink.ts.URL, "since": 0}); code != 201 {
+		t.Fatalf("create: %d %s", code, body)
+	}
+	sink.waitFor(t, "delivery", func(rs []hookReceipt) bool { return len(rs) >= 1 })
+
+	for _, url := range []string{ts.URL + "/statusz", ts.URL + "/v1/wrappers"} {
+		code, body, _ := do(t, "GET", url, nil)
+		if code != 200 {
+			t.Fatalf("%s = %d", url, code)
+		}
+		for _, key := range []string{`"webhooks"`, `"endpoints"`, `"breaker_open"`,
+			`"deliveries"`, `"failures"`, `"retries"`, `"breaker_opens"`} {
+			if !strings.Contains(body, key) {
+				t.Errorf("%s missing %s", url, key)
+			}
+		}
+		if !strings.Contains(body, `"endpoints": 1`) {
+			t.Errorf("%s does not count the endpoint:\n%s", url, body)
+		}
+	}
+	// The wrapper listing carries the per-wrapper endpoint count.
+	_, body, _ := do(t, "GET", ts.URL+"/v1/wrappers", nil)
+	var listing struct {
+		Wrappers []struct {
+			Name     string `json:"name"`
+			Webhooks int    `json:"webhooks"`
+		} `json:"wrappers"`
+	}
+	if err := jsonUnmarshal(body, &listing); err != nil {
+		t.Fatal(err)
+	}
+	if len(listing.Wrappers) != 1 || listing.Wrappers[0].Webhooks != 1 {
+		t.Fatalf("listing webhook count: %s", body)
+	}
+}
+
+// TestBackoffDelayBounds pins the backoff curve: exponential from min,
+// capped at max, jittered within [d/2, d].
+func TestBackoffDelayBounds(t *testing.T) {
+	min, max := 100*time.Millisecond, time.Second
+	for attempt := 1; attempt <= 12; attempt++ {
+		want := min << (attempt - 1)
+		if want > max || want <= 0 {
+			want = max
+		}
+		for i := 0; i < 20; i++ {
+			d := backoffDelay(min, max, attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}
+
+// waitInfo polls one webhook's status endpoint until ok is satisfied.
+func waitInfo(t *testing.T, url, what string, ok func(hookInfo) bool) hookInfo {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, body, _ := do(t, "GET", url, nil)
+		var w hookInfo
+		if err := jsonUnmarshal(body, &w); err == nil && ok(w) {
+			return w
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("webhook never reached %q: %s", what, body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

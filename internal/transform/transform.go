@@ -736,7 +736,12 @@ type Collector struct {
 	// Retain caps how many recent documents are kept. Zero means
 	// DefaultRetain. The cap is latched on the first delivery; later
 	// changes to Retain have no effect.
-	Retain  int
+	Retain int
+	// Journal, when set, is called after every delivery with the new
+	// version and the delivered document, outside the collector lock.
+	// The server's persistence layer uses it to queue WAL appends; it
+	// must not block.
+	Journal func(version uint64, doc *xmlenc.Node)
 	mu      sync.Mutex
 	ringCap int
 	docs    []*xmlenc.Node // ring storage, oldest at start
@@ -764,7 +769,6 @@ func (c *Collector) capLocked() int {
 // Process implements Component.
 func (c *Collector) Process(_ string, doc *xmlenc.Node) ([]*xmlenc.Node, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.total++
 	if n := c.capLocked(); len(c.docs) < n {
 		c.docs = append(c.docs, doc)
@@ -772,8 +776,67 @@ func (c *Collector) Process(_ string, doc *xmlenc.Node) ([]*xmlenc.Node, error) 
 		c.docs[c.start] = doc
 		c.start = (c.start + 1) % n
 	}
-	c.version.Add(1)
+	v := c.version.Add(1)
+	c.mu.Unlock()
+	if c.Journal != nil {
+		c.Journal(v, doc)
+	}
 	return nil, nil
+}
+
+// Preload seeds the collector with recovered documents (oldest first)
+// and sets the delivery counter, as if the documents had been delivered
+// live. It is only safe before the collector receives traffic; the
+// server's crash-recovery path calls it while rehydrating a wrapper
+// from its result log.
+func (c *Collector) Preload(docs []*xmlenc.Node, version uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := c.capLocked()
+	if len(docs) > n {
+		docs = docs[len(docs)-n:]
+	}
+	c.docs = append(c.docs[:0], docs...)
+	c.start = 0 // oldest at index 0; Process overwrites from here once full
+	c.total = int(version)
+	c.version.Store(version)
+}
+
+// HistorySince returns up to n retained documents with version numbers
+// strictly greater than since, oldest first, along with each document's
+// delivery version. Versions are derived from the invariant that the
+// collector delivers exactly once per version: the oldest retained
+// document has version total-len+1.
+func (c *Collector) HistorySince(since uint64, n int) ([]*xmlenc.Node, []uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.docs) == 0 {
+		return nil, nil
+	}
+	oldest := uint64(c.total - len(c.docs) + 1)
+	from := oldest
+	if since+1 > from {
+		from = since + 1
+	}
+	last := uint64(c.total)
+	if from > last {
+		return nil, nil
+	}
+	count := int(last - from + 1)
+	if n > 0 && count > n {
+		// Keep the oldest qualifying entries: the caller pages forward
+		// by advancing since.
+		count = n
+	}
+	docs := make([]*xmlenc.Node, 0, count)
+	vers := make([]uint64, 0, count)
+	for i := 0; i < count; i++ {
+		v := from + uint64(i)
+		idx := (c.start + int(v-oldest)) % len(c.docs)
+		docs = append(docs, c.docs[idx])
+		vers = append(vers, v)
+	}
+	return docs, vers
 }
 
 // Version returns the delivery counter without locking: it increments

@@ -10,6 +10,7 @@ package xmlenc
 
 import (
 	"bytes"
+	"encoding/xml"
 	"fmt"
 	"io"
 	"strings"
@@ -209,45 +210,39 @@ func write(b encBuf, n *Node, depth int) {
 }
 
 // Unmarshal parses an XML document produced by this package (or any
-// simple well-formed XML without CDATA or processing instructions).
+// simple well-formed XML without CDATA). It uses a real XML decoder,
+// not the HTML tokenizer: output-side element names are not limited to
+// the HTML name alphabet (NITF uses dotted names like <date.issue>),
+// and a restore round trip must preserve them exactly.
 func Unmarshal(src string) (*Node, error) {
-	z := htmlparse.NewTokenizer(src)
-	z.NoRawText = true
+	dec := xml.NewDecoder(strings.NewReader(src))
 	root := &Node{} // synthetic container
 	stack := []*Node{root}
 	for {
-		tok, ok := z.Next()
-		if !ok {
+		tok, err := dec.Token()
+		if err == io.EOF {
 			break
 		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlenc: %v", err)
+		}
 		top := stack[len(stack)-1]
-		switch tok.Type {
-		case htmlparse.TextToken:
-			if strings.TrimSpace(tok.Data) != "" {
-				top.Children = append(top.Children, NewText(tok.Data))
+		switch t := tok.(type) {
+		case xml.CharData:
+			if s := string(t); strings.TrimSpace(s) != "" {
+				top.Children = append(top.Children, NewText(s))
 			}
-		case htmlparse.StartTagToken:
-			el := NewElement(tok.Data)
-			for _, a := range tok.Attrs {
-				el.SetAttr(a.Name, a.Value)
+		case xml.StartElement:
+			el := NewElement(rawName(t.Name))
+			for _, a := range t.Attr {
+				el.SetAttr(rawName(a.Name), a.Value)
 			}
 			top.Children = append(top.Children, el)
 			stack = append(stack, el)
-		case htmlparse.SelfClosingToken:
-			el := NewElement(tok.Data)
-			for _, a := range tok.Attrs {
-				el.SetAttr(a.Name, a.Value)
-			}
-			top.Children = append(top.Children, el)
-		case htmlparse.EndTagToken:
-			if len(stack) == 1 {
-				return nil, fmt.Errorf("xmlenc: unmatched </%s>", tok.Data)
-			}
-			if top.Name != tok.Data {
-				return nil, fmt.Errorf("xmlenc: </%s> closes <%s>", tok.Data, top.Name)
-			}
+		case xml.EndElement:
+			// The strict decoder guarantees matched pairs.
 			stack = stack[:len(stack)-1]
-		case htmlparse.CommentToken, htmlparse.DoctypeToken:
+		case xml.Comment, xml.ProcInst, xml.Directive:
 			// Skipped.
 		}
 	}
@@ -280,4 +275,14 @@ func Unmarshal(src string) (*Node, error) {
 	}
 	norm(doc)
 	return doc, nil
+}
+
+// rawName restores the source spelling of a decoded name: the decoder
+// splits prefixed names on ':' without resolving namespaces, so the
+// prefix is carried verbatim in Space.
+func rawName(n xml.Name) string {
+	if n.Space != "" {
+		return n.Space + ":" + n.Local
+	}
+	return n.Local
 }

@@ -56,6 +56,30 @@ func TestUnmarshalIndentedRoundTrip(t *testing.T) {
 	}
 }
 
+// NITF-style dotted element names (<date.issue>, <body.head>) must
+// survive an Unmarshal round trip byte-exactly: the WAL restore path
+// re-parses stored result XML with Unmarshal, and the HTML tokenizer's
+// name alphabet used to split "date.issue" into a tag plus a stray
+// attribute.
+func TestUnmarshalDottedNamesRoundTrip(t *testing.T) {
+	doc := NewElement("nitf")
+	head := doc.AppendElement("head")
+	dd := head.AppendElement("docdata")
+	di := dd.AppendElement("date.issue")
+	di.SetAttr("norm", "2004-06-08")
+	bh := doc.AppendElement("body.head")
+	bh.AppendTextElement("hedline", "Globex & <friends>")
+	for _, s := range []string{Marshal(doc), MarshalIndent(doc)} {
+		n, err := Unmarshal(s)
+		if err != nil {
+			t.Fatalf("Unmarshal(%q): %v", s, err)
+		}
+		if got := Marshal(n); got != Marshal(doc) {
+			t.Errorf("round trip differs:\n%s\n%s", Marshal(doc), got)
+		}
+	}
+}
+
 func TestUnmarshalErrors(t *testing.T) {
 	for _, s := range []string{
 		"", "just text", "<a><b></a>", "<a>", "</a>", "<a/><b/>",
