@@ -814,6 +814,82 @@ name(S, X)    <- row(_, S), subelem(S, (?.td, [(class, name, exact)]), X)
 	b.Run("incremental", func(b *testing.B) { run(b, true) })
 }
 
+// BenchmarkE26_ChurnEndToEnd: the whole tick — evaluate, transform,
+// encode — for one long-lived wrapper over a churning catalogue, with
+// the page bump and parse off the clock. "full" rebuilds everything
+// from scratch; "incremental" carries reuse through every layer:
+// subtree-fingerprint match reuse in the evaluator, content-hash
+// output-subtree splicing in the transformer, and frozen-subtree byte
+// splicing in the encoder.
+func BenchmarkE26_ChurnEndToEnd(b *testing.B) {
+	const sections, rowsPer, window = 40, 20, 2
+	const url = "churn.example.com/catalogue"
+	progText := fmt.Sprintf(`
+page(S, X)    <- document(%q, S), subelem(S, .body, X)
+section(S, X) <- page(_, S), subelem(S, (.div, [(class, section, exact)]), X)
+row(S, X)     <- section(_, S), subelem(S, (?.tr, [(elementtext, .*SALE.*, regexp)]), X)
+name(S, X)    <- row(_, S), subelem(S, (?.td, [(class, name, exact)]), X)
+`, url)
+	run := func(b *testing.B, incremental bool) {
+		version := make([]int, sections)
+		round := 0
+		page := func() string {
+			var sb strings.Builder
+			sb.WriteString("<html><body>")
+			for s := 0; s < sections; s++ {
+				v := version[s]
+				sb.WriteString(`<div class="section"><table>`)
+				for r := 0; r < rowsPer; r++ {
+					tag := ""
+					if r == v%rowsPer {
+						tag = "SALE "
+					}
+					fmt.Fprintf(&sb, `<tr><td class="name">%sitem %d.%d v%d</td></tr>`, tag, s, r, v)
+				}
+				sb.WriteString("</table></div>")
+			}
+			sb.WriteString("</body></html>")
+			return sb.String()
+		}
+		bump := func() {
+			start := (round * window) % sections
+			for i := 0; i < window; i++ {
+				version[(start+i)%sections]++
+			}
+			round++
+		}
+		src := &transform.WrapperSource{
+			CompName:            "e26",
+			Program:             elog.MustParse(progText),
+			Design:              &pib.Design{Auxiliary: map[string]bool{"document": true, "page": true, "section": true}},
+			NoCache:             true,
+			NoIncremental:       !incremental,
+			NoIncrementalOutput: !incremental,
+		}
+		enc := xmlenc.NewEncoder()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			bump()
+			tr := htmlparse.Parse(page())
+			tr.Warm()
+			src.Fetcher = elog.MapFetcher{url: tr}
+			b.StartTimer()
+			docs, err := src.Poll()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if incremental {
+				enc.MarshalIndentBytes(docs[0])
+			} else {
+				xmlenc.MarshalIndentBytes(docs[0])
+			}
+		}
+	}
+	b.Run("full", func(b *testing.B) { run(b, false) })
+	b.Run("incremental", func(b *testing.B) { run(b, true) })
+}
+
 // BenchmarkE25_DurableDelivery: the durable publish path. Each
 // iteration is one changed tick plus the read that publishes it; with a
 // result log attached the snapshot is not served until the delivery is

@@ -74,6 +74,7 @@ func main() {
 	e23LockFreeReads()
 	e24ChurnIncremental()
 	e25DurableDelivery()
+	e26ChurnEndToEnd()
 	if *jsonPath != "" {
 		if err := writeBenchJSON(*jsonPath); err != nil {
 			fmt.Fprintln(os.Stderr, "benchreport:", err)
@@ -330,6 +331,32 @@ func writeBenchJSON(path string) error {
 		})
 		cleanup()
 	}
+	// End-to-end incremental tick (E26): one long-lived wrapper over
+	// the E24 churn workload; each iteration is one Poll plus the
+	// encode of its document, with the page bump and parse off the
+	// clock. full-tick re-evaluates, rebuilds the output tree and
+	// re-encodes from scratch; incremental-tick diffs the instance
+	// base, splices reused frozen output subtrees and re-encodes only
+	// dirty byte ranges.
+	for _, m := range []struct {
+		key string
+		inc bool
+	}{
+		{"full-tick", false},
+		{"incremental-tick", true},
+	} {
+		adv, tick := e26Tick(m.inc)
+		add("E26_ChurnEndToEnd/"+m.key, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				adv()
+				b.StartTimer()
+				tick()
+			}
+		})
+	}
+
 	e25fan, e25fanClean := e25Fanout(8)
 	add("E25_DurableDelivery/webhook-fanout-8", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
@@ -1051,6 +1078,87 @@ func e24ChurnIncremental() {
 	fmt.Printf("   %-28s %12s\n", "", "median")
 	fmt.Printf("   %-28s %12s\n", "full re-evaluation", dFull.Round(time.Microsecond))
 	fmt.Printf("   %-28s %12s\n", "incremental", dIncr.Round(time.Microsecond))
+	fmt.Printf("   full/incremental: %.1fx\n", float64(dFull)/float64(dIncr))
+}
+
+// e26Tick builds one long-lived wrapper over the E24 churn workload
+// and returns (advance, tick): advance rewrites the page and re-parses
+// it off the clock; tick runs one Poll and encodes the resulting
+// document to bytes — the full evaluate→transform→encode cost a
+// scheduler tick pays per wrapper. With incremental on, all three
+// reuse layers engage: subtree-fingerprint match reuse in the
+// evaluator, content-hash output-subtree splicing in the transformer,
+// and frozen-subtree byte splicing in the encoder. With it off, every
+// tick re-evaluates, rebuilds the output tree and re-encodes from
+// scratch.
+func e26Tick(incremental bool) (advance func(), tick func() []byte) {
+	page, bump, prog, url := e24Setup()
+	src := &transform.WrapperSource{
+		CompName:            "e26",
+		Program:             elog.MustParse(prog),
+		Design:              &pib.Design{Auxiliary: map[string]bool{"document": true, "page": true, "section": true}},
+		NoCache:             true,
+		NoIncremental:       !incremental,
+		NoIncrementalOutput: !incremental,
+	}
+	enc := xmlenc.NewEncoder()
+	advance = func() {
+		bump()
+		tr := htmlparse.Parse(page())
+		tr.Warm()
+		src.Fetcher = elog.MapFetcher{url: tr}
+	}
+	tick = func() []byte {
+		docs, err := src.Poll()
+		check(err)
+		if incremental {
+			return enc.MarshalIndentBytes(docs[0])
+		}
+		return xmlenc.MarshalIndentBytes(docs[0])
+	}
+	advance()
+	tick() // warm: compile, seed the match/output/encoder caches
+	return advance, tick
+}
+
+// e26Median measures the median on-clock tick over several churn
+// rounds, advancing the page off the clock before each one.
+func e26Median(advance func(), tick func() []byte) time.Duration {
+	runs := 7
+	if *quick {
+		runs = 3
+	}
+	var ds []time.Duration
+	for i := 0; i < runs; i++ {
+		advance()
+		t0 := time.Now()
+		tick()
+		ds = append(ds, time.Since(t0))
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds[len(ds)/2]
+}
+
+func e26ChurnEndToEnd() {
+	header("E26", "end-to-end incremental tick (PR 10)",
+		"instance diffing + output-subtree reuse + splice encoding: tick cost tracks the dirty region, bytes identical")
+	fullAdv, fullTick := e26Tick(false)
+	incAdv, incTick := e26Tick(true)
+	// Both paths must render every churned version byte-identically —
+	// the reused bytes are indistinguishable from a full rebuild.
+	for i := 0; i < 3; i++ {
+		fullAdv()
+		incAdv()
+		if !bytes.Equal(fullTick(), incTick()) {
+			panic("E26: incremental tick diverges from full rebuild")
+		}
+	}
+	dFull := e26Median(fullAdv, fullTick)
+	dIncr := e26Median(incAdv, incTick)
+	fmt.Printf("   one wrapper, ~5%% of the page dirty per tick (poll + encode, parse off-clock):\n")
+	fmt.Printf("   %-28s %12s\n", "", "median")
+	fmt.Printf("   %-28s %12s\n", "full rebuild tick", dFull.Round(time.Microsecond))
+	fmt.Printf("   %-28s %12s\n", "incremental tick", dIncr.Round(time.Microsecond))
 	fmt.Printf("   full/incremental: %.1fx\n", float64(dFull)/float64(dIncr))
 }
 

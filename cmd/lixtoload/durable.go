@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/server"
 )
 
 // Durable-delivery storm modes.
@@ -42,6 +44,7 @@ type sinkEndpoint struct {
 	received    map[uint64]int // version -> delivery count
 	last        uint64
 	regressions int64
+	badSigs     int64 // deliveries whose Lixto-Signature failed to verify
 }
 
 func (e *sinkEndpoint) record(version uint64) {
@@ -85,23 +88,31 @@ func (e *sinkEndpoint) audit() (receipts, unique, dups, gaps, regressions int64)
 // webhookSink is the built-in receiver plus its registered endpoints.
 type webhookSink struct {
 	ln        net.Listener
+	secret    string
 	endpoints []*sinkEndpoint
 }
 
 // newWebhookSink starts the sink server and registers n webhook
-// endpoints on the target wrapper.
-func newWebhookSink(client *http.Client, base, wrapper string, n int) (*webhookSink, error) {
+// endpoints on the target wrapper. A non-empty secret is sent with each
+// registration and every delivery's Lixto-Signature header is verified
+// against it (mismatches are counted and reported in the audit).
+func newWebhookSink(client *http.Client, base, wrapper string, n int, secret string) (*webhookSink, error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
-	sink := &webhookSink{ln: ln}
+	sink := &webhookSink{ln: ln, secret: secret}
 	mux := http.NewServeMux()
 	for i := 0; i < n; i++ {
 		e := &sinkEndpoint{path: fmt.Sprintf("/hook/%d", i)}
 		sink.endpoints = append(sink.endpoints, e)
 		mux.HandleFunc(e.path, func(w http.ResponseWriter, r *http.Request) {
-			io.Copy(io.Discard, r.Body)
+			body, _ := io.ReadAll(r.Body)
+			if secret != "" && !server.VerifySignature(secret, body, r.Header.Get("Lixto-Signature")) {
+				e.mu.Lock()
+				e.badSigs++
+				e.mu.Unlock()
+			}
 			if v, err := strconv.ParseUint(r.Header.Get("Lixto-Version"), 10, 64); err == nil {
 				e.record(v)
 			}
@@ -110,10 +121,14 @@ func newWebhookSink(client *http.Client, base, wrapper string, n int) (*webhookS
 	go http.Serve(ln, mux)
 
 	for _, e := range sink.endpoints {
-		body, _ := json.Marshal(map[string]any{
+		reg := map[string]any{
 			"url":   "http://" + ln.Addr().String() + e.path,
 			"since": 0,
-		})
+		}
+		if secret != "" {
+			reg["secret"] = secret
+		}
+		body, _ := json.Marshal(reg)
 		resp, err := client.Post(base+"/v1/wrappers/"+wrapper+"/webhooks",
 			"application/json", bytes.NewReader(body))
 		if err != nil {
@@ -157,7 +172,7 @@ func (s *webhookSink) settle(timeout time.Duration) {
 
 // report prints the audit and retires the registered endpoints.
 func (s *webhookSink) report(client *http.Client, base, wrapper string) {
-	var receipts, unique, dups, gaps, regressions int64
+	var receipts, unique, dups, gaps, regressions, badSigs int64
 	for _, e := range s.endpoints {
 		r, u, d, g, rg := e.audit()
 		receipts += r
@@ -165,6 +180,9 @@ func (s *webhookSink) report(client *http.Client, base, wrapper string) {
 		dups += d
 		gaps += g
 		regressions += rg
+		e.mu.Lock()
+		badSigs += e.badSigs
+		e.mu.Unlock()
 	}
 	fmt.Printf("\nwebhooks: %d endpoints, %d receipts (%d unique versions, %d at-least-once redeliveries)\n",
 		len(s.endpoints), receipts, unique, dups)
@@ -172,6 +190,13 @@ func (s *webhookSink) report(client *http.Client, base, wrapper string) {
 		fmt.Println("webhooks: no gaps, no regressions — no lost deliveries")
 	} else {
 		fmt.Printf("webhooks: LOST OR MISORDERED DELIVERIES: %d gaps, %d regressions\n", gaps, regressions)
+	}
+	if s.secret != "" {
+		if badSigs == 0 {
+			fmt.Println("webhooks: every delivery carried a valid Lixto-Signature")
+		} else {
+			fmt.Printf("webhooks: INVALID SIGNATURES on %d deliveries\n", badSigs)
+		}
 	}
 	for _, e := range s.endpoints {
 		if e.hookID == "" {

@@ -70,6 +70,8 @@ func main() {
 	churnSeed := flag.Int64("churn-seed", 1, "seed of the churn sequence")
 	webhooks := flag.Int("webhooks", 0,
 		"register N webhook endpoints on a built-in sink and audit delivery coverage")
+	webhookSecret := flag.String("webhook-secret", "",
+		"HMAC secret for the sink's webhook registrations; every delivery's Lixto-Signature header is verified")
 	crashCmd := flag.String("crash-cmd", "",
 		"launch the server with this command and kill -9/restart it during the storm (e.g. \"lixtoserver -addr :8080 -data-dir /tmp/d -allow-dynamic\")")
 	crashEvery := flag.Duration("crash-every", 3*time.Second, "kill -9 period in crash storm mode")
@@ -110,7 +112,7 @@ func main() {
 	var sink *webhookSink
 	if *webhooks > 0 {
 		var err error
-		sink, err = newWebhookSink(client, base, *wrapper, *webhooks)
+		sink, err = newWebhookSink(client, base, *wrapper, *webhooks, *webhookSecret)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lixtoload:", err)
 			os.Exit(1)

@@ -4,9 +4,9 @@
 //
 //	lixtoserver [-addr :8080] [-interval 2s] [-steps N] [-history N] [-pprof] [-allow-dynamic]
 //	            [-shards N] [-workers N] [-jitter F] [-cache-entries N] [-cache-ttl D]
-//	            [-watch-queue N] [-watch-heartbeat D]
+//	            [-watch-queue N] [-watch-heartbeat D] [-incremental-output]
 //	            [-data-dir DIR] [-wal-fsync batch|always|off] [-wal-segment-bytes N]
-//	            [-wal-max-segments N] [-wal-max-age D]
+//	            [-wal-max-segments N] [-wal-max-age D] [-wal-compact-segments N]
 //	            [-webhook-timeout D] [-webhook-max-attempts N] [-webhook-cooldown D]
 //
 //	GET /nowplaying           the Now Playing portal feed (Section 6.1)
@@ -44,6 +44,14 @@
 // wrappers, so fleets stamped from one template reuse each other's
 // compiled pattern matches on shared pages (batched fleet extraction;
 // /statusz reports the match_cache block).
+// -incremental-output (default on) carries content-addressed reuse
+// through the whole tick: wrapper sources retain the previous tick's
+// instance base and emitted XML subtrees, rebuild only the subtrees
+// whose instances changed, and the delivery plane re-encodes snapshots
+// by splicing the cached byte ranges of unchanged frozen subtrees —
+// published bytes (and ETags) are identical to a full rebuild, at a
+// cost proportional to the dirty region. Disable it to pin or measure
+// the full-rebuild path.
 // Reads are served from immutable pre-encoded snapshots (strong ETags,
 // If-None-Match → 304, gzip) and each wrapper's change feed streams at
 // GET /v1/wrappers/{name}/watch as Server-Sent Events: -watch-queue
@@ -58,7 +66,11 @@
 // and webhook cursors from the logs, so reads and subscriptions resume
 // byte-identically after a crash. -wal-fsync picks the durability
 // trade: batch (default, a background syncer flushes every 50ms),
-// always (fsync per append), or off. Outbound webhooks — registered via
+// always (fsync per append), or off. -wal-compact-segments N compacts a
+// wrapper's log once N closed segments accumulate: the latest snapshot
+// is written as a checkpoint record and every older segment is deleted,
+// so restore cost stays bounded for long-lived wrappers instead of
+// growing with their lifetime. Outbound webhooks — registered via
 // POST /v1/wrappers/{name}/webhooks — push each new result to HTTP
 // endpoints with retry/backoff and a circuit breaker, tuned by the
 // -webhook-* flags.
@@ -110,6 +122,10 @@ func main() {
 	walSegmentBytes := flag.Int64("wal-segment-bytes", 0, "result-log segment rotation size (0 = default 4MiB)")
 	walMaxSegments := flag.Int("wal-max-segments", 0, "closed segments retained per wrapper (0 = default 8)")
 	walMaxAge := flag.Duration("wal-max-age", 0, "drop closed segments older than this (0 = keep by count only)")
+	walCompactSegments := flag.Int("wal-compact-segments", 0,
+		"checkpoint-compact a wrapper's log once this many closed segments accumulate (0 disables)")
+	incrementalOutput := flag.Bool("incremental-output", true,
+		"reuse unchanged output subtrees and encoded byte ranges across ticks (off = full rebuild per tick)")
 	webhookTimeout := flag.Duration("webhook-timeout", 0, "outbound webhook request timeout (0 = default 5s)")
 	webhookAttempts := flag.Int("webhook-max-attempts", 0,
 		"consecutive webhook failures before the circuit breaker opens (0 = default 6)")
@@ -161,16 +177,17 @@ func main() {
 	}
 
 	cfg := server.Config{
-		Addr:             *addr,
-		DefaultInterval:  *interval,
-		EnablePprof:      *pprofFlag,
-		SchedulerShards:  *shards,
-		SchedulerWorkers: *workers,
-		SchedulerJitter:  *jitter,
-		WatchQueue:       *watchQueue,
-		WatchHeartbeat:   *watchHeartbeat,
-		WebhookTimeout:   *webhookTimeout,
-		WebhookCooldown:  *webhookCooldown,
+		Addr:                *addr,
+		DefaultInterval:     *interval,
+		EnablePprof:         *pprofFlag,
+		SchedulerShards:     *shards,
+		SchedulerWorkers:    *workers,
+		SchedulerJitter:     *jitter,
+		WatchQueue:          *watchQueue,
+		WatchHeartbeat:      *watchHeartbeat,
+		WebhookTimeout:      *webhookTimeout,
+		WebhookCooldown:     *webhookCooldown,
+		NoIncrementalOutput: !*incrementalOutput,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},
@@ -183,11 +200,12 @@ func main() {
 			fatal(err)
 		}
 		store, err = resultlog.Open(*dataDir, resultlog.Options{
-			SegmentBytes:  *walSegmentBytes,
-			MaxSegments:   *walMaxSegments,
-			MaxAge:        *walMaxAge,
-			Fsync:         mode,
-			FsyncInterval: *walFsyncInterval,
+			SegmentBytes:    *walSegmentBytes,
+			MaxSegments:     *walMaxSegments,
+			MaxAge:          *walMaxAge,
+			Fsync:           mode,
+			FsyncInterval:   *walFsyncInterval,
+			CompactSegments: *walCompactSegments,
 		})
 		if err != nil {
 			fatal(err)

@@ -5,15 +5,17 @@ import (
 	"testing"
 
 	"repro/internal/web"
+	"repro/internal/xmlenc"
 	"repro/pkg/lixto"
 )
 
 // TestFigure5IncrementalDifferential re-extracts the crawling Figure 5
 // wrapper over a churning auction site and requires the incremental
-// wrapper (one compiled program held across versions) to produce an
-// instance base byte-identical to a cold, non-incremental extraction of
-// each version — including versions whose structural mutations knock
-// pages out of document order and force the full-matching fallback.
+// wrapper (one compiled program held across versions, with incremental
+// output on) to produce an instance base — and rendered XML —
+// byte-identical to a cold, non-incremental extraction of each version,
+// including versions whose structural mutations knock pages out of
+// document order and force the full-matching fallback.
 func TestFigure5IncrementalDifferential(t *testing.T) {
 	sim := web.New()
 	site := web.NewAuctionSite(2004, 40)
@@ -25,7 +27,7 @@ func TestFigure5IncrementalDifferential(t *testing.T) {
 		lixto.WithAuxiliary("tableseq", "tableseq2", "nextlink", "nexturl", "nextpage"),
 		lixto.WithRoot("auctions"),
 	}
-	w, err := lixto.Compile(figure5, opts...)
+	w, err := lixto.Compile(figure5, append(opts, lixto.WithIncrementalOutput(true))...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,6 +46,9 @@ func TestFigure5IncrementalDifferential(t *testing.T) {
 		}
 		if want, got := wantRes.Base.Dump(), gotRes.Base.Dump(); got != want {
 			t.Errorf("step %d: incremental base diverges from cold extraction:\n--- cold ---\n%s--- incremental ---\n%s", step, want, got)
+		}
+		if want, got := xmlenc.MarshalIndent(wantRes.XML()), xmlenc.MarshalIndent(gotRes.XML()); got != want {
+			t.Errorf("step %d: incremental XML diverges from cold rebuild:\n--- cold ---\n%s--- incremental ---\n%s", step, want, got)
 		}
 		churn.Advance()
 	}

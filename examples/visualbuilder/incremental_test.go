@@ -6,13 +6,15 @@ import (
 
 	"repro/internal/visual"
 	"repro/internal/web"
+	"repro/internal/xmlenc"
 	"repro/pkg/lixto"
 )
 
 // TestGeneratedWrapperIncrementalDifferential runs a visually generated
 // wrapper against a churning held-out site and requires incremental
-// extraction (one wrapper held across versions) to match cold,
-// non-incremental extraction of every version byte for byte.
+// extraction (one wrapper held across versions, with incremental output
+// on) to match cold, non-incremental extraction of every version byte
+// for byte — the instance base and the rendered XML both.
 func TestGeneratedWrapperIncrementalDifferential(t *testing.T) {
 	sim := web.New()
 	site := web.NewBookSite(2004, 8)
@@ -44,7 +46,8 @@ func TestGeneratedWrapperIncrementalDifferential(t *testing.T) {
 	web.NewBookSite(4071, 20).Register(heldOut, "books.example.com")
 	churn := &web.ChurnFetcher{Inner: heldOut, Seed: 6, PerStep: 4}
 
-	w, err := lixto.Compile(src, lixto.WithAuxiliary("page"), lixto.WithFetcher(churn))
+	w, err := lixto.Compile(src, lixto.WithAuxiliary("page"), lixto.WithFetcher(churn),
+		lixto.WithIncrementalOutput(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,6 +66,9 @@ func TestGeneratedWrapperIncrementalDifferential(t *testing.T) {
 		}
 		if want, got := wantRes.Base.Dump(), gotRes.Base.Dump(); got != want {
 			t.Errorf("step %d: incremental base diverges from cold extraction:\n--- cold ---\n%s--- incremental ---\n%s", step, want, got)
+		}
+		if want, got := xmlenc.MarshalIndent(wantRes.XML()), xmlenc.MarshalIndent(gotRes.XML()); got != want {
+			t.Errorf("step %d: incremental XML diverges from cold rebuild:\n--- cold ---\n%s--- incremental ---\n%s", step, want, got)
 		}
 		churn.Advance()
 	}

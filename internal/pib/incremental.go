@@ -1,0 +1,279 @@
+// Incremental output: the dirty-subtree half of the end-to-end
+// incremental tick. PR 8 made Elog evaluation cost proportional to the
+// changed region of a document; this file does the same for the
+// instance-base → XML mapping. Instances carry content-addressed
+// identity hashes (built on dom.Tree's merkle subtree fingerprints),
+// Diff computes the added/removed/unchanged delta between two ticks'
+// bases, and Design.TransformIncremental reuses the previous tick's
+// emitted xmlenc subtrees for every instance whose output hash is
+// unchanged — splicing frozen subtrees into the fresh document instead
+// of rebuilding them.
+//
+// Identity is content-addressed, not ID-based: Instance.key() embeds
+// the parent's sequential ID and raw NodeIDs, both of which shift
+// between ticks even for untouched regions, so cross-tick matching
+// hangs off dom.SubtreeHash instead (fnv64; the collision risk is the
+// same one PR 8 accepted for match reuse, and the differential tests
+// and FuzzIncrementalTransform pin byte-identical output).
+
+package pib
+
+import (
+	"strings"
+
+	"repro/internal/xmlenc"
+)
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// mixString folds a string into an fnv64a hash, followed by a field
+// separator so adjacent fields cannot alias.
+func mixString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	h ^= 0x1f
+	h *= fnvPrime64
+	return h
+}
+
+// mix64 folds a 64-bit value into an fnv64a hash.
+func mix64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// ContentHash returns the instance's content-addressed local identity:
+// pattern, kind, and content (the string value for string instances,
+// the merkle subtree fingerprints of its nodes otherwise; the URL for
+// document instances). It deliberately excludes IDs, parent linkage,
+// and raw node numbers, all of which are unstable across ticks, so an
+// untouched region of a re-fetched page hashes identically. Memoized;
+// instances are built fresh per evaluation run.
+func (in *Instance) ContentHash() uint64 {
+	if in.cHashOK {
+		return in.cHash
+	}
+	h := uint64(fnvOffset64)
+	h = mixString(h, in.Pattern)
+	h = mix64(h, uint64(in.Kind))
+	if in.Kind == StringInstance {
+		h = mixString(h, in.Text)
+	} else {
+		if in.Kind == DocumentInstance {
+			h = mixString(h, in.URL)
+		}
+		for _, nd := range in.Nodes {
+			if in.Doc != nil {
+				h = mix64(h, in.Doc.SubtreeHash(nd))
+			}
+		}
+	}
+	in.cHash, in.cHashOK = h, true
+	return h
+}
+
+// outputHash extends ContentHash over the instance's subtree: the
+// ordered children's output hashes are folded in emission order, so
+// two instances with equal output hashes emit byte-identical XML under
+// any fixed Design (element names, text emission, and tree-minor
+// promotion are all functions of the pattern names and child hashes
+// the fold covers). This is the cache key for emitted subtrees.
+func (in *Instance) outputHash() uint64 {
+	if in.oHashOK {
+		return in.oHash
+	}
+	kids := orderedChildren(in)
+	h := mix64(in.ContentHash(), uint64(len(kids)))
+	for _, c := range kids {
+		h = mix64(h, c.outputHash())
+	}
+	in.oHash, in.oHashOK = h, true
+	return h
+}
+
+// Delta is the instance-level difference between two ticks' bases.
+// Added and Unchanged hold instances of the current base, Removed
+// instances of the previous one; matching is a multiset pairing on
+// ContentHash, so duplicate identical instances pair off one-to-one.
+type Delta struct {
+	Added, Removed, Unchanged []*Instance
+}
+
+// Diff computes the content-addressed instance delta from prev to cur.
+// Cost is linear in the two bases' sizes.
+func Diff(prev, cur *Base) Delta {
+	var d Delta
+	remain := make(map[uint64]int, len(prev.all))
+	prevBy := make(map[uint64][]*Instance, len(prev.all))
+	for _, in := range prev.all {
+		h := in.ContentHash()
+		remain[h]++
+		prevBy[h] = append(prevBy[h], in)
+	}
+	for _, in := range cur.all {
+		h := in.ContentHash()
+		if remain[h] > 0 {
+			remain[h]--
+			d.Unchanged = append(d.Unchanged, in)
+		} else {
+			d.Added = append(d.Added, in)
+		}
+	}
+	for h, list := range prevBy {
+		for i := len(list) - remain[h]; i < len(list); i++ {
+			d.Removed = append(d.Removed, list[i])
+		}
+	}
+	return d
+}
+
+// cachedSub is one reusable emitted subtree: the frozen element and
+// its node count (for the reuse stats, so splicing does not re-walk).
+type cachedSub struct {
+	el    *xmlenc.Node
+	nodes uint64
+}
+
+// OutputCache carries a wrapper's emitted-subtree cache and the
+// previous tick's base across TransformIncremental calls. Not safe for
+// concurrent use; each wrapper source owns one and transforms one tick
+// at a time.
+type OutputCache struct {
+	prev, next map[uint64][]cachedSub
+	prevBase   *Base
+
+	reused, built                uint64
+	added, removed, unchangedCnt uint64
+}
+
+// NewOutputCache returns an empty cache.
+func NewOutputCache() *OutputCache {
+	return &OutputCache{prev: map[uint64][]cachedSub{}}
+}
+
+// OutputStats are OutputCache's cumulative counters.
+type OutputStats struct {
+	// ReusedNodes / BuiltNodes count output XML nodes spliced from the
+	// previous tick vs constructed fresh.
+	ReusedNodes, BuiltNodes uint64
+	// InstancesAdded / InstancesRemoved / InstancesUnchanged accumulate
+	// the per-tick base deltas (Diff against the retained base).
+	InstancesAdded, InstancesRemoved, InstancesUnchanged uint64
+}
+
+// Stats returns the cache's cumulative counters.
+func (oc *OutputCache) Stats() OutputStats {
+	return OutputStats{
+		ReusedNodes:        oc.reused,
+		BuiltNodes:         oc.built,
+		InstancesAdded:     oc.added,
+		InstancesRemoved:   oc.removed,
+		InstancesUnchanged: oc.unchangedCnt,
+	}
+}
+
+// takePrev pops one cached subtree for the key, so a *Node is spliced
+// into at most one position of the new document (the output stays a
+// tree even when identical siblings repeat).
+func (oc *OutputCache) takePrev(key uint64) (cachedSub, bool) {
+	list := oc.prev[key]
+	if len(list) == 0 {
+		return cachedSub{}, false
+	}
+	sub := list[len(list)-1]
+	if len(list) == 1 {
+		delete(oc.prev, key)
+	} else {
+		oc.prev[key] = list[:len(list)-1]
+	}
+	return sub, true
+}
+
+// putNext records an emitted subtree for reuse by the next tick.
+func (oc *OutputCache) putNext(key uint64, sub cachedSub) {
+	oc.next[key] = append(oc.next[key], sub)
+}
+
+// TransformIncremental is Transform with cross-tick output reuse: the
+// root and document-level elements are rebuilt every tick (they are a
+// handful of nodes and carry per-tick attributes), while every
+// non-auxiliary instance subtree whose output hash matches one emitted
+// last tick is spliced in frozen from the cache. Freshly built
+// subtrees are frozen before caching, so a subtree shared with an
+// already-published document can never be mutated through the new one
+// (xmlenc's lixtodebug guard enforces this in debug builds). Output is
+// byte-identical to Transform on the same base.
+func (d *Design) TransformIncremental(b *Base, oc *OutputCache) *xmlenc.Node {
+	if oc.prevBase != nil {
+		delta := Diff(oc.prevBase, b)
+		oc.added += uint64(len(delta.Added))
+		oc.removed += uint64(len(delta.Removed))
+		oc.unchangedCnt += uint64(len(delta.Unchanged))
+	}
+	oc.next = make(map[uint64][]cachedSub, len(oc.prev)+8)
+
+	rootName := d.RootName
+	if rootName == "" {
+		rootName = "lixto"
+	}
+	root := xmlenc.NewElement(rootName)
+	for _, docInst := range b.Roots {
+		var target *xmlenc.Node
+		if d.Auxiliary[docInst.Pattern] {
+			target = root
+		} else {
+			el := xmlenc.NewElement(d.elementName(docInst.Pattern))
+			if d.EmitURL && docInst.URL != "" {
+				el.SetAttr("url", docInst.URL)
+			}
+			root.Append(el)
+			target = el
+		}
+		d.emitChildrenCached(docInst, target, oc)
+	}
+
+	oc.prev, oc.next = oc.next, nil
+	oc.prevBase = b
+	return root
+}
+
+// emitChildrenCached mirrors emitChildren with the subtree cache in
+// the path, returning the number of output nodes placed under out.
+func (d *Design) emitChildrenCached(in *Instance, out *xmlenc.Node, oc *OutputCache) uint64 {
+	var total uint64
+	for _, c := range orderedChildren(in) {
+		if d.Auxiliary[c.Pattern] {
+			// Tree minor: skip the node, promote its children.
+			total += d.emitChildrenCached(c, out, oc)
+			continue
+		}
+		key := c.outputHash()
+		if sub, ok := oc.takePrev(key); ok {
+			out.Append(sub.el)
+			oc.putNext(key, sub)
+			oc.reused += sub.nodes
+			total += sub.nodes
+			continue
+		}
+		el := xmlenc.NewElement(d.elementName(c.Pattern))
+		out.Append(el)
+		nodes := d.emitChildrenCached(c, el, oc) + 1
+		if (len(el.Children) == 0 || d.AlwaysText[c.Pattern]) && !d.SuppressText[c.Pattern] {
+			el.Text = strings.TrimSpace(c.TextContent())
+		}
+		el.Freeze()
+		oc.putNext(key, cachedSub{el: el, nodes: nodes})
+		oc.built++
+		total += nodes
+	}
+	return total
+}

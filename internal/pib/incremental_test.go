@@ -1,0 +1,194 @@
+package pib
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/dom"
+	"repro/internal/xmlenc"
+)
+
+// buildBaseN is buildBase parameterized: n entries, one of which (idx
+// tagged) carries a version-dependent name, so two calls with different
+// tags produce bases identical everywhere but that entry.
+func buildBaseN(t *testing.T, n int, tag string) *Base {
+	t.Helper()
+	term := "html(body(ul("
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("Item%d", i)
+		if i == n/2 {
+			name += tag
+		}
+		if i > 0 {
+			term += ","
+		}
+		term += fmt.Sprintf(`li(span(%q),em("$%d"))`, name, i)
+	}
+	term += ")))"
+	doc := dom.MustParseTerm(term)
+	doc.Reindex()
+	b := NewBase()
+	root, _ := b.Add(&Instance{Pattern: "document", Kind: DocumentInstance, Doc: doc, URL: "u", Nodes: []dom.NodeID{doc.Root()}})
+	list, _ := b.Add(&Instance{Pattern: "list", Kind: NodeInstance, Doc: doc, URL: "u", Nodes: []dom.NodeID{doc.FirstChild(doc.FirstChild(doc.Root()))}, Parent: root})
+	doc.Walk(func(nd dom.NodeID) {
+		if doc.Label(nd) != "li" {
+			return
+		}
+		entry, _ := b.Add(&Instance{Pattern: "entry", Kind: NodeInstance, Doc: doc, URL: "u", Nodes: []dom.NodeID{nd}, Parent: list})
+		doc.WalkSubtree(nd, func(c dom.NodeID) {
+			switch doc.Label(c) {
+			case "span":
+				b.Add(&Instance{Pattern: "name", Kind: NodeInstance, Doc: doc, URL: "u", Nodes: []dom.NodeID{c}, Parent: entry})
+			case "em":
+				b.Add(&Instance{Pattern: "price", Kind: StringInstance, Doc: doc, URL: "u", Text: doc.ElementText(c), Parent: entry})
+			}
+		})
+	})
+	return b
+}
+
+// ContentHash must be stable for content-identical instances across
+// re-parsed documents (fresh NodeIDs, fresh parent IDs) and differ when
+// content differs.
+func TestContentHashCrossTick(t *testing.T) {
+	b1 := buildBaseN(t, 6, "A")
+	b2 := buildBaseN(t, 6, "A")
+	b3 := buildBaseN(t, 6, "B")
+	h := func(b *Base, pat string, i int) uint64 { return b.Instances(pat)[i].ContentHash() }
+	for i := 0; i < 6; i++ {
+		if h(b1, "entry", i) != h(b2, "entry", i) {
+			t.Errorf("entry %d: identical content hashes differently across parses", i)
+		}
+	}
+	if h(b1, "entry", 3) == h(b3, "entry", 3) {
+		t.Error("changed entry content hashes identically")
+	}
+	if h(b1, "entry", 0) != h(b3, "entry", 0) {
+		t.Error("untouched entry's hash shifted when a sibling changed")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	prev := buildBaseN(t, 6, "A")
+	cur := buildBaseN(t, 6, "B")
+	d := Diff(prev, cur)
+	// The tagged li changes: its entry, its name instance, and the
+	// enclosing list + document (whose subtree hashes cover it) differ.
+	// The other 5 entries, their names, and all 6 price strings match.
+	if len(d.Added) != len(d.Removed) {
+		t.Errorf("added %d != removed %d on an equal-size change", len(d.Added), len(d.Removed))
+	}
+	if len(d.Added) == 0 || len(d.Unchanged) == 0 {
+		t.Fatalf("degenerate delta: added %d unchanged %d", len(d.Added), len(d.Unchanged))
+	}
+	wantUnchanged := cur.Count() - len(d.Added)
+	if len(d.Unchanged) != wantUnchanged {
+		t.Errorf("unchanged = %d, want %d", len(d.Unchanged), wantUnchanged)
+	}
+	// Identity diff: everything unchanged.
+	same := Diff(prev, buildBaseN(t, 6, "A"))
+	if len(same.Added) != 0 || len(same.Removed) != 0 {
+		t.Errorf("identical bases diff to added %d removed %d", len(same.Added), len(same.Removed))
+	}
+}
+
+// TransformIncremental must emit byte-identical XML to Transform, tick
+// after tick, while actually reusing subtrees.
+func TestTransformIncrementalByteIdentical(t *testing.T) {
+	designs := []*Design{
+		{Auxiliary: map[string]bool{"document": true}},
+		{Auxiliary: map[string]bool{"document": true, "list": true}, RootName: "out"},
+		{Auxiliary: map[string]bool{"document": true}, Rename: map[string]string{"name": "n"}, SuppressText: map[string]bool{"price": true}},
+		{EmitURL: true},
+		{Auxiliary: map[string]bool{"document": true, "list": true}, AlwaysText: map[string]bool{"entry": true}},
+	}
+	for di, d := range designs {
+		oc := NewOutputCache()
+		for tick := 0; tick < 4; tick++ {
+			b := buildBaseN(t, 8, fmt.Sprintf("v%d", tick/2)) // change every other tick
+			want := xmlenc.MarshalIndent(d.Transform(b))
+			got := xmlenc.MarshalIndent(d.TransformIncremental(b, oc))
+			if got != want {
+				t.Fatalf("design %d tick %d: incremental output diverges:\n%s\nvs\n%s", di, tick, got, want)
+			}
+		}
+		st := oc.Stats()
+		if st.ReusedNodes == 0 {
+			t.Errorf("design %d: no nodes reused across 4 ticks", di)
+		}
+		if st.InstancesUnchanged == 0 {
+			t.Errorf("design %d: diff saw no unchanged instances", di)
+		}
+	}
+}
+
+// Aliasing: a document already rendered must stay byte-stable after
+// later ticks reuse (and re-place) its subtrees.
+func TestTransformIncrementalAliasing(t *testing.T) {
+	d := &Design{Auxiliary: map[string]bool{"document": true}}
+	oc := NewOutputCache()
+	doc1 := d.TransformIncremental(buildBaseN(t, 8, "v1"), oc)
+	snap := xmlenc.MarshalIndent(doc1)
+	d.TransformIncremental(buildBaseN(t, 8, "v2"), oc)
+	d.TransformIncremental(buildBaseN(t, 8, "v3"), oc)
+	if got := xmlenc.MarshalIndent(doc1); got != snap {
+		t.Fatal("published tick-1 document mutated by later incremental transforms")
+	}
+	// Emitted instance subtrees are frozen; the roots are fresh.
+	if doc1.Frozen() {
+		t.Error("document root should be fresh (unfrozen) each tick")
+	}
+	for _, c := range doc1.Children {
+		if !c.Frozen() {
+			t.Errorf("emitted subtree <%s> not frozen", c.Name)
+		}
+	}
+}
+
+// Duplicate identical siblings must each get their own tree position:
+// the cache pops per use, so the output stays a tree.
+func TestTransformIncrementalDuplicateSiblings(t *testing.T) {
+	build := func() *Base {
+		doc := dom.MustParseTerm(`html(body(ul(li(span("Same")),li(span("Same")),li(span("Same")))))`)
+		doc.Reindex()
+		b := NewBase()
+		root, _ := b.Add(&Instance{Pattern: "document", Kind: DocumentInstance, Doc: doc, URL: "u", Nodes: []dom.NodeID{doc.Root()}})
+		doc.Walk(func(nd dom.NodeID) {
+			if doc.Label(nd) == "li" {
+				b.Add(&Instance{Pattern: "entry", Kind: NodeInstance, Doc: doc, URL: "u", Nodes: []dom.NodeID{nd}, Parent: root})
+			}
+		})
+		return b
+	}
+	d := &Design{Auxiliary: map[string]bool{"document": true}}
+	oc := NewOutputCache()
+	d.TransformIncremental(build(), oc)
+	out := d.TransformIncremental(build(), oc)
+	if len(out.Children) != 3 {
+		t.Fatalf("children = %d, want 3", len(out.Children))
+	}
+	seen := map[*xmlenc.Node]bool{}
+	for _, c := range out.Children {
+		if seen[c] {
+			t.Fatal("same *Node spliced into two sibling positions")
+		}
+		seen[c] = true
+	}
+	if got, want := xmlenc.MarshalIndent(out), xmlenc.MarshalIndent(d.Transform(build())); got != want {
+		t.Errorf("duplicate-sibling output diverges:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// Shrinking and growing the base across ticks must stay byte-identical
+// (removed subtrees are dropped, new ones built).
+func TestTransformIncrementalGrowShrink(t *testing.T) {
+	d := &Design{Auxiliary: map[string]bool{"document": true}}
+	oc := NewOutputCache()
+	for _, n := range []int{8, 3, 12, 1, 12} {
+		b := buildBaseN(t, n, "x")
+		want := xmlenc.MarshalIndent(d.Transform(b))
+		if got := xmlenc.MarshalIndent(d.TransformIncremental(b, oc)); got != want {
+			t.Fatalf("size %d: incremental output diverges", n)
+		}
+	}
+}

@@ -57,6 +57,15 @@ type Instance struct {
 	// document instances).
 	Parent   *Instance
 	Children []*Instance
+
+	// Memoized transform-time state (computed after evaluation has
+	// finished, when the instance's children and document are final):
+	// the content-addressed identity hashes of incremental.go and the
+	// document-ordered child list.
+	cHash, oHash     uint64
+	cHashOK, oHashOK bool
+	ordKids          []*Instance
+	ordOK            bool
 }
 
 // TextContent returns the instance's text: the stored string for string
@@ -258,8 +267,14 @@ func (d *Design) emitChildren(in *Instance, out *xmlenc.Node) {
 
 // orderedChildren returns the children sorted by document order of their
 // first node (string instances keep their relative insertion order,
-// anchored at their parent's position).
+// anchored at their parent's position). The sorted list is memoized:
+// it is only requested at transform time, when the base is final, and
+// the incremental path needs it twice per instance (once for the
+// output hash, once for emission).
 func orderedChildren(in *Instance) []*Instance {
+	if in.ordOK {
+		return in.ordKids
+	}
 	out := append([]*Instance(nil), in.Children...)
 	pos := func(c *Instance) int {
 		if len(c.Nodes) > 0 && c.Doc != nil {
@@ -271,6 +286,7 @@ func orderedChildren(in *Instance) []*Instance {
 		return 0
 	}
 	sort.SliceStable(out, func(i, j int) bool { return pos(out[i]) < pos(out[j]) })
+	in.ordKids, in.ordOK = out, true
 	return out
 }
 

@@ -1,0 +1,143 @@
+package resultlog
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// appendN writes n snapshot records of ~size bytes starting at version
+// from, returning the last version written.
+func appendN(t *testing.T, l *Log, from uint64, n, size int) uint64 {
+	t.Helper()
+	v := from
+	for i := 0; i < n; i++ {
+		xml := []byte("<doc v=\"" + fmt.Sprint(v) + "\">" + strings.Repeat("x", size) + "</doc>\n")
+		if err := l.Append(Record{Kind: KindSnapshot, Version: v, Fingerprint: v, XML: xml}); err != nil {
+			t.Fatalf("append %d: %v", v, err)
+		}
+		v++
+	}
+	return v - 1
+}
+
+func segFiles(t *testing.T, dir, name string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(dir, name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".wal") {
+			out = append(out, e.Name())
+		}
+	}
+	return out
+}
+
+func TestCompactTruncatesHistory(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SegmentBytes: 2048, MaxSegments: 64, Fsync: FsyncOff, CompactSegments: 3})
+	l := mustLog(t, s, "w")
+	last := appendN(t, l, 1, 40, 128) // forces several rotations
+	if !l.NeedsCompaction() {
+		t.Fatalf("expected NeedsCompaction after %d segment files", len(segFiles(t, dir, "w")))
+	}
+	checkpoint := []byte("<doc v=\"" + fmt.Sprint(last) + "\">latest</doc>\n")
+	if err := l.Compact(Record{Version: last, Fingerprint: last, XML: checkpoint}); err != nil {
+		t.Fatal(err)
+	}
+	if l.NeedsCompaction() {
+		t.Error("still NeedsCompaction immediately after Compact")
+	}
+	if got := segFiles(t, dir, "w"); len(got) != 1 {
+		t.Fatalf("segments after compact = %v, want exactly one", got)
+	}
+	recs := collect(t, l)
+	if len(recs) != 1 {
+		t.Fatalf("replay after compact = %d records, want 1", len(recs))
+	}
+	if recs[0].Kind != KindCheckpoint || recs[0].Version != last || !bytes.Equal(recs[0].XML, checkpoint) {
+		t.Fatalf("checkpoint replayed wrong: %+v", recs[0])
+	}
+	if l.LastVersion() != last {
+		t.Errorf("LastVersion = %d, want %d", l.LastVersion(), last)
+	}
+	if st := s.Stats(); st.Compactions != 1 {
+		t.Errorf("Compactions = %d, want 1", st.Compactions)
+	}
+
+	// The log keeps appending after the checkpoint, and a cursor at the
+	// checkpoint version sees only the newer records.
+	appendN(t, l, last+1, 3, 16)
+	var since []uint64
+	l.Since(last, func(r Record) error { since = append(since, r.Version); return nil })
+	if len(since) != 3 || since[0] != last+1 {
+		t.Errorf("Since(checkpoint) = %v", since)
+	}
+}
+
+// A reopened store must restore from the checkpoint exactly as it would
+// from the full history's tail.
+func TestCompactSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{SegmentBytes: 1024, MaxSegments: 64, Fsync: FsyncOff, CompactSegments: 2}
+	s := open(t, dir, opts)
+	l := mustLog(t, s, "w")
+	last := appendN(t, l, 1, 20, 100)
+	checkpoint := []byte("<state/>\n")
+	if err := l.Compact(Record{Version: last, Fingerprint: 9, XML: checkpoint}); err != nil {
+		t.Fatal(err)
+	}
+	appendN(t, l, last+1, 2, 16)
+	s.Close()
+
+	s2 := open(t, dir, opts)
+	l2 := mustLog(t, s2, "w")
+	if l2.LastVersion() != last+2 {
+		t.Fatalf("LastVersion after reopen = %d, want %d", l2.LastVersion(), last+2)
+	}
+	recs := collect(t, l2)
+	if len(recs) != 3 {
+		t.Fatalf("replay after reopen = %d records, want 3 (checkpoint + 2)", len(recs))
+	}
+	if recs[0].Kind != KindCheckpoint || !bytes.Equal(recs[0].XML, checkpoint) {
+		t.Fatalf("first replayed record not the checkpoint: %+v", recs[0])
+	}
+	// Appends continue past the restored tail.
+	if err := l2.Append(Record{Kind: KindSnapshot, Version: last + 3, XML: []byte("<n/>")}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactVersionRules(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{Fsync: FsyncOff, CompactSegments: 1})
+	l := mustLog(t, s, "w")
+	appendN(t, l, 1, 3, 16)
+	// Behind the log's last version: rejected (Append would also refuse
+	// an equal version; Compact uniquely allows restating it).
+	if err := l.Compact(Record{Version: 2, XML: []byte("<x/>")}); err == nil {
+		t.Error("Compact accepted a stale version")
+	}
+	if err := l.Compact(Record{Version: 3, XML: []byte("<x/>")}); err != nil {
+		t.Errorf("Compact rejected the current version: %v", err)
+	}
+	if l.LastVersion() != 3 {
+		t.Errorf("LastVersion = %d", l.LastVersion())
+	}
+}
+
+func TestNeedsCompactionOffByDefault(t *testing.T) {
+	dir := t.TempDir()
+	s := open(t, dir, Options{SegmentBytes: 512, Fsync: FsyncOff})
+	l := mustLog(t, s, "w")
+	appendN(t, l, 1, 30, 100)
+	if l.NeedsCompaction() {
+		t.Error("NeedsCompaction true with CompactSegments unset")
+	}
+}

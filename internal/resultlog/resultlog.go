@@ -48,6 +48,12 @@ const (
 	// but the bytes did not, so only the version is logged and replay
 	// re-appends the previous document.
 	KindNoop byte = 2
+	// KindCheckpoint is the latest snapshot re-written by compaction
+	// (Log.Compact) so segments holding older history can be deleted.
+	// It carries the same payload as KindSnapshot and replays the same
+	// way; uniquely, its version may equal the log's last version, since
+	// it restates rather than advances the delivery state.
+	KindCheckpoint byte = 3
 )
 
 // Record is one logged delivery.
@@ -170,6 +176,13 @@ type Options struct {
 	// MaxAge drops closed segments whose newest record is older than
 	// this (0 = no age-based truncation).
 	MaxAge time.Duration
+	// CompactSegments triggers checkpoint compaction once a log holds at
+	// least this many closed segments (Log.NeedsCompaction): the caller
+	// writes the latest snapshot as a KindCheckpoint record into a fresh
+	// segment and every older closed segment is deleted, so restore cost
+	// stops growing with wrapper lifetime. 0 disables compaction and
+	// leaves retention to MaxSegments/MaxAge alone.
+	CompactSegments int
 	// Fsync selects the durability mode (default FsyncBatch).
 	Fsync FsyncMode
 	// FsyncInterval is the batch syncer period (default 50ms).
@@ -210,9 +223,11 @@ type Stats struct {
 	Fsyncs       uint64 `json:"fsyncs"`
 	BatchedSyncs uint64 `json:"batched_syncs"`
 	// Rotations counts segment rollovers; TruncatedSegments counts
-	// segments deleted by size/age retention.
+	// segments deleted by size/age retention or compaction;
+	// Compactions counts checkpoint compactions (Log.Compact).
 	Rotations         uint64 `json:"rotations"`
 	TruncatedSegments uint64 `json:"truncated_segments"`
+	Compactions       uint64 `json:"compactions"`
 	// ReplayedRecords counts records read back during recovery;
 	// TornRecords counts frames dropped as truncated or corrupt.
 	ReplayedRecords uint64 `json:"replayed_records"`
@@ -245,6 +260,7 @@ type Store struct {
 	batchSyncs  atomic.Uint64
 	rotations   atomic.Uint64
 	truncated   atomic.Uint64
+	compactions atomic.Uint64
 	replayed    atomic.Uint64
 	torn        atomic.Uint64
 	appendErrs  atomic.Uint64
@@ -491,6 +507,7 @@ func (s *Store) Stats() Stats {
 		BatchedSyncs:      s.batchSyncs.Load(),
 		Rotations:         s.rotations.Load(),
 		TruncatedSegments: s.truncated.Load(),
+		Compactions:       s.compactions.Load(),
 		ReplayedRecords:   s.replayed.Load(),
 		TornRecords:       s.torn.Load(),
 		AppendErrors:      s.appendErrs.Load(),
@@ -722,6 +739,79 @@ func (l *Log) truncateLocked() {
 	if drop > 0 {
 		l.closedSegs = append([]segInfo(nil), l.closedSegs[drop:]...)
 	}
+}
+
+// NeedsCompaction reports whether the log has accumulated at least
+// Options.CompactSegments closed segments (always false when the
+// policy is off). The caller responds by invoking Compact with the
+// latest snapshot; polling this per tick is a pair of cheap loads.
+func (l *Log) NeedsCompaction() bool {
+	n := l.store.opts.CompactSegments
+	if n <= 0 {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.closedSegs) >= n
+}
+
+// Compact collapses the log's history into one checkpoint: the given
+// record — the latest published snapshot, restated — is written as a
+// KindCheckpoint into a fresh segment, and every older closed segment
+// is deleted. Replay afterwards starts at the checkpoint, so restore
+// cost is bounded by the live state instead of the wrapper's lifetime.
+// rec.Version must be the log's last version (the checkpoint restates
+// it) or newer; rec.XML and rec.Fingerprint carry the snapshot. The
+// checkpoint is fsynced before any segment is deleted (unless the
+// store runs FsyncOff), so a crash mid-compaction never loses the only
+// copy of the state.
+func (l *Log) Compact(rec Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("resultlog: log closed")
+	}
+	if rec.Version < l.lastVer {
+		return fmt.Errorf("resultlog: checkpoint version %d behind %d", rec.Version, l.lastVer)
+	}
+	rec.Kind = KindCheckpoint
+	if rec.Time == 0 {
+		rec.Time = time.Now().UnixNano()
+	}
+	if l.activeInfo.size > 0 {
+		if err := l.rotateLocked(); err != nil {
+			l.store.noteErr(err)
+			return err
+		}
+	}
+	l.buf = AppendRecord(l.buf[:0], rec)
+	if _, err := l.active.Write(l.buf); err != nil {
+		l.store.noteErr(err)
+		return err
+	}
+	if l.activeInfo.firstVer == 0 {
+		l.activeInfo.firstVer = rec.Version
+	}
+	l.activeInfo.lastVer = rec.Version
+	l.activeInfo.lastTime = rec.Time
+	l.activeInfo.size += int64(len(l.buf))
+	l.lastVer = rec.Version
+	l.store.appends.Add(1)
+	l.store.bytes.Add(uint64(len(l.buf)))
+	if l.store.opts.Fsync != FsyncOff {
+		if err := l.active.Sync(); err != nil {
+			l.store.noteErr(err)
+			return err
+		}
+		l.store.fsyncs.Add(1)
+	}
+	for _, seg := range l.closedSegs {
+		os.Remove(seg.path)
+		l.store.truncated.Add(1)
+	}
+	l.closedSegs = nil
+	l.store.compactions.Add(1)
+	return nil
 }
 
 // Sync flushes the active segment to stable storage.

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/resultlog"
+)
+
+// TestDrainCompaction pins the end-to-end compaction path: a store with
+// a tight segment bound and a compaction threshold accumulates enough
+// deliveries that the drain path rewrites the log to a checkpoint — and
+// a server restored from the compacted log serves the latest snapshot
+// byte-identically, ETag included, with the next delivery continuing
+// the version sequence.
+func TestDrainCompaction(t *testing.T) {
+	dir := t.TempDir()
+	store, err := resultlog.Open(dir, resultlog.Options{
+		SegmentBytes:    64, // a delivery or two per segment
+		MaxSegments:     64,
+		Fsync:           resultlog.FsyncOff,
+		CompactSegments: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := New(Config{ResultStore: store})
+	p1 := newFakePipe("x", 0)
+	if err := s1.Register(p1, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		deliver(t, s1, p1)
+	}
+	st := store.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compactions after 12 deliveries over 256-byte segments: %+v", st)
+	}
+	if st.Segments > 3+1 {
+		t.Errorf("segment count %d not held down by compaction", st.Segments)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	_, latest1, hdr1 := do(t, "GET", ts1.URL+"/x", nil)
+	ts1.Close()
+	if hdr1.Get("Lixto-Version") != "12" {
+		t.Fatalf("version before restart: %q", hdr1.Get("Lixto-Version"))
+	}
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	store2, err := resultlog.Open(dir, resultlog.Options{Fsync: resultlog.FsyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store2.Close()
+	s2 := New(Config{ResultStore: store2})
+	p2 := newFakePipe("x", 0)
+	if err := s2.Register(p2, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Restore(); err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	defer ts2.Close()
+	_, latest2, hdr2 := do(t, "GET", ts2.URL+"/x", nil)
+	if latest2 != latest1 {
+		t.Errorf("restored snapshot differs:\n--- before ---\n%s--- after ---\n%s", latest1, latest2)
+	}
+	if hdr2.Get("ETag") != hdr1.Get("ETag") || hdr2.Get("Lixto-Version") != "12" {
+		t.Errorf("restored headers: ETag %q vs %q, version %q",
+			hdr2.Get("ETag"), hdr1.Get("ETag"), hdr2.Get("Lixto-Version"))
+	}
+	// The log continues past the checkpoint.
+	deliver(t, s2, p2)
+	_, _, hdr3 := do(t, "GET", ts2.URL+"/x", nil)
+	if hdr3.Get("Lixto-Version") != "13" {
+		t.Errorf("post-restore version = %q, want 13", hdr3.Get("Lixto-Version"))
+	}
+}

@@ -65,9 +65,25 @@ type snapshot struct {
 }
 
 func newSnapshot(doc *xmlenc.Node, version, seq uint64) *snapshot {
+	return newSnapshotEnc(nil, doc, version, seq)
+}
+
+// newSnapshotEnc is newSnapshot encoding through the pipeline's splice
+// encoder when one is present (nil falls back to the stateless
+// encoder). The encoder caches encoded byte ranges per frozen subtree,
+// so re-encoding a document that shares most of its subtrees with the
+// previous snapshot splices the unchanged ranges instead of walking
+// them; output — and therefore the ETag — is byte-identical either
+// way. Callers must hold the pipeline's publish mutex when enc is
+// non-nil (the encoder is single-writer state).
+func newSnapshotEnc(enc *xmlenc.Encoder, doc *xmlenc.Node, version, seq uint64) *snapshot {
 	sn := &snapshot{doc: doc, seq: seq, ver: version}
 	sn.version.Store(version)
-	sn.xml = xmlenc.MarshalIndentBytes(doc)
+	if enc != nil {
+		sn.xml = enc.MarshalIndentBytes(doc)
+	} else {
+		sn.xml = xmlenc.MarshalIndentBytes(doc)
+	}
 	sn.xmlTag = etagFor(sn.xml, 'x')
 	return sn
 }
@@ -206,6 +222,13 @@ type delivery struct {
 	etagHits   atomic.Uint64 // conditional GETs answered 304
 	etagMisses atomic.Uint64 // conditional GETs that had to send the body
 
+	// enc is the pipeline's splice encoder (see xmlenc.Encoder), built
+	// on first publish and used only under pubMu. noSplice (set at
+	// initPipe from Config.NoIncrementalOutput) keeps it nil, pinning
+	// the stateless encode path.
+	enc      *xmlenc.Encoder
+	noSplice bool
+
 	histMu      sync.Mutex
 	histVersion uint64
 	hist        map[histKey][]byte
@@ -258,7 +281,10 @@ func (d *delivery) publish(out *transform.Collector) *snapshot {
 		cur.version.Store(v)
 		d.suppressed.Add(1)
 	default:
-		fresh := newSnapshot(doc, v, d.seq.Load()+1)
+		if d.enc == nil && !d.noSplice {
+			d.enc = xmlenc.NewEncoder()
+		}
+		fresh := newSnapshotEnc(d.enc, doc, v, d.seq.Load()+1)
 		if cur != nil && bytes.Equal(fresh.xml, cur.xml) {
 			// Fresh document object, identical content.
 			cur.version.Store(v)
@@ -279,6 +305,19 @@ func (d *delivery) publish(out *transform.Collector) *snapshot {
 		d.hooks.notify()
 	}
 	return sn
+}
+
+// splicedBytes reports the cumulative snapshot bytes this pipeline's
+// splice encoder reused from its cache instead of re-encoding (0 when
+// splicing is disabled or nothing has been published). Takes the
+// publish mutex briefly; called from the status path only.
+func (d *delivery) splicedBytes() uint64 {
+	d.pubMu.Lock()
+	defer d.pubMu.Unlock()
+	if d.enc == nil {
+		return 0
+	}
+	return d.enc.SplicedBytes()
 }
 
 // history serves the encoded history list from the per-pipeline cache,

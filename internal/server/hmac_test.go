@@ -1,0 +1,91 @@
+package server
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSignAndVerifyPayload(t *testing.T) {
+	body := []byte("<doc n=\"1\"/>\n")
+	sig := SignPayload("s3cret", body)
+	if len(sig) != len("sha256=")+64 {
+		t.Fatalf("signature shape: %q", sig)
+	}
+	if !VerifySignature("s3cret", body, sig) {
+		t.Error("valid signature rejected")
+	}
+	if VerifySignature("other", body, sig) {
+		t.Error("wrong secret accepted")
+	}
+	if VerifySignature("s3cret", []byte("<tampered/>"), sig) {
+		t.Error("tampered body accepted")
+	}
+	if VerifySignature("s3cret", body, "") {
+		t.Error("missing header accepted")
+	}
+}
+
+// TestWebhookSignature pins the signed-delivery contract: an endpoint
+// registered with a secret receives a verifiable Lixto-Signature on
+// every POST, the listing advertises signing without leaking the
+// secret, and an endpoint registered without one gets no header.
+func TestWebhookSignature(t *testing.T) {
+	signed := newHookSink(t)
+	unsigned := newHookSink(t)
+	s := New(Config{})
+	p := newFakePipe("x", 0)
+	if err := s.Register(p, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		deliver(t, s, p)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const secret = "0f1e2d3c4b5a"
+	code, body, _ := do(t, "POST", ts.URL+"/v1/wrappers/x/webhooks",
+		map[string]any{"url": signed.ts.URL, "since": 0, "secret": secret})
+	if code != 201 {
+		t.Fatalf("create signed webhook: %d %s", code, body)
+	}
+	var created hookInfo
+	if err := jsonUnmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	if !created.Signed {
+		t.Errorf("created info not marked signed: %s", body)
+	}
+	if code, body, _ := do(t, "POST", ts.URL+"/v1/wrappers/x/webhooks",
+		map[string]any{"url": unsigned.ts.URL, "since": 0}); code != 201 {
+		t.Fatalf("create unsigned webhook: %d %s", code, body)
+	}
+
+	got := signed.waitFor(t, "3 signed deliveries", func(rs []hookReceipt) bool { return len(rs) >= 3 })
+	for i, r := range got[:3] {
+		if r.sig == "" {
+			t.Fatalf("receipt %d: no Lixto-Signature header", i)
+		}
+		if !VerifySignature(secret, []byte(r.body), r.sig) {
+			t.Errorf("receipt %d: signature %q does not verify over body", i, r.sig)
+		}
+		if VerifySignature("wrong", []byte(r.body), r.sig) {
+			t.Errorf("receipt %d: signature verifies under the wrong secret", i)
+		}
+	}
+	plain := unsigned.waitFor(t, "3 unsigned deliveries", func(rs []hookReceipt) bool { return len(rs) >= 3 })
+	for i, r := range plain[:3] {
+		if r.sig != "" {
+			t.Errorf("unsigned receipt %d carries a signature %q", i, r.sig)
+		}
+	}
+
+	// The secret never appears in any listing.
+	for _, path := range []string{"/v1/wrappers/x/webhooks", "/v1/wrappers/x/webhooks/h1"} {
+		if _, body, _ := do(t, "GET", ts.URL+path, nil); strings.Contains(body, secret) {
+			t.Errorf("GET %s leaks the secret: %s", path, body)
+		}
+	}
+}

@@ -120,6 +120,19 @@ func (pp *pipePersist) drain(sn *snapshot) {
 		pp.nextVer++
 		appended++
 	}
+	if appended > 0 && pp.lastXML != nil && pp.log.NeedsCompaction() {
+		// Checkpoint compaction: restate the latest snapshot into a fresh
+		// segment and drop the older ones, so restore cost tracks the live
+		// state rather than the wrapper's lifetime. Still under pubMu, so
+		// no append races the rewrite.
+		h := fnv.New64a()
+		h.Write(pp.lastXML)
+		pp.log.Compact(resultlog.Record{
+			Version:     pp.nextVer - 1,
+			Fingerprint: h.Sum64(),
+			XML:         pp.lastXML,
+		})
+	}
 	if appended < len(entries) {
 		pp.mu.Lock()
 		pp.pending = append(entries[appended:], pp.pending...)
@@ -172,7 +185,7 @@ func (ps *pipeState) rehydrate(retain int) error {
 	)
 	err := pp.log.Replay(func(rec resultlog.Record) error {
 		switch rec.Kind {
-		case resultlog.KindSnapshot:
+		case resultlog.KindSnapshot, resultlog.KindCheckpoint:
 			doc, err := xmlenc.Unmarshal(string(rec.XML))
 			if err != nil {
 				return fmt.Errorf("server: result log for %q: version %d: %w", ps.name, rec.Version, err)
@@ -281,7 +294,7 @@ func (s *Server) restoreDynamic(spec wrapperSpec) error {
 	if err != nil {
 		return err
 	}
-	d, err := newDynPipeline(spec.Name, lw, fetcher, s.cfg.MatchCache)
+	d, err := newDynPipeline(spec.Name, lw, fetcher, s.cfg.MatchCache, s.cfg.NoIncrementalOutput)
 	if err != nil {
 		return err
 	}

@@ -95,6 +95,10 @@ func (ps *pipeState) status(name string) PipelineStatus {
 	}
 	if es, ok := ps.p.(ExtractionStatser); ok {
 		stats := es.ExtractionStats()
+		// The splice encoder lives with the delivery plane, not the
+		// wrapper source; merge its counter into the extraction block so
+		// /statusz and GET /v1/wrappers show the whole incremental tick.
+		stats.EncodeSplicedBytes = ps.deliver.splicedBytes()
 		st.Extraction = &stats
 	}
 	return st

@@ -2,6 +2,9 @@ package server
 
 import (
 	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -51,12 +54,14 @@ type hookMeta struct {
 	ID     string `json:"id"`
 	URL    string `json:"url"`
 	Cursor uint64 `json:"cursor"`
+	Secret string `json:"secret,omitempty"`
 }
 
 // hookEndpoint is one registered webhook and its dispatcher state.
 type hookEndpoint struct {
 	id     string
 	url    string
+	secret string // HMAC key for Lixto-Signature; empty = unsigned
 	hs     *hookSet
 	notify chan struct{} // buffered(1): new results may be available
 	done   chan struct{} // closed to stop the dispatcher
@@ -75,9 +80,12 @@ type hookEndpoint struct {
 
 // hookInfo is an endpoint's JSON rendering in the /v1 responses.
 type hookInfo struct {
-	ID           string `json:"id"`
-	URL          string `json:"url"`
-	Cursor       uint64 `json:"cursor"`
+	ID     string `json:"id"`
+	URL    string `json:"url"`
+	Cursor uint64 `json:"cursor"`
+	// Signed reports that deliveries carry a Lixto-Signature HMAC header
+	// (the secret itself is never echoed back).
+	Signed       bool   `json:"signed,omitempty"`
 	State        string `json:"state"`
 	Deliveries   uint64 `json:"deliveries"`
 	Failures     uint64 `json:"failures"`
@@ -91,7 +99,7 @@ func (e *hookEndpoint) info() hookInfo {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	info := hookInfo{
-		ID: e.id, URL: e.url, Cursor: e.cursor, State: e.state,
+		ID: e.id, URL: e.url, Cursor: e.cursor, Signed: e.secret != "", State: e.state,
 		Deliveries: e.deliveries, Failures: e.failures, Retries: e.retries,
 		BreakerOpens: e.opens, LastError: e.lastErr,
 	}
@@ -134,8 +142,9 @@ func (hs *hookSet) notify() {
 }
 
 // add registers an endpoint and starts its dispatcher. cursor is the
-// version to resume after (deliveries start at cursor+1).
-func (hs *hookSet) add(id, rawurl string, cursor uint64) (*hookEndpoint, error) {
+// version to resume after (deliveries start at cursor+1); a non-empty
+// secret makes every delivery carry a Lixto-Signature HMAC header.
+func (hs *hookSet) add(id, rawurl string, cursor uint64, secret string) (*hookEndpoint, error) {
 	hs.mu.Lock()
 	defer hs.mu.Unlock()
 	if hs.closed {
@@ -155,7 +164,7 @@ func (hs *hookSet) add(id, rawurl string, cursor uint64) (*hookEndpoint, error) 
 		return nil, fmt.Errorf("duplicate webhook id %q", id)
 	}
 	e := &hookEndpoint{
-		id: id, url: rawurl, hs: hs,
+		id: id, url: rawurl, secret: secret, hs: hs,
 		notify: make(chan struct{}, 1),
 		done:   make(chan struct{}),
 		cursor: cursor,
@@ -267,7 +276,7 @@ func (hs *hookSet) persistNow(checkClosed bool) {
 	metas := make([]hookMeta, 0, len(hs.endpoints))
 	for _, e := range hs.endpoints {
 		e.mu.Lock()
-		metas = append(metas, hookMeta{ID: e.id, URL: e.url, Cursor: e.cursor})
+		metas = append(metas, hookMeta{ID: e.id, URL: e.url, Cursor: e.cursor, Secret: e.secret})
 		e.mu.Unlock()
 	}
 	hs.mu.Unlock()
@@ -292,7 +301,7 @@ func (hs *hookSet) restore() error {
 		return err
 	}
 	for _, m := range metas {
-		if _, err := hs.add(m.ID, m.URL, m.Cursor); err != nil {
+		if _, err := hs.add(m.ID, m.URL, m.Cursor, m.Secret); err != nil {
 			return err
 		}
 	}
@@ -350,7 +359,8 @@ func (e *hookEndpoint) run() {
 			}
 		}
 		for _, rec := range recs {
-			if rec.Kind != resultlog.KindSnapshot || len(rec.XML) == 0 {
+			snap := rec.Kind == resultlog.KindSnapshot || rec.Kind == resultlog.KindCheckpoint
+			if !snap || len(rec.XML) == 0 {
 				e.advance(rec.Version)
 				continue
 			}
@@ -434,6 +444,9 @@ func (e *hookEndpoint) post(client *http.Client, rec resultlog.Record) error {
 	req.Header.Set("Lixto-Wrapper", e.hs.ps.name)
 	req.Header.Set("Lixto-Version", strconv.FormatUint(rec.Version, 10))
 	req.Header.Set("Lixto-Webhook", e.id)
+	if e.secret != "" {
+		req.Header.Set("Lixto-Signature", SignPayload(e.secret, rec.XML))
+	}
 	resp, err := client.Do(req)
 	if err != nil {
 		return err
@@ -443,6 +456,22 @@ func (e *hookEndpoint) post(client *http.Client, rec resultlog.Record) error {
 		return fmt.Errorf("endpoint returned %s", resp.Status)
 	}
 	return nil
+}
+
+// SignPayload computes the Lixto-Signature header value for a webhook
+// delivery body: "sha256=" + hex(HMAC-SHA256(secret, body)). Receivers
+// recompute it over the raw request body and compare with
+// VerifySignature.
+func SignPayload(secret string, body []byte) string {
+	mac := hmac.New(sha256.New, []byte(secret))
+	mac.Write(body)
+	return "sha256=" + hex.EncodeToString(mac.Sum(nil))
+}
+
+// VerifySignature checks a received Lixto-Signature header against the
+// raw request body in constant time.
+func VerifySignature(secret string, body []byte, header string) bool {
+	return hmac.Equal([]byte(SignPayload(secret, body)), []byte(header))
 }
 
 // advance moves the cursor monotonically and schedules its persist.
@@ -522,6 +551,11 @@ type webhookSpec struct {
 	// everything still retained). Absent means "from now": only results
 	// newer than the current version are delivered.
 	Since *uint64 `json:"since,omitempty"`
+	// Secret, when set, signs every delivery: the endpoint receives a
+	// Lixto-Signature header of "sha256=" + hex(HMAC-SHA256(secret,
+	// body)). The secret persists with the registration but is never
+	// echoed in listings.
+	Secret string `json:"secret,omitempty"`
 }
 
 func (s *Server) v1Webhooks(w http.ResponseWriter, r *http.Request) {
@@ -553,7 +587,7 @@ func (s *Server) v1Webhooks(w http.ResponseWriter, r *http.Request) {
 		if spec.Since != nil {
 			cursor = *spec.Since
 		}
-		e, err := ps.hooks.add("", spec.URL, cursor)
+		e, err := ps.hooks.add("", spec.URL, cursor, spec.Secret)
 		if err != nil {
 			if errors.Is(err, errShuttingDown) {
 				writeError(w, http.StatusServiceUnavailable, "unavailable", err.Error(), nil)

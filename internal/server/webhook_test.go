@@ -32,6 +32,7 @@ type hookReceipt struct {
 	webhook string
 	version uint64
 	body    string
+	sig     string
 }
 
 func newHookSink(t *testing.T) *hookSink {
@@ -51,6 +52,7 @@ func newHookSink(t *testing.T) *hookSink {
 			webhook: r.Header.Get("Lixto-Webhook"),
 			version: v,
 			body:    string(body),
+			sig:     r.Header.Get("Lixto-Signature"),
 		})
 	}))
 	t.Cleanup(sink.ts.Close)

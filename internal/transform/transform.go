@@ -282,7 +282,15 @@ type WrapperSource struct {
 	// either way; set this only to measure or to pin the full
 	// re-evaluation behaviour.
 	NoIncremental bool
-	tick          int
+	// NoIncrementalOutput disables cross-tick output reuse (the
+	// pib.OutputCache). By default the source retains the previous
+	// tick's instance base and emitted subtrees: the XML transform
+	// splices frozen, already-built xmlenc subtrees for every instance
+	// whose content-addressed output hash is unchanged and rebuilds
+	// only the dirty ones. Output is byte-identical either way; set
+	// this only to measure or to pin the full-rebuild behaviour.
+	NoIncrementalOutput bool
+	tick                int
 	// shared is the cache-wrapped form of Fetcher, built on first use.
 	shared elog.Fetcher
 	// batchAttached records that this source has counted itself into
@@ -299,12 +307,22 @@ type WrapperSource struct {
 	lastURLs []string
 	lastFPs  []uint64
 	lastDoc  *xmlenc.Node
+	// outCache is the cross-tick emitted-subtree cache of the
+	// incremental output path; it also retains the previous tick's
+	// instance base for the added/removed/unchanged delta. Touched only
+	// from Poll (one tick at a time); outStats is its counter snapshot,
+	// copied under statsMu after each transform so status reads never
+	// race a transform in flight.
+	outCache *pib.OutputCache
+	outStats pib.OutputStats
 	// Cumulative extraction timings (nanoseconds), written under
 	// statsMu: parseNS is time spent in the fetch+parse layer (the
 	// fetcher calls, including tree warming), evalNS the wall time of
-	// whole wrapper evaluations.
-	parseNS int64
-	evalNS  int64
+	// whole wrapper evaluations, transformNS the wall time of the
+	// instance-base → XML transform.
+	parseNS     int64
+	evalNS      int64
+	transformNS int64
 	// CacheHits counts polls answered from the fingerprint cache. It is
 	// written under statsMu so that ExtractionStats can be read
 	// concurrently (the server's status page polls it over HTTP).
@@ -330,11 +348,28 @@ type ExtractionStats struct {
 	SubtreeMisses uint64 `json:"subtree_misses"`
 	DirtyNodes    uint64 `json:"dirty_nodes"`
 	ReusedNodes   uint64 `json:"reused_nodes"`
+	// Incremental-output counters (cross-tick emitted-subtree reuse):
+	// OutputReusedNodes/OutputBuiltNodes count output XML nodes spliced
+	// from the previous tick's document vs constructed fresh, and
+	// InstancesAdded/Removed/Unchanged the content-addressed instance
+	// delta between consecutive ticks' bases.
+	OutputReusedNodes  uint64 `json:"output_reused_nodes"`
+	OutputBuiltNodes   uint64 `json:"output_built_nodes"`
+	InstancesAdded     uint64 `json:"instances_added"`
+	InstancesRemoved   uint64 `json:"instances_removed"`
+	InstancesUnchanged uint64 `json:"instances_unchanged"`
 	// ParseNS is cumulative time (ns) spent in the fetch+parse layer;
 	// EvalNS cumulative wall time (ns) of wrapper evaluations (which
-	// includes the fetches its crawl frontier issues).
-	ParseNS uint64 `json:"parse_ns"`
-	EvalNS  uint64 `json:"eval_ns"`
+	// includes the fetches its crawl frontier issues); TransformNS
+	// cumulative wall time of the instance-base → XML transform.
+	ParseNS     uint64 `json:"parse_ns"`
+	EvalNS      uint64 `json:"eval_ns"`
+	TransformNS uint64 `json:"transform_ns"`
+	// EncodeSplicedBytes counts snapshot bytes spliced from the
+	// delivery plane's per-pipeline encode cache instead of being
+	// re-encoded. Filled in by the server (the encoder lives with the
+	// delivery plane, not the wrapper source).
+	EncodeSplicedBytes uint64 `json:"encode_spliced_bytes"`
 	// BatchSize is the number of wrappers attached to the source's
 	// fleet-shared match cache (0 when batching is off). Aggregated
 	// stats report the largest fleet.
@@ -350,8 +385,15 @@ func (s *ExtractionStats) add(o ExtractionStats) {
 	s.SubtreeMisses += o.SubtreeMisses
 	s.DirtyNodes += o.DirtyNodes
 	s.ReusedNodes += o.ReusedNodes
+	s.OutputReusedNodes += o.OutputReusedNodes
+	s.OutputBuiltNodes += o.OutputBuiltNodes
+	s.InstancesAdded += o.InstancesAdded
+	s.InstancesRemoved += o.InstancesRemoved
+	s.InstancesUnchanged += o.InstancesUnchanged
 	s.ParseNS += o.ParseNS
 	s.EvalNS += o.EvalNS
+	s.TransformNS += o.TransformNS
+	s.EncodeSplicedBytes += o.EncodeSplicedBytes
 	if o.BatchSize > s.BatchSize {
 		s.BatchSize = o.BatchSize
 	}
@@ -365,7 +407,13 @@ func (s *WrapperSource) ExtractionStats() ExtractionStats {
 		PollCacheHits: uint64(s.CacheHits),
 		ParseNS:       uint64(s.parseNS),
 		EvalNS:        uint64(s.evalNS),
+		TransformNS:   uint64(s.transformNS),
 	}
+	out.OutputReusedNodes = s.outStats.ReusedNodes
+	out.OutputBuiltNodes = s.outStats.BuiltNodes
+	out.InstancesAdded = s.outStats.InstancesAdded
+	out.InstancesRemoved = s.outStats.InstancesRemoved
+	out.InstancesUnchanged = s.outStats.InstancesUnchanged
 	compiled := s.compiled
 	s.statsMu.Unlock()
 	if compiled != nil {
@@ -597,7 +645,22 @@ func (s *WrapperSource) Poll() ([]*xmlenc.Node, error) {
 	if design == nil {
 		design = &pib.Design{Auxiliary: map[string]bool{"document": true}}
 	}
-	doc := design.Transform(base)
+	tstart := time.Now()
+	var doc *xmlenc.Node
+	if s.NoIncrementalOutput {
+		doc = design.Transform(base)
+	} else {
+		if s.outCache == nil {
+			s.outCache = pib.NewOutputCache()
+		}
+		doc = design.TransformIncremental(base, s.outCache)
+	}
+	s.statsMu.Lock()
+	s.transformNS += time.Since(tstart).Nanoseconds()
+	if s.outCache != nil {
+		s.outStats = s.outCache.Stats()
+	}
+	s.statsMu.Unlock()
 	if !s.NoSourceAttr {
 		doc.SetAttr("source", s.CompName)
 	}

@@ -1,0 +1,47 @@
+package xmlenc
+
+// Frozen subtrees are the aliasing contract of the incremental output
+// path: once a document is published, the delivery plane (history
+// ring, pre-encoded snapshots, SSE frames) and the transformer's
+// output cache both hold pointers into it. The transformer freezes
+// every emitted instance subtree so the next tick can splice the same
+// *Node into a new document without ever mutating bytes a reader may
+// still be serving. Mutation of a frozen node goes through Mutable
+// (copy-on-write); the method mutators assert mutability in debug
+// builds (see guard_debug.go, build tag lixtodebug).
+
+// Freeze marks n and every descendant immutable and returns n. It
+// stops at already-frozen children, so freezing a fresh subtree that
+// splices in reused (frozen) subtrees is proportional to the fresh
+// part only.
+func (n *Node) Freeze() *Node {
+	if n.frozen {
+		return n
+	}
+	n.frozen = true
+	for _, c := range n.Children {
+		c.Freeze()
+	}
+	return n
+}
+
+// Frozen reports whether n has been frozen.
+func (n *Node) Frozen() bool { return n.frozen }
+
+// Mutable returns n if it is not frozen, or an unfrozen shallow copy
+// (own Attrs and Children slices, children still shared and frozen)
+// when it is: the copy-on-write escape hatch for code that needs to
+// amend a node after publication.
+func (n *Node) Mutable() *Node {
+	if !n.frozen {
+		return n
+	}
+	cp := &Node{Name: n.Name, Text: n.Text}
+	if len(n.Attrs) > 0 {
+		cp.Attrs = append(make([]Attr, 0, len(n.Attrs)), n.Attrs...)
+	}
+	if len(n.Children) > 0 {
+		cp.Children = append(make([]*Node, 0, len(n.Children)), n.Children...)
+	}
+	return cp
+}

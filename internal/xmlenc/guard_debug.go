@@ -1,0 +1,16 @@
+//go:build lixtodebug
+
+package xmlenc
+
+import "fmt"
+
+// assertMutable panics when a method mutator is applied to a frozen
+// node. Compiled in under the lixtodebug build tag only, which the
+// -race CI job enables: a frozen node is shared between published
+// documents and the transformer's output cache, so mutating one is a
+// delivery-plane corruption bug, never a legitimate edit.
+func assertMutable(n *Node) {
+	if n.frozen {
+		panic(fmt.Sprintf("xmlenc: mutation of frozen node <%s> (published documents share frozen subtrees; use Mutable for copy-on-write)", n.Name))
+	}
+}

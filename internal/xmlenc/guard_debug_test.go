@@ -1,0 +1,42 @@
+//go:build lixtodebug
+
+package xmlenc
+
+import "testing"
+
+// Under the lixtodebug build tag every method mutator panics on a
+// frozen node; the -race CI job runs with the tag on so an accidental
+// in-place mutation of a published subtree fails loudly instead of
+// corrupting cached bytes.
+func TestGuardPanicsOnFrozenMutation(t *testing.T) {
+	mutations := map[string]func(n *Node){
+		"SetAttr":           func(n *Node) { n.SetAttr("k", "v") },
+		"SetText":           func(n *Node) { n.SetText("t") },
+		"Append":            func(n *Node) { n.Append(NewElement("c")) },
+		"AppendElement":     func(n *Node) { n.AppendElement("c") },
+		"AppendTextElement": func(n *Node) { n.AppendTextElement("c", "t") },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			n := NewElement("x")
+			n.Freeze()
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a frozen node did not panic", name)
+				}
+			}()
+			mutate(n)
+		})
+	}
+}
+
+// Mutable hands back a writable copy even in debug builds.
+func TestGuardAllowsMutableCopy(t *testing.T) {
+	n := NewElement("x")
+	n.Freeze()
+	cp := n.Mutable()
+	cp.SetAttr("k", "v") // must not panic
+	if _, ok := n.Attr("k"); ok {
+		t.Error("copy-on-write leaked into the frozen original")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !lixtodebug
+
+package xmlenc
+
+// assertMutable is a no-op in release builds; the lixtodebug build tag
+// (used by the -race CI job) swaps in a panicking check so a mutation
+// of a published document fails loudly instead of corrupting bytes a
+// reader may be serving.
+func assertMutable(n *Node) {}

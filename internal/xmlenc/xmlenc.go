@@ -27,6 +27,10 @@ type Node struct {
 	// children is a text-content element, a node with Name == "" is a
 	// bare text node.
 	Text string
+	// frozen marks the subtree immutable: it is shared between a
+	// published document and the incremental transformer's output
+	// cache. See freeze.go.
+	frozen bool
 }
 
 // Attr is an attribute.
@@ -40,6 +44,7 @@ func NewText(text string) *Node { return &Node{Text: text} }
 
 // SetAttr sets an attribute, replacing an existing one of the same name.
 func (n *Node) SetAttr(name, value string) *Node {
+	assertMutable(n)
 	for i := range n.Attrs {
 		if n.Attrs[i].Name == name {
 			n.Attrs[i].Value = value
@@ -62,12 +67,14 @@ func (n *Node) Attr(name string) (string, bool) {
 
 // Append adds children and returns n.
 func (n *Node) Append(children ...*Node) *Node {
+	assertMutable(n)
 	n.Children = append(n.Children, children...)
 	return n
 }
 
 // AppendElement adds and returns a new child element.
 func (n *Node) AppendElement(name string) *Node {
+	assertMutable(n)
 	c := NewElement(name)
 	n.Children = append(n.Children, c)
 	return c
@@ -75,7 +82,15 @@ func (n *Node) AppendElement(name string) *Node {
 
 // AppendTextElement adds <name>text</name> and returns n.
 func (n *Node) AppendTextElement(name, text string) *Node {
+	assertMutable(n)
 	n.Children = append(n.Children, &Node{Name: name, Text: text})
+	return n
+}
+
+// SetText sets the node's character data and returns n.
+func (n *Node) SetText(text string) *Node {
+	assertMutable(n)
+	n.Text = text
 	return n
 }
 

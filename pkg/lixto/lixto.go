@@ -40,6 +40,13 @@ type Wrapper struct {
 	program  *elog.Program
 	compiled *elog.CompiledProgram
 	cfg      config
+
+	// outMu guards outCache, the cross-extraction emitted-subtree cache
+	// used when WithIncrementalOutput is on. One transform runs at a
+	// time; concurrent Extracts serialize only their (cheap, dirty-
+	// region-proportional) XML rendering, never the evaluation.
+	outMu    sync.Mutex
+	outCache *pib.OutputCache
 }
 
 // Compile parses, stratifies, and compiles an Elog program. Options
@@ -67,6 +74,20 @@ func MustCompile(src string, opts ...Option) *Wrapper {
 		panic(err)
 	}
 	return w
+}
+
+// OutputStats reports the wrapper's incremental-output cache counters
+// — output nodes reused and built across extractions, plus the
+// instance delta of the latest one. All zero unless the wrapper was
+// compiled with WithIncrementalOutput(true) and has extracted at
+// least twice. Safe to call concurrently with Extract.
+func (w *Wrapper) OutputStats() pib.OutputStats {
+	w.outMu.Lock()
+	defer w.outMu.Unlock()
+	if w.outCache == nil {
+		return pib.OutputStats{}
+	}
+	return w.outCache.Stats()
 }
 
 // Rebind returns a wrapper sharing this wrapper's program, compiled
@@ -133,13 +154,30 @@ type Result struct {
 	Base *pib.Base
 
 	design *pib.Design
-	once   sync.Once
-	doc    *xmlenc.Node
+	// w is set when this result may render through the wrapper's
+	// incremental output cache (WithIncrementalOutput, and the call used
+	// the wrapper's own design).
+	w    *Wrapper
+	once sync.Once
+	doc  *xmlenc.Node
 }
 
 // XML returns the instance base transformed to XML (computed once).
+// Under WithIncrementalOutput the document shares frozen subtrees with
+// previous extractions' documents and must be treated as read-only.
 func (r *Result) XML() *xmlenc.Node {
-	r.once.Do(func() { r.doc = r.design.Transform(r.Base) })
+	r.once.Do(func() {
+		if r.w == nil {
+			r.doc = r.design.Transform(r.Base)
+			return
+		}
+		r.w.outMu.Lock()
+		if r.w.outCache == nil {
+			r.w.outCache = pib.NewOutputCache()
+		}
+		r.doc = r.design.TransformIncremental(r.Base, r.w.outCache)
+		r.w.outMu.Unlock()
+	})
 	return r.doc
 }
 
@@ -193,7 +231,13 @@ func (w *Wrapper) Extract(ctx context.Context, src Source, opts ...Option) (*Res
 	if err != nil {
 		return nil, newError(KindEval, err)
 	}
-	return &Result{Base: base, design: cfg.design}, nil
+	res := &Result{Base: base, design: cfg.design}
+	if cfg.incrementalOutput && cfg.design == w.cfg.design {
+		// Per-call design edits copy-on-write cfg.design, so pointer
+		// equality means the render the cache was built for.
+		res.w = w
+	}
+	return res, nil
 }
 
 // ExtractAll extracts every source concurrently, fanning out over at

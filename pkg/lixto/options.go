@@ -11,16 +11,17 @@ import (
 // was compiled with; Extract/ExtractAll clone it and apply per-call
 // options, so per-call overrides never leak into the shared wrapper.
 type config struct {
-	concurrency  int
-	cache        bool
-	incremental  bool
-	maxDocuments int
-	maxInstances int
-	fetcher      elog.Fetcher
-	shared       *fetchcache.Cache
-	batch        *elog.MatchCache
-	concepts     *concepts.Base
-	design       *pib.Design
+	concurrency       int
+	cache             bool
+	incremental       bool
+	incrementalOutput bool
+	maxDocuments      int
+	maxInstances      int
+	fetcher           elog.Fetcher
+	shared            *fetchcache.Cache
+	batch             *elog.MatchCache
+	concepts          *concepts.Base
+	design            *pib.Design
 	// designOwned is true once this config's design is a private copy
 	// (per-call design edits copy-on-write the wrapper's design).
 	designOwned bool
@@ -110,6 +111,22 @@ func WithCache(enabled bool) Option {
 // and with it incremental reuse.
 func WithIncremental(enabled bool) Option {
 	return func(c *config) { c.incremental = enabled }
+}
+
+// WithIncrementalOutput toggles cross-extraction output reuse (default
+// off). With it on, the wrapper retains the previous extraction's
+// instance base and emitted XML subtrees: Result.XML splices frozen,
+// already-built subtrees for every instance whose content-addressed
+// output hash is unchanged and rebuilds only the dirty ones — the
+// output-side counterpart of WithIncremental, and the same machinery
+// the transformation server runs per tick. The rendered document is
+// byte-identical to a full rebuild, but its subtrees are shared across
+// successive Results and MUST be treated as read-only (amend via
+// xmlenc's Mutable copy-on-write if needed). Extractions whose per-call
+// options replace or edit the XML design fall back to a full rebuild;
+// the cache follows the wrapper's compile-time design.
+func WithIncrementalOutput(enabled bool) Option {
+	return func(c *config) { c.incrementalOutput = enabled }
 }
 
 // WithMaxDocuments bounds how many documents one extraction may fetch
